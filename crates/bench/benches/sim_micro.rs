@@ -1,0 +1,75 @@
+//! Microbenchmarks of the simulator's hot paths: address decode, bank
+//! planning, controller ticks, and trace generation. These guard the
+//! simulator's own performance (a slow simulator caps experiment sizes).
+//!
+//! ```text
+//! cargo bench -p fgnvm-bench --bench sim_micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::address::{AddressMapper, MappingScheme};
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_types::request::Op;
+use fgnvm_types::PhysAddr;
+use fgnvm_workloads::profile;
+
+fn bench(c: &mut Criterion) {
+    let geom = Geometry::default();
+    let mapper = AddressMapper::new(geom, MappingScheme::default());
+
+    let mut group = c.benchmark_group("sim_micro");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("address_decode", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(mapper.decode(PhysAddr::new(a & 0xFFF_FFC0)))
+        })
+    });
+
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("memory_tick_1k_idle", |b| {
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 8).unwrap()).unwrap();
+        let mut out = Vec::new();
+        b.iter(|| {
+            for _ in 0..1000 {
+                mem.tick_into(&mut out);
+            }
+            black_box(out.len())
+        })
+    });
+
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("memory_500_random_reads", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 8).unwrap()).unwrap();
+            for i in 0..500u64 {
+                while mem
+                    .enqueue(Op::Read, PhysAddr::new((i * 0x9E37_79B9) & 0xFFF_FFC0))
+                    .is_none()
+                {
+                    mem.tick();
+                }
+            }
+            black_box(mem.run_until_idle(10_000_000).len())
+        })
+    });
+
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("trace_generation_1k", |b| {
+        let p = profile("milc_like").unwrap();
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(p.generate(geom, seed, 1000).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

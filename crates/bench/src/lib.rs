@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench target
+//! regenerates one table or figure of the paper and then measures the
+//! simulator kernels behind it with Criterion.

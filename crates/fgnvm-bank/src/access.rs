@@ -1,0 +1,173 @@
+//! Access descriptions exchanged between the memory controller and a bank.
+//!
+//! The controller drives a bank with a two-phase protocol:
+//!
+//! 1. [`Bank::plan`](crate::Bank::plan) — a *read-only* feasibility check.
+//!    It either returns an [`AccessPlan`] describing when data could start
+//!    and what would be sensed, or a [`Blocked`] explaining which resource
+//!    is busy and until when.
+//! 2. [`Bank::commit`](crate::Bank::commit) — after the controller has
+//!    arbitrated the shared data bus it commits the plan with the actual
+//!    data-burst start cycle, and the bank updates its resource windows.
+//!
+//! The split exists because the data bus is shared across banks: only the
+//! controller can pick the burst slot, but only the bank knows its internal
+//! wordline / column-division constraints.
+
+use std::fmt;
+
+use fgnvm_types::address::TileCoord;
+use fgnvm_types::request::Op;
+use fgnvm_types::time::Cycle;
+
+/// One cache-line access presented to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Read or write.
+    pub op: Op,
+    /// Target row within the bank.
+    pub row: u32,
+    /// Target cache line within the row.
+    pub line: u32,
+    /// FgNVM coordinates (SAG + CD span) of the access. For baseline banks
+    /// this is always `sag 0, cd 0+1`.
+    pub coord: TileCoord,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} row{} ln{} [{}]",
+            self.op, self.row, self.line, self.coord
+        )
+    }
+}
+
+/// How a planned access will be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// The target data is already sensed in the row buffer; only the column
+    /// path is exercised.
+    RowHit,
+    /// A (partial) activation opens the row and senses the target slice.
+    Activate,
+    /// The row is already open in the subarray group but the target column
+    /// division was never sensed — the paper's *underfetch* case. Costs an
+    /// extra tRCD to sense the missing slice.
+    Underfetch,
+    /// A write; drives the target slice through the write drivers.
+    Write,
+}
+
+impl PlanKind {
+    /// True if this plan performs (partial) sensing and thus consumes sense
+    /// energy.
+    pub const fn senses(&self) -> bool {
+        matches!(self, PlanKind::Activate | PlanKind::Underfetch)
+    }
+}
+
+/// A feasible schedule for an access, produced by [`Bank::plan`](crate::Bank::plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessPlan {
+    /// How the access is served.
+    pub kind: PlanKind,
+    /// Earliest cycle the data burst may start, honoring every bank-internal
+    /// constraint. The controller may only move this later (bus conflicts),
+    /// never earlier.
+    pub earliest_data: Cycle,
+    /// Bits newly sensed if this plan commits (activation energy).
+    pub sense_bits: u64,
+}
+
+/// Why an access cannot be planned right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Blocked {
+    /// The dominant busy resource.
+    pub reason: BlockReason,
+    /// Earliest cycle at which re-planning could succeed (a hint; other
+    /// constraints may surface then).
+    pub retry_at: Cycle,
+}
+
+/// The bank-internal resource that blocked an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockReason {
+    /// The whole bank is serialized (baseline model, or an FgNVM ablation
+    /// with multi-activation disabled).
+    BankBusy,
+    /// The target subarray group's wordline / row decoder is busy or locked
+    /// by a backgrounded write.
+    SagBusy,
+    /// A target column division's local I/O is busy or locked by a
+    /// backgrounded write.
+    CdBusy,
+    /// The shared column-command path (tCCD spacing) is not yet free.
+    ColumnPath,
+    /// The open row in the subarray group cannot be switched yet because
+    /// in-flight operations still depend on it.
+    RowLocked,
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockReason::BankBusy => "bank busy",
+            BlockReason::SagBusy => "subarray group busy",
+            BlockReason::CdBusy => "column division busy",
+            BlockReason::ColumnPath => "column command path busy",
+            BlockReason::RowLocked => "open row locked by in-flight operations",
+        })
+    }
+}
+
+/// Timing outcome of a committed access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Issued {
+    /// Cycle the data burst starts on the channel.
+    pub data_start: Cycle,
+    /// Cycle the data burst ends (read data delivered / write data latched).
+    pub data_end: Cycle,
+    /// Cycle every bank resource used by this access becomes free. For
+    /// writes this includes the cell-programming time (tWP) and recovery.
+    pub completion: Cycle,
+    /// Bits sensed by this access (0 for row hits and writes).
+    pub sense_bits: u64,
+    /// How the access was served.
+    pub kind: PlanKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_kind_sensing() {
+        assert!(PlanKind::Activate.senses());
+        assert!(PlanKind::Underfetch.senses());
+        assert!(!PlanKind::RowHit.senses());
+        assert!(!PlanKind::Write.senses());
+    }
+
+    #[test]
+    fn block_reason_display() {
+        assert_eq!(BlockReason::SagBusy.to_string(), "subarray group busy");
+        assert_eq!(BlockReason::CdBusy.to_string(), "column division busy");
+    }
+
+    #[test]
+    fn access_display() {
+        let a = Access {
+            op: Op::Read,
+            row: 3,
+            line: 1,
+            coord: TileCoord {
+                sag: 0,
+                cd_first: 1,
+                cd_count: 1,
+            },
+        };
+        assert!(a.to_string().contains("row3"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Bank models for the FgNVM architecture.
+//!
+//! This crate implements the paper's primary contribution — the
+//! two-dimensionally subdivided NVM bank with tile-level parallelism
+//! ([`FgnvmBank`]) — together with the state-of-the-art baseline it is
+//! compared against ([`BaselineBank`]). Both speak the same two-phase
+//! [`Bank`] protocol so the memory controller in `fgnvm-mem` can drive
+//! either interchangeably.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fgnvm_bank::{Access, Bank, FgnvmBank, Modes};
+//! use fgnvm_types::address::TileCoord;
+//! use fgnvm_types::geometry::Geometry;
+//! use fgnvm_types::request::Op;
+//! use fgnvm_types::time::Cycle;
+//! use fgnvm_types::TimingConfig;
+//!
+//! let geom = Geometry::builder().sags(4).cds(4).build()?;
+//! let timing = TimingConfig::paper_pcm().to_cycles()?;
+//! let mut bank = FgnvmBank::new(&geom, timing, Modes::all(), true)?;
+//!
+//! let read = Access {
+//!     op: Op::Read,
+//!     row: 42,
+//!     line: 0,
+//!     coord: TileCoord { sag: geom.sag_of_row(42), cd_first: 0, cd_count: 1 },
+//! };
+//! let plan = bank.plan(&read, Cycle::ZERO).expect("idle bank");
+//! let issued = bank.commit(&read, &plan, Cycle::ZERO, plan.earliest_data);
+//! assert_eq!(issued.sense_bits, 2048); // one 256 B slice of the 1 KB row
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod access;
+pub mod baseline;
+pub mod dram;
+pub mod fgnvm;
+pub mod stats;
+
+pub use access::{Access, AccessPlan, BlockReason, Blocked, Issued, PlanKind};
+pub use baseline::BaselineBank;
+pub use dram::{DramBank, RefreshCycles};
+pub use fgnvm::{FgnvmBank, Modes};
+pub use stats::BankStats;
+
+use fgnvm_types::time::Cycle;
+
+/// The two-phase bank protocol spoken by the memory controller.
+///
+/// See the [`access`] module docs for why planning and committing are
+/// separate steps. Implementations must be deterministic: a successful
+/// `plan` at cycle `now` must still be valid for a `commit` at the same
+/// `now` with any `data_start >= plan.earliest_data`.
+pub trait Bank: std::fmt::Debug + Send {
+    /// Checks whether `access` can be issued at `now` without mutating any
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Blocked`] naming the busy resource and a retry hint when
+    /// the access cannot be issued at `now`.
+    fn plan(&self, access: &Access, now: Cycle) -> Result<AccessPlan, Blocked>;
+
+    /// Commits a previously planned access with the controller-arbitrated
+    /// data-burst start, updating every internal busy window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_start` is earlier than `plan.earliest_data`, or if
+    /// `plan` does not correspond to the bank's current state (e.g. it was
+    /// produced before another commit at the same cycle).
+    fn commit(
+        &mut self,
+        access: &Access,
+        plan: &AccessPlan,
+        now: Cycle,
+        data_start: Cycle,
+    ) -> Issued;
+
+    /// Event counters accumulated so far.
+    fn stats(&self) -> &BankStats;
+
+    /// A heuristic earliest instant at which *some* access might become
+    /// issuable; schedulers may use it to skip idle polling. Purely an
+    /// optimization hint — correctness never depends on it.
+    fn next_ready_hint(&self, now: Cycle) -> Cycle;
+
+    /// True while a write is still programming cells anywhere in the bank.
+    /// TLP-aware schedulers use this to avoid stacking writes in one bank
+    /// (each in-flight write locks a whole column division and subarray
+    /// group). The default is pessimistically `false` for models that do
+    /// not track it.
+    fn write_in_progress(&self, now: Cycle) -> bool {
+        let _ = now;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_trait_is_object_safe() {
+        fn _takes_dyn(_: &dyn Bank) {}
+    }
+}

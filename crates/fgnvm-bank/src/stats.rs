@@ -1,0 +1,157 @@
+//! Per-bank event counters.
+
+use std::ops::AddAssign;
+
+/// Counters accumulated by a bank as accesses commit.
+///
+/// The memory system aggregates these across banks and converts the bit
+/// counts into energy using the configured per-bit constants.
+///
+/// ```
+/// use fgnvm_bank::BankStats;
+///
+/// let mut total = BankStats::new();
+/// total += BankStats { reads: 8, row_hits: 6, ..BankStats::new() };
+/// total += BankStats { reads: 2, ..BankStats::new() };
+/// assert_eq!(total.row_hit_rate(), 0.6);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BankStats {
+    /// Committed read accesses.
+    pub reads: u64,
+    /// Committed write accesses.
+    pub writes: u64,
+    /// Row-buffer hits (no sensing needed).
+    pub row_hits: u64,
+    /// (Partial) activations that opened or switched a row.
+    pub activations: u64,
+    /// Underfetch partial activations: the row was open but the target
+    /// column division had not been sensed.
+    pub underfetches: u64,
+    /// Total bits sensed across all activations.
+    pub sensed_bits: u64,
+    /// Total bits driven by write operations.
+    pub written_bits: u64,
+    /// Accesses that overlapped in time with at least one other in-flight
+    /// access in the same bank (tile-level parallelism actually exploited).
+    pub overlapped_accesses: u64,
+    /// Reads committed while a write was still programming elsewhere in the
+    /// bank (backgrounded-write hiding actually exploited).
+    pub reads_under_write: u64,
+    /// In-flight writes paused to let a read through (write pausing).
+    pub write_pauses: u64,
+}
+
+impl BankStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        BankStats::default()
+    }
+
+    /// Fraction of reads served from already-sensed data, in `[0, 1]`;
+    /// zero when no reads occurred.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.reads as f64
+        }
+    }
+}
+
+impl BankStats {
+    /// Counter-wise difference `self - earlier`, for measuring an interval
+    /// between two snapshots (e.g. excluding a warmup phase). Saturates at
+    /// zero, though counters are monotone by construction.
+    pub fn minus(&self, earlier: &BankStats) -> BankStats {
+        BankStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+            activations: self.activations.saturating_sub(earlier.activations),
+            underfetches: self.underfetches.saturating_sub(earlier.underfetches),
+            sensed_bits: self.sensed_bits.saturating_sub(earlier.sensed_bits),
+            written_bits: self.written_bits.saturating_sub(earlier.written_bits),
+            overlapped_accesses: self
+                .overlapped_accesses
+                .saturating_sub(earlier.overlapped_accesses),
+            reads_under_write: self
+                .reads_under_write
+                .saturating_sub(earlier.reads_under_write),
+            write_pauses: self.write_pauses.saturating_sub(earlier.write_pauses),
+        }
+    }
+}
+
+impl AddAssign for BankStats {
+    fn add_assign(&mut self, rhs: BankStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.row_hits += rhs.row_hits;
+        self.activations += rhs.activations;
+        self.underfetches += rhs.underfetches;
+        self.sensed_bits += rhs.sensed_bits;
+        self.written_bits += rhs.written_bits;
+        self.overlapped_accesses += rhs.overlapped_accesses;
+        self.reads_under_write += rhs.reads_under_write;
+        self.write_pauses += rhs.write_pauses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_reads() {
+        assert_eq!(BankStats::new().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_fraction() {
+        let s = BankStats {
+            reads: 4,
+            row_hits: 3,
+            ..BankStats::new()
+        };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minus_computes_interval() {
+        let early = BankStats {
+            reads: 10,
+            sensed_bits: 100,
+            ..BankStats::new()
+        };
+        let late = BankStats {
+            reads: 25,
+            sensed_bits: 260,
+            writes: 3,
+            ..BankStats::new()
+        };
+        let delta = late.minus(&early);
+        assert_eq!(delta.reads, 15);
+        assert_eq!(delta.sensed_bits, 160);
+        assert_eq!(delta.writes, 3);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = BankStats {
+            reads: 1,
+            sensed_bits: 100,
+            ..BankStats::new()
+        };
+        let b = BankStats {
+            reads: 2,
+            sensed_bits: 50,
+            writes: 1,
+            ..BankStats::new()
+        };
+        a += b;
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.sensed_bits, 150);
+        assert_eq!(a.writes, 1);
+    }
+}

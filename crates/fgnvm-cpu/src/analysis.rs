@@ -1,0 +1,191 @@
+//! Trace characterization: the workload-side metrics (footprint, locality,
+//! spread) that explain why a trace behaves the way it does on a given
+//! memory design. Used by `fgnvm-trace info` and by tests that want to
+//! assert generator properties.
+
+use std::collections::{HashMap, HashSet};
+
+use fgnvm_types::address::{AddressMapper, MappingScheme};
+use fgnvm_types::geometry::Geometry;
+
+use crate::trace::Trace;
+
+/// Characterization of one trace against a memory geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Memory operations analyzed.
+    pub ops: usize,
+    /// Misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Fraction of reads that are dependent (pointer chasing).
+    pub dependent_fraction: f64,
+    /// Distinct cache lines touched (line working set).
+    pub distinct_lines: usize,
+    /// Distinct rows touched (row working set).
+    pub distinct_rows: usize,
+    /// Distinct (bank, subarray group) pairs touched — the tile-level
+    /// parallelism the trace can possibly exploit.
+    pub distinct_bank_sags: usize,
+    /// Fraction of accesses whose (bank, row) equals the previous access to
+    /// the same bank — an upper bound on the open-row hit rate.
+    pub row_adjacency: f64,
+    /// Coefficient of variation of per-bank access counts (0 = balanced).
+    pub bank_imbalance: f64,
+}
+
+/// Analyzes `trace` as it would decode on `geometry` (default mapping).
+///
+/// ```
+/// use fgnvm_cpu::{analyze, Trace, TraceRecord};
+/// use fgnvm_types::{Geometry, PhysAddr};
+///
+/// // A short strided trace: two rows of one bank.
+/// let trace = Trace::new(
+///     "demo",
+///     (0..32u64).map(|i| TraceRecord::read(30, PhysAddr::new(i * 64))).collect(),
+/// );
+/// let profile = analyze(&trace, Geometry::default());
+/// assert_eq!(profile.distinct_rows, 2);
+/// assert!(profile.row_adjacency > 0.9); // streaming stays in-row
+/// ```
+pub fn analyze(trace: &Trace, geometry: Geometry) -> TraceProfile {
+    let mapper = AddressMapper::new(geometry, MappingScheme::default());
+    let mut lines = HashSet::new();
+    let mut rows = HashSet::new();
+    let mut bank_sags = HashSet::new();
+    let mut last_row_per_bank: HashMap<(u32, u32, u32), u32> = HashMap::new();
+    let mut per_bank: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    let mut adjacent = 0usize;
+    let mut dependents = 0usize;
+    let mut reads = 0usize;
+    for r in trace.records() {
+        let d = mapper.decode(r.addr);
+        let bank_key = (d.channel, d.rank, d.bank);
+        lines.insert(r.addr.raw() >> geometry.line_bytes().trailing_zeros());
+        rows.insert((bank_key, d.row));
+        bank_sags.insert((bank_key, geometry.sag_of_row(d.row)));
+        if last_row_per_bank.insert(bank_key, d.row) == Some(d.row) {
+            adjacent += 1;
+        }
+        *per_bank.entry(bank_key).or_default() += 1;
+        if r.op.is_read() {
+            reads += 1;
+            if r.dependent {
+                dependents += 1;
+            }
+        }
+    }
+    // Imbalance over ALL banks of the geometry (untouched banks count as
+    // zero load; a single-bank hammer is maximally imbalanced).
+    let bank_imbalance = if per_bank.is_empty() {
+        0.0
+    } else {
+        let total_banks = geometry.total_banks() as usize;
+        let mut loads = vec![0.0f64; total_banks];
+        for (i, &c) in per_bank.values().enumerate() {
+            loads[i] = c as f64;
+        }
+        let mean = loads.iter().sum::<f64>() / total_banks as f64;
+        let var = loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / total_banks as f64;
+        if mean > 0.0 {
+            var.sqrt() / mean
+        } else {
+            0.0
+        }
+    };
+    TraceProfile {
+        ops: trace.len(),
+        mpki: trace.mpki(),
+        write_fraction: trace.write_fraction(),
+        dependent_fraction: if reads == 0 {
+            0.0
+        } else {
+            dependents as f64 / reads as f64
+        },
+        distinct_lines: lines.len(),
+        distinct_rows: rows.len(),
+        distinct_bank_sags: bank_sags.len(),
+        row_adjacency: if trace.is_empty() {
+            0.0
+        } else {
+            adjacent as f64 / trace.len() as f64
+        },
+        bank_imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use fgnvm_types::PhysAddr;
+
+    fn geom() -> Geometry {
+        Geometry::default()
+    }
+
+    #[test]
+    fn empty_trace_profile_is_zeroed() {
+        let p = analyze(&Trace::new("empty", vec![]), geom());
+        assert_eq!(p.ops, 0);
+        assert_eq!(p.distinct_lines, 0);
+        assert_eq!(p.row_adjacency, 0.0);
+        assert_eq!(p.bank_imbalance, 0.0);
+    }
+
+    #[test]
+    fn streaming_trace_has_high_adjacency() {
+        // 32 sequential lines of one row pair in one bank.
+        let records: Vec<TraceRecord> = (0..32u64)
+            .map(|i| TraceRecord::read(0, PhysAddr::new(i % 16 * 64)))
+            .collect();
+        let p = analyze(&Trace::new("stream", records), geom());
+        assert_eq!(p.distinct_lines, 16);
+        assert_eq!(p.distinct_rows, 1);
+        assert_eq!(p.distinct_bank_sags, 1);
+        // Every access after the first stays in the same row.
+        assert!(p.row_adjacency > 0.9, "adjacency {}", p.row_adjacency);
+    }
+
+    #[test]
+    fn scattered_trace_covers_sags_and_banks() {
+        // One access per SAG (rows_per_sag = 8192 with 4 SAGs) in each of
+        // the default geometry's 8 banks.
+        let mut records = Vec::new();
+        for bank in 0..8u64 {
+            for sag in 0..4u64 {
+                let row = sag * 8192;
+                records.push(TraceRecord::read(
+                    0,
+                    PhysAddr::new((row << 13) | (bank << 10)),
+                ));
+            }
+        }
+        let p = analyze(&Trace::new("scatter", records), geom());
+        assert_eq!(p.distinct_bank_sags, 32);
+        assert_eq!(p.row_adjacency, 0.0);
+        assert!(p.bank_imbalance < 1e-9, "balanced by construction");
+    }
+
+    #[test]
+    fn single_bank_hammer_is_imbalanced() {
+        let records: Vec<TraceRecord> = (0..64u64)
+            .map(|i| TraceRecord::read(0, PhysAddr::new(i << 13)))
+            .collect();
+        let p = analyze(&Trace::new("hammer", records), geom());
+        assert!(p.bank_imbalance > 1.0, "imbalance {}", p.bank_imbalance);
+    }
+
+    #[test]
+    fn dependent_fraction_counts_reads_only() {
+        let records = vec![
+            TraceRecord::dependent_read(0, PhysAddr::new(0)),
+            TraceRecord::read(0, PhysAddr::new(64)),
+            TraceRecord::write(0, PhysAddr::new(128)),
+        ];
+        let p = analyze(&Trace::new("mix", records), geom());
+        assert!((p.dependent_fraction - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,573 @@
+//! A windowed, trace-driven out-of-order core model.
+//!
+//! This is the gem5 substitute of the reproduction. For the paper's
+//! workloads (SPEC2006 slices with ≥ 10 LLC misses per kilo-instruction)
+//! relative IPC is dominated by memory stalls, which a windowed model
+//! captures:
+//!
+//! * the core retires up to `width` instructions per CPU cycle;
+//! * demand reads go to memory and may overlap (memory-level parallelism)
+//!   up to the MSHR count, with same-line misses merged;
+//! * execution may run ahead of the *oldest* outstanding load by at most
+//!   `rob_entries` instructions — beyond that the window is full and the
+//!   core stalls, exactly the behaviour that bank conflicts and slow PCM
+//!   writes amplify;
+//! * writes are posted; they stall the core only through write-queue
+//!   backpressure.
+//!
+//! The memory system ticks once every `cpu_mem_ratio` CPU cycles
+//! (3.2 GHz core vs 400 MHz memory controller by default).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use fgnvm_mem::MemoryBackend;
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::request::{Op, RequestId};
+
+use crate::metrics::CoreResult;
+use crate::trace::Trace;
+
+/// Core parameters (defaults model the paper's Nehalem-like setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions retired per CPU cycle when nothing stalls.
+    pub width: u32,
+    /// Reorder-buffer entries: how far execution may run ahead of the
+    /// oldest outstanding load.
+    pub rob_entries: u32,
+    /// Maximum distinct outstanding cache-line reads (MSHRs).
+    pub mshrs: u32,
+    /// CPU cycles per memory-controller cycle.
+    pub cpu_mem_ratio: u32,
+    /// Next-line prefetch degree (0 disables the prefetcher). On every
+    /// demand miss the prefetcher requests the next `prefetch_degree`
+    /// lines; completed prefetches fill a small buffer that later demand
+    /// reads hit for free. Models the L2 stream prefetcher of the paper's
+    /// Nehalem-like gem5 configuration.
+    pub prefetch_degree: u32,
+}
+
+impl CoreConfig {
+    /// The paper's CPU: a 4-wide Nehalem-like core with the CRIB-style
+    /// consolidated window of its reference \[16\] (large effective
+    /// instruction window), an LLC with 32 outstanding misses, a stream
+    /// prefetcher, and a 3.2 GHz clock over the 400 MHz controller.
+    pub fn nehalem_like() -> Self {
+        CoreConfig {
+            width: 4,
+            rob_entries: 256,
+            mshrs: 32,
+            cpu_mem_ratio: 8,
+            prefetch_degree: 8,
+        }
+    }
+
+    /// Same core without the stream prefetcher.
+    pub fn no_prefetch() -> Self {
+        CoreConfig {
+            prefetch_degree: 0,
+            ..CoreConfig::nehalem_like()
+        }
+    }
+
+    /// A simple in-order core: dual-issue, blocking loads (no run-ahead
+    /// past an outstanding miss), no prefetcher. Useful as the conservative
+    /// end of the front-end spectrum when studying memory sensitivity.
+    pub fn in_order() -> Self {
+        CoreConfig {
+            width: 2,
+            rob_entries: 1,
+            mshrs: 1,
+            cpu_mem_ratio: 8,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        // prefetch_degree may legitimately be zero (prefetcher off).
+        for (field, v) in [
+            ("width", self.width),
+            ("rob_entries", self.rob_entries),
+            ("mshrs", self.mshrs),
+            ("cpu_mem_ratio", self.cpu_mem_ratio),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    expected: "at least 1",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::nehalem_like()
+    }
+}
+
+/// Trace-driven core simulator.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fgnvm_cpu::{Core, CoreConfig, Trace, TraceRecord};
+/// use fgnvm_mem::MemorySystem;
+/// use fgnvm_types::config::SystemConfig;
+/// use fgnvm_types::PhysAddr;
+///
+/// let trace = Trace::new(
+///     "two-rows",
+///     vec![
+///         TraceRecord::read(100, PhysAddr::new(0)),
+///         TraceRecord::read(100, PhysAddr::new(1 << 20)),
+///     ],
+/// );
+/// let core = Core::new(CoreConfig::nehalem_like())?;
+/// let mut memory = MemorySystem::new(SystemConfig::fgnvm(8, 2)?)?;
+/// let result = core.run(&trace, &mut memory);
+/// assert_eq!(result.instructions, trace.instruction_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core {
+    config: CoreConfig,
+}
+
+impl Core {
+    /// Creates a core with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: CoreConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Core { config })
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Runs `trace` to completion against any [`MemoryBackend`] (the flat
+    /// `MemorySystem` or a DRAM-buffered hybrid), returning IPC and
+    /// related metrics. The memory is driven in lock-step and left fully
+    /// drained afterwards (so its energy totals cover the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal safety bound (which
+    /// would indicate a deadlock in the memory system).
+    pub fn run<M: MemoryBackend>(&self, trace: &Trace, memory: &mut M) -> CoreResult {
+        let mut engine = CoreEngine::new(self.config, trace);
+        let start_mem_cycle = memory.now();
+        let mut cpu_cycle: u64 = 0;
+        let mut completions = Vec::new();
+        // Safety bound: a trace instruction should never take more than
+        // ~10^5 CPU cycles even under pathological conflicts.
+        let cycle_limit = 200_000 + trace.instruction_count() * 100_000;
+        while !engine.is_done() {
+            assert!(cpu_cycle < cycle_limit, "core deadlocked against memory");
+            // Memory ticks once per `cpu_mem_ratio` CPU cycles.
+            if cpu_cycle.is_multiple_of(u64::from(self.config.cpu_mem_ratio)) {
+                completions.clear();
+                memory.tick_into(&mut completions);
+                engine.absorb_completions(&completions);
+                engine.issue_prefetches(memory);
+            }
+            engine.step(memory);
+            cpu_cycle += 1;
+        }
+        // Drain remaining write traffic so energy covers the whole run.
+        memory.run_until_idle(10_000_000);
+        engine.result(cpu_cycle, (memory.now() - start_mem_cycle).raw())
+    }
+}
+
+/// Prefetcher sizing shared by all engines.
+const PREFETCH_INFLIGHT_MAX: usize = 32;
+const PREFETCH_BUFFER_LINES: usize = 128;
+const STREAM_TABLE: usize = 16;
+
+/// The per-cycle state machine of one windowed core: dispatch/issue
+/// bookkeeping, MSHR merging, dependence stalls, and the stream
+/// prefetcher. [`Core::run`] drives one engine; [`MultiCore`] drives
+/// several against a shared memory.
+///
+/// [`MultiCore`]: crate::multicore::MultiCore
+#[derive(Debug)]
+pub(crate) struct CoreEngine<'t> {
+    cfg: CoreConfig,
+    records: &'t [crate::trace::TraceRecord],
+    record_index: usize,
+    gap_left: u32,
+    issued_instructions: u64,
+    load_positions: HashMap<RequestId, u64>,
+    line_waiters: HashMap<u64, RequestId>,
+    oldest_load: Option<u64>,
+    stall_cycles: u64,
+    prefetch_inflight: HashMap<RequestId, u64>,
+    prefetch_buffer: HashSet<u64>,
+    prefetch_fifo: VecDeque<u64>,
+    prefetch_queue: VecDeque<u64>,
+    streams: VecDeque<(u64, u64, i32)>,
+}
+
+impl<'t> CoreEngine<'t> {
+    pub(crate) fn new(cfg: CoreConfig, trace: &'t Trace) -> Self {
+        let records = trace.records();
+        CoreEngine {
+            cfg,
+            records,
+            record_index: 0,
+            gap_left: records.first().map_or(0, |r| r.gap),
+            issued_instructions: 0,
+            load_positions: HashMap::new(),
+            line_waiters: HashMap::new(),
+            oldest_load: None,
+            stall_cycles: 0,
+            prefetch_inflight: HashMap::new(),
+            prefetch_buffer: HashSet::new(),
+            prefetch_fifo: VecDeque::new(),
+            prefetch_queue: VecDeque::new(),
+            streams: VecDeque::new(),
+        }
+    }
+
+    /// True once the trace is fully issued and no loads are outstanding.
+    pub(crate) fn is_done(&self) -> bool {
+        self.record_index >= self.records.len() && self.load_positions.is_empty()
+    }
+
+    /// Notes completed memory requests (other cores' ids are ignored).
+    pub(crate) fn absorb_completions(&mut self, completions: &[fgnvm_types::Completion]) {
+        for c in completions {
+            if c.op.is_read() {
+                if self.load_positions.remove(&c.id).is_some() {
+                    self.line_waiters.retain(|_, id| *id != c.id);
+                    self.oldest_load = self.load_positions.values().copied().min();
+                } else if let Some(line) = self.prefetch_inflight.remove(&c.id) {
+                    self.line_waiters.retain(|_, id| *id != c.id);
+                    if self.prefetch_buffer.insert(line) {
+                        self.prefetch_fifo.push_back(line);
+                        if self.prefetch_fifo.len() > PREFETCH_BUFFER_LINES {
+                            if let Some(evicted) = self.prefetch_fifo.pop_front() {
+                                self.prefetch_buffer.remove(&evicted);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues queued prefetches with whatever bandwidth is left.
+    pub(crate) fn issue_prefetches<M: MemoryBackend>(&mut self, memory: &mut M) {
+        while self.prefetch_inflight.len() < PREFETCH_INFLIGHT_MAX {
+            let Some(line) = self.prefetch_queue.pop_front() else {
+                break;
+            };
+            if self.prefetch_buffer.contains(&line) || self.line_waiters.contains_key(&line) {
+                continue;
+            }
+            let addr = fgnvm_types::PhysAddr::new(line << 6);
+            match memory.enqueue_prefetch(addr) {
+                Some(id) => {
+                    self.prefetch_inflight.insert(id, line);
+                    self.line_waiters.insert(line, id);
+                }
+                None => {
+                    // Throttled or queue full: drop (best effort).
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Executes one CPU cycle: dispatches up to `width` instructions.
+    pub(crate) fn step<M: MemoryBackend>(&mut self, memory: &mut M) {
+        let cfg = self.cfg;
+        let mut slots = cfg.width;
+        while slots > 0 && self.record_index < self.records.len() {
+            // ROB window check against the oldest outstanding load.
+            if let Some(oldest) = self.oldest_load {
+                if self.issued_instructions - oldest >= u64::from(cfg.rob_entries) {
+                    break; // window full: stall
+                }
+            }
+            if self.gap_left > 0 {
+                self.gap_left -= 1;
+                self.issued_instructions += 1;
+                slots -= 1;
+                continue;
+            }
+            // The memory operation of the current record.
+            let record = self.records[self.record_index];
+            match record.op {
+                Op::Read => {
+                    // Pointer-chase dependence: wait for all loads.
+                    if record.dependent && !self.load_positions.is_empty() {
+                        break;
+                    }
+                    let line = record.addr.raw() >> 6;
+                    if self.prefetch_buffer.contains(&line) {
+                        // Prefetch hit: the line is already on chip.
+                        self.issued_instructions += 1;
+                        slots -= 1;
+                    } else if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.line_waiters.entry(line)
+                    {
+                        if self.load_positions.len() >= cfg.mshrs as usize {
+                            break; // no MSHR: stall
+                        }
+                        match memory.enqueue(Op::Read, record.addr) {
+                            Some(id) => {
+                                self.load_positions.insert(id, self.issued_instructions);
+                                e.insert(id);
+                                if self.oldest_load.is_none() {
+                                    self.oldest_load = Some(self.issued_instructions);
+                                }
+                                // Train the stream prefetcher.
+                                if cfg.prefetch_degree > 0 {
+                                    let page = line >> 6; // 64 lines = 4 KB
+                                    let entry =
+                                        self.streams.iter_mut().find(|(p, _, _)| *p == page);
+                                    match entry {
+                                        Some((_, last, conf)) => {
+                                            if line == *last + 1 {
+                                                *conf = (*conf + 1).min(4);
+                                            } else {
+                                                *conf -= 1;
+                                            }
+                                            *last = line;
+                                            if *conf >= 2 {
+                                                for d in 1..=u64::from(cfg.prefetch_degree) {
+                                                    self.prefetch_queue.push_back(line + d);
+                                                }
+                                            }
+                                        }
+                                        None => {
+                                            self.streams.push_back((page, line, 0));
+                                            if self.streams.len() > STREAM_TABLE {
+                                                self.streams.pop_front();
+                                            }
+                                        }
+                                    }
+                                    if self.prefetch_queue.len() > 4 * PREFETCH_INFLIGHT_MAX {
+                                        self.prefetch_queue.drain(..PREFETCH_INFLIGHT_MAX);
+                                    }
+                                }
+                                self.issued_instructions += 1;
+                                slots -= 1;
+                            }
+                            None => break, // queue full: stall
+                        }
+                    } else {
+                        // MSHR merge: piggyback on the in-flight miss
+                        // (demand or prefetch).
+                        self.issued_instructions += 1;
+                        slots -= 1;
+                    }
+                }
+                Op::Write => match memory.enqueue(Op::Write, record.addr) {
+                    Some(_) => {
+                        self.issued_instructions += 1;
+                        slots -= 1;
+                    }
+                    None => break, // write queue full: stall
+                },
+            }
+            self.record_index += 1;
+            self.gap_left = self.records.get(self.record_index).map_or(0, |r| r.gap);
+        }
+        if slots == cfg.width && self.record_index < self.records.len() {
+            self.stall_cycles += 1;
+        }
+    }
+
+    /// Packages the result after the driver finishes.
+    pub(crate) fn result(&self, cpu_cycles: u64, mem_cycles: u64) -> CoreResult {
+        CoreResult {
+            instructions: self.issued_instructions,
+            cpu_cycles: cpu_cycles.max(1),
+            mem_cycles,
+            stall_cycles: self.stall_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use fgnvm_mem::MemorySystem;
+    use fgnvm_types::address::PhysAddr;
+    use fgnvm_types::config::SystemConfig;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(SystemConfig::baseline()).unwrap()
+    }
+
+    fn read_at(gap: u32, addr: u64) -> TraceRecord {
+        TraceRecord::read(gap, PhysAddr::new(addr))
+    }
+
+    #[test]
+    fn compute_bound_trace_hits_full_width() {
+        // Huge gaps: IPC should approach the core width.
+        let trace = Trace::new("compute", vec![read_at(100_000, 0)]);
+        let core = Core::new(CoreConfig::nehalem_like()).unwrap();
+        let result = core.run(&trace, &mut mem());
+        assert!(result.ipc() > 3.5, "ipc {} should be near 4", result.ipc());
+    }
+
+    #[test]
+    fn stall_accounting_tracks_memory_boundedness() {
+        let compute = Trace::new("compute", vec![read_at(100_000, 0)]);
+        let mem_bound: Vec<TraceRecord> = (0..50u64)
+            .map(|i| TraceRecord::dependent_read(0, PhysAddr::new(i * 32 * 1024 * 1024)))
+            .collect();
+        let mem_bound = Trace::new("membound", mem_bound);
+        let core = Core::new(CoreConfig::no_prefetch()).unwrap();
+        let light = core.run(&compute, &mut mem());
+        let heavy = core.run(&mem_bound, &mut mem());
+        assert!(
+            light.stall_fraction() < 0.05,
+            "compute stalls {}",
+            light.stall_fraction()
+        );
+        assert!(
+            heavy.stall_fraction() > 0.8,
+            "membound stalls {}",
+            heavy.stall_fraction()
+        );
+    }
+
+    #[test]
+    fn memory_bound_trace_is_slow() {
+        // Dependent-miss behaviour: serial row misses dominate.
+        let records: Vec<TraceRecord> = (0..50u64)
+            .map(|i| read_at(0, i * 32 * 1024 * 1024))
+            .collect();
+        let trace = Trace::new("membound", records);
+        let core = Core::new(CoreConfig {
+            mshrs: 1,
+            ..CoreConfig::nehalem_like()
+        })
+        .unwrap();
+        let result = core.run(&trace, &mut mem());
+        assert!(result.ipc() < 0.1, "ipc {} should be tiny", result.ipc());
+    }
+
+    #[test]
+    fn mlp_improves_ipc() {
+        // Same misses, but 16 MSHRs overlap them across banks.
+        let records: Vec<TraceRecord> = (0..64u64).map(|i| read_at(8, i * 1024)).collect();
+        let trace = Trace::new("mlp", records);
+        let narrow = Core::new(CoreConfig {
+            mshrs: 1,
+            ..CoreConfig::nehalem_like()
+        })
+        .unwrap();
+        let wide = Core::new(CoreConfig {
+            mshrs: 16,
+            ..CoreConfig::nehalem_like()
+        })
+        .unwrap();
+        let slow = narrow.run(&trace, &mut mem());
+        let fast = wide.run(&trace, &mut mem());
+        assert!(
+            fast.ipc() > slow.ipc() * 1.5,
+            "mlp ipc {} vs serial {}",
+            fast.ipc(),
+            slow.ipc()
+        );
+    }
+
+    #[test]
+    fn same_line_misses_merge() {
+        let records: Vec<TraceRecord> = (0..8).map(|_| read_at(0, 0x40)).collect();
+        let trace = Trace::new("merge", records);
+        let core = Core::new(CoreConfig::no_prefetch()).unwrap();
+        let mut memory = mem();
+        core.run(&trace, &mut memory);
+        // Only one actual memory read was issued.
+        assert_eq!(memory.stats().enqueued_reads, 1);
+    }
+
+    #[test]
+    fn dependent_reads_serialize() {
+        let records: Vec<TraceRecord> = (0..32u64)
+            .map(|i| TraceRecord::dependent_read(0, PhysAddr::new(i * 1024)))
+            .collect();
+        let independent: Vec<TraceRecord> = (0..32u64).map(|i| read_at(0, i * 1024)).collect();
+        let core = Core::new(CoreConfig::nehalem_like()).unwrap();
+        let chained = core.run(&Trace::new("chase", records), &mut mem());
+        let parallel = core.run(&Trace::new("par", independent), &mut mem());
+        assert!(
+            chained.cpu_cycles > parallel.cpu_cycles * 2,
+            "dependence should serialize: {} vs {}",
+            chained.cpu_cycles,
+            parallel.cpu_cycles
+        );
+    }
+
+    #[test]
+    fn writes_are_posted() {
+        let records: Vec<TraceRecord> = (0..8u64)
+            .map(|i| TraceRecord::write(0, PhysAddr::new(i * 4096)))
+            .collect();
+        let trace = Trace::new("writes", records);
+        let core = Core::new(CoreConfig::nehalem_like()).unwrap();
+        let result = core.run(&trace, &mut mem());
+        // Posted writes retire at core speed: 8 writes in a handful of
+        // cycles, not 8 × tWP.
+        assert!(
+            result.cpu_cycles < 100,
+            "writes stalled: {} cycles",
+            result.cpu_cycles
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace::new("empty", vec![]);
+        let core = Core::new(CoreConfig::nehalem_like()).unwrap();
+        let result = core.run(&trace, &mut mem());
+        assert_eq!(result.instructions, 0);
+        assert_eq!(result.ipc(), 0.0);
+    }
+
+    #[test]
+    fn in_order_core_is_slower_than_ooo() {
+        let records: Vec<TraceRecord> = (0..32u64).map(|i| read_at(10, i * 1024)).collect();
+        let trace = Trace::new("cmp", records);
+        let ooo = Core::new(CoreConfig::nehalem_like()).unwrap();
+        let ino = Core::new(CoreConfig::in_order()).unwrap();
+        let fast = ooo.run(&trace, &mut mem());
+        let slow = ino.run(&trace, &mut mem());
+        assert!(
+            fast.ipc() > slow.ipc() * 2.0,
+            "ooo {} should dwarf in-order {}",
+            fast.ipc(),
+            slow.ipc()
+        );
+    }
+
+    #[test]
+    fn zero_config_rejected() {
+        let bad = CoreConfig {
+            width: 0,
+            ..CoreConfig::nehalem_like()
+        };
+        assert!(Core::new(bad).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! A set-associative last-level cache with LRU replacement.
+//!
+//! The paper selects SPEC2006 workloads by their LLC miss rate (MPKI ≥ 10)
+//! and feeds only misses to the memory simulator. Our synthetic generators
+//! emit miss streams directly, but this filter lets users replay *raw*
+//! access streams through a cache first, producing the same kind of trace
+//! plus dirty-eviction writebacks.
+
+use fgnvm_types::address::PhysAddr;
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::request::Op;
+
+/// What a cache access produced at the memory side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served by the cache; no memory traffic.
+    Hit,
+    /// Missed; a fill read goes to memory, and optionally a dirty
+    /// writeback of the evicted line.
+    Miss {
+        /// Address of a dirty line evicted to make room, if any.
+        writeback: Option<PhysAddr>,
+    },
+}
+
+/// Set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// ```
+/// use fgnvm_cpu::{CacheOutcome, LastLevelCache};
+/// use fgnvm_types::request::Op;
+/// use fgnvm_types::PhysAddr;
+///
+/// let mut llc = LastLevelCache::nehalem_like();
+/// assert!(matches!(llc.access(PhysAddr::new(0), Op::Read), CacheOutcome::Miss { .. }));
+/// assert_eq!(llc.access(PhysAddr::new(0), Op::Read), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LastLevelCache {
+    sets: u32,
+    ways: u32,
+    line_bytes: u32,
+    /// `sets × ways` tags; `None` = invalid. Per-entry (tag, dirty, lru).
+    entries: Vec<Option<Line>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+impl LastLevelCache {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity
+    /// and `line_bytes` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is zero, not a power of
+    /// two, or inconsistent.
+    pub fn new(capacity_bytes: u64, ways: u32, line_bytes: u32) -> Result<Self, ConfigError> {
+        if ways == 0 || !ways.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "ways",
+                value: ways,
+            });
+        }
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "line_bytes",
+                value: line_bytes,
+            });
+        }
+        let lines = capacity_bytes / u64::from(line_bytes);
+        if lines == 0 || !lines.is_multiple_of(u64::from(ways)) {
+            return Err(ConfigError::Invalid {
+                field: "capacity_bytes",
+                reason: "capacity must be a multiple of ways × line size",
+            });
+        }
+        let sets = (lines / u64::from(ways)) as u32;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "sets",
+                value: sets,
+            });
+        }
+        Ok(LastLevelCache {
+            sets,
+            ways,
+            line_bytes,
+            entries: vec![None; (sets * ways) as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// An 8 MB, 16-way, 64 B-line LLC (Nehalem-class).
+    pub fn nehalem_like() -> Self {
+        LastLevelCache::new(8 * 1024 * 1024, 16, 64).expect("preset is valid")
+    }
+
+    /// Performs one access, returning what reaches memory.
+    pub fn access(&mut self, addr: PhysAddr, op: Op) -> CacheOutcome {
+        self.tick += 1;
+        let line_addr = addr.raw() / u64::from(self.line_bytes);
+        let set = (line_addr % u64::from(self.sets)) as u32;
+        let tag = line_addr / u64::from(self.sets);
+        let base = (set * self.ways) as usize;
+        let set_entries = &mut self.entries[base..base + self.ways as usize];
+
+        // Hit?
+        for line in set_entries.iter_mut().flatten() {
+            if line.tag == tag {
+                line.lru = self.tick;
+                line.dirty |= op.is_write();
+                self.hits += 1;
+                return CacheOutcome::Hit;
+            }
+        }
+        self.misses += 1;
+        // Choose a victim: an invalid way, else the LRU line.
+        let victim = set_entries
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                set_entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.map(|l| l.lru).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .expect("set has ways")
+            });
+        let writeback = set_entries[victim].and_then(|line| {
+            line.dirty.then(|| {
+                let victim_line = line.tag * u64::from(self.sets) + u64::from(set);
+                PhysAddr::new(victim_line * u64::from(self.line_bytes))
+            })
+        });
+        set_entries[victim] = Some(Line {
+            tag,
+            dirty: op.is_write(),
+            lru: self.tick,
+        });
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero before any access.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LastLevelCache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        LastLevelCache::new(512, 2, 64).unwrap()
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(matches!(
+            c.access(PhysAddr::new(0), Op::Read),
+            CacheOutcome::Miss { .. }
+        ));
+        assert_eq!(c.access(PhysAddr::new(0), Op::Read), CacheOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (stride = sets × line = 256 B).
+        c.access(PhysAddr::new(0), Op::Read);
+        c.access(PhysAddr::new(256), Op::Read);
+        c.access(PhysAddr::new(0), Op::Read); // refresh line 0
+        c.access(PhysAddr::new(512), Op::Read); // evicts line 256
+        assert_eq!(c.access(PhysAddr::new(0), Op::Read), CacheOutcome::Hit);
+        assert!(matches!(
+            c.access(PhysAddr::new(256), Op::Read),
+            CacheOutcome::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), Op::Write);
+        c.access(PhysAddr::new(256), Op::Read);
+        // Evict the dirty line 0.
+        let outcome = c.access(PhysAddr::new(512), Op::Read);
+        let CacheOutcome::Miss { writeback } = outcome else {
+            panic!("expected miss");
+        };
+        // One of the two victims is LRU line 0 (dirty).
+        assert_eq!(writeback, Some(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), Op::Read);
+        c.access(PhysAddr::new(256), Op::Read);
+        let outcome = c.access(PhysAddr::new(512), Op::Read);
+        assert_eq!(outcome, CacheOutcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), Op::Read);
+        c.access(PhysAddr::new(0), Op::Write); // hit, now dirty
+        c.access(PhysAddr::new(256), Op::Read);
+        let outcome = c.access(PhysAddr::new(512), Op::Read);
+        assert!(matches!(outcome, CacheOutcome::Miss { writeback: Some(_) }));
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), Op::Read);
+        c.access(PhysAddr::new(0), Op::Read);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(LastLevelCache::new(512, 3, 64).is_err());
+        assert!(LastLevelCache::new(512, 2, 48).is_err());
+        assert!(LastLevelCache::new(100, 2, 64).is_err());
+    }
+
+    #[test]
+    fn preset_is_reasonable() {
+        let c = LastLevelCache::nehalem_like();
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+}

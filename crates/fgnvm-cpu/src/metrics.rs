@@ -1,0 +1,77 @@
+//! Results of a core run.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running one trace on one memory configuration.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// CPU cycles elapsed.
+    pub cpu_cycles: u64,
+    /// Memory-controller cycles consumed (including the final drain).
+    pub mem_cycles: u64,
+    /// CPU cycles in which not a single instruction issued (full stalls —
+    /// ROB window full, MSHRs exhausted, or queue backpressure).
+    pub stall_cycles: u64,
+}
+
+impl CoreResult {
+    /// Instructions per CPU cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Fraction of CPU cycles fully stalled, in `[0, 1]`.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline` (ratio of IPCs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline IPC is zero.
+    pub fn speedup_over(&self, baseline: &CoreResult) -> f64 {
+        let base = baseline.ipc();
+        assert!(base > 0.0, "baseline ipc must be positive");
+        self.ipc() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = CoreResult {
+            instructions: 1000,
+            cpu_cycles: 1000,
+            mem_cycles: 125,
+            stall_cycles: 600,
+        };
+        let fast = CoreResult {
+            instructions: 1000,
+            cpu_cycles: 500,
+            mem_cycles: 63,
+            stall_cycles: 100,
+        };
+        assert!((base.stall_fraction() - 0.6).abs() < 1e-12);
+        assert!((base.ipc() - 1.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_ipc() {
+        assert_eq!(CoreResult::default().ipc(), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Multi-core simulation: several windowed cores, each replaying its own
+//! trace, sharing one memory system.
+//!
+//! Unlike interleaving traces onto one core (see
+//! `fgnvm_workloads::mix::interleave`), each core here has its *own*
+//! reorder window, MSHRs, and prefetcher — contention happens where it
+//! physically does, in the shared memory controller and banks. Standard
+//! multiprogramming metrics ([`weighted_speedup`], [`fairness`]) compare
+//! the shared run against solo baselines.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fgnvm_cpu::{CoreConfig, MultiCore, Trace, TraceRecord};
+//! use fgnvm_mem::MemorySystem;
+//! use fgnvm_types::config::SystemConfig;
+//! use fgnvm_types::PhysAddr;
+//!
+//! // Two cores, each with its own miss stream.
+//! let traces: Vec<Trace> = (0..2u64)
+//!     .map(|core| {
+//!         Trace::new(
+//!             format!("core{core}"),
+//!             (0..200u64)
+//!                 .map(|i| TraceRecord::read(30, PhysAddr::new((core * 977 + i) * 8192)))
+//!                 .collect(),
+//!         )
+//!     })
+//!     .collect();
+//! let mut memory = MemorySystem::new(SystemConfig::fgnvm(8, 8)?)?;
+//! let multi = MultiCore::new(CoreConfig::nehalem_like(), 2)?;
+//! let results = multi.run(&traces, &mut memory);
+//! assert_eq!(results.per_core.len(), 2);
+//! assert!(results.throughput() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use fgnvm_mem::MemoryBackend;
+use fgnvm_types::error::ConfigError;
+
+use crate::core::{CoreConfig, CoreEngine};
+use crate::metrics::CoreResult;
+use crate::trace::Trace;
+
+/// Outcome of a multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiCoreResult {
+    /// Per-core results; `cpu_cycles` is each core's own finish time on
+    /// the shared clock.
+    pub per_core: Vec<CoreResult>,
+    /// Cycles until the *last* core finished.
+    pub total_cycles: u64,
+}
+
+impl MultiCoreResult {
+    /// Sum of per-core IPCs (system throughput).
+    pub fn throughput(&self) -> f64 {
+        self.per_core.iter().map(CoreResult::ipc).sum()
+    }
+}
+
+/// Weighted speedup: `Σ shared_ipc[i] / solo_ipc[i]` (Snavely & Tullsen).
+/// Equals the core count when sharing costs nothing.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a solo IPC is zero.
+pub fn weighted_speedup(shared: &[CoreResult], solo: &[CoreResult]) -> f64 {
+    assert_eq!(shared.len(), solo.len(), "core count mismatch");
+    shared
+        .iter()
+        .zip(solo)
+        .map(|(s, alone)| {
+            let base = alone.ipc();
+            assert!(base > 0.0, "solo ipc must be positive");
+            s.ipc() / base
+        })
+        .sum()
+}
+
+/// Fairness: `min(slowdown) / max(slowdown)` over cores, in `(0, 1]`
+/// (1 = every core suffers equally from sharing).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an IPC is zero.
+pub fn fairness(shared: &[CoreResult], solo: &[CoreResult]) -> f64 {
+    assert_eq!(shared.len(), solo.len(), "core count mismatch");
+    let slowdowns: Vec<f64> = shared
+        .iter()
+        .zip(solo)
+        .map(|(s, alone)| {
+            assert!(s.ipc() > 0.0 && alone.ipc() > 0.0, "ipcs must be positive");
+            alone.ipc() / s.ipc()
+        })
+        .collect();
+    let max = slowdowns.iter().cloned().fold(f64::MIN, f64::max);
+    let min = slowdowns.iter().cloned().fold(f64::MAX, f64::min);
+    min / max
+}
+
+/// Driver for `cores` identical windowed cores over one memory system.
+#[derive(Debug, Clone)]
+pub struct MultiCore {
+    config: CoreConfig,
+    cores: usize,
+}
+
+impl MultiCore {
+    /// Creates a driver for `cores` cores with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid or `cores`
+    /// is zero.
+    pub fn new(config: CoreConfig, cores: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if cores == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "cores",
+                expected: "at least 1",
+            });
+        }
+        Ok(MultiCore { config, cores })
+    }
+
+    /// Runs one trace per core to completion on the shared `memory`.
+    /// Cores beyond `traces.len()` idle; traces beyond the core count are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal safety bound.
+    pub fn run<M: MemoryBackend>(&self, traces: &[Trace], memory: &mut M) -> MultiCoreResult {
+        let active = self.cores.min(traces.len());
+        let mut engines: Vec<CoreEngine<'_>> = traces[..active]
+            .iter()
+            .map(|t| CoreEngine::new(self.config, t))
+            .collect();
+        let mut finish_cycle: Vec<Option<u64>> = vec![None; active];
+        let start_mem_cycle = memory.now();
+        let mut completions = Vec::new();
+        let mut cpu_cycle: u64 = 0;
+        let total_instructions: u64 = traces[..active].iter().map(Trace::instruction_count).sum();
+        let cycle_limit = 400_000 + total_instructions * 100_000;
+
+        while engines.iter().any(|e| !e.is_done()) {
+            assert!(
+                cpu_cycle < cycle_limit,
+                "multi-core deadlocked against memory"
+            );
+            if cpu_cycle.is_multiple_of(u64::from(self.config.cpu_mem_ratio)) {
+                completions.clear();
+                memory.tick_into(&mut completions);
+                // Ids are globally unique, so every engine can safely scan
+                // the full completion list.
+                for engine in &mut engines {
+                    engine.absorb_completions(&completions);
+                }
+                // Rotate prefetch priority so core 0 doesn't monopolize the
+                // queue headroom.
+                let n = engines.len();
+                let first = (cpu_cycle / u64::from(self.config.cpu_mem_ratio)) as usize % n;
+                for k in 0..n {
+                    engines[(first + k) % n].issue_prefetches(memory);
+                }
+            }
+            for (i, engine) in engines.iter_mut().enumerate() {
+                if !engine.is_done() {
+                    engine.step(memory);
+                    if engine.is_done() && finish_cycle[i].is_none() {
+                        finish_cycle[i] = Some(cpu_cycle + 1);
+                    }
+                }
+            }
+            cpu_cycle += 1;
+        }
+
+        memory.run_until_idle(10_000_000);
+        let mem_cycles = (memory.now() - start_mem_cycle).raw();
+        let per_core = engines
+            .iter()
+            .zip(&finish_cycle)
+            .map(|(engine, finish)| engine.result(finish.unwrap_or(cpu_cycle).max(1), mem_cycles))
+            .collect();
+        MultiCoreResult {
+            per_core,
+            total_cycles: cpu_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Core;
+    use fgnvm_mem::MemorySystem;
+    use fgnvm_types::config::SystemConfig;
+
+    /// Builds `n` distinct synthetic mixed read/write miss streams
+    /// (fgnvm-workloads cannot be used here — it depends on this crate).
+    fn traces(n: usize, ops: usize) -> Vec<Trace> {
+        use crate::trace::TraceRecord;
+        use fgnvm_types::PhysAddr;
+        (0..n as u64)
+            .map(|seed| {
+                let records = (0..ops as u64)
+                    .map(|i| {
+                        let addr =
+                            (i.wrapping_mul(0x9E37_79B9).wrapping_add(seed * 977)) & 0xFFF_FFC0;
+                        if i % 4 == 0 {
+                            TraceRecord::write(20, PhysAddr::new(addr))
+                        } else {
+                            TraceRecord::read(20, PhysAddr::new(addr))
+                        }
+                    })
+                    .collect();
+                Trace::new(format!("core{seed}"), records)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_memory_slows_each_core() {
+        let ts = traces(2, 400);
+        let cfg = CoreConfig::no_prefetch();
+        // Solo runs.
+        let core = Core::new(cfg).unwrap();
+        let solo: Vec<CoreResult> = ts
+            .iter()
+            .map(|t| {
+                let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+                core.run(t, &mut mem)
+            })
+            .collect();
+        // Shared run.
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let shared = MultiCore::new(cfg, 2).unwrap().run(&ts, &mut mem);
+        assert_eq!(shared.per_core.len(), 2);
+        for (s, alone) in shared.per_core.iter().zip(&solo) {
+            assert_eq!(s.instructions, alone.instructions);
+            assert!(
+                s.ipc() <= alone.ipc() * 1.01,
+                "sharing cannot speed a core up"
+            );
+        }
+        let ws = weighted_speedup(&shared.per_core, &solo);
+        assert!(ws > 1.0 && ws <= 2.0, "weighted speedup {ws}");
+        let f = fairness(&shared.per_core, &solo);
+        assert!((0.0..=1.0 + 1e-9).contains(&f), "fairness {f}");
+    }
+
+    #[test]
+    fn subdivision_helps_consolidation() {
+        let ts = traces(4, 300);
+        let cfg = CoreConfig::no_prefetch();
+        let mut base = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        let mut fg = MemorySystem::new(SystemConfig::fgnvm(8, 8).unwrap()).unwrap();
+        let multi = MultiCore::new(cfg, 4).unwrap();
+        let on_base = multi.run(&ts, &mut base);
+        let on_fg = multi.run(&ts, &mut fg);
+        assert!(
+            on_fg.throughput() > on_base.throughput(),
+            "fgnvm throughput {} should beat baseline {}",
+            on_fg.throughput(),
+            on_base.throughput()
+        );
+    }
+
+    #[test]
+    fn single_core_multicore_matches_core() {
+        let ts = traces(1, 300);
+        let cfg = CoreConfig::no_prefetch();
+        let mut mem_a = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let mut mem_b = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let solo = Core::new(cfg).unwrap().run(&ts[0], &mut mem_a);
+        let multi = MultiCore::new(cfg, 1).unwrap().run(&ts, &mut mem_b);
+        assert_eq!(multi.per_core[0].instructions, solo.instructions);
+        assert_eq!(multi.per_core[0].cpu_cycles, solo.cpu_cycles);
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        assert!(MultiCore::new(CoreConfig::no_prefetch(), 0).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! A structural reorder-buffer core model.
+//!
+//! Where [`Core`](crate::Core) tracks only the *window distance* to the
+//! oldest outstanding load, `RobCore` models the reorder buffer as an
+//! actual queue of instructions with dispatch, issue, completion, and
+//! in-order retirement. It is slower to simulate but structurally faithful:
+//!
+//! * **dispatch** — up to `width` instructions per cycle enter the ROB
+//!   while space remains;
+//! * **issue** — loads issue to memory in program order as MSHRs and queue
+//!   slots allow (dependent loads wait for all older loads, modeling a
+//!   data-dependence chain); stores are posted at dispatch through the
+//!   write queue's backpressure;
+//! * **retire** — up to `width` instructions per cycle leave from the head;
+//!   a load must have its data, everything else retires freely.
+//!
+//! The two models cross-validate each other (see the `model_agreement`
+//! tests and `tests/cross_crate_props.rs`): absolute IPCs differ by small
+//! factors, but design-ordering conclusions must agree. `RobCore` has no
+//! prefetcher; compare against [`CoreConfig::no_prefetch`].
+
+use std::collections::{HashMap, VecDeque};
+
+use fgnvm_mem::MemoryBackend;
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::request::{Op, RequestId};
+
+use crate::metrics::CoreResult;
+use crate::trace::Trace;
+
+use crate::core::CoreConfig;
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RobEntry {
+    /// A non-memory instruction; retires freely.
+    Compute,
+    /// A load: `done` once its data is back.
+    Load { done: bool, dependent: bool },
+    /// A store: posted to the write queue at dispatch; retires freely.
+    Store,
+}
+
+/// Structural ROB core; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct RobCore {
+    config: CoreConfig,
+}
+
+impl RobCore {
+    /// Creates a ROB core with the given configuration (the
+    /// `prefetch_degree` field is ignored — this model has no prefetcher).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: CoreConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(RobCore { config })
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Runs `trace` to completion against `memory`; see
+    /// [`Core::run`](crate::Core::run) for the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal safety bound (which
+    /// would indicate a deadlock in the memory system).
+    pub fn run<M: MemoryBackend>(&self, trace: &Trace, memory: &mut M) -> CoreResult {
+        let cfg = &self.config;
+        let records = trace.records();
+        let mut record_index = 0usize;
+        let mut gap_left = records.first().map_or(0, |r| r.gap);
+        // ROB entries keyed by monotonically increasing sequence numbers.
+        let mut rob: VecDeque<(u64, RobEntry)> = VecDeque::new();
+        let mut next_seq: u64 = 0;
+        // Loads waiting to issue, in program order, with their line
+        // addresses carried alongside.
+        let mut unissued: VecDeque<u64> = VecDeque::new();
+        let mut unissued_addr: VecDeque<(u64, u64)> = VecDeque::new();
+        // In-flight loads: memory id → ROB sequence(s) awaiting that line.
+        let mut inflight: HashMap<RequestId, Vec<u64>> = HashMap::new();
+        // Line → in-flight request id, for MSHR merging.
+        let mut line_waiters: HashMap<u64, RequestId> = HashMap::new();
+        let mut outstanding_loads: usize = 0;
+        let mut retired: u64 = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut cpu_cycle: u64 = 0;
+        let mut completions = Vec::new();
+        let start_mem_cycle = memory.now();
+        let cycle_limit = 200_000 + trace.instruction_count() * 100_000;
+
+        let set_done = |rob: &mut VecDeque<(u64, RobEntry)>, seq: u64| {
+            let head_seq = rob.front().map(|(s, _)| *s).unwrap_or(0);
+            if let Some((_, RobEntry::Load { done, .. })) = rob.get_mut((seq - head_seq) as usize) {
+                *done = true;
+            }
+        };
+
+        while record_index < records.len() || !rob.is_empty() {
+            assert!(
+                cpu_cycle < cycle_limit,
+                "rob core deadlocked against memory"
+            );
+            // Memory ticks once per cpu_mem_ratio CPU cycles.
+            if cpu_cycle.is_multiple_of(u64::from(cfg.cpu_mem_ratio)) {
+                completions.clear();
+                memory.tick_into(&mut completions);
+                for c in &completions {
+                    if c.op.is_read() {
+                        if let Some(seqs) = inflight.remove(&c.id) {
+                            for seq in seqs {
+                                set_done(&mut rob, seq);
+                            }
+                            line_waiters.retain(|_, id| *id != c.id);
+                            outstanding_loads = outstanding_loads.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+
+            // Issue pending loads in program order.
+            while let Some(&seq) = unissued.front() {
+                let head_seq = rob.front().map(|(s, _)| *s).unwrap_or(0);
+                let Some((_, entry)) = rob.get((seq - head_seq) as usize) else {
+                    break;
+                };
+                let RobEntry::Load { dependent, .. } = *entry else {
+                    break;
+                };
+                if dependent && outstanding_loads > 0 {
+                    break; // dependence chain: wait for older loads
+                }
+                if outstanding_loads >= cfg.mshrs as usize {
+                    break; // no MSHR
+                }
+                // Which address? Loads issue in program order, so replay the
+                // record stream: we stash the line address in the entry via
+                // a parallel queue instead.
+                let Some(&(_, line)) = unissued_addr.front() else {
+                    break;
+                };
+                debug_assert_eq!(unissued_addr.front().map(|(s, _)| *s), Some(seq));
+                if let Some(&leader) = line_waiters.get(&line) {
+                    // Merge with the in-flight miss for this line.
+                    inflight.entry(leader).or_default().push(seq);
+                    unissued.pop_front();
+                    unissued_addr.pop_front();
+                    continue;
+                }
+                match memory.enqueue(Op::Read, fgnvm_types::PhysAddr::new(line << 6)) {
+                    Some(id) => {
+                        inflight.insert(id, vec![seq]);
+                        line_waiters.insert(line, id);
+                        outstanding_loads += 1;
+                        unissued.pop_front();
+                        unissued_addr.pop_front();
+                    }
+                    None => break, // queue full
+                }
+            }
+
+            // Retire up to width from the head.
+            let mut retired_this_cycle = 0;
+            while retired_this_cycle < cfg.width {
+                match rob.front() {
+                    Some((_, RobEntry::Load { done: false, .. })) | None => break,
+                    Some(_) => {
+                        rob.pop_front();
+                        retired += 1;
+                        retired_this_cycle += 1;
+                    }
+                }
+            }
+
+            // Dispatch up to width new instructions.
+            let mut dispatched = 0;
+            while dispatched < cfg.width
+                && rob.len() < cfg.rob_entries as usize
+                && record_index < records.len()
+            {
+                if gap_left > 0 {
+                    gap_left -= 1;
+                    rob.push_back((next_seq, RobEntry::Compute));
+                    next_seq += 1;
+                    dispatched += 1;
+                    continue;
+                }
+                let record = records[record_index];
+                match record.op {
+                    Op::Read => {
+                        rob.push_back((
+                            next_seq,
+                            RobEntry::Load {
+                                done: false,
+                                dependent: record.dependent,
+                            },
+                        ));
+                        unissued.push_back(next_seq);
+                        unissued_addr.push_back((next_seq, record.addr.raw() >> 6));
+                        next_seq += 1;
+                        dispatched += 1;
+                    }
+                    Op::Write => {
+                        // Posted store: needs a write-queue slot now.
+                        match memory.enqueue(Op::Write, record.addr) {
+                            Some(_) => {
+                                rob.push_back((next_seq, RobEntry::Store));
+                                next_seq += 1;
+                                dispatched += 1;
+                            }
+                            None => break, // backpressure
+                        }
+                    }
+                }
+                record_index += 1;
+                gap_left = records.get(record_index).map_or(0, |r| r.gap);
+            }
+
+            if retired_this_cycle == 0 && dispatched == 0 && !rob.is_empty() {
+                stall_cycles += 1;
+            }
+            cpu_cycle += 1;
+        }
+
+        memory.run_until_idle(10_000_000);
+        CoreResult {
+            instructions: retired,
+            cpu_cycles: cpu_cycle.max(1),
+            mem_cycles: (memory.now() - start_mem_cycle).raw(),
+            stall_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use fgnvm_mem::MemorySystem;
+    use fgnvm_types::config::SystemConfig;
+    use fgnvm_types::PhysAddr;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(SystemConfig::baseline()).unwrap()
+    }
+
+    fn read_at(gap: u32, addr: u64) -> TraceRecord {
+        TraceRecord::read(gap, PhysAddr::new(addr))
+    }
+
+    #[test]
+    fn compute_bound_reaches_full_width() {
+        let trace = Trace::new("compute", vec![read_at(100_000, 0)]);
+        let core = RobCore::new(CoreConfig::no_prefetch()).unwrap();
+        let result = core.run(&trace, &mut mem());
+        assert!(result.ipc() > 3.5, "ipc {}", result.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let chained: Vec<TraceRecord> = (0..24u64)
+            .map(|i| TraceRecord::dependent_read(0, PhysAddr::new(i * 1024)))
+            .collect();
+        let parallel: Vec<TraceRecord> = (0..24u64).map(|i| read_at(0, i * 1024)).collect();
+        let core = RobCore::new(CoreConfig::no_prefetch()).unwrap();
+        let slow = core.run(&Trace::new("chain", chained), &mut mem());
+        let fast = core.run(&Trace::new("par", parallel), &mut mem());
+        assert!(
+            slow.cpu_cycles > fast.cpu_cycles * 2,
+            "{} vs {}",
+            slow.cpu_cycles,
+            fast.cpu_cycles
+        );
+    }
+
+    #[test]
+    fn retires_every_instruction_exactly_once() {
+        let records: Vec<TraceRecord> = (0..40u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    TraceRecord::write(3, PhysAddr::new(i * 4096))
+                } else {
+                    read_at(3, i * 4096)
+                }
+            })
+            .collect();
+        let trace = Trace::new("mixed", records);
+        let expected = trace.instruction_count();
+        let core = RobCore::new(CoreConfig::no_prefetch()).unwrap();
+        let result = core.run(&trace, &mut mem());
+        assert_eq!(result.instructions, expected);
+    }
+
+    #[test]
+    fn same_line_loads_merge() {
+        let records: Vec<TraceRecord> = (0..8).map(|_| read_at(0, 0x40)).collect();
+        let trace = Trace::new("merge", records);
+        let core = RobCore::new(CoreConfig::no_prefetch()).unwrap();
+        let mut memory = mem();
+        core.run(&trace, &mut memory);
+        assert_eq!(memory.stats().enqueued_reads, 1);
+    }
+
+    #[test]
+    fn models_agree_on_design_ordering() {
+        // Both core models must conclude that FgNVM beats the baseline on
+        // a conflict-heavy trace, even if absolute IPCs differ.
+        use crate::core::Core;
+        let records: Vec<TraceRecord> = (0..256u64)
+            .map(|i| read_at(5, (i * 0x9E37_79B9) & 0xFFF_FFC0))
+            .collect();
+        let trace = Trace::new("conflicts", records);
+        let cfg = CoreConfig::no_prefetch();
+        let windowed = Core::new(cfg).unwrap();
+        let structural = RobCore::new(cfg).unwrap();
+        let mut speedups = Vec::new();
+        for core_is_rob in [false, true] {
+            let mut base = MemorySystem::new(SystemConfig::baseline()).unwrap();
+            let mut fg = MemorySystem::new(SystemConfig::fgnvm(8, 8).unwrap()).unwrap();
+            let (b, f) = if core_is_rob {
+                (
+                    structural.run(&trace, &mut base),
+                    structural.run(&trace, &mut fg),
+                )
+            } else {
+                (
+                    windowed.run(&trace, &mut base),
+                    windowed.run(&trace, &mut fg),
+                )
+            };
+            speedups.push(f.ipc() / b.ipc());
+        }
+        assert!(speedups[0] > 1.0, "windowed speedup {}", speedups[0]);
+        assert!(speedups[1] > 1.0, "structural speedup {}", speedups[1]);
+        // The models should roughly agree on the magnitude too.
+        let ratio = speedups[0] / speedups[1];
+        assert!((0.6..1.7).contains(&ratio), "models diverged: {speedups:?}");
+    }
+}

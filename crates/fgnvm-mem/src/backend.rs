@@ -1,0 +1,54 @@
+//! The memory-backend abstraction the CPU models drive.
+//!
+//! [`MemorySystem`](crate::MemorySystem) is the flat main memory;
+//! [`HybridMemory`](crate::hybrid::HybridMemory) layers a DRAM buffer in
+//! front of it. Cores are generic over this trait so either can sit
+//! behind them.
+
+use fgnvm_types::address::PhysAddr;
+use fgnvm_types::request::{Completion, Op, RequestId};
+use fgnvm_types::time::Cycle;
+
+/// A tickable memory that accepts line-granular requests.
+pub trait MemoryBackend {
+    /// Presents a demand request; `None` means backpressure (retry later).
+    fn enqueue(&mut self, op: Op, addr: PhysAddr) -> Option<RequestId>;
+
+    /// Presents a speculative prefetch; may be dropped (`None`).
+    fn enqueue_prefetch(&mut self, addr: PhysAddr) -> Option<RequestId>;
+
+    /// Advances one memory cycle, appending completions to `out`.
+    fn tick_into(&mut self, out: &mut Vec<Completion>);
+
+    /// The current memory cycle.
+    fn now(&self) -> Cycle;
+
+    /// Runs until fully drained (bounded); returns remaining completions.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if draining exceeds `max_cycles`.
+    fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Completion>;
+}
+
+impl MemoryBackend for crate::MemorySystem {
+    fn enqueue(&mut self, op: Op, addr: PhysAddr) -> Option<RequestId> {
+        crate::MemorySystem::enqueue(self, op, addr)
+    }
+
+    fn enqueue_prefetch(&mut self, addr: PhysAddr) -> Option<RequestId> {
+        crate::MemorySystem::enqueue_prefetch(self, addr)
+    }
+
+    fn tick_into(&mut self, out: &mut Vec<Completion>) {
+        crate::MemorySystem::tick_into(self, out);
+    }
+
+    fn now(&self) -> Cycle {
+        crate::MemorySystem::now(self)
+    }
+
+    fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Completion> {
+        crate::MemorySystem::run_until_idle(self, max_cycles)
+    }
+}

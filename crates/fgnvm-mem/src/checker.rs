@@ -1,0 +1,707 @@
+//! Protocol checker: validates a captured [`CommandLog`] against the
+//! device protocol (the role of NVMain's trace verifier).
+//!
+//! The simulator's banks *should* never emit an illegal command sequence —
+//! that is what the plan/commit split guarantees — but a checker that
+//! re-derives the rules independently catches regressions the unit tests
+//! miss: it audits what actually issued, not what the model believed.
+//!
+//! Checked invariants:
+//!
+//! * **Minimum latency** — every command's data burst starts no earlier
+//!   than the device allows for its kind (tCAS for a row hit,
+//!   tRCD + tCAS for an activation, tCWD for a write).
+//! * **Bus occupancy** — at most `data_bus_width` bursts overlap at any
+//!   instant on one channel.
+//! * **Column spacing** — with a shared column path (one command per
+//!   cycle), consecutive commands to one bank are at least tCCD apart.
+//! * **Write lock** — after a write, a baseline bank accepts no command
+//!   until tWP + tWR after the data burst; an FgNVM bank (without write
+//!   pausing) accepts none to the written SAG.
+//! * **Row-hit freshness** — a baseline row hit must target the row
+//!   opened by the bank's most recent activation, with no intervening
+//!   write (writes close the row).
+//! * **tFAW** — a DRAM rank admits at most four activations per rolling
+//!   `t_faw` window.
+//!
+//! Checks that need history the bounded log no longer retains are
+//! skipped rather than reported as false positives.
+
+use fgnvm_bank::{PlanKind, RefreshCycles};
+use fgnvm_types::config::{BankModel, SystemConfig, TimingCycles};
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::time::{Cycle, CycleCount};
+
+use crate::cmdlog::{CommandLog, CommandRecord};
+
+/// One protocol violation found in a command log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A burst started sooner after its command than the device allows.
+    MinimumLatency {
+        /// Cycle the offending command issued.
+        at: Cycle,
+        /// Channel-local bank.
+        bank: usize,
+        /// How it was served.
+        kind: PlanKind,
+        /// The burst start that came too early.
+        data_start: Cycle,
+        /// The earliest legal burst start.
+        earliest_legal: Cycle,
+    },
+    /// More simultaneous bursts than the data bus has slots.
+    BusOverload {
+        /// First cycle the occupancy exceeded the width.
+        at: Cycle,
+        /// Overlapping bursts observed.
+        observed: u32,
+        /// Configured bus width.
+        width: u32,
+    },
+    /// Two commands to one bank closer than tCCD on a shared column path.
+    ColumnSpacing {
+        /// Cycle of the second (offending) command.
+        at: Cycle,
+        /// Channel-local bank.
+        bank: usize,
+        /// Cycle of the preceding command to the same bank.
+        previous: Cycle,
+    },
+    /// A command reached a resource still locked by an in-flight write.
+    WriteLock {
+        /// Cycle the offending command issued.
+        at: Cycle,
+        /// Channel-local bank.
+        bank: usize,
+        /// When the write's lock releases.
+        write_done: Cycle,
+    },
+    /// A row hit targeted a row that was not (or no longer) open.
+    StaleRowHit {
+        /// Cycle the offending row hit issued.
+        at: Cycle,
+        /// Channel-local bank.
+        bank: usize,
+        /// Row the hit claimed was open.
+        row: u32,
+    },
+    /// Five activations inside one rank's tFAW window.
+    FawViolation {
+        /// Cycle of the fifth activation.
+        at: Cycle,
+        /// Rank the burst of activations targeted.
+        rank: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Violation::MinimumLatency {
+                at,
+                bank,
+                kind,
+                data_start,
+                earliest_legal,
+            } => write!(
+                f,
+                "{at}: bank {bank} {kind:?} burst at {data_start} before legal {earliest_legal}"
+            ),
+            Violation::BusOverload {
+                at,
+                observed,
+                width,
+            } => {
+                write!(
+                    f,
+                    "{at}: {observed} overlapping bursts on a {width}-slot bus"
+                )
+            }
+            Violation::ColumnSpacing { at, bank, previous } => {
+                write!(f, "{at}: bank {bank} command within tCCD of {previous}")
+            }
+            Violation::WriteLock {
+                at,
+                bank,
+                write_done,
+            } => {
+                write!(
+                    f,
+                    "{at}: bank {bank} command while write-locked until {write_done}"
+                )
+            }
+            Violation::StaleRowHit { at, bank, row } => {
+                write!(
+                    f,
+                    "{at}: bank {bank} row hit on row {row} which is not open"
+                )
+            }
+            Violation::FawViolation { at, rank } => {
+                write!(f, "{at}: fifth activation inside rank {rank}'s tFAW window")
+            }
+        }
+    }
+}
+
+/// Outcome of checking one channel's command log.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolReport {
+    /// Commands inspected.
+    pub commands: usize,
+    /// Highest simultaneous bus occupancy observed.
+    pub max_bus_occupancy: u32,
+    /// Every violation found, in log order.
+    pub violations: Vec<Violation>,
+}
+
+impl ProtocolReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for ProtocolReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} commands, peak bus occupancy {}, {} violation(s)",
+            self.commands,
+            self.max_bus_occupancy,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-derives the device protocol from a [`SystemConfig`] and audits a
+/// [`CommandLog`] against it.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fgnvm_mem::{MemorySystem, ProtocolChecker};
+/// use fgnvm_types::config::SystemConfig;
+/// use fgnvm_types::request::Op;
+/// use fgnvm_types::PhysAddr;
+///
+/// let config = SystemConfig::fgnvm(8, 2)?;
+/// let mut mem = MemorySystem::new(config)?;
+/// mem.enable_command_log(4096);
+/// for i in 0..64 {
+///     mem.enqueue(Op::Read, PhysAddr::new(i * 64));
+/// }
+/// mem.run_until_idle(100_000);
+/// let checker = ProtocolChecker::new(&config)?;
+/// let report = checker.check(mem.command_log(0));
+/// assert!(report.is_clean(), "{report}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    timing: TimingCycles,
+    model: BankModel,
+    bus_width: u32,
+    shared_column_path: bool,
+    write_pausing: bool,
+    banks_per_rank: u32,
+    t_faw: CycleCount,
+}
+
+/// Per-bank audit state carried across the scan.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    /// Cycle of the previous command (column spacing).
+    last_cmd: Option<Cycle>,
+    /// Lock release instant of the last write.
+    write_done: Option<Cycle>,
+    /// SAG the last write targeted (FgNVM locks only that SAG).
+    write_sag: u32,
+    /// Row opened by the most recent activation (baseline freshness).
+    open_row: Option<u32>,
+}
+
+impl ProtocolChecker {
+    /// Builds a checker matching `config`'s protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration's timings do not
+    /// resolve to cycles (the same validation [`SystemConfig`] applies).
+    pub fn new(config: &SystemConfig) -> Result<Self, ConfigError> {
+        Ok(ProtocolChecker {
+            timing: config.timing.to_cycles()?,
+            model: config.bank_model,
+            bus_width: config.data_bus_width,
+            shared_column_path: config.commands_per_cycle == 1,
+            write_pausing: config.write_pausing,
+            banks_per_rank: config.geometry.banks_per_rank(),
+            t_faw: RefreshCycles::ddr3_like().t_faw,
+        })
+    }
+
+    /// Audits `log`, returning every violation found.
+    pub fn check(&self, log: &CommandLog) -> ProtocolReport {
+        let records: Vec<&CommandRecord> = log.records().collect();
+        let mut report = ProtocolReport {
+            commands: records.len(),
+            ..ProtocolReport::default()
+        };
+        // History-dependent checks are unsound when the front of the log
+        // was evicted: the command that justified later state is gone.
+        let complete = log.dropped() == 0;
+
+        self.check_latencies(&records, &mut report);
+        self.check_bus(&records, &mut report);
+        if complete {
+            self.check_banks(&records, &mut report);
+            if matches!(self.model, BankModel::Dram) {
+                self.check_faw(&records, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Minimum command-to-data latency per kind.
+    fn check_latencies(&self, records: &[&CommandRecord], report: &mut ProtocolReport) {
+        let t = &self.timing;
+        for r in records {
+            let floor = match r.kind {
+                PlanKind::RowHit => t.t_cas,
+                PlanKind::Activate | PlanKind::Underfetch => t.t_rcd + t.t_cas,
+                // A write may or may not pay tRCD; tCWD is the floor.
+                PlanKind::Write => t.t_cwd,
+            };
+            let earliest_legal = r.at + floor;
+            if r.data_start < earliest_legal {
+                report.violations.push(Violation::MinimumLatency {
+                    at: r.at,
+                    bank: r.bank_index,
+                    kind: r.kind,
+                    data_start: r.data_start,
+                    earliest_legal,
+                });
+            }
+        }
+    }
+
+    /// No more than `bus_width` bursts overlap at any instant.
+    fn check_bus(&self, records: &[&CommandRecord], report: &mut ProtocolReport) {
+        // Sweep burst edges: +1 at data_start, -1 at data_start + tBURST.
+        let mut edges: Vec<(Cycle, i32)> = Vec::with_capacity(records.len() * 2);
+        for r in records {
+            edges.push((r.data_start, 1));
+            edges.push((r.data_start + self.timing.t_burst, -1));
+        }
+        edges.sort_by_key(|&(cycle, delta)| (cycle, delta)); // ends (-1) before starts
+        let mut occupancy: i32 = 0;
+        let mut flagged = false;
+        for (cycle, delta) in edges {
+            occupancy += delta;
+            report.max_bus_occupancy = report.max_bus_occupancy.max(occupancy.max(0) as u32);
+            if occupancy > self.bus_width as i32 && !flagged {
+                report.violations.push(Violation::BusOverload {
+                    at: cycle,
+                    observed: occupancy as u32,
+                    width: self.bus_width,
+                });
+                flagged = true; // one report per log, not per beat
+            }
+        }
+    }
+
+    /// Column spacing, write locks, and baseline row-hit freshness.
+    fn check_banks(&self, records: &[&CommandRecord], report: &mut ProtocolReport) {
+        let bank_count = records.iter().map(|r| r.bank_index + 1).max().unwrap_or(0);
+        let mut banks = vec![BankState::default(); bank_count];
+        for r in records {
+            let state = &mut banks[r.bank_index];
+
+            if self.shared_column_path {
+                if let Some(previous) = state.last_cmd {
+                    if r.at < previous + self.timing.t_ccd {
+                        report.violations.push(Violation::ColumnSpacing {
+                            at: r.at,
+                            bank: r.bank_index,
+                            previous,
+                        });
+                    }
+                }
+            }
+
+            if !self.write_pausing {
+                if let Some(write_done) = state.write_done {
+                    let locked = match self.model {
+                        // Baseline NVM writes occupy the whole bank for
+                        // tWP + tWR after the data burst.
+                        BankModel::Baseline => r.at < write_done,
+                        // FgNVM locks only the written SAG (Backgrounded
+                        // Writes); other SAGs stay readable.
+                        BankModel::Fgnvm { .. } => {
+                            r.at < write_done && r.coord.sag == state.write_sag
+                        }
+                        // DRAM tWR gates only the precharge, not later
+                        // column commands to the open row.
+                        BankModel::Dram => false,
+                    };
+                    if locked {
+                        report.violations.push(Violation::WriteLock {
+                            at: r.at,
+                            bank: r.bank_index,
+                            write_done,
+                        });
+                    }
+                }
+            }
+
+            match r.kind {
+                PlanKind::Activate | PlanKind::Underfetch => state.open_row = Some(r.row),
+                PlanKind::RowHit => {
+                    // Freshness is exact only for the single-row-buffer
+                    // baseline; FgNVM hits depend on per-SAG sensed masks.
+                    if matches!(self.model, BankModel::Baseline) && state.open_row != Some(r.row) {
+                        report.violations.push(Violation::StaleRowHit {
+                            at: r.at,
+                            bank: r.bank_index,
+                            row: r.row,
+                        });
+                    }
+                }
+                PlanKind::Write => {
+                    let data_end = r.data_start + self.timing.t_burst;
+                    state.write_done = Some(data_end + self.timing.t_wp + self.timing.t_wr);
+                    state.write_sag = r.coord.sag;
+                    if matches!(self.model, BankModel::Baseline) {
+                        state.open_row = None; // baseline writes close the row
+                    }
+                }
+            }
+            state.last_cmd = Some(r.at);
+        }
+    }
+
+    /// DRAM tFAW: at most four activations per rank per rolling window.
+    fn check_faw(&self, records: &[&CommandRecord], report: &mut ProtocolReport) {
+        let rank_count = records
+            .iter()
+            .map(|r| r.bank_index as u32 / self.banks_per_rank + 1)
+            .max()
+            .unwrap_or(0);
+        let mut windows: Vec<Vec<Cycle>> = vec![Vec::new(); rank_count as usize];
+        for r in records {
+            if !r.kind.senses() {
+                continue;
+            }
+            let rank = r.bank_index as u32 / self.banks_per_rank;
+            let window = &mut windows[rank as usize];
+            window.retain(|&start| r.at < start + self.t_faw);
+            if window.len() >= 4 {
+                report
+                    .violations
+                    .push(Violation::FawViolation { at: r.at, rank });
+            }
+            window.push(r.at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::address::TileCoord;
+    use fgnvm_types::request::{Op, RequestId};
+
+    fn record(
+        at: u64,
+        kind: PlanKind,
+        bank: usize,
+        row: u32,
+        sag: u32,
+        data_start: u64,
+    ) -> CommandRecord {
+        CommandRecord {
+            at: Cycle::new(at),
+            id: RequestId::new(at),
+            op: if kind == PlanKind::Write {
+                Op::Write
+            } else {
+                Op::Read
+            },
+            kind,
+            bank_index: bank,
+            row,
+            coord: TileCoord {
+                sag,
+                cd_first: 0,
+                cd_count: 1,
+            },
+            data_start: Cycle::new(data_start),
+        }
+    }
+
+    fn log_of(records: &[CommandRecord]) -> CommandLog {
+        let mut log = CommandLog::new();
+        log.enable(records.len().max(1));
+        for r in records {
+            log.push(*r);
+        }
+        log
+    }
+
+    fn checker(config: &SystemConfig) -> ProtocolChecker {
+        ProtocolChecker::new(config).unwrap()
+    }
+
+    #[test]
+    fn clean_sequence_passes() {
+        let c = checker(&SystemConfig::baseline());
+        // Activate (data at +48), then a pipelined hit (tCCD later).
+        let log = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(4, PlanKind::RowHit, 0, 1, 0, 52),
+        ]);
+        let report = c.check(&log);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.commands, 2);
+        assert_eq!(report.max_bus_occupancy, 1);
+    }
+
+    #[test]
+    fn early_burst_is_flagged() {
+        let c = checker(&SystemConfig::baseline());
+        // Hit with data 10 cycles after the command (< tCAS = 38). Open
+        // the row first so only the latency rule trips.
+        let log = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(52, PlanKind::RowHit, 0, 1, 0, 62),
+        ]);
+        let report = c.check(&log);
+        assert!(matches!(
+            report.violations[..],
+            [Violation::MinimumLatency { .. }]
+        ));
+    }
+
+    #[test]
+    fn bus_overload_is_flagged_once() {
+        let c = checker(&SystemConfig::baseline()); // width 1
+                                                    // Three bursts all occupying cycles 48..52.
+        let log = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(10, PlanKind::Activate, 1, 1, 0, 48),
+            record(10, PlanKind::Activate, 2, 1, 0, 49),
+        ]);
+        let report = c.check(&log);
+        let overloads = report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::BusOverload { .. }));
+        assert_eq!(overloads.count(), 1);
+        assert_eq!(report.max_bus_occupancy, 3);
+    }
+
+    #[test]
+    fn wide_bus_accepts_parallel_bursts() {
+        let mut config = SystemConfig::fgnvm_multi_issue(8, 2, 2).unwrap();
+        config.data_bus_width = 2;
+        let c = checker(&config);
+        let log = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(0, PlanKind::Activate, 1, 1, 0, 48),
+        ]);
+        assert!(c.check(&log).is_clean());
+    }
+
+    #[test]
+    fn column_spacing_violation_is_flagged() {
+        let c = checker(&SystemConfig::baseline());
+        // Two commands to one bank 2 cycles apart (< tCCD = 4).
+        let log = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(2, PlanKind::RowHit, 0, 1, 0, 52),
+        ]);
+        let report = c.check(&log);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ColumnSpacing { .. })));
+    }
+
+    #[test]
+    fn baseline_write_locks_whole_bank() {
+        let c = checker(&SystemConfig::baseline());
+        // Write data 3..7, lock until 7 + 60 + 3 = 70; a fresh activate to
+        // another row at cycle 20 is illegal.
+        let log = log_of(&[
+            record(0, PlanKind::Write, 0, 1, 0, 3),
+            record(20, PlanKind::Activate, 0, 2, 1, 68),
+        ]);
+        let report = c.check(&log);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WriteLock { .. })));
+    }
+
+    #[test]
+    fn fgnvm_write_locks_only_its_sag() {
+        let c = checker(&SystemConfig::fgnvm(8, 2).unwrap());
+        // Write into SAG 0; a read in SAG 3 during tWP is legal
+        // (Backgrounded Writes), one in SAG 0 is not.
+        let background = log_of(&[
+            record(0, PlanKind::Write, 0, 1, 0, 3),
+            record(20, PlanKind::Activate, 0, 100, 3, 68),
+        ]);
+        assert!(c.check(&background).is_clean());
+        let conflicting = log_of(&[
+            record(0, PlanKind::Write, 0, 1, 0, 3),
+            record(20, PlanKind::Activate, 0, 2, 0, 68),
+        ]);
+        assert!(!c.check(&conflicting).is_clean());
+    }
+
+    #[test]
+    fn pausing_config_relaxes_write_lock() {
+        let mut config = SystemConfig::fgnvm(8, 2).unwrap();
+        config.write_pausing = true;
+        let c = checker(&config);
+        // Under pausing, a same-SAG read during tWP is legal.
+        let log = log_of(&[
+            record(0, PlanKind::Write, 0, 1, 0, 3),
+            record(20, PlanKind::Activate, 0, 2, 0, 68),
+        ]);
+        assert!(c.check(&log).is_clean());
+    }
+
+    #[test]
+    fn stale_row_hit_is_flagged() {
+        let c = checker(&SystemConfig::baseline());
+        let wrong_row = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(52, PlanKind::RowHit, 0, 9, 0, 90),
+        ]);
+        assert!(!c.check(&wrong_row).is_clean());
+        // A write closes the row; a later "hit" on it is stale.
+        let after_write = log_of(&[
+            record(0, PlanKind::Activate, 0, 1, 0, 48),
+            record(60, PlanKind::Write, 0, 1, 0, 63),
+            record(200, PlanKind::RowHit, 0, 1, 0, 238),
+        ]);
+        assert!(!c.check(&after_write).is_clean());
+    }
+
+    #[test]
+    fn dram_faw_violation_is_flagged() {
+        let c = checker(&SystemConfig::dram());
+        // Five activations on one rank inside 12 cycles.
+        let records: Vec<CommandRecord> = (0..5u64)
+            .map(|i| record(i * 2, PlanKind::Activate, i as usize, 1, 0, i * 2 + 12))
+            .collect();
+        let report = c.check(&log_of(&records));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::FawViolation { .. })));
+        // The same five spread over 4 × tFAW are legal.
+        let spread: Vec<CommandRecord> = (0..5u64)
+            .map(|i| record(i * 13, PlanKind::Activate, i as usize, 1, 0, i * 13 + 12))
+            .collect();
+        assert!(c.check(&log_of(&spread)).is_clean());
+    }
+
+    #[test]
+    fn truncated_log_skips_history_checks() {
+        let c = checker(&SystemConfig::baseline());
+        let mut log = CommandLog::new();
+        log.enable(1);
+        // The activate that opened row 1 is evicted; the surviving hit
+        // must not be reported as stale.
+        log.push(record(0, PlanKind::Activate, 0, 1, 0, 48));
+        log.push(record(52, PlanKind::RowHit, 0, 1, 0, 90));
+        assert!(log.dropped() > 0);
+        assert!(c.check(&log).is_clean());
+    }
+
+    #[test]
+    fn violations_display_their_context() {
+        let v = Violation::WriteLock {
+            at: Cycle::new(20),
+            bank: 3,
+            write_done: Cycle::new(70),
+        };
+        let s = v.to_string();
+        assert!(s.contains("bank 3") && s.contains("cy70"), "{s}");
+    }
+
+    /// Mutation testing for the auditor itself: take the log of a real,
+    /// clean run, corrupt one record, and require the checker to notice.
+    /// An auditor that stays green under mutation proves nothing.
+    #[test]
+    fn corrupting_a_clean_log_is_detected() {
+        use fgnvm_types::PhysAddr;
+
+        let config = SystemConfig::fgnvm(8, 2).unwrap();
+        let mut mem = crate::MemorySystem::new(config).unwrap();
+        mem.enable_command_log(1 << 16);
+        // Mixed traffic over several banks and rows; drain as needed so
+        // nothing is rejected.
+        for i in 0..200u64 {
+            while mem.enqueue(Op::Read, PhysAddr::new(i * 64 * 7)).is_none() {
+                mem.tick();
+            }
+        }
+        for i in 0..40u64 {
+            while mem.enqueue(Op::Write, PhysAddr::new(i * 4096)).is_none() {
+                mem.tick();
+            }
+            for _ in 0..100 {
+                mem.tick();
+            }
+        }
+        mem.run_until_idle(1_000_000);
+        let clean: Vec<CommandRecord> = mem.command_log(0).records().copied().collect();
+        let checker = ProtocolChecker::new(&config).unwrap();
+        assert!(checker.check(&log_of(&clean)).is_clean());
+        assert!(clean.len() > 100, "need a substantial log to mutate");
+
+        // Mutation 1: a burst pulled to its command cycle always violates
+        // the minimum latency (every floor is at least tCWD > 0).
+        for victim in [0, clean.len() / 2, clean.len() - 1] {
+            let mut mutated = clean.clone();
+            mutated[victim].data_start = mutated[victim].at;
+            assert!(
+                !checker.check(&log_of(&mutated)).is_clean(),
+                "early-burst mutation at {victim} went unnoticed"
+            );
+        }
+
+        // Mutation 2: duplicating a record's burst slot overloads the
+        // 1-slot bus.
+        let mut mutated = clean.clone();
+        let dup = mutated[mutated.len() / 2];
+        mutated.push(dup);
+        assert!(
+            !checker.check(&log_of(&mutated)).is_clean(),
+            "bus-overload mutation went unnoticed"
+        );
+
+        // Mutation 3: moving any command into the cycle right after its
+        // bank's previous command violates tCCD (shared column path).
+        let same_bank_pair = clean
+            .windows(2)
+            .position(|w| w[0].bank_index == w[1].bank_index)
+            .map(|i| i + 1);
+        if let Some(i) = same_bank_pair {
+            let mut mutated = clean.clone();
+            mutated[i].at = mutated[i - 1].at + CycleCount::ONE;
+            assert!(
+                !checker.check(&log_of(&mutated)).is_clean(),
+                "tCCD mutation went unnoticed"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Command logging: a bounded record of every command the controller
+//! issues, for debugging, visualization, and sequence assertions in tests
+//! (the role of NVMain's trace writers).
+
+use std::collections::VecDeque;
+
+use fgnvm_bank::PlanKind;
+use fgnvm_types::address::TileCoord;
+use fgnvm_types::request::{Op, RequestId};
+use fgnvm_types::time::Cycle;
+
+/// One issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Cycle the command issued.
+    pub at: Cycle,
+    /// The request it serves.
+    pub id: RequestId,
+    /// Read or write.
+    pub op: Op,
+    /// How the bank served it (hit / activate / underfetch / write).
+    pub kind: PlanKind,
+    /// Channel-local bank index.
+    pub bank_index: usize,
+    /// Row targeted.
+    pub row: u32,
+    /// Tile coordinates (SAG + CD span).
+    pub coord: TileCoord,
+    /// When the data burst starts.
+    pub data_start: Cycle,
+}
+
+impl std::fmt::Display for CommandRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} {:?} ba{} row{} [{}] data@{}",
+            self.at, self.op, self.kind, self.bank_index, self.row, self.coord, self.data_start
+        )
+    }
+}
+
+/// Bounded ring buffer of issued commands. Disabled (zero-capacity) by
+/// default so the hot path pays nothing.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fgnvm_mem::MemorySystem;
+/// use fgnvm_types::config::SystemConfig;
+/// use fgnvm_types::request::Op;
+/// use fgnvm_types::PhysAddr;
+///
+/// let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2)?)?;
+/// mem.enable_command_log(64);
+/// mem.enqueue(Op::Read, PhysAddr::new(0));
+/// mem.run_until_idle(10_000);
+/// let log = mem.command_log(0);
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.records().next().unwrap().kind, fgnvm_bank::PlanKind::Activate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommandLog {
+    capacity: usize,
+    records: VecDeque<CommandRecord>,
+    dropped: u64,
+}
+
+impl CommandLog {
+    /// Creates a disabled log.
+    pub fn new() -> Self {
+        CommandLog::default()
+    }
+
+    /// Enables logging, keeping the most recent `capacity` commands.
+    pub fn enable(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// True when logging is active.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, record: CommandRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &CommandRecord> {
+        self.records.iter()
+    }
+
+    /// Records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(at: u64) -> CommandRecord {
+        CommandRecord {
+            at: Cycle::new(at),
+            id: RequestId::new(at),
+            op: Op::Read,
+            kind: PlanKind::Activate,
+            bank_index: 0,
+            row: 1,
+            coord: TileCoord {
+                sag: 0,
+                cd_first: 0,
+                cd_count: 1,
+            },
+            data_start: Cycle::new(at + 48),
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = CommandLog::new();
+        log.push(record(0));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = CommandLog::new();
+        log.enable(2);
+        for t in 0..5 {
+            log.push(record(t));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let ats: Vec<u64> = log.records().map(|r| r.at.raw()).collect();
+        assert_eq!(ats, vec![3, 4]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = record(7).to_string();
+        assert!(s.contains("cy7") && s.contains("ba0") && s.contains("row1"));
+    }
+}

@@ -1,0 +1,578 @@
+//! The per-channel memory controller.
+//!
+//! Owns the channel's banks, the read (transaction) queue, the write queue,
+//! the shared data bus, and a [`Scheduler`]. Each controller cycle it
+//! issues up to `commands_per_cycle` commands (one for the standard design,
+//! more for the paper's Multi-Issue variant) chosen by the scheduler, and
+//! retires completions whose data bursts have finished.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fgnvm_bank::{Bank, BankStats, BaselineBank, DramBank, FgnvmBank, Modes, RefreshCycles};
+use fgnvm_types::config::{BankModel, SystemConfig};
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::request::{Completion, Op};
+use fgnvm_types::time::{Cycle, CycleCount};
+
+use crate::bus::DataBus;
+use crate::cmdlog::{CommandLog, CommandRecord};
+use crate::queues::{DrainPolicy, Pending, RequestQueue};
+use crate::scheduler::{make_scheduler, Scheduler};
+use crate::stats::SystemStats;
+
+/// Outcome of presenting a request to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Queued; a completion will be reported later.
+    Accepted,
+    /// Read served from the write queue (forwarding) or write merged into an
+    /// existing entry; completes on the next cycle.
+    Satisfied,
+    /// The target queue is full; retry later.
+    Full,
+}
+
+/// A scheduled future completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: Cycle,
+    id_raw: u64,
+    is_read: bool,
+    arrival: Cycle,
+}
+
+/// Rank-to-rank data-bus turnaround (tRTRS): bursts from different ranks
+/// need a bubble between them for bus ownership to switch.
+const T_RTRS: CycleCount = CycleCount::new(2);
+
+/// Per-rank tFAW tracking: at most four activations may start within any
+/// rolling `t_faw` window (a DRAM charge-pump power limit — a rank-level
+/// constraint, so it lives in the controller, not the bank). NVM designs
+/// have no such limit and carry no tracker.
+#[derive(Debug)]
+struct FawState {
+    t_faw: CycleCount,
+    /// Start cycles of each rank's last four activations.
+    windows: Vec<[Option<Cycle>; 4]>,
+}
+
+impl FawState {
+    fn new(t_faw: CycleCount, ranks: usize) -> Self {
+        FawState {
+            t_faw,
+            windows: vec![[None; 4]; ranks],
+        }
+    }
+
+    /// Earliest instant a fifth activation may start on `rank`.
+    fn ready(&self, rank: usize) -> Cycle {
+        let window = &self.windows[rank];
+        if window.iter().any(Option::is_none) {
+            return Cycle::ZERO;
+        }
+        let oldest = window
+            .iter()
+            .flatten()
+            .copied()
+            .fold(Cycle::MAX, Cycle::min);
+        oldest + self.t_faw
+    }
+
+    /// Records an activation at `now`, evicting the oldest entry.
+    fn record(&mut self, rank: usize, now: Cycle) {
+        let window = &mut self.windows[rank];
+        let slot = window
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.unwrap_or(Cycle::ZERO))
+            .map(|(i, _)| i)
+            .expect("window is non-empty");
+        window[slot] = Some(now);
+    }
+}
+
+/// One channel's controller.
+#[derive(Debug)]
+pub struct Controller {
+    banks: Vec<Box<dyn Bank>>,
+    banks_per_rank: u32,
+    reads: RequestQueue,
+    writes: RequestQueue,
+    scheduler: Box<dyn Scheduler>,
+    bus: DataBus,
+    /// Rank of the most recent burst and when it ends, for tRTRS.
+    last_burst: Option<(u32, Cycle)>,
+    drain: DrainPolicy,
+    draining: bool,
+    commands_per_cycle: u32,
+    events: BinaryHeap<Reverse<Event>>,
+    log: CommandLog,
+    /// Rank-level tFAW tracker; `Some` only for DRAM designs.
+    faw: Option<FawState>,
+}
+
+impl Controller {
+    /// Builds a controller (banks, queues, bus, scheduler) for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is internally
+    /// inconsistent (see [`SystemConfig::validate`]).
+    pub fn new(config: &SystemConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let timing = config.timing.to_cycles()?;
+        let bank_count =
+            (config.geometry.ranks_per_channel() * config.geometry.banks_per_rank()) as usize;
+        let mut banks: Vec<Box<dyn Bank>> = Vec::with_capacity(bank_count);
+        for index in 0..bank_count {
+            match config.bank_model {
+                BankModel::Baseline => {
+                    banks.push(Box::new(BaselineBank::new(&config.geometry, timing)));
+                }
+                BankModel::Dram => {
+                    let refresh =
+                        RefreshCycles::ddr3_like().staggered(index as u32, bank_count as u32);
+                    let bank = DramBank::new(&config.geometry, timing, refresh)
+                        .with_policy(config.row_policy);
+                    banks.push(Box::new(bank));
+                }
+                model @ BankModel::Fgnvm { .. } => {
+                    let modes = Modes::try_from(model).expect("fgnvm model carries modes");
+                    let shared_column_path = config.commands_per_cycle == 1;
+                    let bank = FgnvmBank::new(&config.geometry, timing, modes, shared_column_path)?
+                        .with_write_pausing(config.write_pausing);
+                    banks.push(Box::new(bank));
+                }
+            }
+        }
+        Ok(Controller {
+            banks,
+            banks_per_rank: config.geometry.banks_per_rank(),
+            reads: RequestQueue::new(config.queue_entries),
+            writes: RequestQueue::new(config.write_queue_entries),
+            scheduler: make_scheduler(config.scheduler),
+            bus: DataBus::new(config.data_bus_width, timing.t_burst),
+            last_burst: None,
+            drain: DrainPolicy::for_capacity(config.write_queue_entries),
+            draining: false,
+            commands_per_cycle: config.commands_per_cycle,
+            events: BinaryHeap::new(),
+            log: CommandLog::new(),
+            faw: matches!(config.bank_model, BankModel::Dram).then(|| {
+                FawState::new(
+                    RefreshCycles::ddr3_like().t_faw,
+                    config.geometry.ranks_per_channel() as usize,
+                )
+            }),
+        })
+    }
+
+    /// Presents a request; see [`Enqueue`] for the possible outcomes.
+    pub fn enqueue(&mut self, pending: Pending, now: Cycle, stats: &mut SystemStats) -> Enqueue {
+        match pending.request.op {
+            Op::Read => {
+                if self.writes.contains_addr(pending.request.addr) {
+                    // Store-to-load forwarding from the write queue.
+                    stats.forwarded_reads += 1;
+                    stats.enqueued_reads += 1;
+                    self.events.push(Reverse(Event {
+                        at: now + CycleCount::ONE,
+                        id_raw: pending.request.id.raw(),
+                        is_read: true,
+                        arrival: pending.request.arrival,
+                    }));
+                    return Enqueue::Satisfied;
+                }
+                if !self.reads.push(pending) {
+                    stats.rejected += 1;
+                    return Enqueue::Full;
+                }
+                stats.enqueued_reads += 1;
+                Enqueue::Accepted
+            }
+            Op::Write => {
+                if self.writes.contains_addr(pending.request.addr) {
+                    // Coalesce with the queued write to the same line; the
+                    // merged request is acknowledged immediately.
+                    stats.merged_writes += 1;
+                    stats.enqueued_writes += 1;
+                    self.events.push(Reverse(Event {
+                        at: now + CycleCount::ONE,
+                        id_raw: pending.request.id.raw(),
+                        is_read: false,
+                        arrival: pending.request.arrival,
+                    }));
+                    return Enqueue::Satisfied;
+                }
+                if !self.writes.push(pending) {
+                    stats.rejected += 1;
+                    return Enqueue::Full;
+                }
+                stats.enqueued_writes += 1;
+                Enqueue::Accepted
+            }
+        }
+    }
+
+    /// Advances one controller cycle: retires due completions into `out` and
+    /// issues up to `commands_per_cycle` new commands.
+    pub fn tick(&mut self, now: Cycle, stats: &mut SystemStats, out: &mut Vec<Completion>) {
+        // Retire completions whose data has arrived.
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > now {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked event exists");
+            if ev.is_read {
+                stats.record_read(ev.at.saturating_since(ev.arrival));
+            }
+            out.push(Completion {
+                id: fgnvm_types::request::RequestId::new(ev.id_raw),
+                op: if ev.is_read { Op::Read } else { Op::Write },
+                arrival: ev.arrival,
+                finished: ev.at,
+            });
+        }
+
+        self.draining = self.drain.update(self.draining, self.writes.len());
+        stats.read_queue_depth_sum += self.reads.len() as u64;
+        stats.queue_depth_samples += 1;
+
+        for _ in 0..self.commands_per_cycle {
+            if !self.issue_one(now) {
+                break;
+            }
+        }
+    }
+
+    /// Tries to issue one command; returns whether anything issued.
+    fn issue_one(&mut self, now: Cycle) -> bool {
+        // Choose between the read and write queues.
+        let write_pick = |me: &Self| {
+            me.scheduler
+                .pick_write(&me.writes, &me.reads, &me.banks, now)
+        };
+        let read_pick = |me: &Self| me.scheduler.pick_read(&me.reads, &me.banks, now);
+
+        let (from_writes, index, plan) = if self.draining {
+            if let Some((i, p)) = write_pick(self) {
+                (true, i, p)
+            } else if self.scheduler.reads_during_drain() {
+                match read_pick(self) {
+                    Some((i, p)) => (false, i, p),
+                    None => return false,
+                }
+            } else {
+                return false;
+            }
+        } else if let Some((i, p)) = read_pick(self) {
+            (false, i, p)
+        } else if !self.writes.is_empty() && self.reads.is_empty() {
+            // Opportunistic drain while the read queue is idle.
+            match write_pick(self) {
+                Some((i, p)) => (true, i, p),
+                None => return false,
+            }
+        } else {
+            return false;
+        };
+
+        // tFAW: a DRAM rank admits at most four activations per rolling
+        // window; hold a fifth until the window opens.
+        if let Some(faw) = &self.faw {
+            if plan.kind.senses() {
+                let queue = if from_writes {
+                    &self.writes
+                } else {
+                    &self.reads
+                };
+                let bank = queue
+                    .iter()
+                    .nth(index)
+                    .expect("picked index exists")
+                    .bank_index;
+                let rank = bank as u32 / self.banks_per_rank;
+                if now < faw.ready(rank as usize) {
+                    return false;
+                }
+            }
+        }
+
+        let pending = if from_writes {
+            self.writes.remove(index)
+        } else {
+            self.reads.remove(index)
+        };
+        // Rank-to-rank bus turnaround: a burst from a different rank than
+        // the previous one cannot start until tRTRS after it ends.
+        let rank = pending.bank_index as u32 / self.banks_per_rank;
+        let mut earliest = plan.earliest_data;
+        if let Some((last_rank, last_end)) = self.last_burst {
+            if last_rank != rank {
+                earliest = earliest.max(last_end + T_RTRS);
+            }
+        }
+        let data_start = self.bus.reserve(earliest);
+        let issued = self.banks[pending.bank_index].commit(&pending.access, &plan, now, data_start);
+        if plan.kind.senses() {
+            if let Some(faw) = &mut self.faw {
+                faw.record(rank as usize, now);
+            }
+        }
+        // Track bus ownership for turnaround accounting (keep the later
+        // burst end if an earlier reservation outlives this one).
+        self.last_burst = match self.last_burst {
+            Some((_, end)) if end > issued.data_end => Some((rank, end.max(issued.data_end))),
+            _ => Some((rank, issued.data_end)),
+        };
+        self.log.push(CommandRecord {
+            at: now,
+            id: pending.request.id,
+            op: pending.request.op,
+            kind: issued.kind,
+            bank_index: pending.bank_index,
+            row: pending.access.row,
+            coord: pending.access.coord,
+            data_start: issued.data_start,
+        });
+        if pending.request.op.is_read() {
+            self.events.push(Reverse(Event {
+                at: issued.data_end,
+                id_raw: pending.request.id.raw(),
+                is_read: true,
+                arrival: pending.request.arrival,
+            }));
+        } else {
+            // Writes are posted: report completion when the cells finish
+            // programming (useful for drain accounting; the CPU does not
+            // block on it).
+            self.events.push(Reverse(Event {
+                at: issued.completion,
+                id_raw: pending.request.id.raw(),
+                is_read: false,
+                arrival: pending.request.arrival,
+            }));
+        }
+        true
+    }
+
+    /// True when no requests are queued and no completions are pending.
+    pub fn is_idle(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty() && self.events.is_empty()
+    }
+
+    /// Occupancy of the read queue.
+    pub fn read_queue_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Occupancy of the write queue.
+    pub fn write_queue_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True while the write-drain state machine is active.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Sums the per-bank counters of this channel.
+    pub fn bank_stats(&self) -> BankStats {
+        let mut total = BankStats::new();
+        for bank in &self.banks {
+            total += *bank.stats();
+        }
+        total
+    }
+
+    /// The counters of each bank in this channel, in bank order.
+    pub fn bank_stats_per_bank(&self) -> Vec<BankStats> {
+        self.banks.iter().map(|b| *b.stats()).collect()
+    }
+
+    /// Cycles of data-bus occupancy so far.
+    pub fn bus_busy_cycles(&self) -> CycleCount {
+        self.bus.busy_cycles()
+    }
+
+    /// Enables command logging with the given ring-buffer capacity.
+    pub fn enable_command_log(&mut self, capacity: usize) {
+        self.log.enable(capacity);
+    }
+
+    /// The command log (empty unless enabled).
+    pub fn command_log(&self) -> &CommandLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_bank::Access;
+    use fgnvm_types::address::{DecodedAddr, PhysAddr, TileCoord};
+    use fgnvm_types::request::{Request, RequestId};
+
+    fn controller(config: &SystemConfig) -> Controller {
+        Controller::new(config).unwrap()
+    }
+
+    fn pending(id: u64, op: Op, bank: usize, row: u32, line: u32) -> Pending {
+        Pending {
+            request: Request::new(
+                RequestId::new(id),
+                op,
+                PhysAddr::new(id * 64 + ((bank as u64) << 10)),
+                Cycle::ZERO,
+            ),
+            decoded: DecodedAddr {
+                channel: 0,
+                rank: 0,
+                bank: bank as u32,
+                row,
+                line,
+            },
+            access: Access {
+                op,
+                row,
+                line,
+                coord: TileCoord {
+                    sag: 0,
+                    cd_first: 0,
+                    cd_count: 1,
+                },
+            },
+            bank_index: bank,
+        }
+    }
+
+    #[test]
+    fn drain_mode_engages_and_releases_on_watermarks() {
+        let config = SystemConfig::baseline();
+        let mut c = controller(&config);
+        let mut stats = SystemStats::new();
+        // Fill the write queue past the high watermark (48 of 64) with
+        // unique addresses spread over banks.
+        for i in 0..50u64 {
+            let p = pending(i, Op::Write, (i % 8) as usize, (i / 8) as u32, 0);
+            assert_eq!(c.enqueue(p, Cycle::ZERO, &mut stats), Enqueue::Accepted);
+        }
+        assert!(!c.is_draining(), "drain engages at the next tick");
+        let mut out = Vec::new();
+        c.tick(Cycle::ZERO, &mut stats, &mut out);
+        assert!(c.is_draining());
+        // Tick until the queue falls to the low watermark (16).
+        let mut now = Cycle::ZERO;
+        for _ in 0..20_000 {
+            now.advance();
+            c.tick(now, &mut stats, &mut out);
+            if !c.is_draining() {
+                break;
+            }
+        }
+        assert!(
+            !c.is_draining(),
+            "drain should release at the low watermark"
+        );
+        assert!(c.write_queue_len() <= 16);
+    }
+
+    #[test]
+    fn tfaw_limits_rank_activation_rate() {
+        // Eight cold reads to eight different DRAM banks on one rank: the
+        // first four activations may issue back-to-back, but any rolling
+        // tFAW window must contain at most four activations.
+        let config = SystemConfig::dram();
+        let mut c = controller(&config);
+        c.log.enable(64);
+        let mut stats = SystemStats::new();
+        let t_faw = RefreshCycles::ddr3_like().t_faw;
+        // Start past every staggered refresh window phase.
+        let start = 3_200u64;
+        for bank in 0..8usize {
+            let p = pending(bank as u64, Op::Read, bank, 5, 0);
+            assert_eq!(
+                c.enqueue(p, Cycle::new(start), &mut stats),
+                Enqueue::Accepted
+            );
+        }
+        let mut out = Vec::new();
+        for t in 0..400u64 {
+            c.tick(Cycle::new(start + t), &mut stats, &mut out);
+        }
+        let acts: Vec<Cycle> = c
+            .log
+            .records()
+            .filter(|r| r.kind.senses())
+            .map(|r| r.at)
+            .collect();
+        assert_eq!(acts.len(), 8, "all eight activations eventually issue");
+        for window in acts.windows(5) {
+            assert!(
+                window[4] >= window[0] + t_faw,
+                "five activations inside one tFAW window: {window:?}"
+            );
+        }
+        // And the gate actually bound: the fifth activation was pushed to
+        // at least t_faw after the first.
+        assert!(acts[4] >= acts[0] + t_faw);
+    }
+
+    #[test]
+    fn commands_per_cycle_budget_is_respected() {
+        // Multi-issue width 2: two cold reads to different banks issue in
+        // one tick; width 1 issues only one.
+        for (width, expected_after_one_tick) in [(1u32, 1usize), (2, 2)] {
+            let mut config = SystemConfig::fgnvm_multi_issue(8, 2, width.max(1)).unwrap();
+            config.commands_per_cycle = width;
+            config.data_bus_width = width;
+            let mut c = controller(&config);
+            let mut stats = SystemStats::new();
+            c.enqueue(pending(0, Op::Read, 0, 0, 0), Cycle::ZERO, &mut stats);
+            c.enqueue(pending(1, Op::Read, 1, 0, 0), Cycle::ZERO, &mut stats);
+            let mut out = Vec::new();
+            c.tick(Cycle::ZERO, &mut stats, &mut out);
+            assert_eq!(
+                2 - c.read_queue_len(),
+                expected_after_one_tick,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn completions_deliver_in_time_order() {
+        let config = SystemConfig::baseline();
+        let mut c = controller(&config);
+        let mut stats = SystemStats::new();
+        c.enqueue(pending(0, Op::Read, 0, 0, 0), Cycle::ZERO, &mut stats);
+        c.enqueue(pending(1, Op::Read, 1, 0, 0), Cycle::ZERO, &mut stats);
+        let mut out = Vec::new();
+        let mut now = Cycle::ZERO;
+        for _ in 0..200 {
+            c.tick(now, &mut stats, &mut out);
+            now.advance();
+        }
+        assert_eq!(out.len(), 2);
+        assert!(out[0].finished <= out[1].finished);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn opportunistic_drain_runs_writes_when_reads_are_idle() {
+        let config = SystemConfig::baseline();
+        let mut c = controller(&config);
+        let mut stats = SystemStats::new();
+        // A single write, far below the watermark.
+        c.enqueue(pending(0, Op::Write, 0, 0, 0), Cycle::ZERO, &mut stats);
+        let mut out = Vec::new();
+        let mut now = Cycle::ZERO;
+        for _ in 0..200 {
+            c.tick(now, &mut stats, &mut out);
+            now.advance();
+        }
+        assert!(c.is_idle(), "idle read queue should not strand writes");
+        assert_eq!(c.bank_stats().writes, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Energy accounting (§6 of the paper).
+//!
+//! Three components, mirroring the paper's model:
+//!
+//! * **Sense energy** — 2 pJ per sensed bit, charged at (partial)
+//!   activation. The baseline senses the full 1 KB row; an `S×C` FgNVM
+//!   senses `row / C` per column division touched, which is where the
+//!   37 % / 65 % / 73 % reductions of Fig. 5 come from.
+//! * **Write energy** — 16 pJ per driven bit. Only 64 write drivers exist,
+//!   so a cache-line write always drives the full 512 bits regardless of
+//!   the subdivision — the paper's "inability to decrease the energy of
+//!   writes".
+//! * **Background energy** — the paper states "background power averages to
+//!   be 0.08 pJ per bit of memory" with no time base. We charge
+//!   `0.08 pJ × (row-buffer bits across all banks)` once per
+//!   [`BG_EPOCH_CYCLES`] controller cycles. The epoch constant is
+//!   calibrated so that baseline background energy is roughly 5–15 % of
+//!   baseline total energy on the paper's workload mix, reproducing the
+//!   non-ideal scaling the paper attributes to background power. Crucially,
+//!   this charge is *independent of the subdivision* (standby power does
+//!   not shrink with CD count), so it bounds the achievable savings exactly
+//!   as in Fig. 5.
+
+use serde::{Deserialize, Serialize};
+
+use fgnvm_bank::BankStats;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::time::CycleCount;
+
+/// Controller cycles per background-energy epoch (see module docs).
+pub const BG_EPOCH_CYCLES: f64 = 512.0;
+
+/// Per-component energy totals in picojoules.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Activation sensing energy.
+    pub sense_pj: f64,
+    /// Cell-programming energy.
+    pub write_pj: f64,
+    /// Standby/background energy.
+    pub background_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.sense_pj + self.write_pj + self.background_pj
+    }
+
+    /// This breakdown's total relative to `baseline`'s total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline total is zero.
+    pub fn relative_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let base = baseline.total_pj();
+        assert!(base > 0.0, "baseline energy must be positive");
+        self.total_pj() / base
+    }
+}
+
+/// Converts bank counters and elapsed time into energy.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    read_pj_per_bit: f64,
+    write_pj_per_bit: f64,
+    background_pj_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for `config`, deriving the per-cycle background
+    /// rate from the total row-buffer capacity (one row buffer per bank).
+    pub fn new(config: &SystemConfig) -> Self {
+        let row_buffer_bits =
+            f64::from(config.geometry.row_bytes()) * 8.0 * f64::from(config.geometry.total_banks());
+        EnergyModel {
+            read_pj_per_bit: config.energy.read_pj_per_bit,
+            write_pj_per_bit: config.energy.write_pj_per_bit,
+            background_pj_per_cycle: config.energy.background_pj_per_bit * row_buffer_bits
+                / BG_EPOCH_CYCLES,
+        }
+    }
+
+    /// Energy consumed given aggregated bank counters over `elapsed` cycles.
+    pub fn breakdown(&self, banks: &BankStats, elapsed: CycleCount) -> EnergyBreakdown {
+        EnergyBreakdown {
+            sense_pj: banks.sensed_bits as f64 * self.read_pj_per_bit,
+            write_pj: banks.written_bits as f64 * self.write_pj_per_bit,
+            background_pj: elapsed.raw() as f64 * self.background_pj_per_cycle,
+        }
+    }
+
+    /// The per-cycle background power in pJ/cycle (for reporting).
+    pub fn background_pj_per_cycle(&self) -> f64 {
+        self.background_pj_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(&SystemConfig::baseline())
+    }
+
+    #[test]
+    fn sense_energy_uses_paper_constant() {
+        let m = model();
+        let stats = BankStats {
+            sensed_bits: 8192,
+            ..BankStats::new()
+        };
+        let e = m.breakdown(&stats, CycleCount::ZERO);
+        assert!((e.sense_pj - 16384.0).abs() < 1e-9); // 8192 bits × 2 pJ
+        assert_eq!(e.write_pj, 0.0);
+    }
+
+    #[test]
+    fn write_energy_is_16pj_per_bit() {
+        let m = model();
+        let stats = BankStats {
+            written_bits: 512,
+            ..BankStats::new()
+        };
+        let e = m.breakdown(&stats, CycleCount::ZERO);
+        assert!((e.write_pj - 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_scales_with_time_not_subdivision() {
+        let base = EnergyModel::new(&SystemConfig::baseline());
+        let fg = EnergyModel::new(&SystemConfig::fgnvm(8, 8).unwrap());
+        // Same geometry capacity → identical background rate.
+        assert!((base.background_pj_per_cycle() - fg.background_pj_per_cycle()).abs() < 1e-9);
+        let e = base.breakdown(&BankStats::new(), CycleCount::new(512));
+        // One epoch: 0.08 pJ × 8 banks × 8192 bits.
+        assert!((e.background_pj - 0.08 * 8.0 * 8192.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_comparison() {
+        let a = EnergyBreakdown {
+            sense_pj: 50.0,
+            write_pj: 25.0,
+            background_pj: 25.0,
+        };
+        let b = EnergyBreakdown {
+            sense_pj: 25.0,
+            write_pj: 25.0,
+            background_pj: 0.0,
+        };
+        assert!((b.relative_to(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline energy")]
+    fn relative_to_zero_baseline_panics() {
+        let zero = EnergyBreakdown::default();
+        let _ = zero.relative_to(&zero);
+    }
+}

@@ -1,0 +1,209 @@
+//! Controller-side request queues.
+//!
+//! Reads live in a bounded transaction queue; writes are *posted* into a
+//! separate write queue ("64 write drivers" in Table 2) and drained in the
+//! background by watermark. Reads that hit a queued write are forwarded from
+//! the buffer without touching the array.
+
+use std::collections::VecDeque;
+
+use fgnvm_bank::Access;
+use fgnvm_types::address::{DecodedAddr, PhysAddr};
+use fgnvm_types::request::Request;
+
+/// A request waiting at the controller, with its decode cached.
+#[derive(Debug, Clone, Copy)]
+pub struct Pending {
+    /// The original request.
+    pub request: Request,
+    /// Decoded hierarchy coordinates.
+    pub decoded: DecodedAddr,
+    /// Bank-level access description (row, line, tile coordinates).
+    pub access: Access,
+    /// Channel-local bank index (`rank × banks_per_rank + bank`).
+    pub bank_index: usize,
+}
+
+/// Bounded FIFO of pending requests preserving arrival order.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    entries: VecDeque<Pending>,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        RequestQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to append a request; returns `false` when full.
+    pub fn push(&mut self, pending: Pending) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back(pending);
+        true
+    }
+
+    /// Removes and returns the entry at `index` (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> Pending {
+        self.entries.remove(index).expect("queue index in range")
+    }
+
+    /// Entries in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pending> {
+        self.entries.iter()
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no more requests fit.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if any queued entry targets `addr` (line-aligned match).
+    pub fn contains_addr(&self, addr: PhysAddr) -> bool {
+        self.entries.iter().any(|p| p.request.addr == addr)
+    }
+
+    /// Index of the first entry targeting `addr`, if any.
+    pub fn position_addr(&self, addr: PhysAddr) -> Option<usize> {
+        self.entries.iter().position(|p| p.request.addr == addr)
+    }
+}
+
+/// Write-drain hysteresis: drain begins above the high watermark and stops
+/// at or below the low watermark.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainPolicy {
+    /// Queue occupancy (entries) that triggers draining.
+    pub high: usize,
+    /// Occupancy at which draining stops.
+    pub low: usize,
+}
+
+impl DrainPolicy {
+    /// Standard policy for a queue of `capacity`: drain from ¾ down to ¼.
+    pub fn for_capacity(capacity: usize) -> Self {
+        DrainPolicy {
+            high: (capacity * 3 / 4).max(1),
+            low: capacity / 4,
+        }
+    }
+
+    /// Updates `draining` given current queue occupancy.
+    pub fn update(&self, draining: bool, occupancy: usize) -> bool {
+        if draining {
+            occupancy > self.low
+        } else {
+            occupancy >= self.high
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::address::TileCoord;
+    use fgnvm_types::request::{Op, RequestId};
+    use fgnvm_types::time::Cycle;
+
+    fn pending(id: u64, addr: u64) -> Pending {
+        Pending {
+            request: Request::new(
+                RequestId::new(id),
+                Op::Read,
+                PhysAddr::new(addr),
+                Cycle::ZERO,
+            ),
+            decoded: DecodedAddr::default(),
+            access: Access {
+                op: Op::Read,
+                row: 0,
+                line: 0,
+                coord: TileCoord {
+                    sag: 0,
+                    cd_first: 0,
+                    cd_count: 1,
+                },
+            },
+            bank_index: 0,
+        }
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut q = RequestQueue::new(2);
+        assert!(q.push(pending(1, 0)));
+        assert!(q.push(pending(2, 64)));
+        assert!(!q.push(pending(3, 128)));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut q = RequestQueue::new(4);
+        for i in 0..4 {
+            q.push(pending(i, i * 64));
+        }
+        let removed = q.remove(1);
+        assert_eq!(removed.request.id, RequestId::new(1));
+        let ids: Vec<u64> = q.iter().map(|p| p.request.id.raw()).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn addr_lookup() {
+        let mut q = RequestQueue::new(4);
+        q.push(pending(0, 0));
+        q.push(pending(1, 128));
+        assert!(q.contains_addr(PhysAddr::new(128)));
+        assert!(!q.contains_addr(PhysAddr::new(64)));
+        assert_eq!(q.position_addr(PhysAddr::new(128)), Some(1));
+    }
+
+    #[test]
+    fn drain_hysteresis() {
+        let p = DrainPolicy::for_capacity(64);
+        assert_eq!((p.high, p.low), (48, 16));
+        assert!(!p.update(false, 47));
+        assert!(p.update(false, 48));
+        assert!(p.update(true, 17));
+        assert!(!p.update(true, 16));
+    }
+
+    #[test]
+    fn drain_policy_tiny_queue() {
+        let p = DrainPolicy::for_capacity(1);
+        assert_eq!(p.high, 1);
+        assert!(p.update(false, 1));
+        assert!(!p.update(true, 0));
+    }
+}

@@ -1,0 +1,175 @@
+//! System-level statistics.
+
+use fgnvm_types::time::CycleCount;
+
+/// Latency histogram with power-of-two buckets (bucket *i* counts latencies
+/// in `[2^i, 2^(i+1))` cycles; bucket 0 counts 0–1).
+const HIST_BUCKETS: usize = 20;
+
+/// Counters accumulated by a [`MemorySystem`](crate::MemorySystem).
+#[derive(Debug, Clone)]
+pub struct SystemStats {
+    /// Reads accepted into a controller queue.
+    pub enqueued_reads: u64,
+    /// Writes accepted into a write queue.
+    pub enqueued_writes: u64,
+    /// Reads served directly from the write queue (store-to-load
+    /// forwarding).
+    pub forwarded_reads: u64,
+    /// Writes merged into an existing write-queue entry for the same line.
+    pub merged_writes: u64,
+    /// Reads whose data burst has completed.
+    pub completed_reads: u64,
+    /// Sum of read latencies (arrival → last data beat).
+    pub read_latency_total: CycleCount,
+    /// Largest single read latency observed.
+    pub read_latency_max: CycleCount,
+    /// Power-of-two read-latency histogram.
+    pub read_latency_hist: [u64; HIST_BUCKETS],
+    /// Enqueue attempts rejected because a queue was full.
+    pub rejected: u64,
+    /// Sum of read-queue occupancies sampled once per controller tick.
+    pub read_queue_depth_sum: u64,
+    /// Ticks sampled for the queue-depth average.
+    pub queue_depth_samples: u64,
+}
+
+impl SystemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        SystemStats {
+            enqueued_reads: 0,
+            enqueued_writes: 0,
+            forwarded_reads: 0,
+            merged_writes: 0,
+            completed_reads: 0,
+            read_latency_total: CycleCount::ZERO,
+            read_latency_max: CycleCount::ZERO,
+            read_latency_hist: [0; HIST_BUCKETS],
+            rejected: 0,
+            read_queue_depth_sum: 0,
+            queue_depth_samples: 0,
+        }
+    }
+
+    /// Records one completed read of the given latency.
+    pub fn record_read(&mut self, latency: CycleCount) {
+        self.completed_reads += 1;
+        self.read_latency_total += latency;
+        self.read_latency_max = self.read_latency_max.max(latency);
+        let bucket = (64 - latency.raw().leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.read_latency_hist[bucket] += 1;
+    }
+
+    /// Mean read-queue occupancy per tick (the congestion the scheduler
+    /// works against); zero before any tick.
+    pub fn avg_read_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.read_queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Mean read latency in cycles; zero when no reads completed.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.completed_reads == 0 {
+            0.0
+        } else {
+            self.read_latency_total.raw() as f64 / self.completed_reads as f64
+        }
+    }
+
+    /// Approximate read-latency percentile from the power-of-two
+    /// histogram: the upper bound of the bucket containing the `p`-th
+    /// percentile sample (p in `[0, 1]`). Zero when no reads completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn read_latency_percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile out of range");
+        if self.completed_reads == 0 {
+            return 0;
+        }
+        let rank = (p * self.completed_reads as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.read_latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket i holds latencies < 2^i (bucket 0: 0..1).
+                return (1u64 << bucket).saturating_sub(1).max(1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Default for SystemStats {
+    fn default() -> Self {
+        SystemStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_recording() {
+        let mut s = SystemStats::new();
+        s.record_read(CycleCount::new(40));
+        s.record_read(CycleCount::new(60));
+        assert_eq!(s.completed_reads, 2);
+        assert!((s.avg_read_latency() - 50.0).abs() < 1e-12);
+        assert_eq!(s.read_latency_max, CycleCount::new(60));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut s = SystemStats::new();
+        s.record_read(CycleCount::new(0));
+        s.record_read(CycleCount::new(1));
+        s.record_read(CycleCount::new(2));
+        s.record_read(CycleCount::new(40));
+        assert_eq!(s.read_latency_hist[0], 1); // latency 0
+        assert_eq!(s.read_latency_hist[1], 1); // latency 1
+        assert_eq!(s.read_latency_hist[2], 1); // latency 2..3
+        assert_eq!(s.read_latency_hist[6], 1); // latency 32..63
+    }
+
+    #[test]
+    fn queue_depth_average() {
+        let mut s = SystemStats::new();
+        s.read_queue_depth_sum = 30;
+        s.queue_depth_samples = 10;
+        assert!((s.avg_read_queue_depth() - 3.0).abs() < 1e-12);
+        assert_eq!(SystemStats::new().avg_read_queue_depth(), 0.0);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        assert_eq!(SystemStats::new().avg_read_latency(), 0.0);
+        assert_eq!(SystemStats::new().read_latency_percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentiles_track_the_histogram() {
+        let mut s = SystemStats::new();
+        for _ in 0..90 {
+            s.record_read(CycleCount::new(50)); // bucket 6 (< 64)
+        }
+        for _ in 0..10 {
+            s.record_read(CycleCount::new(900)); // bucket 10 (< 1024)
+        }
+        assert_eq!(s.read_latency_percentile(0.5), 63);
+        assert_eq!(s.read_latency_percentile(0.9), 63);
+        assert_eq!(s.read_latency_percentile(0.99), 1023);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_rejected() {
+        let _ = SystemStats::new().read_latency_percentile(1.5);
+    }
+}

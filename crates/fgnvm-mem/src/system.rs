@@ -1,0 +1,843 @@
+//! The complete simulated memory system: address mapping plus one
+//! [`Controller`] per channel, ticked on a common clock.
+
+use fgnvm_bank::{Access, BankStats};
+use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::request::{Completion, Op, Request, RequestId};
+use fgnvm_types::time::{Cycle, CycleCount};
+
+use crate::controller::{Controller, Enqueue};
+use crate::data::DataStore;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::queues::Pending;
+use crate::stats::SystemStats;
+use crate::wear::{StartGap, WearTracker};
+
+/// One point of the time-series sampler: cumulative counters at an epoch
+/// boundary. Consumers diff consecutive samples to get per-epoch rates
+/// (bandwidth, power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Cycle the sample was taken.
+    pub at: Cycle,
+    /// Reads completed so far.
+    pub completed_reads: u64,
+    /// Bits sensed so far (activation energy).
+    pub sensed_bits: u64,
+    /// Bits written so far (program energy).
+    pub written_bits: u64,
+    /// Read-queue occupancy at the sample instant.
+    pub read_queue: usize,
+    /// Write-queue occupancy at the sample instant.
+    pub write_queue: usize,
+}
+
+/// A cycle-accurate FgNVM / baseline-NVM main-memory model.
+///
+/// Drive it by [`enqueue`](MemorySystem::enqueue)-ing line-aligned reads and
+/// writes and calling [`tick`](MemorySystem::tick) once per memory cycle;
+/// completions come back with their end-to-end latency.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fgnvm_mem::MemorySystem;
+/// use fgnvm_types::config::SystemConfig;
+/// use fgnvm_types::request::Op;
+/// use fgnvm_types::PhysAddr;
+///
+/// let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2)?)?;
+/// let id = mem.enqueue(Op::Read, PhysAddr::new(0x1000)).expect("queue has room");
+/// let completions = mem.run_until_idle(10_000);
+/// assert!(completions.iter().any(|c| c.id == id));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: SystemConfig,
+    mapper: AddressMapper,
+    controllers: Vec<Controller>,
+    energy_model: EnergyModel,
+    data: DataStore,
+    /// Optional per-(bank, row) write counters.
+    wear: Option<WearTracker>,
+    /// Optional Start-Gap wear levelers, one per global bank.
+    levelers: Option<Vec<StartGap>>,
+    /// Time-series sampling: epoch length in cycles (0 = disabled) and the
+    /// collected samples.
+    sample_epoch: u64,
+    samples: Vec<Sample>,
+    now: Cycle,
+    next_id: u64,
+    stats: SystemStats,
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by `config` with the default
+    /// (row-buffer-friendly) address mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration fails validation.
+    pub fn new(config: SystemConfig) -> Result<Self, ConfigError> {
+        Self::with_mapping(config, MappingScheme::default())
+    }
+
+    /// Builds the memory system with an explicit address-mapping scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration fails validation.
+    pub fn with_mapping(config: SystemConfig, scheme: MappingScheme) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut controllers = Vec::with_capacity(config.geometry.channels() as usize);
+        for _ in 0..config.geometry.channels() {
+            controllers.push(Controller::new(&config)?);
+        }
+        Ok(MemorySystem {
+            mapper: AddressMapper::new(config.geometry, scheme),
+            energy_model: EnergyModel::new(&config),
+            data: DataStore::new(config.geometry.line_bytes()),
+            config,
+            controllers,
+            wear: None,
+            levelers: None,
+            sample_epoch: 0,
+            samples: Vec::new(),
+            now: Cycle::ZERO,
+            next_id: 0,
+            stats: SystemStats::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Presents a request. Returns its id when accepted (or satisfied
+    /// immediately by forwarding/merging), or `None` when the target queue
+    /// is full — the caller should stall and retry.
+    pub fn enqueue(&mut self, op: Op, addr: PhysAddr) -> Option<RequestId> {
+        let addr = addr.line_aligned(self.config.geometry.line_bytes());
+        let mut decoded = self.mapper.decode(addr);
+        let global_bank = self.global_bank(decoded.channel, decoded.rank, decoded.bank);
+        // Wear leveling rotates the logical→physical row mapping.
+        if let Some(levelers) = &self.levelers {
+            let leveler = &levelers[global_bank];
+            let leveled_rows = self.config.geometry.rows_per_bank() - 1;
+            // One physical row per bank is the Start-Gap spare; the top
+            // logical row aliases its neighbour (a real system would
+            // expose one row less of capacity to software).
+            let logical = decoded.row.min(leveled_rows - 1);
+            decoded.row = leveler.map(logical);
+        }
+        let outcome = self.enqueue_physical(op, addr, decoded);
+        if outcome.is_some() && op.is_write() {
+            if let Some(wear) = &mut self.wear {
+                wear.record(global_bank as u32, decoded.row);
+            }
+            self.note_leveled_write(global_bank);
+        }
+        outcome
+    }
+
+    /// Enqueues at already-resolved physical coordinates (used for
+    /// wear-leveling row copies, which must bypass the remapping).
+    fn enqueue_physical(
+        &mut self,
+        op: Op,
+        addr: PhysAddr,
+        decoded: fgnvm_types::address::DecodedAddr,
+    ) -> Option<RequestId> {
+        let coord = self.mapper.tile_coord(decoded);
+        let id = RequestId::new(self.next_id);
+        let pending = Pending {
+            request: Request::new(id, op, addr, self.now),
+            decoded,
+            access: Access {
+                op,
+                row: decoded.row,
+                line: decoded.line,
+                coord,
+            },
+            bank_index: (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank)
+                as usize,
+        };
+        let controller = &mut self.controllers[decoded.channel as usize];
+        match controller.enqueue(pending, self.now, &mut self.stats) {
+            Enqueue::Accepted | Enqueue::Satisfied => {
+                self.next_id += 1;
+                Some(id)
+            }
+            Enqueue::Full => None,
+        }
+    }
+
+    fn global_bank(&self, channel: u32, rank: u32, bank: u32) -> usize {
+        let g = &self.config.geometry;
+        ((channel * g.ranks_per_channel() + rank) * g.banks_per_rank() + bank) as usize
+    }
+
+    /// Advances the bank's Start-Gap state and issues the gap-copy traffic
+    /// when a rotation fires. The copy is modeled as one internal row read
+    /// plus one internal write through the normal request path (real
+    /// hardware streams the copy through the row buffer), so its bandwidth
+    /// and energy costs appear in the statistics.
+    fn note_leveled_write(&mut self, global_bank: usize) {
+        let Some(levelers) = &mut self.levelers else {
+            return;
+        };
+        let Some(rotation) = levelers[global_bank].note_write() else {
+            return;
+        };
+        let g = self.config.geometry;
+        let banks = g.banks_per_rank();
+        let ranks = g.ranks_per_channel();
+        let channel = global_bank as u32 / (ranks * banks);
+        let rank = (global_bank as u32 / banks) % ranks;
+        let bank = global_bank as u32 % banks;
+        let src = fgnvm_types::address::DecodedAddr {
+            channel,
+            rank,
+            bank,
+            row: rotation.src_row,
+            line: 0,
+        };
+        let dst = fgnvm_types::address::DecodedAddr {
+            row: rotation.dst_row,
+            ..src
+        };
+        let src_addr = self.mapper.encode(src);
+        let dst_addr = self.mapper.encode(dst);
+        // Best effort: if the queues are full the copy traffic is simply
+        // deferred to the bank's next rotation (the mapping has already
+        // moved; only the modeled copy cost is skipped).
+        let _ = self.enqueue_physical(Op::Read, src_addr, src);
+        if self.enqueue_physical(Op::Write, dst_addr, dst).is_some() {
+            if let Some(wear) = &mut self.wear {
+                wear.record(global_bank as u32, rotation.dst_row);
+            }
+        }
+    }
+
+    /// Enables per-(bank, row) write counting; see [`wear`](Self::wear).
+    pub fn enable_wear_tracking(&mut self) {
+        let g = &self.config.geometry;
+        self.wear = Some(WearTracker::new(g.total_banks(), g.rows_per_bank()));
+    }
+
+    /// Enables Start-Gap wear leveling with a gap movement every
+    /// `interval` writes per bank (classic value: 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `interval` is zero or the geometry has
+    /// fewer than two rows per bank.
+    pub fn enable_start_gap(&mut self, interval: u32) -> Result<(), fgnvm_types::ConfigError> {
+        let g = &self.config.geometry;
+        if g.rows_per_bank() < 2 {
+            return Err(fgnvm_types::ConfigError::Invalid {
+                field: "rows_per_bank",
+                reason: "start-gap needs at least two rows (one spare)",
+            });
+        }
+        let mut levelers = Vec::with_capacity(g.total_banks() as usize);
+        for _ in 0..g.total_banks() {
+            levelers.push(StartGap::new(g.rows_per_bank() - 1, interval)?);
+        }
+        self.levelers = Some(levelers);
+        Ok(())
+    }
+
+    /// Enables per-channel command logging (most recent `capacity`
+    /// commands each); see [`command_log`](Self::command_log).
+    pub fn enable_command_log(&mut self, capacity: usize) {
+        for c in &mut self.controllers {
+            c.enable_command_log(capacity);
+        }
+    }
+
+    /// The command log of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn command_log(&self, channel: u32) -> &crate::cmdlog::CommandLog {
+        self.controllers[channel as usize].command_log()
+    }
+
+    /// Enables time-series sampling every `epoch_cycles` cycles (see
+    /// [`samples`](Self::samples)). Pass 0 to disable.
+    pub fn enable_sampling(&mut self, epoch_cycles: u64) {
+        self.sample_epoch = epoch_cycles;
+        self.samples.clear();
+    }
+
+    /// Samples collected so far (cumulative counters; diff neighbours for
+    /// per-epoch rates).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The wear counters, if tracking was enabled.
+    pub fn wear(&self) -> Option<&WearTracker> {
+        self.wear.as_ref()
+    }
+
+    /// Total Start-Gap rotations across banks, if leveling is enabled.
+    pub fn start_gap_rotations(&self) -> Option<u64> {
+        self.levelers
+            .as_ref()
+            .map(|ls| ls.iter().map(StartGap::rotations).sum())
+    }
+
+    /// Advances one memory cycle, returning any completions that finished.
+    pub fn tick(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.tick_into(&mut out);
+        out
+    }
+
+    /// Advances one memory cycle, appending completions to `out` (avoids
+    /// per-cycle allocation in hot loops).
+    pub fn tick_into(&mut self, out: &mut Vec<Completion>) {
+        for controller in &mut self.controllers {
+            controller.tick(self.now, &mut self.stats, out);
+        }
+        if self.sample_epoch > 0 && self.now.raw().is_multiple_of(self.sample_epoch) {
+            let banks = self.bank_stats();
+            self.samples.push(Sample {
+                at: self.now,
+                completed_reads: self.stats.completed_reads,
+                sensed_bits: banks.sensed_bits,
+                written_bits: banks.written_bits,
+                read_queue: self.read_queue_len(),
+                write_queue: self.write_queue_len(),
+            });
+        }
+        self.now.advance();
+    }
+
+    /// Runs until every queue and event list is empty, or `max_cycles`
+    /// elapse. Returns all completions observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to drain within `max_cycles` — queued
+    /// work should always finish, so hitting the bound indicates a deadlock.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let deadline = self.now + CycleCount::new(max_cycles);
+        while !self.is_idle() {
+            assert!(
+                self.now < deadline,
+                "memory system failed to drain in {max_cycles} cycles"
+            );
+            self.tick_into(&mut out);
+        }
+        out
+    }
+
+    /// True when no requests are queued or in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.controllers.iter().all(Controller::is_idle)
+    }
+
+    /// System-level counters.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Aggregated per-bank counters across all channels.
+    pub fn bank_stats(&self) -> BankStats {
+        let mut total = BankStats::new();
+        for c in &self.controllers {
+            total += c.bank_stats();
+        }
+        total
+    }
+
+    /// Per-bank counters across all channels, in (channel, rank, bank)
+    /// order. Useful for spotting load imbalance.
+    pub fn bank_stats_per_bank(&self) -> Vec<BankStats> {
+        self.controllers
+            .iter()
+            .flat_map(Controller::bank_stats_per_bank)
+            .collect()
+    }
+
+    /// Coefficient of variation of per-bank access counts (reads + writes):
+    /// 0 = perfectly balanced load; large values mean a few banks carry the
+    /// traffic. Zero when nothing was accessed.
+    pub fn bank_load_imbalance(&self) -> f64 {
+        let loads: Vec<f64> = self
+            .bank_stats_per_bank()
+            .iter()
+            .map(|s| (s.reads + s.writes) as f64)
+            .collect();
+        let total: f64 = loads.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mean = total / loads.len() as f64;
+        let var = loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Energy consumed so far, per the paper's model.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy_model
+            .breakdown(&self.bank_stats(), self.now.saturating_since(Cycle::ZERO))
+    }
+
+    /// Total data-bus occupancy across channels.
+    pub fn bus_busy_cycles(&self) -> CycleCount {
+        self.controllers
+            .iter()
+            .map(Controller::bus_busy_cycles)
+            .sum()
+    }
+
+    /// Occupancy of the channel read queues (for backpressure inspection).
+    pub fn read_queue_len(&self) -> usize {
+        self.controllers
+            .iter()
+            .map(Controller::read_queue_len)
+            .sum()
+    }
+
+    /// Occupancy of the channel write queues.
+    pub fn write_queue_len(&self) -> usize {
+        self.controllers
+            .iter()
+            .map(Controller::write_queue_len)
+            .sum()
+    }
+
+    /// The address mapper in use (exposed for trace generators that want to
+    /// target specific banks/rows).
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Enqueues a speculative prefetch read. Prefetches are deprioritized
+    /// by the scheduler (demand misses go first) and throttled at the
+    /// door: when the target channel's read queue is more than ¾ full the
+    /// prefetch is dropped (`None`) so speculation never starves demand.
+    pub fn enqueue_prefetch(&mut self, addr: PhysAddr) -> Option<RequestId> {
+        let addr = addr.line_aligned(self.config.geometry.line_bytes());
+        let decoded = self.mapper.decode(addr);
+        let controller = &self.controllers[decoded.channel as usize];
+        if controller.read_queue_len() * 4 > self.config.queue_entries * 3 {
+            return None;
+        }
+        let mut decoded = decoded;
+        if let Some(levelers) = &self.levelers {
+            let global_bank = self.global_bank(decoded.channel, decoded.rank, decoded.bank);
+            let leveled_rows = self.config.geometry.rows_per_bank() - 1;
+            let logical = decoded.row.min(leveled_rows - 1);
+            decoded.row = levelers[global_bank].map(logical);
+        }
+        let coord = self.mapper.tile_coord(decoded);
+        let id = RequestId::new(self.next_id);
+        let pending = Pending {
+            request: Request::new(id, Op::Read, addr, self.now).as_prefetch(),
+            decoded,
+            access: Access {
+                op: Op::Read,
+                row: decoded.row,
+                line: decoded.line,
+                coord,
+            },
+            bank_index: (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank)
+                as usize,
+        };
+        let controller = &mut self.controllers[decoded.channel as usize];
+        match controller.enqueue(pending, self.now, &mut self.stats) {
+            Enqueue::Accepted | Enqueue::Satisfied => {
+                self.next_id += 1;
+                Some(id)
+            }
+            Enqueue::Full => None,
+        }
+    }
+
+    /// Enqueues a timed write carrying functional data: the store is
+    /// updated in program order (so later reads observe it via
+    /// [`peek`](Self::peek)) and the timing write proceeds through the
+    /// write queue as usual. Returns `None` — with the store untouched —
+    /// when the write queue is full.
+    pub fn enqueue_write_data(&mut self, addr: PhysAddr, data: &[u8]) -> Option<RequestId> {
+        let id = self.enqueue(Op::Write, addr)?;
+        self.data.write(addr, data);
+        Some(id)
+    }
+
+    /// Functional write without any timing traffic (architectural poke;
+    /// use for initializing memory images).
+    pub fn poke(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.data.write(addr, data);
+    }
+
+    /// Functional read of the current architectural state (zeros where
+    /// never written). Timing is modeled separately via
+    /// [`enqueue`](Self::enqueue).
+    pub fn peek(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.data.read(addr, buf);
+    }
+
+    /// The functional backing store.
+    pub fn data(&self) -> &DataStore {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::config::SchedulerKind;
+
+    fn read_all(mem: &mut MemorySystem, addrs: &[u64]) -> Vec<Completion> {
+        for &a in addrs {
+            mem.enqueue(Op::Read, PhysAddr::new(a))
+                .expect("queue has room");
+        }
+        mem.run_until_idle(1_000_000)
+    }
+
+    #[test]
+    fn single_read_latency_matches_bank_timing() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        let id = mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        let done = mem.run_until_idle(10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        // Row miss issued at arrival: tRCD(10) + tCAS(38) + tBURST(4) = 52.
+        assert_eq!(done[0].latency().raw(), 52);
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(4096)).unwrap();
+        let done = mem.run_until_idle(100_000);
+        assert_eq!(done.iter().filter(|c| c.op.is_write()).count(), 2);
+        assert_eq!(mem.stats().enqueued_writes, 2);
+        assert_eq!(mem.bank_stats().writes, 2);
+    }
+
+    #[test]
+    fn forwarding_serves_read_from_write_queue() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0x40)).unwrap();
+        mem.enqueue(Op::Read, PhysAddr::new(0x40)).unwrap();
+        let done = mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().forwarded_reads, 1);
+        // The forwarded read completed in one cycle.
+        let read = done.iter().find(|c| c.op.is_read()).unwrap();
+        assert_eq!(read.latency().raw(), 1);
+    }
+
+    #[test]
+    fn write_merging_coalesces_same_line() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0x80)).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0x80)).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().merged_writes, 1);
+        assert_eq!(mem.bank_stats().writes, 1);
+    }
+
+    #[test]
+    fn queue_backpressure_reports_full() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.queue_entries = 2;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        assert!(mem.enqueue(Op::Read, PhysAddr::new(0)).is_some());
+        assert!(mem.enqueue(Op::Read, PhysAddr::new(4096)).is_some());
+        // Third read to a busy bank cannot be accepted this cycle.
+        assert!(mem.enqueue(Op::Read, PhysAddr::new(8192)).is_none());
+        assert_eq!(mem.stats().rejected, 1);
+        // After draining there is room again.
+        mem.run_until_idle(100_000);
+        assert!(mem.enqueue(Op::Read, PhysAddr::new(8192)).is_some());
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_misses() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        // Two reads in the same row: second should be a hit.
+        let done = read_all(&mut mem, &[0, 128]);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mem.bank_stats().row_hits, 1);
+    }
+
+    #[test]
+    fn fgnvm_bank_conflicts_resolve_faster_than_baseline() {
+        // Four reads to different rows of the *same bank*, conflicting in
+        // the baseline but spread across SAGs in FgNVM. With the default
+        // mapping the row index sits above bit 13, and 8 SAGs partition the
+        // 32 Ki rows into 4 Ki-row blocks, so a 32 MB stride changes SAG.
+        // Alternate the 512 B half-row so the reads also alternate CDs:
+        // four distinct (SAG, CD) pairs for the 8×2 FgNVM.
+        let addrs: Vec<u64> = (0..4u64)
+            .map(|i| i * 32 * 1024 * 1024 + (i % 2) * 512)
+            .collect();
+        let mut base = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        let mut fg = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        // Verify the addresses indeed share a bank and split across SAGs.
+        let d: Vec<_> = addrs
+            .iter()
+            .map(|&a| fg.mapper().decode(PhysAddr::new(a)))
+            .collect();
+        assert!(d.iter().all(|x| x.bank == d[0].bank));
+        let sags: std::collections::HashSet<u32> = d
+            .iter()
+            .map(|x| fg.mapper().geometry().sag_of_row(x.row))
+            .collect();
+        assert!(sags.len() > 1, "rows should span SAGs");
+        read_all(&mut base, &addrs);
+        read_all(&mut fg, &addrs);
+        let base_cycles = base.now().raw();
+        let fg_cycles = fg.now().raw();
+        assert!(
+            fg_cycles < base_cycles,
+            "fgnvm ({fg_cycles}) should beat baseline ({base_cycles}) on bank conflicts"
+        );
+    }
+
+    #[test]
+    fn reads_proceed_during_background_write() {
+        // One write plus many reads to other SAGs: the TLP scheduler should
+        // complete reads while the write programs.
+        let mut cfg = SystemConfig::fgnvm(8, 2).unwrap();
+        cfg.scheduler = SchedulerKind::FrfcfsTlp;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+        // Let the write issue (opportunistic drain on the idle read queue).
+        mem.tick();
+        mem.tick();
+        // Same bank, different SAG & CD: issues while the write programs.
+        mem.enqueue(Op::Read, PhysAddr::new(32 * 1024 * 1024 + 512))
+            .unwrap();
+        mem.run_until_idle(100_000);
+        assert!(mem.bank_stats().reads_under_write >= 1);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        read_all(&mut mem, &[0]);
+        let e = mem.energy();
+        assert!(e.sense_pj >= 16384.0); // one full-row activation
+        assert!(e.background_pj > 0.0);
+        assert_eq!(e.write_pj, 0.0);
+    }
+
+    #[test]
+    fn functional_data_follows_timed_writes() {
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        mem.poke(PhysAddr::new(0x200), &[7u8; 64]);
+        let mut buf = [0u8; 64];
+        mem.peek(PhysAddr::new(0x200), &mut buf);
+        assert_eq!(buf, [7u8; 64]);
+        // A timed write with data updates the store and runs the timing
+        // path (visible in the write counters after draining).
+        mem.enqueue_write_data(PhysAddr::new(0x200), &[9u8; 64])
+            .unwrap();
+        mem.peek(PhysAddr::new(0x200), &mut buf);
+        assert_eq!(buf, [9u8; 64]);
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.bank_stats().writes, 1);
+        // Unwritten memory reads as zeros.
+        mem.peek(PhysAddr::new(0x4000), &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn wear_tracking_counts_writes() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        mem.enable_wear_tracking();
+        for i in 0..10u64 {
+            mem.enqueue(Op::Write, PhysAddr::new(i * 8192)).unwrap();
+            mem.run_until_idle(100_000);
+        }
+        let wear = mem.wear().unwrap();
+        assert_eq!(wear.total_writes(), 10);
+        assert_eq!(wear.max_row_writes(), 1); // ten distinct rows
+        assert!((wear.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_gap_levels_a_hammered_row() {
+        // Small row count so the gap sweeps the bank many times within the
+        // test (Start-Gap levels at the timescale of full sweeps).
+        let mut cfg = SystemConfig::baseline();
+        cfg.geometry = fgnvm_types::Geometry::builder()
+            .rows_per_bank(16)
+            .sags(1)
+            .cds(1)
+            .build()
+            .unwrap();
+        let mut hammered = MemorySystem::new(cfg).unwrap();
+        hammered.enable_wear_tracking();
+        let mut leveled = MemorySystem::new(cfg).unwrap();
+        leveled.enable_wear_tracking();
+        leveled.enable_start_gap(2).unwrap();
+        // Hammer one line 400 times (drain between writes so the write
+        // queue cannot merge them away).
+        for mem in [&mut hammered, &mut leveled] {
+            for _ in 0..400 {
+                mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+                mem.run_until_idle(100_000);
+            }
+        }
+        let without = hammered.wear().unwrap().max_row_writes();
+        let with = leveled.wear().unwrap().max_row_writes();
+        assert_eq!(without, 400, "all unleveled writes hit one row");
+        assert!(
+            with < without / 4,
+            "start-gap should spread the hot row: max {with} vs {without}"
+        );
+        assert!(leveled.start_gap_rotations().unwrap() > 16);
+    }
+
+    #[test]
+    fn start_gap_remaps_rows_but_preserves_function() {
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        mem.enable_start_gap(4).unwrap();
+        // Functional data is keyed by logical address: remapping below is
+        // invisible to peek/poke even across rotations.
+        mem.poke(PhysAddr::new(0x40), &[3u8; 64]);
+        for i in 0..50u64 {
+            mem.enqueue(Op::Write, PhysAddr::new(0x10000 + i * 8192))
+                .unwrap();
+        }
+        mem.run_until_idle(1_000_000);
+        let mut buf = [0u8; 64];
+        mem.peek(PhysAddr::new(0x40), &mut buf);
+        assert_eq!(buf, [3u8; 64]);
+        assert!(mem.start_gap_rotations().unwrap() >= 12);
+    }
+
+    #[test]
+    fn prefetches_are_throttled_and_deprioritized() {
+        let mut cfg = SystemConfig::fgnvm(8, 2).unwrap();
+        cfg.queue_entries = 8;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        // Fill 7 of 8 read-queue slots with demand misses (above the ¾
+        // watermark).
+        for i in 0..7u64 {
+            mem.enqueue(Op::Read, PhysAddr::new(i * 32 * 1024 * 1024))
+                .unwrap();
+        }
+        // Above the ¾ watermark the prefetch is dropped at the door.
+        assert!(mem.enqueue_prefetch(PhysAddr::new(0x123400)).is_none());
+        mem.run_until_idle(1_000_000);
+        // Below the watermark it is accepted.
+        assert!(mem.enqueue_prefetch(PhysAddr::new(0x123400)).is_some());
+        mem.run_until_idle(1_000_000);
+    }
+
+    #[test]
+    fn demand_outranks_older_prefetch() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        // An older prefetch and a younger demand read to different rows of
+        // the same bank: both miss; the demand must issue first.
+        let pf = mem.enqueue_prefetch(PhysAddr::new(0)).unwrap();
+        let demand = mem
+            .enqueue(Op::Read, PhysAddr::new(32 * 1024 * 1024))
+            .unwrap();
+        let done = mem.run_until_idle(1_000_000);
+        let finish = |id| done.iter().find(|c| c.id == id).unwrap().finished;
+        assert!(
+            finish(demand) < finish(pf),
+            "demand should complete before the older prefetch"
+        );
+    }
+
+    #[test]
+    fn per_bank_stats_and_imbalance() {
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        assert_eq!(mem.bank_load_imbalance(), 0.0);
+        // Hammer one bank only.
+        for i in 0..8u64 {
+            mem.enqueue(Op::Read, PhysAddr::new(i * 32 * 1024 * 1024))
+                .unwrap();
+            mem.run_until_idle(1_000_000);
+        }
+        let per_bank = mem.bank_stats_per_bank();
+        assert_eq!(per_bank.len(), 8);
+        assert_eq!(per_bank[0].reads, 8);
+        assert!(per_bank[1..].iter().all(|s| s.reads == 0));
+        // One loaded bank of eight: CV = sqrt(7) ≈ 2.65.
+        assert!((mem.bank_load_imbalance() - 7f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_collects_monotone_counters() {
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        mem.enable_sampling(16);
+        for i in 0..20u64 {
+            mem.enqueue(Op::Read, PhysAddr::new(i * 8192)).unwrap();
+        }
+        mem.run_until_idle(1_000_000);
+        let samples = mem.samples();
+        assert!(
+            samples.len() >= 3,
+            "expected several epochs, got {}",
+            samples.len()
+        );
+        for pair in samples.windows(2) {
+            assert!(pair[1].at > pair[0].at);
+            assert!(pair[1].completed_reads >= pair[0].completed_reads);
+            assert!(pair[1].sensed_bits >= pair[0].sensed_bits);
+        }
+        assert_eq!(samples.last().unwrap().completed_reads, 20);
+    }
+
+    #[test]
+    fn command_log_captures_issue_sequence() {
+        use fgnvm_bank::PlanKind;
+        let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+        mem.enable_command_log(16);
+        mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        mem.run_until_idle(10_000);
+        mem.enqueue(Op::Read, PhysAddr::new(128)).unwrap();
+        mem.run_until_idle(10_000);
+        let log = mem.command_log(0);
+        let kinds: Vec<PlanKind> = log.records().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![PlanKind::Activate, PlanKind::RowHit]);
+        let rows: Vec<u32> = log.records().map(|r| r.row).collect();
+        assert_eq!(rows, vec![0, 0]);
+    }
+
+    #[test]
+    fn memory_system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MemorySystem>();
+        assert_send::<crate::hybrid::HybridMemory>();
+    }
+
+    #[test]
+    fn multi_issue_not_slower() {
+        let addrs: Vec<u64> = (0..16u64)
+            .map(|i| i * 1024 * 1024 + (i % 4) * 256)
+            .collect();
+        let mut plain = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let mut multi =
+            MemorySystem::new(SystemConfig::fgnvm_multi_issue(8, 2, 4).unwrap()).unwrap();
+        read_all(&mut plain, &addrs);
+        read_all(&mut multi, &addrs);
+        assert!(multi.now().raw() <= plain.now().raw());
+    }
+}

@@ -1,0 +1,344 @@
+//! PCM endurance: wear tracking and Start-Gap wear leveling.
+//!
+//! Phase-change cells endure ~10⁷–10⁹ writes, so a PCM main memory must
+//! (a) know where writes land and (b) spread them. This module provides
+//! both as an optional layer under the timing simulator:
+//!
+//! * [`WearTracker`] — per-(bank, row) write counters with imbalance and
+//!   lifetime estimation.
+//! * [`StartGap`] — the classic algebraic wear-leveling scheme (Qureshi et
+//!   al., MICRO 2009): one spare row per region plus two registers
+//!   (`start`, `gap`); every `interval` writes the gap moves by one row,
+//!   slowly rotating the logical-to-physical row mapping without a
+//!   remapping table. The rotation's row copy is issued through the normal
+//!   request path, so its bandwidth and energy costs are modeled, not
+//!   assumed free.
+
+use fgnvm_types::error::ConfigError;
+
+/// Per-(bank, row) write counters.
+///
+/// ```
+/// use fgnvm_mem::WearTracker;
+///
+/// let mut wear = WearTracker::new(2, 64);
+/// for _ in 0..10 { wear.record(0, 7); }
+/// wear.record(1, 3);
+/// assert_eq!(wear.max_row_writes(), 10);
+/// // 1e6-write cells at 100 writes/s, ~91% of them on the hot row:
+/// assert!(wear.lifetime_seconds(1_000_000, 100.0) < 11_050.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    rows_per_bank: u32,
+    writes: Vec<u32>,
+    total: u64,
+}
+
+impl WearTracker {
+    /// Creates a tracker for `banks × rows_per_bank` rows.
+    pub fn new(banks: u32, rows_per_bank: u32) -> Self {
+        WearTracker {
+            rows_per_bank,
+            writes: vec![0; (banks as usize) * (rows_per_bank as usize)],
+            total: 0,
+        }
+    }
+
+    /// Records one line write into (bank, physical row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn record(&mut self, bank: u32, row: u32) {
+        let index = bank as usize * self.rows_per_bank as usize + row as usize;
+        self.writes[index] += 1;
+        self.total += 1;
+    }
+
+    /// Total writes recorded.
+    pub fn total_writes(&self) -> u64 {
+        self.total
+    }
+
+    /// The most-written row's count.
+    pub fn max_row_writes(&self) -> u32 {
+        self.writes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean writes per *touched* row (untouched rows excluded).
+    pub fn mean_touched_writes(&self) -> f64 {
+        let touched = self.writes.iter().filter(|&&w| w > 0).count();
+        if touched == 0 {
+            0.0
+        } else {
+            self.total as f64 / touched as f64
+        }
+    }
+
+    /// Wear imbalance: max row writes over mean touched-row writes
+    /// (1.0 = perfectly even). The figure of merit wear leveling improves.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_touched_writes();
+        if mean == 0.0 {
+            1.0
+        } else {
+            f64::from(self.max_row_writes()) / mean
+        }
+    }
+
+    /// Estimated lifetime in seconds: the device dies when the hottest row
+    /// exhausts `cell_endurance` writes, extrapolating the observed write
+    /// distribution at `writes_per_second`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes_per_second` is not positive.
+    pub fn lifetime_seconds(&self, cell_endurance: u64, writes_per_second: f64) -> f64 {
+        assert!(writes_per_second > 0.0, "write rate must be positive");
+        let max = u64::from(self.max_row_writes());
+        if max == 0 {
+            return f64::INFINITY;
+        }
+        // Writes to the hottest row per global write.
+        let hot_fraction = max as f64 / self.total as f64;
+        let hot_rate = writes_per_second * hot_fraction;
+        cell_endurance as f64 / hot_rate
+    }
+}
+
+/// Start-Gap wear leveling over one bank's `rows` logical rows (plus one
+/// physical spare).
+///
+/// ```
+/// # fn main() -> Result<(), fgnvm_types::ConfigError> {
+/// use fgnvm_mem::StartGap;
+///
+/// let mut leveler = StartGap::new(8, 1)?;
+/// let before = leveler.map(0);
+/// // One full sweep of gap movements remaps every logical row.
+/// for _ in 0..9 {
+///     if let Some(rotation) = leveler.note_write() {
+///         // A real controller copies rotation.src_row → rotation.dst_row.
+///         let _ = rotation;
+///     }
+/// }
+/// assert_ne!(leveler.map(0), before);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    /// Logical rows being leveled.
+    rows: u32,
+    /// Rotation offset; increments once per full gap sweep.
+    start: u32,
+    /// Physical index of the spare (unmapped) row, in `0..=rows`.
+    gap: u32,
+    /// Writes between gap movements.
+    interval: u32,
+    /// Writes since the last movement.
+    since_move: u32,
+    /// Total gap movements performed.
+    rotations: u64,
+}
+
+/// A pending gap movement: copy `src_row`'s contents into `dst_row`
+/// (physical indices). The caller issues the copy through the normal
+/// request path so its cost is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotation {
+    /// Physical row to read.
+    pub src_row: u32,
+    /// Physical row to write (the old gap position).
+    pub dst_row: u32,
+}
+
+impl StartGap {
+    /// Creates a leveler for `rows` logical rows, moving the gap every
+    /// `interval` writes (Qureshi et al. use 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `rows` or `interval` is zero.
+    pub fn new(rows: u32, interval: u32) -> Result<Self, ConfigError> {
+        if rows == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "rows",
+                expected: "at least 1",
+            });
+        }
+        if interval == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "gap_interval",
+                expected: "at least 1",
+            });
+        }
+        Ok(StartGap {
+            rows,
+            start: 0,
+            gap: rows,
+            interval,
+            since_move: 0,
+            rotations: 0,
+        })
+    }
+
+    /// Maps a logical row to its current physical row.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `row` is out of range.
+    pub fn map(&self, row: u32) -> u32 {
+        debug_assert!(row < self.rows, "logical row {row} out of range");
+        // Classic Start-Gap algebra: rotate by `start`, then skip the gap.
+        let rotated = (row + self.start) % self.rows;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Notes one write; every `interval`-th write returns the row copy the
+    /// caller must perform, after which the gap has moved by one.
+    pub fn note_write(&mut self) -> Option<Rotation> {
+        self.since_move += 1;
+        if self.since_move < self.interval {
+            return None;
+        }
+        self.since_move = 0;
+        self.rotations += 1;
+        // Move the gap "up": the row just below the gap slides into it.
+        let rotation = if self.gap == 0 {
+            // Gap wraps to the top; one full sweep completed → advance start.
+            self.gap = self.rows;
+            self.start = (self.start + 1) % self.rows;
+            Rotation {
+                src_row: self.rows - 1,
+                dst_row: 0,
+            }
+        } else {
+            let dst = self.gap;
+            self.gap -= 1;
+            Rotation {
+                src_row: self.gap,
+                dst_row: dst,
+            }
+        };
+        Some(rotation)
+    }
+
+    /// Total gap movements so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Current (start, gap) registers, for inspection.
+    pub fn registers(&self) -> (u32, u32) {
+        (self.start, self.gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tracker_counts_and_imbalance() {
+        let mut t = WearTracker::new(2, 16);
+        for _ in 0..9 {
+            t.record(0, 3);
+        }
+        t.record(1, 7);
+        assert_eq!(t.total_writes(), 10);
+        assert_eq!(t.max_row_writes(), 9);
+        assert!((t.mean_touched_writes() - 5.0).abs() < 1e-12);
+        assert!((t.imbalance() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_lifetime() {
+        let mut t = WearTracker::new(1, 4);
+        // All writes hammer one row: worst case.
+        for _ in 0..100 {
+            t.record(0, 0);
+        }
+        // Endurance 1e6, 1000 writes/s all to that row → 1000 s.
+        let life = t.lifetime_seconds(1_000_000, 1000.0);
+        assert!((life - 1000.0).abs() < 1e-6);
+        // Empty tracker: infinite lifetime.
+        assert!(WearTracker::new(1, 4)
+            .lifetime_seconds(1_000_000, 1.0)
+            .is_infinite());
+    }
+
+    #[test]
+    fn start_gap_mapping_is_injective() {
+        let mut sg = StartGap::new(16, 1).unwrap();
+        for step in 0..200 {
+            let physical: HashSet<u32> = (0..16).map(|r| sg.map(r)).collect();
+            assert_eq!(physical.len(), 16, "collision after {step} rotations");
+            assert!(physical.iter().all(|&p| p <= 16));
+            // The gap row is never mapped.
+            let (_, gap) = sg.registers();
+            assert!(
+                !physical.contains(&gap),
+                "gap {gap} is mapped at step {step}"
+            );
+            sg.note_write();
+        }
+    }
+
+    #[test]
+    fn start_gap_rotation_cadence() {
+        let mut sg = StartGap::new(8, 4).unwrap();
+        let mut rotations = 0;
+        for _ in 0..40 {
+            if sg.note_write().is_some() {
+                rotations += 1;
+            }
+        }
+        assert_eq!(rotations, 10);
+        assert_eq!(sg.rotations(), 10);
+    }
+
+    #[test]
+    fn start_gap_full_sweep_advances_start() {
+        let mut sg = StartGap::new(4, 1).unwrap();
+        // gap starts at 4; four moves bring it to 0, the fifth wraps.
+        for _ in 0..4 {
+            sg.note_write();
+        }
+        assert_eq!(sg.registers(), (0, 0));
+        let wrap = sg.note_write().unwrap();
+        assert_eq!(
+            wrap,
+            Rotation {
+                src_row: 3,
+                dst_row: 0
+            }
+        );
+        assert_eq!(sg.registers(), (1, 4));
+    }
+
+    #[test]
+    fn start_gap_eventually_remaps_every_row() {
+        let mut sg = StartGap::new(8, 1).unwrap();
+        let before: Vec<u32> = (0..8).map(|r| sg.map(r)).collect();
+        // One full sweep plus one step: every logical row moved.
+        for _ in 0..9 {
+            sg.note_write();
+        }
+        let after: Vec<u32> = (0..8).map(|r| sg.map(r)).collect();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(moved == 8, "only {moved} rows moved");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(StartGap::new(0, 1).is_err());
+        assert!(StartGap::new(8, 0).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Analytical area-overhead model reproducing Table 1 of the paper.
+//!
+//! FgNVM adds four kinds of hardware to a bank (§5):
+//!
+//! 1. **Row decoders** — the global two-stage decoder is split into one
+//!    decoder per subarray group. A decoder for `N` rows grows as
+//!    `Ω(N log N)` (Rabaey-style transistor count), so `S` decoders of
+//!    `N/S` rows are never *larger* than one of `N`: the paper reports the
+//!    overhead as "N/A" and we model it as zero (clamped).
+//! 2. **Row-address latches** — one per subarray group, to hold the open
+//!    row (enables Multi-Activation). Synthesized at TSMC 45 nm in the
+//!    paper; we use an affine fit through the paper's two data points
+//!    (8×8 → 2325 µm², 32×32 → 9333 µm²), i.e. ≈ 292 µm² per SAG with a
+//!    small negative intercept from synthesis amortization.
+//! 3. **CSL latches** — persistently drive each tile's local Y-select; one
+//!    one-hot latch bit per (SAG, CD). Affine fit through the paper's
+//!    points (8×8 = 64 bits → 636.3 µm², 32×32 = 1024 bits → 4242 µm²):
+//!    ≈ 3.76 µm² per latch bit plus ≈ 396 µm² of shared control.
+//! 4. **Local Y-select enable wires** — one enable per SAG per CD, routed
+//!    at a 6F metal-3 pitch along the 4 mm bank. Up to
+//!    [`over_tile_tracks`](AreaModel::over_tile_tracks) of them ride over
+//!    the tiles with the global I/O lines for free (the paper's best
+//!    case); only the overflow needs dedicated tracks. The track capacity
+//!    is calibrated so the 32×32 worst case lands at the paper's 0.1 mm².
+
+use serde::{Deserialize, Serialize};
+
+/// Area of one component and the total, in µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Subarray groups of the evaluated design.
+    pub sags: u32,
+    /// Column divisions of the evaluated design.
+    pub cds: u32,
+    /// Extra row-decoder area (clamped at zero; splitting shrinks it).
+    pub row_decoder_um2: f64,
+    /// Per-SAG row-address latches.
+    pub row_latches_um2: f64,
+    /// Per-(SAG, CD) column-select latches.
+    pub csl_latches_um2: f64,
+    /// Local Y-select enable routing (worst case).
+    pub yselect_lines_um2: f64,
+    /// Fraction of the chip this represents.
+    pub percent_of_chip: f64,
+}
+
+impl AreaReport {
+    /// Total added area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.row_decoder_um2 + self.row_latches_um2 + self.csl_latches_um2 + self.yselect_lines_um2
+    }
+}
+
+/// Area model parameters; defaults are calibrated to the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Technology feature size in nm (paper: 45 nm synthesis).
+    pub feature_nm: f64,
+    /// Bank length the enable bus must traverse, in mm (paper: 4 mm).
+    pub bank_length_mm: f64,
+    /// Rows per bank (decoder sizing).
+    pub rows_per_bank: u32,
+    /// Metal-3 tracks available over the tiles (shared with the global
+    /// I/O lines); enables beyond this count need dedicated routing area.
+    pub over_tile_tracks: u32,
+    /// Die area used for the percentage column, in mm².
+    pub chip_area_mm2: f64,
+}
+
+/// Affine fit through the paper's row-latch points (area = a + b × sags).
+const ROW_LATCH_PER_SAG_UM2: f64 = (9333.0 - 2325.0) / (32.0 - 8.0);
+const ROW_LATCH_BASE_UM2: f64 = 2325.0 - ROW_LATCH_PER_SAG_UM2 * 8.0;
+/// Affine fit through the paper's CSL-latch points (area = a + b × sags×cds).
+const CSL_PER_BIT_UM2: f64 = (4242.0 - 636.3) / (1024.0 - 64.0);
+const CSL_BASE_UM2: f64 = 636.3 - CSL_PER_BIT_UM2 * 64.0;
+
+impl AreaModel {
+    /// The paper's calibration: 45 nm latches, a 4 mm bank, 32 Ki rows,
+    /// 930 over-tile routing tracks (so the 8×8 design routes its enables
+    /// for free and the 32×32 overflow costs the paper's 0.1 mm²), and a
+    /// die sized so the 32×32 total lands at Table 1's 0.36 %.
+    pub fn paper_calibrated() -> Self {
+        AreaModel {
+            feature_nm: 45.0,
+            bank_length_mm: 4.0,
+            rows_per_bank: 32_768,
+            over_tile_tracks: 930,
+            chip_area_mm2: 30.6,
+        }
+    }
+
+    /// Transistor count of a two-stage decoder for `n` rows
+    /// (Rabaey-style: ~`n (log2 n + 2)` with predecoding).
+    fn decoder_transistors(n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let n = f64::from(n);
+        n * (n.log2() + 2.0)
+    }
+
+    /// Extra decoder area from splitting one `rows` decoder into `sags`
+    /// decoders of `rows/sags`, in transistors (clamped at zero: the split
+    /// decoders are smaller because each decodes fewer address bits).
+    pub fn decoder_delta_transistors(&self, sags: u32) -> f64 {
+        let whole = Self::decoder_transistors(self.rows_per_bank);
+        let split = f64::from(sags) * Self::decoder_transistors(self.rows_per_bank / sags.max(1));
+        (split - whole).max(0.0)
+    }
+
+    /// Width of the Y-select enable bus in µm: one enable per (SAG, CD) at
+    /// a 6F wire-plus-space pitch.
+    pub fn enable_bus_width_um(&self, sags: u32, cds: u32) -> f64 {
+        let pitch_um = 6.0 * self.feature_nm / 1000.0;
+        f64::from(sags) * f64::from(cds) * pitch_um
+    }
+
+    /// Full area report for an `sags × cds` FgNVM bank.
+    pub fn report(&self, sags: u32, cds: u32) -> AreaReport {
+        let units = f64::from(sags) * f64::from(cds);
+        // No subdivision → no added hardware at all.
+        if sags <= 1 && cds <= 1 {
+            return AreaReport {
+                sags,
+                cds,
+                row_decoder_um2: 0.0,
+                row_latches_um2: 0.0,
+                csl_latches_um2: 0.0,
+                yselect_lines_um2: 0.0,
+                percent_of_chip: 0.0,
+            };
+        }
+        let row_latches = (ROW_LATCH_BASE_UM2 + ROW_LATCH_PER_SAG_UM2 * f64::from(sags)).max(0.0);
+        let csl_latches = (CSL_BASE_UM2 + CSL_PER_BIT_UM2 * units).max(0.0);
+        // Decoder delta is zero or negative; Table 1 reports "N/A".
+        let row_decoder = self.decoder_delta_transistors(sags); // 0.0 by construction
+        let overflow_wires =
+            (f64::from(sags) * f64::from(cds) - f64::from(self.over_tile_tracks)).max(0.0);
+        let pitch_um = 6.0 * self.feature_nm / 1000.0;
+        let yselect = overflow_wires * pitch_um * (self.bank_length_mm * 1000.0);
+        let total = row_decoder + row_latches + csl_latches + yselect;
+        AreaReport {
+            sags,
+            cds,
+            row_decoder_um2: row_decoder,
+            row_latches_um2: row_latches,
+            csl_latches_um2: csl_latches,
+            yselect_lines_um2: yselect,
+            percent_of_chip: total / (self.chip_area_mm2 * 1_000_000.0) * 100.0,
+        }
+    }
+
+    /// The paper's Table 1: (average = 8×8, maximum = 32×32).
+    pub fn table1(&self) -> (AreaReport, AreaReport) {
+        (self.report(8, 8), self.report(32, 32))
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn row_latches_match_table1() {
+        let m = AreaModel::paper_calibrated();
+        let (avg, max) = m.table1();
+        assert!(
+            close(avg.row_latches_um2, 2325.0, 0.01),
+            "avg {}",
+            avg.row_latches_um2
+        );
+        assert!(
+            close(max.row_latches_um2, 9333.0, 0.01),
+            "max {}",
+            max.row_latches_um2
+        );
+    }
+
+    #[test]
+    fn csl_latches_match_table1() {
+        let m = AreaModel::paper_calibrated();
+        let (avg, max) = m.table1();
+        assert!(
+            close(avg.csl_latches_um2, 636.3, 0.01),
+            "avg {}",
+            avg.csl_latches_um2
+        );
+        assert!(
+            close(max.csl_latches_um2, 4242.0, 0.01),
+            "max {}",
+            max.csl_latches_um2
+        );
+    }
+
+    #[test]
+    fn yselect_worst_case_near_tenth_mm2() {
+        let m = AreaModel::paper_calibrated();
+        let (avg, max) = m.table1();
+        // 8×8 fits entirely over the tiles (paper's best case: zero).
+        assert_eq!(avg.yselect_lines_um2, 0.0);
+        // Paper: 0.1 mm² = 100_000 µm² for 32×32.
+        assert!(
+            close(max.yselect_lines_um2, 100_000.0, 0.15),
+            "{}",
+            max.yselect_lines_um2
+        );
+    }
+
+    #[test]
+    fn table1_average_total_matches_paper() {
+        let m = AreaModel::paper_calibrated();
+        let (avg, _) = m.table1();
+        // Paper: 2961 µm² average total.
+        assert!(close(avg.total_um2(), 2961.0, 0.01), "{}", avg.total_um2());
+    }
+
+    #[test]
+    fn totals_match_table1_bounds() {
+        let m = AreaModel::paper_calibrated();
+        let (avg, max) = m.table1();
+        // Average: < 0.1 % of the chip (paper's "<0.1%").
+        assert!(avg.percent_of_chip < 0.1, "avg {}%", avg.percent_of_chip);
+        // Maximum: ≈ 0.36 % (paper's stated maximum).
+        assert!(
+            close(max.percent_of_chip, 0.36, 0.15),
+            "max {}%",
+            max.percent_of_chip
+        );
+        // Max total ≈ 0.11 mm².
+        assert!(
+            close(max.total_um2(), 110_000.0, 0.15),
+            "max total {}",
+            max.total_um2()
+        );
+    }
+
+    #[test]
+    fn decoder_split_never_adds_area() {
+        let m = AreaModel::paper_calibrated();
+        for sags in [1, 2, 4, 8, 16, 32] {
+            assert_eq!(m.decoder_delta_transistors(sags), 0.0, "sags={sags}");
+        }
+    }
+
+    #[test]
+    fn enable_bus_width_matches_paper_estimate() {
+        let m = AreaModel::paper_calibrated();
+        // Paper: 32×32 at 6F/45 nm gives a ~246 µm bus; our pitch math
+        // yields 276 µm (the paper evidently deducts some shared tracks).
+        let w = m.enable_bus_width_um(32, 32);
+        assert!((246.0..300.0).contains(&w), "width {w}");
+    }
+
+    #[test]
+    fn unsubdivided_bank_has_no_overhead() {
+        let m = AreaModel::paper_calibrated();
+        let r = m.report(1, 1);
+        assert_eq!(r.total_um2(), 0.0);
+        assert_eq!(r.percent_of_chip, 0.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_subdivision() {
+        let m = AreaModel::paper_calibrated();
+        let small = m.report(4, 4).total_um2();
+        let medium = m.report(8, 8).total_um2();
+        let large = m.report(32, 32).total_um2();
+        assert!(small < medium && medium < large);
+    }
+}

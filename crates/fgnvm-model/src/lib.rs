@@ -1,0 +1,31 @@
+//! Analytical area and energy models for FgNVM bank subdivision.
+//!
+//! * [`area`] reproduces the paper's Table 1 — the added hardware of
+//!   two-dimensional bank subdivision (per-SAG row decoders and latches,
+//!   CSL latches, Y-select enable routing) — calibrated to the paper's
+//!   published synthesis numbers.
+//! * [`energy`] provides closed-form energy expectations, including the
+//!   "Perfect" series of Figure 5 (exactly one cache line sensed per read).
+//! * [`reliability`] quantifies §3.2's soft-error concern: the ECC cost of
+//!   grouping a cache line's bits in one tile versus interleaving them.
+//!
+//! # Example
+//!
+//! ```
+//! use fgnvm_model::area::AreaModel;
+//!
+//! let (avg, max) = AreaModel::paper_calibrated().table1();
+//! assert!(avg.percent_of_chip < 0.1);   // "<0.1 %" in Table 1
+//! assert!(max.percent_of_chip < 0.45);  // "0.36 %" in Table 1
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod energy;
+pub mod reliability;
+
+pub use area::{AreaModel, AreaReport};
+pub use energy::{array_energy_pj, expected_relative_energy, perfect_energy_pj, AccessCounts};
+pub use reliability::{compare_layouts, ecc_for, BitLayout, EccRequirement, LayoutComparison};

@@ -1,0 +1,186 @@
+//! Soft-error / ECC implications of FgNVM's bit grouping (§3.2).
+//!
+//! To keep the column-select signal count manageable, FgNVM *groups* the
+//! bits of a cache line into one tile instead of interleaving them across
+//! every tile of the row ("we propose to group bits of the same cache line
+//! into a single tile"). The paper notes this "may raise concern for
+//! increased soft error rates due to high correlation of errors in nearby
+//! cells" and assumes resistive storage is radiation-hard enough to permit
+//! it. This module makes the concern quantitative:
+//!
+//! * under the classic **interleaved** layout, a physically clustered
+//!   multi-cell upset of span `k` touches `k` *different* cache lines, one
+//!   bit each — per-line SECDED corrects everything;
+//! * under FgNVM's **grouped** layout, the same upset lands `k` bits in
+//!   *one* line, requiring a `t ≥ k` multi-bit-correcting code (e.g. BCH).
+//!
+//! The [`EccRequirement`] calculator gives the check-bit overhead either
+//! layout needs to survive a given cluster span, so the area cost of the
+//! paper's assumption can be compared against its CSL-count savings.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical data layout of a cache line across a row's tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitLayout {
+    /// Baseline: consecutive bits of a line interleave across all tiles of
+    /// the row (bit *i* of the line lives in tile `i mod tiles`).
+    Interleaved {
+        /// Tiles (cache lines) sharing the row.
+        tiles: u32,
+    },
+    /// FgNVM: a line's bits sit adjacently within one tile.
+    Grouped,
+}
+
+/// How many bits of a *single cache line* a physically clustered upset of
+/// `cluster_span` adjacent cells can corrupt under `layout`.
+pub fn worst_case_bits_per_line(layout: BitLayout, cluster_span: u32) -> u32 {
+    match layout {
+        // The cluster spreads round-robin: a line is hit once per full
+        // sweep of the tiles, rounded up.
+        BitLayout::Interleaved { tiles } => cluster_span.div_ceil(tiles.max(1)),
+        // All clustered cells belong to the same line (until the cluster
+        // exceeds the line itself, which the caller bounds).
+        BitLayout::Grouped => cluster_span,
+    }
+}
+
+/// ECC parameters required to correct `t` bit errors in a `data_bits`
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EccRequirement {
+    /// Errors the code must correct per line.
+    pub correctable: u32,
+    /// Check bits required per line.
+    pub check_bits: u32,
+    /// Storage overhead as a fraction of the payload.
+    pub overhead: f64,
+}
+
+/// Computes the ECC a layout needs to ride out clustered upsets of
+/// `cluster_span` cells on a `line_bits` cache line.
+///
+/// ```
+/// use fgnvm_model::reliability::{ecc_for, BitLayout};
+///
+/// // A 4-cell upset: interleaving keeps it to 1 bit/line (SECDED is
+/// // enough); FgNVM's grouping needs a 4-error BCH code.
+/// let interleaved = ecc_for(BitLayout::Interleaved { tiles: 16 }, 512, 4);
+/// let grouped = ecc_for(BitLayout::Grouped, 512, 4);
+/// assert_eq!(interleaved.correctable, 1);
+/// assert_eq!(grouped.correctable, 4);
+/// assert!(grouped.check_bits > interleaved.check_bits);
+/// ```
+///
+/// Uses the BCH bound: correcting `t` errors over `k` data bits needs
+/// about `t × ⌈log2(k + t·m)⌉` check bits (`m` = Galois-field order);
+/// `t = 1` specializes to SECDED (`⌈log2 k⌉ + 2`).
+///
+/// # Panics
+///
+/// Panics if `line_bits` is zero or the cluster exceeds the line.
+pub fn ecc_for(layout: BitLayout, line_bits: u32, cluster_span: u32) -> EccRequirement {
+    assert!(line_bits > 0, "line must hold data");
+    assert!(cluster_span <= line_bits, "cluster larger than a line");
+    let t = worst_case_bits_per_line(layout, cluster_span).max(1);
+    let m = 32 - (line_bits - 1).leading_zeros(); // ⌈log2 line_bits⌉
+    let check_bits = if t == 1 {
+        m + 2 // SECDED
+    } else {
+        t * (m + 1) // BCH t-error-correcting over GF(2^(m+1))
+    };
+    EccRequirement {
+        correctable: t,
+        check_bits,
+        overhead: f64::from(check_bits) / f64::from(line_bits),
+    }
+}
+
+/// Side-by-side ECC comparison for the paper's layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayoutComparison {
+    /// Upset span analyzed (adjacent cells).
+    pub cluster_span: u32,
+    /// Baseline interleaved layout requirement.
+    pub interleaved: EccRequirement,
+    /// FgNVM grouped layout requirement.
+    pub grouped: EccRequirement,
+}
+
+impl LayoutComparison {
+    /// Extra check bits the grouped layout pays per line.
+    pub fn extra_check_bits(&self) -> u32 {
+        self.grouped
+            .check_bits
+            .saturating_sub(self.interleaved.check_bits)
+    }
+}
+
+/// Compares both layouts for a 512-bit line in a row of `tiles` tiles,
+/// sweeping the cluster span.
+pub fn compare_layouts(tiles: u32, line_bits: u32, cluster_span: u32) -> LayoutComparison {
+    LayoutComparison {
+        cluster_span,
+        interleaved: ecc_for(BitLayout::Interleaved { tiles }, line_bits, cluster_span),
+        grouped: ecc_for(BitLayout::Grouped, line_bits, cluster_span),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_spreads_clusters() {
+        // 16 tiles: a 4-cell upset touches 4 lines, 1 bit each.
+        let layout = BitLayout::Interleaved { tiles: 16 };
+        assert_eq!(worst_case_bits_per_line(layout, 4), 1);
+        // A 17-cell upset wraps: 2 bits in one line.
+        assert_eq!(worst_case_bits_per_line(layout, 17), 2);
+    }
+
+    #[test]
+    fn grouping_concentrates_clusters() {
+        assert_eq!(worst_case_bits_per_line(BitLayout::Grouped, 4), 4);
+    }
+
+    #[test]
+    fn secded_suffices_for_interleaved_small_clusters() {
+        let ecc = ecc_for(BitLayout::Interleaved { tiles: 16 }, 512, 8);
+        assert_eq!(ecc.correctable, 1);
+        assert_eq!(ecc.check_bits, 11); // ⌈log2 512⌉ + 2
+        assert!(ecc.overhead < 0.025);
+    }
+
+    #[test]
+    fn grouped_needs_multibit_codes() {
+        let ecc = ecc_for(BitLayout::Grouped, 512, 4);
+        assert_eq!(ecc.correctable, 4);
+        assert_eq!(ecc.check_bits, 4 * 10); // BCH t=4 over GF(2^10)
+        assert!(ecc.overhead > 0.05);
+    }
+
+    #[test]
+    fn comparison_quantifies_the_papers_concern() {
+        let cmp = compare_layouts(16, 512, 4);
+        assert!(cmp.grouped.check_bits > cmp.interleaved.check_bits);
+        assert_eq!(cmp.extra_check_bits(), 40 - 11);
+        // Still under 8 % of the line: grouping is affordable if (as the
+        // paper assumes) resistive cells rarely see such clusters at all.
+        assert!(cmp.grouped.overhead < 0.08);
+    }
+
+    #[test]
+    fn single_bit_cluster_is_layout_independent() {
+        let a = ecc_for(BitLayout::Interleaved { tiles: 16 }, 512, 1);
+        let b = ecc_for(BitLayout::Grouped, 512, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster larger")]
+    fn oversized_cluster_rejected() {
+        let _ = ecc_for(BitLayout::Grouped, 64, 65);
+    }
+}

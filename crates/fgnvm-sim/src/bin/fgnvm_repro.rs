@@ -1,0 +1,468 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! fgnvm-repro <command> [--ops N] [--seed S] [--csv|--md]
+//!
+//! commands:
+//!   table1    area overheads (Table 1)
+//!   table2    memory system setup (Table 2)
+//!   fig4      relative IPC: FgNVM / 128 banks / Multi-Issue (Figure 4)
+//!   fig5      relative energy: 8x2 / 8x8 / 8x32 / Perfect (Figure 5)
+//!   ablation  per-access-mode contribution study
+//!   sweep     SAG x CD sensitivity sweep
+//!   summary   headline numbers vs the paper's §6 claims
+//!   dims      1D (SALP-like) vs 2D subdivision at equal unit count
+//!   sched     scheduler study (FCFS / FRFCFS / TLP-augmented)
+//!   maps      address-mapping sensitivity
+//!   tech      PCM baseline vs FgNVM vs DDR3-like DRAM
+//!   pause     write-pausing study on write-heavy workloads
+//!   scaling   channel-scaling study
+//!   mlc       SLC vs MLC PCM cell study
+//!   mix       multiprogrammed consolidation pressure
+//!   coloring  OS page-placement (identity / scattered / SAG-striped)
+//!   timeline  per-epoch power/bandwidth time series
+//!   writes    Backgrounded-Writes headroom vs write intensity
+//!   depth     transaction-queue depth sensitivity
+//!   detail    per-workload metric detail on the 8x8 FgNVM
+//!   tail      read-latency distribution (p50/p95/p99) under write-heavy traffic
+//!   wear      Start-Gap wear leveling: lifetime gain vs gap-traffic cost
+//!   policy    DRAM open- vs closed-page (a knob PCM's substrate dissolves)
+//!   mlp       FgNVM speedup vs core ROB/MSHR window (the MLP dependence)
+//!   cores     4-core consolidation: throughput / weighted speedup / fairness
+//!   hybrid    DRAM-buffered PCM (ref [8]) vs and with FgNVM
+//!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
+//!   regress   self-check headline results against recorded bands (CI)
+//!   all       everything above
+//! ```
+
+use std::process::ExitCode;
+
+use fgnvm_sim::runner::ExperimentParams;
+use fgnvm_sim::{experiment, Table};
+
+#[derive(Debug)]
+struct Cli {
+    command: String,
+    args: Vec<String>,
+    params: ExperimentParams,
+    csv: bool,
+    markdown: bool,
+    json: bool,
+    out_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut params = ExperimentParams::full();
+    let mut csv = false;
+    let mut markdown = false;
+    let mut json = false;
+    let mut out_dir = None;
+    let mut positional = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--ops" => {
+                let v = args.next().ok_or("--ops needs a value")?;
+                params.ops = v.parse().map_err(|_| format!("bad --ops value: {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                params.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--csv" => csv = true,
+            "--md" => markdown = true,
+            "--json" => json = true,
+            "--out" => {
+                let dir = args.next().ok_or("--out needs a directory")?;
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    Ok(Cli {
+        command,
+        args: positional,
+        params,
+        csv,
+        markdown,
+        json,
+        out_dir,
+    })
+}
+
+fn usage() -> String {
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|tail|wear|policy|mlp|compare|regress|summary|all> \
+     [--ops N] [--seed S] [--csv|--md|--json] [--out DIR]"
+        .to_string()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Format {
+    Text,
+    Csv,
+    Markdown,
+    Json,
+}
+
+fn emit_to(table: &Table, format: Format, out_dir: Option<&std::path::Path>) {
+    match format {
+        Format::Csv => print!("{}", table.to_csv()),
+        Format::Markdown => println!("{}", table.to_markdown()),
+        Format::Json => println!("{}", table.to_json()),
+        Format::Text => println!("{}", table.render()),
+    }
+    if let Some(dir) = out_dir {
+        let _ = std::fs::create_dir_all(dir);
+        // Derive a file stem from the table title.
+        let stem: String = table
+            .title()
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .take(4)
+            .collect::<Vec<_>>()
+            .join("_");
+        if let Err(e) = std::fs::write(dir.join(format!("{stem}.csv")), table.to_csv()) {
+            eprintln!("warning: could not write artifact: {e}");
+        }
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let p = &cli.params;
+    let format = if cli.csv {
+        Format::Csv
+    } else if cli.markdown {
+        Format::Markdown
+    } else if cli.json {
+        Format::Json
+    } else {
+        Format::Text
+    };
+    let fail = |e: fgnvm_types::ConfigError| e.to_string();
+    let emit = |table: &Table, format: Format| emit_to(table, format, cli.out_dir.as_deref());
+    match cli.command.as_str() {
+        "table1" => emit(&experiment::table1(), format),
+        "table2" => emit(&experiment::table2(), format),
+        "fig4" => emit(&experiment::fig4(p).map_err(fail)?.to_table(), format),
+        "fig5" => emit(&experiment::fig5(p).map_err(fail)?.to_table(), format),
+        "ablation" => emit(&experiment::ablation(p).map_err(fail)?.to_table(), format),
+        "sweep" => emit(&experiment::sweep(p).map_err(fail)?.to_table(), format),
+        "summary" => emit(&experiment::summary(p).map_err(fail)?.to_table(), format),
+        "dims" => emit(
+            &fgnvm_sim::extensions::dimensions(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "sched" => emit(
+            &fgnvm_sim::extensions::schedulers(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "maps" => emit(
+            &fgnvm_sim::extensions::mappings(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "tech" => emit(
+            &fgnvm_sim::extensions::technology(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "pause" => emit(
+            &fgnvm_sim::extensions::pausing(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "scaling" => emit(
+            &fgnvm_sim::extensions::scaling(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "mlc" => emit(
+            &fgnvm_sim::extensions::cells(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "mix" => emit(
+            &fgnvm_sim::extensions::multiprogrammed(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "coloring" => emit(
+            &fgnvm_sim::extensions::coloring(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "timeline" => emit(
+            &fgnvm_sim::extensions::timeline(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "writes" => emit(
+            &fgnvm_sim::extensions::write_sweep(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "depth" => emit(
+            &fgnvm_sim::extensions::depth_sweep(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "detail" => emit(
+            &fgnvm_sim::extensions::detail(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "cores" => emit(
+            &fgnvm_sim::extensions::cores(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "hybrid" => emit(
+            &fgnvm_sim::extensions::hybrid(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "tail" => {
+            let result = fgnvm_sim::extensions::tail_latency(p).map_err(fail)?;
+            emit(&result.to_table(), format);
+            if matches!(format, Format::Text) {
+                for row in &result.rows {
+                    println!("\n{}:", row.design);
+                    print!(
+                        "{}",
+                        fgnvm_sim::viz::render_latency_histogram(&row.hist, 48)
+                    );
+                }
+            }
+        }
+        "wear" => emit(
+            &fgnvm_sim::extensions::wear(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "policy" => emit(
+            &fgnvm_sim::extensions::page_policy(p)
+                .map_err(fail)?
+                .to_table(),
+            format,
+        ),
+        "mlp" => emit(
+            &fgnvm_sim::extensions::mlp(p).map_err(fail)?.to_table(),
+            format,
+        ),
+        "compare" => {
+            if cli.args.is_empty() {
+                return Err("compare needs at least one parameter file".into());
+            }
+            emit(&compare_param_files(&cli.args, p)?, format)
+        }
+        "regress" => regress(p)?,
+        "all" => {
+            emit(&experiment::table2(), format);
+            emit(&experiment::table1(), format);
+            emit(&experiment::fig4(p).map_err(fail)?.to_table(), format);
+            emit(&experiment::fig5(p).map_err(fail)?.to_table(), format);
+            emit(&experiment::ablation(p).map_err(fail)?.to_table(), format);
+            emit(&experiment::sweep(p).map_err(fail)?.to_table(), format);
+            emit(
+                &fgnvm_sim::extensions::dimensions(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::schedulers(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::mappings(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::technology(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::pausing(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::scaling(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::cells(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::multiprogrammed(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::coloring(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::write_sweep(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::depth_sweep(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::cores(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::tail_latency(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::wear(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::page_policy(p)
+                    .map_err(fail)?
+                    .to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::mlp(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(
+                &fgnvm_sim::extensions::hybrid(p).map_err(fail)?.to_table(),
+                format,
+            );
+            emit(&experiment::summary(p).map_err(fail)?.to_table(), format);
+        }
+        other => return Err(format!("unknown command: {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+/// Runs the standard workloads on each parameter-file configuration and
+/// tabulates geometric-mean speedups against the first file.
+fn compare_param_files(files: &[String], params: &ExperimentParams) -> Result<Table, String> {
+    use fgnvm_sim::report::geometric_mean;
+    use fgnvm_sim::runner::run_one;
+    use fgnvm_types::Geometry;
+    let configs: Vec<_> = files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+            fgnvm_types::parse_system_config(&text).map_err(|e| format!("{f}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let profiles = fgnvm_workloads::all_profiles();
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for profile in &profiles {
+        let trace = profile.generate(Geometry::default(), params.seed, params.ops);
+        let mut reference = None;
+        for (i, config) in configs.iter().enumerate() {
+            let outcome = run_one(&trace, config, params).map_err(|e| e.to_string())?;
+            let base = *reference.get_or_insert(outcome.core.ipc());
+            per_config[i].push(outcome.core.ipc() / base);
+        }
+    }
+    let mut table = Table::new(
+        "Parameter-file comparison (gmean speedup vs the first file)",
+        &["file", "speedup"],
+    );
+    for (file, speedups) in files.iter().zip(&per_config) {
+        table.push_row(vec![
+            file.clone(),
+            format!("{:.2}x", geometric_mean(speedups)),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Self-check: re-derives the headline results and asserts they sit inside
+/// the bands recorded in EXPERIMENTS.md. Exits non-zero on drift, making
+/// this a one-command regression gate for the repository.
+fn regress(params: &ExperimentParams) -> Result<(), String> {
+    use fgnvm_model::area::AreaModel;
+    let fixed = ExperimentParams {
+        ops: 3000,
+        seed: 7,
+        ..*params
+    };
+    let mut failures = Vec::new();
+    let mut check = |name: &str, value: f64, lo: f64, hi: f64| {
+        let ok = (lo..=hi).contains(&value);
+        println!(
+            "{} {name}: {value:.3} (band {lo:.3}..{hi:.3})",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            failures.push(name.to_string());
+        }
+    };
+    let summary = experiment::summary(&fixed).map_err(|e| e.to_string())?;
+    check("fig4 fgnvm gmean", summary.fgnvm_speedup, 1.05, 1.30);
+    let (e2, e8, e32) = summary.energy;
+    check("fig5 8x2 mean", e2, 0.54, 0.67);
+    check("fig5 8x8 mean", e8, 0.29, 0.40);
+    check("fig5 8x32 mean", e32, 0.25, 0.36);
+    let (avg, max) = AreaModel::paper_calibrated().table1();
+    check("table1 avg um2", avg.total_um2(), 2930.0, 2990.0);
+    check("table1 max %", max.percent_of_chip, 0.33, 0.42);
+    let tail = fgnvm_sim::extensions::tail_latency(&fixed).map_err(|e| e.to_string())?;
+    let base_p99 = tail.row("baseline").expect("baseline row").p99;
+    let fg_p99 = tail.row("FgNVM 8x8").expect("fgnvm row").p99;
+    check("tail p99 contraction", base_p99 / fg_p99, 1.3, 6.0);
+    let wear = fgnvm_sim::extensions::wear(&fixed).map_err(|e| e.to_string())?;
+    let leveled = wear.row("start-gap /8").expect("leveled row");
+    check("wear lifetime gain", leveled.lifetime_gain, 2.0, 30.0);
+    check("wear relative ipc", leveled.relative_ipc, 0.85, 1.5);
+    let mlp = fgnvm_sim::extensions::mlp(&fixed).map_err(|e| e.to_string())?;
+    let narrow = mlp.rows.first().expect("narrow window row").speedup();
+    let wide = mlp.rows.last().expect("wide window row").speedup();
+    check("mlp speedup growth", wide / narrow, 1.10, 2.5);
+    if failures.is_empty() {
+        println!("regression check passed");
+        Ok(())
+    } else {
+        Err(format!("regression check failed: {}", failures.join(", ")))
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

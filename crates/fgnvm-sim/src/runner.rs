@@ -1,0 +1,229 @@
+//! Generic machinery for running (workload × memory-configuration) grids.
+
+use crossbeam::thread;
+
+use fgnvm_bank::BankStats;
+use fgnvm_cpu::{Core, CoreConfig, CoreResult, Trace};
+use fgnvm_mem::{EnergyBreakdown, MemorySystem};
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::error::ConfigError;
+
+/// Shared knobs of every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentParams {
+    /// Memory operations per generated trace.
+    pub ops: usize,
+    /// Base RNG seed (each workload decorrelates from it).
+    pub seed: u64,
+    /// Core model parameters.
+    pub core: CoreConfig,
+}
+
+impl ExperimentParams {
+    /// Quick defaults used by tests (small traces).
+    pub fn quick() -> Self {
+        ExperimentParams {
+            ops: 1500,
+            seed: 7,
+            core: CoreConfig::nehalem_like(),
+        }
+    }
+
+    /// Full defaults used by the reproduction binary.
+    pub fn full() -> Self {
+        ExperimentParams {
+            ops: 6000,
+            seed: 7,
+            core: CoreConfig::nehalem_like(),
+        }
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams::full()
+    }
+}
+
+/// Everything measured from one (trace, configuration) run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// IPC and cycle counts from the core.
+    pub core: CoreResult,
+    /// Energy per the paper's model.
+    pub energy: EnergyBreakdown,
+    /// Aggregated bank counters.
+    pub banks: BankStats,
+    /// Mean read latency in memory cycles.
+    pub avg_read_latency: f64,
+    /// Writes coalesced in the write queue (never reached the array).
+    pub merged_writes: u64,
+    /// Reads served by store-to-load forwarding (never reached the array).
+    pub forwarded_reads: u64,
+}
+
+/// Runs `trace` with its first `warmup_ops` memory operations excluded
+/// from the measured statistics (standard region-of-interest methodology:
+/// the warmup populates row buffers, write queues, and prefetcher state,
+/// and only the remainder is measured).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if either configuration is invalid.
+///
+/// # Panics
+///
+/// Panics if `warmup_ops >= trace.len()` (nothing left to measure).
+pub fn run_one_with_warmup(
+    trace: &Trace,
+    warmup_ops: usize,
+    config: &SystemConfig,
+    params: &ExperimentParams,
+) -> Result<RunOutcome, ConfigError> {
+    assert!(warmup_ops < trace.len(), "warmup consumes the whole trace");
+    let records = trace.records();
+    let warmup = Trace::new(
+        format!("{}-warmup", trace.name()),
+        records[..warmup_ops].to_vec(),
+    );
+    let measured = Trace::new(trace.name(), records[warmup_ops..].to_vec());
+    let core = Core::new(params.core)?;
+    let mut memory = MemorySystem::new(*config)?;
+    let warm = core.run(&warmup, &mut memory);
+    let _ = warm;
+    let banks_before = memory.bank_stats();
+    let energy_before = memory.energy();
+    let result = core.run(&measured, &mut memory);
+    let banks = memory.bank_stats().minus(&banks_before);
+    let energy_after = memory.energy();
+    Ok(RunOutcome {
+        core: result,
+        energy: EnergyBreakdown {
+            sense_pj: energy_after.sense_pj - energy_before.sense_pj,
+            write_pj: energy_after.write_pj - energy_before.write_pj,
+            background_pj: energy_after.background_pj - energy_before.background_pj,
+        },
+        banks,
+        avg_read_latency: memory.stats().avg_read_latency(),
+        merged_writes: memory.stats().merged_writes,
+        forwarded_reads: memory.stats().forwarded_reads,
+    })
+}
+
+/// Runs one trace against one memory configuration.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if either configuration is invalid.
+pub fn run_one(
+    trace: &Trace,
+    config: &SystemConfig,
+    params: &ExperimentParams,
+) -> Result<RunOutcome, ConfigError> {
+    let core = Core::new(params.core)?;
+    let mut memory = MemorySystem::new(*config)?;
+    let result = core.run(trace, &mut memory);
+    Ok(RunOutcome {
+        core: result,
+        energy: memory.energy(),
+        banks: memory.bank_stats(),
+        avg_read_latency: memory.stats().avg_read_latency(),
+        merged_writes: memory.stats().merged_writes,
+        forwarded_reads: memory.stats().forwarded_reads,
+    })
+}
+
+/// Runs one trace against several configurations in parallel, preserving
+/// configuration order in the result.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_configs(
+    trace: &Trace,
+    configs: &[SystemConfig],
+    params: &ExperimentParams,
+) -> Result<Vec<RunOutcome>, ConfigError> {
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|config| scope.spawn(move |_| run_one(trace, config, params)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scoped threads");
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::geometry::Geometry;
+    use fgnvm_workloads::profile;
+
+    #[test]
+    fn run_one_produces_consistent_outcome() {
+        let trace = profile("sphinx3_like")
+            .unwrap()
+            .generate(Geometry::default(), 3, 300);
+        let outcome = run_one(
+            &trace,
+            &SystemConfig::baseline(),
+            &ExperimentParams::quick(),
+        )
+        .unwrap();
+        assert!(outcome.core.ipc() > 0.0);
+        assert!(outcome.energy.total_pj() > 0.0);
+        assert!(outcome.banks.reads > 0);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_start_effects() {
+        let trace = profile("libquantum_like")
+            .unwrap()
+            .generate(Geometry::default(), 3, 1000);
+        let params = ExperimentParams::quick();
+        let cfg = SystemConfig::fgnvm(8, 2).unwrap();
+        let cold = run_one(&trace, &cfg, &params).unwrap();
+        let warm = run_one_with_warmup(&trace, 300, &cfg, &params).unwrap();
+        // The measured interval saw fewer operations than the full run...
+        assert!(warm.banks.reads < cold.banks.reads);
+        assert!(warm.energy.total_pj() < cold.energy.total_pj());
+        // ...and both produce sane IPC.
+        assert!(warm.core.ipc() > 0.0 && cold.core.ipc() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup consumes")]
+    fn warmup_larger_than_trace_panics() {
+        let trace = profile("astar_like")
+            .unwrap()
+            .generate(Geometry::default(), 3, 100);
+        let _ = run_one_with_warmup(
+            &trace,
+            100,
+            &SystemConfig::baseline(),
+            &ExperimentParams::quick(),
+        );
+    }
+
+    #[test]
+    fn run_configs_matches_run_one() {
+        let trace = profile("milc_like")
+            .unwrap()
+            .generate(Geometry::default(), 3, 300);
+        let params = ExperimentParams::quick();
+        let configs = [SystemConfig::baseline(), SystemConfig::fgnvm(8, 2).unwrap()];
+        let grid = run_configs(&trace, &configs, &params).unwrap();
+        let single = run_one(&trace, &configs[1], &params).unwrap();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[1].core, single.core);
+    }
+}

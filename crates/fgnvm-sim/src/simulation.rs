@@ -1,0 +1,340 @@
+//! One-call simulation facade: wire a workload, a core, and a memory
+//! configuration together without touching the individual crates.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fgnvm_sim::simulation::Simulation;
+//!
+//! let report = Simulation::builder()
+//!     .workload("milc_like")
+//!     .ops(1000)
+//!     .fgnvm(8, 2)
+//!     .run()?;
+//! assert!(report.ipc > 0.0);
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use fgnvm_cpu::{analyze, Core, CoreConfig, Trace};
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::error::ConfigError;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_workloads::{profile, PagePolicy};
+
+/// Errors from the facade: configuration problems or an unknown workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationError {
+    /// The underlying configuration was invalid.
+    Config(ConfigError),
+    /// No workload profile with that name exists.
+    UnknownWorkload(String),
+    /// Neither a profile name nor an explicit trace was supplied.
+    NoWorkload,
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimulationError::UnknownWorkload(name) => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (see fgnvm_workloads::all_profiles)"
+                )
+            }
+            SimulationError::NoWorkload => f.write_str("no workload or trace supplied"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+impl From<ConfigError> for SimulationError {
+    fn from(e: ConfigError) -> Self {
+        SimulationError::Config(e)
+    }
+}
+
+/// Everything a single run produced, ready to print.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions per CPU cycle.
+    pub ipc: f64,
+    /// Fraction of CPU cycles fully stalled.
+    pub stall_fraction: f64,
+    /// Mean read latency in memory cycles.
+    pub avg_read_latency: f64,
+    /// Approximate p95 read latency in memory cycles.
+    pub p95_read_latency: u64,
+    /// Row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Total energy in µJ.
+    pub energy_uj: f64,
+    /// Reads that proceeded while a write was programming.
+    pub reads_under_write: u64,
+    /// Trace MPKI (workload intensity).
+    pub mpki: f64,
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "workload {} ({:.1} MPKI)", self.workload, self.mpki)?;
+        writeln!(
+            f,
+            "  ipc {:.3} ({:.0}% stalled)   read latency {:.0} cy (p95 ~{})",
+            self.ipc,
+            self.stall_fraction * 100.0,
+            self.avg_read_latency,
+            self.p95_read_latency
+        )?;
+        write!(
+            f,
+            "  row hits {:.0}%   energy {:.1} uJ   reads under write {}",
+            self.row_hit_rate * 100.0,
+            self.energy_uj,
+            self.reads_under_write
+        )
+    }
+}
+
+/// Builder for a one-shot simulation; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    workload: Option<String>,
+    trace: Option<Trace>,
+    policy: PagePolicy,
+    ops: usize,
+    seed: u64,
+    config: SystemConfig,
+    /// A builder step failed; reported at `run()` so chaining stays tidy.
+    deferred_error: Option<ConfigError>,
+    core: CoreConfig,
+}
+
+impl Simulation {
+    /// Starts a builder with the paper's defaults: 8×2 FgNVM, Nehalem-like
+    /// core, 6000 operations, seed 7.
+    pub fn builder() -> Self {
+        Simulation {
+            workload: None,
+            trace: None,
+            policy: PagePolicy::Scattered,
+            ops: 6000,
+            seed: 7,
+            config: SystemConfig::fgnvm(8, 2).expect("default config is valid"),
+            deferred_error: None,
+            core: CoreConfig::nehalem_like(),
+        }
+    }
+
+    /// Selects a named SPEC2006-like workload profile.
+    pub fn workload(mut self, name: impl Into<String>) -> Self {
+        self.workload = Some(name.into());
+        self
+    }
+
+    /// Supplies an explicit trace instead of a named profile.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the page-placement policy for generated traces.
+    pub fn page_policy(mut self, policy: PagePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of memory operations to generate.
+    pub fn ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses the baseline (undivided) NVM design.
+    pub fn baseline(mut self) -> Self {
+        self.config = SystemConfig::baseline();
+        self
+    }
+
+    /// Uses an `sags × cds` FgNVM design. An invalid shape is reported by
+    /// [`run`](Self::run), keeping the builder chain infallible.
+    pub fn fgnvm(mut self, sags: u32, cds: u32) -> Self {
+        match SystemConfig::fgnvm(sags, cds) {
+            Ok(cfg) => self.config = cfg,
+            Err(e) => self.deferred_error = Some(e),
+        }
+        self
+    }
+
+    /// Uses the DDR3-like DRAM contrast design.
+    pub fn dram(mut self) -> Self {
+        self.config = SystemConfig::dram();
+        self
+    }
+
+    /// Uses the size-matched many-banks comparison design for an
+    /// `sags × cds` FgNVM (Figure 4's 128-bank bound). Invalid shapes are
+    /// reported by [`run`](Self::run).
+    pub fn many_banks(mut self, sags: u32, cds: u32) -> Self {
+        match SystemConfig::many_banks_matching(sags, cds) {
+            Ok(cfg) => self.config = cfg,
+            Err(e) => self.deferred_error = Some(e),
+        }
+        self
+    }
+
+    /// Uses an arbitrary [`SystemConfig`].
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses an arbitrary [`CoreConfig`].
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] if the workload name is unknown, no
+    /// workload was given, or a configuration is invalid.
+    pub fn run(self) -> Result<SimulationReport, SimulationError> {
+        if let Some(e) = self.deferred_error {
+            return Err(e.into());
+        }
+        self.config.validate()?;
+        let trace = match (self.trace, &self.workload) {
+            (Some(trace), _) => trace,
+            (None, Some(name)) => {
+                let p =
+                    profile(name).ok_or_else(|| SimulationError::UnknownWorkload(name.clone()))?;
+                p.generate_with_policy(Geometry::default(), self.policy, self.seed, self.ops)
+            }
+            (None, None) => return Err(SimulationError::NoWorkload),
+        };
+        let core = Core::new(self.core)?;
+        let mut memory = MemorySystem::new(self.config)?;
+        let result = core.run(&trace, &mut memory);
+        let banks = memory.bank_stats();
+        let profile = analyze(&trace, Geometry::default());
+        Ok(SimulationReport {
+            workload: trace.name().to_string(),
+            ipc: result.ipc(),
+            stall_fraction: result.stall_fraction(),
+            avg_read_latency: memory.stats().avg_read_latency(),
+            p95_read_latency: memory.stats().read_latency_percentile(0.95),
+            row_hit_rate: banks.row_hit_rate(),
+            energy_uj: memory.energy().total_pj() / 1e6,
+            reads_under_write: banks.reads_under_write,
+            mpki: profile.mpki,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_workload_runs() {
+        let report = Simulation::builder()
+            .workload("sphinx3_like")
+            .ops(300)
+            .run()
+            .unwrap();
+        assert!(report.ipc > 0.0);
+        assert!(report.energy_uj > 0.0);
+        assert!(report.mpki > 5.0);
+    }
+
+    #[test]
+    fn explicit_trace_runs() {
+        use fgnvm_cpu::TraceRecord;
+        use fgnvm_types::PhysAddr;
+        let trace = Trace::new(
+            "custom",
+            (0..16u64)
+                .map(|i| TraceRecord::read(50, PhysAddr::new(i * 4096)))
+                .collect(),
+        );
+        let report = Simulation::builder().trace(trace).baseline().run().unwrap();
+        assert_eq!(report.workload, "custom");
+    }
+
+    #[test]
+    fn unknown_workload_errors() {
+        let err = Simulation::builder()
+            .workload("nonexistent")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::UnknownWorkload(_)));
+    }
+
+    #[test]
+    fn missing_workload_errors() {
+        let err = Simulation::builder().run().unwrap_err();
+        assert_eq!(err, SimulationError::NoWorkload);
+    }
+
+    #[test]
+    fn dram_and_many_banks_chainers() {
+        let dram = Simulation::builder()
+            .workload("milc_like")
+            .ops(200)
+            .dram()
+            .run()
+            .unwrap();
+        assert!(dram.ipc > 0.0);
+        let many = Simulation::builder()
+            .workload("milc_like")
+            .ops(200)
+            .many_banks(8, 2)
+            .run()
+            .unwrap();
+        assert!(many.ipc > 0.0);
+        // 8×32 many-banks would shrink rows below a line: deferred error.
+        let err = Simulation::builder()
+            .workload("milc_like")
+            .many_banks(8, 32)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::Config(_)));
+    }
+
+    #[test]
+    fn invalid_shape_reports_at_run() {
+        let err = Simulation::builder()
+            .workload("mcf_like")
+            .fgnvm(3, 5)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::Config(_)));
+    }
+
+    #[test]
+    fn report_displays() {
+        let report = Simulation::builder()
+            .workload("astar_like")
+            .ops(200)
+            .run()
+            .unwrap();
+        let s = report.to_string();
+        assert!(s.contains("ipc") && s.contains("uJ"));
+    }
+}

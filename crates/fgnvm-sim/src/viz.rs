@@ -1,0 +1,303 @@
+//! ASCII visualization of bank activity from the controller's command log.
+//!
+//! Renders one lane per bank over time; each column is a time bucket and
+//! each cell shows the dominant command kind issued there:
+//!
+//! ```text
+//! bank 0 |A.r..W~~~~..A.r|
+//! bank 1 |..A.rr....A....|
+//!         A=activate  u=underfetch  r=row hit  W=write  ~=write programming
+//! ```
+//!
+//! Useful for eyeballing tile-level parallelism (overlapping lanes) and
+//! backgrounded writes (reads issued inside another bank's `~` span).
+
+use fgnvm_bank::PlanKind;
+use fgnvm_mem::CommandRecord;
+use fgnvm_types::request::Op;
+
+/// Renders `records` as per-bank activity lanes.
+///
+/// `banks` lanes are drawn; `width` characters of timeline are emitted,
+/// covering the span from the first to the last record. Writes additionally
+/// paint `~` for their programming window (approximated as tWP = 60 cycles
+/// after the data burst).
+pub fn render_lanes(records: &[CommandRecord], banks: usize, width: usize) -> String {
+    let mut out = String::new();
+    if records.is_empty() || banks == 0 || width == 0 {
+        out.push_str("(no commands logged)\n");
+        return out;
+    }
+    let start = records.first().expect("non-empty").at.raw();
+    let end = records
+        .iter()
+        .map(|r| r.data_start.raw() + 64)
+        .max()
+        .unwrap_or(start + 1);
+    let span = (end - start).max(1);
+    let bucket = |cycle: u64| -> usize {
+        (((cycle.saturating_sub(start)) as u128 * width as u128 / span as u128) as usize)
+            .min(width - 1)
+    };
+    let mut lanes = vec![vec![b'.'; width]; banks];
+    for r in records {
+        if r.bank_index >= banks {
+            continue;
+        }
+        let lane = &mut lanes[r.bank_index];
+        let b = bucket(r.at.raw());
+        let symbol = match (r.op, r.kind) {
+            (Op::Write, _) => b'W',
+            (_, PlanKind::RowHit) => b'r',
+            (_, PlanKind::Underfetch) => b'u',
+            (_, PlanKind::Activate) => b'A',
+            (_, PlanKind::Write) => b'W',
+        };
+        // Commands overwrite programming shading; later commands win ties.
+        lane[b] = symbol;
+        if r.op.is_write() {
+            // Shade the programming window (tWP ≈ 60 cycles past the burst).
+            let from = bucket(r.data_start.raw());
+            let to = bucket(r.data_start.raw() + 64);
+            for cell in lane.iter_mut().take(to + 1).skip(from) {
+                if *cell == b'.' {
+                    *cell = b'~';
+                }
+            }
+        }
+    }
+    for (i, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("bank {i} |"));
+        out.push_str(std::str::from_utf8(lane).expect("ascii lane"));
+        out.push_str("|\n");
+    }
+    out.push_str("        A=activate  u=underfetch  r=row hit  W=write  ~=write programming\n");
+    out
+}
+
+/// Renders the (SAG × CD) tile grid of ONE bank over time — the paper's
+/// Figure 3 in motion. One lane per SAG; within a lane, a command's symbol
+/// is placed at its time bucket, so Multi-Activation shows as symbols in
+/// different lanes at the same column and Backgrounded Writes as reads
+/// issued inside another lane's `~` programming span.
+pub fn render_tile_grid(records: &[CommandRecord], bank: usize, sags: u32, width: usize) -> String {
+    let mut out = String::new();
+    let records: Vec<&CommandRecord> = records.iter().filter(|r| r.bank_index == bank).collect();
+    if records.is_empty() || sags == 0 || width == 0 {
+        out.push_str("(no commands logged for this bank)\n");
+        return out;
+    }
+    let start = records.first().expect("non-empty").at.raw();
+    let end = records
+        .iter()
+        .map(|r| r.data_start.raw() + 64)
+        .max()
+        .unwrap_or(start + 1);
+    let span = (end - start).max(1);
+    let bucket = |cycle: u64| -> usize {
+        (((cycle.saturating_sub(start)) as u128 * width as u128 / span as u128) as usize)
+            .min(width - 1)
+    };
+    let mut lanes = vec![vec![b'.'; width]; sags as usize];
+    for r in &records {
+        if r.coord.sag >= sags {
+            continue;
+        }
+        let lane = &mut lanes[r.coord.sag as usize];
+        let symbol = match (r.op, r.kind) {
+            (Op::Write, _) => b'W',
+            (_, PlanKind::RowHit) => b'r',
+            (_, PlanKind::Underfetch) => b'u',
+            (_, PlanKind::Activate) => b'A',
+            (_, PlanKind::Write) => b'W',
+        };
+        lane[bucket(r.at.raw())] = symbol;
+        if r.op.is_write() {
+            let from = bucket(r.data_start.raw());
+            let to = bucket(r.data_start.raw() + 64);
+            for cell in lane.iter_mut().take(to + 1).skip(from) {
+                if *cell == b'.' {
+                    *cell = b'~';
+                }
+            }
+        }
+    }
+    out.push_str(&format!("bank {bank}, one lane per subarray group:\n"));
+    for (i, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("SAG {i:>2} |"));
+        out.push_str(std::str::from_utf8(lane).expect("ascii lane"));
+        out.push_str("|\n");
+    }
+    out.push_str("        A=activate  u=underfetch  r=row hit  W=write  ~=write programming\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::address::TileCoord;
+    use fgnvm_types::request::RequestId;
+    use fgnvm_types::time::Cycle;
+
+    fn record(at: u64, bank: usize, op: Op, kind: PlanKind) -> CommandRecord {
+        CommandRecord {
+            at: Cycle::new(at),
+            id: RequestId::new(at),
+            op,
+            kind,
+            bank_index: bank,
+            row: 0,
+            coord: TileCoord {
+                sag: 0,
+                cd_first: 0,
+                cd_count: 1,
+            },
+            data_start: Cycle::new(at + 48),
+        }
+    }
+
+    #[test]
+    fn empty_log_renders_placeholder() {
+        let s = render_lanes(&[], 4, 40);
+        assert!(s.contains("no commands"));
+    }
+
+    #[test]
+    fn lanes_show_command_kinds() {
+        let records = vec![
+            record(0, 0, Op::Read, PlanKind::Activate),
+            record(100, 0, Op::Read, PlanKind::RowHit),
+            record(50, 1, Op::Write, PlanKind::Write),
+        ];
+        let s = render_lanes(&records, 2, 60);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(
+            lines[0].starts_with("bank 0 |") && lines[0].contains('A') && lines[0].contains('r')
+        );
+        assert!(lines[1].contains('W') && lines[1].contains('~'));
+        assert!(s.contains("A=activate"));
+    }
+
+    #[test]
+    fn tile_grid_separates_sags() {
+        let mut a = record(0, 0, Op::Read, PlanKind::Activate);
+        a.coord = TileCoord {
+            sag: 0,
+            cd_first: 0,
+            cd_count: 1,
+        };
+        let mut b = record(4, 0, Op::Read, PlanKind::Activate);
+        b.coord = TileCoord {
+            sag: 3,
+            cd_first: 1,
+            cd_count: 1,
+        };
+        let s = render_tile_grid(&[a, b], 0, 4, 40);
+        // Compare lane *bodies* (the labels themselves contain 'A').
+        let body = |line: &str| line.split('|').nth(1).unwrap_or("").to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("SAG  0") && body(lines[1]).contains('A'));
+        assert!(lines[4].starts_with("SAG  3") && body(lines[4]).contains('A'));
+        assert!(!body(lines[2]).contains('A') && !body(lines[3]).contains('A'));
+    }
+
+    #[test]
+    fn tile_grid_filters_by_bank() {
+        let r = record(0, 5, Op::Read, PlanKind::Activate);
+        let s = render_tile_grid(&[r], 0, 4, 20);
+        assert!(s.contains("no commands"));
+    }
+
+    #[test]
+    fn out_of_range_banks_are_skipped() {
+        let records = vec![record(0, 9, Op::Read, PlanKind::Activate)];
+        let s = render_lanes(&records, 2, 20);
+        assert!(!s.contains('A') || s.lines().take(2).all(|l| !l.contains('A')));
+    }
+}
+
+/// Renders a power-of-two read-latency histogram as ASCII bars, one line
+/// per occupied bucket, scaled to `width` characters at the mode.
+///
+/// ```
+/// let mut hist = [0u64; 20];
+/// hist[6] = 80;  // latencies 32..63
+/// hist[7] = 20;  // latencies 64..127
+/// let out = fgnvm_sim::viz::render_latency_histogram(&hist, 40);
+/// assert!(out.contains("32..63"));
+/// assert!(out.contains("80.0%"));
+/// ```
+pub fn render_latency_histogram(hist: &[u64], width: usize) -> String {
+    use std::fmt::Write as _;
+    let total: u64 = hist.iter().sum();
+    let mut out = String::new();
+    if total == 0 {
+        out.push_str("  (no reads completed)\n");
+        return out;
+    }
+    let peak = *hist.iter().max().expect("histogram is non-empty");
+    let first = hist.iter().position(|&c| c > 0).expect("total > 0");
+    let last = hist.iter().rposition(|&c| c > 0).expect("total > 0");
+    for (bucket, &count) in hist.iter().enumerate().take(last + 1).skip(first) {
+        // Bucket i holds latencies in [2^(i-1), 2^i) (bucket 0: just 0).
+        let lo = if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+        let hi = (1u64 << bucket) - 1;
+        let range = if bucket == 0 {
+            "0".to_string()
+        } else {
+            format!("{lo}..{hi}")
+        };
+        let bar = (count as usize * width).div_ceil(peak as usize).min(width);
+        let pct = count as f64 * 100.0 / total as f64;
+        let _ = writeln!(
+            out,
+            "  {range:>12} cy |{:<width$}| {pct:>5.1}%",
+            "#".repeat(if count > 0 { bar.max(1) } else { 0 }),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_mode() {
+        let mut hist = [0u64; 20];
+        hist[5] = 100; // 16..31
+        hist[8] = 25; // 128..255
+        let out = render_latency_histogram(&hist, 40);
+        let lines: Vec<&str> = out.lines().collect();
+        // Empty buckets between occupied ones are still printed (so gaps
+        // are visible); leading/trailing empties are trimmed.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("16..31") && lines[0].contains("####"));
+        assert!(lines[3].contains("128..255"));
+        let mode_len = lines[0].matches('#').count();
+        let tail_len = lines[3].matches('#').count();
+        assert_eq!(mode_len, 40);
+        assert_eq!(tail_len, 10);
+    }
+
+    #[test]
+    fn empty_histogram_says_so() {
+        let out = render_latency_histogram(&[0; 20], 40);
+        assert!(out.contains("no reads"));
+    }
+
+    #[test]
+    fn percentages_sum_to_about_100() {
+        let mut hist = [0u64; 20];
+        hist[3] = 1;
+        hist[4] = 1;
+        hist[5] = 2;
+        let out = render_latency_histogram(&hist, 10);
+        let sum: f64 = out
+            .lines()
+            .filter_map(|l| l.rsplit_once('|'))
+            .filter_map(|(_, pct)| pct.trim().trim_end_matches('%').parse::<f64>().ok())
+            .sum();
+        assert!((sum - 100.0).abs() < 0.5, "{out}");
+    }
+}

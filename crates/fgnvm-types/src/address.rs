@@ -1,0 +1,476 @@
+//! Physical addresses and their decomposition onto the memory hierarchy.
+//!
+//! A [`PhysAddr`] is a flat byte address. An [`AddressMapper`] slices its
+//! bits into channel / rank / bank / row / column-line fields according to a
+//! chosen [`MappingScheme`], producing a [`DecodedAddr`]. The FgNVM-specific
+//! coordinates (subarray group, column divisions) are derived from the row
+//! and line via [`Geometry`].
+//!
+//! ```
+//! # fn main() -> Result<(), fgnvm_types::error::ConfigError> {
+//! use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
+//! use fgnvm_types::geometry::Geometry;
+//!
+//! let geom = Geometry::builder().sags(8).cds(2).build()?;
+//! let mapper = AddressMapper::new(geom, MappingScheme::RowRankBankLineChannel);
+//! let decoded = mapper.decode(PhysAddr::new(0x4_0040));
+//! assert_eq!(mapper.encode(decoded), PhysAddr::new(0x4_0040).line_aligned(64));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Geometry;
+
+/// A flat physical byte address.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw byte offset.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address rounded down to a `line_bytes` boundary.
+    #[inline]
+    pub const fn line_aligned(self, line_bytes: u32) -> PhysAddr {
+        PhysAddr(self.0 & !(line_bytes as u64 - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(addr: PhysAddr) -> u64 {
+        addr.0
+    }
+}
+
+/// An address decomposed onto the memory hierarchy.
+///
+/// `line` is the cache-line index within the row (the "column" at
+/// cache-line granularity).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Cache-line index within the row.
+    pub line: u32,
+}
+
+impl fmt::Display for DecodedAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/ra{}/ba{}/row{}/ln{}",
+            self.channel, self.rank, self.bank, self.row, self.line
+        )
+    }
+}
+
+/// FgNVM coordinates of an access within a bank: the subarray group plus the
+/// contiguous span of column divisions the access occupies.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileCoord {
+    /// Subarray group holding the row.
+    pub sag: u32,
+    /// First column division occupied by the access.
+    pub cd_first: u32,
+    /// Number of adjacent column divisions occupied (≥ 1).
+    pub cd_count: u32,
+}
+
+impl TileCoord {
+    /// Iterates the column-division indices this access occupies.
+    pub fn cds(&self) -> impl Iterator<Item = u32> + '_ {
+        self.cd_first..self.cd_first + self.cd_count
+    }
+
+    /// True if the two accesses share any column division.
+    pub fn cd_overlaps(&self, other: &TileCoord) -> bool {
+        self.cd_first < other.cd_first + other.cd_count
+            && other.cd_first < self.cd_first + self.cd_count
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sag{}/cd{}+{}", self.sag, self.cd_first, self.cd_count)
+    }
+}
+
+/// Bit-interleaving scheme mapping flat addresses onto the hierarchy.
+///
+/// Names read from the most-significant field to the least (the byte offset
+/// within a line is always the lowest bits). The paper's evaluation uses a
+/// standard DDR-style layout where consecutive lines of a row are adjacent in
+/// the address space ([`RowRankBankLineChannel`](Self::RowRankBankLineChannel)),
+/// which maximizes row-buffer locality for streaming access.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// row : rank : bank : line : channel : offset — row-buffer friendly.
+    #[default]
+    RowRankBankLineChannel,
+    /// row : line : rank : bank : channel : offset — bank-interleaved;
+    /// consecutive lines land in different banks, maximizing bank-level
+    /// parallelism at the cost of row locality.
+    RowLineRankBankChannel,
+    /// line : row : rank : bank : channel : offset — pathological
+    /// row-thrashing layout, useful for stress tests.
+    LineRowRankBankChannel,
+    /// row-within-SAG : rank : bank : SAG : line : channel : offset — the
+    /// subarray-group index sits in low address bits, so any contiguous
+    /// footprint stripes across every SAG (the hardware analogue of
+    /// SAG-aware page coloring; maximizes tile-level parallelism without
+    /// OS cooperation).
+    SagInterleaved,
+}
+
+/// Decodes and encodes physical addresses for a fixed [`Geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapper {
+    geometry: Geometry,
+    scheme: MappingScheme,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `geometry` using `scheme`.
+    pub fn new(geometry: Geometry, scheme: MappingScheme) -> Self {
+        AddressMapper { geometry, scheme }
+    }
+
+    /// The geometry this mapper was built for.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The active mapping scheme.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Decomposes a physical address. The byte offset within the cache line
+    /// is discarded (memory operates at line granularity).
+    pub fn decode(&self, addr: PhysAddr) -> DecodedAddr {
+        let g = &self.geometry;
+        let mut bits = addr.raw() >> g.line_bytes().trailing_zeros();
+        let mut take = |count: u32| -> u32 {
+            let mask = (1u64 << count) - 1;
+            let field = (bits & mask) as u32;
+            bits >>= count;
+            field
+        };
+        let ch_bits = g.channels().trailing_zeros();
+        let ra_bits = g.ranks_per_channel().trailing_zeros();
+        let ba_bits = g.banks_per_rank().trailing_zeros();
+        let ln_bits = g.lines_per_row().trailing_zeros();
+        let ro_bits = g.rows_per_bank().trailing_zeros();
+        match self.scheme {
+            MappingScheme::RowRankBankLineChannel => {
+                let channel = take(ch_bits);
+                let line = take(ln_bits);
+                let bank = take(ba_bits);
+                let rank = take(ra_bits);
+                let row = take(ro_bits);
+                DecodedAddr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    line,
+                }
+            }
+            MappingScheme::RowLineRankBankChannel => {
+                let channel = take(ch_bits);
+                let bank = take(ba_bits);
+                let rank = take(ra_bits);
+                let line = take(ln_bits);
+                let row = take(ro_bits);
+                DecodedAddr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    line,
+                }
+            }
+            MappingScheme::LineRowRankBankChannel => {
+                let channel = take(ch_bits);
+                let bank = take(ba_bits);
+                let rank = take(ra_bits);
+                let row = take(ro_bits);
+                let line = take(ln_bits);
+                DecodedAddr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    line,
+                }
+            }
+            MappingScheme::SagInterleaved => {
+                let sag_bits = g.sags().trailing_zeros();
+                let channel = take(ch_bits);
+                let line = take(ln_bits);
+                let sag = take(sag_bits);
+                let bank = take(ba_bits);
+                let rank = take(ra_bits);
+                let row_within = take(ro_bits - sag_bits);
+                let row = sag * g.rows_per_sag() + row_within;
+                DecodedAddr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    line,
+                }
+            }
+        }
+    }
+
+    /// Reassembles a decoded address into the (line-aligned) physical
+    /// address it came from. Inverse of [`decode`](Self::decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any field exceeds its geometric range.
+    pub fn encode(&self, decoded: DecodedAddr) -> PhysAddr {
+        let g = &self.geometry;
+        debug_assert!(decoded.channel < g.channels());
+        debug_assert!(decoded.rank < g.ranks_per_channel());
+        debug_assert!(decoded.bank < g.banks_per_rank());
+        debug_assert!(decoded.row < g.rows_per_bank());
+        debug_assert!(decoded.line < g.lines_per_row());
+        let mut bits: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut put = |field: u32, count: u32| {
+            bits |= u64::from(field) << shift;
+            shift += count;
+        };
+        let ch_bits = g.channels().trailing_zeros();
+        let ra_bits = g.ranks_per_channel().trailing_zeros();
+        let ba_bits = g.banks_per_rank().trailing_zeros();
+        let ln_bits = g.lines_per_row().trailing_zeros();
+        let ro_bits = g.rows_per_bank().trailing_zeros();
+        match self.scheme {
+            MappingScheme::RowRankBankLineChannel => {
+                put(decoded.channel, ch_bits);
+                put(decoded.line, ln_bits);
+                put(decoded.bank, ba_bits);
+                put(decoded.rank, ra_bits);
+                put(decoded.row, ro_bits);
+            }
+            MappingScheme::RowLineRankBankChannel => {
+                put(decoded.channel, ch_bits);
+                put(decoded.bank, ba_bits);
+                put(decoded.rank, ra_bits);
+                put(decoded.line, ln_bits);
+                put(decoded.row, ro_bits);
+            }
+            MappingScheme::LineRowRankBankChannel => {
+                put(decoded.channel, ch_bits);
+                put(decoded.bank, ba_bits);
+                put(decoded.rank, ra_bits);
+                put(decoded.row, ro_bits);
+                put(decoded.line, ln_bits);
+            }
+            MappingScheme::SagInterleaved => {
+                let sag_bits = g.sags().trailing_zeros();
+                let sag = g.sag_of_row(decoded.row);
+                let row_within = decoded.row % g.rows_per_sag();
+                put(decoded.channel, ch_bits);
+                put(decoded.line, ln_bits);
+                put(sag, sag_bits);
+                put(decoded.bank, ba_bits);
+                put(decoded.rank, ra_bits);
+                put(row_within, ro_bits - sag_bits);
+            }
+        }
+        PhysAddr::new(bits << g.line_bytes().trailing_zeros())
+    }
+
+    /// FgNVM tile coordinates of a decoded access.
+    pub fn tile_coord(&self, decoded: DecodedAddr) -> TileCoord {
+        let sag = self.geometry.sag_of_row(decoded.row);
+        let (cd_first, cd_count) = self.geometry.cds_of_line(decoded.line);
+        TileCoord {
+            sag,
+            cd_first,
+            cd_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper(scheme: MappingScheme) -> AddressMapper {
+        let geom = Geometry::builder()
+            .channels(2)
+            .ranks_per_channel(2)
+            .banks_per_rank(8)
+            .rows_per_bank(1024)
+            .sags(8)
+            .cds(2)
+            .build()
+            .unwrap();
+        AddressMapper::new(geom, scheme)
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_all_schemes() {
+        for scheme in [
+            MappingScheme::RowRankBankLineChannel,
+            MappingScheme::RowLineRankBankChannel,
+            MappingScheme::LineRowRankBankChannel,
+            MappingScheme::SagInterleaved,
+        ] {
+            let m = mapper(scheme);
+            // Capacity is 2^19 lines of 64 B; stay within range.
+            let capacity = m.geometry().capacity_bytes();
+            for raw in [0u64, 64, 4096, 0x00de_adc0, capacity - 64] {
+                let addr = PhysAddr::new(raw).line_aligned(64);
+                let decoded = m.decode(addr);
+                assert_eq!(m.encode(decoded), addr, "{scheme:?} {raw:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_within_line_is_discarded() {
+        let m = mapper(MappingScheme::RowRankBankLineChannel);
+        assert_eq!(m.decode(PhysAddr::new(63)), m.decode(PhysAddr::new(0)));
+        assert_ne!(m.decode(PhysAddr::new(64)), m.decode(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn row_friendly_scheme_keeps_lines_in_one_row() {
+        let m = mapper(MappingScheme::RowRankBankLineChannel);
+        // Consecutive lines on the same channel differ only in `line`.
+        let a = m.decode(PhysAddr::new(0));
+        let b = m.decode(PhysAddr::new(2 * 64)); // skip channel bit
+        assert_eq!((a.row, a.bank, a.rank), (b.row, b.bank, b.rank));
+        assert_ne!(a.line, b.line);
+    }
+
+    #[test]
+    fn bank_interleaved_scheme_spreads_banks() {
+        let m = mapper(MappingScheme::RowLineRankBankChannel);
+        let a = m.decode(PhysAddr::new(0));
+        let b = m.decode(PhysAddr::new(2 * 64));
+        assert_ne!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn sag_interleaved_stripes_contiguous_footprints() {
+        let m = mapper(MappingScheme::SagInterleaved);
+        // Walk a contiguous region one "row unit" at a time (line+sag bits
+        // above the line field): consecutive row-units land in different
+        // SAGs of the same bank.
+        let geom = *m.geometry();
+        let row_unit = u64::from(geom.line_bytes() * geom.lines_per_row());
+        let sags: Vec<u32> = (0..8u64)
+            .map(|i| geom.sag_of_row(m.decode(PhysAddr::new(i * row_unit * 2)).row))
+            .collect();
+        let distinct: std::collections::HashSet<u32> = sags.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            geom.sags() as usize,
+            "sags visited: {sags:?}"
+        );
+    }
+
+    #[test]
+    fn tile_coord_uses_geometry() {
+        let m = mapper(MappingScheme::RowRankBankLineChannel);
+        let decoded = DecodedAddr {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 300,
+            line: 9,
+        };
+        let tc = m.tile_coord(decoded);
+        assert_eq!(tc.sag, 300 / (1024 / 8));
+        // 2 CDs over 16 lines: 8 lines per CD.
+        assert_eq!((tc.cd_first, tc.cd_count), (1, 1));
+    }
+
+    #[test]
+    fn cd_overlap_detection() {
+        let a = TileCoord {
+            sag: 0,
+            cd_first: 0,
+            cd_count: 2,
+        };
+        let b = TileCoord {
+            sag: 1,
+            cd_first: 1,
+            cd_count: 1,
+        };
+        let c = TileCoord {
+            sag: 2,
+            cd_first: 2,
+            cd_count: 2,
+        };
+        assert!(a.cd_overlaps(&b));
+        assert!(!a.cd_overlaps(&c));
+        assert!(b.cd_overlaps(&a));
+    }
+
+    #[test]
+    fn line_aligned_masks_low_bits() {
+        assert_eq!(PhysAddr::new(0x7f).line_aligned(64), PhysAddr::new(0x40));
+    }
+
+    #[test]
+    fn display_formats() {
+        let addr = PhysAddr::new(0x40);
+        assert_eq!(addr.to_string(), "0x40");
+        assert_eq!(format!("{addr:x}"), "40");
+        let d = DecodedAddr {
+            channel: 1,
+            rank: 0,
+            bank: 2,
+            row: 3,
+            line: 4,
+        };
+        assert_eq!(d.to_string(), "ch1/ra0/ba2/row3/ln4");
+    }
+}

@@ -1,0 +1,689 @@
+//! Timing, energy, and whole-system configuration.
+//!
+//! Defaults reproduce Table 2 of the paper:
+//!
+//! > 512-byte row buffer, FRFCFS, 64 write drivers, 32 queue entries,
+//! > 4 column divisions, 4 subarray groups, tRCD=25ns, tCAS=95ns, tRAS=0ns,
+//! > tRP=0ns, tCCD=4cy, tBURST=4cy, tCWD=7.5ns, tWP=150ns, tWR=7.5ns
+//!
+//! (The 512 B row buffer is per device; eight ×8 devices per rank make the
+//! rank-visible sensed row 1 KB as used by the paper's Fig. 5 arithmetic —
+//! "1KB of data must be sensed compared to 512B for 8×2".)
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::geometry::Geometry;
+use crate::time::{ns_to_cycles, CycleCount};
+
+/// PCM device timing parameters in physical units.
+///
+/// Converted once into [`TimingCycles`] at the controller clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Memory-controller clock in MHz (command/address clock).
+    pub clock_mhz: f64,
+    /// Activate-to-column-command delay (wordline select + bitline settle).
+    pub t_rcd_ns: f64,
+    /// Column-command-to-data delay (current-mode sense time).
+    pub t_cas_ns: f64,
+    /// Precharge time. Zero for NVM: reads are non-destructive, nothing to
+    /// restore.
+    pub t_rp_ns: f64,
+    /// Minimum activate-to-precharge. Zero for NVM.
+    pub t_ras_ns: f64,
+    /// Column-to-column command spacing, in controller cycles.
+    pub t_ccd_cycles: u64,
+    /// Data burst length on the channel, in controller cycles.
+    pub t_burst_cycles: u64,
+    /// Column-write-command-to-data delay.
+    pub t_cwd_ns: f64,
+    /// Cell write (program) time — the dominant PCM cost.
+    pub t_wp_ns: f64,
+    /// Write recovery after the data burst.
+    pub t_wr_ns: f64,
+}
+
+impl TimingConfig {
+    /// The paper's PCM timings (Table 2) on a 400 MHz controller clock.
+    pub fn paper_pcm() -> Self {
+        TimingConfig {
+            clock_mhz: 400.0,
+            t_rcd_ns: 25.0,
+            t_cas_ns: 95.0,
+            t_rp_ns: 0.0,
+            t_ras_ns: 0.0,
+            t_ccd_cycles: 4,
+            t_burst_cycles: 4,
+            t_cwd_ns: 7.5,
+            t_wp_ns: 150.0,
+            t_wr_ns: 7.5,
+        }
+    }
+
+    /// Representative multi-level-cell (MLC, 2 bits/cell) PCM timings on
+    /// the same controller clock. MLC reads need multi-reference sensing
+    /// (~2× SLC read latency) and writes use iterative program-and-verify
+    /// (~4× SLC program time) — the standard trade for doubled density.
+    /// Values are representative of published MLC PCM characterizations,
+    /// not taken from the paper (which evaluates the SLC prototype \[13\]).
+    pub fn paper_pcm_mlc() -> Self {
+        TimingConfig {
+            t_cas_ns: 190.0,
+            t_wp_ns: 600.0,
+            ..TimingConfig::paper_pcm()
+        }
+    }
+
+    /// DDR3-1600-like timings on the same 400 MHz controller clock, used
+    /// by the DRAM-contrast bank model: tRCD = tCL = tRP = 13.75 ns,
+    /// tRAS = 35 ns, tCWD = 10 ns, tWR = 15 ns, and no cell-program time
+    /// (tWP = 0; DRAM writes complete with the burst and recovery).
+    pub fn ddr3_like() -> Self {
+        TimingConfig {
+            clock_mhz: 400.0,
+            t_rcd_ns: 13.75,
+            t_cas_ns: 13.75,
+            t_rp_ns: 13.75,
+            t_ras_ns: 35.0,
+            t_ccd_cycles: 4,
+            t_burst_cycles: 4,
+            t_cwd_ns: 10.0,
+            t_wp_ns: 0.0,
+            t_wr_ns: 15.0,
+        }
+    }
+
+    /// Converts every parameter into controller cycles (rounding up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the clock is non-positive or any duration
+    /// is negative.
+    pub fn to_cycles(&self) -> Result<TimingCycles, ConfigError> {
+        // NaN must fail too, hence the negated comparison.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.clock_mhz > 0.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "clock_mhz",
+                expected: "a positive frequency",
+            });
+        }
+        for (field, v) in [
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_cas_ns", self.t_cas_ns),
+            ("t_rp_ns", self.t_rp_ns),
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_cwd_ns", self.t_cwd_ns),
+            ("t_wp_ns", self.t_wp_ns),
+            ("t_wr_ns", self.t_wr_ns),
+        ] {
+            // NaN must fail too, hence the negated comparison.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(v >= 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    expected: "a non-negative duration",
+                });
+            }
+        }
+        Ok(TimingCycles {
+            t_rcd: ns_to_cycles(self.t_rcd_ns, self.clock_mhz),
+            t_cas: ns_to_cycles(self.t_cas_ns, self.clock_mhz),
+            t_rp: ns_to_cycles(self.t_rp_ns, self.clock_mhz),
+            t_ras: ns_to_cycles(self.t_ras_ns, self.clock_mhz),
+            t_ccd: CycleCount::new(self.t_ccd_cycles),
+            t_burst: CycleCount::new(self.t_burst_cycles),
+            t_cwd: ns_to_cycles(self.t_cwd_ns, self.clock_mhz),
+            t_wp: ns_to_cycles(self.t_wp_ns, self.clock_mhz),
+            t_wr: ns_to_cycles(self.t_wr_ns, self.clock_mhz),
+        })
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::paper_pcm()
+    }
+}
+
+/// Device timings resolved to controller cycles. See [`TimingConfig`] for
+/// field meanings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct TimingCycles {
+    pub t_rcd: CycleCount,
+    pub t_cas: CycleCount,
+    pub t_rp: CycleCount,
+    pub t_ras: CycleCount,
+    pub t_ccd: CycleCount,
+    pub t_burst: CycleCount,
+    pub t_cwd: CycleCount,
+    pub t_wp: CycleCount,
+    pub t_wr: CycleCount,
+}
+
+impl TimingCycles {
+    /// Read latency from activate to first data beat: tRCD + tCAS.
+    pub fn act_to_data(&self) -> CycleCount {
+        self.t_rcd + self.t_cas
+    }
+
+    /// Total bank occupancy of one write: tCWD + tBURST + tWP + tWR.
+    pub fn write_occupancy(&self) -> CycleCount {
+        self.t_cwd + self.t_burst + self.t_wp + self.t_wr
+    }
+}
+
+/// Per-bit energy constants (§6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Energy to sense one bit during activation (pJ). Paper: 2 pJ.
+    pub read_pj_per_bit: f64,
+    /// Energy to program one bit (pJ). Paper: 16 pJ.
+    pub write_pj_per_bit: f64,
+    /// Background energy constant (pJ per bit of open-bank state per
+    /// activation epoch). Paper: 0.08 pJ; the paper gives no time base, so
+    /// the simulator charges it per open-row bit per activation window —
+    /// calibration documented in `fgnvm-mem/src/energy.rs`.
+    pub background_pj_per_bit: f64,
+}
+
+impl EnergyConfig {
+    /// The paper's energy constants.
+    pub fn paper_pcm() -> Self {
+        EnergyConfig {
+            read_pj_per_bit: 2.0,
+            write_pj_per_bit: 16.0,
+            background_pj_per_bit: 0.08,
+        }
+    }
+
+    /// Representative MLC PCM energy: iterative programming roughly
+    /// doubles the write energy per bit; sensing costs a little more for
+    /// the extra reference comparisons.
+    pub fn paper_pcm_mlc() -> Self {
+        EnergyConfig {
+            read_pj_per_bit: 2.5,
+            write_pj_per_bit: 32.0,
+            background_pj_per_bit: 0.08,
+        }
+    }
+
+    /// Validates that every constant is non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any constant is negative or NaN.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("read_pj_per_bit", self.read_pj_per_bit),
+            ("write_pj_per_bit", self.write_pj_per_bit),
+            ("background_pj_per_bit", self.background_pj_per_bit),
+        ] {
+            // NaN must fail too, hence the negated comparison.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(v >= 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    expected: "a non-negative energy",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig::paper_pcm()
+    }
+}
+
+/// Which bank architecture the memory system instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankModel {
+    /// State-of-the-art NVM bank (§3.1): one open row per bank, full-row
+    /// sensing, writes occupy the whole bank.
+    Baseline,
+    /// Conventional DRAM bank: destructive reads (tRAS restore + tRP
+    /// precharge) and periodic refresh windows. Used for the paper's
+    /// motivating NVM-vs-DRAM contrast; requires DRAM timings
+    /// ([`TimingConfig::ddr3_like`]) and a 1×1 geometry.
+    Dram,
+    /// FgNVM bank (§3.2): two-dimensional subdivision with Partial-Activation,
+    /// Multi-Activation, and Backgrounded Writes. Individual modes can be
+    /// disabled for ablation studies.
+    Fgnvm {
+        /// Allow sensing only the requested column division(s).
+        partial_activation: bool,
+        /// Allow concurrent accesses on distinct (SAG, CD) pairs.
+        multi_activation: bool,
+        /// Allow reads to proceed during writes in other (SAG, CD) pairs.
+        background_writes: bool,
+    },
+}
+
+impl BankModel {
+    /// FgNVM with all three access modes enabled.
+    pub const fn fgnvm() -> Self {
+        BankModel::Fgnvm {
+            partial_activation: true,
+            multi_activation: true,
+            background_writes: true,
+        }
+    }
+
+    /// True for any FgNVM variant.
+    pub const fn is_fgnvm(&self) -> bool {
+        matches!(self, BankModel::Fgnvm { .. })
+    }
+}
+
+impl Default for BankModel {
+    fn default() -> Self {
+        BankModel::fgnvm()
+    }
+}
+
+/// Request scheduling policy at the controller.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Strict arrival order.
+    Fcfs,
+    /// First-ready, first-come-first-serve (Rixner et al.): row hits first,
+    /// then oldest.
+    #[default]
+    Frfcfs,
+    /// FRFCFS augmented with tile-level-parallelism awareness: among equally
+    /// ready requests, prefer those whose (SAG, CD) resources are free and
+    /// schedule reads under backgrounded writes.
+    FrfcfsTlp,
+    /// FRFCFS with a row-hit streak cap (BLISS-style): after four
+    /// consecutive row-hit grants the oldest issuable request goes first,
+    /// bounding how long hit streams can starve row-miss requests.
+    FrfcfsCap,
+}
+
+/// Row-buffer management policy for DRAM banks.
+///
+/// Open-page leaves the activated row latched, betting the next access
+/// hits it; closed-page auto-precharges after every access, hiding tRP
+/// off the critical path at the cost of all row hits. The choice is a
+/// knob *only for DRAM*: the paper's PCM has tRP = tRAS = 0 and
+/// non-destructive reads, so closing a row early buys nothing — one more
+/// controller complication the NVM substrate dissolves (see the
+/// `fgnvm-repro -- policy` study).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Leave the row open after each access (row hits possible).
+    #[default]
+    Open,
+    /// Auto-precharge after each access (every access re-activates, but
+    /// precharge never sits on the critical path).
+    Closed,
+}
+
+/// Complete configuration of one memory system instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Physical organization.
+    pub geometry: Geometry,
+    /// Device timings.
+    pub timing: TimingConfig,
+    /// Energy constants.
+    pub energy: EnergyConfig,
+    /// Bank architecture.
+    pub bank_model: BankModel,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Read/transaction queue entries per channel (Table 2: 32).
+    pub queue_entries: usize,
+    /// Write queue entries per channel (Table 2: 64 write drivers).
+    pub write_queue_entries: usize,
+    /// Commands the controller may issue per cycle (1 = standard command
+    /// bus; >1 models the paper's Multi-Issue variant).
+    pub commands_per_cycle: u32,
+    /// Concurrent data bursts the channel can carry (1 = standard bus; >1
+    /// models Multi-Issue's "larger data bus").
+    pub data_bus_width: u32,
+    /// Write pausing (Zhou et al., the paper's reference \[12\]): an
+    /// in-flight PCM write may be paused to service a read that would
+    /// otherwise wait out the full tWP, paying a small pause/resume
+    /// overhead and delaying the write's completion.
+    pub write_pausing: bool,
+    /// Row-buffer management policy (DRAM only; see [`RowPolicy`]).
+    pub row_policy: RowPolicy,
+}
+
+impl SystemConfig {
+    /// Baseline NVM system: one undivided bank FSM per bank, FRFCFS.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            geometry: Geometry::builder()
+                .sags(1)
+                .cds(1)
+                .build()
+                .expect("baseline geometry is valid"),
+            timing: TimingConfig::paper_pcm(),
+            energy: EnergyConfig::paper_pcm(),
+            bank_model: BankModel::Baseline,
+            scheduler: SchedulerKind::Frfcfs,
+            queue_entries: 32,
+            write_queue_entries: 64,
+            commands_per_cycle: 1,
+            data_bus_width: 1,
+            write_pausing: false,
+            row_policy: RowPolicy::Open,
+        }
+    }
+
+    /// FgNVM system with `sags` × `cds` subdivision and the TLP-aware
+    /// scheduler, all access modes enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the subdivision is invalid for the default
+    /// geometry.
+    pub fn fgnvm(sags: u32, cds: u32) -> Result<Self, ConfigError> {
+        Ok(SystemConfig {
+            geometry: Geometry::builder().sags(sags).cds(cds).build()?,
+            bank_model: BankModel::fgnvm(),
+            scheduler: SchedulerKind::FrfcfsTlp,
+            ..SystemConfig::baseline()
+        })
+    }
+
+    /// The paper's Multi-Issue FgNVM variant: `width` commands per cycle and
+    /// `width` concurrent data bursts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the subdivision or width is invalid.
+    pub fn fgnvm_multi_issue(sags: u32, cds: u32, width: u32) -> Result<Self, ConfigError> {
+        if width == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "commands_per_cycle",
+                expected: "at least 1",
+            });
+        }
+        Ok(SystemConfig {
+            commands_per_cycle: width,
+            data_bus_width: width,
+            ..SystemConfig::fgnvm(sags, cds)?
+        })
+    }
+
+    /// Converts this configuration to MLC cells (see
+    /// [`TimingConfig::paper_pcm_mlc`]): slower reads, much slower writes,
+    /// higher write energy. Geometry is unchanged — callers wanting the
+    /// density benefit double `rows_per_bank` themselves.
+    pub fn with_mlc_cells(self) -> Self {
+        SystemConfig {
+            timing: TimingConfig::paper_pcm_mlc(),
+            energy: EnergyConfig::paper_pcm_mlc(),
+            ..self
+        }
+    }
+
+    /// FgNVM with write pausing enabled on top of the three access modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the subdivision is invalid.
+    pub fn fgnvm_with_pausing(sags: u32, cds: u32) -> Result<Self, ConfigError> {
+        Ok(SystemConfig {
+            write_pausing: true,
+            ..SystemConfig::fgnvm(sags, cds)?
+        })
+    }
+
+    /// A conventional DRAM system with DDR3-like timings and refresh,
+    /// for the paper's motivating technology contrast. Note the energy
+    /// constants remain the PCM ones — DRAM energy is not comparable and
+    /// should not be read off this configuration.
+    pub fn dram() -> Self {
+        SystemConfig {
+            timing: TimingConfig::ddr3_like(),
+            bank_model: BankModel::Dram,
+            ..SystemConfig::baseline()
+        }
+    }
+
+    /// The paper's 128-banks-per-rank comparison design: many small
+    /// independent baseline banks, no subdivision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `banks` is not a positive power of two.
+    pub fn many_banks(banks: u32) -> Result<Self, ConfigError> {
+        let base = SystemConfig::baseline();
+        Ok(SystemConfig {
+            geometry: base.geometry.with_banks(banks)?,
+            ..base
+        })
+    }
+
+    /// The size-matched many-banks comparison of Figure 4: each bank is
+    /// "sized to be the same as any (SAG, CD) pair" of an `sags × cds`
+    /// FgNVM, so the bank count multiplies by `sags × cds` while rows and
+    /// row bytes shrink accordingly. Total capacity and address space are
+    /// unchanged, making IPC directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the shrunken bank geometry is invalid
+    /// (e.g. the per-CD row slice would drop below one cache line).
+    pub fn many_banks_matching(sags: u32, cds: u32) -> Result<Self, ConfigError> {
+        let base = SystemConfig::baseline();
+        let g = base.geometry;
+        let geometry = Geometry::builder()
+            .channels(g.channels())
+            .ranks_per_channel(g.ranks_per_channel())
+            .banks_per_rank(g.banks_per_rank() * sags * cds)
+            .rows_per_bank(g.rows_per_bank() / sags.max(1))
+            .row_bytes(g.row_bytes() / cds.max(1))
+            .line_bytes(g.line_bytes())
+            .sags(1)
+            .cds(1)
+            .build()?;
+        Ok(SystemConfig { geometry, ..base })
+    }
+
+    /// Validates the complete configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in timing, energy, queue
+    /// sizing, or bank-model/geometry agreement.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.timing.to_cycles()?;
+        self.energy.validate()?;
+        if self.queue_entries == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "queue_entries",
+                expected: "at least 1",
+            });
+        }
+        if self.write_queue_entries == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "write_queue_entries",
+                expected: "at least 1",
+            });
+        }
+        if self.commands_per_cycle == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "commands_per_cycle",
+                expected: "at least 1",
+            });
+        }
+        if self.data_bus_width == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "data_bus_width",
+                expected: "at least 1",
+            });
+        }
+        if matches!(self.bank_model, BankModel::Baseline | BankModel::Dram)
+            && (self.geometry.sags() != 1 || self.geometry.cds() != 1)
+        {
+            return Err(ConfigError::Invalid {
+                field: "bank_model",
+                reason: "undivided (baseline/DRAM) banks must use a 1×1 geometry",
+            });
+        }
+        if self.row_policy == RowPolicy::Closed && self.bank_model != BankModel::Dram {
+            return Err(ConfigError::Invalid {
+                field: "row_policy",
+                reason: "closed-page is a DRAM knob; NVM has no precharge to hide",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::fgnvm(4, 4).expect("default fgnvm config is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timings_convert_at_400mhz() {
+        let t = TimingConfig::paper_pcm().to_cycles().unwrap();
+        assert_eq!(t.t_rcd.raw(), 10); // 25 ns / 2.5 ns
+        assert_eq!(t.t_cas.raw(), 38); // 95 ns / 2.5 ns
+        assert_eq!(t.t_rp.raw(), 0);
+        assert_eq!(t.t_ras.raw(), 0);
+        assert_eq!(t.t_ccd.raw(), 4);
+        assert_eq!(t.t_burst.raw(), 4);
+        assert_eq!(t.t_cwd.raw(), 3); // 7.5 ns rounds up
+        assert_eq!(t.t_wp.raw(), 60); // 150 ns
+        assert_eq!(t.t_wr.raw(), 3);
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let t = TimingConfig::paper_pcm().to_cycles().unwrap();
+        assert_eq!(t.act_to_data().raw(), 48);
+        assert_eq!(t.write_occupancy().raw(), 70);
+    }
+
+    #[test]
+    fn negative_timing_rejected() {
+        let mut cfg = TimingConfig::paper_pcm();
+        cfg.t_wp_ns = -1.0;
+        assert!(cfg.to_cycles().is_err());
+    }
+
+    #[test]
+    fn energy_validation() {
+        assert!(EnergyConfig::paper_pcm().validate().is_ok());
+        let bad = EnergyConfig {
+            read_pj_per_bit: -2.0,
+            ..EnergyConfig::paper_pcm()
+        };
+        assert!(bad.validate().is_err());
+        let nan = EnergyConfig {
+            write_pj_per_bit: f64::NAN,
+            ..EnergyConfig::paper_pcm()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn mlc_presets_are_slower_and_hungrier() {
+        let slc = TimingConfig::paper_pcm().to_cycles().unwrap();
+        let mlc = TimingConfig::paper_pcm_mlc().to_cycles().unwrap();
+        assert!(mlc.t_cas > slc.t_cas);
+        assert!(mlc.t_wp.raw() >= slc.t_wp.raw() * 4);
+        let cfg = SystemConfig::fgnvm(8, 8).unwrap().with_mlc_cells();
+        cfg.validate().unwrap();
+        assert!(cfg.energy.write_pj_per_bit > EnergyConfig::paper_pcm().write_pj_per_bit);
+    }
+
+    #[test]
+    fn ddr3_timings_convert() {
+        let t = TimingConfig::ddr3_like().to_cycles().unwrap();
+        assert_eq!(t.t_rcd.raw(), 6);
+        assert_eq!(t.t_cas.raw(), 6);
+        assert_eq!(t.t_rp.raw(), 6);
+        assert_eq!(t.t_ras.raw(), 14);
+        assert_eq!(t.t_wp.raw(), 0);
+    }
+
+    #[test]
+    fn dram_preset_validates_and_requires_1x1() {
+        let cfg = SystemConfig::dram();
+        cfg.validate().unwrap();
+        let mut bad = cfg;
+        bad.geometry = Geometry::builder().sags(4).cds(4).build().unwrap();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn presets_validate() {
+        SystemConfig::baseline().validate().unwrap();
+        SystemConfig::fgnvm(8, 2).unwrap().validate().unwrap();
+        SystemConfig::fgnvm_multi_issue(8, 2, 2)
+            .unwrap()
+            .validate()
+            .unwrap();
+        SystemConfig::many_banks(128).unwrap().validate().unwrap();
+        SystemConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn many_banks_matching_preserves_capacity() {
+        let base = SystemConfig::baseline();
+        let many = SystemConfig::many_banks_matching(8, 2).unwrap();
+        assert_eq!(many.geometry.banks_per_rank(), 128);
+        assert_eq!(
+            many.geometry.capacity_bytes(),
+            base.geometry.capacity_bytes()
+        );
+        assert_eq!(many.geometry.row_bytes(), 512);
+        assert_eq!(many.geometry.rows_per_bank(), 4096);
+        many.validate().unwrap();
+        // 8×32 would shrink the row below one line.
+        assert!(SystemConfig::many_banks_matching(8, 32).is_err());
+    }
+
+    #[test]
+    fn many_banks_preset_shape() {
+        let cfg = SystemConfig::many_banks(128).unwrap();
+        assert_eq!(cfg.geometry.banks_per_rank(), 128);
+        assert_eq!(cfg.bank_model, BankModel::Baseline);
+        assert_eq!((cfg.geometry.sags(), cfg.geometry.cds()), (1, 1));
+    }
+
+    #[test]
+    fn baseline_with_subdivided_geometry_rejected() {
+        let mut cfg = SystemConfig::fgnvm(4, 4).unwrap();
+        cfg.bank_model = BankModel::Baseline;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn multi_issue_zero_width_rejected() {
+        assert!(SystemConfig::fgnvm_multi_issue(8, 2, 0).is_err());
+    }
+
+    #[test]
+    fn ablation_flags_accessible() {
+        let m = BankModel::fgnvm();
+        assert!(m.is_fgnvm());
+        if let BankModel::Fgnvm {
+            partial_activation,
+            multi_activation,
+            background_writes,
+        } = m
+        {
+            assert!(partial_activation && multi_activation && background_writes);
+        }
+        assert!(!BankModel::Baseline.is_fgnvm());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types shared by the FgNVM crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to a builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural parameter must be a positive power of two.
+    NotPowerOfTwo {
+        /// The offending field name.
+        field: &'static str,
+        /// The supplied value.
+        value: u32,
+    },
+    /// A parameter violates a relationship with another parameter.
+    Invalid {
+        /// The offending field name.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+    /// A numeric parameter was outside its legal range.
+    OutOfRange {
+        /// The offending field name.
+        field: &'static str,
+        /// Human-readable description of the legal range.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a positive power of two, got {value}")
+            }
+            ConfigError::Invalid { field, reason } => write!(f, "invalid {field}: {reason}"),
+            ConfigError::OutOfRange { field, expected } => {
+                write!(f, "{field} out of range: expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ConfigError::NotPowerOfTwo {
+            field: "sags",
+            value: 3,
+        };
+        assert_eq!(e.to_string(), "sags must be a positive power of two, got 3");
+        let e = ConfigError::Invalid {
+            field: "cds",
+            reason: "too many",
+        };
+        assert_eq!(e.to_string(), "invalid cds: too many");
+        let e = ConfigError::OutOfRange {
+            field: "queue",
+            expected: "1..=1024",
+        };
+        assert_eq!(e.to_string(), "queue out of range: expected 1..=1024");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

@@ -1,0 +1,473 @@
+//! Physical organization of the simulated memory system.
+//!
+//! The hierarchy follows the paper's §2: channels contain ranks, ranks
+//! contain banks, and a bank is a matrix of rows and columns. FgNVM further
+//! subdivides each bank in two dimensions into [`sags`](Geometry::sags)
+//! (subarray groups — groups of tile rows sharing a local row decoder) and
+//! [`cds`](Geometry::cds) (column divisions — groups of tile columns sharing
+//! local I/O lines).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Static geometry of the memory system.
+///
+/// Construct via [`Geometry::builder`]; the builder validates every
+/// power-of-two and divisibility constraint before producing a value, so a
+/// `Geometry` in hand is always internally consistent.
+///
+/// ```
+/// # fn main() -> Result<(), fgnvm_types::error::ConfigError> {
+/// use fgnvm_types::geometry::Geometry;
+///
+/// let geom = Geometry::builder().sags(8).cds(2).build()?;
+/// assert_eq!(geom.lines_per_row(), 16);
+/// assert_eq!(geom.sensed_bytes_per_activation(), 512); // 1 KB row / 2 CDs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    channels: u32,
+    ranks_per_channel: u32,
+    banks_per_rank: u32,
+    rows_per_bank: u32,
+    row_bytes: u32,
+    line_bytes: u32,
+    sags: u32,
+    cds: u32,
+}
+
+impl Geometry {
+    /// Starts building a geometry from the paper's Table 2 defaults:
+    /// 1 channel, 1 rank, 8 banks, 32 Ki rows, 1 KB sensed row, 64 B lines,
+    /// 4 SAGs × 4 CDs.
+    pub fn builder() -> GeometryBuilder {
+        GeometryBuilder::new()
+    }
+
+    /// Number of independent memory channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Ranks sharing each channel bus.
+    pub fn ranks_per_channel(&self) -> u32 {
+        self.ranks_per_channel
+    }
+
+    /// Banks within each rank.
+    pub fn banks_per_rank(&self) -> u32 {
+        self.banks_per_rank
+    }
+
+    /// Rows in each bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Bytes sensed by a full (baseline) row activation.
+    pub fn row_bytes(&self) -> u32 {
+        self.row_bytes
+    }
+
+    /// Bytes per cache line (one column command transfers one line).
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Subarray groups per bank (vertical subdivision; 1 = no subdivision).
+    pub fn sags(&self) -> u32 {
+        self.sags
+    }
+
+    /// Column divisions per bank (horizontal subdivision; 1 = no subdivision).
+    pub fn cds(&self) -> u32 {
+        self.cds
+    }
+
+    /// Cache lines held by one row.
+    pub fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Rows mapped to each subarray group.
+    pub fn rows_per_sag(&self) -> u32 {
+        self.rows_per_bank / self.sags
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Total addressable bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.total_banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+    }
+
+    /// Bytes sensed by one (partial) activation: the slice of the row owned
+    /// by a single column division. The baseline (1 CD) senses the full row.
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fgnvm_types::error::ConfigError> {
+    /// use fgnvm_types::geometry::Geometry;
+    /// // The paper's Fig. 5 arithmetic: 1 KB row, 8 CDs → 128 B sensed.
+    /// let geom = Geometry::builder().sags(8).cds(8).build()?;
+    /// assert_eq!(geom.sensed_bytes_per_activation(), 128);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sensed_bytes_per_activation(&self) -> u32 {
+        self.row_bytes / self.cds
+    }
+
+    /// How many adjacent column divisions one cache-line access occupies.
+    ///
+    /// When a CD holds at least one full line this is 1; when CDs subdivide
+    /// below the line size (e.g. 32 CDs over a 16-line row) a single line
+    /// spans `cds / lines_per_row` CDs, all of which must be sensed.
+    pub fn cds_per_line(&self) -> u32 {
+        (self.cds / self.lines_per_row()).max(1)
+    }
+
+    /// Bytes actually sensed to serve one cache-line read:
+    /// `cds_per_line × sensed_bytes_per_activation`, never less than a line.
+    pub fn sensed_bytes_per_line_access(&self) -> u32 {
+        (self.cds_per_line() * self.sensed_bytes_per_activation()).max(self.line_bytes)
+    }
+
+    /// The subarray group owning `row`.
+    ///
+    /// Rows are block-partitioned across SAGs (row `r` lives in SAG
+    /// `r / rows_per_sag`), mirroring the per-subarray row decoders of §5.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `row` is out of range.
+    pub fn sag_of_row(&self, row: u32) -> u32 {
+        debug_assert!(row < self.rows_per_bank, "row {row} out of range");
+        row / self.rows_per_sag()
+    }
+
+    /// The first column division and the number of adjacent CDs occupied by
+    /// an access to cache line `line` of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line` is out of range.
+    pub fn cds_of_line(&self, line: u32) -> (u32, u32) {
+        let lines = self.lines_per_row();
+        debug_assert!(line < lines, "line {line} out of range");
+        if self.cds >= lines {
+            let width = self.cds / lines;
+            (line * width, width)
+        } else {
+            let lines_per_cd = lines / self.cds;
+            (line / lines_per_cd, 1)
+        }
+    }
+
+    /// Returns a copy of this geometry resized to `sags` × `cds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the new subdivision violates geometry
+    /// constraints.
+    pub fn with_subdivision(&self, sags: u32, cds: u32) -> Result<Geometry, ConfigError> {
+        GeometryBuilder {
+            inner: Geometry { sags, cds, ..*self },
+        }
+        .build()
+    }
+
+    /// Returns a copy with `banks_per_rank` banks (used by the 128-bank
+    /// comparison design, which trades subdivision for more, smaller banks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the bank count is not a positive power of
+    /// two or rows cannot be evenly re-partitioned.
+    pub fn with_banks(&self, banks_per_rank: u32) -> Result<Geometry, ConfigError> {
+        GeometryBuilder {
+            inner: Geometry {
+                banks_per_rank,
+                sags: 1,
+                cds: 1,
+                ..*self
+            },
+        }
+        .build()
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::builder()
+            .build()
+            .expect("default geometry is valid")
+    }
+}
+
+/// Builder for [`Geometry`]; see [`Geometry::builder`].
+#[derive(Debug, Clone)]
+pub struct GeometryBuilder {
+    inner: Geometry,
+}
+
+impl GeometryBuilder {
+    /// Creates a builder seeded with the paper's Table 2 configuration.
+    pub fn new() -> Self {
+        GeometryBuilder {
+            inner: Geometry {
+                channels: 1,
+                ranks_per_channel: 1,
+                banks_per_rank: 8,
+                rows_per_bank: 32_768,
+                row_bytes: 1024,
+                line_bytes: 64,
+                sags: 4,
+                cds: 4,
+            },
+        }
+    }
+
+    /// Sets the channel count.
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.inner.channels = channels;
+        self
+    }
+
+    /// Sets ranks per channel.
+    pub fn ranks_per_channel(mut self, ranks: u32) -> Self {
+        self.inner.ranks_per_channel = ranks;
+        self
+    }
+
+    /// Sets banks per rank.
+    pub fn banks_per_rank(mut self, banks: u32) -> Self {
+        self.inner.banks_per_rank = banks;
+        self
+    }
+
+    /// Sets rows per bank.
+    pub fn rows_per_bank(mut self, rows: u32) -> Self {
+        self.inner.rows_per_bank = rows;
+        self
+    }
+
+    /// Sets the sensed row size in bytes.
+    pub fn row_bytes(mut self, bytes: u32) -> Self {
+        self.inner.row_bytes = bytes;
+        self
+    }
+
+    /// Sets the cache-line size in bytes.
+    pub fn line_bytes(mut self, bytes: u32) -> Self {
+        self.inner.line_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of subarray groups.
+    pub fn sags(mut self, sags: u32) -> Self {
+        self.inner.sags = sags;
+        self
+    }
+
+    /// Sets the number of column divisions.
+    pub fn cds(mut self, cds: u32) -> Self {
+        self.inner.cds = cds;
+        self
+    }
+
+    /// Validates and produces the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any field is zero, not a power of two,
+    /// or when the subdivision does not evenly partition rows/lines.
+    pub fn build(self) -> Result<Geometry, ConfigError> {
+        let g = self.inner;
+        let pow2 = |name: &'static str, v: u32| -> Result<(), ConfigError> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(ConfigError::NotPowerOfTwo {
+                    field: name,
+                    value: v,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        pow2("channels", g.channels)?;
+        pow2("ranks_per_channel", g.ranks_per_channel)?;
+        pow2("banks_per_rank", g.banks_per_rank)?;
+        pow2("rows_per_bank", g.rows_per_bank)?;
+        pow2("row_bytes", g.row_bytes)?;
+        pow2("line_bytes", g.line_bytes)?;
+        pow2("sags", g.sags)?;
+        pow2("cds", g.cds)?;
+        if g.line_bytes > g.row_bytes {
+            return Err(ConfigError::Invalid {
+                field: "line_bytes",
+                reason: "cache line larger than row",
+            });
+        }
+        if g.sags > g.rows_per_bank {
+            return Err(ConfigError::Invalid {
+                field: "sags",
+                reason: "more subarray groups than rows",
+            });
+        }
+        let lines = g.row_bytes / g.line_bytes;
+        // CDs must evenly partition lines, or lines must evenly span CDs.
+        if g.cds <= lines {
+            if !lines.is_multiple_of(g.cds) {
+                return Err(ConfigError::Invalid {
+                    field: "cds",
+                    reason: "column divisions do not evenly partition row lines",
+                });
+            }
+        } else if !g.cds.is_multiple_of(lines) {
+            return Err(ConfigError::Invalid {
+                field: "cds",
+                reason: "cache lines do not evenly span column divisions",
+            });
+        }
+        if g.cds > g.row_bytes / 8 {
+            return Err(ConfigError::Invalid {
+                field: "cds",
+                reason: "a column division must hold at least one byte of I/O width",
+            });
+        }
+        Ok(g)
+    }
+}
+
+impl Default for GeometryBuilder {
+    fn default() -> Self {
+        GeometryBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let g = Geometry::default();
+        assert_eq!(g.banks_per_rank(), 8);
+        assert_eq!(g.row_bytes(), 1024);
+        assert_eq!(g.lines_per_row(), 16);
+        assert_eq!(g.sags(), 4);
+        assert_eq!(g.cds(), 4);
+    }
+
+    #[test]
+    fn sensed_bytes_match_figure5_text() {
+        // Paper §6: 1 KB baseline, 512 B for 8×2, 128 B for 8×8, 32 B for 8×32.
+        let base = Geometry::builder().sags(1).cds(1).build().unwrap();
+        assert_eq!(base.sensed_bytes_per_activation(), 1024);
+        for (cds, bytes) in [(2, 512), (8, 128), (32, 32)] {
+            let g = Geometry::builder().sags(8).cds(cds).build().unwrap();
+            assert_eq!(g.sensed_bytes_per_activation(), bytes, "cds={cds}");
+        }
+    }
+
+    #[test]
+    fn line_access_never_senses_below_line() {
+        // 8×32: each CD is 32 B, but a 64 B line occupies 2 CDs.
+        let g = Geometry::builder().sags(8).cds(32).build().unwrap();
+        assert_eq!(g.cds_per_line(), 2);
+        assert_eq!(g.sensed_bytes_per_line_access(), 64);
+        // 8×8: one CD covers 2 lines; a line access still senses 128 B.
+        let g = Geometry::builder().sags(8).cds(8).build().unwrap();
+        assert_eq!(g.cds_per_line(), 1);
+        assert_eq!(g.sensed_bytes_per_line_access(), 128);
+    }
+
+    #[test]
+    fn sag_partitioning_is_block_wise() {
+        let g = Geometry::builder()
+            .rows_per_bank(64)
+            .sags(4)
+            .build()
+            .unwrap();
+        assert_eq!(g.rows_per_sag(), 16);
+        assert_eq!(g.sag_of_row(0), 0);
+        assert_eq!(g.sag_of_row(15), 0);
+        assert_eq!(g.sag_of_row(16), 1);
+        assert_eq!(g.sag_of_row(63), 3);
+    }
+
+    #[test]
+    fn cd_assignment_wide_and_narrow() {
+        // 4 CDs over 16 lines: 4 lines per CD.
+        let g = Geometry::builder().cds(4).build().unwrap();
+        assert_eq!(g.cds_of_line(0), (0, 1));
+        assert_eq!(g.cds_of_line(3), (0, 1));
+        assert_eq!(g.cds_of_line(4), (1, 1));
+        assert_eq!(g.cds_of_line(15), (3, 1));
+        // 32 CDs over 16 lines: each line spans 2 CDs.
+        let g = Geometry::builder().sags(8).cds(32).build().unwrap();
+        assert_eq!(g.cds_of_line(0), (0, 2));
+        assert_eq!(g.cds_of_line(1), (2, 2));
+        assert_eq!(g.cds_of_line(15), (30, 2));
+    }
+
+    #[test]
+    fn builder_rejects_non_power_of_two() {
+        let err = Geometry::builder().sags(3).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NotPowerOfTwo { field: "sags", .. }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_line_bigger_than_row() {
+        let err = Geometry::builder()
+            .row_bytes(64)
+            .line_bytes(128)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::Invalid {
+                field: "line_bytes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_too_many_sags() {
+        let err = Geometry::builder()
+            .rows_per_bank(4)
+            .sags(8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Invalid { field: "sags", .. }));
+    }
+
+    #[test]
+    fn with_subdivision_and_with_banks() {
+        let g = Geometry::default();
+        let g2 = g.with_subdivision(8, 32).unwrap();
+        assert_eq!((g2.sags(), g2.cds()), (8, 32));
+        let many = g.with_banks(128).unwrap();
+        assert_eq!(many.banks_per_rank(), 128);
+        assert_eq!((many.sags(), many.cds()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_is_product() {
+        let g = Geometry::builder()
+            .rows_per_bank(1024)
+            .banks_per_rank(8)
+            .build()
+            .unwrap();
+        assert_eq!(g.capacity_bytes(), 8 * 1024 * 1024);
+    }
+}

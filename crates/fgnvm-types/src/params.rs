@@ -1,0 +1,444 @@
+//! NVMain-style parameter files.
+//!
+//! NVMain (the simulator the paper builds on) is configured with plain
+//! text files of `KEY value` lines. This module parses that format into a
+//! [`SystemConfig`], so existing workflows can configure the simulator
+//! without writing Rust:
+//!
+//! ```text
+//! ; FgNVM 8x2 on the paper's PCM timings
+//! BankModel FGNVM
+//! SAGs 8
+//! CDs 2
+//! tRCD 25
+//! tCAS 95
+//! tWP 150
+//! Scheduler FRFCFS_TLP
+//! ```
+//!
+//! Unknown keys are an error (catching typos beats silently ignoring
+//! them); keys are case-insensitive; `;` and `#` start comments.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::config::{BankModel, RowPolicy, SchedulerKind, SystemConfig};
+use crate::geometry::Geometry;
+
+/// Error produced while parsing a parameter file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParamsError {
+    /// 1-based line number of the offending line (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parameter file invalid: {}", self.message)
+        } else {
+            write!(f, "parameter file line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseParamsError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseParamsError {
+    ParseParamsError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an NVMain-style parameter file into a validated [`SystemConfig`].
+///
+/// Every field defaults to the paper's baseline configuration; lines
+/// override individual parameters. The final configuration (geometry
+/// divisibility, timing positivity, bank-model/geometry agreement) is
+/// validated before returning.
+///
+/// ```
+/// # fn main() -> Result<(), fgnvm_types::ParseParamsError> {
+/// use fgnvm_types::parse_system_config;
+///
+/// let config = parse_system_config("BankModel FGNVM\nSAGs 8\nCDs 2")?;
+/// assert_eq!((config.geometry.sags(), config.geometry.cds()), (8, 2));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseParamsError`] naming the offending line for syntax
+/// errors, unknown keys, or unparsable values, and line 0 for whole-file
+/// consistency failures.
+pub fn parse_system_config(text: &str) -> Result<SystemConfig, ParseParamsError> {
+    let mut config = SystemConfig::baseline();
+    // Geometry fields are gathered and rebuilt at the end.
+    let g = config.geometry;
+    let mut channels = g.channels();
+    let mut ranks = g.ranks_per_channel();
+    let mut banks = g.banks_per_rank();
+    let mut rows = g.rows_per_bank();
+    let mut row_bytes = g.row_bytes();
+    let mut line_bytes = g.line_bytes();
+    let mut sags = 1u32;
+    let mut cds = 1u32;
+
+    for (index, raw_line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let line = raw_line.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(lineno, format!("expected `KEY value`, got `{line}`")))?;
+        let value = value.trim();
+        let parse_u32 = |v: &str| -> Result<u32, ParseParamsError> {
+            v.parse()
+                .map_err(|_| err(lineno, format!("`{v}` is not an integer")))
+        };
+        let parse_u64 = |v: &str| -> Result<u64, ParseParamsError> {
+            v.parse()
+                .map_err(|_| err(lineno, format!("`{v}` is not an integer")))
+        };
+        let parse_f64 = |v: &str| -> Result<f64, ParseParamsError> {
+            v.parse()
+                .map_err(|_| err(lineno, format!("`{v}` is not a number")))
+        };
+        let parse_bool = |v: &str| -> Result<bool, ParseParamsError> {
+            match v.to_ascii_lowercase().as_str() {
+                "1" | "true" | "yes" | "on" => Ok(true),
+                "0" | "false" | "no" | "off" => Ok(false),
+                _ => Err(err(lineno, format!("`{v}` is not a boolean"))),
+            }
+        };
+        match key.to_ascii_uppercase().as_str() {
+            "CLK" => config.timing.clock_mhz = parse_f64(value)?,
+            "TRCD" => config.timing.t_rcd_ns = parse_f64(value)?,
+            "TCAS" | "TCL" => config.timing.t_cas_ns = parse_f64(value)?,
+            "TRP" => config.timing.t_rp_ns = parse_f64(value)?,
+            "TRAS" => config.timing.t_ras_ns = parse_f64(value)?,
+            "TCCD" => config.timing.t_ccd_cycles = parse_u64(value)?,
+            "TBURST" => config.timing.t_burst_cycles = parse_u64(value)?,
+            "TCWD" => config.timing.t_cwd_ns = parse_f64(value)?,
+            "TWP" => config.timing.t_wp_ns = parse_f64(value)?,
+            "TWR" => config.timing.t_wr_ns = parse_f64(value)?,
+            "EREADBIT" => config.energy.read_pj_per_bit = parse_f64(value)?,
+            "EWRITEBIT" => config.energy.write_pj_per_bit = parse_f64(value)?,
+            "EBACKGROUND" => config.energy.background_pj_per_bit = parse_f64(value)?,
+            "CHANNELS" => channels = parse_u32(value)?,
+            "RANKS" => ranks = parse_u32(value)?,
+            "BANKS" => banks = parse_u32(value)?,
+            "ROWS" => rows = parse_u32(value)?,
+            "ROWSIZE" => row_bytes = parse_u32(value)?,
+            "LINESIZE" => line_bytes = parse_u32(value)?,
+            "SAGS" => sags = parse_u32(value)?,
+            "CDS" => cds = parse_u32(value)?,
+            "QUEUEENTRIES" => config.queue_entries = parse_u32(value)? as usize,
+            "WRITEQUEUEENTRIES" => config.write_queue_entries = parse_u32(value)? as usize,
+            "COMMANDSPERCYCLE" => config.commands_per_cycle = parse_u32(value)?,
+            "DATABUSWIDTH" => config.data_bus_width = parse_u32(value)?,
+            "WRITEPAUSING" => config.write_pausing = parse_bool(value)?,
+            "ROWPOLICY" => {
+                config.row_policy = match value.to_ascii_uppercase().as_str() {
+                    "OPEN" => RowPolicy::Open,
+                    "CLOSED" => RowPolicy::Closed,
+                    other => return Err(err(lineno, format!("unknown row policy `{other}`"))),
+                }
+            }
+            "SCHEDULER" => {
+                config.scheduler = match value.to_ascii_uppercase().as_str() {
+                    "FCFS" => SchedulerKind::Fcfs,
+                    "FRFCFS" => SchedulerKind::Frfcfs,
+                    "FRFCFS_TLP" | "FRFCFSTLP" => SchedulerKind::FrfcfsTlp,
+                    "FRFCFS_CAP" | "FRFCFSCAP" => SchedulerKind::FrfcfsCap,
+                    other => return Err(err(lineno, format!("unknown scheduler `{other}`"))),
+                }
+            }
+            "BANKMODEL" => {
+                config.bank_model = match value.to_ascii_uppercase().as_str() {
+                    "BASELINE" => BankModel::Baseline,
+                    "FGNVM" => BankModel::fgnvm(),
+                    "DRAM" => BankModel::Dram,
+                    other => return Err(err(lineno, format!("unknown bank model `{other}`"))),
+                }
+            }
+            // Individual FgNVM access modes (for ablation configs). Only
+            // meaningful after `BankModel FGNVM`.
+            "PARTIALACTIVATION" | "MULTIACTIVATION" | "BACKGROUNDWRITES" => {
+                let BankModel::Fgnvm {
+                    mut partial_activation,
+                    mut multi_activation,
+                    mut background_writes,
+                } = config.bank_model
+                else {
+                    return Err(err(
+                        lineno,
+                        format!("`{key}` requires `BankModel FGNVM` first"),
+                    ));
+                };
+                let flag = parse_bool(value)?;
+                match key.to_ascii_uppercase().as_str() {
+                    "PARTIALACTIVATION" => partial_activation = flag,
+                    "MULTIACTIVATION" => multi_activation = flag,
+                    _ => background_writes = flag,
+                }
+                config.bank_model = BankModel::Fgnvm {
+                    partial_activation,
+                    multi_activation,
+                    background_writes,
+                };
+            }
+            other => return Err(err(lineno, format!("unknown parameter `{other}`"))),
+        }
+    }
+
+    // Undivided bank models always use a 1×1 geometry.
+    if !config.bank_model.is_fgnvm() {
+        sags = 1;
+        cds = 1;
+    }
+    config.geometry = Geometry::builder()
+        .channels(channels)
+        .ranks_per_channel(ranks)
+        .banks_per_rank(banks)
+        .rows_per_bank(rows)
+        .row_bytes(row_bytes)
+        .line_bytes(line_bytes)
+        .sags(sags)
+        .cds(cds)
+        .build()
+        .map_err(|e| err(0, e.to_string()))?;
+    config.validate().map_err(|e| err(0, e.to_string()))?;
+    Ok(config)
+}
+
+/// Renders a [`SystemConfig`] as an NVMain-style parameter file — the
+/// inverse of [`parse_system_config`]. Every effective parameter is
+/// emitted, so the output is a complete, self-contained record of a run's
+/// configuration (the role of NVMain's config dump).
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use fgnvm_types::config::SystemConfig;
+/// use fgnvm_types::{parse_system_config, write_system_config};
+///
+/// let config = SystemConfig::fgnvm_with_pausing(8, 8)?;
+/// let text = write_system_config(&config);
+/// assert_eq!(parse_system_config(&text)?, config);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_system_config(config: &SystemConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let g = &config.geometry;
+    let t = &config.timing;
+    let e = &config.energy;
+    out.push_str("; generated by fgnvm (write_system_config)\n");
+    let model = match config.bank_model {
+        BankModel::Baseline => "BASELINE",
+        BankModel::Dram => "DRAM",
+        BankModel::Fgnvm { .. } => "FGNVM",
+    };
+    let _ = writeln!(out, "BankModel {model}");
+    if let BankModel::Fgnvm {
+        partial_activation,
+        multi_activation,
+        background_writes,
+    } = config.bank_model
+    {
+        let _ = writeln!(out, "SAGs {}", g.sags());
+        let _ = writeln!(out, "CDs {}", g.cds());
+        let _ = writeln!(out, "PartialActivation {}", u8::from(partial_activation));
+        let _ = writeln!(out, "MultiActivation {}", u8::from(multi_activation));
+        let _ = writeln!(out, "BackgroundWrites {}", u8::from(background_writes));
+    }
+    let _ = writeln!(out, "Channels {}", g.channels());
+    let _ = writeln!(out, "Ranks {}", g.ranks_per_channel());
+    let _ = writeln!(out, "Banks {}", g.banks_per_rank());
+    let _ = writeln!(out, "Rows {}", g.rows_per_bank());
+    let _ = writeln!(out, "RowSize {}", g.row_bytes());
+    let _ = writeln!(out, "LineSize {}", g.line_bytes());
+    let _ = writeln!(out, "CLK {}", t.clock_mhz);
+    let _ = writeln!(out, "tRCD {}", t.t_rcd_ns);
+    let _ = writeln!(out, "tCAS {}", t.t_cas_ns);
+    let _ = writeln!(out, "tRP {}", t.t_rp_ns);
+    let _ = writeln!(out, "tRAS {}", t.t_ras_ns);
+    let _ = writeln!(out, "tCCD {}", t.t_ccd_cycles);
+    let _ = writeln!(out, "tBURST {}", t.t_burst_cycles);
+    let _ = writeln!(out, "tCWD {}", t.t_cwd_ns);
+    let _ = writeln!(out, "tWP {}", t.t_wp_ns);
+    let _ = writeln!(out, "tWR {}", t.t_wr_ns);
+    let _ = writeln!(out, "EReadBit {}", e.read_pj_per_bit);
+    let _ = writeln!(out, "EWriteBit {}", e.write_pj_per_bit);
+    let _ = writeln!(out, "EBackground {}", e.background_pj_per_bit);
+    let scheduler = match config.scheduler {
+        SchedulerKind::Fcfs => "FCFS",
+        SchedulerKind::Frfcfs => "FRFCFS",
+        SchedulerKind::FrfcfsTlp => "FRFCFS_TLP",
+        SchedulerKind::FrfcfsCap => "FRFCFS_CAP",
+    };
+    let _ = writeln!(out, "Scheduler {scheduler}");
+    let _ = writeln!(out, "QueueEntries {}", config.queue_entries);
+    let _ = writeln!(out, "WriteQueueEntries {}", config.write_queue_entries);
+    let _ = writeln!(out, "CommandsPerCycle {}", config.commands_per_cycle);
+    let _ = writeln!(out, "DataBusWidth {}", config.data_bus_width);
+    let _ = writeln!(out, "WritePausing {}", u8::from(config.write_pausing));
+    let policy = match config.row_policy {
+        RowPolicy::Open => "OPEN",
+        RowPolicy::Closed => "CLOSED",
+    };
+    let _ = writeln!(out, "RowPolicy {policy}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fgnvm_config_parses() {
+        let text = "\
+; FgNVM 8x2 on the paper's PCM timings
+BankModel FGNVM
+SAGs 8
+CDs 2          ; two column divisions
+tRCD 25
+tCAS 95
+tWP 150
+Scheduler FRFCFS_TLP
+";
+        let config = parse_system_config(text).unwrap();
+        assert_eq!(config.geometry.sags(), 8);
+        assert_eq!(config.geometry.cds(), 2);
+        assert_eq!(config.scheduler, SchedulerKind::FrfcfsTlp);
+        assert!(config.bank_model.is_fgnvm());
+        assert_eq!(config, SystemConfig::fgnvm(8, 2).unwrap());
+    }
+
+    #[test]
+    fn empty_file_is_the_baseline() {
+        let config = parse_system_config("").unwrap();
+        assert_eq!(config, SystemConfig::baseline());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let config = parse_system_config("\n; comment\n# another\n  \nBanks 16\n").unwrap();
+        assert_eq!(config.geometry.banks_per_rank(), 16);
+    }
+
+    #[test]
+    fn keys_are_case_insensitive() {
+        let a = parse_system_config("banks 16").unwrap();
+        let b = parse_system_config("BANKS 16").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_key_names_the_line() {
+        let e = parse_system_config("Banks 16\nBogus 3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().to_lowercase().contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn bad_value_names_the_line() {
+        let e = parse_system_config("tRCD fast").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("fast"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse_system_config("Banks").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn inconsistent_geometry_fails_validation() {
+        // 3 banks: not a power of two.
+        let e = parse_system_config("Banks 3").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn non_fgnvm_models_force_1x1() {
+        let config = parse_system_config("BankModel BASELINE\nSAGs 8\nCDs 8").unwrap();
+        assert_eq!((config.geometry.sags(), config.geometry.cds()), (1, 1));
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn dram_and_pausing_and_cap_parse() {
+        let config =
+            parse_system_config("BankModel DRAM\ntRP 13.75\ntRAS 35\nScheduler FRFCFS_CAP")
+                .unwrap();
+        assert_eq!(config.bank_model, BankModel::Dram);
+        assert_eq!(config.scheduler, SchedulerKind::FrfcfsCap);
+        let config = parse_system_config("WritePausing on").unwrap();
+        assert!(config.write_pausing);
+    }
+
+    #[test]
+    fn ablation_mode_keys_parse() {
+        let config = parse_system_config(
+            "BankModel FGNVM\nSAGs 8\nCDs 8\nPartialActivation 0\nMultiActivation 1\nBackgroundWrites 0",
+        )
+        .unwrap();
+        assert_eq!(
+            config.bank_model,
+            BankModel::Fgnvm {
+                partial_activation: false,
+                multi_activation: true,
+                background_writes: false,
+            }
+        );
+    }
+
+    #[test]
+    fn mode_key_without_fgnvm_model_errors() {
+        let e = parse_system_config("PartialActivation 0").unwrap_err();
+        assert!(e.to_string().contains("BankModel FGNVM"), "{e}");
+    }
+
+    #[test]
+    fn writer_round_trips_every_preset() {
+        let presets = [
+            SystemConfig::baseline(),
+            SystemConfig::fgnvm(8, 2).unwrap(),
+            SystemConfig::fgnvm(32, 32).unwrap(),
+            SystemConfig::fgnvm_multi_issue(8, 8, 4).unwrap(),
+            SystemConfig::fgnvm_with_pausing(8, 8).unwrap(),
+            SystemConfig::many_banks_matching(8, 2).unwrap(),
+            SystemConfig::dram(),
+        ];
+        for config in presets {
+            let text = write_system_config(&config);
+            let parsed = parse_system_config(&text)
+                .unwrap_or_else(|e| panic!("round trip failed for {config:?}: {e}"));
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn writer_round_trips_ablation_modes() {
+        for bits in 0u8..8 {
+            let mut config = SystemConfig::fgnvm(8, 8).unwrap();
+            config.bank_model = BankModel::Fgnvm {
+                partial_activation: bits & 1 != 0,
+                multi_activation: bits & 2 != 0,
+                background_writes: bits & 4 != 0,
+            };
+            let parsed = parse_system_config(&write_system_config(&config)).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+}

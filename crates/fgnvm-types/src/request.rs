@@ -1,0 +1,178 @@
+//! Memory requests as seen at the controller boundary.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::PhysAddr;
+use crate::time::Cycle;
+
+/// Unique, monotonically increasing request identifier.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates an identifier from a raw counter value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Urgency class of a request: demand misses stall the core, prefetches
+/// are speculative and may be deprioritized or dropped under load.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// A demand access the core is (or will be) waiting on.
+    #[default]
+    Demand,
+    /// A speculative prefetch; losing it costs performance, not
+    /// correctness.
+    Prefetch,
+}
+
+/// Whether a request reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A demand read (load miss); latency-critical.
+    Read,
+    /// A writeback; posted, drained from the write queue in the background.
+    Write,
+}
+
+impl Op {
+    /// True for [`Op::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// True for [`Op::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Read => "R",
+            Op::Write => "W",
+        })
+    }
+}
+
+/// A cache-line-granularity memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique identifier assigned at enqueue time.
+    pub id: RequestId,
+    /// Read or write.
+    pub op: Op,
+    /// Line-aligned physical address.
+    pub addr: PhysAddr,
+    /// Cycle the request arrived at the controller.
+    pub arrival: Cycle,
+    /// Demand or prefetch.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// Creates a demand request arriving `arrival` with identity `id`.
+    pub fn new(id: RequestId, op: Op, addr: PhysAddr, arrival: Cycle) -> Self {
+        Request {
+            id,
+            op,
+            addr,
+            arrival,
+            priority: Priority::Demand,
+        }
+    }
+
+    /// Returns this request marked as a prefetch.
+    pub fn as_prefetch(mut self) -> Self {
+        self.priority = Priority::Prefetch;
+        self
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} @{} (arr {})",
+            self.id, self.op, self.addr, self.arrival
+        )
+    }
+}
+
+/// Record of a finished request, reported back to the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request's identifier.
+    pub id: RequestId,
+    /// Read or write.
+    pub op: Op,
+    /// Arrival cycle at the controller.
+    pub arrival: Cycle,
+    /// Cycle the data burst finished (read) or the write was accepted into
+    /// the array (write).
+    pub finished: Cycle,
+}
+
+impl Completion {
+    /// End-to-end controller latency in cycles.
+    pub fn latency(&self) -> crate::time::CycleCount {
+        self.finished - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::CycleCount;
+
+    #[test]
+    fn op_predicates() {
+        assert!(Op::Read.is_read() && !Op::Read.is_write());
+        assert!(Op::Write.is_write() && !Op::Write.is_read());
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            id: RequestId::new(1),
+            op: Op::Read,
+            arrival: Cycle::new(10),
+            finished: Cycle::new(52),
+        };
+        assert_eq!(c.latency(), CycleCount::new(42));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Request::new(
+            RequestId::new(7),
+            Op::Write,
+            PhysAddr::new(0x80),
+            Cycle::new(3),
+        );
+        let s = r.to_string();
+        assert!(s.contains("req#7") && s.contains('W') && s.contains("0x80"));
+    }
+}

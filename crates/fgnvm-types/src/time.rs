@@ -1,0 +1,273 @@
+//! Time units used throughout the simulator.
+//!
+//! The memory controller is the master clock: every timing parameter is
+//! converted once, at configuration time, from nanoseconds into controller
+//! [`Cycle`]s. Two newtypes keep instants and durations from being mixed up:
+//!
+//! * [`Cycle`] — an absolute point on the controller clock (an *instant*).
+//! * [`CycleCount`] — a span of cycles (a *duration*).
+//!
+//! ```
+//! use fgnvm_types::time::{Cycle, CycleCount};
+//!
+//! let start = Cycle::ZERO;
+//! let t_rcd = CycleCount::new(10);
+//! let row_open_at = start + t_rcd;
+//! assert_eq!(row_open_at - start, t_rcd);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the memory-controller clock.
+///
+/// `Cycle` is a strictly increasing simulation timestamp. It supports adding
+/// a [`CycleCount`] (producing a later instant) and subtracting another
+/// `Cycle` (producing the span between them).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+    /// An instant later than any the simulator will reach; useful as an
+    /// "never" sentinel for busy-until windows.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates an instant at `raw` cycles from the beginning of time.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// The raw cycle number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Cycles from `earlier` to `self`, saturating at zero if `earlier` is
+    /// actually later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> CycleCount {
+        CycleCount(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Advances this instant by one cycle.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cy{}", self.0)
+    }
+}
+
+/// A span of memory-controller cycles.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CycleCount(u64);
+
+impl CycleCount {
+    /// A zero-length span.
+    pub const ZERO: CycleCount = CycleCount(0);
+    /// A one-cycle span.
+    pub const ONE: CycleCount = CycleCount(1);
+
+    /// Creates a span of `raw` cycles.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        CycleCount(raw)
+    }
+
+    /// The raw number of cycles.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: CycleCount) -> CycleCount {
+        CycleCount(self.0.max(other.0))
+    }
+
+    /// True if the span is zero cycles long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for CycleCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add<CycleCount> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: CycleCount) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<CycleCount> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: CycleCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = CycleCount;
+
+    /// Cycles from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> CycleCount {
+        debug_assert!(self.0 >= rhs.0, "instant subtraction went negative");
+        CycleCount(self.0 - rhs.0)
+    }
+}
+
+impl Add for CycleCount {
+    type Output = CycleCount;
+    #[inline]
+    fn add(self, rhs: CycleCount) -> CycleCount {
+        CycleCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CycleCount {
+    #[inline]
+    fn add_assign(&mut self, rhs: CycleCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for CycleCount {
+    fn sum<I: Iterator<Item = CycleCount>>(iter: I) -> CycleCount {
+        CycleCount(iter.map(|c| c.0).sum())
+    }
+}
+
+/// Converts a duration in nanoseconds into controller cycles, rounding up so
+/// that timing constraints are never violated by truncation.
+///
+/// ```
+/// use fgnvm_types::time::ns_to_cycles;
+///
+/// // 25 ns at 400 MHz (2.5 ns per cycle) is exactly 10 cycles.
+/// assert_eq!(ns_to_cycles(25.0, 400.0).raw(), 10);
+/// // 95 ns rounds up to 38 cycles.
+/// assert_eq!(ns_to_cycles(95.0, 400.0).raw(), 38);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `clock_mhz` is not strictly positive or `ns` is negative.
+pub fn ns_to_cycles(ns: f64, clock_mhz: f64) -> CycleCount {
+    assert!(clock_mhz > 0.0, "clock frequency must be positive");
+    assert!(ns >= 0.0, "durations cannot be negative");
+    let period_ns = 1000.0 / clock_mhz;
+    CycleCount((ns / period_ns).ceil() as u64)
+}
+
+/// Converts controller cycles back into nanoseconds for reporting.
+pub fn cycles_to_ns(cycles: CycleCount, clock_mhz: f64) -> f64 {
+    assert!(clock_mhz > 0.0, "clock frequency must be positive");
+    cycles.raw() as f64 * 1000.0 / clock_mhz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_span() {
+        let t = Cycle::new(5) + CycleCount::new(7);
+        assert_eq!(t, Cycle::new(12));
+    }
+
+    #[test]
+    fn instant_difference() {
+        assert_eq!(Cycle::new(12) - Cycle::new(5), CycleCount::new(7));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            Cycle::new(3).saturating_since(Cycle::new(9)),
+            CycleCount::ZERO
+        );
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        // 2.5 ns period: 1 ns still needs a full cycle.
+        assert_eq!(ns_to_cycles(1.0, 400.0).raw(), 1);
+        assert_eq!(ns_to_cycles(0.0, 400.0).raw(), 0);
+        assert_eq!(ns_to_cycles(150.0, 400.0).raw(), 60);
+    }
+
+    #[test]
+    fn ns_roundtrip_upper_bound() {
+        let cycles = ns_to_cycles(95.0, 400.0);
+        assert!(cycles_to_ns(cycles, 400.0) >= 95.0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle::new(4) < Cycle::new(5));
+        assert_eq!(Cycle::new(4).max(Cycle::new(5)), Cycle::new(5));
+        assert_eq!(
+            CycleCount::new(4).max(CycleCount::new(5)),
+            CycleCount::new(5)
+        );
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: CycleCount = [1u64, 2, 3].iter().map(|&c| CycleCount::new(c)).sum();
+        assert_eq!(total, CycleCount::new(6));
+    }
+
+    #[test]
+    fn advance_moves_one_cycle() {
+        let mut t = Cycle::ZERO;
+        t.advance();
+        assert_eq!(t, Cycle::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn zero_clock_rejected() {
+        let _ = ns_to_cycles(5.0, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for address mapping: decode/encode is a bijection on
+//! line-aligned addresses for every scheme and a wide range of geometries.
+
+use proptest::prelude::*;
+
+use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
+use fgnvm_types::geometry::Geometry;
+
+fn geometry_strategy() -> impl Strategy<Value = Geometry> {
+    (
+        prop::sample::select(vec![1u32, 2]),            // channels
+        prop::sample::select(vec![1u32, 2]),            // ranks
+        prop::sample::select(vec![4u32, 8, 16]),        // banks
+        prop::sample::select(vec![256u32, 1024, 4096]), // rows
+        prop::sample::select(vec![512u32, 1024]),       // row bytes
+        prop::sample::select(vec![1u32, 2, 4, 8]),      // sags
+        prop::sample::select(vec![1u32, 2, 4, 8]),      // cds
+    )
+        .prop_filter_map(
+            "geometry must validate",
+            |(ch, ra, ba, ro, rb, sags, cds)| {
+                Geometry::builder()
+                    .channels(ch)
+                    .ranks_per_channel(ra)
+                    .banks_per_rank(ba)
+                    .rows_per_bank(ro)
+                    .row_bytes(rb)
+                    .line_bytes(64)
+                    .sags(sags)
+                    .cds(cds)
+                    .build()
+                    .ok()
+            },
+        )
+}
+
+fn scheme_strategy() -> impl Strategy<Value = MappingScheme> {
+    prop::sample::select(vec![
+        MappingScheme::RowRankBankLineChannel,
+        MappingScheme::RowLineRankBankChannel,
+        MappingScheme::LineRowRankBankChannel,
+        MappingScheme::SagInterleaved,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode ∘ encode is the identity on line-aligned in-range addresses.
+    #[test]
+    fn decode_encode_roundtrip(
+        geometry in geometry_strategy(),
+        scheme in scheme_strategy(),
+        raw in any::<u64>(),
+    ) {
+        let mapper = AddressMapper::new(geometry, scheme);
+        let addr = PhysAddr::new(raw % geometry.capacity_bytes()).line_aligned(64);
+        let decoded = mapper.decode(addr);
+        prop_assert!(decoded.channel < geometry.channels());
+        prop_assert!(decoded.rank < geometry.ranks_per_channel());
+        prop_assert!(decoded.bank < geometry.banks_per_rank());
+        prop_assert!(decoded.row < geometry.rows_per_bank());
+        prop_assert!(decoded.line < geometry.lines_per_row());
+        prop_assert_eq!(mapper.encode(decoded), addr);
+    }
+
+    /// Tile coordinates always stay in range and cover the full line.
+    #[test]
+    fn tile_coords_in_range(
+        geometry in geometry_strategy(),
+        scheme in scheme_strategy(),
+        raw in any::<u64>(),
+    ) {
+        let mapper = AddressMapper::new(geometry, scheme);
+        let addr = PhysAddr::new(raw % geometry.capacity_bytes()).line_aligned(64);
+        let coord = mapper.tile_coord(mapper.decode(addr));
+        prop_assert!(coord.sag < geometry.sags());
+        prop_assert!(coord.cd_first + coord.cd_count <= geometry.cds());
+        prop_assert_eq!(coord.cd_count, geometry.cds_per_line());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property test for the parameter-file writer/parser pair:
+//! `write_system_config` followed by `parse_system_config` reproduces the
+//! original configuration exactly, for any valid configuration.
+
+use proptest::prelude::*;
+
+use fgnvm_types::config::{BankModel, RowPolicy, SchedulerKind, SystemConfig};
+use fgnvm_types::geometry::Geometry;
+use fgnvm_types::{parse_system_config, write_system_config};
+
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (
+        prop::sample::select(vec![1u32, 2]),            // channels
+        prop::sample::select(vec![1u32, 2]),            // ranks
+        prop::sample::select(vec![4u32, 8, 16]),        // banks
+        prop::sample::select(vec![256u32, 1024, 8192]), // rows
+        prop::sample::select(vec![1u32, 2, 8, 32]),     // sags
+        prop::sample::select(vec![1u32, 2, 8]),         // cds
+        0u8..=7,                                        // fgnvm mode bits
+        0usize..=3,                                     // bank model pick
+        0usize..=3,                                     // scheduler pick
+        any::<bool>(),                                  // pausing
+        prop::sample::select(vec![1u32, 2, 4]),         // bus width
+        any::<bool>(),                                  // closed page (DRAM)
+    )
+        .prop_filter_map(
+            "configuration must validate",
+            |(ch, ra, ba, ro, sags, cds, bits, model, sched, pausing, width, closed)| {
+                let mut config = SystemConfig::baseline();
+                config.bank_model = match model {
+                    0 => BankModel::Baseline,
+                    1 => BankModel::Dram,
+                    _ => BankModel::Fgnvm {
+                        partial_activation: bits & 1 != 0,
+                        multi_activation: bits & 2 != 0,
+                        background_writes: bits & 4 != 0,
+                    },
+                };
+                if config.bank_model == BankModel::Dram {
+                    config.timing = fgnvm_types::config::TimingConfig::ddr3_like();
+                }
+                let (sags, cds) = if config.bank_model.is_fgnvm() {
+                    (sags, cds)
+                } else {
+                    (1, 1)
+                };
+                config.geometry = Geometry::builder()
+                    .channels(ch)
+                    .ranks_per_channel(ra)
+                    .banks_per_rank(ba)
+                    .rows_per_bank(ro)
+                    .sags(sags)
+                    .cds(cds)
+                    .build()
+                    .ok()?;
+                config.scheduler = [
+                    SchedulerKind::Fcfs,
+                    SchedulerKind::Frfcfs,
+                    SchedulerKind::FrfcfsTlp,
+                    SchedulerKind::FrfcfsCap,
+                ][sched];
+                config.write_pausing = pausing;
+                if closed && config.bank_model == BankModel::Dram {
+                    config.row_policy = RowPolicy::Closed;
+                }
+                config.data_bus_width = width;
+                config.commands_per_cycle = width;
+                config.validate().ok()?;
+                Some(config)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn writer_parser_round_trip(config in config_strategy()) {
+        let text = write_system_config(&config);
+        let parsed = parse_system_config(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(parsed, config);
+    }
+
+    /// The emitted file is line-oriented `KEY value` text with no
+    /// duplicate keys — any tool that understands the format can consume
+    /// it without surprises.
+    #[test]
+    fn written_files_are_well_formed(config in config_strategy()) {
+        let text = write_system_config(&config);
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines() {
+            if line.starts_with(';') || line.trim().is_empty() {
+                continue;
+            }
+            let key = line.split_whitespace().next().expect("non-empty line");
+            prop_assert!(
+                seen.insert(key.to_ascii_uppercase()),
+                "duplicate key {key} in:\n{text}"
+            );
+            prop_assert!(line.split_whitespace().count() == 2, "bad line: {line}");
+        }
+    }
+}

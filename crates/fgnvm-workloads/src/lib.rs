@@ -1,0 +1,31 @@
+//! Synthetic SPEC2006-like memory trace generators for the FgNVM simulator.
+//!
+//! The paper's evaluation replays Simpoint slices of memory-intensive
+//! SPEC CPU2006 benchmarks (LLC MPKI ≥ 10). Those traces cannot be
+//! redistributed, so this crate provides deterministic synthetic
+//! generators with matching memory characteristics: the
+//! [`spec_like`] module carries twelve named benchmark profiles
+//! (`mcf_like`, `lbm_like`, …) and the [`primitives`] module the raw
+//! patterns (streaming, uniform random, pointer chase, bank conflict,
+//! Zipf) they compose.
+//!
+//! # Example
+//!
+//! ```
+//! use fgnvm_types::geometry::Geometry;
+//! use fgnvm_workloads::spec_like;
+//!
+//! let profile = spec_like::profile("mcf_like").expect("known benchmark");
+//! let trace = profile.generate(Geometry::default(), 42, 10_000);
+//! assert!(trace.mpki() >= 10.0); // the paper's selection criterion
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mix;
+pub mod primitives;
+pub mod spec_like;
+
+pub use primitives::PatternBuilder;
+pub use spec_like::{all_profiles, profile, PagePolicy, Profile};

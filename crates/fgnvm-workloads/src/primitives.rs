@@ -1,0 +1,256 @@
+//! Low-level access-pattern generators.
+//!
+//! These produce [`TraceRecord`] streams over a given [`Geometry`] by
+//! composing decoded coordinates (bank, row, line) and encoding them with
+//! the system's [`AddressMapper`], so every pattern lands exactly where it
+//! intends regardless of the address-mapping scheme.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fgnvm_cpu::TraceRecord;
+use fgnvm_types::address::{AddressMapper, DecodedAddr, MappingScheme};
+use fgnvm_types::geometry::Geometry;
+use fgnvm_types::request::Op;
+
+/// Deterministic source of addresses within a geometry.
+///
+/// ```
+/// use fgnvm_types::Geometry;
+/// use fgnvm_workloads::PatternBuilder;
+///
+/// let mut patterns = PatternBuilder::new(Geometry::default(), 7);
+/// // Sweep two full rows of bank 3, then add a burst of random reads.
+/// let mut records = patterns.stream(3, 100, 2, 20);
+/// records.extend(patterns.random(50, 1024, 0));
+/// assert_eq!(records.len(), 2 * 16 + 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    mapper: AddressMapper,
+    rng: StdRng,
+}
+
+impl PatternBuilder {
+    /// Creates a builder over `geometry` with a deterministic `seed`.
+    pub fn new(geometry: Geometry, seed: u64) -> Self {
+        PatternBuilder {
+            mapper: AddressMapper::new(geometry, MappingScheme::default()),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The geometry being targeted.
+    pub fn geometry(&self) -> &Geometry {
+        self.mapper.geometry()
+    }
+
+    /// Encodes explicit coordinates into a record.
+    pub fn record(
+        &self,
+        op: Op,
+        bank: u32,
+        row: u32,
+        line: u32,
+        gap: u32,
+        dependent: bool,
+    ) -> TraceRecord {
+        let decoded = DecodedAddr {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+            line,
+        };
+        TraceRecord {
+            gap,
+            op,
+            addr: self.mapper.encode(decoded),
+            dependent,
+        }
+    }
+
+    /// Sequential full-row sweep: reads every line of `rows` consecutive
+    /// rows of one bank — maximal row-buffer locality.
+    pub fn stream(&mut self, bank: u32, start_row: u32, rows: u32, gap: u32) -> Vec<TraceRecord> {
+        let lines = self.geometry().lines_per_row();
+        let mut out = Vec::with_capacity((rows * lines) as usize);
+        for r in 0..rows {
+            for l in 0..lines {
+                out.push(self.record(Op::Read, bank, start_row + r, l, gap, false));
+            }
+        }
+        out
+    }
+
+    /// Uniform random reads over `footprint_rows` rows of all banks — the
+    /// row-thrashing extreme.
+    pub fn random(&mut self, count: usize, footprint_rows: u32, gap: u32) -> Vec<TraceRecord> {
+        let banks = self.geometry().banks_per_rank();
+        let lines = self.geometry().lines_per_row();
+        (0..count)
+            .map(|_| {
+                let bank = self.rng.random_range(0..banks);
+                let row = self.rng.random_range(0..footprint_rows);
+                let line = self.rng.random_range(0..lines);
+                self.record(Op::Read, bank, row, line, gap, false)
+            })
+            .collect()
+    }
+
+    /// Pointer chase: dependent random reads — no memory-level parallelism.
+    pub fn pointer_chase(
+        &mut self,
+        count: usize,
+        footprint_rows: u32,
+        gap: u32,
+    ) -> Vec<TraceRecord> {
+        let banks = self.geometry().banks_per_rank();
+        let lines = self.geometry().lines_per_row();
+        (0..count)
+            .map(|_| {
+                let bank = self.rng.random_range(0..banks);
+                let row = self.rng.random_range(0..footprint_rows);
+                let line = self.rng.random_range(0..lines);
+                self.record(Op::Read, bank, row, line, gap, true)
+            })
+            .collect()
+    }
+
+    /// All accesses hammer a single bank across different rows — maximal
+    /// bank conflict, where tile-level parallelism shines.
+    pub fn bank_conflict(&mut self, count: usize, bank: u32, gap: u32) -> Vec<TraceRecord> {
+        let rows = self.geometry().rows_per_bank();
+        let lines = self.geometry().lines_per_row();
+        (0..count)
+            .map(|_| {
+                let row = self.rng.random_range(0..rows);
+                let line = self.rng.random_range(0..lines);
+                self.record(Op::Read, bank, row, line, gap, false)
+            })
+            .collect()
+    }
+
+    /// A Zipf-distributed row popularity pattern: a few hot rows absorb
+    /// most accesses (`theta` near 1 = very skewed, 0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not in `[0, 1)` or `footprint_rows` is zero.
+    pub fn zipf(
+        &mut self,
+        count: usize,
+        footprint_rows: u32,
+        theta: f64,
+        gap: u32,
+    ) -> Vec<TraceRecord> {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        assert!(footprint_rows > 0, "footprint must be non-empty");
+        // Inverse-CDF sampling of a zipf-like distribution over rows.
+        let n = f64::from(footprint_rows);
+        let banks = self.geometry().banks_per_rank();
+        let lines = self.geometry().lines_per_row();
+        (0..count)
+            .map(|_| {
+                let u: f64 = self.rng.random_range(0.0..1.0);
+                // Approximate inverse CDF of P(rank) ∝ rank^-theta.
+                let row = (n * u.powf(1.0 / (1.0 - theta))) as u32 % footprint_rows;
+                let bank = self.rng.random_range(0..banks);
+                let line = self.rng.random_range(0..lines);
+                self.record(Op::Read, bank, row, line, gap, false)
+            })
+            .collect()
+    }
+
+    /// Direct access to the deterministic RNG for composite generators.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::address::PhysAddr;
+
+    fn builder() -> PatternBuilder {
+        PatternBuilder::new(Geometry::default(), 42)
+    }
+
+    fn decode(b: &PatternBuilder, r: &TraceRecord) -> DecodedAddr {
+        let mapper = AddressMapper::new(*b.geometry(), MappingScheme::default());
+        mapper.decode(r.addr)
+    }
+
+    #[test]
+    fn stream_visits_rows_in_order() {
+        let mut b = builder();
+        let recs = b.stream(2, 10, 2, 50);
+        assert_eq!(recs.len(), 32); // 2 rows × 16 lines
+        let first = decode(&b, &recs[0]);
+        let last = decode(&b, recs.last().unwrap());
+        assert_eq!((first.bank, first.row, first.line), (2, 10, 0));
+        assert_eq!((last.bank, last.row, last.line), (2, 11, 15));
+    }
+
+    #[test]
+    fn random_stays_in_footprint() {
+        let mut b = builder();
+        for r in b.random(200, 8, 10) {
+            let d = decode(&b, &r);
+            assert!(d.row < 8);
+            assert!(!r.dependent);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_dependent() {
+        let mut b = builder();
+        assert!(b.pointer_chase(50, 16, 10).iter().all(|r| r.dependent));
+    }
+
+    #[test]
+    fn bank_conflict_targets_one_bank() {
+        let mut b = builder();
+        for r in b.bank_conflict(100, 5, 0) {
+            assert_eq!(decode(&b, &r).bank, 5);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut b = builder();
+        let recs = b.zipf(2000, 64, 0.9, 0);
+        let hot = recs.iter().filter(|r| decode(&b, r).row == 0).count();
+        // Row 0 should absorb far more than the uniform 1/64 share.
+        assert!(hot > 2000 / 64 * 4, "row 0 only got {hot} accesses");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = PatternBuilder::new(Geometry::default(), 7);
+        let mut b = PatternBuilder::new(Geometry::default(), 7);
+        assert_eq!(a.random(50, 16, 0), b.random(50, 16, 0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = PatternBuilder::new(Geometry::default(), 7);
+        let mut b = PatternBuilder::new(Geometry::default(), 8);
+        assert_ne!(a.random(50, 16, 0), b.random(50, 16, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_rejects_bad_theta() {
+        let _ = builder().zipf(10, 8, 1.5, 0);
+    }
+
+    #[test]
+    fn record_addresses_are_line_aligned() {
+        let mut b = builder();
+        for r in b.random(50, 16, 0) {
+            assert_eq!(r.addr, PhysAddr::new(r.addr.raw()).line_aligned(64));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Build a custom workload from raw pattern primitives and measure raw
+//! memory throughput across designs — no CPU model, just a fixed number of
+//! requests kept in flight, which exposes each design's peak miss
+//! bandwidth.
+//!
+//! ```text
+//! cargo run -p fgnvm-sim --example custom_workload
+//! ```
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_workloads::PatternBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A random-read stress pattern: every access misses a different row.
+    let mut builder = PatternBuilder::new(Geometry::default(), 1);
+    let records = builder.random(4000, 32_768, 0);
+
+    let configs = [
+        ("baseline NVM", SystemConfig::baseline()),
+        ("FgNVM 8x2", SystemConfig::fgnvm(8, 2)?),
+        ("FgNVM 4x4", SystemConfig::fgnvm(4, 4)?),
+        ("FgNVM 8x8", SystemConfig::fgnvm(8, 8)?),
+        ("FgNVM 8x32", SystemConfig::fgnvm(8, 32)?),
+        ("128 banks", SystemConfig::many_banks_matching(8, 2)?),
+    ];
+
+    println!("peak random-read throughput (16 requests kept in flight):\n");
+    let mut baseline = None;
+    for (name, config) in configs {
+        let mut mem = MemorySystem::new(config)?;
+        let mut next = 0usize;
+        let mut inflight = 0usize;
+        let mut done = 0usize;
+        let mut completions = Vec::new();
+        while done < records.len() {
+            while inflight < 16 && next < records.len() {
+                match mem.enqueue(records[next].op, records[next].addr) {
+                    Some(_) => {
+                        inflight += 1;
+                        next += 1;
+                    }
+                    None => break,
+                }
+            }
+            completions.clear();
+            mem.tick_into(&mut completions);
+            done += completions.len();
+            inflight -= completions.len();
+        }
+        let cycles = mem.now().raw();
+        let base = *baseline.get_or_insert(cycles);
+        println!(
+            "  {name:<13} {cycles:>8} cycles  ({:.2}x)  avg latency {:>5.0} cy  hits {:>4.0}%",
+            base as f64 / cycles as f64,
+            mem.stats().avg_read_latency(),
+            mem.bank_stats().row_hit_rate() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Sweeps the column-division count and prints measured vs analytic
+//! energy, reproducing the mechanics behind Figure 5.
+//!
+//! ```text
+//! cargo run -p fgnvm-sim --example energy_sweep
+//! ```
+
+use fgnvm_cpu::{Core, CoreConfig};
+use fgnvm_mem::MemorySystem;
+use fgnvm_model::energy::expected_relative_energy;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_workloads::profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = profile("omnetpp_like").expect("known profile");
+    let trace = workload.generate(Geometry::default(), 5, 4000);
+    let core = Core::new(CoreConfig::nehalem_like())?;
+
+    // Baseline run establishes the denominator and the workload's actual
+    // hit rate / write mix for the analytic prediction.
+    let mut baseline = MemorySystem::new(SystemConfig::baseline())?;
+    core.run(&trace, &mut baseline);
+    let base_energy = baseline.energy();
+    let hit_rate = baseline.bank_stats().row_hit_rate();
+    let write_fraction = trace.write_fraction();
+
+    println!(
+        "workload {}: hit rate {:.0}%, writes {:.0}%\n",
+        trace.name(),
+        hit_rate * 100.0,
+        write_fraction * 100.0
+    );
+    println!("  CDs   measured   analytic (no background)");
+    println!("  ---   --------   -------------------------");
+    for cds in [1u32, 2, 4, 8, 16, 32] {
+        let config = if cds == 1 {
+            SystemConfig::baseline()
+        } else {
+            SystemConfig::fgnvm(8, cds)?
+        };
+        let mut memory = MemorySystem::new(config)?;
+        core.run(&trace, &mut memory);
+        let measured = memory.energy().relative_to(&base_energy);
+        let analytic =
+            expected_relative_energy(&config.geometry, &config.energy, hit_rate, write_fraction);
+        println!("  {cds:>3}   {measured:>8.3}   {analytic:>8.3}");
+    }
+    println!(
+        "\nMeasured energy tracks the closed-form model; the residual gap is\n\
+         background power plus underfetch re-sensing, exactly the two\n\
+         non-idealities the paper names for Figure 5."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Filter a raw access stream through the last-level cache to produce the
+//! miss trace the memory simulator consumes — the role the cache hierarchy
+//! plays in front of NVMain in the paper's setup.
+//!
+//! ```text
+//! cargo run -p fgnvm-sim --release --example llc_filter
+//! ```
+
+use fgnvm_cpu::{CacheOutcome, Core, CoreConfig, LastLevelCache, Trace, TraceRecord};
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_types::request::Op;
+use fgnvm_workloads::PatternBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A raw access stream with strong reuse: a small zipf-distributed
+    // working set, most of which caches.
+    let geometry = Geometry::default();
+    let mut builder = PatternBuilder::new(geometry, 9);
+    // Zipf-popular logical rows, scattered over the physical row space the
+    // way OS page allocation would (otherwise a 256-row footprint would sit
+    // entirely inside one subarray group).
+    let rows_mask = geometry.rows_per_bank() - 1;
+    let raw: Vec<_> = builder
+        .zipf(60_000, 256, 0.7, 0)
+        .into_iter()
+        .map(|mut r| {
+            let row = ((r.addr.raw() >> 13) as u32).wrapping_mul(0x9E37_79B1) & rows_mask;
+            r.addr = fgnvm_types::PhysAddr::new((u64::from(row) << 13) | (r.addr.raw() & 0x1FFF));
+            r
+        })
+        .collect();
+
+    // Run it through a 1 MB LLC (scaled down so capacity evictions occur
+    // within the demo's 60k accesses); misses and dirty evictions become
+    // the memory trace.
+    let mut llc = LastLevelCache::new(1024 * 1024, 16, 64)?;
+    let mut records: Vec<TraceRecord> = Vec::new();
+    for (i, access) in raw.iter().enumerate() {
+        // Make every eighth access a store so evictions write back.
+        let op = if i % 8 == 0 { Op::Write } else { Op::Read };
+        match llc.access(access.addr, op) {
+            CacheOutcome::Hit => {}
+            CacheOutcome::Miss { writeback } => {
+                records.push(TraceRecord {
+                    gap: 10,
+                    op: Op::Read,
+                    addr: access.addr,
+                    dependent: false,
+                });
+                if let Some(victim) = writeback {
+                    records.push(TraceRecord::write(0, victim));
+                }
+            }
+        }
+    }
+    let trace = Trace::new("llc_filtered", records);
+    println!(
+        "raw accesses: {}   LLC miss ratio: {:.1}%   memory trace: {} ops ({:.0}% writebacks)\n",
+        raw.len(),
+        llc.miss_ratio() * 100.0,
+        trace.len(),
+        trace.write_fraction() * 100.0
+    );
+
+    // Replay the filtered trace on baseline vs FgNVM.
+    let core = Core::new(CoreConfig::nehalem_like())?;
+    let mut base_ipc = None;
+    for (name, config) in [
+        ("baseline NVM", SystemConfig::baseline()),
+        ("FgNVM 8x8", SystemConfig::fgnvm(8, 8)?),
+    ] {
+        let mut memory = MemorySystem::new(config)?;
+        let result = core.run(&trace, &mut memory);
+        let base = *base_ipc.get_or_insert(result.ipc());
+        println!(
+            "  {name:<13} IPC {:.3} ({:.2}x)   energy {:.1} uJ   hit rate {:.0}%",
+            result.ipc(),
+            result.ipc() / base,
+            memory.energy().total_pj() / 1e6,
+            memory.bank_stats().row_hit_rate() * 100.0
+        );
+    }
+    println!(
+        "\nThe LLC absorbs the reuse, so what reaches memory is scattered\n\
+         row-miss traffic — FgNVM's home turf: tile-level parallelism buys\n\
+         the speedup and partial activation the ~6x energy saving."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: compare one workload on the baseline NVM and the FgNVM
+//! design, printing IPC, latency, and energy side by side.
+//!
+//! ```text
+//! cargo run -p fgnvm-sim --example quickstart
+//! ```
+
+use fgnvm_cpu::{Core, CoreConfig};
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::geometry::Geometry;
+use fgnvm_workloads::profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload: a synthetic stand-in for SPEC2006 `milc`.
+    let workload = profile("milc_like").expect("known profile");
+    let trace = workload.generate(Geometry::default(), 42, 4000);
+    println!(
+        "workload {}: {} memory ops, {:.1} MPKI, {:.0}% writes\n",
+        trace.name(),
+        trace.len(),
+        trace.mpki(),
+        trace.write_fraction() * 100.0
+    );
+
+    // 2. Build the two memory systems from the paper's Table 2 parameters.
+    let configs = [
+        ("baseline NVM", SystemConfig::baseline()),
+        ("FgNVM 8x2", SystemConfig::fgnvm(8, 2)?),
+        ("FgNVM 4x4", SystemConfig::fgnvm(4, 4)?),
+        ("FgNVM 8x8", SystemConfig::fgnvm(8, 8)?),
+        ("128 banks", SystemConfig::many_banks_matching(8, 2)?),
+    ];
+
+    // 3. Replay the trace through a Nehalem-like core on each.
+    let core = Core::new(CoreConfig::nehalem_like())?;
+    let mut baseline_ipc = None;
+    let mut baseline_energy = None;
+    for (name, config) in configs {
+        let mut memory = MemorySystem::new(config)?;
+        let result = core.run(&trace, &mut memory);
+        let energy = memory.energy();
+        let banks = memory.bank_stats();
+        let base_ipc = *baseline_ipc.get_or_insert(result.ipc());
+        let base_energy = *baseline_energy.get_or_insert(energy.total_pj());
+        println!("--- {name} ---");
+        println!(
+            "  IPC {:.3} ({:.2}x)   avg read latency {:.0} mem cycles",
+            result.ipc(),
+            result.ipc() / base_ipc,
+            memory.stats().avg_read_latency()
+        );
+        println!(
+            "  row hit rate {:.0}%   underfetches {}   reads under write {}   overlapped {}",
+            banks.row_hit_rate() * 100.0,
+            banks.underfetches,
+            banks.reads_under_write,
+            banks.overlapped_accesses
+        );
+        println!(
+            "  energy {:.1} uJ ({:.2}x): sense {:.1} uJ, write {:.1} uJ, background {:.1} uJ",
+            energy.total_pj() / 1e6,
+            energy.total_pj() / base_energy,
+            energy.sense_pj / 1e6,
+            energy.write_pj / 1e6,
+            energy.background_pj / 1e6,
+        );
+        println!(
+            "  mem cycles {}   forwarded reads {}\n",
+            result.mem_cycles,
+            memory.stats().forwarded_reads
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Failure-injection and robustness tests: malformed inputs, degenerate
+//! configurations, and hostile parameter files must fail loudly and
+//! precisely — never silently misconfigure a simulation.
+
+use proptest::prelude::*;
+
+use fgnvm_cpu::Trace;
+use fgnvm_mem::MemorySystem;
+use fgnvm_sim::Simulation;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::parse_system_config;
+use fgnvm_types::request::Op;
+use fgnvm_types::{Geometry, PhysAddr};
+
+#[test]
+fn zero_queues_are_rejected_at_construction() {
+    let mut cfg = SystemConfig::baseline();
+    cfg.queue_entries = 0;
+    assert!(MemorySystem::new(cfg).is_err());
+    let mut cfg = SystemConfig::baseline();
+    cfg.write_queue_entries = 0;
+    assert!(MemorySystem::new(cfg).is_err());
+    let mut cfg = SystemConfig::baseline();
+    cfg.data_bus_width = 0;
+    assert!(MemorySystem::new(cfg).is_err());
+}
+
+#[test]
+fn nan_timings_are_rejected() {
+    let mut cfg = SystemConfig::baseline();
+    cfg.timing.t_cas_ns = f64::NAN;
+    assert!(cfg.validate().is_err());
+    let mut cfg = SystemConfig::baseline();
+    cfg.timing.clock_mhz = f64::NAN;
+    assert!(cfg.validate().is_err());
+    let mut cfg = SystemConfig::baseline();
+    cfg.energy.read_pj_per_bit = f64::NAN;
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+fn mismatched_bank_model_and_geometry_rejected() {
+    let mut cfg = SystemConfig::baseline();
+    cfg.geometry = Geometry::builder().sags(4).cds(4).build().unwrap();
+    assert!(
+        cfg.validate().is_err(),
+        "baseline banks with subdivided geometry"
+    );
+    let mut cfg = SystemConfig::dram();
+    cfg.geometry = Geometry::builder().sags(2).cds(2).build().unwrap();
+    assert!(
+        cfg.validate().is_err(),
+        "dram banks with subdivided geometry"
+    );
+}
+
+#[test]
+fn run_until_idle_detects_unreached_deadline() {
+    let mut mem = MemorySystem::new(SystemConfig::baseline()).unwrap();
+    mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+    // One write needs ~80 cycles; a 10-cycle budget must panic loudly
+    // rather than return bogus results.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        mem.run_until_idle(10);
+    }));
+    assert!(result.is_err(), "deadline miss should panic");
+}
+
+#[test]
+fn corrupted_trace_files_are_rejected_with_invalid_data() {
+    let dir = std::env::temp_dir().join("fgnvm_failure_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.trace");
+    // A valid trace, truncated mid-record.
+    let trace =
+        fgnvm_workloads::profile("astar_like")
+            .unwrap()
+            .generate(Geometry::default(), 1, 50);
+    let bytes = trace.to_bytes();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    let err = Trace::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn facade_surfaces_configuration_errors() {
+    let err = Simulation::builder()
+        .workload("milc_like")
+        .fgnvm(7, 3)
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("power of two"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parameter-file parser never panics on arbitrary input: it either
+    /// produces a *validated* configuration or a line-located error.
+    #[test]
+    fn params_parser_never_panics(text in "\\PC{0,400}") {
+        match parse_system_config(&text) {
+            Ok(cfg) => prop_assert!(cfg.validate().is_ok(), "parser returned invalid config"),
+            Err(e) => {
+                // Errors render without panicking too.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Structured-looking but hostile parameter lines also never panic.
+    #[test]
+    fn params_parser_handles_hostile_pairs(
+        key in "[A-Za-z]{1,12}",
+        value in "[-A-Za-z0-9.]{0,12}",
+    ) {
+        let _ = parse_system_config(&format!("{key} {value}"));
+    }
+
+    /// Trace decoding never panics on arbitrary bytes.
+    #[test]
+    fn trace_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Trace::from_bytes(bytes::Bytes::from(bytes));
+    }
+}

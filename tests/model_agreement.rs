@@ -1,0 +1,85 @@
+//! Differential validation of the two core models: the windowed `Core`
+//! and the structural `RobCore` must reach the same *design conclusions*
+//! (orderings and rough magnitudes) across workloads and memory designs,
+//! even though their absolute IPCs differ.
+
+use fgnvm_cpu::{Core, CoreConfig, RobCore};
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::Geometry;
+use fgnvm_workloads::profile;
+
+fn designs() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("baseline", SystemConfig::baseline()),
+        ("fgnvm_8x2", SystemConfig::fgnvm(8, 2).unwrap()),
+        ("fgnvm_8x8", SystemConfig::fgnvm(8, 8).unwrap()),
+        (
+            "many_banks",
+            SystemConfig::many_banks_matching(8, 2).unwrap(),
+        ),
+    ]
+}
+
+/// IPC of `trace` on each design, under the given runner.
+fn ipcs(
+    run: &dyn Fn(&fgnvm_cpu::Trace, &mut MemorySystem) -> f64,
+    trace: &fgnvm_cpu::Trace,
+) -> Vec<f64> {
+    designs()
+        .iter()
+        .map(|(_, config)| {
+            let mut memory = MemorySystem::new(*config).unwrap();
+            run(trace, &mut memory)
+        })
+        .collect()
+}
+
+#[test]
+fn both_models_agree_on_design_rankings() {
+    // Both models run without a prefetcher so they see identical traffic.
+    let cfg = CoreConfig::no_prefetch();
+    let windowed = Core::new(cfg).unwrap();
+    let structural = RobCore::new(cfg).unwrap();
+    for name in ["milc_like", "lbm_like", "omnetpp_like"] {
+        let trace = profile(name)
+            .unwrap()
+            .generate(Geometry::default(), 13, 1200);
+        let w = ipcs(&|t, m| windowed.run(t, m).ipc(), &trace);
+        let s = ipcs(&|t, m| structural.run(t, m).ipc(), &trace);
+        // Normalize to each model's own baseline.
+        let w_rel: Vec<f64> = w.iter().map(|x| x / w[0]).collect();
+        let s_rel: Vec<f64> = s.iter().map(|x| x / s[0]).collect();
+        for (i, (design, _)) in designs().iter().enumerate().skip(1) {
+            // Both models must see a benefit (or both see none).
+            let agree_direction = (w_rel[i] >= 0.98) == (s_rel[i] >= 0.98);
+            assert!(
+                agree_direction,
+                "{name}/{design}: windowed {:.3} vs structural {:.3} disagree on direction",
+                w_rel[i], s_rel[i]
+            );
+            // And the magnitudes should be within a factor-of-two band.
+            let ratio = w_rel[i] / s_rel[i];
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{name}/{design}: windowed {:.3} vs structural {:.3} diverged",
+                w_rel[i],
+                s_rel[i]
+            );
+        }
+        // The best design per model matches (or is within noise of the
+        // other model's best).
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let (wi, si) = (argmax(&w_rel), argmax(&s_rel));
+        assert!(
+            wi == si || (w_rel[wi] / w_rel[si] < 1.1) || (s_rel[si] / s_rel[wi] < 1.1),
+            "{name}: best designs differ materially: windowed {w_rel:?} structural {s_rel:?}"
+        );
+    }
+}
