@@ -136,6 +136,8 @@ pub struct Issued {
     pub sense_bits: u64,
     /// How the access was served.
     pub kind: PlanKind,
+    /// Fault-model outcome (all-default when no fault model is attached).
+    pub faults: crate::faults::FaultOutcome,
 }
 
 #[cfg(test)]

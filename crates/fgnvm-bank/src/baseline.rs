@@ -8,10 +8,11 @@
 
 use fgnvm_types::geometry::Geometry;
 use fgnvm_types::request::Op;
-use fgnvm_types::time::Cycle;
+use fgnvm_types::time::{Cycle, CycleCount};
 use fgnvm_types::TimingCycles;
 
 use crate::access::{Access, AccessPlan, BlockReason, Blocked, Issued, PlanKind};
+use crate::faults::{FaultModel, FaultOutcome};
 use crate::stats::BankStats;
 use crate::Bank;
 
@@ -57,6 +58,8 @@ pub struct BaselineBank {
     next_col: Cycle,
     /// All in-flight operations finished; a new row may be activated.
     quiesce: Cycle,
+    /// Device fault injector, when the reliability layer is enabled.
+    faults: Option<FaultModel>,
     stats: BankStats,
 }
 
@@ -71,8 +74,17 @@ impl BaselineBank {
             act_done: Cycle::ZERO,
             next_col: Cycle::ZERO,
             quiesce: Cycle::ZERO,
+            faults: None,
             stats: BankStats::new(),
         }
+    }
+
+    /// Attaches a device fault model (see [`FaultModel`]); without one the
+    /// bank behaves exactly as before the reliability layer existed.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The currently open row, if any.
@@ -174,8 +186,17 @@ impl Bank for BaselineBank {
         let cmd = now + shift;
         let data_end = data_start + t.t_burst;
         let completion;
+        let mut faults = FaultOutcome::default();
         match access.op {
             Op::Read => {
+                if let Some(model) = &self.faults {
+                    let (bit_errors, stuck) =
+                        model.read_faults(access.row, access.line, self.stats.reads);
+                    faults.bit_errors = bit_errors;
+                    faults.stuck_fault = stuck;
+                    self.stats.read_bit_errors += u64::from(bit_errors);
+                    self.stats.stuck_faults += u64::from(stuck);
+                }
                 self.stats.reads += 1;
                 match plan.kind {
                     PlanKind::RowHit => {
@@ -195,6 +216,14 @@ impl Bank for BaselineBank {
                 self.quiesce = self.quiesce.max(data_end);
             }
             Op::Write => {
+                if let Some(model) = &mut self.faults {
+                    let (retries, verify_failed) =
+                        model.write_attempts(access.row, access.line, self.stats.writes);
+                    faults.retries = retries;
+                    faults.verify_failed = verify_failed;
+                    self.stats.write_retries += u64::from(retries);
+                    self.stats.verify_failures += u64::from(verify_failed);
+                }
                 self.stats.writes += 1;
                 self.stats.written_bits += self.line_bits;
                 if self.open_row != Some(access.row) {
@@ -209,7 +238,10 @@ impl Bank for BaselineBank {
                     // stale; conservatively close the row.
                     self.open_row = None;
                 }
-                completion = data_end + t.t_wp + t.t_wr;
+                // Each write-verify retry re-applies a full programming
+                // pulse, extending the bank occupancy by one tWP.
+                let program = CycleCount::new(t.t_wp.raw() * u64::from(faults.retries + 1));
+                completion = data_end + program + t.t_wr;
                 // The entire bank is occupied until programming finishes.
                 self.next_col = completion;
                 self.quiesce = self.quiesce.max(completion);
@@ -221,6 +253,7 @@ impl Bank for BaselineBank {
             completion,
             sense_bits: plan.sense_bits,
             kind: plan.kind,
+            faults,
         }
     }
 
@@ -373,6 +406,27 @@ mod tests {
         let a = read(5, 0);
         let p = b.plan(&a, Cycle::ZERO).unwrap();
         b.commit(&a, &p, Cycle::ZERO, Cycle::new(1));
+    }
+
+    #[test]
+    fn verify_retries_extend_bank_occupancy() {
+        let geom = Geometry::builder().sags(1).cds(1).build().unwrap();
+        let timing = TimingConfig::paper_pcm().to_cycles().unwrap();
+        // Always-fail writes with a retry budget of 2: three pulses total.
+        let mut b =
+            BaselineBank::new(&geom, timing).with_faults(FaultModel::new(1, 0.0, 1.0, 2, 0, 512));
+        let w = write(5, 0);
+        let p = b.plan(&w, Cycle::ZERO).unwrap();
+        let issued = b.commit(&w, &p, Cycle::ZERO, p.earliest_data);
+        assert_eq!(issued.faults.retries, 2);
+        assert!(issued.faults.verify_failed);
+        // data_end 17, + 3·tWP(180) + tWR(3).
+        assert_eq!(issued.completion, Cycle::new(17 + 180 + 3));
+        assert_eq!(b.stats().write_retries, 2);
+        assert_eq!(b.stats().verify_failures, 1);
+        // The bank stays blocked for the whole extended window.
+        let blocked = b.plan(&read(5, 0), Cycle::new(50)).unwrap_err();
+        assert_eq!(blocked.retry_at, issued.completion);
     }
 
     #[test]

@@ -277,6 +277,8 @@ impl Bank for DramBank {
             completion,
             sense_bits: plan.sense_bits,
             kind: plan.kind,
+            // DRAM is outside the NVM fault model's scope.
+            faults: crate::faults::FaultOutcome::default(),
         }
     }
 

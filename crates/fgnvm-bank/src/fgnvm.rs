@@ -36,6 +36,7 @@ use fgnvm_types::time::{Cycle, CycleCount};
 use fgnvm_types::TimingCycles;
 
 use crate::access::{Access, AccessPlan, BlockReason, Blocked, Issued, PlanKind};
+use crate::faults::{FaultModel, FaultOutcome};
 use crate::stats::BankStats;
 use crate::Bank;
 
@@ -210,6 +211,8 @@ pub struct FgnvmBank {
     max_completion: Cycle,
     /// Latest completion of any committed write (read-under-write stats).
     max_write_completion: Cycle,
+    /// Device fault injector, when the reliability layer is enabled.
+    faults: Option<FaultModel>,
     stats: BankStats,
 }
 
@@ -254,8 +257,17 @@ impl FgnvmBank {
             write_block_until: Cycle::ZERO,
             max_completion: Cycle::ZERO,
             max_write_completion: Cycle::ZERO,
+            faults: None,
             stats: BankStats::new(),
         })
+    }
+
+    /// Attaches a device fault model (see [`FaultModel`]); without one the
+    /// bank behaves exactly as before the reliability layer existed.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The enabled access modes.
@@ -571,6 +583,18 @@ impl Bank for FgnvmBank {
             self.stats.reads_under_write += 1;
         }
 
+        let mut faults = FaultOutcome::default();
+        if access.op.is_read() {
+            if let Some(model) = &self.faults {
+                let (bit_errors, stuck) =
+                    model.read_faults(access.row, access.line, self.stats.reads);
+                faults.bit_errors = bit_errors;
+                faults.stuck_fault = stuck;
+                self.stats.read_bit_errors += u64::from(bit_errors);
+                self.stats.stuck_faults += u64::from(stuck);
+            }
+        }
+
         let completion;
         let full_mask = self.full_mask();
         let line_bits = self.line_bits;
@@ -656,9 +680,20 @@ impl Bank for FgnvmBank {
                 }
             }
             (Op::Write, PlanKind::Write) => {
+                if let Some(model) = &mut self.faults {
+                    let (retries, verify_failed) =
+                        model.write_attempts(access.row, access.line, self.stats.writes);
+                    faults.retries = retries;
+                    faults.verify_failed = verify_failed;
+                    self.stats.write_retries += u64::from(retries);
+                    self.stats.verify_failures += u64::from(verify_failed);
+                }
                 self.stats.writes += 1;
                 self.stats.written_bits += line_bits;
-                completion = data_end + t.t_wp + t.t_wr;
+                // Each write-verify retry re-applies a full programming
+                // pulse, extending the tile occupancy by one tWP.
+                let program = CycleCount::new(t.t_wp.raw() * u64::from(faults.retries + 1));
+                completion = data_end + program + t.t_wr;
                 // Write driving occupies the CD I/O until programming and
                 // recovery finish; the written slices are stale everywhere.
                 for cd in access.coord.cds() {
@@ -699,6 +734,7 @@ impl Bank for FgnvmBank {
             completion,
             sense_bits: plan.sense_bits,
             kind: plan.kind,
+            faults,
         }
     }
 

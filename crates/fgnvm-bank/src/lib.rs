@@ -41,12 +41,14 @@
 pub mod access;
 pub mod baseline;
 pub mod dram;
+pub mod faults;
 pub mod fgnvm;
 pub mod stats;
 
 pub use access::{Access, AccessPlan, BlockReason, Blocked, Issued, PlanKind};
 pub use baseline::BaselineBank;
 pub use dram::{DramBank, RefreshCycles};
+pub use faults::{FaultModel, FaultOutcome};
 pub use fgnvm::{FgnvmBank, Modes};
 pub use stats::BankStats;
 

@@ -40,6 +40,16 @@ pub struct BankStats {
     pub reads_under_write: u64,
     /// In-flight writes paused to let a read through (write pausing).
     pub write_pauses: u64,
+    /// Extra write-verify programming pulses (fault model; each one cost a
+    /// full tWP of tile occupancy beyond the first pulse).
+    pub write_retries: u64,
+    /// Writes whose final verify still failed after exhausting the retry
+    /// budget (the controller re-issues these).
+    pub verify_failures: u64,
+    /// Transient bit errors injected into read data (fault model).
+    pub read_bit_errors: u64,
+    /// Reads that hit a wear-induced stuck-at fault.
+    pub stuck_faults: u64,
 }
 
 impl BankStats {
@@ -79,6 +89,10 @@ impl BankStats {
                 .reads_under_write
                 .saturating_sub(earlier.reads_under_write),
             write_pauses: self.write_pauses.saturating_sub(earlier.write_pauses),
+            write_retries: self.write_retries.saturating_sub(earlier.write_retries),
+            verify_failures: self.verify_failures.saturating_sub(earlier.verify_failures),
+            read_bit_errors: self.read_bit_errors.saturating_sub(earlier.read_bit_errors),
+            stuck_faults: self.stuck_faults.saturating_sub(earlier.stuck_faults),
         }
     }
 }
@@ -95,6 +109,10 @@ impl AddAssign for BankStats {
         self.overlapped_accesses += rhs.overlapped_accesses;
         self.reads_under_write += rhs.reads_under_write;
         self.write_pauses += rhs.write_pauses;
+        self.write_retries += rhs.write_retries;
+        self.verify_failures += rhs.verify_failures;
+        self.read_bit_errors += rhs.read_bit_errors;
+        self.stuck_faults += rhs.stuck_faults;
     }
 }
 

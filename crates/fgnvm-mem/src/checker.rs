@@ -17,7 +17,11 @@
 //!   cycle), consecutive commands to one bank are at least tCCD apart.
 //! * **Write lock** — after a write, a baseline bank accepts no command
 //!   until tWP + tWR after the data burst; an FgNVM bank (without write
-//!   pausing) accepts none to the written SAG.
+//!   pausing) accepts none to the written SAG. A write that needed `k`
+//!   verify retries programs for `(1 + k) × tWP`, so the lock window is
+//!   derived from the logged retry count.
+//! * **Retry budget** — no write reports more verify retries than the
+//!   configured device cap allows.
 //! * **Row-hit freshness** — a baseline row hit must target the row
 //!   opened by the bank's most recent activation, with no intervening
 //!   write (writes close the row).
@@ -93,6 +97,17 @@ pub enum Violation {
         /// Rank the burst of activations targeted.
         rank: u32,
     },
+    /// A write logged more verify retries than the device cap permits.
+    RetryBeyondCap {
+        /// Cycle the offending write issued.
+        at: Cycle,
+        /// Channel-local bank.
+        bank: usize,
+        /// Retries the write reported.
+        retries: u32,
+        /// The configured on-die retry budget.
+        cap: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -139,6 +154,17 @@ impl std::fmt::Display for Violation {
             }
             Violation::FawViolation { at, rank } => {
                 write!(f, "{at}: fifth activation inside rank {rank}'s tFAW window")
+            }
+            Violation::RetryBeyondCap {
+                at,
+                bank,
+                retries,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "{at}: bank {bank} write reports {retries} verify retries over the cap of {cap}"
+                )
             }
         }
     }
@@ -210,6 +236,9 @@ pub struct ProtocolChecker {
     write_pausing: bool,
     banks_per_rank: u32,
     t_faw: CycleCount,
+    /// On-die write-verify retry budget from the reliability config (0
+    /// when the fault layer is disabled — clean writes log zero retries).
+    write_retry_cap: u32,
 }
 
 /// Per-bank audit state carried across the scan.
@@ -241,6 +270,7 @@ impl ProtocolChecker {
             write_pausing: config.write_pausing,
             banks_per_rank: config.geometry.banks_per_rank(),
             t_faw: RefreshCycles::ddr3_like().t_faw,
+            write_retry_cap: config.reliability.max_write_retries,
         })
     }
 
@@ -372,8 +402,20 @@ impl ProtocolChecker {
                     }
                 }
                 PlanKind::Write => {
+                    if r.retries > self.write_retry_cap {
+                        report.violations.push(Violation::RetryBeyondCap {
+                            at: r.at,
+                            bank: r.bank_index,
+                            retries: r.retries,
+                            cap: self.write_retry_cap,
+                        });
+                    }
                     let data_end = r.data_start + self.timing.t_burst;
-                    state.write_done = Some(data_end + self.timing.t_wp + self.timing.t_wr);
+                    // Each verify retry re-runs the full programming pulse,
+                    // so the lock window scales with 1 + retries.
+                    let program =
+                        CycleCount::new(self.timing.t_wp.raw() * u64::from(r.retries + 1));
+                    state.write_done = Some(data_end + program + self.timing.t_wr);
                     state.write_sag = r.coord.sag;
                     if matches!(self.model, BankModel::Baseline) {
                         state.open_row = None; // baseline writes close the row
@@ -440,6 +482,7 @@ mod tests {
                 cd_count: 1,
             },
             data_start: Cycle::new(data_start),
+            retries: 0,
         }
     }
 
@@ -635,6 +678,110 @@ mod tests {
         };
         let s = v.to_string();
         assert!(s.contains("bank 3") && s.contains("cy70"), "{s}");
+    }
+
+    fn write_with_retries(at: u64, sag: u32, data_start: u64, retries: u32) -> CommandRecord {
+        let mut r = record(at, PlanKind::Write, 0, 1, sag, data_start);
+        r.retries = retries;
+        r
+    }
+
+    fn with_retry_cap(mut config: SystemConfig, cap: u32) -> SystemConfig {
+        config.reliability.max_write_retries = cap;
+        config
+    }
+
+    #[test]
+    fn retrying_write_extends_the_lock_window() {
+        let c = checker(&with_retry_cap(SystemConfig::baseline(), 4));
+        // A clean write (data 3..7) locks until 7 + 60 + 3 = 70, so an
+        // activate at cycle 100 is legal...
+        let clean = log_of(&[
+            write_with_retries(0, 0, 3, 0),
+            record(100, PlanKind::Activate, 0, 2, 1, 148),
+        ]);
+        assert!(c.check(&clean).is_clean());
+        // ...but the same write with two verify retries programs for
+        // 3 × tWP and locks until 7 + 180 + 3 = 190: the follower at 100
+        // lands inside the extended window.
+        let retried = log_of(&[
+            write_with_retries(0, 0, 3, 2),
+            record(100, PlanKind::Activate, 0, 2, 1, 148),
+        ]);
+        let report = c.check(&retried);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WriteLock { .. })));
+    }
+
+    #[test]
+    fn retry_beyond_cap_is_flagged() {
+        let c = checker(&with_retry_cap(SystemConfig::baseline(), 2));
+        let log = log_of(&[write_with_retries(0, 0, 3, 7)]);
+        let report = c.check(&log);
+        assert!(matches!(
+            report.violations[..],
+            [Violation::RetryBeyondCap {
+                retries: 7,
+                cap: 2,
+                ..
+            }]
+        ));
+        let within_budget = log_of(&[write_with_retries(0, 0, 3, 2)]);
+        assert!(c.check(&within_budget).is_clean());
+    }
+
+    /// Mutation test for the retry rules: audit a real run of the fault
+    /// model, then corrupt one write's retry count past the device budget
+    /// and require the checker to notice.
+    #[test]
+    fn corrupting_a_retry_sequence_is_detected() {
+        use fgnvm_types::PhysAddr;
+
+        let mut config = SystemConfig::fgnvm(8, 2).unwrap();
+        config.reliability = fgnvm_types::config::ReliabilityConfig {
+            enabled: true,
+            fault_seed: 7,
+            rber: 0.0,
+            write_fail_prob: 0.3,
+            max_write_retries: 4,
+            ecc_correctable_bits: 1,
+            ecc_decode_penalty_cycles: 10,
+            wear_stuck_threshold: 0,
+        };
+        let mut mem = crate::MemorySystem::new(config).unwrap();
+        mem.enable_command_log(1 << 16);
+        for i in 0..60u64 {
+            while mem.enqueue(Op::Write, PhysAddr::new(i * 4096)).is_none() {
+                mem.tick();
+            }
+            for _ in 0..200 {
+                mem.tick();
+            }
+        }
+        mem.run_until_idle(1_000_000);
+        let clean: Vec<CommandRecord> = mem.command_log(0).records().copied().collect();
+        let checker = ProtocolChecker::new(&config).unwrap();
+        assert!(checker.check(&log_of(&clean)).is_clean());
+        assert!(
+            clean.iter().any(|r| r.retries > 0),
+            "the fault model should have produced at least one retried write"
+        );
+
+        // Inflating any write's retry count past the on-die budget must
+        // trip the retry-budget rule.
+        let victim = clean
+            .iter()
+            .position(|r| r.kind == PlanKind::Write)
+            .expect("log contains writes");
+        let mut mutated = clean.clone();
+        mutated[victim].retries = config.reliability.max_write_retries + 5;
+        let report = checker.check(&log_of(&mutated));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RetryBeyondCap { .. })));
     }
 
     /// Mutation testing for the auditor itself: take the log of a real,

@@ -28,6 +28,9 @@ pub struct CommandRecord {
     pub coord: TileCoord,
     /// When the data burst starts.
     pub data_start: Cycle,
+    /// Extra write-verify programming pulses this command needed (0 for
+    /// reads and for clean first-pulse writes).
+    pub retries: u32,
 }
 
 impl std::fmt::Display for CommandRecord {
@@ -36,7 +39,11 @@ impl std::fmt::Display for CommandRecord {
             f,
             "{} {} {:?} ba{} row{} [{}] data@{}",
             self.at, self.op, self.kind, self.bank_index, self.row, self.coord, self.data_start
-        )
+        )?;
+        if self.retries > 0 {
+            write!(f, " retries={}", self.retries)?;
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +143,7 @@ mod tests {
                 cd_count: 1,
             },
             data_start: Cycle::new(at + 48),
+            retries: 0,
         }
     }
 

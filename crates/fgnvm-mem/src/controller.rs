@@ -9,8 +9,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use fgnvm_bank::{Bank, BankStats, BaselineBank, DramBank, FgnvmBank, Modes, RefreshCycles};
-use fgnvm_types::config::{BankModel, SystemConfig};
+use fgnvm_bank::{
+    Bank, BankStats, BaselineBank, DramBank, FaultModel, FgnvmBank, Modes, RefreshCycles,
+};
+use fgnvm_types::config::{BankModel, ReliabilityConfig, SystemConfig};
 use fgnvm_types::error::ConfigError;
 use fgnvm_types::request::{Completion, Op};
 use fgnvm_types::time::{Cycle, CycleCount};
@@ -110,6 +112,21 @@ pub struct Controller {
     log: CommandLog,
     /// Rank-level tFAW tracker; `Some` only for DRAM designs.
     faw: Option<FawState>,
+    /// Controller-side ECC parameters; `Some` when the reliability layer is
+    /// enabled.
+    ecc: Option<EccParams>,
+    /// Rows whose reads came back uncorrectable, awaiting remap by the
+    /// memory system: `(bank_index, row)`.
+    bad_rows: Vec<(usize, u32)>,
+}
+
+/// Controller-side ECC behaviour (graceful degradation).
+#[derive(Debug, Clone, Copy)]
+struct EccParams {
+    /// Bit errors per line the code corrects.
+    correctable_bits: u32,
+    /// Decode latency added to a corrected read.
+    decode_penalty: CycleCount,
 }
 
 impl Controller {
@@ -120,15 +137,48 @@ impl Controller {
     /// Returns [`ConfigError`] if the configuration is internally
     /// inconsistent (see [`SystemConfig::validate`]).
     pub fn new(config: &SystemConfig) -> Result<Self, ConfigError> {
+        Controller::new_for_channel(config, 0)
+    }
+
+    /// Like [`Controller::new`], but decorrelates the fault-model seeds of
+    /// this channel's banks from every other channel's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is internally
+    /// inconsistent (see [`SystemConfig::validate`]).
+    pub fn new_for_channel(config: &SystemConfig, channel: u32) -> Result<Self, ConfigError> {
         config.validate()?;
         let timing = config.timing.to_cycles()?;
         let bank_count =
             (config.geometry.ranks_per_channel() * config.geometry.banks_per_rank()) as usize;
+        let fault_model = |index: usize| -> Option<FaultModel> {
+            let r: &ReliabilityConfig = &config.reliability;
+            if !r.enabled {
+                return None;
+            }
+            // Golden-ratio hashing decorrelates each (channel, bank) stream
+            // from the configured seed.
+            let lane = (u64::from(channel) << 32) | index as u64;
+            let seed = r.fault_seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            Some(FaultModel::new(
+                seed,
+                r.rber,
+                r.write_fail_prob,
+                r.max_write_retries,
+                r.wear_stuck_threshold,
+                u64::from(config.geometry.line_bytes()) * 8,
+            ))
+        };
         let mut banks: Vec<Box<dyn Bank>> = Vec::with_capacity(bank_count);
         for index in 0..bank_count {
             match config.bank_model {
                 BankModel::Baseline => {
-                    banks.push(Box::new(BaselineBank::new(&config.geometry, timing)));
+                    let mut bank = BaselineBank::new(&config.geometry, timing);
+                    if let Some(model) = fault_model(index) {
+                        bank = bank.with_faults(model);
+                    }
+                    banks.push(Box::new(bank));
                 }
                 BankModel::Dram => {
                     let refresh =
@@ -140,8 +190,12 @@ impl Controller {
                 model @ BankModel::Fgnvm { .. } => {
                     let modes = Modes::try_from(model).expect("fgnvm model carries modes");
                     let shared_column_path = config.commands_per_cycle == 1;
-                    let bank = FgnvmBank::new(&config.geometry, timing, modes, shared_column_path)?
-                        .with_write_pausing(config.write_pausing);
+                    let mut bank =
+                        FgnvmBank::new(&config.geometry, timing, modes, shared_column_path)?
+                            .with_write_pausing(config.write_pausing);
+                    if let Some(model) = fault_model(index) {
+                        bank = bank.with_faults(model);
+                    }
                     banks.push(Box::new(bank));
                 }
             }
@@ -165,6 +219,11 @@ impl Controller {
                     config.geometry.ranks_per_channel() as usize,
                 )
             }),
+            ecc: config.reliability.enabled.then(|| EccParams {
+                correctable_bits: config.reliability.ecc_correctable_bits,
+                decode_penalty: CycleCount::new(config.reliability.ecc_decode_penalty_cycles),
+            }),
+            bad_rows: Vec::new(),
         })
     }
 
@@ -240,14 +299,14 @@ impl Controller {
         stats.queue_depth_samples += 1;
 
         for _ in 0..self.commands_per_cycle {
-            if !self.issue_one(now) {
+            if !self.issue_one(now, stats) {
                 break;
             }
         }
     }
 
     /// Tries to issue one command; returns whether anything issued.
-    fn issue_one(&mut self, now: Cycle) -> bool {
+    fn issue_one(&mut self, now: Cycle, stats: &mut SystemStats) -> bool {
         // Choose between the read and write queues.
         let write_pick = |me: &Self| {
             me.scheduler
@@ -335,14 +394,41 @@ impl Controller {
             row: pending.access.row,
             coord: pending.access.coord,
             data_start: issued.data_start,
+            retries: issued.faults.retries,
         });
         if pending.request.op.is_read() {
+            // ECC sits between the bank and the channel: a corrected read
+            // pays decode latency; an uncorrectable one pays a deeper
+            // (RAID-style rebuild) penalty and marks the row for remap.
+            let mut at = issued.data_end;
+            if let Some(ecc) = self.ecc {
+                let f = issued.faults;
+                if f.bit_errors > 0 || f.stuck_fault {
+                    if !f.stuck_fault && f.bit_errors <= ecc.correctable_bits {
+                        stats.corrected_errors += 1;
+                        at += ecc.decode_penalty;
+                    } else {
+                        stats.uncorrectable_errors += 1;
+                        at += CycleCount::new(ecc.decode_penalty.raw() * 4);
+                        self.bad_rows.push((pending.bank_index, pending.access.row));
+                    }
+                }
+            }
             self.events.push(Reverse(Event {
-                at: issued.data_end,
+                at,
                 id_raw: pending.request.id.raw(),
                 is_read: true,
                 arrival: pending.request.arrival,
             }));
+        } else if issued.faults.verify_failed {
+            // The write exhausted its on-die retry budget without a clean
+            // verify: no completion is reported; the request goes back in
+            // the write queue for a fresh issue once the (still occupied)
+            // tile frees up. An always-failing device therefore livelocks
+            // here — exactly what the simulation watchdog exists to catch.
+            stats.reissued_writes += 1;
+            let requeued = self.writes.push(pending);
+            debug_assert!(requeued, "slot was freed by the remove above");
         } else {
             // Writes are posted: report completion when the cells finish
             // programming (useful for drain accounting; the CPU does not
@@ -404,6 +490,52 @@ impl Controller {
     /// The command log (empty unless enabled).
     pub fn command_log(&self) -> &CommandLog {
         &self.log
+    }
+
+    /// Drains the rows flagged uncorrectable since the last call, as
+    /// `(bank_index, row)` pairs. The memory system remaps them to spares.
+    pub fn take_bad_rows(&mut self) -> Vec<(usize, u32)> {
+        std::mem::take(&mut self.bad_rows)
+    }
+
+    /// One-line-per-fact dump of queue and bank state, for the watchdog's
+    /// diagnostic report. Includes why the head of each queue cannot issue.
+    pub fn state_dump(&self, now: Cycle) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  reads={} writes={} events={} draining={}",
+            self.reads.len(),
+            self.writes.len(),
+            self.events.len(),
+            self.draining
+        );
+        for (label, queue) in [("read", &self.reads), ("write", &self.writes)] {
+            for pending in queue.iter().take(4) {
+                match self.banks[pending.bank_index].plan(&pending.access, now) {
+                    Ok(_) => {
+                        let _ = writeln!(
+                            out,
+                            "  {label} {} bank{} row{}: issuable",
+                            pending.request.id, pending.bank_index, pending.access.row
+                        );
+                    }
+                    Err(blocked) => {
+                        let _ = writeln!(
+                            out,
+                            "  {label} {} bank{} row{}: {} (retry at {})",
+                            pending.request.id,
+                            pending.bank_index,
+                            pending.access.row,
+                            blocked.reason,
+                            blocked.retry_at
+                        );
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

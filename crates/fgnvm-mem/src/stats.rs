@@ -32,6 +32,16 @@ pub struct SystemStats {
     pub read_queue_depth_sum: u64,
     /// Ticks sampled for the queue-depth average.
     pub queue_depth_samples: u64,
+    /// Reads whose transient bit errors ECC corrected (decode latency paid).
+    pub corrected_errors: u64,
+    /// Reads ECC could not correct (stuck-at fault or too many bit flips);
+    /// the row is remapped to a spare.
+    pub uncorrectable_errors: u64,
+    /// Rows remapped to spares after uncorrectable errors.
+    pub remapped_rows: u64,
+    /// Writes re-issued from the controller after the device exhausted its
+    /// on-die write-verify retry budget.
+    pub reissued_writes: u64,
 }
 
 impl SystemStats {
@@ -49,6 +59,10 @@ impl SystemStats {
             rejected: 0,
             read_queue_depth_sum: 0,
             queue_depth_samples: 0,
+            corrected_errors: 0,
+            uncorrectable_errors: 0,
+            remapped_rows: 0,
+            reissued_writes: 0,
         }
     }
 

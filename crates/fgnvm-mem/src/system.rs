@@ -1,10 +1,12 @@
 //! The complete simulated memory system: address mapping plus one
 //! [`Controller`] per channel, ticked on a common clock.
 
+use std::collections::HashMap;
+
 use fgnvm_bank::{Access, BankStats};
 use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
 use fgnvm_types::config::SystemConfig;
-use fgnvm_types::error::ConfigError;
+use fgnvm_types::error::{ConfigError, SimError};
 use fgnvm_types::request::{Completion, Op, Request, RequestId};
 use fgnvm_types::time::{Cycle, CycleCount};
 
@@ -69,6 +71,13 @@ pub struct MemorySystem {
     /// collected samples.
     sample_epoch: u64,
     samples: Vec<Sample>,
+    /// Bad-row remap table: (channel, bank_index, row) → spare row.
+    /// Populated when ECC reports an uncorrectable error; later accesses to
+    /// the faulty row are steered to the spare.
+    bad_rows: HashMap<(u32, usize, u32), u32>,
+    /// Spare rows consumed so far per (channel, bank_index); spares are
+    /// carved from the top of the bank downward.
+    spares_used: HashMap<(u32, usize), u32>,
     now: Cycle,
     next_id: u64,
     stats: SystemStats,
@@ -93,8 +102,8 @@ impl MemorySystem {
     pub fn with_mapping(config: SystemConfig, scheme: MappingScheme) -> Result<Self, ConfigError> {
         config.validate()?;
         let mut controllers = Vec::with_capacity(config.geometry.channels() as usize);
-        for _ in 0..config.geometry.channels() {
-            controllers.push(Controller::new(&config)?);
+        for channel in 0..config.geometry.channels() {
+            controllers.push(Controller::new_for_channel(&config, channel)?);
         }
         Ok(MemorySystem {
             mapper: AddressMapper::new(config.geometry, scheme),
@@ -106,6 +115,8 @@ impl MemorySystem {
             levelers: None,
             sample_epoch: 0,
             samples: Vec::new(),
+            bad_rows: HashMap::new(),
+            spares_used: HashMap::new(),
             now: Cycle::ZERO,
             next_id: 0,
             stats: SystemStats::new(),
@@ -155,8 +166,11 @@ impl MemorySystem {
         &mut self,
         op: Op,
         addr: PhysAddr,
-        decoded: fgnvm_types::address::DecodedAddr,
+        mut decoded: fgnvm_types::address::DecodedAddr,
     ) -> Option<RequestId> {
+        let bank_index =
+            (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank) as usize;
+        decoded.row = self.remapped_row(decoded.channel, bank_index, decoded.row);
         let coord = self.mapper.tile_coord(decoded);
         let id = RequestId::new(self.next_id);
         let pending = Pending {
@@ -168,8 +182,7 @@ impl MemorySystem {
                 line: decoded.line,
                 coord,
             },
-            bank_index: (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank)
-                as usize,
+            bank_index,
         };
         let controller = &mut self.controllers[decoded.channel as usize];
         match controller.enqueue(pending, self.now, &mut self.stats) {
@@ -179,6 +192,20 @@ impl MemorySystem {
             }
             Enqueue::Full => None,
         }
+    }
+
+    /// Steers accesses away from rows the ECC layer declared dead. Identity
+    /// for healthy rows; rows in the bad-row table go to their spare.
+    fn remapped_row(&self, channel: u32, bank_index: usize, row: u32) -> u32 {
+        match self.bad_rows.get(&(channel, bank_index, row)) {
+            Some(&spare) => spare,
+            None => row,
+        }
+    }
+
+    /// Rows remapped to spares so far (graceful-degradation table size).
+    pub fn remapped_row_count(&self) -> usize {
+        self.bad_rows.len()
     }
 
     fn global_bank(&self, channel: u32, rank: u32, bank: u32) -> usize {
@@ -309,8 +336,34 @@ impl MemorySystem {
     /// Advances one memory cycle, appending completions to `out` (avoids
     /// per-cycle allocation in hot loops).
     pub fn tick_into(&mut self, out: &mut Vec<Completion>) {
-        for controller in &mut self.controllers {
+        /// Spare rows reserved at the top of each bank for remapping;
+        /// further uncorrectable rows degrade to best-effort (counted but
+        /// not remapped) once the spares run out.
+        const SPARE_ROWS_PER_BANK: u32 = 64;
+        for (channel, controller) in self.controllers.iter_mut().enumerate() {
             controller.tick(self.now, &mut self.stats, out);
+            for (bank_index, row) in controller.take_bad_rows() {
+                let key = (channel as u32, bank_index, row);
+                if self.bad_rows.contains_key(&key) {
+                    continue;
+                }
+                let used = self
+                    .spares_used
+                    .entry((channel as u32, bank_index))
+                    .or_insert(0);
+                if *used >= SPARE_ROWS_PER_BANK {
+                    continue;
+                }
+                let spare = self.config.geometry.rows_per_bank() - 1 - *used;
+                *used += 1;
+                if spare == row {
+                    // The failing row is itself in the spare region; burn
+                    // the slot but leave it unmapped.
+                    continue;
+                }
+                self.bad_rows.insert(key, spare);
+                self.stats.remapped_rows += 1;
+            }
         }
         if self.sample_epoch > 0 && self.now.raw().is_multiple_of(self.sample_epoch) {
             let banks = self.bank_stats();
@@ -344,6 +397,55 @@ impl MemorySystem {
             self.tick_into(&mut out);
         }
         out
+    }
+
+    /// Runs until every queue and event list is empty, converting a stall
+    /// into a structured [`SimError::Watchdog`] instead of panicking: if no
+    /// request completes for `stall_cycles` consecutive cycles while work
+    /// is still pending, the watchdog trips and the error carries the queue
+    /// occupancies plus a per-channel state dump for diagnosis.
+    ///
+    /// This is the graceful counterpart of
+    /// [`run_until_idle`](Self::run_until_idle) for workloads (wedged
+    /// reliability configs, adversarial traces) where forward progress is
+    /// not guaranteed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Watchdog`] when the system makes no progress for
+    /// `stall_cycles` cycles with requests still outstanding.
+    pub fn try_run_until_idle(&mut self, stall_cycles: u64) -> Result<Vec<Completion>, SimError> {
+        let mut out = Vec::new();
+        let mut last_progress = self.now;
+        while !self.is_idle() {
+            if self.now.saturating_since(last_progress).raw() >= stall_cycles {
+                return Err(self.watchdog_error(stall_cycles));
+            }
+            let before = out.len();
+            self.tick_into(&mut out);
+            if out.len() > before {
+                last_progress = self.now;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the watchdog error with a snapshot of every channel's state.
+    fn watchdog_error(&self, stall_cycles: u64) -> SimError {
+        let mut state = String::new();
+        for (channel, controller) in self.controllers.iter().enumerate() {
+            state.push_str(&format!(
+                "channel {channel}: {}\n",
+                controller.state_dump(self.now)
+            ));
+        }
+        SimError::Watchdog {
+            stall_cycles,
+            now: self.now.raw(),
+            read_queue: self.read_queue_len(),
+            write_queue: self.write_queue_len(),
+            state,
+        }
     }
 
     /// True when no requests are queued or in flight anywhere.
@@ -446,6 +548,9 @@ impl MemorySystem {
             let logical = decoded.row.min(leveled_rows - 1);
             decoded.row = levelers[global_bank].map(logical);
         }
+        let bank_index =
+            (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank) as usize;
+        decoded.row = self.remapped_row(decoded.channel, bank_index, decoded.row);
         let coord = self.mapper.tile_coord(decoded);
         let id = RequestId::new(self.next_id);
         let pending = Pending {
@@ -457,8 +562,7 @@ impl MemorySystem {
                 line: decoded.line,
                 coord,
             },
-            bank_index: (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank)
-                as usize,
+            bank_index,
         };
         let controller = &mut self.controllers[decoded.channel as usize];
         match controller.enqueue(pending, self.now, &mut self.stats) {
@@ -826,6 +930,143 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<MemorySystem>();
         assert_send::<crate::hybrid::HybridMemory>();
+    }
+
+    fn reliability(
+        rber: f64,
+        write_fail_prob: f64,
+        max_write_retries: u32,
+        ecc_correctable_bits: u32,
+    ) -> fgnvm_types::config::ReliabilityConfig {
+        fgnvm_types::config::ReliabilityConfig {
+            enabled: true,
+            fault_seed: 42,
+            rber,
+            write_fail_prob,
+            max_write_retries,
+            ecc_correctable_bits,
+            ecc_decode_penalty_cycles: 10,
+            wear_stuck_threshold: 0,
+        }
+    }
+
+    #[test]
+    fn ecc_correction_adds_decode_latency() {
+        // rber 0.05 over a 512-bit line ⇒ ~26 expected bit errors, far
+        // below the (generous) correction capability: every read pays the
+        // decode penalty and counts as corrected.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.05, 0.0, 0, 4096));
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        let done = mem.run_until_idle(10_000);
+        // Clean read is 52 cycles; + 10 for the ECC decode.
+        assert_eq!(done[0].latency().raw(), 62);
+        assert_eq!(mem.stats().corrected_errors, 1);
+        assert_eq!(mem.stats().uncorrectable_errors, 0);
+    }
+
+    #[test]
+    fn uncorrectable_error_remaps_the_row() {
+        // Zero correction capability: the same error burst is now
+        // uncorrectable, pays 4× the decode penalty, and retires the row.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.05, 0.0, 0, 0));
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enable_command_log(16);
+        mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        let done = mem.run_until_idle(10_000);
+        assert_eq!(done[0].latency().raw(), 52 + 40);
+        assert_eq!(mem.stats().uncorrectable_errors, 1);
+        assert_eq!(mem.stats().remapped_rows, 1);
+        assert_eq!(mem.remapped_row_count(), 1);
+        // The next access to the same address is steered to the spare row
+        // at the top of the bank.
+        mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        mem.run_until_idle(10_000);
+        let rows: Vec<u32> = mem.command_log(0).records().map(|r| r.row).collect();
+        assert_eq!(rows[0], 0);
+        assert_eq!(rows[1], mem.config().geometry.rows_per_bank() - 1);
+    }
+
+    #[test]
+    fn verify_failed_write_is_reissued_until_it_sticks() {
+        // 95% per-pulse failure with no on-die retry budget: most issues
+        // exhaust verification and bounce back to the controller, which
+        // re-queues them until one sticks.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.0, 0.95, 0, 0));
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+        let done = mem.run_until_idle(1_000_000);
+        assert_eq!(done.iter().filter(|c| c.op.is_write()).count(), 1);
+        assert!(mem.stats().reissued_writes >= 1);
+        assert!(mem.bank_stats().verify_failures >= 1);
+        assert_eq!(
+            mem.bank_stats().writes,
+            mem.stats().reissued_writes + 1,
+            "every reissue is a fresh device write"
+        );
+    }
+
+    #[test]
+    fn watchdog_reports_wedged_write_with_state_dump() {
+        // A write that always fails verification with a zero retry budget
+        // can never complete; the watchdog must convert the livelock into
+        // a structured error instead of spinning forever.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.0, 1.0, 0, 0));
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+        let err = mem.try_run_until_idle(2_000).unwrap_err();
+        match err {
+            SimError::Watchdog {
+                stall_cycles,
+                write_queue,
+                ref state,
+                ..
+            } => {
+                assert_eq!(stall_cycles, 2_000);
+                assert!(write_queue >= 1);
+                assert!(state.contains("channel 0"), "dump names the channel");
+                assert!(!state.is_empty());
+            }
+            other => panic!("expected watchdog error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_until_idle_matches_run_until_idle_when_healthy() {
+        let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        for i in 0..4u64 {
+            mem.enqueue(Op::Read, PhysAddr::new(i * 8192)).unwrap();
+        }
+        let done = mem.try_run_until_idle(10_000).unwrap();
+        assert_eq!(done.len(), 4);
+        assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn zero_rate_reliability_is_bit_identical_to_disabled() {
+        // The fault layer enabled with all rates at zero must not perturb
+        // timing or counters in any way.
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 4096 + (i % 4) * 256).collect();
+        let mut plain = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let faulty_cfg = SystemConfig::fgnvm(8, 2)
+            .unwrap()
+            .with_reliability(reliability(0.0, 0.0, 4, 2));
+        let mut armed = MemorySystem::new(faulty_cfg).unwrap();
+        for mem in [&mut plain, &mut armed] {
+            for (i, &a) in addrs.iter().enumerate() {
+                let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+                mem.enqueue(op, PhysAddr::new(a)).unwrap();
+            }
+            mem.run_until_idle(1_000_000);
+        }
+        assert_eq!(plain.now(), armed.now());
+        assert_eq!(plain.bank_stats(), armed.bank_stats());
+        assert_eq!(
+            plain.stats().read_latency_total,
+            armed.stats().read_latency_total
+        );
+        assert_eq!(armed.stats().corrected_errors, 0);
+        assert_eq!(armed.stats().reissued_writes, 0);
     }
 
     #[test]

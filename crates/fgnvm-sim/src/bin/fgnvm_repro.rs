@@ -30,6 +30,7 @@
 //!   mlp       FgNVM speedup vs core ROB/MSHR window (the MLP dependence)
 //!   cores     4-core consolidation: throughput / weighted speedup / fairness
 //!   hybrid    DRAM-buffered PCM (ref [8]) vs and with FgNVM
+//!   reliability  fault injection: RBER x write-verify sweep through ECC/retry/remap
 //!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
@@ -93,7 +94,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|tail|wear|policy|mlp|compare|regress|summary|all> \
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|compare|regress|summary|all> \
      [--ops N] [--seed S] [--csv|--md|--json] [--out DIR]"
         .to_string()
 }
@@ -231,6 +232,12 @@ fn run(cli: &Cli) -> Result<(), String> {
             &fgnvm_sim::extensions::hybrid(p).map_err(fail)?.to_table(),
             format,
         ),
+        "reliability" => emit(
+            &fgnvm_sim::extensions::reliability(p)
+                .map_err(|e| e.to_string())?
+                .to_table(),
+            format,
+        ),
         "tail" => {
             let result = fgnvm_sim::extensions::tail_latency(p).map_err(fail)?;
             emit(&result.to_table(), format);
@@ -356,6 +363,12 @@ fn run(cli: &Cli) -> Result<(), String> {
                 &fgnvm_sim::extensions::hybrid(p).map_err(fail)?.to_table(),
                 format,
             );
+            emit(
+                &fgnvm_sim::extensions::reliability(p)
+                    .map_err(|e| e.to_string())?
+                    .to_table(),
+                format,
+            );
             emit(&experiment::summary(p).map_err(fail)?.to_table(), format);
         }
         other => return Err(format!("unknown command: {other}\n{}", usage())),
@@ -369,11 +382,20 @@ fn compare_param_files(files: &[String], params: &ExperimentParams) -> Result<Ta
     use fgnvm_sim::report::geometric_mean;
     use fgnvm_sim::runner::run_one;
     use fgnvm_types::Geometry;
+    // File and parse problems are routed through the SimError taxonomy so
+    // the CLI reports them uniformly instead of panicking.
     let configs: Vec<_> = files
         .iter()
         .map(|f| {
-            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-            fgnvm_types::parse_system_config(&text).map_err(|e| format!("{f}: {e}"))
+            let text = std::fs::read_to_string(f).map_err(|e| {
+                fgnvm_types::SimError::Io {
+                    path: f.clone(),
+                    message: e.to_string(),
+                }
+                .to_string()
+            })?;
+            fgnvm_types::parse_system_config(&text)
+                .map_err(|e| format!("{f}: {}", fgnvm_types::SimError::from(e)))
         })
         .collect::<Result<_, String>>()?;
     let profiles = fgnvm_workloads::all_profiles();

@@ -36,10 +36,13 @@
 //!   speedup as a function of workload write intensity.
 //! * [`depth_sweep`] — controller queue-depth sensitivity (how much of the
 //!   benefit needs a deep transaction queue).
+//! * [`reliability`] — device fault injection: raw bit-error rate and
+//!   write-verify retry pressure swept together, reporting the slowdown
+//!   and read-latency tail the ECC + retry + remap datapath costs.
 
 use fgnvm_types::address::MappingScheme;
 use fgnvm_types::config::{SchedulerKind, SystemConfig};
-use fgnvm_types::error::ConfigError;
+use fgnvm_types::error::{ConfigError, SimError};
 use fgnvm_types::geometry::Geometry;
 use fgnvm_workloads::Profile;
 
@@ -2387,5 +2390,207 @@ mod mlp_tests {
         // With essentially no outstanding misses the two designs are close
         // to indistinguishable.
         assert!(narrow.speedup() < wide.speedup() * 1.0 + 0.5);
+    }
+}
+
+/// One (design, fault level) cell of the reliability study.
+#[derive(Debug, Clone)]
+pub struct ReliabilityRow {
+    /// Design label.
+    pub design: &'static str,
+    /// Raw bit-error rate injected on reads.
+    pub rber: f64,
+    /// Per-pulse write-verify failure probability.
+    pub write_fail_prob: f64,
+    /// Geometric-mean IPC across workloads.
+    pub ipc: f64,
+    /// Fault-free IPC over this cell's IPC (1.0 at the clean point).
+    pub slowdown: f64,
+    /// Worst 99th-percentile read latency across workloads (cycles).
+    pub read_p99: u64,
+    /// Extra write-verify pulses the banks performed.
+    pub write_retries: u64,
+    /// Writes that exhausted the on-die verify budget.
+    pub verify_failures: u64,
+    /// Reads ECC corrected at extra decode latency.
+    pub corrected: u64,
+    /// Reads ECC could not correct.
+    pub uncorrectable: u64,
+    /// Rows retired to spares.
+    pub remapped_rows: u64,
+    /// Writes the controller re-issued after a verify failure.
+    pub reissued_writes: u64,
+}
+
+/// Results of the reliability study: the performance price of device
+/// faults through the full graceful-degradation datapath.
+///
+/// Each fault level couples a read-side raw bit-error rate (paid as ECC
+/// decode latency, escalating to row remap when uncorrectable) with a
+/// write-side verify-failure probability (paid as extra tWP programming
+/// pulses, escalating to controller re-issue when the on-die budget runs
+/// out). The clean point anchors the slowdown at exactly 1.0.
+#[derive(Debug, Clone)]
+pub struct ReliabilityResult {
+    /// One row per (design, fault level), clean level first per design.
+    pub rows: Vec<ReliabilityRow>,
+}
+
+impl ReliabilityResult {
+    /// Renders as a text table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fault injection: RBER + write-verify pressure vs performance",
+            &[
+                "design",
+                "RBER",
+                "wfail",
+                "IPC",
+                "slowdown",
+                "~p99",
+                "retries",
+                "vfail",
+                "corrected",
+                "uncorr",
+                "remap",
+                "reissue",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.design.to_string(),
+                format!("{:.0e}", r.rber),
+                format!("{:.2}", r.write_fail_prob),
+                format!("{:.3}", r.ipc),
+                format!("{:.3}x", r.slowdown),
+                r.read_p99.to_string(),
+                r.write_retries.to_string(),
+                r.verify_failures.to_string(),
+                r.corrected.to_string(),
+                r.uncorrectable.to_string(),
+                r.remapped_rows.to_string(),
+                r.reissued_writes.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The rows of one design, in sweep (increasing-severity) order.
+    pub fn design_rows(&self, design: &str) -> Vec<&ReliabilityRow> {
+        self.rows.iter().filter(|r| r.design == design).collect()
+    }
+}
+
+/// Runs the reliability study: the baseline and FgNVM 8x2 swept over
+/// coupled (RBER, write-verify-failure) fault levels with a fixed ECC
+/// and retry budget.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a configuration fails to build or a run fails.
+pub fn reliability(params: &ExperimentParams) -> Result<ReliabilityResult, SimError> {
+    use fgnvm_types::config::ReliabilityConfig;
+    let designs: [(&'static str, SystemConfig); 2] = [
+        ("baseline", SystemConfig::baseline()),
+        ("FgNVM 8x2", SystemConfig::fgnvm(8, 2)?),
+    ];
+    // Severity sweep: each level raises both the read-side error rate and
+    // the write-side verify pressure. 3e-3 over a 512-bit line exceeds a
+    // 2-bit ECC often enough to exercise the remap path.
+    let levels: [(f64, f64); 4] = [(0.0, 0.0), (1e-4, 0.10), (1e-3, 0.25), (3e-3, 0.50)];
+    let geometry = SystemConfig::baseline().geometry;
+    let traces: Vec<_> = ["milc_like", "lbm_like"]
+        .iter()
+        .map(|n| {
+            fgnvm_workloads::profile(n)
+                .expect("known profile")
+                .generate(geometry, params.seed, params.ops)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (design, base_config) in &designs {
+        let mut clean_ipc = None;
+        for &(rber, write_fail_prob) in &levels {
+            let config = base_config.with_reliability(ReliabilityConfig {
+                enabled: true,
+                fault_seed: params.seed,
+                rber,
+                write_fail_prob,
+                max_write_retries: 4,
+                ecc_correctable_bits: 2,
+                ecc_decode_penalty_cycles: 10,
+                wear_stuck_threshold: 0,
+            });
+            let mut ipcs = Vec::new();
+            let mut row = ReliabilityRow {
+                design,
+                rber,
+                write_fail_prob,
+                ipc: 0.0,
+                slowdown: 0.0,
+                read_p99: 0,
+                write_retries: 0,
+                verify_failures: 0,
+                corrected: 0,
+                uncorrectable: 0,
+                remapped_rows: 0,
+                reissued_writes: 0,
+            };
+            for trace in &traces {
+                let outcome = run_one(trace, &config, params)?;
+                ipcs.push(outcome.core.ipc());
+                row.read_p99 = row.read_p99.max(outcome.read_p99);
+                row.write_retries += outcome.banks.write_retries;
+                row.verify_failures += outcome.banks.verify_failures;
+                row.corrected += outcome.corrected_errors;
+                row.uncorrectable += outcome.uncorrectable_errors;
+                row.remapped_rows += outcome.remapped_rows;
+                row.reissued_writes += outcome.reissued_writes;
+            }
+            row.ipc = geometric_mean(&ipcs);
+            let clean = *clean_ipc.get_or_insert(row.ipc);
+            row.slowdown = clean / row.ipc;
+            rows.push(row);
+        }
+    }
+    Ok(ReliabilityResult { rows })
+}
+
+#[cfg(test)]
+mod reliability_tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_is_monotone_in_fault_severity() {
+        let params = ExperimentParams {
+            ops: 900,
+            ..ExperimentParams::quick()
+        };
+        let result = reliability(&params).unwrap();
+        assert_eq!(result.rows.len(), 8);
+        for design in ["baseline", "FgNVM 8x2"] {
+            let rows = result.design_rows(design);
+            assert_eq!(rows.len(), 4);
+            // The clean point anchors at exactly 1.0 by construction, and
+            // the fault layer at zero rates must not have cost anything
+            // measurable either.
+            assert!((rows[0].slowdown - 1.0).abs() < 1e-12);
+            assert_eq!(rows[0].write_retries, 0);
+            assert_eq!(rows[0].corrected + rows[0].uncorrectable, 0);
+            // Severity must cost monotonically more.
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[1].slowdown >= pair[0].slowdown,
+                    "{design}: slowdown regressed between levels: {:?} -> {:?}",
+                    pair[0].slowdown,
+                    pair[1].slowdown
+                );
+            }
+            // The harshest level visibly hurts and exercises every path.
+            let worst = rows.last().unwrap();
+            assert!(worst.slowdown > 1.01, "{design}: {}", worst.slowdown);
+            assert!(worst.write_retries > 0);
+            assert!(worst.corrected > 0);
+        }
     }
 }

@@ -1,7 +1,5 @@
 //! Generic machinery for running (workload × memory-configuration) grids.
 
-use crossbeam::thread;
-
 use fgnvm_bank::BankStats;
 use fgnvm_cpu::{Core, CoreConfig, CoreResult, Trace};
 use fgnvm_mem::{EnergyBreakdown, MemorySystem};
@@ -56,10 +54,21 @@ pub struct RunOutcome {
     pub banks: BankStats,
     /// Mean read latency in memory cycles.
     pub avg_read_latency: f64,
+    /// Approximate 99th-percentile read latency in memory cycles (from
+    /// the power-of-two histogram).
+    pub read_p99: u64,
     /// Writes coalesced in the write queue (never reached the array).
     pub merged_writes: u64,
     /// Reads served by store-to-load forwarding (never reached the array).
     pub forwarded_reads: u64,
+    /// Reads ECC corrected at extra decode latency.
+    pub corrected_errors: u64,
+    /// Reads ECC could not correct (row retired to a spare).
+    pub uncorrectable_errors: u64,
+    /// Rows remapped to spares during the run.
+    pub remapped_rows: u64,
+    /// Writes re-issued after the device exhausted its verify budget.
+    pub reissued_writes: u64,
 }
 
 /// Runs `trace` with its first `warmup_ops` memory operations excluded
@@ -69,18 +78,21 @@ pub struct RunOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if either configuration is invalid.
-///
-/// # Panics
-///
-/// Panics if `warmup_ops >= trace.len()` (nothing left to measure).
+/// Returns [`ConfigError`] if either configuration is invalid, or if
+/// `warmup_ops >= trace.len()` (the warmup would consume the whole trace
+/// and leave nothing to measure).
 pub fn run_one_with_warmup(
     trace: &Trace,
     warmup_ops: usize,
     config: &SystemConfig,
     params: &ExperimentParams,
 ) -> Result<RunOutcome, ConfigError> {
-    assert!(warmup_ops < trace.len(), "warmup consumes the whole trace");
+    if warmup_ops >= trace.len() {
+        return Err(ConfigError::Invalid {
+            field: "warmup_ops",
+            reason: "warmup consumes the whole trace",
+        });
+    }
     let records = trace.records();
     let warmup = Trace::new(
         format!("{}-warmup", trace.name()),
@@ -105,8 +117,13 @@ pub fn run_one_with_warmup(
         },
         banks,
         avg_read_latency: memory.stats().avg_read_latency(),
+        read_p99: memory.stats().read_latency_percentile(0.99),
         merged_writes: memory.stats().merged_writes,
         forwarded_reads: memory.stats().forwarded_reads,
+        corrected_errors: memory.stats().corrected_errors,
+        uncorrectable_errors: memory.stats().uncorrectable_errors,
+        remapped_rows: memory.stats().remapped_rows,
+        reissued_writes: memory.stats().reissued_writes,
     })
 }
 
@@ -128,8 +145,13 @@ pub fn run_one(
         energy: memory.energy(),
         banks: memory.bank_stats(),
         avg_read_latency: memory.stats().avg_read_latency(),
+        read_p99: memory.stats().read_latency_percentile(0.99),
         merged_writes: memory.stats().merged_writes,
         forwarded_reads: memory.stats().forwarded_reads,
+        corrected_errors: memory.stats().corrected_errors,
+        uncorrectable_errors: memory.stats().uncorrectable_errors,
+        remapped_rows: memory.stats().remapped_rows,
+        reissued_writes: memory.stats().reissued_writes,
     })
 }
 
@@ -148,17 +170,16 @@ pub fn run_configs(
     configs: &[SystemConfig],
     params: &ExperimentParams,
 ) -> Result<Vec<RunOutcome>, ConfigError> {
-    let results = thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
-            .map(|config| scope.spawn(move |_| run_one(trace, config, params)))
+            .map(|config| scope.spawn(move || run_one(trace, config, params)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("runner thread panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scoped threads");
+    });
     results.into_iter().collect()
 }
 
@@ -201,17 +222,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "warmup consumes")]
-    fn warmup_larger_than_trace_panics() {
+    fn warmup_larger_than_trace_is_rejected() {
         let trace = profile("astar_like")
             .unwrap()
             .generate(Geometry::default(), 3, 100);
-        let _ = run_one_with_warmup(
+        let err = run_one_with_warmup(
             &trace,
             100,
             &SystemConfig::baseline(),
             &ExperimentParams::quick(),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::Invalid {
+                field: "warmup_ops",
+                ..
+            }
+        ));
     }
 
     #[test]

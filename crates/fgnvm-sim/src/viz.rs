@@ -153,6 +153,7 @@ mod tests {
                 cd_count: 1,
             },
             data_start: Cycle::new(at + 48),
+            retries: 0,
         }
     }
 

@@ -324,6 +324,80 @@ pub enum RowPolicy {
     Closed,
 }
 
+/// Device fault model and write-verify/ECC parameters.
+///
+/// Models the three failure mechanisms of PCM-class cells: transient read
+/// disturbances (a raw bit error rate applied per sensed line), stochastic
+/// write failures caught by the device's write-verify step (each failed
+/// verify re-occupies the tile for another `tWP` programming pulse), and
+/// permanent stuck-at faults that appear once a row's write count crosses
+/// an endurance threshold. The controller layers ECC on top: correctable
+/// errors cost decode latency, uncorrectable ones trigger bad-row
+/// remapping to spare rows.
+///
+/// The default configuration disables every mechanism; a disabled model is
+/// bit-identical in behaviour and statistics to a build without the
+/// reliability layer (the zero-cost invariant, enforced by a property
+/// test).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Master switch; when false every other knob is ignored.
+    pub enabled: bool,
+    /// Seed for the deterministic fault streams (decorrelated per bank).
+    pub fault_seed: u64,
+    /// Raw bit error rate: expected transient bit flips per sensed bit.
+    pub rber: f64,
+    /// Probability that one programming pulse fails its verify step.
+    pub write_fail_prob: f64,
+    /// Write-verify retry budget per write (0 = single attempt, no retry).
+    pub max_write_retries: u32,
+    /// Bit errors per line the controller's ECC can correct.
+    pub ecc_correctable_bits: u32,
+    /// Decode latency added to a read that needed correction (cycles).
+    pub ecc_decode_penalty_cycles: u64,
+    /// Per-row write count after which reads see a stuck-at fault
+    /// (0 disables wear-induced faults).
+    pub wear_stuck_threshold: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            fault_seed: 0,
+            rber: 0.0,
+            write_fail_prob: 0.0,
+            max_write_retries: 0,
+            ecc_correctable_bits: 0,
+            ecc_decode_penalty_cycles: 0,
+            wear_stuck_threshold: 0,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Validates probabilities and rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if a probability is outside `[0, 1]` or NaN.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("rber", self.rber),
+            ("write_fail_prob", self.write_fail_prob),
+        ] {
+            // `contains` is false for NaN, so NaN fails validation too.
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    expected: "a probability in [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Complete configuration of one memory system instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -354,6 +428,8 @@ pub struct SystemConfig {
     pub write_pausing: bool,
     /// Row-buffer management policy (DRAM only; see [`RowPolicy`]).
     pub row_policy: RowPolicy,
+    /// Device fault model, write-verify, and ECC parameters.
+    pub reliability: ReliabilityConfig,
 }
 
 impl SystemConfig {
@@ -375,6 +451,7 @@ impl SystemConfig {
             data_bus_width: 1,
             write_pausing: false,
             row_policy: RowPolicy::Open,
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -438,6 +515,14 @@ impl SystemConfig {
         })
     }
 
+    /// Returns this configuration with the given reliability model attached.
+    pub fn with_reliability(self, reliability: ReliabilityConfig) -> Self {
+        SystemConfig {
+            reliability,
+            ..self
+        }
+    }
+
     /// A conventional DRAM system with DDR3-like timings and refresh,
     /// for the paper's motivating technology contrast. Note the energy
     /// constants remain the PCM ones — DRAM energy is not comparable and
@@ -499,6 +584,7 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.timing.to_cycles()?;
         self.energy.validate()?;
+        self.reliability.validate()?;
         if self.queue_entries == 0 {
             return Err(ConfigError::OutOfRange {
                 field: "queue_entries",

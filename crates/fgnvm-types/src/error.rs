@@ -45,6 +45,88 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// Unified error taxonomy for whole-simulation failures.
+///
+/// Everything a user can provoke from a configuration file or the command
+/// line funnels into this type: invalid configurations, malformed parameter
+/// files, I/O failures, unknown workload names, and — new with the
+/// reliability layer — watchdog trips when a simulation stops making
+/// forward progress (for example a wedged write-verify loop).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An invalid configuration (wraps [`ConfigError`]).
+    Config(ConfigError),
+    /// A parameter file failed to parse (wraps [`crate::ParseParamsError`]).
+    Params(crate::params::ParseParamsError),
+    /// A file could not be read or written.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// The underlying OS error rendered as text.
+        message: String,
+    },
+    /// A workload name did not match any known profile.
+    UnknownWorkload(String),
+    /// The simulation watchdog tripped: no request completed for
+    /// `stall_cycles` consecutive cycles while work remained queued.
+    Watchdog {
+        /// The configured no-progress threshold, in memory cycles.
+        stall_cycles: u64,
+        /// Cycle at which the watchdog fired.
+        now: u64,
+        /// Requests still waiting in read queues.
+        read_queue: usize,
+        /// Requests still waiting in write queues.
+        write_queue: usize,
+        /// Human-readable dump of per-channel queue and bank state.
+        state: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "configuration error: {e}"),
+            SimError::Params(e) => write!(f, "parameter file error: {e}"),
+            SimError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            SimError::UnknownWorkload(name) => write!(f, "unknown workload profile: {name}"),
+            SimError::Watchdog {
+                stall_cycles,
+                now,
+                read_queue,
+                write_queue,
+                state,
+            } => write!(
+                f,
+                "watchdog: no request completed for {stall_cycles} cycles \
+                 (now cy{now}, {read_queue} reads + {write_queue} writes pending)\n{state}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<crate::params::ParseParamsError> for SimError {
+    fn from(e: crate::params::ParseParamsError) -> Self {
+        SimError::Params(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

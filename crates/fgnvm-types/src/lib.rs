@@ -36,9 +36,10 @@ pub mod time;
 
 pub use address::{AddressMapper, DecodedAddr, MappingScheme, PhysAddr, TileCoord};
 pub use config::{
-    BankModel, EnergyConfig, SchedulerKind, SystemConfig, TimingConfig, TimingCycles,
+    BankModel, EnergyConfig, ReliabilityConfig, SchedulerKind, SystemConfig, TimingConfig,
+    TimingCycles,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use geometry::Geometry;
 pub use params::{parse_system_config, write_system_config, ParseParamsError};
 pub use request::{Completion, Op, Priority, Request, RequestId};

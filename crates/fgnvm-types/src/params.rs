@@ -194,6 +194,14 @@ pub fn parse_system_config(text: &str) -> Result<SystemConfig, ParseParamsError>
                     background_writes,
                 };
             }
+            "RELIABILITY" => config.reliability.enabled = parse_bool(value)?,
+            "FAULTSEED" => config.reliability.fault_seed = parse_u64(value)?,
+            "RBER" => config.reliability.rber = parse_f64(value)?,
+            "WRITEFAILPROB" => config.reliability.write_fail_prob = parse_f64(value)?,
+            "MAXWRITERETRIES" => config.reliability.max_write_retries = parse_u32(value)?,
+            "ECCCORRECTABLEBITS" => config.reliability.ecc_correctable_bits = parse_u32(value)?,
+            "ECCDECODEPENALTY" => config.reliability.ecc_decode_penalty_cycles = parse_u64(value)?,
+            "WEARSTUCKTHRESHOLD" => config.reliability.wear_stuck_threshold = parse_u64(value)?,
             other => return Err(err(lineno, format!("unknown parameter `{other}`"))),
         }
     }
@@ -295,6 +303,15 @@ pub fn write_system_config(config: &SystemConfig) -> String {
         RowPolicy::Closed => "CLOSED",
     };
     let _ = writeln!(out, "RowPolicy {policy}");
+    let r = &config.reliability;
+    let _ = writeln!(out, "Reliability {}", u8::from(r.enabled));
+    let _ = writeln!(out, "FaultSeed {}", r.fault_seed);
+    let _ = writeln!(out, "RBER {}", r.rber);
+    let _ = writeln!(out, "WriteFailProb {}", r.write_fail_prob);
+    let _ = writeln!(out, "MaxWriteRetries {}", r.max_write_retries);
+    let _ = writeln!(out, "EccCorrectableBits {}", r.ecc_correctable_bits);
+    let _ = writeln!(out, "EccDecodePenalty {}", r.ecc_decode_penalty_cycles);
+    let _ = writeln!(out, "WearStuckThreshold {}", r.wear_stuck_threshold);
     out
 }
 
@@ -425,6 +442,38 @@ Scheduler FRFCFS_TLP
             let parsed = parse_system_config(&text)
                 .unwrap_or_else(|e| panic!("round trip failed for {config:?}: {e}"));
             assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn reliability_keys_parse_and_round_trip() {
+        let text = "BankModel FGNVM\nSAGs 8\nCDs 2\nScheduler FRFCFS_TLP\n\
+                    Reliability on\nFaultSeed 99\nRBER 1e-3\nWriteFailProb 0.25\n\
+                    MaxWriteRetries 4\nEccCorrectableBits 2\nEccDecodePenalty 10\n\
+                    WearStuckThreshold 100000\n";
+        let config = parse_system_config(text).unwrap();
+        let r = config.reliability;
+        assert!(r.enabled);
+        assert_eq!(r.fault_seed, 99);
+        assert!((r.rber - 1e-3).abs() < 1e-15);
+        assert!((r.write_fail_prob - 0.25).abs() < 1e-15);
+        assert_eq!(r.max_write_retries, 4);
+        assert_eq!(r.ecc_correctable_bits, 2);
+        assert_eq!(r.ecc_decode_penalty_cycles, 10);
+        assert_eq!(r.wear_stuck_threshold, 100_000);
+        let reparsed = parse_system_config(&write_system_config(&config)).unwrap();
+        assert_eq!(reparsed, config);
+    }
+
+    #[test]
+    fn out_of_range_fault_rates_are_rejected() {
+        // The parser validates before returning, so hostile rates never
+        // reach a simulation.
+        for line in ["RBER 1.5", "RBER -0.1", "WriteFailProb 2", "RBER NaN"] {
+            assert!(
+                parse_system_config(line).is_err(),
+                "`{line}` should be rejected"
+            );
         }
     }
 

@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cd_count: 1,
         },
         data_start: Cycle::new(data),
+        retries: 0,
     };
     let mut corrupt = CommandLog::new();
     corrupt.enable(16);

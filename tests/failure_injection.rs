@@ -7,10 +7,10 @@ use proptest::prelude::*;
 use fgnvm_cpu::Trace;
 use fgnvm_mem::MemorySystem;
 use fgnvm_sim::Simulation;
-use fgnvm_types::config::SystemConfig;
+use fgnvm_types::config::{ReliabilityConfig, SystemConfig};
 use fgnvm_types::parse_system_config;
 use fgnvm_types::request::Op;
-use fgnvm_types::{Geometry, PhysAddr};
+use fgnvm_types::{Geometry, PhysAddr, SimError};
 
 #[test]
 fn zero_queues_are_rejected_at_construction() {
@@ -64,6 +64,46 @@ fn run_until_idle_detects_unreached_deadline() {
         mem.run_until_idle(10);
     }));
     assert!(result.is_err(), "deadline miss should panic");
+}
+
+#[test]
+fn wedged_reliability_config_terminates_via_watchdog() {
+    // A write that always fails verification with a zero on-die retry
+    // budget bounces between the controller and the bank forever. The
+    // deliberately wedged configuration must terminate with a structured
+    // watchdog error carrying a state dump — never hang and never panic.
+    let cfg = SystemConfig::baseline().with_reliability(ReliabilityConfig {
+        enabled: true,
+        fault_seed: 3,
+        rber: 0.0,
+        write_fail_prob: 1.0,
+        max_write_retries: 0,
+        ecc_correctable_bits: 0,
+        ecc_decode_penalty_cycles: 0,
+        wear_stuck_threshold: 0,
+    });
+    let mut mem = MemorySystem::new(cfg).unwrap();
+    mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+    let err = mem.try_run_until_idle(5_000).unwrap_err();
+    match err {
+        SimError::Watchdog {
+            stall_cycles,
+            now,
+            write_queue,
+            ref state,
+            ..
+        } => {
+            assert_eq!(stall_cycles, 5_000);
+            assert!(now >= 5_000);
+            assert!(write_queue >= 1, "the stuck write is still queued");
+            assert!(state.contains("channel 0"), "dump names the channel");
+        }
+        other => panic!("expected a watchdog error, got {other:?}"),
+    }
+    // The error itself renders without panicking and names the stall.
+    let rendered = err.to_string();
+    assert!(rendered.contains("watchdog"), "{rendered}");
+    assert!(rendered.contains("5000"), "{rendered}");
 }
 
 #[test]
@@ -122,5 +162,52 @@ proptest! {
     #[test]
     fn trace_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
         let _ = Trace::from_bytes(bytes::Bytes::from(bytes));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zero-cost invariant: the fault layer enabled with every rate at
+    /// zero (and retries therefore never drawn) must be bit-identical to
+    /// a run without the reliability layer — same final cycle, same bank
+    /// counters, same latency histogram — for any request mix and seed.
+    #[test]
+    fn zero_rate_fault_layer_is_free(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((any::<bool>(), 0u64..(1u64 << 24)), 1..200),
+    ) {
+        let clean = SystemConfig::fgnvm(8, 2).unwrap();
+        let armed = clean.with_reliability(ReliabilityConfig {
+            enabled: true,
+            fault_seed: seed,
+            rber: 0.0,
+            write_fail_prob: 0.0,
+            max_write_retries: 7,
+            ecc_correctable_bits: 3,
+            ecc_decode_penalty_cycles: 25,
+            wear_stuck_threshold: 0,
+        });
+        let mut plain = MemorySystem::new(clean).unwrap();
+        let mut faulty = MemorySystem::new(armed).unwrap();
+        for mem in [&mut plain, &mut faulty] {
+            for &(is_write, addr) in &ops {
+                let op = if is_write { Op::Write } else { Op::Read };
+                if mem.enqueue(op, PhysAddr::new(addr)).is_none() {
+                    mem.run_until_idle(1_000_000);
+                    mem.enqueue(op, PhysAddr::new(addr)).expect("queue drained");
+                }
+            }
+            mem.run_until_idle(1_000_000);
+        }
+        prop_assert_eq!(plain.now(), faulty.now());
+        prop_assert_eq!(plain.bank_stats(), faulty.bank_stats());
+        prop_assert_eq!(plain.stats().completed_reads, faulty.stats().completed_reads);
+        prop_assert_eq!(plain.stats().read_latency_total, faulty.stats().read_latency_total);
+        prop_assert_eq!(plain.stats().read_latency_hist, faulty.stats().read_latency_hist);
+        prop_assert_eq!(faulty.stats().corrected_errors, 0);
+        prop_assert_eq!(faulty.stats().uncorrectable_errors, 0);
+        prop_assert_eq!(faulty.stats().reissued_writes, 0);
+        prop_assert_eq!(faulty.bank_stats().write_retries, 0);
     }
 }

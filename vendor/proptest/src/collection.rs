@@ -1,0 +1,28 @@
+//! `prop::collection` subset: the `vec` strategy.
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing vectors of `element` samples with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec()`](crate::collection::vec).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let len = rng.range_u64(self.size.start as u64, self.size.end as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

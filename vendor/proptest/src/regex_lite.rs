@@ -1,0 +1,159 @@
+//! String sampling from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This stub
+//! supports the pattern shapes used in the workspace's property tests:
+//! a sequence of atoms, each optionally followed by `{min,max}`, where an
+//! atom is `\PC` (any printable character), a `[...]` character class
+//! (literal characters and `a-z` ranges), or a literal character.
+
+use crate::TestRng;
+
+enum Atom {
+    /// `\PC`: printable characters (sampled from printable ASCII).
+    Printable,
+    /// `[...]`: explicit characters.
+    Class(Vec<char>),
+    /// A single literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Samples a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on pattern constructs outside the supported subset.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.range_u64(piece.min as u64, piece.max as u64 + 1) as usize
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        // Printable ASCII (space through tilde) is a sufficient sample of
+        // `\PC` for exercising a parser.
+        Atom::Printable => char::from(rng.range_u64(0x20, 0x7F) as u8),
+        Atom::Class(chars) => chars[rng.range_u64(0, chars.len() as u64) as usize],
+        Atom::Literal(c) => *c,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    assert_eq!(chars.next(), Some('C'), "unsupported escape class");
+                    Atom::Printable
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => panic!("dangling backslash in pattern {pattern:?}"),
+            },
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') => {
+                            // `-` is literal at the start or before `]`;
+                            // otherwise it denotes a range.
+                            match (prev, chars.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    assert!(lo <= hi, "inverted class range");
+                                    for ch in (lo as u32 + 1)..=(hi as u32) {
+                                        class.push(char::from_u32(ch).expect("valid range char"));
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    class.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        Some(member) => {
+                            class.push(member);
+                            prev = Some(member);
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(class)
+            }
+            literal => Atom::Literal(literal),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported repetition {{{spec}}}"));
+            (
+                lo.trim().parse().expect("repetition lower bound"),
+                hi.trim().parse().expect("repetition upper bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let s = sample("[-A-Za-z0-9.]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c == '-' || c == '.' || c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut rng = TestRng::for_case("pc", 0);
+        let s = sample("\\PC{0,400}", &mut rng);
+        assert!(s.chars().count() <= 400);
+        assert!(s.chars().all(|c| !c.is_control()));
+    }
+
+    #[test]
+    fn fixed_literals() {
+        let mut rng = TestRng::for_case("lit", 0);
+        assert_eq!(sample("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,28 @@
+//! `prop::sample` subset: the `select` strategy.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy drawing uniformly from `choices`.
+///
+/// # Panics
+///
+/// Sampling panics if `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    Select { choices }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.choices.is_empty(), "select from empty set");
+        let idx = rng.range_u64(0, self.choices.len() as u64) as usize;
+        self.choices[idx].clone()
+    }
+}

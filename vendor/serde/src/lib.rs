@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace imports `serde::{Deserialize, Serialize}` purely so that
+//! `#[derive(Serialize, Deserialize)]` resolves; no code serializes
+//! anything (there is no serde_json and no `T: Serialize` bound anywhere).
+//! The trait names exist so the `use` statements compile, and the derive
+//! macros are re-exported from the no-op [`serde_derive`] stand-in.
+
+/// Marker trait mirroring serde's `Serialize`; never used as a bound here.
+pub trait Serialize {}
+
+/// Marker trait mirroring serde's `Deserialize`; never used as a bound here.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
