@@ -17,7 +17,73 @@ use fgnvm_types::request::Op;
 use fgnvm_types::PhysAddr;
 use fgnvm_workloads::profile;
 
+/// Drains a write-heavy burst (the workload where event-driven
+/// fast-forwarding pays most: long programming windows with nothing
+/// issuable) and returns the simulated cycle count.
+fn write_drain(fast_forward: bool) -> u64 {
+    let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+    mem.set_fast_forward(fast_forward);
+    let mut id = 0u64;
+    for _wave in 0..12 {
+        for _ in 0..32 {
+            // Distinct lines of a few rows in one bank: writes serialize on
+            // the long program pulse, so each drain is mostly dead cycles.
+            let addr = PhysAddr::new(((id % 8) << 13) | (((id / 8) % 16) << 6));
+            id += 1;
+            while mem.enqueue(Op::Write, addr).is_none() {
+                mem.tick();
+            }
+        }
+        mem.run_until_idle(10_000_000);
+    }
+    mem.now().raw()
+}
+
+/// Measures simulated cycles per wall-clock second for one mode
+/// (best of `reps` to shed scheduler noise).
+fn cycles_per_sec(fast_forward: bool, reps: u32) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        cycles = black_box(write_drain(fast_forward));
+        let rate = cycles as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    (cycles, best)
+}
+
+/// Measures the stepped-vs-fast-forward throughput ratio and records it in
+/// `BENCH_sim.json` at the workspace root. The two runs must simulate the
+/// *same* number of cycles (they are bit-identical by construction), and
+/// the skip machinery has to buy at least the 5x the design is sized for.
+fn emit_bench_sim_json() {
+    let (stepped_cycles, stepped_rate) = cycles_per_sec(false, 3);
+    let (ff_cycles, ff_rate) = cycles_per_sec(true, 3);
+    assert_eq!(
+        stepped_cycles, ff_cycles,
+        "fast-forward diverged from stepping on the benchmark workload"
+    );
+    let speedup = ff_rate / stepped_rate;
+    let json = format!(
+        "{{\n  \"benchmark\": \"sim_micro.write_drain\",\n  \
+         \"workload\": \"write-heavy burst, fgnvm 8x2, 12 waves x 32 writes\",\n  \
+         \"simulated_cycles\": {stepped_cycles},\n  \
+         \"stepped_cycles_per_sec\": {stepped_rate:.0},\n  \
+         \"fast_forward_cycles_per_sec\": {ff_rate:.0},\n  \
+         \"speedup\": {speedup:.1}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("BENCH_sim.json: {json}");
+    assert!(
+        speedup >= 5.0,
+        "fast-forward speedup {speedup:.1}x fell below the 5x floor"
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    emit_bench_sim_json();
     let geom = Geometry::default();
     let mapper = AddressMapper::new(geom, MappingScheme::default());
 
@@ -58,6 +124,10 @@ fn bench(c: &mut Criterion) {
             black_box(mem.run_until_idle(10_000_000).len())
         })
     });
+
+    group.throughput(Throughput::Elements(400));
+    group.bench_function("write_drain_stepped", |b| b.iter(|| write_drain(false)));
+    group.bench_function("write_drain_fast_forward", |b| b.iter(|| write_drain(true)));
 
     group.throughput(Throughput::Elements(1000));
     group.bench_function("trace_generation_1k", |b| {

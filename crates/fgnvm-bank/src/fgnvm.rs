@@ -743,11 +743,32 @@ impl Bank for FgnvmBank {
     }
 
     fn next_ready_hint(&self, now: Cycle) -> Cycle {
-        let mut earliest = Cycle::MAX;
-        for io in &self.cd_io_free {
-            earliest = earliest.min(*io);
+        // A lower bound on the earliest instant at which *any* access could
+        // issue, built from the gates `plan` applies to every access:
+        // `serial_until`, `write_block_until`, and (when the column path is
+        // shared) `next_col` gate unconditionally, so the hint may sit at
+        // their max. Per-resource gates differ per access, so only the min
+        // across a resource class may be added.
+        let mut hint = self.serial_until.max(self.write_block_until);
+        if self.shared_column_path {
+            hint = hint.max(self.next_col);
         }
-        earliest.max(self.next_col).max(now)
+        if !self.write_pausing {
+            // Without write pausing every access also waits on its SAG's
+            // write lock and its CDs' I/O; the min over each class bounds
+            // every concrete access from below. With pausing enabled a read
+            // may bypass both (that is the point of the pause), so neither
+            // may raise the hint.
+            let min_lock = self
+                .sags
+                .iter()
+                .map(|s| s.lock)
+                .min()
+                .unwrap_or(Cycle::ZERO);
+            let min_io = self.cd_io_free.iter().copied().min().unwrap_or(Cycle::ZERO);
+            hint = hint.max(min_lock).max(min_io);
+        }
+        hint.max(now)
     }
 
     fn write_in_progress(&self, now: Cycle) -> bool {

@@ -89,9 +89,16 @@ pub trait Bank: std::fmt::Debug + Send {
     /// Event counters accumulated so far.
     fn stats(&self) -> &BankStats;
 
-    /// A heuristic earliest instant at which *some* access might become
-    /// issuable; schedulers may use it to skip idle polling. Purely an
-    /// optimization hint — correctness never depends on it.
+    /// A lower bound on the earliest instant at which *some* access could
+    /// become issuable.
+    ///
+    /// Contract (the fast-forward core and the schedulers rely on it): for
+    /// every access `a` and instant `t ≥ now`, if `plan(a, t)` succeeds then
+    /// `next_ready_hint(now) ≤ t`. Equivalently the hint never points past
+    /// a cycle at which work could issue — in particular, if anything is
+    /// issuable at `now` the hint is exactly `now`. A hint *earlier* than
+    /// the true next issuable cycle is merely less efficient (the caller
+    /// re-polls); a hint later than it would skip real work and is a bug.
     fn next_ready_hint(&self, now: Cycle) -> Cycle;
 
     /// True while a write is still programming cells anywhere in the bank.

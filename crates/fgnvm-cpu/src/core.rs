@@ -174,17 +174,43 @@ impl Core {
         // Safety bound: a trace instruction should never take more than
         // ~10^5 CPU cycles even under pathological conflicts.
         let cycle_limit = 200_000 + trace.instruction_count() * 100_000;
+        let ratio = u64::from(self.config.cpu_mem_ratio);
         while !engine.is_done() {
             assert!(cpu_cycle < cycle_limit, "core deadlocked against memory");
             // Memory ticks once per `cpu_mem_ratio` CPU cycles.
-            if cpu_cycle.is_multiple_of(u64::from(self.config.cpu_mem_ratio)) {
+            if cpu_cycle.is_multiple_of(ratio) {
                 completions.clear();
                 memory.tick_into(&mut completions);
                 engine.absorb_completions(&completions);
                 engine.issue_prefetches(memory);
             }
-            engine.step(memory);
+            let outcome = engine.step(memory);
             cpu_cycle += 1;
+            // Event-driven leap: a pure stall repeats verbatim (memory is
+            // only ticked at boundaries, and a no-progress step leaves the
+            // engine untouched), so both clocks can jump to the boundary
+            // that pre-dates the memory's next event. `prefetch_idle`
+            // guarantees the skipped boundaries' prefetch pass was a no-op.
+            if outcome.pure_stall() && !engine.is_done() && engine.prefetch_idle() {
+                if let Some(event) = memory.next_event_at() {
+                    let event_boundary = (event - start_mem_cycle).raw().saturating_mul(ratio);
+                    // Never leap past the deadlock bound: a stepped run
+                    // would panic there, and so must we.
+                    let target = event_boundary.min(cycle_limit);
+                    if target > cpu_cycle {
+                        engine.note_stalled(target - cpu_cycle);
+                        cpu_cycle = target;
+                        if target == event_boundary {
+                            completions.clear();
+                            memory.tick_to(event, &mut completions);
+                            debug_assert!(
+                                completions.is_empty(),
+                                "fast-forward leap skipped a completion"
+                            );
+                        }
+                    }
+                }
+            }
         }
         // Drain remaining write traffic so energy covers the whole run.
         memory.run_until_idle(10_000_000);
@@ -196,6 +222,25 @@ impl Core {
 const PREFETCH_INFLIGHT_MAX: usize = 32;
 const PREFETCH_BUFFER_LINES: usize = 128;
 const STREAM_TABLE: usize = 16;
+
+/// What one [`CoreEngine::step`] call did, used by the drivers to decide
+/// whether the machine is provably frozen until the memory's next event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StepOutcome {
+    /// At least one instruction was issued (any state advanced).
+    pub issued_any: bool,
+    /// The step called into the memory backend (even a rejected enqueue
+    /// mutates backend statistics, so such a stall cannot be skipped).
+    pub touched_memory: bool,
+}
+
+impl StepOutcome {
+    /// True when the step changed nothing but the stall counter: the same
+    /// step will repeat verbatim until the memory system's state moves.
+    pub fn pure_stall(self) -> bool {
+        !self.issued_any && !self.touched_memory
+    }
+}
 
 /// The per-cycle state machine of one windowed core: dispatch/issue
 /// bookkeeping, MSHR merging, dependence stalls, and the stream
@@ -292,9 +337,26 @@ impl<'t> CoreEngine<'t> {
         }
     }
 
+    /// True when the prefetcher cannot interact with memory right now
+    /// (nothing queued, or the in-flight window is full): calling
+    /// [`issue_prefetches`](Self::issue_prefetches) would be a no-op.
+    pub(crate) fn prefetch_idle(&self) -> bool {
+        self.prefetch_queue.is_empty() || self.prefetch_inflight.len() >= PREFETCH_INFLIGHT_MAX
+    }
+
+    /// Accounts `n` skipped pure-stall cycles exactly as `n` individual
+    /// [`step`](Self::step) calls would have.
+    pub(crate) fn note_stalled(&mut self, n: u64) {
+        if self.record_index < self.records.len() {
+            self.stall_cycles += n;
+        }
+    }
+
     /// Executes one CPU cycle: dispatches up to `width` instructions.
-    pub(crate) fn step<M: MemoryBackend>(&mut self, memory: &mut M) {
+    pub(crate) fn step<M: MemoryBackend>(&mut self, memory: &mut M) -> StepOutcome {
         let cfg = self.cfg;
+        let issued_before = self.issued_instructions;
+        let mut touched_memory = false;
         let mut slots = cfg.width;
         while slots > 0 && self.record_index < self.records.len() {
             // ROB window check against the oldest outstanding load.
@@ -328,6 +390,7 @@ impl<'t> CoreEngine<'t> {
                         if self.load_positions.len() >= cfg.mshrs as usize {
                             break; // no MSHR: stall
                         }
+                        touched_memory = true;
                         match memory.enqueue(Op::Read, record.addr) {
                             Some(id) => {
                                 self.load_positions.insert(id, self.issued_instructions);
@@ -377,19 +440,26 @@ impl<'t> CoreEngine<'t> {
                         slots -= 1;
                     }
                 }
-                Op::Write => match memory.enqueue(Op::Write, record.addr) {
-                    Some(_) => {
-                        self.issued_instructions += 1;
-                        slots -= 1;
+                Op::Write => {
+                    touched_memory = true;
+                    match memory.enqueue(Op::Write, record.addr) {
+                        Some(_) => {
+                            self.issued_instructions += 1;
+                            slots -= 1;
+                        }
+                        None => break, // write queue full: stall
                     }
-                    None => break, // write queue full: stall
-                },
+                }
             }
             self.record_index += 1;
             self.gap_left = self.records.get(self.record_index).map_or(0, |r| r.gap);
         }
         if slots == cfg.width && self.record_index < self.records.len() {
             self.stall_cycles += 1;
+        }
+        StepOutcome {
+            issued_any: self.issued_instructions > issued_before,
+            touched_memory,
         }
     }
 

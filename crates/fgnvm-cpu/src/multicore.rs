@@ -144,12 +144,13 @@ impl MultiCore {
         let total_instructions: u64 = traces[..active].iter().map(Trace::instruction_count).sum();
         let cycle_limit = 400_000 + total_instructions * 100_000;
 
+        let ratio = u64::from(self.config.cpu_mem_ratio);
         while engines.iter().any(|e| !e.is_done()) {
             assert!(
                 cpu_cycle < cycle_limit,
                 "multi-core deadlocked against memory"
             );
-            if cpu_cycle.is_multiple_of(u64::from(self.config.cpu_mem_ratio)) {
+            if cpu_cycle.is_multiple_of(ratio) {
                 completions.clear();
                 memory.tick_into(&mut completions);
                 // Ids are globally unique, so every engine can safely scan
@@ -160,20 +161,51 @@ impl MultiCore {
                 // Rotate prefetch priority so core 0 doesn't monopolize the
                 // queue headroom.
                 let n = engines.len();
-                let first = (cpu_cycle / u64::from(self.config.cpu_mem_ratio)) as usize % n;
+                let first = (cpu_cycle / ratio) as usize % n;
                 for k in 0..n {
                     engines[(first + k) % n].issue_prefetches(memory);
                 }
             }
+            let mut pure_stall = true;
             for (i, engine) in engines.iter_mut().enumerate() {
                 if !engine.is_done() {
-                    engine.step(memory);
+                    pure_stall &= engine.step(memory).pure_stall();
                     if engine.is_done() && finish_cycle[i].is_none() {
                         finish_cycle[i] = Some(cpu_cycle + 1);
                     }
                 }
             }
             cpu_cycle += 1;
+            // Event-driven leap (see `Core::run`): when every live engine
+            // pure-stalled and no engine's prefetcher can touch memory
+            // (done engines still get a prefetch pass each boundary, so
+            // they are included), nothing changes until the memory's next
+            // event — jump both clocks to the boundary before it.
+            if pure_stall
+                && engines.iter().any(|e| !e.is_done())
+                && engines.iter().all(CoreEngine::prefetch_idle)
+            {
+                if let Some(event) = memory.next_event_at() {
+                    let event_boundary = (event - start_mem_cycle).raw().saturating_mul(ratio);
+                    let target = event_boundary.min(cycle_limit);
+                    if target > cpu_cycle {
+                        for engine in &mut engines {
+                            if !engine.is_done() {
+                                engine.note_stalled(target - cpu_cycle);
+                            }
+                        }
+                        cpu_cycle = target;
+                        if target == event_boundary {
+                            completions.clear();
+                            memory.tick_to(event, &mut completions);
+                            debug_assert!(
+                                completions.is_empty(),
+                                "fast-forward leap skipped a completion"
+                            );
+                        }
+                    }
+                }
+            }
         }
 
         memory.run_until_idle(10_000_000);

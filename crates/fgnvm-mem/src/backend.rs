@@ -20,6 +20,26 @@ pub trait MemoryBackend {
     /// Advances one memory cycle, appending completions to `out`.
     fn tick_into(&mut self, out: &mut Vec<Completion>);
 
+    /// The earliest instant at which a tick could change state (retire a
+    /// completion or issue a command), or `None` when the backend is idle
+    /// or cannot tell. A `Some` answer is a *lower bound*: CPU models may
+    /// leap both clocks over the dead stretch, knowing the skipped memory
+    /// ticks would have done nothing. The default `None` simply disables
+    /// that optimization.
+    fn next_event_at(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// Advances the clock to exactly `target`, appending completions —
+    /// equivalent to calling [`tick_into`](Self::tick_into) until
+    /// [`now`](Self::now) reaches `target`. Backends with an event-driven
+    /// core override this to jump dead stretches.
+    fn tick_to(&mut self, target: Cycle, out: &mut Vec<Completion>) {
+        while self.now() < target {
+            self.tick_into(out);
+        }
+    }
+
     /// The current memory cycle.
     fn now(&self) -> Cycle;
 
@@ -42,6 +62,21 @@ impl MemoryBackend for crate::MemorySystem {
 
     fn tick_into(&mut self, out: &mut Vec<Completion>) {
         crate::MemorySystem::tick_into(self, out);
+    }
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        // Reported only while fast-forward is on, so CPU models driven by a
+        // cycle-stepped (reference) system degrade to pure stepping too —
+        // one switch controls the whole stack in differential tests.
+        if self.fast_forward_enabled() {
+            crate::MemorySystem::next_event_at(self)
+        } else {
+            None
+        }
+    }
+
+    fn tick_to(&mut self, target: Cycle, out: &mut Vec<Completion>) {
+        crate::MemorySystem::tick_to(self, target, out);
     }
 
     fn now(&self) -> Cycle {

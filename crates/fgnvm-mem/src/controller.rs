@@ -275,8 +275,9 @@ impl Controller {
     }
 
     /// Advances one controller cycle: retires due completions into `out` and
-    /// issues up to `commands_per_cycle` new commands.
-    pub fn tick(&mut self, now: Cycle, stats: &mut SystemStats, out: &mut Vec<Completion>) {
+    /// issues up to `commands_per_cycle` new commands. Returns whether any
+    /// command issued (used by fast-forward to detect dead cycles).
+    pub fn tick(&mut self, now: Cycle, stats: &mut SystemStats, out: &mut Vec<Completion>) -> bool {
         // Retire completions whose data has arrived.
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.at > now {
@@ -298,11 +299,14 @@ impl Controller {
         stats.read_queue_depth_sum += self.reads.len() as u64;
         stats.queue_depth_samples += 1;
 
+        let mut issued_any = false;
         for _ in 0..self.commands_per_cycle {
             if !self.issue_one(now, stats) {
                 break;
             }
+            issued_any = true;
         }
+        issued_any
     }
 
     /// Tries to issue one command; returns whether anything issued.
@@ -446,6 +450,82 @@ impl Controller {
     /// True when no requests are queued and no completions are pending.
     pub fn is_idle(&self) -> bool {
         self.reads.is_empty() && self.writes.is_empty() && self.events.is_empty()
+    }
+
+    /// True while at least one completion event is scheduled. A pending
+    /// event is proof the channel is making forward progress (its retirement
+    /// is a finite time away), which is what the watchdog distinguishes from
+    /// a genuine livelock: a verify-failed write re-enters the queue
+    /// *without* scheduling an event.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The earliest instant at or after `now` at which a tick could change
+    /// state: retire a completion or issue a command. `None` when the
+    /// channel is idle (no instant ever will).
+    ///
+    /// This mirrors `tick`'s issue policy exactly — the queues a tick at
+    /// that instant would consult, per-entry bank gates via
+    /// [`Bank::next_ready_hint`] and, where the hint is inconclusive,
+    /// `plan` itself. The result is a *lower bound*: ticking at it may
+    /// still issue nothing (e.g. a tFAW-gated pick), in which case the
+    /// caller simply single-steps; it never lies *late*, so skipping to it
+    /// can never jump over real work.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            return None;
+        }
+        let mut earliest = Cycle::MAX;
+        if let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at <= now {
+                return Some(now);
+            }
+            earliest = ev.at;
+        }
+        // Which queues would the next tick consider? `draining` is updated
+        // at tick start from queue occupancy, which cannot change between
+        // ticks, so recompute the value the next tick will see.
+        let drain_next = self.drain.update(self.draining, self.writes.len());
+        let consider_reads = !drain_next || self.scheduler.reads_during_drain();
+        let consider_writes = drain_next || self.reads.is_empty();
+        let queues = [
+            (consider_reads, &self.reads),
+            (consider_writes, &self.writes),
+        ];
+        for (consider, queue) in queues {
+            if !consider {
+                continue;
+            }
+            for pending in queue.iter() {
+                let bank = &self.banks[pending.bank_index];
+                let hint = bank.next_ready_hint(now);
+                if hint > now {
+                    // The bank cannot accept *any* access before `hint`.
+                    earliest = earliest.min(hint);
+                    continue;
+                }
+                match bank.plan(&pending.access, now) {
+                    Ok(_) => return Some(now),
+                    Err(blocked) => {
+                        debug_assert!(
+                            blocked.retry_at > now,
+                            "blocked plan must name a strictly future retry"
+                        );
+                        earliest = earliest.min(blocked.retry_at);
+                    }
+                }
+            }
+        }
+        Some(earliest)
+    }
+
+    /// Accounts the per-tick queue-depth statistics for `skipped` cycles
+    /// that fast-forward elided. Queue contents are provably unchanged
+    /// across a skip, so the bulk update is bit-identical to having ticked.
+    pub fn account_skipped_cycles(&self, skipped: u64, stats: &mut SystemStats) {
+        stats.read_queue_depth_sum += self.reads.len() as u64 * skipped;
+        stats.queue_depth_samples += skipped;
     }
 
     /// Occupancy of the read queue.

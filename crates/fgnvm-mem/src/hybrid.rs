@@ -274,6 +274,43 @@ impl MemoryBackend for HybridMemory {
         self.pcm.tick_into(out);
     }
 
+    fn next_event_at(&self) -> Option<Cycle> {
+        // The buffer's own events are the scheduled hit completions; the
+        // PCM behind it reports its event-driven bound (None while its
+        // fast-forward is disabled, which disables the hybrid's too).
+        let pcm_next = MemoryBackend::next_event_at(&self.pcm);
+        if !self.pcm.fast_forward_enabled() {
+            return None;
+        }
+        let hit_next = self
+            .hit_events
+            .peek()
+            .map(|Reverse((at, _))| (*at).max(self.pcm.now()));
+        match (pcm_next, hit_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn tick_to(&mut self, target: Cycle, out: &mut Vec<Completion>) {
+        while self.pcm.now() < target {
+            let hop = match MemoryBackend::next_event_at(self) {
+                None if self.pcm.fast_forward_enabled() => target,
+                None => self.pcm.now(), // stepped mode: no jumping
+                Some(at) => at.min(target),
+            };
+            if hop > self.pcm.now() {
+                // Nothing — no due hit completion, no PCM event — can
+                // happen before `hop`, so the per-tick hit drain is a
+                // provable no-op across the jump and only the PCM's clock
+                // needs to move.
+                self.pcm.tick_to(hop, out);
+            } else {
+                self.tick_into(out);
+            }
+        }
+    }
+
     fn now(&self) -> Cycle {
         self.pcm.now()
     }
@@ -283,6 +320,13 @@ impl MemoryBackend for HybridMemory {
         let deadline = self.pcm.now() + CycleCount::new(max_cycles);
         while !self.hit_events.is_empty() || !self.pcm.is_idle() {
             assert!(self.pcm.now() < deadline, "hybrid memory failed to drain");
+            if let Some(at) = MemoryBackend::next_event_at(self) {
+                let hop = at.min(deadline);
+                if hop > self.pcm.now() {
+                    self.pcm.tick_to(hop, &mut out);
+                    continue;
+                }
+            }
             self.tick_into(&mut out);
         }
         out

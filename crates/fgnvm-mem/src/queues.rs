@@ -119,6 +119,13 @@ impl DrainPolicy {
     }
 
     /// Updates `draining` given current queue occupancy.
+    ///
+    /// This is a pure function, and it is a *fixpoint* under constant
+    /// occupancy: `update(update(d, n), n) == update(d, n)`. The
+    /// event-driven fast-forward path depends on that — while nothing
+    /// issues or retires, queue occupancy is frozen, so the drain flag
+    /// settles after one update and every skipped controller tick would
+    /// have recomputed the same value.
     pub fn update(&self, draining: bool, occupancy: usize) -> bool {
         if draining {
             occupancy > self.low
@@ -197,6 +204,25 @@ mod tests {
         assert!(p.update(false, 48));
         assert!(p.update(true, 17));
         assert!(!p.update(true, 16));
+    }
+
+    #[test]
+    fn drain_update_is_a_fixpoint_under_constant_occupancy() {
+        // Fast-forward soundness: skipped ticks recompute the drain flag
+        // from unchanged occupancy, so one update must settle it.
+        for capacity in [1usize, 2, 8, 64] {
+            let p = DrainPolicy::for_capacity(capacity);
+            for occupancy in 0..=capacity {
+                for start in [false, true] {
+                    let once = p.update(start, occupancy);
+                    assert_eq!(
+                        p.update(once, occupancy),
+                        once,
+                        "capacity {capacity}, occupancy {occupancy}, start {start}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub fn make_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
     }
 }
 
+/// True when `bank` cannot accept *any* access at `now`, per the
+/// [`Bank::next_ready_hint`] contract. Scans use it to skip the (costlier)
+/// `plan` call for banks that are wholesale busy; a hint violating its
+/// contract would change scheduling decisions, which is exactly what the
+/// hint-tightness and differential tests pin down.
+fn bank_not_ready(bank: &dyn Bank, now: Cycle) -> bool {
+    bank.next_ready_hint(now) > now
+}
+
 /// Scans the queue in arrival order: returns the first issuable row hit,
 /// else the oldest issuable *demand* request, else the oldest issuable
 /// prefetch (demand misses outrank speculative traffic).
@@ -69,6 +78,9 @@ fn first_ready(queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Opt
     let mut oldest_demand: Option<Pick> = None;
     let mut oldest_prefetch: Option<Pick> = None;
     for (index, pending) in queue.iter().enumerate() {
+        if bank_not_ready(banks[pending.bank_index].as_ref(), now) {
+            continue;
+        }
         if let Ok(plan) = banks[pending.bank_index].plan(&pending.access, now) {
             if plan.kind == PlanKind::RowHit {
                 return Some((index, plan));
@@ -88,6 +100,9 @@ fn first_ready(queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Opt
 /// Oldest issuable request, ignoring row-hit preference.
 fn oldest_ready(queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Option<Pick> {
     for (index, pending) in queue.iter().enumerate() {
+        if bank_not_ready(banks[pending.bank_index].as_ref(), now) {
+            continue;
+        }
         if let Ok(plan) = banks[pending.bank_index].plan(&pending.access, now) {
             return Some((index, plan));
         }
@@ -102,10 +117,11 @@ pub struct Fcfs;
 impl Scheduler for Fcfs {
     fn pick_read(&self, queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Option<Pick> {
         let head = queue.iter().next()?;
-        banks[head.bank_index]
-            .plan(&head.access, now)
-            .ok()
-            .map(|plan| (0, plan))
+        let bank = banks[head.bank_index].as_ref();
+        if bank_not_ready(bank, now) {
+            return None;
+        }
+        bank.plan(&head.access, now).ok().map(|plan| (0, plan))
     }
 
     fn pick_write(
@@ -116,10 +132,11 @@ impl Scheduler for Fcfs {
         now: Cycle,
     ) -> Option<Pick> {
         let head = queue.iter().next()?;
-        banks[head.bank_index]
-            .plan(&head.access, now)
-            .ok()
-            .map(|plan| (0, plan))
+        let bank = banks[head.bank_index].as_ref();
+        if bank_not_ready(bank, now) {
+            return None;
+        }
+        bank.plan(&head.access, now).ok().map(|plan| (0, plan))
     }
 
     fn reads_during_drain(&self) -> bool {
@@ -178,6 +195,9 @@ impl Scheduler for FrfcfsTlp {
         let mut fallback: Option<Pick> = None;
         let mut second: Option<Pick> = None;
         for (index, pending) in queue.iter().enumerate() {
+            if bank_not_ready(banks[pending.bank_index].as_ref(), now) {
+                continue;
+            }
             let Ok(plan) = banks[pending.bank_index].plan(&pending.access, now) else {
                 continue;
             };

@@ -7,7 +7,7 @@ use fgnvm_types::time::CycleCount;
 const HIST_BUCKETS: usize = 20;
 
 /// Counters accumulated by a [`MemorySystem`](crate::MemorySystem).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemStats {
     /// Reads accepted into a controller queue.
     pub enqueued_reads: u64,
@@ -39,6 +39,10 @@ pub struct SystemStats {
     pub uncorrectable_errors: u64,
     /// Rows remapped to spares after uncorrectable errors.
     pub remapped_rows: u64,
+    /// Spare candidates rejected during remapping because the spare had
+    /// itself already failed (retired or remapped away); handing one out
+    /// would silently alias two logical rows onto one dead physical row.
+    pub remap_collisions: u64,
     /// Writes re-issued from the controller after the device exhausted its
     /// on-die write-verify retry budget.
     pub reissued_writes: u64,
@@ -62,6 +66,7 @@ impl SystemStats {
             corrected_errors: 0,
             uncorrectable_errors: 0,
             remapped_rows: 0,
+            remap_collisions: 0,
             reissued_writes: 0,
         }
     }

@@ -78,6 +78,10 @@ pub struct MemorySystem {
     /// Spare rows consumed so far per (channel, bank_index); spares are
     /// carved from the top of the bank downward.
     spares_used: HashMap<(u32, usize), u32>,
+    /// Event-driven fast-forward: when enabled, the drain loops jump the
+    /// clock over provably dead stretches instead of single-stepping. The
+    /// two modes are bit-identical in everything observable.
+    fast_forward: bool,
     now: Cycle,
     next_id: u64,
     stats: SystemStats,
@@ -117,6 +121,7 @@ impl MemorySystem {
             samples: Vec::new(),
             bad_rows: HashMap::new(),
             spares_used: HashMap::new(),
+            fast_forward: true,
             now: Cycle::ZERO,
             next_id: 0,
             stats: SystemStats::new(),
@@ -195,12 +200,17 @@ impl MemorySystem {
     }
 
     /// Steers accesses away from rows the ECC layer declared dead. Identity
-    /// for healthy rows; rows in the bad-row table go to their spare.
+    /// for healthy rows; rows in the bad-row table go to their spare,
+    /// following chains: a spare serving as a remap target can itself fail
+    /// later and be remapped onward, and accesses must land on the live end.
+    /// Chains are acyclic — a remap target is never a known-failing row at
+    /// allocation time — so the walk terminates.
     fn remapped_row(&self, channel: u32, bank_index: usize, row: u32) -> u32 {
-        match self.bad_rows.get(&(channel, bank_index, row)) {
-            Some(&spare) => spare,
-            None => row,
+        let mut current = row;
+        while let Some(&spare) = self.bad_rows.get(&(channel, bank_index, current)) {
+            current = spare;
         }
+        current
     }
 
     /// Rows remapped to spares so far (graceful-degradation table size).
@@ -336,12 +346,20 @@ impl MemorySystem {
     /// Advances one memory cycle, appending completions to `out` (avoids
     /// per-cycle allocation in hot loops).
     pub fn tick_into(&mut self, out: &mut Vec<Completion>) {
+        self.tick_into_report(out);
+    }
+
+    /// Like [`tick_into`](Self::tick_into), additionally reporting whether
+    /// any controller issued a command. The fast-forward loops use this to
+    /// detect dead cycles without re-deriving the issue decision.
+    fn tick_into_report(&mut self, out: &mut Vec<Completion>) -> bool {
         /// Spare rows reserved at the top of each bank for remapping;
         /// further uncorrectable rows degrade to best-effort (counted but
         /// not remapped) once the spares run out.
         const SPARE_ROWS_PER_BANK: u32 = 64;
+        let mut issued_any = false;
         for (channel, controller) in self.controllers.iter_mut().enumerate() {
-            controller.tick(self.now, &mut self.stats, out);
+            issued_any |= controller.tick(self.now, &mut self.stats, out);
             for (bank_index, row) in controller.take_bad_rows() {
                 let key = (channel as u32, bank_index, row);
                 if self.bad_rows.contains_key(&key) {
@@ -351,32 +369,156 @@ impl MemorySystem {
                     .spares_used
                     .entry((channel as u32, bank_index))
                     .or_insert(0);
-                if *used >= SPARE_ROWS_PER_BANK {
-                    continue;
+                while *used < SPARE_ROWS_PER_BANK {
+                    let spare = self.config.geometry.rows_per_bank() - 1 - *used;
+                    *used += 1;
+                    if spare == row {
+                        // The failing row is itself in the spare region;
+                        // burn the slot but leave it unmapped.
+                        break;
+                    }
+                    if self
+                        .bad_rows
+                        .contains_key(&(channel as u32, bank_index, spare))
+                    {
+                        // The candidate spare has itself already failed:
+                        // handing it out would alias two logical rows onto
+                        // one dead physical row. Burn it and keep looking.
+                        self.stats.remap_collisions += 1;
+                        continue;
+                    }
+                    self.bad_rows.insert(key, spare);
+                    self.stats.remapped_rows += 1;
+                    break;
                 }
-                let spare = self.config.geometry.rows_per_bank() - 1 - *used;
-                *used += 1;
-                if spare == row {
-                    // The failing row is itself in the spare region; burn
-                    // the slot but leave it unmapped.
-                    continue;
-                }
-                self.bad_rows.insert(key, spare);
-                self.stats.remapped_rows += 1;
             }
         }
-        if self.sample_epoch > 0 && self.now.raw().is_multiple_of(self.sample_epoch) {
-            let banks = self.bank_stats();
-            self.samples.push(Sample {
-                at: self.now,
-                completed_reads: self.stats.completed_reads,
-                sensed_bits: banks.sensed_bits,
-                written_bits: banks.written_bits,
-                read_queue: self.read_queue_len(),
-                write_queue: self.write_queue_len(),
-            });
+        if self.sample_epoch > 0
+            && self.now.raw() > 0
+            && self.now.raw().is_multiple_of(self.sample_epoch)
+        {
+            // Cycle 0 is deliberately not sampled: no work can have
+            // happened yet, and the empty sample would skew epoch diffs.
+            self.record_sample(self.now);
         }
         self.now.advance();
+        issued_any
+    }
+
+    /// Records one time-series sample stamped `at` from the current
+    /// counters (shared by the per-tick sampler and the fast-forward
+    /// backfill, which must produce identical samples).
+    fn record_sample(&mut self, at: Cycle) {
+        let banks = self.bank_stats();
+        self.samples.push(Sample {
+            at,
+            completed_reads: self.stats.completed_reads,
+            sensed_bits: banks.sensed_bits,
+            written_bits: banks.written_bits,
+            read_queue: self.read_queue_len(),
+            write_queue: self.write_queue_len(),
+        });
+    }
+
+    /// The earliest instant at or after [`now`](Self::now) at which a tick
+    /// could change state — retire a completion or issue a command — across
+    /// all channels. `None` when the system is idle (no instant ever will).
+    ///
+    /// The result is a lower bound (see
+    /// [`Bank::next_ready_hint`](fgnvm_bank::Bank::next_ready_hint) for the
+    /// contract): ticking at it may still do nothing, but skipping to it
+    /// can never jump over real work, which is what makes fast-forward
+    /// bit-identical to cycle-stepping.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        let mut earliest: Option<Cycle> = None;
+        for c in &self.controllers {
+            if let Some(at) = c.next_event_at(self.now) {
+                earliest = Some(match earliest {
+                    Some(e) => e.min(at),
+                    None => at,
+                });
+                if at <= self.now {
+                    break; // cannot get any earlier
+                }
+            }
+        }
+        earliest
+    }
+
+    /// True while any channel has a completion event scheduled.
+    fn has_pending_events(&self) -> bool {
+        self.controllers.iter().any(Controller::has_pending_events)
+    }
+
+    /// Jumps the clock to `target`, accounting for everything the skipped
+    /// ticks would have done. Only sound when [`next_event_at`] proved the
+    /// skipped range dead (no retirement or issue possible), which leaves
+    /// queue and bank state frozen: the per-tick queue-depth statistics are
+    /// bulk-added and every crossed sampler epoch is backfilled, so a
+    /// fast-forwarded run stays bit-identical to a cycle-stepped one.
+    ///
+    /// [`next_event_at`]: Self::next_event_at
+    fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(target > self.now, "skip must move the clock forward");
+        let skipped = target.saturating_since(self.now).raw();
+        for c in &self.controllers {
+            c.account_skipped_cycles(skipped, &mut self.stats);
+        }
+        if self.sample_epoch > 0 {
+            // Backfill the sample every skipped tick in [now, target) would
+            // have recorded; counters are frozen across the skip, so the
+            // current values are exactly what those ticks would have seen.
+            let epoch = self.sample_epoch;
+            let mut boundary = self.now.raw().next_multiple_of(epoch);
+            if boundary == 0 {
+                boundary = epoch; // cycle 0 is never sampled
+            }
+            while boundary < target.raw() {
+                self.record_sample(Cycle::new(boundary));
+                boundary += epoch;
+            }
+        }
+        self.now.advance_to(target);
+    }
+
+    /// Advances the clock to exactly `target`, appending completions —
+    /// observably identical to calling [`tick_into`](Self::tick_into) in a
+    /// loop until [`now`](Self::now) reaches `target`, but with dead
+    /// stretches jumped in O(1) when fast-forward is enabled.
+    pub fn tick_to(&mut self, target: Cycle, out: &mut Vec<Completion>) {
+        while self.now < target {
+            if self.fast_forward {
+                match self.next_event_at() {
+                    None => {
+                        self.skip_to(target);
+                        break;
+                    }
+                    Some(at) if at >= target => {
+                        self.skip_to(target);
+                        break;
+                    }
+                    Some(at) if at > self.now => {
+                        self.skip_to(at);
+                    }
+                    Some(_) => {}
+                }
+            }
+            self.tick_into(out);
+        }
+    }
+
+    /// Enables or disables event-driven fast-forward (enabled by default).
+    /// Both modes produce bit-identical completions, statistics, command
+    /// logs, and samples — they differ only in wall-clock speed. The
+    /// differential tests pin that equivalence; disabling is useful mainly
+    /// for those tests and for debugging the fast path itself.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// True while event-driven fast-forward is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
     }
 
     /// Runs until every queue and event list is empty, or `max_cycles`
@@ -394,6 +536,18 @@ impl MemorySystem {
                 self.now < deadline,
                 "memory system failed to drain in {max_cycles} cycles"
             );
+            if self.fast_forward {
+                if let Some(at) = self.next_event_at() {
+                    // Jump the dead stretch; cap at the deadline so a
+                    // wedged system still hits the same panic at the same
+                    // instant as a cycle-stepped run.
+                    let hop = at.min(deadline);
+                    if hop > self.now {
+                        self.skip_to(hop);
+                        continue;
+                    }
+                }
+            }
             self.tick_into(&mut out);
         }
         out
@@ -421,9 +575,36 @@ impl MemorySystem {
             if self.now.saturating_since(last_progress).raw() >= stall_cycles {
                 return Err(self.watchdog_error(stall_cycles));
             }
+            if self.fast_forward {
+                if let Some(at) = self.next_event_at() {
+                    // Cap each hop at the watchdog horizon so a
+                    // fast-forwarded run trips at exactly the same instant,
+                    // with the same diagnostic snapshot, as a stepped one.
+                    let horizon = last_progress + CycleCount::new(stall_cycles);
+                    let hop = at.min(horizon);
+                    if hop > self.now {
+                        self.skip_to(hop);
+                        // Mirror the stepped loop across the skipped
+                        // stretch: events cannot retire during a skip, so
+                        // if one is pending now it was pending at every
+                        // skipped tick, each of which would have refreshed
+                        // `last_progress`.
+                        if self.has_pending_events() {
+                            last_progress = self.now;
+                        }
+                        continue;
+                    }
+                }
+            }
             let before = out.len();
             self.tick_into(&mut out);
-            if out.len() > before {
+            // Progress is a completion — observed, or still in flight: a
+            // pending event retires at a known finite instant, so the long
+            // (1+k)·tWP lock window of a legitimate retried write is not a
+            // stall. A genuinely wedged system has neither: verify-failed
+            // writes bounce back to the queue *without* scheduling an
+            // event, so its event heaps stay empty and the watchdog trips.
+            if out.len() > before || self.has_pending_events() {
                 last_progress = self.now;
             }
         }
@@ -1029,6 +1210,139 @@ mod tests {
             }
             other => panic!("expected watchdog error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_tolerates_legitimate_long_writes() {
+        // On-die verify retries stretch one write's bank occupancy to
+        // data_end + (1+k)·tWP + tWR — far past a tight watchdog window.
+        // The write's completion event is pending the whole time, so this
+        // is progress, not a stall: the old completion-counting watchdog
+        // tripped here, the event-aware one must not.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.0, 0.9, 50, 0));
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        for i in 0..4u64 {
+            mem.enqueue(Op::Write, PhysAddr::new(i * 64)).unwrap();
+        }
+        let done = mem
+            .try_run_until_idle(250)
+            .expect("a long write in flight is progress, not a stall");
+        assert_eq!(done.iter().filter(|c| c.op.is_write()).count(), 4);
+        assert!(
+            mem.bank_stats().write_retries > 0,
+            "scenario must actually exercise retry pulses"
+        );
+        // The same scenario, cycle-stepped, must agree in full.
+        let cfg = SystemConfig::baseline().with_reliability(reliability(0.0, 0.9, 50, 0));
+        let mut stepped = MemorySystem::new(cfg).unwrap();
+        stepped.set_fast_forward(false);
+        for i in 0..4u64 {
+            stepped.enqueue(Op::Write, PhysAddr::new(i * 64)).unwrap();
+        }
+        let stepped_done = stepped.try_run_until_idle(250).unwrap();
+        assert_eq!(done, stepped_done);
+        assert_eq!(mem.now(), stepped.now());
+        assert_eq!(mem.stats(), stepped.stats());
+    }
+
+    #[test]
+    fn watchdog_trip_is_bit_identical_under_fast_forward() {
+        // A genuinely wedged system must trip at the same instant with the
+        // same diagnostic snapshot in both modes.
+        let build = || {
+            let cfg = SystemConfig::baseline().with_reliability(reliability(0.0, 1.0, 0, 0));
+            let mut mem = MemorySystem::new(cfg).unwrap();
+            mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
+            mem
+        };
+        let mut fast = build();
+        let mut stepped = build();
+        stepped.set_fast_forward(false);
+        let fast_err = fast.try_run_until_idle(2_000).unwrap_err();
+        let stepped_err = stepped.try_run_until_idle(2_000).unwrap_err();
+        assert_eq!(format!("{fast_err:?}"), format!("{stepped_err:?}"));
+        assert_eq!(fast.now(), stepped.now());
+    }
+
+    #[test]
+    fn sampler_skips_cycle_zero_and_survives_fast_forward() {
+        // Satellite checks for the epoch sampler: no empty cycle-0 sample,
+        // and skipped epoch boundaries are backfilled so both modes emit
+        // identical series.
+        let build = || {
+            let mut m = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+            m.enable_sampling(64);
+            m
+        };
+        let mut fast = build();
+        let mut stepped = build();
+        stepped.set_fast_forward(false);
+        for mem in [&mut fast, &mut stepped] {
+            for i in 0..12u64 {
+                let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+                mem.enqueue(op, PhysAddr::new(i * 8192 + (i % 2) * 256))
+                    .unwrap();
+            }
+            mem.run_until_idle(1_000_000);
+        }
+        assert!(!fast.samples().is_empty());
+        assert_eq!(
+            fast.samples()[0].at.raw(),
+            64,
+            "cycle 0 must not be sampled"
+        );
+        assert_eq!(fast.samples(), stepped.samples());
+        assert_eq!(fast.now(), stepped.now());
+        assert_eq!(fast.stats(), stepped.stats());
+    }
+
+    #[test]
+    fn remap_collision_burns_dead_spare_and_chains() {
+        // Tiny single-bank geometry so spare-region rows are addressable.
+        let mut cfg = SystemConfig::baseline().with_reliability(reliability(0.05, 0.0, 0, 0));
+        cfg.geometry = fgnvm_types::geometry::Geometry::builder()
+            .channels(1)
+            .ranks_per_channel(1)
+            .banks_per_rank(1)
+            .rows_per_bank(256)
+            .sags(1)
+            .cds(1)
+            .build()
+            .unwrap();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        let addr_of_row = |mem: &MemorySystem, row: u32| -> PhysAddr {
+            let line = u64::from(mem.config().geometry.line_bytes());
+            (0..1u64 << 16)
+                .map(|k| PhysAddr::new(k * line))
+                .find(|&a| mem.mapper.decode(a).row == row)
+                .expect("row is addressable")
+        };
+        // 1. Row 254 (inside the spare region) fails: remapped to 255.
+        let a254 = addr_of_row(&mem, 254);
+        mem.enqueue(Op::Read, a254).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().remapped_rows, 1);
+        // 2. Row 0 fails. The next spare candidate is 254 — itself dead —
+        //    so it is burned (collision) and 253 is handed out instead.
+        mem.enqueue(Op::Read, addr_of_row(&mem, 0)).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(
+            mem.stats().remap_collisions,
+            1,
+            "dead spare must be rejected"
+        );
+        assert_eq!(mem.stats().remapped_rows, 2);
+        // 3. Re-reading row 254 steers to its spare 255, which now fails
+        //    too and remaps onward: the table must be followed as a chain.
+        mem.enqueue(Op::Read, a254).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().remapped_rows, 3);
+        assert_eq!(mem.remapped_row_count(), 3);
+        assert_eq!(
+            mem.remapped_row(0, 0, 254),
+            252,
+            "254 → 255 → 252 must resolve through the chain"
+        );
     }
 
     #[test]

@@ -1203,9 +1203,23 @@ pub fn timeline(params: &ExperimentParams) -> Result<TimelineResult, ConfigError
         core.run(&trace, &mut memory);
         runs.push(memory.samples().to_vec());
     }
-    // Convert consecutive samples into per-epoch rates.
+    // Convert consecutive samples into per-epoch rates. The sampler's
+    // first record lands at the end of the first epoch; the origin
+    // (cycle 0, every cumulative counter zero) is implicit, so prepend
+    // it to anchor the first window.
     let rates = |samples: &[Sample]| -> Vec<(u64, u64, f64)> {
-        samples
+        let origin = Sample {
+            at: fgnvm_types::time::Cycle::ZERO,
+            completed_reads: 0,
+            sensed_bits: 0,
+            written_bits: 0,
+            read_queue: 0,
+            write_queue: 0,
+        };
+        let mut series = Vec::with_capacity(samples.len() + 1);
+        series.push(origin);
+        series.extend_from_slice(samples);
+        series
             .windows(2)
             .map(|w| {
                 let cycles = (w[1].at - w[0].at).raw() as f64;

@@ -15,6 +15,10 @@ pub struct ExperimentParams {
     pub seed: u64,
     /// Core model parameters.
     pub core: CoreConfig,
+    /// Event-driven fast-forwarding in the memory system (on by default;
+    /// bit-identical to cycle stepping — turn it off only to produce the
+    /// reference side of a differential run).
+    pub fast_forward: bool,
 }
 
 impl ExperimentParams {
@@ -24,6 +28,7 @@ impl ExperimentParams {
             ops: 1500,
             seed: 7,
             core: CoreConfig::nehalem_like(),
+            fast_forward: true,
         }
     }
 
@@ -33,6 +38,7 @@ impl ExperimentParams {
             ops: 6000,
             seed: 7,
             core: CoreConfig::nehalem_like(),
+            fast_forward: true,
         }
     }
 }
@@ -44,7 +50,7 @@ impl Default for ExperimentParams {
 }
 
 /// Everything measured from one (trace, configuration) run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {
     /// IPC and cycle counts from the core.
     pub core: CoreResult,
@@ -101,6 +107,7 @@ pub fn run_one_with_warmup(
     let measured = Trace::new(trace.name(), records[warmup_ops..].to_vec());
     let core = Core::new(params.core)?;
     let mut memory = MemorySystem::new(*config)?;
+    memory.set_fast_forward(params.fast_forward);
     let warm = core.run(&warmup, &mut memory);
     let _ = warm;
     let banks_before = memory.bank_stats();
@@ -139,6 +146,7 @@ pub fn run_one(
 ) -> Result<RunOutcome, ConfigError> {
     let core = Core::new(params.core)?;
     let mut memory = MemorySystem::new(*config)?;
+    memory.set_fast_forward(params.fast_forward);
     let result = core.run(trace, &mut memory);
     Ok(RunOutcome {
         core: result,
@@ -240,6 +248,26 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_at_run_level() {
+        // The whole-run differential: every measured quantity — IPC,
+        // energy, bank counters, latency statistics — must be unchanged
+        // by event-driven fast-forwarding.
+        let trace = profile("libquantum_like")
+            .unwrap()
+            .generate(Geometry::default(), 11, 600);
+        let fast = ExperimentParams::quick();
+        let stepped = ExperimentParams {
+            fast_forward: false,
+            ..fast
+        };
+        for cfg in [SystemConfig::baseline(), SystemConfig::fgnvm(8, 2).unwrap()] {
+            let a = run_one(&trace, &cfg, &fast).unwrap();
+            let b = run_one(&trace, &cfg, &stepped).unwrap();
+            assert_eq!(a, b, "fast-forward diverged from stepping");
+        }
     }
 
     #[test]

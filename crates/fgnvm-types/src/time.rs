@@ -74,6 +74,21 @@ impl Cycle {
     pub fn advance(&mut self) {
         self.0 += 1;
     }
+
+    /// Jumps this instant forward to `target` (the fast-forward primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is earlier than the current instant — simulated
+    /// time never moves backwards.
+    #[inline]
+    pub fn advance_to(&mut self, target: Cycle) {
+        assert!(
+            target.0 >= self.0,
+            "cannot rewind the clock from {self} to {target}"
+        );
+        self.0 = target.0;
+    }
 }
 
 impl fmt::Display for Cycle {
