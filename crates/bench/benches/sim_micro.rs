@@ -21,8 +21,18 @@ use fgnvm_workloads::profile;
 /// fast-forwarding pays most: long programming windows with nothing
 /// issuable) and returns the simulated cycle count.
 fn write_drain(fast_forward: bool) -> u64 {
+    write_drain_with(fast_forward, false)
+}
+
+/// [`write_drain`] with the observability layer optionally enabled, so the
+/// benchmark can both quantify the observer's overhead and prove the
+/// default (observer off) path is untouched.
+fn write_drain_with(fast_forward: bool, observed: bool) -> u64 {
     let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
     mem.set_fast_forward(fast_forward);
+    if observed {
+        mem.enable_observer();
+    }
     let mut id = 0u64;
     for _wave in 0..12 {
         for _ in 0..32 {
@@ -63,6 +73,13 @@ fn emit_bench_sim_json() {
     assert_eq!(
         stepped_cycles, ff_cycles,
         "fast-forward diverged from stepping on the benchmark workload"
+    );
+    // The observability layer must be strictly passive: with the observer
+    // enabled the run simulates the exact same number of cycles.
+    let observed_cycles = write_drain_with(true, true);
+    assert_eq!(
+        stepped_cycles, observed_cycles,
+        "enabling the observer perturbed the benchmark workload"
     );
     let speedup = ff_rate / stepped_rate;
     let json = format!(
@@ -128,6 +145,9 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(400));
     group.bench_function("write_drain_stepped", |b| b.iter(|| write_drain(false)));
     group.bench_function("write_drain_fast_forward", |b| b.iter(|| write_drain(true)));
+    group.bench_function("write_drain_observed", |b| {
+        b.iter(|| write_drain_with(true, true))
+    });
 
     group.throughput(Throughput::Elements(1000));
     group.bench_function("trace_generation_1k", |b| {

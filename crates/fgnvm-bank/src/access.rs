@@ -66,6 +66,17 @@ impl PlanKind {
     pub const fn senses(&self) -> bool {
         matches!(self, PlanKind::Activate | PlanKind::Underfetch)
     }
+
+    /// Stable display label, used by trace exporters and heatmaps (which
+    /// classify commands by string so they need not depend on this crate).
+    pub const fn label(&self) -> &'static str {
+        match self {
+            PlanKind::RowHit => "row-hit",
+            PlanKind::Activate => "activate",
+            PlanKind::Underfetch => "underfetch",
+            PlanKind::Write => "write",
+        }
+    }
 }
 
 /// A feasible schedule for an access, produced by [`Bank::plan`](crate::Bank::plan).
@@ -150,6 +161,14 @@ mod tests {
         assert!(PlanKind::Underfetch.senses());
         assert!(!PlanKind::RowHit.senses());
         assert!(!PlanKind::Write.senses());
+    }
+
+    #[test]
+    fn plan_kind_labels_are_stable() {
+        assert_eq!(PlanKind::RowHit.label(), "row-hit");
+        assert_eq!(PlanKind::Activate.label(), "activate");
+        assert_eq!(PlanKind::Underfetch.label(), "underfetch");
+        assert_eq!(PlanKind::Write.label(), "write");
     }
 
     #[test]

@@ -67,6 +67,27 @@ impl BankStats {
             self.row_hits as f64 / self.reads as f64
         }
     }
+
+    /// Exports every counter into `reg` as `<prefix>.<field>` (plus the
+    /// derived `<prefix>.row_hit_rate` gauge), in declaration order.
+    pub fn export_metrics(&self, reg: &mut fgnvm_obs::Registry, prefix: &str) {
+        let c = |field: &str| format!("{prefix}.{field}");
+        reg.set_counter(&c("reads"), self.reads);
+        reg.set_counter(&c("writes"), self.writes);
+        reg.set_counter(&c("row_hits"), self.row_hits);
+        reg.set_counter(&c("activations"), self.activations);
+        reg.set_counter(&c("underfetches"), self.underfetches);
+        reg.set_counter(&c("sensed_bits"), self.sensed_bits);
+        reg.set_counter(&c("written_bits"), self.written_bits);
+        reg.set_counter(&c("overlapped_accesses"), self.overlapped_accesses);
+        reg.set_counter(&c("reads_under_write"), self.reads_under_write);
+        reg.set_counter(&c("write_pauses"), self.write_pauses);
+        reg.set_counter(&c("write_retries"), self.write_retries);
+        reg.set_counter(&c("verify_failures"), self.verify_failures);
+        reg.set_counter(&c("read_bit_errors"), self.read_bit_errors);
+        reg.set_counter(&c("stuck_faults"), self.stuck_faults);
+        reg.set_gauge(&c("row_hit_rate"), self.row_hit_rate());
+    }
 }
 
 impl BankStats {

@@ -45,6 +45,17 @@ impl CoreResult {
         assert!(base > 0.0, "baseline ipc must be positive");
         self.ipc() / base
     }
+
+    /// Exports the run's counters into `reg` as `<prefix>.<field>`, plus
+    /// the derived `ipc` and `stall_fraction` gauges.
+    pub fn export_metrics(&self, reg: &mut fgnvm_obs::Registry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.instructions"), self.instructions);
+        reg.set_counter(&format!("{prefix}.cpu_cycles"), self.cpu_cycles);
+        reg.set_counter(&format!("{prefix}.mem_cycles"), self.mem_cycles);
+        reg.set_counter(&format!("{prefix}.stall_cycles"), self.stall_cycles);
+        reg.set_gauge(&format!("{prefix}.ipc"), self.ipc());
+        reg.set_gauge(&format!("{prefix}.stall_fraction"), self.stall_fraction());
+    }
 }
 
 #[cfg(test)]

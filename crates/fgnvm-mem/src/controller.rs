@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 use fgnvm_bank::{
     Bank, BankStats, BaselineBank, DramBank, FaultModel, FgnvmBank, Modes, RefreshCycles,
 };
+use fgnvm_obs::{CommandIssue, InstantKind, Observer};
 use fgnvm_types::config::{BankModel, ReliabilityConfig, SystemConfig};
 use fgnvm_types::error::ConfigError;
 use fgnvm_types::request::{Completion, Op};
@@ -97,6 +98,8 @@ impl FawState {
 /// One channel's controller.
 #[derive(Debug)]
 pub struct Controller {
+    /// This controller's channel index (observer track id).
+    channel: u32,
     banks: Vec<Box<dyn Bank>>,
     banks_per_rank: u32,
     reads: RequestQueue,
@@ -201,6 +204,7 @@ impl Controller {
             }
         }
         Ok(Controller {
+            channel,
             banks,
             banks_per_rank: config.geometry.banks_per_rank(),
             reads: RequestQueue::new(config.queue_entries),
@@ -277,7 +281,16 @@ impl Controller {
     /// Advances one controller cycle: retires due completions into `out` and
     /// issues up to `commands_per_cycle` new commands. Returns whether any
     /// command issued (used by fast-forward to detect dead cycles).
-    pub fn tick(&mut self, now: Cycle, stats: &mut SystemStats, out: &mut Vec<Completion>) -> bool {
+    ///
+    /// `obs` is the optional observability sink; `None` (the default) makes
+    /// every hook site a skipped branch, keeping the hot path unchanged.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        stats: &mut SystemStats,
+        out: &mut Vec<Completion>,
+        mut obs: Option<&mut Observer>,
+    ) -> bool {
         // Retire completions whose data has arrived.
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.at > now {
@@ -286,6 +299,11 @@ impl Controller {
             let Reverse(ev) = self.events.pop().expect("peeked event exists");
             if ev.is_read {
                 stats.record_read(ev.at.saturating_since(ev.arrival));
+            } else {
+                stats.record_write(ev.at.saturating_since(ev.arrival));
+            }
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.on_completed(ev.id_raw, ev.at.raw());
             }
             out.push(Completion {
                 id: fgnvm_types::request::RequestId::new(ev.id_raw),
@@ -301,7 +319,7 @@ impl Controller {
 
         let mut issued_any = false;
         for _ in 0..self.commands_per_cycle {
-            if !self.issue_one(now, stats) {
+            if !self.issue_one(now, stats, obs.as_deref_mut()) {
                 break;
             }
             issued_any = true;
@@ -310,7 +328,12 @@ impl Controller {
     }
 
     /// Tries to issue one command; returns whether anything issued.
-    fn issue_one(&mut self, now: Cycle, stats: &mut SystemStats) -> bool {
+    fn issue_one(
+        &mut self,
+        now: Cycle,
+        stats: &mut SystemStats,
+        obs: Option<&mut Observer>,
+    ) -> bool {
         // Choose between the read and write queues.
         let write_pick = |me: &Self| {
             me.scheduler
@@ -400,6 +423,25 @@ impl Controller {
             data_start: issued.data_start,
             retries: issued.faults.retries,
         });
+        let mut obs = obs;
+        if let Some(obs) = obs.as_deref_mut() {
+            obs.on_command(&CommandIssue {
+                channel: self.channel,
+                bank: pending.bank_index as u32,
+                id: pending.request.id.raw(),
+                is_read: pending.request.op.is_read(),
+                kind: issued.kind.label(),
+                arrival: pending.request.arrival.raw(),
+                at: now.raw(),
+                data_start: issued.data_start.raw(),
+                data_end: issued.data_end.raw(),
+                completion: issued.completion.raw(),
+                row: pending.access.row,
+                sag: pending.access.coord.sag,
+                cd: pending.access.coord.cd_first,
+                retries: issued.faults.retries,
+            });
+        }
         if pending.request.op.is_read() {
             // ECC sits between the bank and the channel: a corrected read
             // pays decode latency; an uncorrectable one pays a deeper
@@ -411,10 +453,26 @@ impl Controller {
                     if !f.stuck_fault && f.bit_errors <= ecc.correctable_bits {
                         stats.corrected_errors += 1;
                         at += ecc.decode_penalty;
+                        if let Some(obs) = obs {
+                            obs.on_instant(
+                                InstantKind::EccCorrected,
+                                self.channel,
+                                pending.bank_index as u32,
+                                now.raw(),
+                            );
+                        }
                     } else {
                         stats.uncorrectable_errors += 1;
                         at += CycleCount::new(ecc.decode_penalty.raw() * 4);
                         self.bad_rows.push((pending.bank_index, pending.access.row));
+                        if let Some(obs) = obs {
+                            obs.on_instant(
+                                InstantKind::EccUncorrectable,
+                                self.channel,
+                                pending.bank_index as u32,
+                                now.raw(),
+                            );
+                        }
                     }
                 }
             }
@@ -431,6 +489,14 @@ impl Controller {
             // tile frees up. An always-failing device therefore livelocks
             // here — exactly what the simulation watchdog exists to catch.
             stats.reissued_writes += 1;
+            if let Some(obs) = obs {
+                obs.on_instant(
+                    InstantKind::WriteReissue,
+                    self.channel,
+                    pending.bank_index as u32,
+                    now.raw(),
+                );
+            }
             let requeued = self.writes.push(pending);
             debug_assert!(requeued, "slot was freed by the remove above");
         } else {
@@ -672,13 +738,13 @@ mod tests {
         }
         assert!(!c.is_draining(), "drain engages at the next tick");
         let mut out = Vec::new();
-        c.tick(Cycle::ZERO, &mut stats, &mut out);
+        c.tick(Cycle::ZERO, &mut stats, &mut out, None);
         assert!(c.is_draining());
         // Tick until the queue falls to the low watermark (16).
         let mut now = Cycle::ZERO;
         for _ in 0..20_000 {
             now.advance();
-            c.tick(now, &mut stats, &mut out);
+            c.tick(now, &mut stats, &mut out, None);
             if !c.is_draining() {
                 break;
             }
@@ -711,7 +777,7 @@ mod tests {
         }
         let mut out = Vec::new();
         for t in 0..400u64 {
-            c.tick(Cycle::new(start + t), &mut stats, &mut out);
+            c.tick(Cycle::new(start + t), &mut stats, &mut out, None);
         }
         let acts: Vec<Cycle> = c
             .log
@@ -744,7 +810,7 @@ mod tests {
             c.enqueue(pending(0, Op::Read, 0, 0, 0), Cycle::ZERO, &mut stats);
             c.enqueue(pending(1, Op::Read, 1, 0, 0), Cycle::ZERO, &mut stats);
             let mut out = Vec::new();
-            c.tick(Cycle::ZERO, &mut stats, &mut out);
+            c.tick(Cycle::ZERO, &mut stats, &mut out, None);
             assert_eq!(
                 2 - c.read_queue_len(),
                 expected_after_one_tick,
@@ -763,7 +829,7 @@ mod tests {
         let mut out = Vec::new();
         let mut now = Cycle::ZERO;
         for _ in 0..200 {
-            c.tick(now, &mut stats, &mut out);
+            c.tick(now, &mut stats, &mut out, None);
             now.advance();
         }
         assert_eq!(out.len(), 2);
@@ -781,7 +847,7 @@ mod tests {
         let mut out = Vec::new();
         let mut now = Cycle::ZERO;
         for _ in 0..200 {
-            c.tick(now, &mut stats, &mut out);
+            c.tick(now, &mut stats, &mut out, None);
             now.advance();
         }
         assert!(c.is_idle(), "idle read queue should not strand writes");

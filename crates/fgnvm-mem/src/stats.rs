@@ -1,12 +1,15 @@
 //! System-level statistics.
 
+use fgnvm_types::hist::{latency_bucket, percentile_from_hist, HIST_BUCKETS};
 use fgnvm_types::time::CycleCount;
 
-/// Latency histogram with power-of-two buckets (bucket *i* counts latencies
-/// in `[2^i, 2^(i+1))` cycles; bucket 0 counts 0–1).
-const HIST_BUCKETS: usize = 20;
-
 /// Counters accumulated by a [`MemorySystem`](crate::MemorySystem).
+///
+/// Latency histograms use the workspace-wide power-of-two bucketing
+/// ([`fgnvm_types::hist`]): bucket 0 holds exactly latency 0, bucket *i* ≥ 1
+/// holds `[2^(i-1), 2^i)`. Percentiles report a bucket's inclusive upper
+/// bound, overstating the true value by strictly less than 2× (bucket 0 is
+/// exact); the tracked `*_latency_max` fields are exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemStats {
     /// Reads accepted into a controller queue.
@@ -26,6 +29,14 @@ pub struct SystemStats {
     pub read_latency_max: CycleCount,
     /// Power-of-two read-latency histogram.
     pub read_latency_hist: [u64; HIST_BUCKETS],
+    /// Writes whose device operation (verify retries included) completed.
+    pub completed_writes: u64,
+    /// Sum of write latencies (arrival → device completion).
+    pub write_latency_total: CycleCount,
+    /// Largest single write latency observed.
+    pub write_latency_max: CycleCount,
+    /// Power-of-two write-latency histogram.
+    pub write_latency_hist: [u64; HIST_BUCKETS],
     /// Enqueue attempts rejected because a queue was full.
     pub rejected: u64,
     /// Sum of read-queue occupancies sampled once per controller tick.
@@ -60,6 +71,10 @@ impl SystemStats {
             read_latency_total: CycleCount::ZERO,
             read_latency_max: CycleCount::ZERO,
             read_latency_hist: [0; HIST_BUCKETS],
+            completed_writes: 0,
+            write_latency_total: CycleCount::ZERO,
+            write_latency_max: CycleCount::ZERO,
+            write_latency_hist: [0; HIST_BUCKETS],
             rejected: 0,
             read_queue_depth_sum: 0,
             queue_depth_samples: 0,
@@ -76,8 +91,15 @@ impl SystemStats {
         self.completed_reads += 1;
         self.read_latency_total += latency;
         self.read_latency_max = self.read_latency_max.max(latency);
-        let bucket = (64 - latency.raw().leading_zeros() as usize).min(HIST_BUCKETS - 1);
-        self.read_latency_hist[bucket] += 1;
+        self.read_latency_hist[latency_bucket(latency.raw())] += 1;
+    }
+
+    /// Records one completed write of the given latency.
+    pub fn record_write(&mut self, latency: CycleCount) {
+        self.completed_writes += 1;
+        self.write_latency_total += latency;
+        self.write_latency_max = self.write_latency_max.max(latency);
+        self.write_latency_hist[latency_bucket(latency.raw())] += 1;
     }
 
     /// Mean read-queue occupancy per tick (the congestion the scheduler
@@ -99,28 +121,36 @@ impl SystemStats {
         }
     }
 
+    /// Mean write latency in cycles; zero when no writes completed.
+    pub fn avg_write_latency(&self) -> f64 {
+        if self.completed_writes == 0 {
+            0.0
+        } else {
+            self.write_latency_total.raw() as f64 / self.completed_writes as f64
+        }
+    }
+
     /// Approximate read-latency percentile from the power-of-two
-    /// histogram: the upper bound of the bucket containing the `p`-th
-    /// percentile sample (p in `[0, 1]`). Zero when no reads completed.
+    /// histogram: the inclusive upper bound of the bucket containing the
+    /// `p`-th percentile sample (p in `[0, 1]`), i.e. `2^i - 1` for bucket
+    /// *i* ≥ 1 and exactly 0 for bucket 0. Zero when no reads completed.
+    /// Overstates the true percentile by strictly less than 2×.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn read_latency_percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&p), "percentile out of range");
-        if self.completed_reads == 0 {
-            return 0;
-        }
-        let rank = (p * self.completed_reads as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (bucket, &count) in self.read_latency_hist.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // Bucket i holds latencies < 2^i (bucket 0: 0..1).
-                return (1u64 << bucket).saturating_sub(1).max(1);
-            }
-        }
-        u64::MAX
+        percentile_from_hist(&self.read_latency_hist, p)
+    }
+
+    /// Approximate write-latency percentile; same bucket semantics as
+    /// [`read_latency_percentile`](Self::read_latency_percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn write_latency_percentile(&self, p: f64) -> u64 {
+        percentile_from_hist(&self.write_latency_hist, p)
     }
 }
 
@@ -142,6 +172,22 @@ mod tests {
         assert_eq!(s.completed_reads, 2);
         assert!((s.avg_read_latency() - 50.0).abs() < 1e-12);
         assert_eq!(s.read_latency_max, CycleCount::new(60));
+    }
+
+    #[test]
+    fn write_recording_mirrors_reads() {
+        let mut s = SystemStats::new();
+        s.record_write(CycleCount::new(400));
+        s.record_write(CycleCount::new(600));
+        assert_eq!(s.completed_writes, 2);
+        assert!((s.avg_write_latency() - 500.0).abs() < 1e-12);
+        assert_eq!(s.write_latency_max, CycleCount::new(600));
+        assert_eq!(s.write_latency_hist[9], 1); // 256..=511
+        assert_eq!(s.write_latency_hist[10], 1); // 512..=1023
+        assert_eq!(s.write_latency_percentile(0.99), 1023);
+        // Read-side counters untouched.
+        assert_eq!(s.completed_reads, 0);
+        assert_eq!(s.read_latency_percentile(0.99), 0);
     }
 
     #[test]
@@ -169,7 +215,20 @@ mod tests {
     #[test]
     fn empty_average_is_zero() {
         assert_eq!(SystemStats::new().avg_read_latency(), 0.0);
+        assert_eq!(SystemStats::new().avg_write_latency(), 0.0);
         assert_eq!(SystemStats::new().read_latency_percentile(0.99), 0);
+        assert_eq!(SystemStats::new().write_latency_percentile(0.99), 0);
+    }
+
+    #[test]
+    fn zero_latency_percentile_is_zero() {
+        // Regression: bucket 0 (latency 0) used to report 1 because of a
+        // `.max(1)` on the bucket bound.
+        let mut s = SystemStats::new();
+        for _ in 0..5 {
+            s.record_read(CycleCount::ZERO);
+        }
+        assert_eq!(s.read_latency_percentile(0.99), 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use fgnvm_bank::{Access, BankStats};
+use fgnvm_obs::{InstantKind, Observer};
 use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
 use fgnvm_types::config::SystemConfig;
 use fgnvm_types::error::{ConfigError, SimError};
@@ -82,6 +83,11 @@ pub struct MemorySystem {
     /// clock over provably dead stretches instead of single-stepping. The
     /// two modes are bit-identical in everything observable.
     fast_forward: bool,
+    /// Observability layer (spans + heatmap + trace); `None` by default so
+    /// the hot path pays nothing. Hooks fire only from cycle-stepped code
+    /// paths — never from `skip_to` — so fast-forwarded runs produce
+    /// bit-identical observability output.
+    observer: Option<Box<Observer>>,
     now: Cycle,
     next_id: u64,
     stats: SystemStats,
@@ -122,10 +128,30 @@ impl MemorySystem {
             bad_rows: HashMap::new(),
             spares_used: HashMap::new(),
             fast_forward: true,
+            observer: None,
             now: Cycle::ZERO,
             next_id: 0,
             stats: SystemStats::new(),
         })
+    }
+
+    /// Enables the observability layer (request lifecycle spans, the S×C
+    /// tile heatmap, and Chrome trace export), sized from the configured
+    /// bank geometry. Idempotent per run: calling it again replaces the
+    /// observer with a fresh one.
+    pub fn enable_observer(&mut self) {
+        let g = &self.config.geometry;
+        self.observer = Some(Box::new(Observer::new(g.sags(), g.cds())));
+    }
+
+    /// The observer, if enabled.
+    pub fn observer(&self) -> Option<&Observer> {
+        self.observer.as_deref()
+    }
+
+    /// Detaches and returns the observer (ends observation).
+    pub fn take_observer(&mut self) -> Option<Box<Observer>> {
+        self.observer.take()
     }
 
     /// The active configuration.
@@ -192,6 +218,9 @@ impl MemorySystem {
         let controller = &mut self.controllers[decoded.channel as usize];
         match controller.enqueue(pending, self.now, &mut self.stats) {
             Enqueue::Accepted | Enqueue::Satisfied => {
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_enqueued(id.raw(), op.is_read(), self.now.raw());
+                }
                 self.next_id += 1;
                 Some(id)
             }
@@ -359,7 +388,8 @@ impl MemorySystem {
         const SPARE_ROWS_PER_BANK: u32 = 64;
         let mut issued_any = false;
         for (channel, controller) in self.controllers.iter_mut().enumerate() {
-            issued_any |= controller.tick(self.now, &mut self.stats, out);
+            issued_any |=
+                controller.tick(self.now, &mut self.stats, out, self.observer.as_deref_mut());
             for (bank_index, row) in controller.take_bad_rows() {
                 let key = (channel as u32, bank_index, row);
                 if self.bad_rows.contains_key(&key) {
@@ -389,6 +419,14 @@ impl MemorySystem {
                     }
                     self.bad_rows.insert(key, spare);
                     self.stats.remapped_rows += 1;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_instant(
+                            InstantKind::Remap,
+                            channel as u32,
+                            bank_index as u32,
+                            self.now.raw(),
+                        );
+                    }
                     break;
                 }
             }
@@ -573,6 +611,9 @@ impl MemorySystem {
         let mut last_progress = self.now;
         while !self.is_idle() {
             if self.now.saturating_since(last_progress).raw() >= stall_cycles {
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_instant(InstantKind::Watchdog, 0, 0, self.now.raw());
+                }
                 return Err(self.watchdog_error(stall_cycles));
             }
             if self.fast_forward {
@@ -637,6 +678,51 @@ impl MemorySystem {
     /// System-level counters.
     pub fn stats(&self) -> &SystemStats {
         &self.stats
+    }
+
+    /// Exports the system's counters and gauges into `reg` under the
+    /// `mem.*` namespace: queue traffic, latency aggregates and
+    /// percentiles, reliability events, wear, energy, and bus occupancy.
+    pub fn export_metrics(&self, reg: &mut fgnvm_obs::Registry) {
+        let s = &self.stats;
+        reg.set_counter("mem.enqueued_reads", s.enqueued_reads);
+        reg.set_counter("mem.enqueued_writes", s.enqueued_writes);
+        reg.set_counter("mem.forwarded_reads", s.forwarded_reads);
+        reg.set_counter("mem.merged_writes", s.merged_writes);
+        reg.set_counter("mem.completed_reads", s.completed_reads);
+        reg.set_counter("mem.completed_writes", s.completed_writes);
+        reg.set_counter("mem.rejected", s.rejected);
+        reg.set_gauge("mem.avg_read_latency", s.avg_read_latency());
+        reg.set_gauge("mem.avg_write_latency", s.avg_write_latency());
+        reg.set_counter("mem.read_p50", s.read_latency_percentile(0.50));
+        reg.set_counter("mem.read_p95", s.read_latency_percentile(0.95));
+        reg.set_counter("mem.read_p99", s.read_latency_percentile(0.99));
+        reg.set_counter("mem.read_latency_max", s.read_latency_max.raw());
+        reg.set_counter("mem.write_p50", s.write_latency_percentile(0.50));
+        reg.set_counter("mem.write_p95", s.write_latency_percentile(0.95));
+        reg.set_counter("mem.write_p99", s.write_latency_percentile(0.99));
+        reg.set_counter("mem.write_latency_max", s.write_latency_max.raw());
+        reg.set_gauge("mem.avg_read_queue_depth", s.avg_read_queue_depth());
+        reg.set_counter("mem.corrected_errors", s.corrected_errors);
+        reg.set_counter("mem.uncorrectable_errors", s.uncorrectable_errors);
+        reg.set_counter("mem.remapped_rows", s.remapped_rows);
+        reg.set_counter("mem.remap_collisions", s.remap_collisions);
+        reg.set_counter("mem.reissued_writes", s.reissued_writes);
+        reg.set_counter("mem.bus_busy_cycles", self.bus_busy_cycles().raw());
+        reg.set_gauge("mem.bank_load_imbalance", self.bank_load_imbalance());
+        let energy = self.energy();
+        reg.set_gauge("mem.energy.sense_pj", energy.sense_pj);
+        reg.set_gauge("mem.energy.write_pj", energy.write_pj);
+        reg.set_gauge("mem.energy.background_pj", energy.background_pj);
+        if let Some(wear) = &self.wear {
+            reg.set_counter("mem.wear.total_writes", wear.total_writes());
+            reg.set_counter("mem.wear.max_row_writes", u64::from(wear.max_row_writes()));
+            reg.set_gauge("mem.wear.imbalance", wear.imbalance());
+        }
+        if let Some(rotations) = self.start_gap_rotations() {
+            reg.set_counter("mem.start_gap_rotations", rotations);
+        }
+        self.bank_stats().export_metrics(reg, "bank");
     }
 
     /// Aggregated per-bank counters across all channels.
@@ -748,6 +834,9 @@ impl MemorySystem {
         let controller = &mut self.controllers[decoded.channel as usize];
         match controller.enqueue(pending, self.now, &mut self.stats) {
             Enqueue::Accepted | Enqueue::Satisfied => {
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_enqueued(id.raw(), true, self.now.raw());
+                }
                 self.next_id += 1;
                 Some(id)
             }
@@ -1394,5 +1483,51 @@ mod tests {
         read_all(&mut plain, &addrs);
         read_all(&mut multi, &addrs);
         assert!(multi.now().raw() <= plain.now().raw());
+    }
+
+    #[test]
+    fn observer_does_not_perturb_simulation() {
+        let addrs: Vec<u64> = (0..48u64).map(|i| i * 777 * 64).collect();
+        let mut plain = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        let mut observed = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+        observed.enable_observer();
+        for mem in [&mut plain, &mut observed] {
+            for wave in addrs.chunks(12) {
+                for (i, &a) in wave.iter().enumerate() {
+                    let op = if i % 4 == 0 { Op::Write } else { Op::Read };
+                    mem.enqueue(op, PhysAddr::new(a)).expect("queue has room");
+                }
+                mem.run_until_idle(1_000_000);
+            }
+        }
+        assert_eq!(plain.now(), observed.now());
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.bank_stats(), observed.bank_stats());
+
+        let obs = observed.observer().expect("observer enabled");
+        // Every request got a span and every span closed.
+        assert_eq!(obs.spans.open_count(), 0);
+        assert_eq!(
+            obs.spans.completed,
+            observed.stats().completed_reads + observed.stats().completed_writes
+        );
+        // The heatmap saw every committed command and matches the grid.
+        assert_eq!(obs.heatmap.dims(), (8, 2));
+        let bank = observed.bank_stats();
+        let heat_total: u64 = obs
+            .heatmap
+            .cells()
+            .iter()
+            .map(|c| c.row_hits + c.activations + c.underfetches + c.writes)
+            .sum();
+        assert_eq!(heat_total, bank.reads + bank.writes);
+        // One trace slice per committed command; a valid Chrome JSON header.
+        let trace = obs.trace.to_json();
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert_eq!(obs.trace.dropped(), 0);
+        assert_eq!(
+            trace.matches("\"cat\":\"cmd\"").count() as u64,
+            bank.reads + bank.writes
+        );
     }
 }

@@ -11,6 +11,12 @@
 //!    the `fgnvm_trace` binary would parse it;
 //! 3. exhaustive unit checks that both bank FSMs' `next_ready_hint` is a
 //!    sound lower bound — the contract the skip logic rests on.
+//!
+//! Every run executes with the observability layer enabled: the snapshot
+//! includes the rendered metrics and Chrome-trace JSON documents, so span
+//! decompositions, the S×C conflict heatmap, and the trace event stream
+//! must also match byte for byte between fast-forwarded and stepped runs
+//! (observer hooks only fire from stepped paths; `skip_to` fires none).
 
 use proptest::prelude::*;
 
@@ -101,6 +107,10 @@ struct Snapshot {
     samples: Vec<Sample>,
     commands: Vec<Vec<CommandRecord>>,
     protocol: Vec<String>,
+    /// Rendered metrics document (registry + spans + heatmap).
+    obs_metrics: String,
+    /// Rendered Chrome trace-event document.
+    obs_trace: String,
 }
 
 /// Feeds `reqs` (retrying on backpressure), drains, and captures every
@@ -110,6 +120,7 @@ fn drive(config: &SystemConfig, reqs: &[Gen], fast_forward: bool) -> Snapshot {
     mem.set_fast_forward(fast_forward);
     mem.enable_command_log(1 << 20);
     mem.enable_sampling(64);
+    mem.enable_observer();
     let mut completions = Vec::new();
     for g in reqs {
         let op = if g.is_write { Op::Write } else { Op::Read };
@@ -132,6 +143,10 @@ fn drive(config: &SystemConfig, reqs: &[Gen], fast_forward: bool) -> Snapshot {
         commands.push(log.records().copied().collect());
         protocol.push(format!("{:?}", checker.check(log)));
     }
+    let obs = mem.take_observer().expect("observer enabled");
+    let mut reg = fgnvm_obs::Registry::new();
+    mem.export_metrics(&mut reg);
+    obs.export_metrics(&mut reg);
     Snapshot {
         now: mem.now(),
         completions,
@@ -140,6 +155,8 @@ fn drive(config: &SystemConfig, reqs: &[Gen], fast_forward: bool) -> Snapshot {
         samples: mem.samples().to_vec(),
         commands,
         protocol,
+        obs_metrics: obs.metrics_json(&reg),
+        obs_trace: obs.trace_json(),
     }
 }
 
@@ -165,6 +182,18 @@ proptest! {
             prop_assert_eq!(&fast.samples, &stepped.samples, "{}: samples diverged", name);
             prop_assert_eq!(&fast.commands, &stepped.commands, "{}: command log diverged", name);
             prop_assert_eq!(&fast.protocol, &stepped.protocol, "{}: checker verdict diverged", name);
+            prop_assert_eq!(
+                &fast.obs_metrics,
+                &stepped.obs_metrics,
+                "{}: observability metrics diverged",
+                name
+            );
+            prop_assert_eq!(
+                &fast.obs_trace,
+                &stepped.obs_trace,
+                "{}: observability trace diverged",
+                name
+            );
         }
     }
 }
@@ -223,6 +252,11 @@ fn every_checked_in_config_is_fast_forward_clean() {
         assert!(
             fast.commands.iter().any(|c| !c.is_empty()),
             "{}: nothing issued — the sweep exercised nothing",
+            path.display()
+        );
+        assert!(
+            fast.obs_trace.contains("\"cat\":\"cmd\""),
+            "{}: observer recorded no command slices",
             path.display()
         );
     }

@@ -1,0 +1,285 @@
+//! SAG×CD tile occupancy and conflict heatmap.
+//!
+//! The paper's rook-placement model says two accesses to the same bank
+//! proceed in parallel iff they share neither a subarray group (row of the
+//! S×C grid) nor a column division (column). This observer reconstructs
+//! that claim from the command stream: it keeps, per physical bank, a
+//! busy-until clock for every SAG and every CD, and charges each issued
+//! command's wait against the tile resources it had to serialize behind.
+//! Cells aggregate over all banks, yielding one S×C grid per run.
+//!
+//! Occupancy windows: a read holds its SAG and CD until the end of its data
+//! burst; a write holds them until device completion (including verify
+//! retries), which is exactly the asymmetry the write-pausing machinery
+//! exploits.
+
+use std::collections::HashMap;
+
+/// Aggregated activity of one (SAG, CD) tile position across all banks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileCell {
+    /// Full-row activations targeting this tile.
+    pub activations: u64,
+    /// Row-buffer hits served from this tile.
+    pub row_hits: u64,
+    /// Partial (underfetch) activations.
+    pub underfetches: u64,
+    /// Writes committed to this tile.
+    pub writes: u64,
+    /// Commands that had to wait behind this tile's SAG or CD.
+    pub conflicts: u64,
+    /// Cycles those commands spent blocked on this tile's resources.
+    pub conflict_cycles: u64,
+    /// Cycles this tile was locked by an in-progress write.
+    pub write_busy_cycles: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ResourceClock {
+    sag_busy_until: Vec<u64>,
+    cd_busy_until: Vec<u64>,
+}
+
+/// S×C conflict/occupancy heatmap with per-bank resource clocks.
+#[derive(Debug, Clone)]
+pub struct TileHeatmap {
+    sags: u32,
+    cds: u32,
+    cells: Vec<TileCell>,
+    clocks: HashMap<(u32, u32), ResourceClock>,
+}
+
+impl TileHeatmap {
+    /// A zeroed heatmap for an S×C subdivided bank (use 1×1 for monolithic
+    /// banks — the grid degenerates to whole-bank occupancy).
+    pub fn new(sags: u32, cds: u32) -> Self {
+        assert!(sags > 0 && cds > 0, "degenerate tile grid");
+        TileHeatmap {
+            sags,
+            cds,
+            cells: vec![TileCell::default(); (sags * cds) as usize],
+            clocks: HashMap::new(),
+        }
+    }
+
+    /// Grid dimensions `(sags, cds)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.sags, self.cds)
+    }
+
+    /// The cell at `(sag, cd)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn cell(&self, sag: u32, cd: u32) -> &TileCell {
+        assert!(sag < self.sags && cd < self.cds, "tile out of grid");
+        &self.cells[(sag * self.cds + cd) as usize]
+    }
+
+    /// All cells in row-major (sag, cd) order.
+    pub fn cells(&self) -> &[TileCell] {
+        &self.cells
+    }
+
+    /// Records one issued command.
+    ///
+    /// `arrival` and `at` bracket the request's wait; `data_end` /
+    /// `completion` bound the occupancy window (reads release at
+    /// `data_end`, writes at `completion`). Coordinates are clamped into
+    /// the grid so a mis-sized observer degrades instead of panicking.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_command(
+        &mut self,
+        channel: u32,
+        bank: u32,
+        sag: u32,
+        cd: u32,
+        kind: &str,
+        is_read: bool,
+        arrival: u64,
+        at: u64,
+        data_end: u64,
+        completion: u64,
+    ) {
+        let sag = sag.min(self.sags - 1);
+        let cd = cd.min(self.cds - 1);
+        let (sags, cds) = (self.sags as usize, self.cds as usize);
+        let clock = self
+            .clocks
+            .entry((channel, bank))
+            .or_insert_with(|| ResourceClock {
+                sag_busy_until: vec![0; sags],
+                cd_busy_until: vec![0; cds],
+            });
+        let busy = clock.sag_busy_until[sag as usize].max(clock.cd_busy_until[cd as usize]);
+        let held_until = if is_read { data_end } else { completion };
+        let cell = &mut self.cells[(sag * self.cds + cd) as usize];
+        match kind {
+            "row-hit" => cell.row_hits += 1,
+            "underfetch" => cell.underfetches += 1,
+            "write" => cell.writes += 1,
+            _ => cell.activations += 1,
+        }
+        if busy > arrival {
+            // The request arrived while this tile's resources were held:
+            // a rook conflict. Charge the overlap of its wait with the
+            // busy window.
+            cell.conflicts += 1;
+            cell.conflict_cycles += busy.min(at).saturating_sub(arrival);
+        }
+        if !is_read {
+            cell.write_busy_cycles += held_until.saturating_sub(at);
+        }
+        let s = &mut clock.sag_busy_until[sag as usize];
+        *s = (*s).max(held_until);
+        let c = &mut clock.cd_busy_until[cd as usize];
+        *c = (*c).max(held_until);
+    }
+
+    /// Serializes as CSV, one row per (sag, cd) cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "sag,cd,activations,row_hits,underfetches,writes,conflicts,conflict_cycles,write_busy_cycles\n",
+        );
+        for sag in 0..self.sags {
+            for cd in 0..self.cds {
+                let c = self.cell(sag, cd);
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{}\n",
+                    sag,
+                    cd,
+                    c.activations,
+                    c.row_hits,
+                    c.underfetches,
+                    c.writes,
+                    c.conflicts,
+                    c.conflict_cycles,
+                    c.write_busy_cycles
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes as a JSON object with dims and a row-major cell array.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = (0..self.sags)
+            .flat_map(|sag| (0..self.cds).map(move |cd| (sag, cd)))
+            .map(|(sag, cd)| {
+                let c = self.cell(sag, cd);
+                format!(
+                    "{{\"sag\":{sag},\"cd\":{cd},\"activations\":{},\"row_hits\":{},\
+                     \"underfetches\":{},\"writes\":{},\"conflicts\":{},\
+                     \"conflict_cycles\":{},\"write_busy_cycles\":{}}}",
+                    c.activations,
+                    c.row_hits,
+                    c.underfetches,
+                    c.writes,
+                    c.conflicts,
+                    c.conflict_cycles,
+                    c.write_busy_cycles
+                )
+            })
+            .collect();
+        format!(
+            "{{\"sags\":{},\"cds\":{},\"cells\":[{}]}}",
+            self.sags,
+            self.cds,
+            cells.join(",")
+        )
+    }
+
+    /// Total conflicts across the grid.
+    pub fn total_conflicts(&self) -> u64 {
+        self.cells.iter().map(|c| c.conflicts).sum()
+    }
+
+    /// Total cycles lost to tile conflicts across the grid.
+    pub fn total_conflict_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.conflict_cycles).sum()
+    }
+
+    /// Fraction of recorded commands that hit a tile conflict.
+    pub fn conflict_rate(&self) -> f64 {
+        let cmds: u64 = self
+            .cells
+            .iter()
+            .map(|c| c.activations + c.row_hits + c.underfetches + c.writes)
+            .sum();
+        if cmds == 0 {
+            0.0
+        } else {
+            self.total_conflicts() as f64 / cmds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_tile_back_to_back_conflicts() {
+        let mut h = TileHeatmap::new(4, 4);
+        // First command occupies (1, 2) until cycle 100.
+        h.on_command(0, 0, 1, 2, "activate", true, 0, 10, 100, 100);
+        // Second arrives at 20, must wait; issues at 100.
+        h.on_command(0, 0, 1, 2, "activate", true, 20, 100, 180, 180);
+        let c = h.cell(1, 2);
+        assert_eq!(c.activations, 2);
+        assert_eq!(c.conflicts, 1);
+        assert_eq!(c.conflict_cycles, 80); // 100 - 20
+    }
+
+    #[test]
+    fn rook_rule_row_and_column_block_but_diagonal_does_not() {
+        let mut h = TileHeatmap::new(4, 4);
+        h.on_command(0, 0, 1, 1, "activate", true, 0, 0, 100, 100);
+        // Same SAG, different CD: blocked.
+        h.on_command(0, 0, 1, 3, "activate", true, 10, 100, 190, 190);
+        // Same CD, different SAG: blocked.
+        h.on_command(0, 0, 3, 1, "activate", true, 10, 100, 190, 190);
+        // Different SAG and CD ("diagonal"): free.
+        h.on_command(0, 0, 2, 2, "activate", true, 10, 12, 110, 110);
+        assert_eq!(h.cell(1, 3).conflicts, 1);
+        assert_eq!(h.cell(3, 1).conflicts, 1);
+        assert_eq!(h.cell(2, 2).conflicts, 0);
+        assert_eq!(h.total_conflicts(), 2);
+    }
+
+    #[test]
+    fn writes_hold_tiles_until_completion() {
+        let mut h = TileHeatmap::new(2, 2);
+        // Write bursts end at 50 but the device is locked until 400.
+        h.on_command(0, 0, 0, 0, "write", false, 0, 10, 50, 400);
+        assert_eq!(h.cell(0, 0).write_busy_cycles, 390);
+        // A read arriving at 100 on the same tile conflicts even though
+        // the write's burst is long over.
+        h.on_command(0, 0, 0, 0, "row-hit", true, 100, 400, 410, 410);
+        assert_eq!(h.cell(0, 0).conflicts, 1);
+        assert_eq!(h.cell(0, 0).conflict_cycles, 300);
+    }
+
+    #[test]
+    fn banks_have_independent_clocks() {
+        let mut h = TileHeatmap::new(2, 2);
+        h.on_command(0, 0, 0, 0, "activate", true, 0, 0, 100, 100);
+        // Same tile position in another bank: no conflict.
+        h.on_command(0, 1, 0, 0, "activate", true, 10, 12, 112, 112);
+        assert_eq!(h.cell(0, 0).conflicts, 0);
+        assert_eq!(h.cell(0, 0).activations, 2);
+    }
+
+    #[test]
+    fn exports_are_row_major() {
+        let mut h = TileHeatmap::new(2, 3);
+        h.on_command(0, 0, 1, 2, "row-hit", true, 0, 0, 8, 8);
+        let csv = h.to_csv();
+        assert!(csv.ends_with("1,2,0,1,0,0,0,0,0\n"));
+        assert_eq!(csv.lines().count(), 7);
+        let json = h.to_json();
+        assert!(json.starts_with("{\"sags\":2,\"cds\":3,\"cells\":[{\"sag\":0,\"cd\":0,"));
+        assert!(json.contains("{\"sag\":1,\"cd\":2,\"activations\":0,\"row_hits\":1,"));
+    }
+}

@@ -1,0 +1,126 @@
+//! A log2 latency histogram with exact count/sum/max side-channels.
+
+use fgnvm_types::hist::{percentile_from_hist, HIST_BUCKETS};
+
+use crate::json;
+
+/// Power-of-two histogram (bucketing shared with `fgnvm_types::hist`),
+/// plus the exact total, sum, and maximum so means are not quantized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log2Hist {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[fgnvm_types::hist::latency_bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (exact, not bucket-quantized).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact), 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile — the upper bound of the bucket holding the
+    /// rank-`⌈p·n⌉` sample (≤2× overstatement per bucket; see
+    /// `fgnvm_types::hist`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_from_hist(&self.counts, p)
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// Serializes as a JSON object with count/mean/p50/p95/p99/max and the
+    /// raw buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            json::number(self.mean()),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 40, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1081);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 216.2).abs() < 1e-9);
+        assert_eq!(h.percentile(0.5), 63); // 40 lands in 32..=63
+        assert_eq!(h.percentile(0.99), 1023);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Log2Hist::new();
+        h.record(3);
+        let j = h.to_json();
+        assert!(j.starts_with("{\"count\":1,"));
+        assert!(j.contains("\"p99\":3"));
+        assert!(j.contains("\"buckets\":[0,0,1,0"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Unified tracing and metrics layer for the FgNVM simulator.
+//!
+//! This crate is the observability backbone threaded through the stack:
+//!
+//! - [`span::SpanTracker`] — per-request lifecycle spans decomposed into
+//!   exact queue/retry/bank/bus/tail latency components (reads and writes);
+//! - [`heatmap::TileHeatmap`] — the S×C (SAG × column-division) conflict
+//!   and occupancy grid that makes the paper's rook-placement model
+//!   visible;
+//! - [`trace::TraceSink`] — Chrome trace-event JSON export, loadable in
+//!   `ui.perfetto.dev` (one process per channel, one thread per bank, one
+//!   slice per command);
+//! - [`registry::Registry`] — an insertion-ordered counter/gauge registry
+//!   every component exports into, serialized as JSON/CSV;
+//! - [`table::TableData`] and [`json`] — the single table/JSON emission
+//!   backend shared with the CLI's report rendering.
+//!
+//! The memory system owns an `Option<Box<Observer>>`: when it is `None`
+//! (the default) no hook does any work, keeping the hot path unchanged;
+//! when enabled, hooks fire only from cycle-stepped execution paths, never
+//! from event skips, so fast-forwarded runs produce bit-identical
+//! observability output by construction.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod heatmap;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod table;
+pub mod trace;
+
+pub use heatmap::{TileCell, TileHeatmap};
+pub use hist::Log2Hist;
+pub use registry::{CounterHandle, GaugeHandle, MetricValue, Registry};
+pub use span::{LatencyBreakdown, SpanTracker};
+pub use table::TableData;
+pub use trace::TraceSink;
+
+/// Everything the observer needs to know about one issued memory command.
+///
+/// All timestamps are raw simulator cycles. `kind` is the bank's plan-kind
+/// label (`"row-hit"`, `"activate"`, `"underfetch"`, `"write"`), passed as
+/// a string so this crate stays independent of the bank model.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandIssue<'a> {
+    /// Memory channel the command issued on.
+    pub channel: u32,
+    /// Bank index within the channel.
+    pub bank: u32,
+    /// Originating request id.
+    pub id: u64,
+    /// True for reads.
+    pub is_read: bool,
+    /// Plan-kind label.
+    pub kind: &'a str,
+    /// Cycle the request arrived in the system.
+    pub arrival: u64,
+    /// Cycle the command issued.
+    pub at: u64,
+    /// First cycle of the data burst.
+    pub data_start: u64,
+    /// One past the last cycle of the data burst.
+    pub data_end: u64,
+    /// Cycle the device finishes (for writes: verify retries included).
+    pub completion: u64,
+    /// Target row.
+    pub row: u32,
+    /// Target subarray group.
+    pub sag: u32,
+    /// Target column division.
+    pub cd: u32,
+    /// Device-level verify retries consumed by this command.
+    pub retries: u32,
+}
+
+/// Discrete noteworthy events surfaced as trace instants and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// A read was ECC-corrected at extra decode latency.
+    EccCorrected,
+    /// A read exceeded ECC correction capability.
+    EccUncorrectable,
+    /// A write exhausted the device verify budget and was re-queued.
+    WriteReissue,
+    /// A row was remapped to a spare.
+    Remap,
+    /// The stall watchdog tripped.
+    Watchdog,
+}
+
+impl InstantKind {
+    /// Stable display label (used as the trace event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            InstantKind::EccCorrected => "ecc-corrected",
+            InstantKind::EccUncorrectable => "ecc-uncorrectable",
+            InstantKind::WriteReissue => "write-reissue",
+            InstantKind::Remap => "row-remap",
+            InstantKind::Watchdog => "watchdog",
+        }
+    }
+}
+
+/// The per-run observer: spans + heatmap + trace sink behind one facade.
+///
+/// The simulator calls the `on_*` hooks from its cycle-stepped paths; all
+/// aggregation happens here so enabling observability changes no simulated
+/// state.
+#[derive(Debug)]
+pub struct Observer {
+    /// Request lifecycle spans and latency breakdowns.
+    pub spans: SpanTracker,
+    /// S×C tile conflict/occupancy grid.
+    pub heatmap: TileHeatmap,
+    /// Chrome trace-event sink.
+    pub trace: TraceSink,
+    instants: [u64; 5],
+}
+
+impl Observer {
+    /// An observer for banks subdivided into `sags` × `cds` tiles.
+    pub fn new(sags: u32, cds: u32) -> Self {
+        Observer {
+            spans: SpanTracker::new(),
+            heatmap: TileHeatmap::new(sags.max(1), cds.max(1)),
+            trace: TraceSink::default(),
+            instants: [0; 5],
+        }
+    }
+
+    /// Hook: a request entered the system.
+    pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
+        self.spans.on_enqueued(id, is_read, now);
+    }
+
+    /// Hook: a request completed (or was satisfied without issuing).
+    pub fn on_completed(&mut self, id: u64, now: u64) {
+        self.spans.on_completed(id, now);
+    }
+
+    /// Hook: a command issued to a bank.
+    pub fn on_command(&mut self, cmd: &CommandIssue<'_>) {
+        self.spans
+            .on_issued(cmd.id, cmd.at, cmd.data_start, cmd.data_end);
+        self.heatmap.on_command(
+            cmd.channel,
+            cmd.bank,
+            cmd.sag,
+            cmd.cd,
+            cmd.kind,
+            cmd.is_read,
+            cmd.arrival,
+            cmd.at,
+            cmd.data_end,
+            cmd.completion,
+        );
+        let end = if cmd.is_read {
+            cmd.data_end
+        } else {
+            cmd.completion
+        };
+        let args = [
+            format!("\"id\":{}", cmd.id),
+            format!("\"row\":{}", cmd.row),
+            format!("\"sag\":{}", cmd.sag),
+            format!("\"cd\":{}", cmd.cd),
+            format!("\"retries\":{}", cmd.retries),
+        ];
+        self.trace.slice(
+            cmd.channel,
+            cmd.bank,
+            cmd.kind,
+            cmd.at,
+            end.saturating_sub(cmd.at),
+            &args,
+        );
+    }
+
+    /// Hook: a discrete event (fault, remap, watchdog) at `now`.
+    pub fn on_instant(&mut self, kind: InstantKind, channel: u32, bank: u32, now: u64) {
+        self.instants[kind as usize] += 1;
+        self.trace.instant(channel, bank, kind.label(), now);
+    }
+
+    /// Occurrence count for one instant kind.
+    pub fn instant_count(&self, kind: InstantKind) -> u64 {
+        self.instants[kind as usize]
+    }
+
+    /// Exports the observer's own aggregates into a metric registry.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.set_counter("obs.spans.completed", self.spans.completed);
+        reg.set_counter("obs.spans.never_issued", self.spans.never_issued);
+        reg.set_counter("obs.spans.reissues", self.spans.reissues);
+        reg.set_counter("obs.spans.open", self.spans.open_count() as u64);
+        reg.set_counter("obs.heatmap.conflicts", self.heatmap.total_conflicts());
+        reg.set_counter(
+            "obs.heatmap.conflict_cycles",
+            self.heatmap.total_conflict_cycles(),
+        );
+        reg.set_gauge("obs.heatmap.conflict_rate", self.heatmap.conflict_rate());
+        reg.set_counter("obs.trace.events", self.trace.len() as u64);
+        reg.set_counter("obs.trace.dropped", self.trace.dropped());
+        for kind in [
+            InstantKind::EccCorrected,
+            InstantKind::EccUncorrectable,
+            InstantKind::WriteReissue,
+            InstantKind::Remap,
+            InstantKind::Watchdog,
+        ] {
+            reg.set_counter(
+                &format!("obs.instants.{}", kind.label()),
+                self.instant_count(kind),
+            );
+        }
+    }
+
+    /// The full metrics document: registry contents plus latency
+    /// breakdowns and the S×C heatmap, as one JSON object.
+    pub fn metrics_json(&self, reg: &Registry) -> String {
+        format!(
+            "{{\"counters\":{},\"spans\":{},\"heatmap\":{}}}",
+            reg.to_json(),
+            self.spans.to_json(),
+            self.heatmap.to_json()
+        )
+    }
+
+    /// The Chrome trace-event JSON document.
+    pub fn trace_json(&self) -> String {
+        self.trace.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(id: u64, at: u64) -> CommandIssue<'static> {
+        CommandIssue {
+            channel: 0,
+            bank: 0,
+            id,
+            is_read: true,
+            kind: "activate",
+            arrival: at.saturating_sub(5),
+            at,
+            data_start: at + 30,
+            data_end: at + 38,
+            completion: at + 38,
+            row: 1,
+            sag: 0,
+            cd: 0,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn facade_routes_to_all_sinks() {
+        let mut obs = Observer::new(4, 4);
+        obs.on_enqueued(1, true, 5);
+        obs.on_command(&issue(1, 10));
+        obs.on_completed(1, 48);
+        obs.on_instant(InstantKind::Remap, 0, 0, 50);
+        assert_eq!(obs.spans.completed, 1);
+        assert_eq!(obs.heatmap.cell(0, 0).activations, 1);
+        assert_eq!(obs.instant_count(InstantKind::Remap), 1);
+        let trace = obs.trace_json();
+        assert!(trace.contains("\"row-remap\""));
+        assert!(trace.contains("\"activate\""));
+        let mut reg = Registry::new();
+        obs.export_metrics(&mut reg);
+        let metrics = obs.metrics_json(&reg);
+        assert!(metrics.contains("\"obs.spans.completed\":1"));
+        assert!(metrics.contains("\"heatmap\":{\"sags\":4,\"cds\":4"));
+        assert!(metrics.contains("\"read\":{\"queue\":"));
+    }
+
+    #[test]
+    fn degenerate_grid_is_clamped() {
+        let obs = Observer::new(0, 0);
+        assert_eq!(obs.heatmap.dims(), (1, 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! A flat, insertion-ordered counter/gauge registry.
+//!
+//! Components register named metrics (typed handles for hot-path updates,
+//! or one-shot `set_*` calls at export time) and the registry serializes
+//! them to JSON or CSV in registration order — no hash-map iteration order
+//! ever reaches the output.
+
+use std::collections::HashMap;
+
+use crate::json;
+
+/// The value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Free-form annotation (configuration names, units).
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    value: MetricValue,
+}
+
+/// Typed handle to a registered counter (index into the registry).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterHandle(usize);
+
+/// Typed handle to a registered gauge.
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeHandle(usize);
+
+/// Insertion-ordered metric registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+    index: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn upsert(&mut self, name: &str, value: MetricValue) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            self.metrics[i].value = value;
+            i
+        } else {
+            let i = self.metrics.len();
+            self.metrics.push(Metric {
+                name: name.to_string(),
+                value,
+            });
+            self.index.insert(name.to_string(), i);
+            i
+        }
+    }
+
+    /// Registers (or re-registers) a counter starting at 0 and returns a
+    /// handle for incremental updates.
+    pub fn register_counter(&mut self, name: &str) -> CounterHandle {
+        CounterHandle(self.upsert(name, MetricValue::Counter(0)))
+    }
+
+    /// Registers (or re-registers) a gauge starting at 0 and returns a
+    /// handle for updates.
+    pub fn register_gauge(&mut self, name: &str) -> GaugeHandle {
+        GaugeHandle(self.upsert(name, MetricValue::Gauge(0.0)))
+    }
+
+    /// Adds `delta` to a registered counter.
+    pub fn add(&mut self, handle: CounterHandle, delta: u64) {
+        if let MetricValue::Counter(v) = &mut self.metrics[handle.0].value {
+            *v += delta;
+        }
+    }
+
+    /// Sets a registered gauge.
+    pub fn set(&mut self, handle: GaugeHandle, value: f64) {
+        self.metrics[handle.0].value = MetricValue::Gauge(value);
+    }
+
+    /// One-shot counter assignment (export-time convenience).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.upsert(name, MetricValue::Counter(value));
+    }
+
+    /// One-shot gauge assignment (export-time convenience).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.upsert(name, MetricValue::Gauge(value));
+    }
+
+    /// One-shot text annotation.
+    pub fn set_text(&mut self, name: &str, value: &str) {
+        self.upsert(name, MetricValue::Text(value.to_string()));
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.index.get(name).map(|&i| &self.metrics[i].value)
+    }
+
+    /// Serializes as a flat JSON object in registration order.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let value = match &m.value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => json::number(*v),
+                    MetricValue::Text(s) => json::quote(s),
+                };
+                format!("{}:{}", json::quote(&m.name), value)
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Serializes as `name,value` CSV in registration order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,value\n");
+        for m in &self.metrics {
+            let value = match &m.value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Text(s) => s.clone(),
+            };
+            out.push_str(&m.name);
+            out.push(',');
+            out.push_str(&value);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_accumulate() {
+        let mut reg = Registry::new();
+        let c = reg.register_counter("mem.reads");
+        let g = reg.register_gauge("mem.avg_latency");
+        reg.add(c, 3);
+        reg.add(c, 2);
+        reg.set(g, 1.5);
+        assert_eq!(reg.get("mem.reads"), Some(&MetricValue::Counter(5)));
+        assert_eq!(reg.get("mem.avg_latency"), Some(&MetricValue::Gauge(1.5)));
+    }
+
+    #[test]
+    fn export_preserves_registration_order() {
+        let mut reg = Registry::new();
+        reg.set_counter("z.last", 1);
+        reg.set_counter("a.first", 2);
+        reg.set_text("cfg", "fgnvm 8x2");
+        assert_eq!(
+            reg.to_json(),
+            "{\"z.last\":1,\"a.first\":2,\"cfg\":\"fgnvm 8x2\"}"
+        );
+        assert_eq!(
+            reg.to_csv(),
+            "name,value\nz.last,1\na.first,2\ncfg,fgnvm 8x2\n"
+        );
+    }
+
+    #[test]
+    fn upsert_overwrites_in_place() {
+        let mut reg = Registry::new();
+        reg.set_counter("x", 1);
+        reg.set_counter("y", 2);
+        reg.set_counter("x", 9);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.to_json(), "{\"x\":9,\"y\":2}");
+    }
+}

@@ -31,10 +31,15 @@
 //!   cores     4-core consolidation: throughput / weighted speedup / fairness
 //!   hybrid    DRAM-buffered PCM (ref [8]) vs and with FgNVM
 //!   reliability  fault injection: RBER x write-verify sweep through ECC/retry/remap
+//!   observe   instrumented run: spans, SAGxCD heatmap, Perfetto trace [cfg]
 //!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
 //! ```
+//!
+//! `observe` additionally honors `--trace-out FILE` (Chrome trace-event
+//! JSON, loadable at `ui.perfetto.dev`) and `--metrics-out FILE` (the
+//! counter registry + latency breakdowns + heatmap as one JSON document).
 
 use std::process::ExitCode;
 
@@ -50,6 +55,8 @@ struct Cli {
     markdown: bool,
     json: bool,
     out_dir: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -60,6 +67,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut markdown = false;
     let mut json = false;
     let mut out_dir = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -78,6 +87,14 @@ fn parse_args() -> Result<Cli, String> {
                 let dir = args.next().ok_or("--out needs a directory")?;
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--trace-out" => {
+                let file = args.next().ok_or("--trace-out needs a file")?;
+                trace_out = Some(std::path::PathBuf::from(file));
+            }
+            "--metrics-out" => {
+                let file = args.next().ok_or("--metrics-out needs a file")?;
+                metrics_out = Some(std::path::PathBuf::from(file));
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -90,12 +107,14 @@ fn parse_args() -> Result<Cli, String> {
         markdown,
         json,
         out_dir,
+        trace_out,
+        metrics_out,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|compare|regress|summary|all> \
-     [--ops N] [--seed S] [--csv|--md|--json] [--out DIR]"
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|compare|regress|summary|all> \
+     [--ops N] [--seed S] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE]"
         .to_string()
 }
 
@@ -265,6 +284,37 @@ fn run(cli: &Cli) -> Result<(), String> {
             &fgnvm_sim::extensions::mlp(p).map_err(fail)?.to_table(),
             format,
         ),
+        "observe" => {
+            let config = match cli.args.first() {
+                Some(path) => load_config(path)?,
+                None => fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(fail)?,
+            };
+            let out = fgnvm_sim::observe(&config, p).map_err(fail)?;
+            emit(&out.summary, format);
+            emit(&out.heatmap_table, format);
+            if matches!(format, Format::Text) {
+                print!("{}", out.heatmap_ascii);
+            }
+            if let Some(path) = &cli.trace_out {
+                std::fs::write(path, &out.trace_json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!(
+                    "trace written to {} (load it at ui.perfetto.dev)",
+                    path.display()
+                );
+            }
+            if let Some(path) = &cli.metrics_out {
+                std::fs::write(path, &out.metrics_json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("metrics written to {}", path.display());
+            }
+            if let Some(dir) = &cli.out_dir {
+                let _ = std::fs::create_dir_all(dir);
+                if let Err(e) = std::fs::write(dir.join("heatmap.csv"), &out.heatmap_csv) {
+                    eprintln!("warning: could not write artifact: {e}");
+                }
+            }
+        }
         "compare" => {
             if cli.args.is_empty() {
                 return Err("compare needs at least one parameter file".into());
@@ -376,6 +426,20 @@ fn run(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads and parses one `.cfg` parameter file, reporting problems through
+/// the SimError taxonomy.
+fn load_config(path: &str) -> Result<fgnvm_types::SystemConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        fgnvm_types::SimError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        }
+        .to_string()
+    })?;
+    fgnvm_types::parse_system_config(&text)
+        .map_err(|e| format!("{path}: {}", fgnvm_types::SimError::from(e)))
+}
+
 /// Runs the standard workloads on each parameter-file configuration and
 /// tabulates geometric-mean speedups against the first file.
 fn compare_param_files(files: &[String], params: &ExperimentParams) -> Result<Table, String> {
@@ -386,17 +450,7 @@ fn compare_param_files(files: &[String], params: &ExperimentParams) -> Result<Ta
     // the CLI reports them uniformly instead of panicking.
     let configs: Vec<_> = files
         .iter()
-        .map(|f| {
-            let text = std::fs::read_to_string(f).map_err(|e| {
-                fgnvm_types::SimError::Io {
-                    path: f.clone(),
-                    message: e.to_string(),
-                }
-                .to_string()
-            })?;
-            fgnvm_types::parse_system_config(&text)
-                .map_err(|e| format!("{f}: {}", fgnvm_types::SimError::from(e)))
-        })
+        .map(|f| load_config(f))
         .collect::<Result<_, String>>()?;
     let profiles = fgnvm_workloads::all_profiles();
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];

@@ -31,6 +31,7 @@
 
 pub mod experiment;
 pub mod extensions;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod simulation;
@@ -44,6 +45,7 @@ pub use extensions::{
     cells, coloring, cores, depth_sweep, dimensions, hybrid, mappings, multiprogrammed, pausing,
     scaling, schedulers, technology, timeline, write_sweep,
 };
+pub use observe::{observe, ObserveOutcome};
 pub use report::Table;
 pub use runner::{run_configs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome};
 pub use simulation::{Simulation, SimulationError, SimulationReport};

@@ -1,6 +1,10 @@
 //! Plain-text table / CSV rendering for experiment results.
+//!
+//! Rendering delegates to [`fgnvm_obs::TableData`], the workspace's single
+//! table/JSON emission backend, so CLI tables and metric exports produce
+//! identical bytes for identical data.
 
-use std::fmt::Write as _;
+use fgnvm_obs::TableData;
 
 /// A simple column-aligned text table.
 ///
@@ -15,18 +19,14 @@ use std::fmt::Write as _;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
+    data: TableData,
 }
 
 impl Table {
     /// Creates an empty table with a title and column headers.
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
-            title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
+            data: TableData::new(title, headers),
         }
     }
 
@@ -36,110 +36,50 @@ impl Table {
     ///
     /// Panics if the row width does not match the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
+        self.data.push_row(cells);
     }
 
     /// Number of data rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.data.rows.len()
     }
 
     /// The table's title.
     pub fn title(&self) -> &str {
-        &self.title
+        &self.data.title
+    }
+
+    /// The underlying presentation-layer payload.
+    pub fn data(&self) -> &TableData {
+        &self.data
     }
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "== {} ==", self.title);
-        let line = |out: &mut String, cells: &[String]| {
-            let mut first = true;
-            for (w, cell) in widths.iter().zip(cells) {
-                if !first {
-                    out.push_str("  ");
-                }
-                let _ = write!(out, "{cell:>w$}", w = w);
-                first = false;
-            }
-            out.push('\n');
-        };
-        line(&mut out, &self.headers);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-        let _ = writeln!(out, "{}", "-".repeat(total));
-        for row in &self.rows {
-            line(&mut out, row);
-        }
-        out
+        self.data.render()
     }
 
     /// Renders as a GitHub-flavored markdown table.
     pub fn to_markdown(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "### {}", self.title);
-        let _ = writeln!(out);
-        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}", "---|".repeat(self.headers.len()));
-        for row in &self.rows {
-            let _ = writeln!(out, "| {} |", row.join(" | "));
-        }
-        out
+        self.data.to_markdown()
     }
 
     /// Renders as a JSON object: `{"title": ..., "headers": [...],
     /// "rows": [[...], ...]}`. Values are emitted as JSON strings (tables
     /// are presentation-layer; parse numerics downstream if needed).
     pub fn to_json(&self) -> String {
-        fn quote(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
-        let headers: Vec<String> = self.headers.iter().map(|h| quote(h)).collect();
-        let rows: Vec<String> = self
-            .rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "[{}]",
-                    r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-                )
-            })
-            .collect();
-        format!(
-            "{{\"title\":{},\"headers\":[{}],\"rows\":[{}]}}",
-            quote(&self.title),
-            headers.join(","),
-            rows.join(",")
-        )
+        self.data.to_json()
     }
 
     /// Renders as CSV (comma-separated, headers first).
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.join(","));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
-        }
-        out
+        self.data.to_csv()
+    }
+}
+
+impl From<TableData> for Table {
+    fn from(data: TableData) -> Self {
+        Table { data }
     }
 }
 

@@ -60,9 +60,22 @@ pub struct RunOutcome {
     pub banks: BankStats,
     /// Mean read latency in memory cycles.
     pub avg_read_latency: f64,
+    /// Approximate median read latency in memory cycles (from the
+    /// power-of-two histogram; each percentile is a bucket upper bound).
+    pub read_p50: u64,
+    /// Approximate 95th-percentile read latency in memory cycles.
+    pub read_p95: u64,
     /// Approximate 99th-percentile read latency in memory cycles (from
     /// the power-of-two histogram).
     pub read_p99: u64,
+    /// Mean write latency (arrival → device completion) in memory cycles.
+    pub avg_write_latency: f64,
+    /// Approximate median write latency in memory cycles.
+    pub write_p50: u64,
+    /// Approximate 95th-percentile write latency in memory cycles.
+    pub write_p95: u64,
+    /// Approximate 99th-percentile write latency in memory cycles.
+    pub write_p99: u64,
     /// Writes coalesced in the write queue (never reached the array).
     pub merged_writes: u64,
     /// Reads served by store-to-load forwarding (never reached the array).
@@ -124,7 +137,13 @@ pub fn run_one_with_warmup(
         },
         banks,
         avg_read_latency: memory.stats().avg_read_latency(),
+        read_p50: memory.stats().read_latency_percentile(0.50),
+        read_p95: memory.stats().read_latency_percentile(0.95),
         read_p99: memory.stats().read_latency_percentile(0.99),
+        avg_write_latency: memory.stats().avg_write_latency(),
+        write_p50: memory.stats().write_latency_percentile(0.50),
+        write_p95: memory.stats().write_latency_percentile(0.95),
+        write_p99: memory.stats().write_latency_percentile(0.99),
         merged_writes: memory.stats().merged_writes,
         forwarded_reads: memory.stats().forwarded_reads,
         corrected_errors: memory.stats().corrected_errors,
@@ -153,7 +172,13 @@ pub fn run_one(
         energy: memory.energy(),
         banks: memory.bank_stats(),
         avg_read_latency: memory.stats().avg_read_latency(),
+        read_p50: memory.stats().read_latency_percentile(0.50),
+        read_p95: memory.stats().read_latency_percentile(0.95),
         read_p99: memory.stats().read_latency_percentile(0.99),
+        avg_write_latency: memory.stats().avg_write_latency(),
+        write_p50: memory.stats().write_latency_percentile(0.50),
+        write_p95: memory.stats().write_latency_percentile(0.95),
+        write_p99: memory.stats().write_latency_percentile(0.99),
         merged_writes: memory.stats().merged_writes,
         forwarded_reads: memory.stats().forwarded_reads,
         corrected_errors: memory.stats().corrected_errors,

@@ -70,8 +70,20 @@ pub struct SimulationReport {
     pub stall_fraction: f64,
     /// Mean read latency in memory cycles.
     pub avg_read_latency: f64,
+    /// Approximate p50 read latency in memory cycles.
+    pub p50_read_latency: u64,
     /// Approximate p95 read latency in memory cycles.
     pub p95_read_latency: u64,
+    /// Approximate p99 read latency in memory cycles.
+    pub p99_read_latency: u64,
+    /// Mean write latency (arrival → device completion) in memory cycles.
+    pub avg_write_latency: f64,
+    /// Approximate p50 write latency in memory cycles.
+    pub p50_write_latency: u64,
+    /// Approximate p95 write latency in memory cycles.
+    pub p95_write_latency: u64,
+    /// Approximate p99 write latency in memory cycles.
+    pub p99_write_latency: u64,
     /// Row-buffer hit rate.
     pub row_hit_rate: f64,
     /// Total energy in µJ.
@@ -87,11 +99,21 @@ impl fmt::Display for SimulationReport {
         writeln!(f, "workload {} ({:.1} MPKI)", self.workload, self.mpki)?;
         writeln!(
             f,
-            "  ipc {:.3} ({:.0}% stalled)   read latency {:.0} cy (p95 ~{})",
+            "  ipc {:.3} ({:.0}% stalled)   read latency {:.0} cy (p50 ~{} p95 ~{} p99 ~{})",
             self.ipc,
             self.stall_fraction * 100.0,
             self.avg_read_latency,
-            self.p95_read_latency
+            self.p50_read_latency,
+            self.p95_read_latency,
+            self.p99_read_latency
+        )?;
+        writeln!(
+            f,
+            "  write latency {:.0} cy (p50 ~{} p95 ~{} p99 ~{})",
+            self.avg_write_latency,
+            self.p50_write_latency,
+            self.p95_write_latency,
+            self.p99_write_latency
         )?;
         write!(
             f,
@@ -238,7 +260,13 @@ impl Simulation {
             ipc: result.ipc(),
             stall_fraction: result.stall_fraction(),
             avg_read_latency: memory.stats().avg_read_latency(),
+            p50_read_latency: memory.stats().read_latency_percentile(0.50),
             p95_read_latency: memory.stats().read_latency_percentile(0.95),
+            p99_read_latency: memory.stats().read_latency_percentile(0.99),
+            avg_write_latency: memory.stats().avg_write_latency(),
+            p50_write_latency: memory.stats().write_latency_percentile(0.50),
+            p95_write_latency: memory.stats().write_latency_percentile(0.95),
+            p99_write_latency: memory.stats().write_latency_percentile(0.99),
             row_hit_rate: banks.row_hit_rate(),
             energy_uj: memory.energy().total_pj() / 1e6,
             reads_under_write: banks.reads_under_write,

@@ -241,8 +241,7 @@ pub fn render_latency_histogram(hist: &[u64], width: usize) -> String {
     let last = hist.iter().rposition(|&c| c > 0).expect("total > 0");
     for (bucket, &count) in hist.iter().enumerate().take(last + 1).skip(first) {
         // Bucket i holds latencies in [2^(i-1), 2^i) (bucket 0: just 0).
-        let lo = if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
-        let hi = (1u64 << bucket) - 1;
+        let (lo, hi) = fgnvm_types::hist::bucket_bounds(bucket);
         let range = if bucket == 0 {
             "0".to_string()
         } else {
@@ -257,6 +256,87 @@ pub fn render_latency_histogram(hist: &[u64], width: usize) -> String {
         );
     }
     out
+}
+
+/// Renders a [`fgnvm_obs::TileHeatmap`] as an ASCII S×C grid of conflict
+/// counts — the paper's rook-placement model made visible: a hot cell's
+/// row (SAG) and column (CD) are the resources other accesses serialized
+/// behind.
+///
+/// Each cell shows its conflict count scaled to a 0–9 digit (`.` for zero);
+/// the margins carry per-SAG and per-CD conflict totals.
+pub fn render_heatmap(heatmap: &fgnvm_obs::TileHeatmap) -> String {
+    use std::fmt::Write as _;
+    let (sags, cds) = heatmap.dims();
+    let peak = heatmap
+        .cells()
+        .iter()
+        .map(|c| c.conflicts)
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tile conflicts (SAG x CD), peak {peak} conflicts/cell:"
+    );
+    out.push_str("        ");
+    for cd in 0..cds {
+        let _ = write!(out, "{cd:>2}");
+    }
+    out.push('\n');
+    let mut cd_totals = vec![0u64; cds as usize];
+    for sag in 0..sags {
+        let mut sag_total = 0u64;
+        let _ = write!(out, "SAG {sag:>2} |");
+        for cd in 0..cds {
+            let c = heatmap.cell(sag, cd).conflicts;
+            sag_total += c;
+            cd_totals[cd as usize] += c;
+            if c == 0 {
+                out.push_str(" .");
+            } else {
+                let digit = (c * 9).div_ceil(peak.max(1)).min(9);
+                let _ = write!(out, " {digit}");
+            }
+        }
+        let _ = writeln!(out, " | {sag_total}");
+    }
+    out.push_str("CD totals:");
+    for &total in &cd_totals {
+        let _ = write!(out, " {total}");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod heatmap_tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_grid_shape_and_scaling() {
+        let mut h = fgnvm_obs::TileHeatmap::new(4, 2);
+        h.on_command(0, 0, 1, 0, "activate", true, 0, 0, 100, 100);
+        h.on_command(0, 0, 1, 0, "activate", true, 10, 100, 200, 200);
+        h.on_command(0, 0, 1, 0, "activate", true, 20, 200, 300, 300);
+        let s = render_heatmap(&h);
+        let lines: Vec<&str> = s.lines().collect();
+        // Title + CD header + 4 SAG rows + CD totals.
+        assert_eq!(lines.len(), 7);
+        assert!(lines[3].starts_with("SAG  1"));
+        // Two conflicts at (1, 0) is the peak → digit 9.
+        assert!(lines[3].contains('9'), "{s}");
+        // Conflict-free cells render as dots.
+        assert!(lines[2].contains('.'));
+    }
+
+    #[test]
+    fn empty_heatmap_renders_dots() {
+        let h = fgnvm_obs::TileHeatmap::new(2, 2);
+        let s = render_heatmap(&h);
+        assert!(s.contains("peak 0"));
+        assert!(s.contains(" . ."));
+    }
 }
 
 #[cfg(test)]

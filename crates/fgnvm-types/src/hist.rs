@@ -1,0 +1,157 @@
+//! Shared power-of-two (log2) histogram arithmetic.
+//!
+//! Several layers keep latency histograms with the same bucketing — the
+//! memory system's [`SystemStats`](../../fgnvm_mem/stats/index.html), the
+//! observability layer's per-component breakdowns, and the CLI's ASCII
+//! renderers. This module is the single definition of that bucketing so the
+//! bucket math, bounds, and percentile extraction cannot drift apart.
+//!
+//! Bucketing rule: bucket 0 holds exactly the value 0; bucket *i* ≥ 1 holds
+//! values in `[2^(i-1), 2^i)`. The top bucket additionally clamps everything
+//! at or above `2^(HIST_BUCKETS-2)`, so it is open-ended.
+//!
+//! Approximation error: reporting a bucket's inclusive upper bound
+//! overstates a value inside bucket *i* ≥ 1 by strictly less than 2× (the
+//! bucket spans one octave). Bucket 0 is exact (only the value 0 lands
+//! there). The top bucket's reported bound understates clamped outliers —
+//! callers that care track the true maximum separately.
+
+/// Number of histogram buckets used across the simulator (values up to
+/// ~512 Ki cycles resolve exactly; larger ones clamp into the top bucket).
+pub const HIST_BUCKETS: usize = 20;
+
+/// The bucket index for `value`: 0 for 0, otherwise its bit length, clamped
+/// to the top bucket.
+///
+/// ```
+/// use fgnvm_types::hist::latency_bucket;
+/// assert_eq!(latency_bucket(0), 0);
+/// assert_eq!(latency_bucket(1), 1);
+/// assert_eq!(latency_bucket(40), 6); // 32..=63
+/// assert_eq!(latency_bucket(u64::MAX), 19);
+/// ```
+#[inline]
+pub const fn latency_bucket(value: u64) -> usize {
+    let bits = (u64::BITS - value.leading_zeros()) as usize;
+    if bits < HIST_BUCKETS {
+        bits
+    } else {
+        HIST_BUCKETS - 1
+    }
+}
+
+/// The inclusive `(low, high)` value range of `bucket`. The top bucket is
+/// open-ended upward; its nominal `high` of `2^(HIST_BUCKETS-1) - 1`
+/// understates clamped values.
+///
+/// ```
+/// use fgnvm_types::hist::bucket_bounds;
+/// assert_eq!(bucket_bounds(0), (0, 0));
+/// assert_eq!(bucket_bounds(6), (32, 63));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bucket >= HIST_BUCKETS`.
+#[inline]
+pub const fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < HIST_BUCKETS, "bucket out of range");
+    if bucket == 0 {
+        (0, 0)
+    } else {
+        (1 << (bucket - 1), (1 << bucket) - 1)
+    }
+}
+
+/// The inclusive upper bound of `bucket` (see [`bucket_bounds`]).
+#[inline]
+pub const fn bucket_upper_bound(bucket: usize) -> u64 {
+    bucket_bounds(bucket).1
+}
+
+/// The `p`-th percentile (p in `[0, 1]`) of a histogram, reported as the
+/// inclusive upper bound of the bucket containing the rank-`⌈p·n⌉` sample.
+/// Zero when the histogram is empty. The per-bucket approximation error is
+/// documented in the [module docs](self).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn percentile_from_hist(counts: &[u64], p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "percentile out of range");
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (p * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (bucket, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper_bound(bucket);
+        }
+    }
+    unreachable!("rank {rank} exceeds histogram total {total}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every value lands in exactly the bucket whose bounds contain it
+        // (or the top bucket when it clamps).
+        for v in (0u64..4096).chain([1 << 18, (1 << 19) - 1, 1 << 19, u64::MAX]) {
+            let b = latency_bucket(v);
+            let (lo, hi) = bucket_bounds(b);
+            if b < HIST_BUCKETS - 1 {
+                assert!(lo <= v && v <= hi, "value {v} outside bucket {b}");
+            } else {
+                assert!(v >= lo, "clamped value {v} below top bucket's floor");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_zero_is_exact() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn upper_bound_error_is_below_2x() {
+        for v in 1u64..(1 << 12) {
+            let bound = bucket_upper_bound(latency_bucket(v));
+            assert!(bound >= v);
+            assert!(bound < v * 2, "bound {bound} ≥ 2× value {v}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_zero_latency_is_zero() {
+        // The regression this module exists to pin: a run whose every
+        // sample is 0 must report percentile 0, not 1.
+        let mut counts = [0u64; HIST_BUCKETS];
+        counts[0] = 10;
+        assert_eq!(percentile_from_hist(&counts, 0.99), 0);
+    }
+
+    #[test]
+    fn percentile_walks_the_distribution() {
+        let mut counts = [0u64; HIST_BUCKETS];
+        counts[6] = 90; // 32..=63
+        counts[10] = 10; // 512..=1023
+        assert_eq!(percentile_from_hist(&counts, 0.5), 63);
+        assert_eq!(percentile_from_hist(&counts, 0.9), 63);
+        assert_eq!(percentile_from_hist(&counts, 0.99), 1023);
+        assert_eq!(percentile_from_hist(&[0; HIST_BUCKETS], 0.99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn out_of_range_percentile_rejected() {
+        let _ = percentile_from_hist(&[1], 1.5);
+    }
+}

@@ -30,6 +30,7 @@ pub mod address;
 pub mod config;
 pub mod error;
 pub mod geometry;
+pub mod hist;
 pub mod params;
 pub mod request;
 pub mod time;
