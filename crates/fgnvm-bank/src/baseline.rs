@@ -275,6 +275,18 @@ impl Bank for BaselineBank {
         };
         earliest.max(now)
     }
+
+    fn occupancy(&self) -> crate::OccupancySnapshot {
+        // The monolithic bank has one "SAG" (the whole array) and one "CD"
+        // (the single column path); a write's lock shows up as the column
+        // path being pushed to its completion.
+        crate::OccupancySnapshot {
+            open_rows: vec![self.open_row],
+            sag_locks: vec![self.next_col],
+            cd_io_free: vec![self.column_ready()],
+            busy_until: self.quiesce,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -41,11 +41,13 @@ use crate::stats::BankStats;
 use crate::Bank;
 
 /// Pause/resume overhead added to a read that interrupts a write and again
-/// to the write's completion (≈ 10 ns at 400 MHz).
-const PAUSE_OVERHEAD: CycleCount = CycleCount::new(4);
+/// to the write's completion (≈ 10 ns at 400 MHz). Public so the external
+/// conformance oracle (`fgnvm-check`) can reproduce the pause arithmetic.
+pub const PAUSE_OVERHEAD: CycleCount = CycleCount::new(4);
 /// A write is only worth pausing if at least this much programming time
-/// remains (otherwise just wait it out).
-const PAUSE_MIN_REMAINING: CycleCount = CycleCount::new(12);
+/// remains (otherwise just wait it out). Public for the same reason as
+/// [`PAUSE_OVERHEAD`].
+pub const PAUSE_MIN_REMAINING: CycleCount = CycleCount::new(12);
 
 /// Which of the paper's access modes are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -773,6 +775,15 @@ impl Bank for FgnvmBank {
 
     fn write_in_progress(&self, now: Cycle) -> bool {
         FgnvmBank::write_in_progress(self, now)
+    }
+
+    fn occupancy(&self) -> crate::OccupancySnapshot {
+        crate::OccupancySnapshot {
+            open_rows: self.sags.iter().map(|s| s.open_row).collect(),
+            sag_locks: self.sags.iter().map(|s| s.lock).collect(),
+            cd_io_free: self.cd_io_free.clone(),
+            busy_until: self.max_completion,
+        }
     }
 }
 

@@ -49,10 +49,28 @@ pub use access::{Access, AccessPlan, BlockReason, Blocked, Issued, PlanKind};
 pub use baseline::BaselineBank;
 pub use dram::{DramBank, RefreshCycles};
 pub use faults::{FaultModel, FaultOutcome};
-pub use fgnvm::{FgnvmBank, Modes};
+pub use fgnvm::{FgnvmBank, Modes, PAUSE_MIN_REMAINING, PAUSE_OVERHEAD};
 pub use stats::BankStats;
 
 use fgnvm_types::time::Cycle;
+
+/// Point-in-time snapshot of a bank's internal occupancy windows.
+///
+/// Exposed so external layers (the `fgnvm-check` conformance oracle, debug
+/// dumps) can inspect the FSM without reaching into private state. Vectors
+/// are indexed by SAG / CD; monolithic banks report single-element vectors
+/// and models without introspection return the empty default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// The row each SAG's wordline currently selects, if any.
+    pub open_rows: Vec<Option<u32>>,
+    /// Instant each SAG's write lock releases (`ZERO` when unlocked).
+    pub sag_locks: Vec<Cycle>,
+    /// Instant each CD's sense/drive I/O path becomes free.
+    pub cd_io_free: Vec<Cycle>,
+    /// Instant every operation committed so far has fully retired.
+    pub busy_until: Cycle,
+}
 
 /// The two-phase bank protocol spoken by the memory controller.
 ///
@@ -109,6 +127,13 @@ pub trait Bank: std::fmt::Debug + Send {
     fn write_in_progress(&self, now: Cycle) -> bool {
         let _ = now;
         false
+    }
+
+    /// A snapshot of the bank's occupancy windows for external inspection.
+    /// Models without introspection return the empty default; both NVM FSMs
+    /// override this with their real per-SAG/per-CD state.
+    fn occupancy(&self) -> OccupancySnapshot {
+        OccupancySnapshot::default()
     }
 }
 

@@ -1,0 +1,196 @@
+//! Plain-text serialization for fuzz cases.
+//!
+//! When the fuzzer finds a failure it shrinks the case and writes it as a
+//! `.case` file; `fgnvm-repro -- fuzz path/to/file.case` replays it. The
+//! format is line-oriented and diff-friendly so minimized counterexamples
+//! can be committed next to the regression tests they motivate:
+//!
+//! ```text
+//! # fgnvm-check fuzz case
+//! model = pausing
+//! sags = 8
+//! cds = 4
+//! faulty = true
+//! fast_forward = false
+//! chaos = false
+//! op = W 17 0
+//! op = R 17 3
+//! ```
+//!
+//! Each `op` line is `R|W <line> <gap>`: read or write cache line `line`
+//! (modulo the configuration's capacity), then step the clock `gap`
+//! cycles before the next enqueue.
+
+use crate::fuzz::{FuzzCase, FuzzModel, FuzzOp};
+
+/// Renders a case in the `.case` text format. [`parse_case`] inverts this.
+pub fn render_case(case: &FuzzCase) -> String {
+    let mut out = String::from("# fgnvm-check fuzz case\n");
+    out.push_str(&format!("model = {}\n", case.model.name()));
+    out.push_str(&format!("sags = {}\n", case.sags));
+    out.push_str(&format!("cds = {}\n", case.cds));
+    out.push_str(&format!("faulty = {}\n", case.faulty));
+    out.push_str(&format!("fast_forward = {}\n", case.fast_forward));
+    out.push_str(&format!("chaos = {}\n", case.chaos));
+    for op in &case.ops {
+        out.push_str(&format!(
+            "op = {} {} {}\n",
+            if op.write { 'W' } else { 'R' },
+            op.line,
+            op.gap
+        ));
+    }
+    out
+}
+
+/// Parses the `.case` text format produced by [`render_case`].
+///
+/// # Errors
+///
+/// Returns a line-numbered description of the first malformed line.
+pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
+    let mut case = FuzzCase {
+        model: FuzzModel::Fgnvm,
+        sags: 8,
+        cds: 2,
+        faulty: false,
+        fast_forward: false,
+        chaos: false,
+        ops: Vec::new(),
+    };
+    let mut saw_model = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let parse_u32 = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|_| format!("line {lineno}: {key} wants an integer, got {v:?}"))
+        };
+        let parse_bool = |v: &str| match v {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(format!("line {lineno}: {key} wants true/false, got {v:?}")),
+        };
+        match key {
+            "model" => {
+                case.model = FuzzModel::from_name(value)
+                    .ok_or_else(|| format!("line {lineno}: unknown model {value:?}"))?;
+                saw_model = true;
+            }
+            "sags" => case.sags = parse_u32(value)?,
+            "cds" => case.cds = parse_u32(value)?,
+            "faulty" => case.faulty = parse_bool(value)?,
+            "fast_forward" => case.fast_forward = parse_bool(value)?,
+            "chaos" => case.chaos = parse_bool(value)?,
+            "op" => {
+                let mut parts = value.split_whitespace();
+                let dir = parts.next().unwrap_or("");
+                let write = match dir {
+                    "R" => false,
+                    "W" => true,
+                    _ => return Err(format!("line {lineno}: op wants R or W, got {dir:?}")),
+                };
+                let line_no = parts
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| format!("line {lineno}: op wants `R|W <line> <gap>`"))?;
+                let gap = parts
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or_else(|| format!("line {lineno}: op wants `R|W <line> <gap>`"))?;
+                if parts.next().is_some() {
+                    return Err(format!("line {lineno}: trailing tokens after op"));
+                }
+                case.ops.push(FuzzOp {
+                    write,
+                    line: line_no,
+                    gap,
+                });
+            }
+            _ => return Err(format!("line {lineno}: unknown key {key:?}")),
+        }
+    }
+    if !saw_model {
+        return Err("missing `model =` line".to_string());
+    }
+    Ok(case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzCase {
+        FuzzCase {
+            model: FuzzModel::Pausing,
+            sags: 16,
+            cds: 4,
+            faulty: true,
+            fast_forward: false,
+            chaos: false,
+            ops: vec![
+                FuzzOp {
+                    write: true,
+                    line: 17,
+                    gap: 0,
+                },
+                FuzzOp {
+                    write: false,
+                    line: 17,
+                    gap: 3,
+                },
+                FuzzOp {
+                    write: false,
+                    line: 9000,
+                    gap: 250,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let case = sample();
+        let text = render_case(&case);
+        let back = parse_case(&text).expect("own output parses");
+        assert_eq!(back, case);
+        // And the round trip is textually stable.
+        assert_eq!(render_case(&back), text);
+    }
+
+    #[test]
+    fn every_model_name_round_trips() {
+        for model in FuzzModel::ALL {
+            assert_eq!(FuzzModel::from_name(model.name()), Some(model));
+        }
+    }
+
+    #[test]
+    fn malformed_cases_are_rejected_with_line_numbers() {
+        assert!(parse_case("").unwrap_err().contains("model"));
+        let err = parse_case("model = fgnvm\nop = X 1 2\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_case("model = warp\n").unwrap_err().contains("warp"));
+        assert!(parse_case("model = fgnvm\nsags = many\n")
+            .unwrap_err()
+            .contains("integer"));
+        assert!(parse_case("model = fgnvm\nop = R 1 2 3\n")
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nmodel = baseline\n  # indented comment\nop = R 0 0\n";
+        let case = parse_case(text).expect("parses");
+        assert_eq!(case.model, FuzzModel::Baseline);
+        assert_eq!(case.ops.len(), 1);
+    }
+}

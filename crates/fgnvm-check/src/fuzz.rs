@@ -1,0 +1,501 @@
+//! Shrinking command-sequence fuzzer for the raw [`MemorySystem`] API.
+//!
+//! The unit and differential tiers exercise curated workloads; the fuzzer
+//! explores the space the curated tiers never reach — adversarial
+//! interleavings, degenerate geometries (1×1 up to 32×32 tiles), fault
+//! injection, and both stepping modes. Every generated [`FuzzCase`] is
+//! executed end to end and judged by the independent correctness layer:
+//! the [`Oracle`] audits the command stream, the
+//! [`invariants`] check conservation, panics are caught
+//! and the watchdog bounds runaway cases. A failing case is shrunk —
+//! chunk-deletion over the op sequence, then field simplification — to a
+//! minimal reproducer renderable as a [`.case` file](crate::case) that
+//! `fgnvm-repro -- fuzz <file>` replays.
+//!
+//! Generation is fully deterministic: every case is a pure function of
+//! `(seed, index)` via [`derive_seed`](crate::derive_seed)/[`splitmix64`], so a failure
+//! message's seed always reproduces the run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::{ReliabilityConfig, SystemConfig};
+use fgnvm_types::{Completion, Op, PhysAddr, RequestId};
+
+use crate::case::render_case;
+use crate::invariants;
+use crate::oracle::Oracle;
+use crate::seed::splitmix64;
+
+/// Which system model a fuzz case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzModel {
+    /// Monolithic PCM bank (the paper's baseline).
+    Baseline,
+    /// FgNVM with partial activation + backgrounded writes.
+    Fgnvm,
+    /// FgNVM with a 2-wide Multi-Issue column path.
+    MultiIssue,
+    /// FgNVM with write pausing enabled.
+    Pausing,
+    /// The DRAM contrast model.
+    Dram,
+}
+
+impl FuzzModel {
+    /// Every model, in generation-palette order.
+    pub const ALL: [FuzzModel; 5] = [
+        FuzzModel::Baseline,
+        FuzzModel::Fgnvm,
+        FuzzModel::MultiIssue,
+        FuzzModel::Pausing,
+        FuzzModel::Dram,
+    ];
+
+    /// Models the chaos knob is meaningful for (the knob lives in the
+    /// tile-aware scheduler path; DRAM would just mask it).
+    pub const CHAOS_ELIGIBLE: [FuzzModel; 3] =
+        [FuzzModel::Fgnvm, FuzzModel::MultiIssue, FuzzModel::Pausing];
+
+    /// The `.case`-file name of this model.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzModel::Baseline => "baseline",
+            FuzzModel::Fgnvm => "fgnvm",
+            FuzzModel::MultiIssue => "multi_issue",
+            FuzzModel::Pausing => "pausing",
+            FuzzModel::Dram => "dram",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        FuzzModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// One fuzzed memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzOp {
+    /// Write (true) or read (false).
+    pub write: bool,
+    /// Cache-line index; reduced modulo the configuration's capacity.
+    pub line: u64,
+    /// Cycles to step the clock before the next enqueue.
+    pub gap: u32,
+}
+
+/// A complete, replayable fuzz input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The system model under test.
+    pub model: FuzzModel,
+    /// Subarray groups per bank (ignored by `baseline`/`dram`).
+    pub sags: u32,
+    /// Column divisions per bank (ignored by `baseline`/`dram`).
+    pub cds: u32,
+    /// Enable the device fault model (verify retries, ECC, bit errors).
+    pub faulty: bool,
+    /// Run with event-driven fast-forward instead of cycle stepping.
+    pub fast_forward: bool,
+    /// Enable the test-only illegal-issue knob (the deliberate scheduler
+    /// mutation the oracle must catch).
+    pub chaos: bool,
+    /// The operation sequence.
+    pub ops: Vec<FuzzOp>,
+}
+
+impl FuzzCase {
+    /// Builds the [`SystemConfig`] this case drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error for inadmissible geometry.
+    pub fn build_config(&self) -> Result<SystemConfig, String> {
+        let base = match self.model {
+            FuzzModel::Baseline => Ok(SystemConfig::baseline()),
+            FuzzModel::Fgnvm => SystemConfig::fgnvm(self.sags, self.cds).map_err(|e| e.to_string()),
+            FuzzModel::MultiIssue => {
+                SystemConfig::fgnvm_multi_issue(self.sags, self.cds, 2).map_err(|e| e.to_string())
+            }
+            FuzzModel::Pausing => {
+                SystemConfig::fgnvm_with_pausing(self.sags, self.cds).map_err(|e| e.to_string())
+            }
+            FuzzModel::Dram => Ok(SystemConfig::dram()),
+        }?;
+        let config = if self.faulty {
+            base.with_reliability(ReliabilityConfig {
+                enabled: true,
+                fault_seed: 0xfa57,
+                rber: 1e-4,
+                write_fail_prob: 0.02,
+                max_write_retries: 2,
+                ecc_correctable_bits: 2,
+                ecc_decode_penalty_cycles: 8,
+                wear_stuck_threshold: 0,
+            })
+        } else {
+            base
+        };
+        config.validate().map_err(|e| e.to_string())?;
+        Ok(config)
+    }
+}
+
+/// What a successfully executed case looked like.
+#[derive(Debug)]
+pub struct CaseReport {
+    /// Requests the controller accepted.
+    pub accepted: usize,
+    /// Commands the oracle audited across channels.
+    pub commands: usize,
+    /// Peak per-bank tile concurrency the oracle observed.
+    pub max_tile_concurrency: u32,
+}
+
+/// Runs one case end to end and judges it with the full correctness
+/// layer. `Err` carries a human-readable description of the first
+/// failure: an oracle/protocol violation, a broken invariant, a watchdog
+/// stall, or a caught panic.
+pub fn execute_case(case: &FuzzCase) -> Result<CaseReport, String> {
+    let case = case.clone();
+    catch_unwind(AssertUnwindSafe(move || execute_inner(&case))).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(format!("panicked: {msg}"))
+    })
+}
+
+fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
+    let config = case.build_config()?;
+    let mut memory = MemorySystem::new(config).map_err(|e| e.to_string())?;
+    memory.set_fast_forward(case.fast_forward);
+    memory.enable_command_log(1 << 20);
+    memory.enable_observer();
+    if case.chaos {
+        memory.debug_force_illegal_issue(true);
+    }
+    let line_bytes = u64::from(config.geometry.line_bytes());
+    let lines = config.geometry.capacity_bytes() / line_bytes;
+    let mut accepted: Vec<RequestId> = Vec::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    for op in &case.ops {
+        let addr = PhysAddr::new((op.line % lines.max(1)) * line_bytes);
+        let kind = if op.write { Op::Write } else { Op::Read };
+        let mut id = memory.enqueue(kind, addr);
+        if id.is_none() {
+            // Queue full: drain a bounded window, then retry once. A still
+            // -full queue after 64k cycles is a stall the watchdog below
+            // would also catch; just drop the op.
+            let target = fgnvm_types::Cycle::new(memory.now().raw() + 65_536);
+            memory.tick_to(target, &mut completions);
+            id = memory.enqueue(kind, addr);
+        }
+        if let Some(id) = id {
+            accepted.push(id);
+        }
+        if op.gap > 0 {
+            let target = fgnvm_types::Cycle::new(memory.now().raw() + u64::from(op.gap));
+            memory.tick_to(target, &mut completions);
+        }
+    }
+    completions.extend(
+        memory
+            .try_run_until_idle(100_000)
+            .map_err(|e| format!("watchdog: {e:?}"))?,
+    );
+
+    let oracle = Oracle::new(&config).map_err(|e| e.to_string())?;
+    let mut commands = 0;
+    let mut max_conc = 0;
+    for channel in 0..config.geometry.channels() {
+        let report = oracle.audit(memory.command_log(channel));
+        commands += report.commands;
+        max_conc = max_conc.max(report.max_tile_concurrency);
+        if !report.is_clean() {
+            let first = report
+                .violations
+                .first()
+                .map(ToString::to_string)
+                .or_else(|| report.protocol.violations.first().map(|v| format!("{v:?}")))
+                .unwrap_or_default();
+            return Err(format!(
+                "channel {channel}: {} oracle + {} protocol violation(s); first: {first}",
+                report.violations.len(),
+                report.protocol.violations.len()
+            ));
+        }
+    }
+    let observer = memory.take_observer().expect("observer enabled above");
+    let mut inv = invariants::standard_report(&config, &memory, Some(&observer));
+    inv.merge(invariants::check_completions(&accepted, &completions));
+    if !inv.is_clean() {
+        return Err(format!("invariant failure: {}", inv.failures.join("; ")));
+    }
+    Ok(CaseReport {
+        accepted: accepted.len(),
+        commands,
+        max_tile_concurrency: max_conc,
+    })
+}
+
+/// Fuzzer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzOptions {
+    /// Cases to generate and run.
+    pub cases: usize,
+    /// Master seed; every case derives deterministically from it.
+    pub seed: u64,
+    /// Upper bound on ops per generated case.
+    pub max_ops: usize,
+    /// Enable the illegal-issue chaos knob in every generated case
+    /// (restricting models to the tile-aware ones). Used by the
+    /// mutation-detection tests; real fuzz runs leave this off.
+    pub chaos: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            cases: 64,
+            seed: crate::derive_seed("fgnvm-check::fuzz", 0),
+            max_ops: 96,
+            chaos: false,
+        }
+    }
+}
+
+/// A fuzz failure with its minimized reproducer.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// Case index within the run (`derive_seed(label, index)` reproduces it).
+    pub index: usize,
+    /// The originally generated failing case.
+    pub original: FuzzCase,
+    /// The shrunk, minimal failing case.
+    pub shrunk: FuzzCase,
+    /// The failure message of the shrunk case.
+    pub message: String,
+}
+
+impl FuzzFailure {
+    /// The shrunk reproducer in `.case` format.
+    pub fn case_file(&self) -> String {
+        render_case(&self.shrunk)
+    }
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Cases generated and executed (stops early on the first failure).
+    pub cases_run: usize,
+    /// The first failure, if any, already shrunk.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// Generates the `index`-th case of a run seeded with `seed`.
+pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> FuzzCase {
+    let mut rng = crate::derive_seed("fgnvm-check::fuzz-case", seed ^ (index as u64) << 1);
+    let mut next = move || splitmix64(&mut rng);
+    let model = if chaos {
+        FuzzModel::CHAOS_ELIGIBLE[(next() % 3) as usize]
+    } else {
+        FuzzModel::ALL[(next() % 5) as usize]
+    };
+    const DIMS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+    let sags = DIMS[(next() % 6) as usize];
+    let cds = DIMS[(next() % 6) as usize];
+    let n_ops = 1 + (next() as usize) % max_ops.max(1);
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let write = next() % 100 < 40;
+        // Bias hard toward a small hot set so rows and tiles actually
+        // contend; the cold tail still probes the full address space.
+        let line = match next() % 4 {
+            0..=2 => next() % 64,
+            _ => next() % (1 << 20),
+        };
+        let gap = match next() % 8 {
+            0..=4 => 0,
+            5 | 6 => (next() % 64) as u32,
+            _ => (next() % 2048) as u32,
+        };
+        ops.push(FuzzOp { write, line, gap });
+    }
+    FuzzCase {
+        model,
+        sags,
+        cds,
+        faulty: next() % 4 == 0,
+        fast_forward: next() % 2 == 0,
+        chaos,
+        ops,
+    }
+}
+
+/// Runs the fuzzer: generate, execute, and on the first failure shrink to
+/// a minimal reproducer.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzOutcome {
+    for index in 0..opts.cases {
+        let mut case = generate_case(opts.seed, index, opts.max_ops, opts.chaos);
+        if case.build_config().is_err() {
+            // Inadmissible geometry for this model; fall back to the
+            // canonical paper grid rather than wasting the slot.
+            case.sags = 8;
+            case.cds = 2;
+        }
+        if let Err(message) = execute_case(&case) {
+            let (shrunk, message) = shrink(&case, message);
+            return FuzzOutcome {
+                cases_run: index + 1,
+                failure: Some(FuzzFailure {
+                    index,
+                    original: case,
+                    shrunk,
+                    message,
+                }),
+            };
+        }
+    }
+    FuzzOutcome {
+        cases_run: opts.cases,
+        failure: None,
+    }
+}
+
+/// Budgeted executions during shrinking; keeps pathological cases from
+/// turning one failure into a minutes-long minimization.
+const SHRINK_BUDGET: usize = 400;
+
+/// Minimizes `case`, preserving failure. Returns the smallest failing
+/// variant found and its failure message.
+fn shrink(case: &FuzzCase, mut message: String) -> (FuzzCase, String) {
+    let mut best = case.clone();
+    let mut budget = SHRINK_BUDGET;
+    let fails = |candidate: &FuzzCase, budget: &mut usize| -> Option<String> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        execute_case(candidate).err()
+    };
+
+    // Pass 1: delete chunks of ops, halving the chunk size. Restart from
+    // the large chunks after any successful deletion.
+    let mut chunk = best.ops.len().max(1).next_power_of_two();
+    while chunk >= 1 {
+        let mut start = 0;
+        let mut deleted_any = false;
+        while start < best.ops.len() {
+            let end = (start + chunk).min(best.ops.len());
+            let mut candidate = best.clone();
+            candidate.ops.drain(start..end);
+            if candidate.ops.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(msg) = fails(&candidate, &mut budget) {
+                best = candidate;
+                message = msg;
+                deleted_any = true;
+                // Same start now points at fresh ops.
+            } else {
+                start = end;
+            }
+        }
+        if deleted_any && chunk < best.ops.len() {
+            chunk = best.ops.len().next_power_of_two();
+        } else {
+            chunk /= 2;
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+
+    // Pass 2: simplify fields while the case still fails.
+    let try_edit = |best: &mut FuzzCase,
+                    message: &mut String,
+                    budget: &mut usize,
+                    edit: &dyn Fn(&mut FuzzCase)| {
+        let mut candidate = best.clone();
+        edit(&mut candidate);
+        if candidate == *best {
+            return;
+        }
+        if let Some(msg) = fails(&candidate, budget) {
+            *best = candidate;
+            *message = msg;
+        }
+    };
+    try_edit(&mut best, &mut message, &mut budget, &|c| c.faulty = false);
+    try_edit(&mut best, &mut message, &mut budget, &|c| {
+        c.fast_forward = false
+    });
+    try_edit(&mut best, &mut message, &mut budget, &|c| c.chaos = false);
+    for dims in [(1, 1), (2, 2), (4, 2), (8, 2)] {
+        try_edit(&mut best, &mut message, &mut budget, &|c| {
+            c.sags = dims.0;
+            c.cds = dims.1;
+        });
+    }
+    for i in 0..best.ops.len() {
+        try_edit(&mut best, &mut message, &mut budget, &|c| c.ops[i].gap = 0);
+        try_edit(&mut best, &mut message, &mut budget, &|c| {
+            c.ops[i].line %= 64
+        });
+    }
+    (best, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_case(7, 3, 64, false);
+        let b = generate_case(7, 3, 64, false);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_case(7, 4, 64, false));
+    }
+
+    #[test]
+    fn chaos_generation_stays_on_tile_aware_models() {
+        for index in 0..32 {
+            let case = generate_case(11, index, 16, true);
+            assert!(
+                FuzzModel::CHAOS_ELIGIBLE.contains(&case.model),
+                "chaos case {index} drew {:?}",
+                case.model
+            );
+            assert!(case.chaos);
+        }
+    }
+
+    #[test]
+    fn a_legal_hand_written_case_executes_cleanly() {
+        let case = FuzzCase {
+            model: FuzzModel::Fgnvm,
+            sags: 8,
+            cds: 2,
+            faulty: false,
+            fast_forward: true,
+            chaos: false,
+            ops: (0..24)
+                .map(|i| FuzzOp {
+                    write: i % 3 == 0,
+                    line: i * 7,
+                    gap: (i % 5 * 10) as u32,
+                })
+                .collect(),
+        };
+        let report = execute_case(&case).expect("legal case is clean");
+        assert!(report.accepted > 0);
+        assert!(report.commands > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Whole-run conservation invariants.
+//!
+//! Where the [`oracle`](crate::oracle) checks every individual command,
+//! these checks assert *exact* global conservation laws over a finished
+//! run. They are deliberately equalities, not tolerances (the one float
+//! check uses a 1e-6 absolute epsilon): the quantities involved are all
+//! integer counters, so any drift is a double-count or a leak, never
+//! rounding.
+//!
+//! - **Span decomposition**: `queue + retry + bank + bus + tail == total`
+//!   summed over every completed request, per operation class.
+//! - **Heatmap conservation**: the S×C tile grid's per-kind totals equal
+//!   the bank counters the simulator kept independently.
+//! - **Energy conservation**: sensing/programming energy is exactly the
+//!   configured pJ/bit times the bit counters.
+//! - **Occupancy quiescence**: once the system reports idle, no bank
+//!   resource may still claim a busy window in the future.
+//! - **Exactly-once completion**: every accepted request id completes
+//!   exactly once (checked by the fuzzer, which owns the id lists).
+
+use std::fmt;
+
+use fgnvm_bank::BankStats;
+use fgnvm_mem::MemorySystem;
+use fgnvm_obs::Observer;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::{Completion, RequestId};
+
+/// The outcome of an invariant pass.
+#[derive(Debug, Default)]
+pub struct InvariantReport {
+    /// Names of the invariants that were actually evaluated.
+    pub checked: Vec<&'static str>,
+    /// Human-readable descriptions of every violated invariant.
+    pub failures: Vec<String>,
+}
+
+impl InvariantReport {
+    /// True when every evaluated invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: InvariantReport) {
+        self.checked.extend(other.checked);
+        self.failures.extend(other.failures);
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariants: {} checked, {} failed",
+            self.checked.len(),
+            self.failures.len()
+        )?;
+        for failure in &self.failures {
+            writeln!(f, "  - {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `queue + retry + bank + bus + tail == total`, exactly, per op class.
+///
+/// The span tracker records all six histograms from the same lifecycle
+/// events, so both the counts and the cycle sums must agree; a mismatch
+/// means a lifecycle hook fired twice or a span component was dropped.
+pub fn check_span_sums(observer: &Observer) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("span-sums");
+    for (class, b) in [
+        ("read", &observer.spans.reads),
+        ("write", &observer.spans.writes),
+    ] {
+        let parts = b.queue.sum() + b.retry.sum() + b.bank.sum() + b.bus.sum() + b.tail.sum();
+        if parts != b.total.sum() {
+            report.failures.push(format!(
+                "span decomposition leak ({class}s): components sum to {parts} cycles but totals sum to {}",
+                b.total.sum()
+            ));
+        }
+        for (name, h) in [
+            ("queue", &b.queue),
+            ("retry", &b.retry),
+            ("bank", &b.bank),
+            ("bus", &b.bus),
+            ("tail", &b.tail),
+        ] {
+            if h.count() != b.total.count() {
+                report.failures.push(format!(
+                    "span component count mismatch ({class}s): {name} recorded {} spans, total recorded {}",
+                    h.count(),
+                    b.total.count()
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// The heatmap's per-kind cell totals equal the bank counters.
+///
+/// `banks.reads` counts every committed read, so full activations (the
+/// heatmap's catch-all kind) must be exactly the reads that were neither
+/// row hits nor underfetches. (`banks.activations` is *not* comparable:
+/// it also counts write row switches.)
+pub fn check_heatmap_totals(observer: &Observer, banks: &BankStats) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("heatmap-totals");
+    let cells = observer.heatmap.cells();
+    let row_hits: u64 = cells.iter().map(|c| c.row_hits).sum();
+    let underfetches: u64 = cells.iter().map(|c| c.underfetches).sum();
+    let writes: u64 = cells.iter().map(|c| c.writes).sum();
+    let activations: u64 = cells.iter().map(|c| c.activations).sum();
+    let mut expect = |name: &str, got: u64, want: u64| {
+        if got != want {
+            report.failures.push(format!(
+                "heatmap conservation: {name} cells sum to {got} but bank counters say {want}"
+            ));
+        }
+    };
+    expect("row-hit", row_hits, banks.row_hits);
+    expect("underfetch", underfetches, banks.underfetches);
+    expect("write", writes, banks.writes);
+    expect(
+        "activation",
+        activations,
+        banks
+            .reads
+            .saturating_sub(banks.row_hits + banks.underfetches),
+    );
+    report
+}
+
+/// Sensing and programming energy are exactly `pJ/bit × bits`.
+pub fn check_energy(
+    config: &SystemConfig,
+    banks: &BankStats,
+    energy: &fgnvm_mem::EnergyBreakdown,
+) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("energy-conservation");
+    let want_sense = banks.sensed_bits as f64 * config.energy.read_pj_per_bit;
+    let want_write = banks.written_bits as f64 * config.energy.write_pj_per_bit;
+    // Equalities up to float representation: the model multiplies the same
+    // two numbers, so anything beyond epsilon is a counter leak.
+    let tol = 1e-6 + want_sense.abs() * 1e-12;
+    if (energy.sense_pj - want_sense).abs() > tol {
+        report.failures.push(format!(
+            "energy conservation: sense {} pJ but {} sensed bits × {} pJ/bit = {}",
+            energy.sense_pj, banks.sensed_bits, config.energy.read_pj_per_bit, want_sense
+        ));
+    }
+    let tol = 1e-6 + want_write.abs() * 1e-12;
+    if (energy.write_pj - want_write).abs() > tol {
+        report.failures.push(format!(
+            "energy conservation: write {} pJ but {} written bits × {} pJ/bit = {}",
+            energy.write_pj, banks.written_bits, config.energy.write_pj_per_bit, want_write
+        ));
+    }
+    report
+}
+
+/// At idle, no bank resource may still be busy in the future.
+///
+/// Returns an empty (nothing-checked) report when the system is not idle;
+/// callers should drain first.
+pub fn check_occupancy_quiesced(memory: &MemorySystem) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    if !memory.is_idle() {
+        return report;
+    }
+    report.checked.push("occupancy-quiesced");
+    let now = memory.now();
+    for (bank, snap) in memory.bank_occupancy().iter().enumerate() {
+        for (sag, lock) in snap.sag_locks.iter().enumerate() {
+            if *lock > now {
+                report.failures.push(format!(
+                    "idle system but bank {bank} SAG {sag} write lock held until {lock} (now {now})"
+                ));
+            }
+        }
+        for (cd, free) in snap.cd_io_free.iter().enumerate() {
+            if *free > now {
+                report.failures.push(format!(
+                    "idle system but bank {bank} CD {cd} I/O busy until {free} (now {now})"
+                ));
+            }
+        }
+        if snap.busy_until > now {
+            report.failures.push(format!(
+                "idle system but bank {bank} busy until {} (now {now})",
+                snap.busy_until
+            ));
+        }
+    }
+    report
+}
+
+/// Every accepted request id completes exactly once.
+pub fn check_completions(accepted: &[RequestId], completions: &[Completion]) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("exactly-once-completion");
+    let mut want: Vec<RequestId> = accepted.to_vec();
+    want.sort_unstable();
+    let before = want.len();
+    want.dedup();
+    if want.len() != before {
+        report
+            .failures
+            .push("request id accepted twice (controller id reuse)".to_string());
+    }
+    let mut got: Vec<RequestId> = completions.iter().map(|c| c.id).collect();
+    got.sort_unstable();
+    let mut dup = got.clone();
+    dup.dedup();
+    if dup.len() != got.len() {
+        report.failures.push(format!(
+            "completed {} requests but only {} distinct ids: some request completed twice",
+            got.len(),
+            dup.len()
+        ));
+    }
+    if dup != want {
+        let missing = want
+            .iter()
+            .filter(|id| dup.binary_search(id).is_err())
+            .count();
+        let phantom = dup
+            .iter()
+            .filter(|id| want.binary_search(id).is_err())
+            .count();
+        report.failures.push(format!(
+            "completion conservation: {} accepted ids never completed, {} completions were never accepted",
+            missing, phantom
+        ));
+    }
+    report
+}
+
+/// Runs every invariant the given artifacts allow: span sums and heatmap
+/// totals when an observer is present, energy always, occupancy when the
+/// system is idle.
+pub fn standard_report(
+    config: &SystemConfig,
+    memory: &MemorySystem,
+    observer: Option<&Observer>,
+) -> InvariantReport {
+    let banks = memory.bank_stats();
+    let mut report = InvariantReport::default();
+    if let Some(obs) = observer {
+        report.merge(check_span_sums(obs));
+        report.merge(check_heatmap_totals(obs, &banks));
+    }
+    report.merge(check_energy(config, &banks, &memory.energy()));
+    report.merge(check_occupancy_quiesced(memory));
+    report
+}

@@ -1,0 +1,903 @@
+//! The analytical reference oracle.
+//!
+//! [`Oracle`] independently re-derives the legal-concurrency envelope of a
+//! configuration from its geometry and timing parameters — it shares *no
+//! code* with the bank FSMs — and replays a [`CommandLog`] against it. For
+//! each recorded command it:
+//!
+//! 1. recomputes what kind of command (row hit / underfetch / activate /
+//!    write) the device state at that instant admits, and flags a mismatch;
+//! 2. checks every resource gate the architecture imposes: whole-bank
+//!    serialization (Multi-Activation off), the whole-bank write block
+//!    (Backgrounded Writes off), the per-SAG write lock (with the
+//!    write-pausing bypass), the shared column-command path (tCCD), per-CD
+//!    sense/drive I/O and row-buffer-latch windows, and the per-SAG
+//!    quiesce/wordline gates for row switches;
+//! 3. enforces the device minimum latency for the command kind, including
+//!    the pause/resume overhead and the `(1+k)·tWP` verify-retry write
+//!    occupancy;
+//! 4. checks the paper's rook-placement claim directly: concurrently
+//!    in-flight senses/writes in one bank must occupy disjoint column
+//!    divisions, and a subarray group may have only one row in flight
+//!    (write pausing being the architected exception).
+//!
+//! The existing [`ProtocolChecker`] runs as part of every audit, so its
+//! independent rule set (bus occupancy, tFAW, retry caps, baseline row
+//! tracking) cross-checks this one. For the DRAM contrast model — whose
+//! refresh machinery is deliberately out of scope for the paper — the
+//! stateful replay is skipped and the protocol checker carries the audit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fgnvm_bank::{PlanKind, PAUSE_MIN_REMAINING, PAUSE_OVERHEAD};
+use fgnvm_mem::{CommandLog, CommandRecord, MemorySystem, ProtocolChecker, ProtocolReport};
+use fgnvm_types::config::{BankModel, SystemConfig};
+use fgnvm_types::error::ConfigError;
+
+use crate::invariants::{self, InvariantReport};
+
+/// One oracle-detected legality violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleViolation {
+    /// The recorded command kind disagrees with what the replayed device
+    /// state admits (e.g. a row hit logged while the row was closed).
+    KindMismatch {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// Kind the controller logged.
+        recorded: PlanKind,
+        /// Kind the replayed state expects.
+        expected: PlanKind,
+    },
+    /// A resource gate the architecture imposes was still busy at issue.
+    GateBusy {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// The violated gate.
+        gate: &'static str,
+        /// When the resource actually frees.
+        free_at: u64,
+    },
+    /// The data burst was scheduled before the device could deliver it.
+    MinimumLatency {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// The recorded command kind.
+        kind: PlanKind,
+        /// The recorded burst start.
+        data_start: u64,
+        /// The earliest legal burst start for this kind.
+        earliest_legal: u64,
+    },
+    /// Two concurrently in-flight operations shared a column division —
+    /// the rook-placement rule forbids two rooks in one column.
+    CdOverlap {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// The shared column division.
+        cd: u32,
+    },
+    /// Two different rows were in flight within one subarray group — the
+    /// rook-placement rule forbids two rooks in one row.
+    SagRowConflict {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// The subarray group.
+        sag: u32,
+        /// Row of the new command.
+        row: u32,
+        /// Row already in flight.
+        in_flight: u32,
+    },
+    /// Log records were not in non-decreasing issue order.
+    OutOfOrder {
+        /// Issue cycle of the offending record.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+        /// Issue cycle of the preceding record.
+        prev: u64,
+    },
+    /// A command's tile coordinate fell outside the configured grid.
+    BadCoord {
+        /// Issue cycle.
+        at: u64,
+        /// Bank index within the channel.
+        bank: usize,
+    },
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::KindMismatch { at, bank, recorded, expected } => write!(
+                f,
+                "cycle {at} bank {bank}: logged {recorded:?} but device state admits {expected:?}"
+            ),
+            OracleViolation::GateBusy { at, bank, gate, free_at } => write!(
+                f,
+                "cycle {at} bank {bank}: issued through busy {gate} (free at {free_at})"
+            ),
+            OracleViolation::MinimumLatency { at, bank, kind, data_start, earliest_legal } => write!(
+                f,
+                "cycle {at} bank {bank}: {kind:?} burst at {data_start} beats device minimum {earliest_legal}"
+            ),
+            OracleViolation::CdOverlap { at, bank, cd } => write!(
+                f,
+                "cycle {at} bank {bank}: two in-flight operations share column division {cd}"
+            ),
+            OracleViolation::SagRowConflict { at, bank, sag, row, in_flight } => write!(
+                f,
+                "cycle {at} bank {bank}: SAG {sag} has rows {in_flight} and {row} in flight"
+            ),
+            OracleViolation::OutOfOrder { at, bank, prev } => write!(
+                f,
+                "cycle {at} bank {bank}: logged after cycle {prev}"
+            ),
+            OracleViolation::BadCoord { at, bank } => write!(
+                f,
+                "cycle {at} bank {bank}: tile coordinate outside the configured grid"
+            ),
+        }
+    }
+}
+
+/// The outcome of one oracle audit over one channel's command log.
+#[derive(Debug)]
+pub struct OracleReport {
+    /// Commands replayed.
+    pub commands: usize,
+    /// Highest number of simultaneously in-flight tile operations observed
+    /// in any one bank (the paper's concurrency envelope; bounded by the
+    /// number of column divisions).
+    pub max_tile_concurrency: u32,
+    /// Why the stateful replay was skipped, if it was (log overflow, DRAM
+    /// contrast model). The protocol checker still ran.
+    pub skipped: Option<&'static str>,
+    /// Violations of the analytically derived envelope.
+    pub violations: Vec<OracleViolation>,
+    /// The independent [`ProtocolChecker`] pass over the same log.
+    pub protocol: ProtocolReport,
+}
+
+impl OracleReport {
+    /// True when neither the oracle nor the protocol checker found any
+    /// violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.protocol.is_clean()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "oracle: {} commands, max tile concurrency {}, {} violation(s){}",
+            self.commands,
+            self.max_tile_concurrency,
+            self.violations.len(),
+            self.skipped
+                .map(|s| format!(" (replay skipped: {s})"))
+                .unwrap_or_default()
+        )?;
+        for v in self.violations.iter().take(16) {
+            writeln!(f, "  - {v}")?;
+        }
+        if self.violations.len() > 16 {
+            writeln!(f, "  ... and {} more", self.violations.len() - 16)?;
+        }
+        write!(f, "{}", self.protocol)
+    }
+}
+
+/// Resolved timing in raw cycles, as the oracle needs it.
+#[derive(Debug, Clone, Copy)]
+struct T {
+    t_rcd: u64,
+    t_cas: u64,
+    t_rp: u64,
+    t_ccd: u64,
+    t_burst: u64,
+    t_cwd: u64,
+    t_wp: u64,
+    t_wr: u64,
+}
+
+/// Replayed per-SAG state (mirrors the architecture, not the FSM code).
+#[derive(Debug, Clone, Copy)]
+struct SagR {
+    open_row: Option<u32>,
+    sensed: u128,
+    wordline_free: u64,
+    lock: u64,
+    write_cds: u128,
+    write_row: u32,
+    quiesce: u64,
+}
+
+impl SagR {
+    fn idle() -> Self {
+        SagR {
+            open_row: None,
+            sensed: 0,
+            wordline_free: 0,
+            lock: 0,
+            write_cds: 0,
+            write_row: 0,
+            quiesce: 0,
+        }
+    }
+}
+
+/// One in-flight tile operation (for the rook-placement check).
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    sag: u32,
+    mask: u128,
+    row: u32,
+    until: u64,
+    is_write: bool,
+}
+
+/// Replayed state of one FgNVM bank.
+#[derive(Debug)]
+struct FgnvmReplay {
+    sags: Vec<SagR>,
+    cd_io_free: Vec<u64>,
+    cd_latch_free: Vec<u64>,
+    next_col: u64,
+    serial_until: u64,
+    write_block_until: u64,
+    inflight: Vec<Flight>,
+}
+
+impl FgnvmReplay {
+    fn new(sags: usize, cds: usize) -> Self {
+        FgnvmReplay {
+            sags: vec![SagR::idle(); sags],
+            cd_io_free: vec![0; cds],
+            cd_latch_free: vec![0; cds],
+            next_col: 0,
+            serial_until: 0,
+            write_block_until: 0,
+            inflight: Vec::new(),
+        }
+    }
+}
+
+/// Replayed state of one baseline (monolithic) bank.
+#[derive(Debug, Default)]
+struct BaselineReplay {
+    open_row: Option<u32>,
+    act_done: u64,
+    next_col: u64,
+    quiesce: u64,
+}
+
+/// The analytical reference oracle for one [`SystemConfig`].
+#[derive(Debug)]
+pub struct Oracle {
+    config: SystemConfig,
+    timing: T,
+    checker: ProtocolChecker,
+}
+
+impl Oracle {
+    /// Builds the oracle, resolving the configuration's timing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: &SystemConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let tc = config.timing.to_cycles()?;
+        Ok(Oracle {
+            config: *config,
+            timing: T {
+                t_rcd: tc.t_rcd.raw(),
+                t_cas: tc.t_cas.raw(),
+                t_rp: tc.t_rp.raw(),
+                t_ccd: tc.t_ccd.raw(),
+                t_burst: tc.t_burst.raw(),
+                t_cwd: tc.t_cwd.raw(),
+                t_wp: tc.t_wp.raw(),
+                t_wr: tc.t_wr.raw(),
+            },
+            checker: ProtocolChecker::new(config)?,
+        })
+    }
+
+    /// Replays one channel's command log against the analytical envelope
+    /// and runs the protocol checker over the same stream.
+    pub fn audit(&self, log: &CommandLog) -> OracleReport {
+        let protocol = self.checker.check(log);
+        let records: Vec<CommandRecord> = log.records().cloned().collect();
+        let mut report = OracleReport {
+            commands: records.len(),
+            max_tile_concurrency: 0,
+            skipped: None,
+            violations: Vec::new(),
+            protocol,
+        };
+        if log.dropped() > 0 {
+            report.skipped = Some("log overflowed; stateful replay needs the full stream");
+            return report;
+        }
+        match self.config.bank_model {
+            BankModel::Fgnvm { .. } => self.replay_fgnvm(&records, &mut report),
+            BankModel::Baseline => self.replay_baseline(&records, &mut report),
+            BankModel::Dram => {
+                report.skipped = Some("dram contrast model: refresh state is out of oracle scope");
+            }
+        }
+        report
+    }
+
+    fn replay_fgnvm(&self, records: &[CommandRecord], report: &mut OracleReport) {
+        let t = self.timing;
+        let (partial, multi, background) = match self.config.bank_model {
+            BankModel::Fgnvm {
+                partial_activation,
+                multi_activation,
+                background_writes,
+            } => (partial_activation, multi_activation, background_writes),
+            _ => unreachable!("caller matched the model"),
+        };
+        let write_pausing = self.config.write_pausing;
+        let shared_col = self.config.commands_per_cycle == 1;
+        let sags = self.config.geometry.sags() as usize;
+        let cds = self.config.geometry.cds() as usize;
+        let full_mask: u128 = if cds == 128 {
+            u128::MAX
+        } else {
+            (1u128 << cds) - 1
+        };
+
+        let mut banks: HashMap<usize, FgnvmReplay> = HashMap::new();
+        let mut last_at = 0u64;
+        for r in records {
+            let at = r.at.raw();
+            let data_start = r.data_start.raw();
+            let bank = r.bank_index;
+            if at < last_at {
+                report.violations.push(OracleViolation::OutOfOrder {
+                    at,
+                    bank,
+                    prev: last_at,
+                });
+            }
+            last_at = last_at.max(at);
+            let si = r.coord.sag as usize;
+            let cd_end = u64::from(r.coord.cd_first) + u64::from(r.coord.cd_count);
+            if si >= sags || cd_end > cds as u64 || r.coord.cd_count == 0 {
+                report
+                    .violations
+                    .push(OracleViolation::BadCoord { at, bank });
+                continue;
+            }
+            let mut mask = 0u128;
+            for cd in r.coord.cd_first..r.coord.cd_first + r.coord.cd_count {
+                mask |= 1u128 << cd;
+            }
+            let b = banks
+                .entry(bank)
+                .or_insert_with(|| FgnvmReplay::new(sags, cds));
+            let sag = b.sags[si];
+            let is_read = r.op.is_read();
+            let pausing = write_pausing
+                && is_read
+                && at < sag.lock
+                && sag.lock - at > PAUSE_MIN_REMAINING.raw()
+                && sag.write_row != r.row;
+            let pause_mask = if pausing { sag.write_cds } else { 0 };
+            let row_open = sag.open_row == Some(r.row);
+
+            // 1. Kind admissibility from the replayed state.
+            let expected = if !is_read {
+                PlanKind::Write
+            } else if row_open && sag.sensed & mask == mask {
+                PlanKind::RowHit
+            } else if row_open && partial {
+                PlanKind::Underfetch
+            } else {
+                PlanKind::Activate
+            };
+            if r.kind != expected {
+                report.violations.push(OracleViolation::KindMismatch {
+                    at,
+                    bank,
+                    recorded: r.kind,
+                    expected,
+                });
+            }
+
+            // 2. Resource gates, following the recorded kind's issue path.
+            let mut gate = |cond: bool, name: &'static str, free_at: u64| {
+                if cond {
+                    report.violations.push(OracleViolation::GateBusy {
+                        at,
+                        bank,
+                        gate: name,
+                        free_at,
+                    });
+                }
+            };
+            if !multi {
+                gate(
+                    at < b.serial_until,
+                    "bank serialization point",
+                    b.serial_until,
+                );
+            }
+            gate(
+                at < b.write_block_until,
+                "whole-bank write block",
+                b.write_block_until,
+            );
+            if !pausing {
+                gate(at < sag.lock, "SAG write lock", sag.lock);
+            }
+            if shared_col {
+                gate(at < b.next_col, "shared column-command path", b.next_col);
+            }
+            let io_free = |b: &FgnvmReplay, m: u128, pm: u128| -> u64 {
+                (0..cds)
+                    .filter(|cd| m & (1u128 << cd) != 0 && pm & (1u128 << cd) == 0)
+                    .map(|cd| b.cd_io_free[cd])
+                    .max()
+                    .unwrap_or(0)
+            };
+            let latch_free = |b: &FgnvmReplay, m: u128| -> u64 {
+                (0..cds)
+                    .filter(|cd| m & (1u128 << cd) != 0)
+                    .map(|cd| b.cd_latch_free[cd])
+                    .max()
+                    .unwrap_or(0)
+            };
+            let all_free = |b: &FgnvmReplay| -> u64 {
+                (0..cds)
+                    .map(|cd| b.cd_io_free[cd].max(b.cd_latch_free[cd]))
+                    .max()
+                    .unwrap_or(0)
+            };
+            match r.kind {
+                PlanKind::RowHit => {
+                    let f = io_free(b, mask, pause_mask);
+                    gate(at < f, "CD sense/drive I/O", f);
+                }
+                PlanKind::Underfetch => {
+                    let f = io_free(b, mask, pause_mask);
+                    gate(at < f, "CD sense/drive I/O", f);
+                    let l = latch_free(b, mask);
+                    gate(at < l, "CD row-buffer latch", l);
+                }
+                PlanKind::Activate => {
+                    if !row_open {
+                        if pausing {
+                            gate(at < sag.wordline_free, "SAG wordline", sag.wordline_free);
+                        } else {
+                            gate(at < sag.quiesce, "SAG quiesce (row switch)", sag.quiesce);
+                            gate(at < sag.wordline_free, "SAG wordline", sag.wordline_free);
+                        }
+                    }
+                    if partial {
+                        let f = io_free(b, mask, pause_mask);
+                        gate(at < f, "CD sense/drive I/O", f);
+                        let l = latch_free(b, mask);
+                        gate(at < l, "CD row-buffer latch", l);
+                    } else {
+                        let f = all_free(b);
+                        gate(at < f, "full row buffer (partial activation off)", f);
+                    }
+                }
+                PlanKind::Write => {
+                    let f = io_free(b, mask, 0);
+                    gate(at < f, "CD sense/drive I/O", f);
+                    let l = latch_free(b, mask);
+                    gate(at < l, "CD row-buffer latch", l);
+                    if !row_open {
+                        gate(at < sag.quiesce, "SAG quiesce (row switch)", sag.quiesce);
+                        gate(at < sag.wordline_free, "SAG wordline", sag.wordline_free);
+                    }
+                }
+            }
+
+            // 3. Device minimum latency for the kind.
+            let pause_extra = if pausing { PAUSE_OVERHEAD.raw() } else { 0 };
+            let delta = match r.kind {
+                PlanKind::RowHit => t.t_cas,
+                PlanKind::Underfetch => t.t_rcd + t.t_cas,
+                PlanKind::Activate => pause_extra + t.t_rcd + t.t_cas,
+                PlanKind::Write => t.t_cwd + if row_open { 0 } else { t.t_rcd },
+            };
+            let earliest_legal = at + delta;
+            if data_start < earliest_legal {
+                report.violations.push(OracleViolation::MinimumLatency {
+                    at,
+                    bank,
+                    kind: r.kind,
+                    data_start,
+                    earliest_legal,
+                });
+            }
+
+            // 4. Rook placement on the in-flight set, then the commit
+            //    effects (per the *recorded* kind, so the replay tracks the
+            //    state the real bank reached even through a violation).
+            let cmd = data_start.saturating_sub(delta);
+            let data_end = data_start + t.t_burst;
+            b.inflight.retain(|fl| fl.until > cmd);
+            if r.kind != PlanKind::RowHit {
+                for fl in &b.inflight {
+                    if pausing && fl.is_write && fl.sag == r.coord.sag {
+                        // The architected exception: a pausing read reuses
+                        // the paused write's tile resources.
+                        continue;
+                    }
+                    let overlap = fl.mask & mask & !pause_mask;
+                    if overlap != 0 {
+                        report.violations.push(OracleViolation::CdOverlap {
+                            at,
+                            bank,
+                            cd: overlap.trailing_zeros(),
+                        });
+                    }
+                    if !pausing && fl.sag == r.coord.sag && fl.row != r.row {
+                        report.violations.push(OracleViolation::SagRowConflict {
+                            at,
+                            bank,
+                            sag: r.coord.sag,
+                            row: r.row,
+                            in_flight: fl.row,
+                        });
+                    }
+                }
+            }
+
+            let completion;
+            match r.kind {
+                PlanKind::RowHit => {
+                    for cd in 0..cds {
+                        if mask & (1u128 << cd) != 0 {
+                            b.cd_latch_free[cd] = b.cd_latch_free[cd].max(data_end);
+                        }
+                    }
+                    let s = &mut b.sags[si];
+                    s.quiesce = s.quiesce.max(data_end);
+                    completion = data_end;
+                }
+                PlanKind::Underfetch => {
+                    for cd in 0..cds {
+                        if mask & (1u128 << cd) != 0 {
+                            b.cd_io_free[cd] = data_start;
+                            b.cd_latch_free[cd] = data_end;
+                        }
+                    }
+                    if pausing {
+                        // A pausing underfetch takes over the paused
+                        // write's overlapping CDs (the FSM reassigns their
+                        // I/O windows without re-extending them): the
+                        // write's remaining exclusivity is the SAG lock,
+                        // so drop the ceded CDs from its rook footprint.
+                        for fl in &mut b.inflight {
+                            if fl.is_write && fl.sag == r.coord.sag {
+                                fl.mask &= !mask;
+                            }
+                        }
+                    }
+                    for s in &mut b.sags {
+                        s.sensed &= !mask;
+                    }
+                    let s = &mut b.sags[si];
+                    s.sensed |= mask;
+                    s.quiesce = s.quiesce.max(data_end);
+                    completion = data_end;
+                    b.inflight.push(Flight {
+                        sag: r.coord.sag,
+                        mask,
+                        row: r.row,
+                        until: data_end,
+                        is_write: false,
+                    });
+                }
+                PlanKind::Activate => {
+                    if partial {
+                        for cd in 0..cds {
+                            if mask & (1u128 << cd) != 0 {
+                                b.cd_io_free[cd] = data_start;
+                                b.cd_latch_free[cd] = data_end;
+                            }
+                        }
+                        for s in &mut b.sags {
+                            s.sensed &= !mask;
+                        }
+                    } else {
+                        let act_done = cmd + t.t_rcd;
+                        for cd in 0..cds {
+                            b.cd_io_free[cd] = b.cd_io_free[cd].max(act_done);
+                        }
+                        for cd in 0..cds {
+                            if mask & (1u128 << cd) != 0 {
+                                b.cd_io_free[cd] = data_start;
+                                b.cd_latch_free[cd] = data_end;
+                            }
+                        }
+                        for s in &mut b.sags {
+                            s.sensed = 0;
+                        }
+                    }
+                    let s = &mut b.sags[si];
+                    s.open_row = Some(r.row);
+                    s.wordline_free = cmd + t.t_rcd;
+                    s.sensed = if partial { mask } else { full_mask };
+                    s.quiesce = s.quiesce.max(data_end);
+                    completion = data_end;
+                    b.inflight.push(Flight {
+                        sag: r.coord.sag,
+                        mask: if partial { mask } else { full_mask },
+                        row: r.row,
+                        until: data_end,
+                        is_write: false,
+                    });
+                    if pausing {
+                        let extension = data_end.saturating_sub(cmd) + PAUSE_OVERHEAD.raw();
+                        let s = &mut b.sags[si];
+                        s.lock += extension;
+                        s.quiesce = s.quiesce.max(s.lock);
+                        let (write_cds, new_lock, write_sag) = (s.write_cds, s.lock, r.coord.sag);
+                        for cd in 0..cds {
+                            if write_cds & (1u128 << cd) != 0 {
+                                b.cd_io_free[cd] = b.cd_io_free[cd].max(new_lock);
+                            }
+                        }
+                        for fl in &mut b.inflight {
+                            if fl.is_write && fl.sag == write_sag {
+                                fl.until = fl.until.max(new_lock);
+                            }
+                        }
+                    }
+                }
+                PlanKind::Write => {
+                    let program = t.t_wp * u64::from(r.retries + 1);
+                    completion = data_end + program + t.t_wr;
+                    for cd in 0..cds {
+                        if mask & (1u128 << cd) != 0 {
+                            b.cd_io_free[cd] = completion;
+                        }
+                    }
+                    for s in &mut b.sags {
+                        s.sensed &= !mask;
+                    }
+                    let s = &mut b.sags[si];
+                    if s.open_row != Some(r.row) {
+                        s.open_row = Some(r.row);
+                        s.sensed = 0;
+                        s.wordline_free = cmd + t.t_rcd;
+                    }
+                    s.lock = completion;
+                    s.write_cds = mask;
+                    s.write_row = r.row;
+                    s.quiesce = s.quiesce.max(completion);
+                    if !background {
+                        b.write_block_until = completion;
+                    }
+                    b.inflight.push(Flight {
+                        sag: r.coord.sag,
+                        mask,
+                        row: r.row,
+                        until: completion,
+                        is_write: true,
+                    });
+                }
+            }
+            if shared_col {
+                b.next_col = cmd + t.t_ccd;
+            }
+            if !multi {
+                b.serial_until = b.serial_until.max(completion);
+            }
+            report.max_tile_concurrency = report.max_tile_concurrency.max(b.inflight.len() as u32);
+        }
+    }
+
+    fn replay_baseline(&self, records: &[CommandRecord], report: &mut OracleReport) {
+        let t = self.timing;
+        let mut banks: HashMap<usize, BaselineReplay> = HashMap::new();
+        let mut last_at = 0u64;
+        for r in records {
+            let at = r.at.raw();
+            let data_start = r.data_start.raw();
+            let bank = r.bank_index;
+            if at < last_at {
+                report.violations.push(OracleViolation::OutOfOrder {
+                    at,
+                    bank,
+                    prev: last_at,
+                });
+            }
+            last_at = last_at.max(at);
+            let b = banks.entry(bank).or_default();
+            let row_open = b.open_row == Some(r.row);
+            let is_read = r.op.is_read();
+
+            let expected = if !is_read {
+                PlanKind::Write
+            } else if row_open {
+                PlanKind::RowHit
+            } else {
+                PlanKind::Activate
+            };
+            if r.kind != expected {
+                report.violations.push(OracleViolation::KindMismatch {
+                    at,
+                    bank,
+                    recorded: r.kind,
+                    expected,
+                });
+            }
+
+            let column_ready = b.act_done.max(b.next_col);
+            let row_switch_ready = b.quiesce + t.t_rp;
+            let mut gate = |cond: bool, name: &'static str, free_at: u64| {
+                if cond {
+                    report.violations.push(OracleViolation::GateBusy {
+                        at,
+                        bank,
+                        gate: name,
+                        free_at,
+                    });
+                }
+            };
+            let delta = match r.kind {
+                PlanKind::RowHit => {
+                    gate(at < column_ready, "column path", column_ready);
+                    t.t_cas
+                }
+                PlanKind::Activate | PlanKind::Underfetch => {
+                    gate(
+                        at < row_switch_ready,
+                        "bank quiesce + tRP",
+                        row_switch_ready,
+                    );
+                    t.t_rcd + t.t_cas
+                }
+                PlanKind::Write => {
+                    if row_open {
+                        gate(at < column_ready, "column path", column_ready);
+                        t.t_cwd
+                    } else {
+                        gate(
+                            at < row_switch_ready,
+                            "bank quiesce + tRP",
+                            row_switch_ready,
+                        );
+                        t.t_rcd + t.t_cwd
+                    }
+                }
+            };
+            let earliest_legal = at + delta;
+            if data_start < earliest_legal {
+                report.violations.push(OracleViolation::MinimumLatency {
+                    at,
+                    bank,
+                    kind: r.kind,
+                    data_start,
+                    earliest_legal,
+                });
+            }
+
+            let cmd = data_start.saturating_sub(delta);
+            let data_end = data_start + t.t_burst;
+            match r.kind {
+                PlanKind::RowHit => {
+                    b.next_col = cmd + t.t_ccd;
+                    b.quiesce = b.quiesce.max(data_end);
+                }
+                PlanKind::Activate | PlanKind::Underfetch => {
+                    b.open_row = Some(r.row);
+                    b.act_done = cmd + t.t_rcd;
+                    b.next_col = b.act_done + t.t_ccd;
+                    b.quiesce = b.quiesce.max(data_end);
+                }
+                PlanKind::Write => {
+                    let completion = data_end + t.t_wp * u64::from(r.retries + 1) + t.t_wr;
+                    if !row_open {
+                        b.act_done = cmd + t.t_rcd;
+                    }
+                    b.open_row = None;
+                    b.next_col = completion;
+                    b.quiesce = b.quiesce.max(completion);
+                }
+            }
+        }
+        // The monolithic bank never has more than one tile op in flight.
+        report.max_tile_concurrency = report
+            .max_tile_concurrency
+            .max(u32::from(!records.is_empty()));
+    }
+}
+
+/// Everything `fgnvm-repro -- check` reports for one configuration.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// One oracle report per channel.
+    pub reports: Vec<OracleReport>,
+    /// Whole-run conservation invariants.
+    pub invariants: InvariantReport,
+    /// Total commands audited across channels.
+    pub commands: usize,
+}
+
+impl CheckOutcome {
+    /// True when every channel's audit and every invariant passed.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(OracleReport::is_clean) && self.invariants.is_clean()
+    }
+
+    /// Total violations across channels plus failed invariants.
+    pub fn violation_count(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.violations.len() + r.protocol.violations.len())
+            .sum::<usize>()
+            + self.invariants.failures.len()
+    }
+}
+
+/// Runs a mixed read/write workload on `config` with command logging and
+/// the observer enabled, then audits every channel's log through the
+/// [`Oracle`] and checks the whole-run conservation invariants. This is
+/// the engine behind `fgnvm-repro -- check <cfg>`.
+///
+/// # Errors
+///
+/// Returns a description of the failure if the configuration is invalid or
+/// the run itself stalls (watchdog).
+pub fn run_and_audit(config: &SystemConfig, ops: usize, seed: u64) -> Result<CheckOutcome, String> {
+    config.validate().map_err(|e| e.to_string())?;
+    let core =
+        fgnvm_cpu::Core::new(fgnvm_cpu::CoreConfig::nehalem_like()).map_err(|e| e.to_string())?;
+    let mut memory = MemorySystem::new(*config).map_err(|e| e.to_string())?;
+    memory.set_fast_forward(true);
+    memory.enable_command_log(1 << 20);
+    memory.enable_observer();
+    // A read-dominated and a write-heavy profile back to back, mirroring
+    // the observe command, so row hits, underfetches, backgrounded writes,
+    // pauses and retries all appear in one audited stream.
+    let mut records = Vec::new();
+    for name in ["milc_like", "lbm_like"] {
+        let trace = fgnvm_workloads::profile(name)
+            .expect("known profile")
+            .generate(config.geometry, seed, ops / 2);
+        records.extend_from_slice(trace.records());
+    }
+    let trace = fgnvm_cpu::Trace::new("check-mix", records);
+    core.run(&trace, &mut memory);
+
+    let oracle = Oracle::new(config).map_err(|e| e.to_string())?;
+    let mut reports = Vec::new();
+    let mut commands = 0;
+    for channel in 0..config.geometry.channels() {
+        let report = oracle.audit(memory.command_log(channel));
+        commands += report.commands;
+        reports.push(report);
+    }
+    let obs = memory.take_observer().expect("observer enabled above");
+    let invariants = invariants::standard_report(config, &memory, Some(&obs));
+    Ok(CheckOutcome {
+        reports,
+        invariants,
+        commands,
+    })
+}

@@ -1,0 +1,203 @@
+//! The oracle's two-sided acceptance tests.
+//!
+//! Soundness: real runs of every shipped configuration — presets and every
+//! checked-in `.cfg` parameter file, faulty ones included — must audit
+//! with zero violations and zero invariant failures. Completeness: the
+//! test-only illegal-issue mutation (`debug_force_illegal_issue`) must be
+//! caught by the oracle on a direct run *and* by the fuzzer, which must
+//! shrink it to a replayable minimal case.
+
+use fgnvm_check::{
+    execute_case, fuzz, parse_case, render_case, run_and_audit, FuzzModel, FuzzOptions, Oracle,
+};
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::{Op, PhysAddr, SystemConfig};
+
+fn preset_configs() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("baseline", SystemConfig::baseline()),
+        ("fgnvm_8x2", SystemConfig::fgnvm(8, 2).unwrap()),
+        ("fgnvm_32x32", SystemConfig::fgnvm(32, 32).unwrap()),
+        ("fgnvm_1x1", SystemConfig::fgnvm(1, 1).unwrap()),
+        (
+            "multi_issue_8x4",
+            SystemConfig::fgnvm_multi_issue(8, 4, 2).unwrap(),
+        ),
+        (
+            "pausing_8x8",
+            SystemConfig::fgnvm_with_pausing(8, 8).unwrap(),
+        ),
+        (
+            "mlc_8x2",
+            SystemConfig::fgnvm(8, 2).unwrap().with_mlc_cells(),
+        ),
+        ("dram", SystemConfig::dram()),
+    ]
+}
+
+#[test]
+fn every_preset_audits_clean() {
+    for (name, config) in preset_configs() {
+        let seed = fgnvm_check::derive_seed("conformance::presets", 0);
+        let outcome = run_and_audit(&config, 2000, seed)
+            .unwrap_or_else(|e| panic!("{name}: run failed (seed {seed}): {e}"));
+        assert!(outcome.commands > 0, "{name}: audit saw no commands");
+        for report in &outcome.reports {
+            assert!(
+                report.is_clean(),
+                "{name}: oracle flagged a real run (seed {seed}):\n{report}"
+            );
+        }
+        assert!(
+            outcome.invariants.is_clean(),
+            "{name}: invariants failed (seed {seed}):\n{}",
+            outcome.invariants
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_parameter_file_audits_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let mut audited = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("configs/ exists at the workspace root")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cfg"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable cfg");
+        let config = fgnvm_types::parse_system_config(&text)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+        let seed = fgnvm_check::derive_seed("conformance::cfg-files", audited);
+        let outcome = run_and_audit(&config, 1500, seed)
+            .unwrap_or_else(|e| panic!("{}: run failed (seed {seed}): {e}", path.display()));
+        assert!(
+            outcome.is_clean(),
+            "{}: audit failed (seed {seed}): {} violation(s)\n{}\n{}",
+            path.display(),
+            outcome.violation_count(),
+            outcome
+                .reports
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n"),
+            outcome.invariants
+        );
+        audited += 1;
+    }
+    assert!(
+        audited >= 6,
+        "expected the six shipped .cfg files, found {audited}"
+    );
+}
+
+/// The tile concurrency the oracle measures should actually exceed one on
+/// an FgNVM grid — otherwise the audit is vacuous.
+#[test]
+fn oracle_sees_real_tile_parallelism() {
+    let config = SystemConfig::fgnvm(8, 4).unwrap();
+    let seed = fgnvm_check::derive_seed("conformance::parallelism", 0);
+    let outcome = run_and_audit(&config, 3000, seed).expect("run succeeds");
+    let max = outcome
+        .reports
+        .iter()
+        .map(|r| r.max_tile_concurrency)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max >= 2,
+        "8x4 grid never had two tile ops in flight (seed {seed}); audit is vacuous"
+    );
+}
+
+/// Drives the chaos knob directly and requires the oracle to notice.
+#[test]
+fn oracle_catches_forced_illegal_issue() {
+    let config = SystemConfig::fgnvm(8, 2).unwrap();
+    let mut memory = MemorySystem::new(config).expect("valid config");
+    memory.enable_command_log(1 << 16);
+    memory.debug_force_illegal_issue(true);
+    let line = u64::from(config.geometry.line_bytes());
+    // Hammer one row region so the forced RowHit-without-open-row and
+    // lock-bypassing picks actually trigger.
+    for i in 0..200u64 {
+        let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+        memory.enqueue(op, PhysAddr::new((i % 16) * line));
+        if i % 4 == 0 {
+            let mut out = Vec::new();
+            memory.tick_into(&mut out);
+        }
+    }
+    memory.try_run_until_idle(100_000).expect("drains");
+    let oracle = Oracle::new(&config).expect("oracle builds");
+    let mut violations = 0;
+    for channel in 0..config.geometry.channels() {
+        violations += oracle.audit(memory.command_log(channel)).violations.len();
+    }
+    assert!(
+        violations > 0,
+        "the deliberate scheduler mutation produced an oracle-clean stream"
+    );
+}
+
+/// The end-to-end acceptance gate: the fuzzer must catch the mutation and
+/// hand back a minimal, replayable `.case` reproducer.
+#[test]
+fn fuzzer_catches_chaos_mutation_with_replayable_counterexample() {
+    let opts = FuzzOptions {
+        cases: 48,
+        seed: fgnvm_check::derive_seed("conformance::chaos-fuzz", 0),
+        max_ops: 64,
+        chaos: true,
+    };
+    let outcome = fuzz(&opts);
+    let failure = outcome.failure.unwrap_or_else(|| {
+        panic!(
+            "fuzzer ran {} chaos cases (seed {}) without catching the mutation",
+            outcome.cases_run, opts.seed
+        )
+    });
+    assert!(
+        FuzzModel::CHAOS_ELIGIBLE.contains(&failure.shrunk.model),
+        "shrunk case left the tile-aware models: {:?}",
+        failure.shrunk.model
+    );
+    assert!(
+        failure.shrunk.ops.len() <= failure.original.ops.len(),
+        "shrinking grew the case"
+    );
+    // The rendered case file replays to the same failure class.
+    let text = failure.case_file();
+    let reparsed = parse_case(&text).expect("shrunk case round-trips");
+    assert_eq!(reparsed, failure.shrunk);
+    let replay = execute_case(&reparsed);
+    assert!(
+        replay.is_err(),
+        "replaying the shrunk counterexample no longer fails:\n{text}"
+    );
+}
+
+/// Without the mutation the same fuzzer budget must come back clean —
+/// the other half of the soundness requirement.
+#[test]
+fn fuzzer_is_clean_on_the_unmutated_simulator() {
+    let opts = FuzzOptions {
+        cases: 40,
+        seed: fgnvm_check::derive_seed("conformance::clean-fuzz", 0),
+        max_ops: 48,
+        chaos: false,
+    };
+    let outcome = fuzz(&opts);
+    if let Some(failure) = &outcome.failure {
+        panic!(
+            "fuzzer found a failure on the unmutated simulator (seed {}, case {}): {}\nshrunk:\n{}",
+            opts.seed,
+            failure.index,
+            failure.message,
+            render_case(&failure.shrunk)
+        );
+    }
+}

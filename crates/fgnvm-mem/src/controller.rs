@@ -10,13 +10,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use fgnvm_bank::{
-    Bank, BankStats, BaselineBank, DramBank, FaultModel, FgnvmBank, Modes, RefreshCycles,
+    AccessPlan, Bank, BankStats, BaselineBank, DramBank, FaultModel, FgnvmBank, Modes,
+    OccupancySnapshot, PlanKind, RefreshCycles,
 };
 use fgnvm_obs::{CommandIssue, InstantKind, Observer};
 use fgnvm_types::config::{BankModel, ReliabilityConfig, SystemConfig};
 use fgnvm_types::error::ConfigError;
 use fgnvm_types::request::{Completion, Op};
 use fgnvm_types::time::{Cycle, CycleCount};
+use fgnvm_types::TimingCycles;
 
 use crate::bus::DataBus;
 use crate::cmdlog::{CommandLog, CommandRecord};
@@ -85,12 +87,17 @@ impl FawState {
     /// Records an activation at `now`, evicting the oldest entry.
     fn record(&mut self, rank: usize, now: Cycle) {
         let window = &mut self.windows[rank];
-        let slot = window
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| c.unwrap_or(Cycle::ZERO))
-            .map(|(i, _)| i)
-            .expect("window is non-empty");
+        // Fill empty slots before evicting: an empty slot and an entry at
+        // cycle 0 would otherwise tie at the minimum and leave the window
+        // forever half-filled (so tFAW would never engage).
+        let slot = window.iter().position(Option::is_none).unwrap_or_else(|| {
+            window
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.expect("no empty slots remain"))
+                .map(|(i, _)| i)
+                .expect("window is non-empty")
+        });
         window[slot] = Some(now);
     }
 }
@@ -121,6 +128,11 @@ pub struct Controller {
     /// Rows whose reads came back uncorrectable, awaiting remap by the
     /// memory system: `(bank_index, row)`.
     bad_rows: Vec<(usize, u32)>,
+    /// Resolved timing, kept only so the chaos path can fabricate plans.
+    timing: TimingCycles,
+    /// Test-only fault injection: when set, force-issue a queue head with a
+    /// fabricated plan whenever the scheduler finds nothing legal to issue.
+    chaos: bool,
 }
 
 /// Controller-side ECC behaviour (graceful degradation).
@@ -228,7 +240,58 @@ impl Controller {
                 decode_penalty: CycleCount::new(config.reliability.ecc_decode_penalty_cycles),
             }),
             bad_rows: Vec::new(),
+            timing,
+            chaos: false,
         })
+    }
+
+    /// Test-only: when `enabled`, the controller deliberately violates the
+    /// bank protocol — whenever the scheduler finds nothing legal to issue
+    /// it force-issues the head of a non-empty queue with a fabricated plan
+    /// (a row hit / bare write at minimum latency), ignoring every resource
+    /// gate. Exists solely so the `fgnvm-check` oracle and fuzzer can prove
+    /// they catch scheduler bugs. Only meaningful for the NVM bank models.
+    #[doc(hidden)]
+    pub fn set_chaos(&mut self, enabled: bool) {
+        self.chaos = enabled;
+    }
+
+    /// Occupancy snapshots for every bank on this channel.
+    pub fn occupancy(&self) -> Vec<OccupancySnapshot> {
+        self.banks.iter().map(|b| b.occupancy()).collect()
+    }
+
+    /// The chaos path's illegal pick: the head of the read queue (else the
+    /// write queue) with a fabricated minimum-latency plan. The fabricated
+    /// `earliest_data` keeps `commit`'s burst assertion satisfied while the
+    /// kind/state mismatch produces a genuinely protocol-violating stream.
+    fn chaos_pick(&self, now: Cycle) -> Option<(bool, usize, AccessPlan)> {
+        if !self.chaos {
+            return None;
+        }
+        if !self.reads.is_empty() {
+            Some((
+                false,
+                0,
+                AccessPlan {
+                    kind: PlanKind::RowHit,
+                    earliest_data: now + self.timing.t_cas,
+                    sense_bits: 0,
+                },
+            ))
+        } else if !self.writes.is_empty() {
+            Some((
+                true,
+                0,
+                AccessPlan {
+                    kind: PlanKind::Write,
+                    earliest_data: now + self.timing.t_cwd,
+                    sense_bits: 0,
+                },
+            ))
+        } else {
+            None
+        }
     }
 
     /// Presents a request; see [`Enqueue`] for the possible outcomes.
@@ -341,26 +404,23 @@ impl Controller {
         };
         let read_pick = |me: &Self| me.scheduler.pick_read(&me.reads, &me.banks, now);
 
-        let (from_writes, index, plan) = if self.draining {
+        let picked = if self.draining {
             if let Some((i, p)) = write_pick(self) {
-                (true, i, p)
+                Some((true, i, p))
             } else if self.scheduler.reads_during_drain() {
-                match read_pick(self) {
-                    Some((i, p)) => (false, i, p),
-                    None => return false,
-                }
+                read_pick(self).map(|(i, p)| (false, i, p))
             } else {
-                return false;
+                None
             }
         } else if let Some((i, p)) = read_pick(self) {
-            (false, i, p)
+            Some((false, i, p))
         } else if !self.writes.is_empty() && self.reads.is_empty() {
             // Opportunistic drain while the read queue is idle.
-            match write_pick(self) {
-                Some((i, p)) => (true, i, p),
-                None => return false,
-            }
+            write_pick(self).map(|(i, p)| (true, i, p))
         } else {
+            None
+        };
+        let Some((from_writes, index, plan)) = picked.or_else(|| self.chaos_pick(now)) else {
             return false;
         };
 

@@ -340,6 +340,27 @@ impl MemorySystem {
         self.controllers[channel as usize].command_log()
     }
 
+    /// Occupancy snapshots for every bank, channel-major (see
+    /// [`fgnvm_bank::OccupancySnapshot`]). Models without introspection
+    /// contribute empty snapshots.
+    pub fn bank_occupancy(&self) -> Vec<fgnvm_bank::OccupancySnapshot> {
+        self.controllers
+            .iter()
+            .flat_map(Controller::occupancy)
+            .collect()
+    }
+
+    /// Test-only: deliberately breaks every channel's scheduler (see
+    /// `Controller::set_chaos`). Exists so the `fgnvm-check` conformance
+    /// oracle and fuzzer can prove they catch scheduler bugs; never enable
+    /// outside tests.
+    #[doc(hidden)]
+    pub fn debug_force_illegal_issue(&mut self, enabled: bool) {
+        for c in &mut self.controllers {
+            c.set_chaos(enabled);
+        }
+    }
+
     /// Enables time-series sampling every `epoch_cycles` cycles (see
     /// [`samples`](Self::samples)). Pass 0 to disable.
     pub fn enable_sampling(&mut self, epoch_cycles: u64) {

@@ -190,6 +190,130 @@ impl TileHeatmap {
         )
     }
 
+    /// Parses the [`to_csv`](Self::to_csv) format back into a heatmap.
+    ///
+    /// Only the cell grid round-trips; the per-bank resource clocks are
+    /// run-time state and are not serialized. Dimensions are recovered from
+    /// the largest coordinates present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty csv")?;
+        let expected =
+            "sag,cd,activations,row_hits,underfetches,writes,conflicts,conflict_cycles,write_busy_cycles";
+        if header != expected {
+            return Err(format!("unexpected csv header: {header:?}"));
+        }
+        let mut parsed: Vec<(u32, u32, TileCell)> = Vec::new();
+        let (mut sags, mut cds) = (0u32, 0u32);
+        for (n, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 9 {
+                return Err(format!(
+                    "line {}: expected 9 fields, got {}",
+                    n + 2,
+                    fields.len()
+                ));
+            }
+            let num = |i: usize| -> Result<u64, String> {
+                fields[i]
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: field {:?}: {e}", n + 2, fields[i]))
+            };
+            let sag = u32::try_from(num(0)?).map_err(|e| e.to_string())?;
+            let cd = u32::try_from(num(1)?).map_err(|e| e.to_string())?;
+            sags = sags.max(sag + 1);
+            cds = cds.max(cd + 1);
+            parsed.push((
+                sag,
+                cd,
+                TileCell {
+                    activations: num(2)?,
+                    row_hits: num(3)?,
+                    underfetches: num(4)?,
+                    writes: num(5)?,
+                    conflicts: num(6)?,
+                    conflict_cycles: num(7)?,
+                    write_busy_cycles: num(8)?,
+                },
+            ));
+        }
+        if parsed.is_empty() {
+            return Err("csv has no cells".to_string());
+        }
+        let mut map = TileHeatmap::new(sags, cds);
+        for (sag, cd, cell) in parsed {
+            map.cells[(sag * cds + cd) as usize] = cell;
+        }
+        Ok(map)
+    }
+
+    /// Parses the [`to_json`](Self::to_json) format back into a heatmap
+    /// (cells only, like [`from_csv`](Self::from_csv)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        fn field(obj: &str, name: &str) -> Result<u64, String> {
+            let key = format!("\"{name}\":");
+            let start = obj
+                .find(&key)
+                .ok_or_else(|| format!("missing field {name:?}"))?
+                + key.len();
+            let digits: String = obj[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits
+                .parse::<u64>()
+                .map_err(|e| format!("field {name:?}: {e}"))
+        }
+        let sags = u32::try_from(field(text, "sags")?).map_err(|e| e.to_string())?;
+        let cds = u32::try_from(field(text, "cds")?).map_err(|e| e.to_string())?;
+        if sags == 0 || cds == 0 {
+            return Err("degenerate dims".to_string());
+        }
+        let cells_at = text.find("\"cells\":[").ok_or("missing cells array")? + "\"cells\":[".len();
+        let body = &text[cells_at..];
+        let end = body.rfind(']').ok_or("unterminated cells array")?;
+        let mut map = TileHeatmap::new(sags, cds);
+        let mut seen = 0usize;
+        for obj in body[..end]
+            .split("},")
+            .map(|o| o.trim_end_matches(['}', ' ']))
+        {
+            if obj.is_empty() {
+                continue;
+            }
+            let sag = u32::try_from(field(obj, "sag")?).map_err(|e| e.to_string())?;
+            let cd = u32::try_from(field(obj, "cd")?).map_err(|e| e.to_string())?;
+            if sag >= sags || cd >= cds {
+                return Err(format!("cell ({sag},{cd}) outside {sags}x{cds} grid"));
+            }
+            map.cells[(sag * cds + cd) as usize] = TileCell {
+                activations: field(obj, "activations")?,
+                row_hits: field(obj, "row_hits")?,
+                underfetches: field(obj, "underfetches")?,
+                writes: field(obj, "writes")?,
+                conflicts: field(obj, "conflicts")?,
+                conflict_cycles: field(obj, "conflict_cycles")?,
+                write_busy_cycles: field(obj, "write_busy_cycles")?,
+            };
+            seen += 1;
+        }
+        if seen != (sags * cds) as usize {
+            return Err(format!("expected {} cells, parsed {seen}", sags * cds));
+        }
+        Ok(map)
+    }
+
     /// Total conflicts across the grid.
     pub fn total_conflicts(&self) -> u64 {
         self.cells.iter().map(|c| c.conflicts).sum()
@@ -269,6 +393,53 @@ mod tests {
         h.on_command(0, 1, 0, 0, "activate", true, 10, 12, 112, 112);
         assert_eq!(h.cell(0, 0).conflicts, 0);
         assert_eq!(h.cell(0, 0).activations, 2);
+    }
+
+    /// A grid with distinct values in every field of several cells.
+    fn busy_map() -> TileHeatmap {
+        let mut h = TileHeatmap::new(3, 2);
+        h.on_command(0, 0, 0, 0, "activate", true, 0, 5, 90, 90);
+        h.on_command(0, 0, 0, 1, "underfetch", true, 1, 9, 95, 95);
+        h.on_command(0, 0, 2, 1, "write", false, 2, 11, 40, 400);
+        h.on_command(0, 0, 2, 1, "row-hit", true, 50, 400, 410, 410);
+        h.on_command(0, 1, 1, 0, "write", false, 3, 3, 30, 120);
+        h
+    }
+
+    #[test]
+    fn csv_round_trips_cell_for_cell() {
+        let h = busy_map();
+        let parsed = TileHeatmap::from_csv(&h.to_csv()).unwrap();
+        assert_eq!(parsed.dims(), h.dims());
+        for sag in 0..3 {
+            for cd in 0..2 {
+                assert_eq!(parsed.cell(sag, cd), h.cell(sag, cd), "cell ({sag},{cd})");
+            }
+        }
+        assert_eq!(parsed.total_conflicts(), h.total_conflicts());
+        assert_eq!(parsed.total_conflict_cycles(), h.total_conflict_cycles());
+        // The re-serialization is byte-identical.
+        assert_eq!(parsed.to_csv(), h.to_csv());
+    }
+
+    #[test]
+    fn json_round_trips_cell_for_cell() {
+        let h = busy_map();
+        let parsed = TileHeatmap::from_json(&h.to_json()).unwrap();
+        assert_eq!(parsed.dims(), h.dims());
+        assert_eq!(parsed.cells(), h.cells());
+        assert_eq!(parsed.to_json(), h.to_json());
+    }
+
+    #[test]
+    fn malformed_exports_are_rejected() {
+        assert!(TileHeatmap::from_csv("").is_err());
+        assert!(TileHeatmap::from_csv("bogus,header\n0,0,0\n").is_err());
+        let h = TileHeatmap::new(2, 2);
+        let truncated = &h.to_csv()[..h.to_csv().len() - 4];
+        assert!(TileHeatmap::from_csv(truncated).is_err());
+        assert!(TileHeatmap::from_json("{}").is_err());
+        assert!(TileHeatmap::from_json("{\"sags\":2,\"cds\":2,\"cells\":[]}").is_err());
     }
 
     #[test]

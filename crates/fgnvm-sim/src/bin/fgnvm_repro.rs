@@ -33,6 +33,8 @@
 //!   reliability  fault injection: RBER x write-verify sweep through ECC/retry/remap
 //!   observe   instrumented run: spans, SAGxCD heatmap, Perfetto trace [cfg]
 //!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
+//!   check     conformance-oracle audit of real runs: check [a.cfg b.cfg ...]
+//!   fuzz      command-sequence fuzzer: fuzz [--cases N] | fuzz file.case
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
 //! ```
@@ -57,6 +59,7 @@ struct Cli {
     out_dir: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
+    cases: usize,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut out_dir = None;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut cases = 500;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -95,6 +99,10 @@ fn parse_args() -> Result<Cli, String> {
                 let file = args.next().ok_or("--metrics-out needs a file")?;
                 metrics_out = Some(std::path::PathBuf::from(file));
             }
+            "--cases" => {
+                let v = args.next().ok_or("--cases needs a value")?;
+                cases = v.parse().map_err(|_| format!("bad --cases value: {v}"))?;
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -109,12 +117,13 @@ fn parse_args() -> Result<Cli, String> {
         out_dir,
         trace_out,
         metrics_out,
+        cases,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|compare|regress|summary|all> \
-     [--ops N] [--seed S] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE]"
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|compare|check|fuzz|regress|summary|all> \
+     [--ops N] [--seed S] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE]"
         .to_string()
 }
 
@@ -321,6 +330,10 @@ fn run(cli: &Cli) -> Result<(), String> {
             }
             emit(&compare_param_files(&cli.args, p)?, format)
         }
+        "check" => {
+            emit(&oracle_check(&cli.args, p)?, format);
+        }
+        "fuzz" => fuzz_command(cli, p)?,
         "regress" => regress(p)?,
         "all" => {
             emit(&experiment::table2(), format);
@@ -523,6 +536,143 @@ fn regress(params: &ExperimentParams) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("regression check failed: {}", failures.join(", ")))
+    }
+}
+
+/// Audits real runs of each configuration through the conformance oracle
+/// (`fgnvm-check`): the whole command stream is replayed against the
+/// analytically derived legality envelope, the protocol checker runs over
+/// the same log, and the whole-run conservation invariants are checked.
+/// Any violation makes the command fail, so CI can gate on it.
+fn oracle_check(args: &[String], p: &ExperimentParams) -> Result<Table, String> {
+    let configs: Vec<(String, fgnvm_types::SystemConfig)> = if args.is_empty() {
+        let fail = |e: fgnvm_types::ConfigError| e.to_string();
+        vec![
+            ("baseline".into(), fgnvm_types::SystemConfig::baseline()),
+            (
+                "fgnvm-8x2".into(),
+                fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(fail)?,
+            ),
+            (
+                "multi-issue-8x4".into(),
+                fgnvm_types::SystemConfig::fgnvm_multi_issue(8, 4, 2).map_err(fail)?,
+            ),
+            (
+                "pausing-8x8".into(),
+                fgnvm_types::SystemConfig::fgnvm_with_pausing(8, 8).map_err(fail)?,
+            ),
+            ("dram".into(), fgnvm_types::SystemConfig::dram()),
+        ]
+    } else {
+        args.iter()
+            .map(|path| Ok((path.clone(), load_config(path)?)))
+            .collect::<Result<_, String>>()?
+    };
+    let mut table = Table::new(
+        "Conformance audit (oracle + protocol checker + invariants)",
+        &[
+            "config",
+            "commands",
+            "max tile conc",
+            "violations",
+            "status",
+        ],
+    );
+    let mut total = 0usize;
+    for (name, config) in &configs {
+        let outcome = fgnvm_check::run_and_audit(config, p.ops, p.seed)
+            .map_err(|e| format!("{name}: {e}"))?;
+        let violations = outcome.violation_count();
+        total += violations;
+        let max_conc = outcome
+            .reports
+            .iter()
+            .map(|r| r.max_tile_concurrency)
+            .max()
+            .unwrap_or(0);
+        table.push_row(vec![
+            name.clone(),
+            outcome.commands.to_string(),
+            max_conc.to_string(),
+            violations.to_string(),
+            if violations == 0 {
+                "clean".into()
+            } else {
+                "VIOLATED".into()
+            },
+        ]);
+        if violations > 0 {
+            for report in &outcome.reports {
+                for v in &report.violations {
+                    eprintln!("{name}: {v}");
+                }
+            }
+            for failure in &outcome.invariants.failures {
+                eprintln!("{name}: {failure}");
+            }
+        }
+    }
+    if total > 0 {
+        // Print what we have before failing so the table is not lost.
+        println!("{}", table.render());
+        return Err(format!("conformance audit found {total} violation(s)"));
+    }
+    Ok(table)
+}
+
+/// Runs the command-sequence fuzzer, or replays a `.case` file if one is
+/// given. On failure the shrunk counterexample is written next to the
+/// artifacts (`--out DIR`, default `target/fuzz-cases/`) for replay.
+fn fuzz_command(cli: &Cli, p: &ExperimentParams) -> Result<(), String> {
+    if let Some(path) = cli.args.first() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let case = fgnvm_check::parse_case(&text).map_err(|e| format!("{path}: {e}"))?;
+        return match fgnvm_check::execute_case(&case) {
+            Ok(report) => {
+                println!(
+                    "{path}: clean ({} requests, {} commands, max tile concurrency {})",
+                    report.accepted, report.commands, report.max_tile_concurrency
+                );
+                Ok(())
+            }
+            Err(message) => Err(format!("{path}: case fails: {message}")),
+        };
+    }
+    let opts = fgnvm_check::FuzzOptions {
+        cases: cli.cases,
+        seed: p.seed,
+        ..fgnvm_check::FuzzOptions::default()
+    };
+    let outcome = fgnvm_check::fuzz(&opts);
+    match outcome.failure {
+        None => {
+            println!(
+                "fuzz: {} cases clean (seed {}, up to {} ops each)",
+                outcome.cases_run, opts.seed, opts.max_ops
+            );
+            Ok(())
+        }
+        Some(failure) => {
+            let dir = cli
+                .out_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("target/fuzz-cases"));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            let file = dir.join(format!("fail-{}.case", failure.index));
+            std::fs::write(&file, failure.case_file())
+                .map_err(|e| format!("writing {}: {e}", file.display()))?;
+            Err(format!(
+                "fuzz: case {} of {} failed (seed {}): {}\nshrunk reproducer written to {} \
+                 (replay with `fgnvm-repro fuzz {}`)",
+                failure.index,
+                outcome.cases_run,
+                opts.seed,
+                failure.message,
+                file.display(),
+                file.display()
+            ))
+        }
     }
 }
 

@@ -31,6 +31,7 @@
 
 pub mod experiment;
 pub mod extensions;
+pub mod golden;
 pub mod observe;
 pub mod report;
 pub mod runner;

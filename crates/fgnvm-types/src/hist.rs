@@ -138,6 +138,43 @@ mod tests {
         assert_eq!(percentile_from_hist(&counts, 0.99), 0);
     }
 
+    /// Regression pin for the bucket-0 percentile bound fix: a histogram
+    /// whose samples all fall in one bucket must report that bucket's upper
+    /// bound at every percentile — in particular bucket 0 (the exact value
+    /// 0) must report 0, not the pre-fix `1`.
+    #[test]
+    fn single_bucket_percentiles_are_that_buckets_bound() {
+        for (bucket, expect) in [
+            (0usize, 0u64),
+            (1, 1),
+            (6, 63),
+            (HIST_BUCKETS - 1, (1 << (HIST_BUCKETS - 1)) - 1),
+        ] {
+            let mut counts = vec![0u64; HIST_BUCKETS];
+            counts[bucket] = 1000;
+            for p in [0.50, 0.95, 0.99] {
+                assert_eq!(
+                    percentile_from_hist(&counts, p),
+                    expect,
+                    "bucket {bucket} at p{}",
+                    p * 100.0
+                );
+            }
+        }
+    }
+
+    /// Regression pin: the empty histogram reports 0 at every percentile
+    /// instead of panicking or returning a bucket bound.
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let counts = vec![0u64; HIST_BUCKETS];
+        for p in [0.0, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile_from_hist(&counts, p), 0);
+        }
+        // Degenerate but legal: a zero-length counts slice is also empty.
+        assert_eq!(percentile_from_hist(&[], 0.99), 0);
+    }
+
     #[test]
     fn percentile_walks_the_distribution() {
         let mut counts = [0u64; HIST_BUCKETS];

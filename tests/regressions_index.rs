@@ -1,0 +1,113 @@
+//! Keeps the committed `*.proptest-regressions` seed files honest.
+//!
+//! CI replays every committed seed with `PROPTEST_CASES=1` (see
+//! `.github/workflows/ci.yml`); this test guards the other failure mode —
+//! a regressions file outliving the test it belongs to. Each file must sit
+//! next to a live `.rs` test file, and every variable named in its
+//! `shrinks to` comments must still be bound (`<var> in` / `<var> =`) in
+//! that test source, so renamed or deleted properties cannot leave zombie
+//! seeds that silently stop replaying.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // Registered under fgnvm-sim, whose manifest lives two levels down.
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn find_regressions(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        if path.is_dir() {
+            if !matches!(name.as_str(), "target" | ".git" | "vendor" | ".github") {
+                find_regressions(&path, out);
+            }
+        } else if name.ends_with(".proptest-regressions") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the `<var>` names from a `cc <hash> # shrinks to a = ..., b = ...`
+/// line. Variables are the identifiers directly before a top-level `=`.
+fn shrink_vars(line: &str) -> Vec<String> {
+    let Some((_, shrink)) = line.split_once("shrinks to") else {
+        return Vec::new();
+    };
+    let mut vars = Vec::new();
+    let mut depth = 0i32;
+    let mut token = String::new();
+    for ch in shrink.chars() {
+        match ch {
+            '{' | '[' | '(' => {
+                depth += 1;
+                token.clear();
+            }
+            '}' | ']' | ')' => {
+                depth -= 1;
+                token.clear();
+            }
+            '=' if depth == 0 => {
+                // The variable is the identifier after the last comma
+                // (earlier text is the previous variable's scalar value).
+                let var = token.rsplit(',').next().unwrap_or("").trim().to_string();
+                if !var.is_empty() && var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    vars.push(var);
+                }
+                token.clear();
+            }
+            _ => token.push(ch),
+        }
+    }
+    vars
+}
+
+#[test]
+fn every_regressions_file_references_a_live_test() {
+    let mut files = Vec::new();
+    find_regressions(&workspace_root(), &mut files);
+    assert!(
+        files.len() >= 3,
+        "expected the three committed regressions files, found {}",
+        files.len()
+    );
+    for path in files {
+        let sibling = path.with_extension("rs");
+        assert!(
+            sibling.exists(),
+            "{} has no sibling test file {}; delete the stale seeds or restore the test",
+            path.display(),
+            sibling.display()
+        );
+        let source = std::fs::read_to_string(&sibling).expect("readable test source");
+        let text = std::fs::read_to_string(&path).expect("readable regressions file");
+        for line in text.lines().filter(|l| l.trim_start().starts_with("cc ")) {
+            for var in shrink_vars(line) {
+                let bound =
+                    source.contains(&format!("{var} in")) || source.contains(&format!("{var} ="));
+                assert!(
+                    bound,
+                    "{}: seed shrinks to variable `{var}` which no property in {} binds; \
+                     the test was renamed or deleted — update or remove the stale seed",
+                    path.display(),
+                    sibling.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shrink_var_extraction_handles_nested_structs() {
+    let line =
+        "cc abc123 # shrinks to profile = Profile { name: \"x\", mpki: 1.0 }, seed = 0, cds = 8";
+    assert_eq!(shrink_vars(line), vec!["profile", "seed", "cds"]);
+    let simple = "cc ff # shrinks to steps = [Step { is_write: true, row: 1 }]";
+    assert_eq!(shrink_vars(simple), vec!["steps"]);
+    assert!(shrink_vars("# just a comment").is_empty());
+}

@@ -324,12 +324,21 @@ impl Strategy for &str {
 }
 
 /// Runs `cases` cases of a `proptest!`-generated body; used by the macro.
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable
+/// overrides the per-test case count (CI uses `PROPTEST_CASES=1` for a
+/// fast deterministic replay pass over every property).
 #[doc(hidden)]
 pub fn run_cases<F: FnMut(&mut TestRng) -> Result<(), TestCaseError>>(
     name: &str,
     cases: u32,
     mut body: F,
 ) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(cases);
     for case in 0..cases {
         let mut rng = TestRng::for_case(name, case);
         if let Err(e) = body(&mut rng) {
