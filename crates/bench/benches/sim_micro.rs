@@ -82,13 +82,29 @@ fn emit_bench_sim_json() {
         "enabling the observer perturbed the benchmark workload"
     );
     let speedup = ff_rate / stepped_rate;
+    // Provenance block shared with the run ledger (see fgnvm_sim::profile):
+    // schema version, wall timestamp, commit hash, and configuration hash,
+    // so archived BENCH_sim.json artifacts are attributable to a build.
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let git_sha = fgnvm_sim::profile::git_sha();
+    let config_hash = fgnvm_sim::profile::fnv1a_hex(
+        format!("{:?}", SystemConfig::fgnvm(8, 2).unwrap()).as_bytes(),
+    );
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_micro.write_drain\",\n  \
+        "{{\n  \"schema_version\": {},\n  \
+         \"timestamp\": {timestamp},\n  \
+         \"git_sha\": \"{git_sha}\",\n  \
+         \"config_hash\": \"{config_hash}\",\n  \
+         \"benchmark\": \"sim_micro.write_drain\",\n  \
          \"workload\": \"write-heavy burst, fgnvm 8x2, 12 waves x 32 writes\",\n  \
          \"simulated_cycles\": {stepped_cycles},\n  \
          \"stepped_cycles_per_sec\": {stepped_rate:.0},\n  \
          \"fast_forward_cycles_per_sec\": {ff_rate:.0},\n  \
-         \"speedup\": {speedup:.1}\n}}\n"
+         \"speedup\": {speedup:.1}\n}}\n",
+        fgnvm_sim::SCHEMA_VERSION
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, &json).expect("write BENCH_sim.json");

@@ -61,6 +61,14 @@ pub enum PlanKind {
 }
 
 impl PlanKind {
+    /// Every plan kind, for exhaustiveness tests over the command taxonomy.
+    pub const ALL: [PlanKind; 4] = [
+        PlanKind::RowHit,
+        PlanKind::Activate,
+        PlanKind::Underfetch,
+        PlanKind::Write,
+    ];
+
     /// True if this plan performs (partial) sensing and thus consumes sense
     /// energy.
     pub const fn senses(&self) -> bool {

@@ -9,6 +9,10 @@
 //!
 //! - **Span decomposition**: `queue + retry + bank + bus + tail == total`
 //!   summed over every completed request, per operation class.
+//! - **Attribution conservation**: the ten-bucket stall taxonomy sums
+//!   exactly to end-to-end latency for every request, agrees with the
+//!   independent span tracker in aggregate, and contains no unclassified
+//!   command kinds or structurally illegal buckets.
 //! - **Heatmap conservation**: the S×C tile grid's per-kind totals equal
 //!   the bank counters the simulator kept independently.
 //! - **Energy conservation**: sensing/programming energy is exactly the
@@ -22,7 +26,7 @@ use std::fmt;
 
 use fgnvm_bank::BankStats;
 use fgnvm_mem::MemorySystem;
-use fgnvm_obs::Observer;
+use fgnvm_obs::{Observer, StallCause};
 use fgnvm_types::config::SystemConfig;
 use fgnvm_types::{Completion, RequestId};
 
@@ -96,6 +100,95 @@ pub fn check_span_sums(observer: &Observer) -> InvariantReport {
                     b.total.count()
                 ));
             }
+        }
+    }
+    report
+}
+
+/// Attribution conservation: per request, the stall-taxonomy buckets sum
+/// **exactly** to end-to-end latency, and the per-class aggregates agree
+/// with both the per-request records and the independent five-component
+/// span tracker. Also rejects unclassified command kinds and taxonomy
+/// buckets that are illegal for the run (tFAW cycles without DRAM,
+/// verify-retry cycles on reads).
+pub fn check_attribution(observer: &Observer) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("attribution-conservation");
+    let attr = &observer.attribution;
+    let mut bad = 0usize;
+    for r in &attr.requests {
+        let latency = r.completion - r.arrival;
+        if r.attributed() != latency {
+            bad += 1;
+            if bad <= 3 {
+                report.failures.push(format!(
+                    "attribution leak: request {} attributed {} cycles but lived {} \
+                     (arrival {}, completion {})",
+                    r.id,
+                    r.attributed(),
+                    latency,
+                    r.arrival,
+                    r.completion
+                ));
+            }
+        }
+        if r.is_read && r.cycles[StallCause::VerifyRetry as usize] != 0 {
+            report.failures.push(format!(
+                "attribution legality: read {} carries {} verify-retry cycles",
+                r.id,
+                r.cycles[StallCause::VerifyRetry as usize]
+            ));
+        }
+    }
+    if bad > 3 {
+        report
+            .failures
+            .push(format!("attribution leak: {bad} requests total"));
+    }
+    for (class, totals, spans) in [
+        ("read", &attr.reads, &observer.spans.reads),
+        ("write", &attr.writes, &observer.spans.writes),
+    ] {
+        let per_request: u64 = attr
+            .requests
+            .iter()
+            .filter(|r| r.is_read == (class == "read"))
+            .map(|r| r.attributed())
+            .sum();
+        let aggregated: u64 = totals.cycles.iter().sum();
+        if aggregated != per_request || aggregated != totals.total {
+            report.failures.push(format!(
+                "attribution aggregate drift ({class}s): buckets sum to {aggregated}, \
+                 per-request records to {per_request}, totals counter says {}",
+                totals.total
+            ));
+        }
+        // Cross-check against the span tracker: both fold the same
+        // lifecycle hooks, so the end-to-end totals must agree exactly.
+        if totals.total != spans.total.sum() || totals.count != spans.total.count() {
+            report.failures.push(format!(
+                "attribution vs spans ({class}s): attribution saw {} requests / {} cycles, \
+                 span tracker saw {} / {}",
+                totals.count,
+                totals.total,
+                spans.total.count(),
+                spans.total.sum()
+            ));
+        }
+    }
+    if attr.unclassified > 0 {
+        report.failures.push(format!(
+            "attribution taxonomy: {} command(s) with unrecognized plan kind",
+            attr.unclassified
+        ));
+    }
+    if attr.params().t_faw.is_none() {
+        let faw = attr.reads.cycles[StallCause::TfawWindow as usize]
+            + attr.writes.cycles[StallCause::TfawWindow as usize];
+        if faw != 0 {
+            report.failures.push(format!(
+                "attribution legality: {faw} tFAW-window cycles attributed on a non-DRAM config"
+            ));
         }
     }
     report
@@ -253,6 +346,7 @@ pub fn standard_report(
     let mut report = InvariantReport::default();
     if let Some(obs) = observer {
         report.merge(check_span_sums(obs));
+        report.merge(check_attribution(obs));
         report.merge(check_heatmap_totals(obs, &banks));
     }
     report.merge(check_energy(config, &banks, &memory.energy()));

@@ -1,0 +1,81 @@
+//! Exhaustiveness of the stall taxonomy (satellite of the attribution
+//! profiler): every event the simulator can emit must map to a bucket.
+//!
+//! The attribution module classifies commands by their plan-kind label and
+//! instants by their [`InstantKind`]. Both enums live in other crates, so a
+//! newly added variant cannot break `fgnvm-obs` at compile time — this test
+//! is the tripwire: it walks the `ALL` constants (which *are* checked by
+//! exhaustive matches in their home crates) and asserts the taxonomy
+//! recognizes every member, with no silent fallthrough.
+
+use fgnvm_bank::PlanKind;
+use fgnvm_obs::{classify_command, classify_instant, InstantKind, StallCause};
+
+/// Every command the bank can plan has a post-issue service bucket.
+#[test]
+fn every_plan_kind_maps_to_a_bucket() {
+    for kind in PlanKind::ALL {
+        let cause = classify_command(kind.label());
+        assert!(
+            cause.is_some(),
+            "plan kind `{}` is not in the stall taxonomy — \
+             extend fgnvm_obs::attribution::classify_command",
+            kind.label()
+        );
+    }
+    // The mapping is meaningful, not just total: the underfetch re-sense
+    // has its own bucket; everything else is plain service time.
+    assert_eq!(
+        classify_command(PlanKind::Underfetch.label()),
+        Some(StallCause::UnderfetchResense)
+    );
+    for kind in [PlanKind::RowHit, PlanKind::Activate, PlanKind::Write] {
+        assert_eq!(classify_command(kind.label()), Some(StallCause::Service));
+    }
+    // Unknown labels are reported (the attribution counts them in
+    // `unclassified`, which the conservation invariant requires to be 0),
+    // never silently bucketed.
+    assert_eq!(classify_command("no-such-command"), None);
+}
+
+/// Every instantaneous event maps to a bucket, and the instants that model
+/// distinct physical causes land in distinct buckets.
+#[test]
+fn every_instant_kind_maps_to_a_bucket() {
+    // `classify_instant` is an exhaustive match (no `_ =>` arm), so it is
+    // total by construction; this asserts the *semantics* stay stable.
+    for kind in InstantKind::ALL {
+        let cause = classify_instant(kind);
+        assert!(
+            StallCause::ALL.contains(&cause),
+            "instant `{}` mapped outside the taxonomy",
+            kind.label()
+        );
+    }
+    assert_eq!(
+        classify_instant(InstantKind::WriteReissue),
+        StallCause::VerifyRetry
+    );
+    for kind in [
+        InstantKind::EccCorrected,
+        InstantKind::EccUncorrectable,
+        InstantKind::Remap,
+    ] {
+        assert_eq!(classify_instant(kind), StallCause::CtrlOverhead);
+    }
+}
+
+/// The taxonomy itself is closed: ten buckets, distinct stable labels.
+#[test]
+fn taxonomy_buckets_are_distinct_and_stable() {
+    let labels: Vec<&str> = StallCause::ALL.iter().map(|c| c.label()).collect();
+    assert_eq!(labels.len(), 10);
+    let mut dedup = labels.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), labels.len(), "duplicate bucket labels");
+    // Indices are the array positions (the attribution relies on `as usize`).
+    for (i, cause) in StallCause::ALL.iter().enumerate() {
+        assert_eq!(*cause as usize, i);
+    }
+}

@@ -493,12 +493,14 @@ impl Controller {
                 kind: issued.kind.label(),
                 arrival: pending.request.arrival.raw(),
                 at: now.raw(),
+                earliest_data: plan.earliest_data.raw(),
                 data_start: issued.data_start.raw(),
                 data_end: issued.data_end.raw(),
                 completion: issued.completion.raw(),
                 row: pending.access.row,
                 sag: pending.access.coord.sag,
                 cd: pending.access.coord.cd_first,
+                cd_count: pending.access.coord.cd_count,
                 retries: issued.faults.retries,
             });
         }

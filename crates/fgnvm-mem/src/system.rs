@@ -3,9 +3,10 @@
 
 use std::collections::HashMap;
 
-use fgnvm_bank::{Access, BankStats};
-use fgnvm_obs::{InstantKind, Observer};
+use fgnvm_bank::{Access, BankStats, RefreshCycles};
+use fgnvm_obs::{AttributionParams, InstantKind, Observer};
 use fgnvm_types::address::{AddressMapper, MappingScheme, PhysAddr};
+use fgnvm_types::config::BankModel;
 use fgnvm_types::config::SystemConfig;
 use fgnvm_types::error::{ConfigError, SimError};
 use fgnvm_types::request::{Completion, Op, Request, RequestId};
@@ -141,7 +142,34 @@ impl MemorySystem {
     /// observer with a fresh one.
     pub fn enable_observer(&mut self) {
         let g = &self.config.geometry;
-        self.observer = Some(Box::new(Observer::new(g.sags(), g.cds())));
+        // The attribution classifier needs the model facts: which bank
+        // resources exist and which structural modes are on.
+        let (serialized, full_row_sense, write_blocks_bank) = match self.config.bank_model {
+            BankModel::Baseline | BankModel::Dram => (true, true, true),
+            BankModel::Fgnvm {
+                partial_activation,
+                multi_activation,
+                background_writes,
+            } => (!multi_activation, !partial_activation, !background_writes),
+        };
+        let timing = self
+            .config
+            .timing
+            .to_cycles()
+            .expect("config validated at construction");
+        let t_faw = matches!(self.config.bank_model, BankModel::Dram)
+            .then(|| RefreshCycles::ddr3_like().t_faw.raw());
+        self.observer = Some(Box::new(Observer::with_params(AttributionParams {
+            sags: g.sags(),
+            cds: g.cds(),
+            serialized,
+            full_row_sense,
+            write_blocks_bank,
+            t_rcd: timing.t_rcd.raw(),
+            t_wp: timing.t_wp.raw(),
+            t_faw,
+            banks_per_rank: g.banks_per_rank(),
+        })));
     }
 
     /// The observer, if enabled.

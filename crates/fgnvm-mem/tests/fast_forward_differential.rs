@@ -111,6 +111,8 @@ struct Snapshot {
     obs_metrics: String,
     /// Rendered Chrome trace-event document.
     obs_trace: String,
+    /// Rendered stall-attribution document (per-class bucket totals).
+    obs_attribution: String,
 }
 
 /// Feeds `reqs` (retrying on backpressure), drains, and captures every
@@ -157,6 +159,7 @@ fn drive(config: &SystemConfig, reqs: &[Gen], fast_forward: bool) -> Snapshot {
         protocol,
         obs_metrics: obs.metrics_json(&reg),
         obs_trace: obs.trace_json(),
+        obs_attribution: obs.attribution.to_json(),
     }
 }
 
@@ -192,6 +195,12 @@ proptest! {
                 &fast.obs_trace,
                 &stepped.obs_trace,
                 "{}: observability trace diverged",
+                name
+            );
+            prop_assert_eq!(
+                &fast.obs_attribution,
+                &stepped.obs_attribution,
+                "{}: stall attribution diverged",
                 name
             );
         }

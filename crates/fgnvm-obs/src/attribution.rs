@@ -1,0 +1,854 @@
+//! Bottleneck attribution: an exact stall-cycle decomposition per request.
+//!
+//! Every cycle of every completed request's lifetime is classified into
+//! exactly one bucket of an exhaustive stall taxonomy ([`StallCause`]):
+//!
+//! | bucket | meaning |
+//! |---|---|
+//! | `queue-wait` | queued but no modeled resource blocked it (scheduler order, issue-width, drain policy) |
+//! | `sag-conflict` | an earlier access held the target subarray group (per-SAG single open row / rook rule) |
+//! | `cd-conflict` | an earlier access held an overlapping column division's sense path |
+//! | `global-io` | the shared global I/O bus (or rank turnaround) delayed the data burst |
+//! | `tfaw-window` | a DRAM rank's four-activation window gated the issue |
+//! | `write-block` | a write's programming occupancy blocked the access |
+//! | `verify-retry` | write verify-retry extension: on-die `k·tWP` retries plus controller re-issues |
+//! | `underfetch-resense` | the extra `tRCD` sensing a column slice the open row never fetched |
+//! | `ctrl-overhead` | controller-side work: ECC decode tail, forwarding/merge handling |
+//! | `service` | intrinsic device service: sense, burst, programming |
+//!
+//! The decomposition is a *partition* of `[arrival, completion)` — buckets
+//! sum **exactly** to the end-to-end latency, by construction, for every
+//! request. `fgnvm-check` enforces this as a conservation invariant and
+//! cross-checks the totals against the independent five-component span
+//! tracker.
+//!
+//! Attribution is computed purely from the lifecycle hooks
+//! (`on_enqueued` / `on_command` / `on_completed`), which fire identically
+//! under cycle stepping and event-driven fast-forward — so attribution
+//! output is bit-identical across stepping modes, like every other
+//! observer artifact. Pre-issue waits are classified by replaying the
+//! per-bank command history analytically (resource windows plus a
+//! reconstructed tFAW schedule), never by probing per-cycle state.
+
+use std::collections::HashMap;
+
+use crate::json::number;
+use crate::{CommandIssue, InstantKind};
+
+/// Number of taxonomy buckets.
+pub const BUCKETS: usize = 10;
+
+/// The exhaustive stall taxonomy. Every attributed cycle lands in exactly
+/// one of these buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Queued with no modeled resource blocking (scheduler order,
+    /// commands-per-cycle limit, drain policy).
+    QueueWait = 0,
+    /// Target subarray group held by an earlier access (per-SAG single
+    /// open row; the rook-placement rule's row axis).
+    SagConflict = 1,
+    /// Overlapping column division's sense/IO path held by an earlier
+    /// access (the rook-placement rule's column axis).
+    CdConflict = 2,
+    /// Shared global I/O serialization: bus busy or rank-to-rank
+    /// turnaround pushed the data burst later than the bank allowed.
+    GlobalIo = 3,
+    /// DRAM four-activation window (tFAW) gated the issue.
+    TfawWindow = 4,
+    /// A write's programming occupancy blocked the access.
+    WriteBlock = 5,
+    /// Write verify-retry extension: on-die retries (`k·tWP`) plus
+    /// controller-level re-issues after verify-budget exhaustion.
+    VerifyRetry = 6,
+    /// Extra `tRCD` re-sensing a column slice the open row never fetched
+    /// (the paper's underfetch case).
+    UnderfetchResense = 7,
+    /// Controller-side overhead: ECC decode tail, forward/merge handling.
+    CtrlOverhead = 8,
+    /// Intrinsic device service: sensing, data burst, cell programming.
+    Service = 9,
+}
+
+impl StallCause {
+    /// Every bucket, in canonical (JSON/report) order.
+    pub const ALL: [StallCause; BUCKETS] = [
+        StallCause::QueueWait,
+        StallCause::SagConflict,
+        StallCause::CdConflict,
+        StallCause::GlobalIo,
+        StallCause::TfawWindow,
+        StallCause::WriteBlock,
+        StallCause::VerifyRetry,
+        StallCause::UnderfetchResense,
+        StallCause::CtrlOverhead,
+        StallCause::Service,
+    ];
+
+    /// Stable display label, used in JSON documents and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::QueueWait => "queue-wait",
+            StallCause::SagConflict => "sag-conflict",
+            StallCause::CdConflict => "cd-conflict",
+            StallCause::GlobalIo => "global-io",
+            StallCause::TfawWindow => "tfaw-window",
+            StallCause::WriteBlock => "write-block",
+            StallCause::VerifyRetry => "verify-retry",
+            StallCause::UnderfetchResense => "underfetch-resense",
+            StallCause::CtrlOverhead => "ctrl-overhead",
+            StallCause::Service => "service",
+        }
+    }
+}
+
+/// Maps a discrete instant to the bucket its latency cost lands in.
+///
+/// The match is exhaustive on purpose (no `_` arm): adding an
+/// [`InstantKind`] without deciding its attribution is a compile error.
+pub fn classify_instant(kind: InstantKind) -> StallCause {
+    match kind {
+        InstantKind::EccCorrected => StallCause::CtrlOverhead,
+        InstantKind::EccUncorrectable => StallCause::CtrlOverhead,
+        InstantKind::WriteReissue => StallCause::VerifyRetry,
+        InstantKind::Remap => StallCause::CtrlOverhead,
+        InstantKind::Watchdog => StallCause::QueueWait,
+    }
+}
+
+/// Maps a command plan-kind label to the bucket its *intrinsic* pre-burst
+/// time (issue → earliest data) lands in. Returns `None` for labels the
+/// taxonomy does not know — the observer counts those as unclassified and
+/// the `fgnvm-check` invariant fails the run, so a new command kind cannot
+/// ship silently unattributed.
+pub fn classify_command(label: &str) -> Option<StallCause> {
+    match label {
+        "row-hit" => Some(StallCause::Service),
+        "activate" => Some(StallCause::Service),
+        "underfetch" => Some(StallCause::UnderfetchResense),
+        "write" => Some(StallCause::Service),
+        _ => None,
+    }
+}
+
+/// Static model facts the classifier needs, derived from the system
+/// configuration when the observer is attached to a memory system.
+#[derive(Debug, Clone, Copy)]
+pub struct AttributionParams {
+    /// Subarray groups per bank.
+    pub sags: u32,
+    /// Column divisions per bank.
+    pub cds: u32,
+    /// The bank serializes all accesses (baseline/DRAM, or Multi-Activation
+    /// disabled): any in-flight access conflicts regardless of tile.
+    pub serialized: bool,
+    /// Sensing always fetches the whole row (Partial-Activation disabled):
+    /// a read's sense spans every column division.
+    pub full_row_sense: bool,
+    /// A programming write occupies the whole bank (Backgrounded Writes
+    /// disabled).
+    pub write_blocks_bank: bool,
+    /// Activate-to-data delay, used to carve the underfetch re-sense cost.
+    pub t_rcd: u64,
+    /// Per-attempt write programming time, used to size verify-retry
+    /// extensions.
+    pub t_wp: u64,
+    /// Rolling four-activation window (DRAM only).
+    pub t_faw: Option<u64>,
+    /// Banks per rank, for mapping bank index → rank.
+    pub banks_per_rank: u32,
+}
+
+impl AttributionParams {
+    /// Conservative defaults for observers built without a configuration:
+    /// tile-level conflicts only, no tFAW, no timing carve-outs.
+    pub fn bare(sags: u32, cds: u32) -> Self {
+        AttributionParams {
+            sags,
+            cds,
+            serialized: false,
+            full_row_sense: false,
+            write_blocks_bank: false,
+            t_rcd: 0,
+            t_wp: 0,
+            t_faw: None,
+            banks_per_rank: 1,
+        }
+    }
+}
+
+/// One completed request's attributed lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestAttribution {
+    /// Request id.
+    pub id: u64,
+    /// True for reads.
+    pub is_read: bool,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Completion cycle.
+    pub completion: u64,
+    /// Cycles attributed per bucket, indexed by [`StallCause`] as usize.
+    pub cycles: [u64; BUCKETS],
+}
+
+impl RequestAttribution {
+    /// Sum of all attributed cycles. The conservation invariant demands
+    /// this equals `completion - arrival` exactly.
+    pub fn attributed(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+}
+
+/// Aggregated attribution for one operation class (reads or writes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassTotals {
+    /// Completed requests folded in.
+    pub count: u64,
+    /// Total end-to-end cycles across those requests.
+    pub total: u64,
+    /// Cycles per bucket, summed over requests.
+    pub cycles: [u64; BUCKETS],
+    /// Requests whose largest bucket was this one (the per-request
+    /// critical path).
+    pub dominant: [u64; BUCKETS],
+}
+
+impl ClassTotals {
+    fn fold(&mut self, r: &RequestAttribution) {
+        self.count += 1;
+        self.total += r.completion.saturating_sub(r.arrival);
+        let mut best = 0usize;
+        for (i, c) in r.cycles.iter().enumerate() {
+            self.cycles[i] += c;
+            if *c > r.cycles[best] {
+                best = i;
+            }
+        }
+        self.dominant[best] += 1;
+    }
+
+    /// Share of total cycles per bucket (zeros when nothing completed).
+    pub fn shares(&self) -> [f64; BUCKETS] {
+        let mut out = [0.0; BUCKETS];
+        if self.total > 0 {
+            for (o, c) in out.iter_mut().zip(self.cycles.iter()) {
+                *o = *c as f64 / self.total as f64;
+            }
+        }
+        out
+    }
+
+    fn to_json(self) -> String {
+        let buckets: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|b| format!("\"{}\":{}", b.label(), self.cycles[*b as usize]))
+            .collect();
+        let dominant: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|b| format!("\"{}\":{}", b.label(), self.dominant[*b as usize]))
+            .collect();
+        format!(
+            "{{\"count\":{},\"total\":{},\"buckets\":{{{}}},\"dominant\":{{{}}}}}",
+            self.count,
+            self.total,
+            buckets.join(","),
+            dominant.join(",")
+        )
+    }
+}
+
+/// A past command's resource-occupancy window on one bank.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    at: u64,
+    end: u64,
+    is_write: bool,
+    sag: u32,
+    cd_first: u32,
+    cd_count: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenReq {
+    arrival: u64,
+    is_read: bool,
+    /// Start of the not-yet-attributed suffix of the lifetime.
+    mark: u64,
+    cycles: [u64; BUCKETS],
+    issues: u32,
+    last_retries: u32,
+}
+
+/// The attribution tracker: hooks in, exact per-request decompositions out.
+#[derive(Debug, Default)]
+pub struct Attribution {
+    params: AttributionParams,
+    open: HashMap<u64, OpenReq>,
+    /// Per-(channel, bank) command history, pruned as requests retire.
+    windows: HashMap<(u32, u32), Vec<Window>>,
+    /// Per-(channel, rank) activation start cycles (tFAW reconstruction).
+    acts: HashMap<(u32, u32), Vec<u64>>,
+    /// Aggregate over completed reads.
+    pub reads: ClassTotals,
+    /// Aggregate over completed writes.
+    pub writes: ClassTotals,
+    /// Per-request records, in completion order.
+    pub requests: Vec<RequestAttribution>,
+    /// Commands whose plan-kind label the taxonomy did not recognize.
+    /// Non-zero fails the `fgnvm-check` attribution invariant.
+    pub unclassified: u64,
+}
+
+impl Default for AttributionParams {
+    fn default() -> Self {
+        AttributionParams::bare(1, 1)
+    }
+}
+
+impl Attribution {
+    /// A tracker using the given model facts.
+    pub fn new(params: AttributionParams) -> Self {
+        Attribution {
+            params,
+            ..Attribution::default()
+        }
+    }
+
+    /// The model facts this tracker classifies against.
+    pub fn params(&self) -> &AttributionParams {
+        &self.params
+    }
+
+    /// Hook: a request entered the system.
+    pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
+        self.open.insert(
+            id,
+            OpenReq {
+                arrival: now,
+                is_read,
+                mark: now,
+                cycles: [0; BUCKETS],
+                issues: 0,
+                last_retries: 0,
+            },
+        );
+    }
+
+    /// Hook: a command issued. Attributes the wait since the last mark and
+    /// the command's own pre-burst and burst segments, then advances the
+    /// mark to the burst end (the completion hook attributes the tail).
+    pub fn on_command(&mut self, cmd: &CommandIssue<'_>) {
+        let rank = cmd
+            .bank
+            .checked_div(self.params.banks_per_rank)
+            .unwrap_or(0);
+        // Classify before recording: a command never blocks itself.
+        let intrinsic = match classify_command(cmd.kind) {
+            Some(bucket) => bucket,
+            None => {
+                self.unclassified += 1;
+                StallCause::Service
+            }
+        };
+        if let Some(mut r) = self.open.remove(&cmd.id) {
+            let w0 = r.mark;
+            let at = cmd.at.max(w0);
+            if r.issues == 0 {
+                self.classify_wait(&mut r, cmd, rank, w0, at);
+            } else {
+                // Re-issue after verify-budget exhaustion: the whole bounce
+                // (residual programming + requeue wait) is retry extension.
+                r.cycles[StallCause::VerifyRetry as usize] += at - w0;
+            }
+            // Monotone boundary chain at ≤ e ≤ data_start ≤ data_end keeps
+            // the decomposition an exact partition even on odd inputs.
+            let data_start = cmd.data_start.max(at);
+            let data_end = cmd.data_end.max(data_start);
+            let e = cmd.earliest_data.clamp(at, data_start);
+            let pre = e - at;
+            if intrinsic == StallCause::UnderfetchResense {
+                // The underfetch's extra sense is tRCD; anything beyond that
+                // (CAS etc.) is ordinary service.
+                let carve = pre.min(self.params.t_rcd);
+                r.cycles[StallCause::UnderfetchResense as usize] += carve;
+                r.cycles[StallCause::Service as usize] += pre - carve;
+            } else {
+                r.cycles[intrinsic as usize] += pre;
+            }
+            r.cycles[StallCause::GlobalIo as usize] += data_start - e;
+            r.cycles[StallCause::Service as usize] += data_end - data_start;
+            r.mark = data_end;
+            r.issues += 1;
+            r.last_retries = cmd.retries;
+            self.open.insert(cmd.id, r);
+        }
+        // Record this command's occupancy window for later waiters.
+        let end = cmd.completion.max(cmd.data_end);
+        let list = self.windows.entry((cmd.channel, cmd.bank)).or_default();
+        list.push(Window {
+            at: cmd.at,
+            end,
+            is_write: !cmd.is_read,
+            sag: cmd.sag,
+            cd_first: cmd.cd,
+            cd_count: cmd.cd_count.max(1),
+        });
+        if self.params.t_faw.is_some() && (cmd.kind == "activate" || cmd.kind == "underfetch") {
+            self.acts
+                .entry((cmd.channel, rank))
+                .or_default()
+                .push(cmd.at);
+        }
+        self.prune(cmd.at);
+    }
+
+    /// Hook: request `id` completed at `now`. Attributes the tail and folds
+    /// the finished record into the aggregates.
+    pub fn on_completed(&mut self, id: u64, now: u64) {
+        let Some(mut r) = self.open.remove(&id) else {
+            return;
+        };
+        let tail = now.saturating_sub(r.mark);
+        if r.issues == 0 {
+            // Satisfied without touching the array (store-to-load forward,
+            // write coalescing): pure controller handling.
+            r.cycles[StallCause::CtrlOverhead as usize] += tail;
+        } else if r.is_read {
+            // Post-burst read tail is ECC decode / delivery.
+            r.cycles[StallCause::CtrlOverhead as usize] += tail;
+        } else {
+            // Post-burst write tail is programming; on-die verify retries
+            // each re-pay tWP on top of the base attempt.
+            let retry = tail.min(u64::from(r.last_retries) * self.params.t_wp);
+            r.cycles[StallCause::VerifyRetry as usize] += retry;
+            r.cycles[StallCause::Service as usize] += tail - retry;
+        }
+        let record = RequestAttribution {
+            id,
+            is_read: r.is_read,
+            arrival: r.arrival,
+            completion: now.max(r.arrival),
+            cycles: r.cycles,
+        };
+        if r.is_read {
+            self.reads.fold(&record);
+        } else {
+            self.writes.fold(&record);
+        }
+        self.requests.push(record);
+    }
+
+    /// Requests currently in flight.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Partitions the pre-issue wait `[w0, w1)` among blocking causes.
+    ///
+    /// Causes are resolved per elementary segment with a fixed priority
+    /// (write-block > SAG > CD > tFAW > queue): when several resources
+    /// overlapped, the cycles go to the structurally strongest blocker, and
+    /// whatever no modeled resource covers is queueing.
+    fn classify_wait(
+        &mut self,
+        r: &mut OpenReq,
+        cmd: &CommandIssue<'_>,
+        rank: u32,
+        w0: u64,
+        w1: u64,
+    ) {
+        if w1 <= w0 {
+            return;
+        }
+        let p = self.params;
+        let empty: Vec<Window> = Vec::new();
+        let windows = self.windows.get(&(cmd.channel, cmd.bank)).unwrap_or(&empty);
+        let target_cd = (cmd.cd, cmd.cd_count.max(1));
+        // tFAW gate intervals: with four activations inside a rolling
+        // window, a fifth must wait until the oldest ages out.
+        let mut faw_gates: Vec<(u64, u64)> = Vec::new();
+        if let Some(t_faw) = p.t_faw {
+            if cmd.kind == "activate" || cmd.kind == "underfetch" {
+                if let Some(acts) = self.acts.get(&(cmd.channel, rank)) {
+                    for quad in acts.windows(4) {
+                        let open = quad[0] + t_faw;
+                        if open > quad[3] {
+                            faw_gates.push((quad[3], open));
+                        }
+                    }
+                }
+            }
+        }
+        // Elementary segment boundaries: every window/gate edge inside.
+        let mut cuts: Vec<u64> = vec![w0, w1];
+        for w in windows {
+            for b in [w.at, w.end] {
+                if b > w0 && b < w1 {
+                    cuts.push(b);
+                }
+            }
+        }
+        for (s, e) in &faw_gates {
+            for b in [*s, *e] {
+                if b > w0 && b < w1 {
+                    cuts.push(b);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for seg in cuts.windows(2) {
+            let (s, e) = (seg[0], seg[1]);
+            let len = e - s;
+            let mut cause = StallCause::QueueWait;
+            if faw_gates.iter().any(|(gs, ge)| *gs < e && s < *ge) {
+                cause = StallCause::TfawWindow;
+            }
+            for w in windows {
+                if w.at >= e || w.end <= s {
+                    continue;
+                }
+                let tile_hit = p.serialized
+                    || w.sag == cmd.sag
+                    || cd_overlap(p.full_row_sense, (w.cd_first, w.cd_count), target_cd);
+                if w.is_write && (tile_hit || p.write_blocks_bank) {
+                    cause = StallCause::WriteBlock;
+                    break; // strongest cause; nothing can override it
+                }
+                if p.serialized || w.sag == cmd.sag {
+                    cause = StallCause::SagConflict;
+                } else if cd_overlap(p.full_row_sense, (w.cd_first, w.cd_count), target_cd)
+                    && cause != StallCause::SagConflict
+                {
+                    cause = StallCause::CdConflict;
+                }
+            }
+            r.cycles[cause as usize] += len;
+        }
+    }
+
+    /// Drops history that can no longer affect any in-flight request: a
+    /// window whose occupancy ended before every open request's mark (or
+    /// before `now`, when nothing is open) can never cover a future wait.
+    fn prune(&mut self, now: u64) {
+        const KEEP: usize = 96;
+        let over = self.windows.values().any(|v| v.len() > KEEP)
+            || self.acts.values().any(|v| v.len() > KEEP);
+        if !over {
+            return;
+        }
+        let horizon = self
+            .open
+            .values()
+            .map(|r| r.mark)
+            .min()
+            .unwrap_or(now)
+            .min(now);
+        let faw = self.params.t_faw.unwrap_or(0);
+        for list in self.windows.values_mut() {
+            list.retain(|w| w.end > horizon);
+        }
+        for list in self.acts.values_mut() {
+            // An activation still matters while its tFAW window can gate a
+            // future issue, and the sliding 4-tuples need their neighbors.
+            let cut = list.len().saturating_sub(
+                list.iter()
+                    .rev()
+                    .take_while(|a| **a + faw > horizon)
+                    .count()
+                    + 3,
+            );
+            list.drain(..cut);
+        }
+    }
+
+    /// The attribution document: counts, per-class bucket totals, dominant
+    /// (critical-path) tallies, and the unclassified counter.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"unclassified\":{},\"open\":{},\"read\":{},\"write\":{}}}",
+            self.requests.len(),
+            self.unclassified,
+            self.open.len(),
+            self.reads.to_json(),
+            self.writes.to_json()
+        )
+    }
+}
+
+fn cd_overlap(full_row: bool, a: (u32, u32), b: (u32, u32)) -> bool {
+    full_row || (a.0 < b.0 + b.1 && b.0 < a.0 + a.1)
+}
+
+/// One what-if scenario: which buckets a structural change relieves, and
+/// by how much.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable scenario name.
+    pub name: &'static str,
+    /// What the hypothetical change is.
+    pub description: &'static str,
+    /// `(bucket, relieved fraction in per-mille)` pairs.
+    pub relief: &'static [(StallCause, u32)],
+}
+
+/// The named scenarios the estimator evaluates, mirroring the paper's
+/// mode-comparison reasoning.
+pub const SCENARIOS: [Scenario; 6] = [
+    Scenario {
+        name: "enable-multi-issue",
+        description: "widen the global I/O path (Multi-Issue): no bus serialization",
+        relief: &[(StallCause::GlobalIo, 1000)],
+    },
+    Scenario {
+        name: "double-cds",
+        description:
+            "double the column divisions: halve CD sense conflicts and underfetch re-senses",
+        relief: &[
+            (StallCause::CdConflict, 500),
+            (StallCause::UnderfetchResense, 500),
+        ],
+    },
+    Scenario {
+        name: "double-sags",
+        description: "double the subarray groups: halve SAG row conflicts",
+        relief: &[(StallCause::SagConflict, 500)],
+    },
+    Scenario {
+        name: "zero-write-blocking",
+        description: "perfect backgrounded writes: no write-occupancy blocking",
+        relief: &[(StallCause::WriteBlock, 1000)],
+    },
+    Scenario {
+        name: "perfect-verify",
+        description: "writes verify on the first attempt: no retry extension",
+        relief: &[(StallCause::VerifyRetry, 1000)],
+    },
+    Scenario {
+        name: "infinite-issue",
+        description: "no scheduler/queue/tFAW limits: issue the moment resources free",
+        relief: &[
+            (StallCause::QueueWait, 1000),
+            (StallCause::TfawWindow, 1000),
+        ],
+    },
+];
+
+/// One scenario's estimated effect, per operation class and overall.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfBound {
+    /// The scenario evaluated.
+    pub scenario: Scenario,
+    /// Cycles the scenario would remove from completed reads.
+    pub relieved_read: u64,
+    /// Cycles the scenario would remove from completed writes.
+    pub relieved_write: u64,
+    /// Amdahl-style upper bound on mean read-latency speedup.
+    pub read_speedup: f64,
+    /// Amdahl-style upper bound on mean write-latency speedup.
+    pub write_speedup: f64,
+    /// Bound over all attributed cycles.
+    pub overall_speedup: f64,
+}
+
+fn relieved(totals: &ClassTotals, scenario: &Scenario) -> u64 {
+    scenario
+        .relief
+        .iter()
+        .map(|(b, per_mille)| totals.cycles[*b as usize] * u64::from(*per_mille) / 1000)
+        .sum()
+}
+
+fn bound(total: u64, removed: u64) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        total as f64 / (total - removed.min(total.saturating_sub(1))) as f64
+    }
+}
+
+/// Evaluates every named scenario against the attributed totals. The
+/// returned speedups are *upper bounds* in the Amdahl sense: relieving a
+/// bottleneck cannot shrink latency by more than the cycles attributed to
+/// it (second-order effects only uncover other bottlenecks).
+pub fn what_if(attr: &Attribution) -> Vec<WhatIfBound> {
+    SCENARIOS
+        .iter()
+        .map(|s| {
+            let rr = relieved(&attr.reads, s);
+            let rw = relieved(&attr.writes, s);
+            WhatIfBound {
+                scenario: *s,
+                relieved_read: rr,
+                relieved_write: rw,
+                read_speedup: bound(attr.reads.total, rr),
+                write_speedup: bound(attr.writes.total, rw),
+                overall_speedup: bound(attr.reads.total + attr.writes.total, rr + rw),
+            }
+        })
+        .collect()
+}
+
+/// Serializes the what-if bounds as a JSON array (canonical scenario order).
+pub fn what_if_json(bounds: &[WhatIfBound]) -> String {
+    let items: Vec<String> = bounds
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"name\":\"{}\",\"relieved_read\":{},\"relieved_write\":{},\
+                 \"read_speedup\":{},\"write_speedup\":{},\"overall_speedup\":{}}}",
+                b.scenario.name,
+                b.relieved_read,
+                b.relieved_write,
+                number(b.read_speedup),
+                number(b.write_speedup),
+                number(b.overall_speedup)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(id: u64, at: u64) -> CommandIssue<'static> {
+        CommandIssue {
+            channel: 0,
+            bank: 0,
+            id,
+            is_read: true,
+            kind: "activate",
+            arrival: 0,
+            at,
+            earliest_data: at + 30,
+            data_start: at + 30,
+            data_end: at + 38,
+            completion: at + 50,
+            row: 1,
+            sag: 0,
+            cd: 0,
+            cd_count: 1,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn uncontended_read_is_service_plus_queue() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(1, true, 100);
+        a.on_command(&cmd(1, 110));
+        a.on_completed(1, 148);
+        let r = &a.requests[0];
+        assert_eq!(r.attributed(), 48);
+        assert_eq!(r.cycles[StallCause::QueueWait as usize], 10);
+        assert_eq!(r.cycles[StallCause::Service as usize], 38);
+    }
+
+    #[test]
+    fn sag_conflict_wait_is_attributed() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(1, true, 0);
+        a.on_command(&cmd(1, 0)); // occupies sag 0 over [0, 50)
+        a.on_enqueued(2, true, 10);
+        a.on_command(&cmd(2, 60)); // same sag, waited 10..60
+        a.on_completed(1, 38);
+        a.on_completed(2, 98);
+        let r2 = a.requests.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(r2.attributed(), 88);
+        // Blocked by command 1's window [0,50): 40 cycles of SAG conflict,
+        // then 10 cycles of plain queueing until issue at 60.
+        assert_eq!(r2.cycles[StallCause::SagConflict as usize], 40);
+        assert_eq!(r2.cycles[StallCause::QueueWait as usize], 10);
+    }
+
+    #[test]
+    fn write_block_outranks_tile_conflicts() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(1, false, 0);
+        let mut w = cmd(1, 0);
+        w.is_read = false;
+        w.kind = "write";
+        w.completion = 200;
+        a.on_command(&w);
+        a.on_enqueued(2, true, 0);
+        a.on_command(&cmd(2, 200));
+        a.on_completed(2, 238);
+        let r2 = a.requests.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(r2.cycles[StallCause::WriteBlock as usize], 200);
+        assert_eq!(r2.attributed(), 238);
+    }
+
+    #[test]
+    fn global_io_is_the_bus_push() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(3, true, 0);
+        let mut c = cmd(3, 0);
+        c.data_start = c.earliest_data + 6; // bus pushed the burst 6 late
+        c.data_end = c.data_start + 8;
+        a.on_command(&c);
+        a.on_completed(3, c.data_end);
+        let r = &a.requests[0];
+        assert_eq!(r.cycles[StallCause::GlobalIo as usize], 6);
+        assert_eq!(r.attributed(), c.data_end);
+    }
+
+    #[test]
+    fn underfetch_carves_trcd() {
+        let mut p = AttributionParams::bare(4, 4);
+        p.t_rcd = 22;
+        let mut a = Attribution::new(p);
+        a.on_enqueued(4, true, 0);
+        let mut c = cmd(4, 0);
+        c.kind = "underfetch";
+        a.on_command(&c);
+        a.on_completed(4, c.data_end);
+        let r = &a.requests[0];
+        assert_eq!(r.cycles[StallCause::UnderfetchResense as usize], 22);
+        // 30 pre-burst − 22 carved + 8 burst.
+        assert_eq!(r.cycles[StallCause::Service as usize], 16);
+    }
+
+    #[test]
+    fn verify_retries_extend_the_write_tail() {
+        let mut p = AttributionParams::bare(4, 4);
+        p.t_wp = 40;
+        let mut a = Attribution::new(p);
+        a.on_enqueued(5, false, 0);
+        let mut c = cmd(5, 0);
+        c.is_read = false;
+        c.kind = "write";
+        c.retries = 2;
+        c.completion = c.data_end + 120; // (1+2)·tWP
+        a.on_command(&c);
+        a.on_completed(5, c.completion);
+        let r = &a.requests[0];
+        assert_eq!(r.cycles[StallCause::VerifyRetry as usize], 80);
+        assert_eq!(r.attributed(), c.completion);
+    }
+
+    #[test]
+    fn every_command_label_classifies() {
+        for label in ["row-hit", "activate", "underfetch", "write"] {
+            assert!(classify_command(label).is_some(), "{label} unclassified");
+        }
+        assert!(classify_command("refresh-all").is_none());
+    }
+
+    #[test]
+    fn what_if_bounds_are_amdahl() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(1, true, 0);
+        a.on_command(&cmd(1, 0));
+        a.on_completed(1, 38);
+        let bounds = what_if(&a);
+        assert_eq!(bounds.len(), SCENARIOS.len());
+        for b in &bounds {
+            assert!(b.overall_speedup >= 1.0);
+        }
+        let json = what_if_json(&bounds);
+        assert!(json.starts_with("[{\"name\":\"enable-multi-issue\""));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attribution;
 pub mod heatmap;
 pub mod hist;
 pub mod json;
@@ -32,6 +33,10 @@ pub mod span;
 pub mod table;
 pub mod trace;
 
+pub use attribution::{
+    classify_command, classify_instant, what_if, what_if_json, Attribution, AttributionParams,
+    ClassTotals, RequestAttribution, StallCause, WhatIfBound,
+};
 pub use heatmap::{TileCell, TileHeatmap};
 pub use hist::Log2Hist;
 pub use registry::{CounterHandle, GaugeHandle, MetricValue, Registry};
@@ -60,6 +65,9 @@ pub struct CommandIssue<'a> {
     pub arrival: u64,
     /// Cycle the command issued.
     pub at: u64,
+    /// Earliest burst start the bank alone allowed (before global-I/O bus
+    /// arbitration and rank turnaround pushed it to `data_start`).
+    pub earliest_data: u64,
     /// First cycle of the data burst.
     pub data_start: u64,
     /// One past the last cycle of the data burst.
@@ -72,6 +80,8 @@ pub struct CommandIssue<'a> {
     pub sag: u32,
     /// Target column division.
     pub cd: u32,
+    /// Column divisions spanned, starting at `cd`.
+    pub cd_count: u32,
     /// Device-level verify retries consumed by this command.
     pub retries: u32,
 }
@@ -92,6 +102,15 @@ pub enum InstantKind {
 }
 
 impl InstantKind {
+    /// Every instant kind, in counter-index order.
+    pub const ALL: [InstantKind; 5] = [
+        InstantKind::EccCorrected,
+        InstantKind::EccUncorrectable,
+        InstantKind::WriteReissue,
+        InstantKind::Remap,
+        InstantKind::Watchdog,
+    ];
+
     /// Stable display label (used as the trace event name).
     pub fn label(self) -> &'static str {
         match self {
@@ -117,16 +136,27 @@ pub struct Observer {
     pub heatmap: TileHeatmap,
     /// Chrome trace-event sink.
     pub trace: TraceSink,
+    /// Exact per-request stall-cycle attribution.
+    pub attribution: Attribution,
     instants: [u64; 5],
 }
 
 impl Observer {
-    /// An observer for banks subdivided into `sags` × `cds` tiles.
+    /// An observer for banks subdivided into `sags` × `cds` tiles, with
+    /// bare attribution parameters (tile conflicts only). Attach via
+    /// [`Observer::with_params`] when a full configuration is available.
     pub fn new(sags: u32, cds: u32) -> Self {
+        Observer::with_params(AttributionParams::bare(sags, cds))
+    }
+
+    /// An observer whose attribution classifier knows the full model facts
+    /// (access modes, tFAW, timing carve-outs).
+    pub fn with_params(params: AttributionParams) -> Self {
         Observer {
             spans: SpanTracker::new(),
-            heatmap: TileHeatmap::new(sags.max(1), cds.max(1)),
+            heatmap: TileHeatmap::new(params.sags.max(1), params.cds.max(1)),
             trace: TraceSink::default(),
+            attribution: Attribution::new(params),
             instants: [0; 5],
         }
     }
@@ -134,17 +164,20 @@ impl Observer {
     /// Hook: a request entered the system.
     pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
         self.spans.on_enqueued(id, is_read, now);
+        self.attribution.on_enqueued(id, is_read, now);
     }
 
     /// Hook: a request completed (or was satisfied without issuing).
     pub fn on_completed(&mut self, id: u64, now: u64) {
         self.spans.on_completed(id, now);
+        self.attribution.on_completed(id, now);
     }
 
     /// Hook: a command issued to a bank.
     pub fn on_command(&mut self, cmd: &CommandIssue<'_>) {
         self.spans
             .on_issued(cmd.id, cmd.at, cmd.data_start, cmd.data_end);
+        self.attribution.on_command(cmd);
         self.heatmap.on_command(
             cmd.channel,
             cmd.bank,
@@ -204,6 +237,14 @@ impl Observer {
         reg.set_gauge("obs.heatmap.conflict_rate", self.heatmap.conflict_rate());
         reg.set_counter("obs.trace.events", self.trace.len() as u64);
         reg.set_counter("obs.trace.dropped", self.trace.dropped());
+        reg.set_counter("obs.attr.unclassified", self.attribution.unclassified);
+        for cause in StallCause::ALL {
+            reg.set_counter(
+                &format!("obs.attr.{}", cause.label()),
+                self.attribution.reads.cycles[cause as usize]
+                    + self.attribution.writes.cycles[cause as usize],
+            );
+        }
         for kind in [
             InstantKind::EccCorrected,
             InstantKind::EccUncorrectable,
@@ -222,10 +263,11 @@ impl Observer {
     /// breakdowns and the S×C heatmap, as one JSON object.
     pub fn metrics_json(&self, reg: &Registry) -> String {
         format!(
-            "{{\"counters\":{},\"spans\":{},\"heatmap\":{}}}",
+            "{{\"counters\":{},\"spans\":{},\"heatmap\":{},\"attribution\":{}}}",
             reg.to_json(),
             self.spans.to_json(),
-            self.heatmap.to_json()
+            self.heatmap.to_json(),
+            self.attribution.to_json()
         )
     }
 
@@ -248,12 +290,14 @@ mod tests {
             kind: "activate",
             arrival: at.saturating_sub(5),
             at,
+            earliest_data: at + 30,
             data_start: at + 30,
             data_end: at + 38,
             completion: at + 38,
             row: 1,
             sag: 0,
             cd: 0,
+            cd_count: 1,
             retries: 0,
         }
     }

@@ -32,7 +32,10 @@
 //!   hybrid    DRAM-buffered PCM (ref [8]) vs and with FgNVM
 //!   reliability  fault injection: RBER x write-verify sweep through ECC/retry/remap
 //!   observe   instrumented run: spans, SAGxCD heatmap, Perfetto trace [cfg]
+//!   profile   bottleneck attribution + what-if bounds; appends runs.jsonl
+//!             ledger lines: profile [a.cfg ...] [--seeds N] [--ledger FILE]
 //!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
+//!             OR diff two run ledgers: compare base.jsonl cand.jsonl
 //!   check     conformance-oracle audit of real runs: check [a.cfg b.cfg ...]
 //!   fuzz      command-sequence fuzzer: fuzz [--cases N] | fuzz file.case
 //!   regress   self-check headline results against recorded bands (CI)
@@ -42,6 +45,13 @@
 //! `observe` additionally honors `--trace-out FILE` (Chrome trace-event
 //! JSON, loadable at `ui.perfetto.dev`) and `--metrics-out FILE` (the
 //! counter registry + latency breakdowns + heatmap as one JSON document).
+//!
+//! `profile` runs the stall-attribution profiler over `--seeds N` seeds per
+//! configuration (the built-in presets when no `.cfg` files are given) and
+//! appends one schema-versioned record per run to the `--ledger FILE`
+//! ledger (default `target/runs.jsonl`). `compare` on two `.jsonl` ledgers
+//! prints a noise-aware regression report (`--report FILE` also writes it
+//! as Markdown) and exits non-zero when the candidate regresses.
 
 use std::process::ExitCode;
 
@@ -60,6 +70,9 @@ struct Cli {
     trace_out: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
     cases: usize,
+    seeds: usize,
+    ledger: std::path::PathBuf,
+    report_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -73,6 +86,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut cases = 500;
+    let mut seeds = 3;
+    let mut ledger = std::path::PathBuf::from("target/runs.jsonl");
+    let mut report_out = None;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -103,6 +119,21 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--cases needs a value")?;
                 cases = v.parse().map_err(|_| format!("bad --cases value: {v}"))?;
             }
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a value")?;
+                seeds = v.parse().map_err(|_| format!("bad --seeds value: {v}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
+            "--ledger" => {
+                let file = args.next().ok_or("--ledger needs a file")?;
+                ledger = std::path::PathBuf::from(file);
+            }
+            "--report" => {
+                let file = args.next().ok_or("--report needs a file")?;
+                report_out = Some(std::path::PathBuf::from(file));
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -118,12 +149,15 @@ fn parse_args() -> Result<Cli, String> {
         trace_out,
         metrics_out,
         cases,
+        seeds,
+        ledger,
+        report_out,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|compare|check|fuzz|regress|summary|all> \
-     [--ops N] [--seed S] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE]"
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|regress|summary|all> \
+     [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE]"
         .to_string()
 }
 
@@ -303,6 +337,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             emit(&out.heatmap_table, format);
             if matches!(format, Format::Text) {
                 print!("{}", out.heatmap_ascii);
+                print!("{}", out.decomposition_ascii);
             }
             if let Some(path) = &cli.trace_out {
                 std::fs::write(path, &out.trace_json)
@@ -324,11 +359,20 @@ fn run(cli: &Cli) -> Result<(), String> {
                 }
             }
         }
+        "profile" => profile_command(cli, p, format)?,
         "compare" => {
             if cli.args.is_empty() {
-                return Err("compare needs at least one parameter file".into());
+                return Err(
+                    "compare needs parameter files (a.cfg b.cfg ...) or two run ledgers \
+                     (base.jsonl cand.jsonl)"
+                        .into(),
+                );
             }
-            emit(&compare_param_files(&cli.args, p)?, format)
+            if cli.args.iter().all(|a| a.ends_with(".jsonl")) {
+                compare_ledgers_command(cli, format)?;
+            } else {
+                emit(&compare_param_files(&cli.args, p)?, format)
+            }
         }
         "check" => {
             emit(&oracle_check(&cli.args, p)?, format);
@@ -453,6 +497,114 @@ fn load_config(path: &str) -> Result<fgnvm_types::SystemConfig, String> {
         .map_err(|e| format!("{path}: {}", fgnvm_types::SimError::from(e)))
 }
 
+/// The built-in preset configurations the `profile` and `check` commands
+/// fall back to when no parameter files are given.
+fn preset_configs() -> Result<Vec<(String, fgnvm_types::SystemConfig)>, String> {
+    let fail = |e: fgnvm_types::ConfigError| e.to_string();
+    Ok(vec![
+        ("baseline".into(), fgnvm_types::SystemConfig::baseline()),
+        (
+            "fgnvm-8x2".into(),
+            fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(fail)?,
+        ),
+        (
+            "multi-issue-8x4".into(),
+            fgnvm_types::SystemConfig::fgnvm_multi_issue(8, 4, 2).map_err(fail)?,
+        ),
+        (
+            "pausing-8x8".into(),
+            fgnvm_types::SystemConfig::fgnvm_with_pausing(8, 8).map_err(fail)?,
+        ),
+        ("dram".into(), fgnvm_types::SystemConfig::dram()),
+    ])
+}
+
+/// The `profile` command: stall attribution, critical-path ranking, and
+/// what-if bounds per configuration, plus one ledger line per seed.
+fn profile_command(cli: &Cli, p: &ExperimentParams, format: Format) -> Result<(), String> {
+    use std::io::Write as _;
+    let configs: Vec<(String, fgnvm_types::SystemConfig)> = if cli.args.is_empty() {
+        preset_configs()?
+    } else {
+        cli.args
+            .iter()
+            .map(|path| Ok((config_stem(path), load_config(path)?)))
+            .collect::<Result<_, String>>()?
+    };
+    let seeds: Vec<u64> = (0..cli.seeds as u64).map(|i| p.seed + i).collect();
+    if let Some(dir) = cli.ledger.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    let mut ledger = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&cli.ledger)
+        .map_err(|e| format!("opening {}: {e}", cli.ledger.display()))?;
+    let mut lines = 0usize;
+    for (name, config) in &configs {
+        let out = fgnvm_sim::profile(config, name, p, &seeds).map_err(|e| e.to_string())?;
+        emit_to(&out.summary, format, cli.out_dir.as_deref());
+        emit_to(&out.attribution_table, format, cli.out_dir.as_deref());
+        emit_to(&out.whatif_table, format, cli.out_dir.as_deref());
+        if matches!(format, Format::Text) {
+            print!("{}", out.decomposition_ascii);
+        }
+        if let Some(path) = &cli.metrics_out {
+            std::fs::write(path, &out.attribution_json)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        for record in &out.records {
+            writeln!(ledger, "{}", record.to_json_line())
+                .map_err(|e| format!("appending to {}: {e}", cli.ledger.display()))?;
+            lines += 1;
+        }
+    }
+    println!(
+        "{lines} run record(s) appended to {} (schema v{})",
+        cli.ledger.display(),
+        fgnvm_sim::SCHEMA_VERSION
+    );
+    Ok(())
+}
+
+/// `compare` on two `.jsonl` ledgers: the noise-aware cross-run regression
+/// gate. Exits non-zero when the candidate regresses any gated metric.
+fn compare_ledgers_command(cli: &Cli, format: Format) -> Result<(), String> {
+    let [base_path, cand_path] = cli.args.as_slice() else {
+        return Err("ledger compare needs exactly two files: compare base.jsonl cand.jsonl".into());
+    };
+    let read =
+        |path: &String| std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"));
+    let outcome = fgnvm_sim::compare_ledgers(&read(base_path)?, &read(cand_path)?);
+    match format {
+        Format::Json => println!("{}", outcome.to_json()),
+        _ => print!("{}", outcome.to_markdown()),
+    }
+    if let Some(path) = &cli.report_out {
+        std::fs::write(path, outcome.to_markdown())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("report written to {}", path.display());
+    }
+    if outcome.regressions() > 0 {
+        return Err(format!(
+            "{} metric(s) regressed beyond the noise threshold",
+            outcome.regressions()
+        ));
+    }
+    println!("no regressions beyond noise thresholds");
+    Ok(())
+}
+
+/// `path/to/fgnvm-8x8.cfg` → `fgnvm-8x8`, for ledger group keys.
+fn config_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
 /// Runs the standard workloads on each parameter-file configuration and
 /// tabulates geometric-mean speedups against the first file.
 fn compare_param_files(files: &[String], params: &ExperimentParams) -> Result<Table, String> {
@@ -546,23 +698,7 @@ fn regress(params: &ExperimentParams) -> Result<(), String> {
 /// Any violation makes the command fail, so CI can gate on it.
 fn oracle_check(args: &[String], p: &ExperimentParams) -> Result<Table, String> {
     let configs: Vec<(String, fgnvm_types::SystemConfig)> = if args.is_empty() {
-        let fail = |e: fgnvm_types::ConfigError| e.to_string();
-        vec![
-            ("baseline".into(), fgnvm_types::SystemConfig::baseline()),
-            (
-                "fgnvm-8x2".into(),
-                fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(fail)?,
-            ),
-            (
-                "multi-issue-8x4".into(),
-                fgnvm_types::SystemConfig::fgnvm_multi_issue(8, 4, 2).map_err(fail)?,
-            ),
-            (
-                "pausing-8x8".into(),
-                fgnvm_types::SystemConfig::fgnvm_with_pausing(8, 8).map_err(fail)?,
-            ),
-            ("dram".into(), fgnvm_types::SystemConfig::dram()),
-        ]
+        preset_configs()?
     } else {
         args.iter()
             .map(|path| Ok((path.clone(), load_config(path)?)))

@@ -33,6 +33,7 @@ pub mod experiment;
 pub mod extensions;
 pub mod golden;
 pub mod observe;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod simulation;
@@ -47,6 +48,10 @@ pub use extensions::{
     scaling, schedulers, technology, timeline, write_sweep,
 };
 pub use observe::{observe, ObserveOutcome};
+pub use profile::{
+    compare_ledgers, parse_ledger, profile, CompareOutcome, MetricDelta, ProfileOutcome, RunRecord,
+    SCHEMA_VERSION,
+};
 pub use report::Table;
 pub use runner::{run_configs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome};
 pub use simulation::{Simulation, SimulationError, SimulationReport};

@@ -32,6 +32,8 @@ pub struct ObserveOutcome {
     pub heatmap_table: Table,
     /// ASCII rendering of the conflict heatmap.
     pub heatmap_ascii: String,
+    /// ASCII stacked latency-decomposition bars (stall attribution).
+    pub decomposition_ascii: String,
     /// Metrics document: `{"counters": ..., "spans": ..., "heatmap": ...}`.
     pub metrics_json: String,
     /// Chrome trace-event JSON document.
@@ -77,6 +79,7 @@ pub fn observe(
         summary: summary_table(&memory, &result, &obs),
         heatmap_table: heatmap_table(&obs),
         heatmap_ascii: viz::render_heatmap(&obs.heatmap),
+        decomposition_ascii: viz::render_latency_decomposition(&obs.attribution, 48),
         metrics_json: obs.metrics_json(&reg),
         trace_json: obs.trace_json(),
         heatmap_csv: obs.heatmap.to_csv(),
@@ -170,6 +173,11 @@ mod tests {
         assert_eq!(out.heatmap_table.row_count(), 8);
         assert!(out.heatmap_ascii.contains("SAG  0"));
         assert!(out.heatmap_csv.starts_with("sag,cd,"));
+        // The stacked decomposition bar rides along, and the metrics
+        // document embeds the attribution aggregates.
+        assert!(out.decomposition_ascii.contains("stall attribution"));
+        assert!(out.decomposition_ascii.contains("service"));
+        assert!(out.metrics_json.contains("\"attribution\":{\"requests\":"));
     }
 
     #[test]

@@ -309,6 +309,116 @@ pub fn render_heatmap(heatmap: &fgnvm_obs::TileHeatmap) -> String {
     out
 }
 
+/// One-character glyph per stall bucket, used by the stacked bars.
+fn bucket_glyph(cause: fgnvm_obs::StallCause) -> char {
+    use fgnvm_obs::StallCause as S;
+    match cause {
+        S::QueueWait => 'q',
+        S::SagConflict => 'S',
+        S::CdConflict => 'C',
+        S::GlobalIo => 'G',
+        S::TfawWindow => 'F',
+        S::WriteBlock => 'W',
+        S::VerifyRetry => 'V',
+        S::UnderfetchResense => 'U',
+        S::CtrlOverhead => 'o',
+        S::Service => '#',
+    }
+}
+
+/// Renders the stall attribution as one stacked ASCII bar per operation
+/// class: each bucket's share of the mean end-to-end latency, plus a
+/// legend with exact cycle counts. The buckets partition the latency, so
+/// the bar always fills exactly `width` characters.
+pub fn render_latency_decomposition(attr: &fgnvm_obs::Attribution, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stall attribution (per-bottleneck share of mean latency):"
+    );
+    for (class, totals) in [("read", &attr.reads), ("write", &attr.writes)] {
+        if totals.count == 0 {
+            let _ = writeln!(out, "  {class:>5} (none completed)");
+            continue;
+        }
+        let mut bar = String::with_capacity(width);
+        let mut covered = 0u64;
+        let mut filled = 0usize;
+        for cause in fgnvm_obs::StallCause::ALL {
+            covered += totals.cycles[cause as usize];
+            // Cumulative rounding keeps the bar exactly `width` wide and
+            // every non-empty bucket's error below one cell.
+            let upto = ((covered as u128 * width as u128) / totals.total.max(1) as u128) as usize;
+            for _ in filled..upto {
+                bar.push(bucket_glyph(cause));
+            }
+            filled = upto.max(filled);
+        }
+        let mean = totals.total as f64 / totals.count as f64;
+        let _ = writeln!(out, "  {class:>5} |{bar:<width$}| mean {mean:.1} cy");
+    }
+    let grand: u64 = fgnvm_obs::StallCause::ALL
+        .iter()
+        .map(|c| attr.reads.cycles[*c as usize] + attr.writes.cycles[*c as usize])
+        .sum();
+    for cause in fgnvm_obs::StallCause::ALL {
+        let cycles = attr.reads.cycles[cause as usize] + attr.writes.cycles[cause as usize];
+        let pct = if grand > 0 {
+            cycles as f64 * 100.0 / grand as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "    {} {:<18} {:>12} cy {pct:>5.1}%",
+            bucket_glyph(cause),
+            cause.label(),
+            cycles
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod decomposition_tests {
+    use super::*;
+    use fgnvm_obs::{Attribution, AttributionParams, CommandIssue};
+
+    #[test]
+    fn bar_is_exactly_width_and_legend_is_exhaustive() {
+        let mut attr = Attribution::new(AttributionParams::bare(4, 4));
+        attr.on_enqueued(1, true, 0);
+        attr.on_command(&CommandIssue {
+            channel: 0,
+            bank: 0,
+            id: 1,
+            is_read: true,
+            kind: "activate",
+            arrival: 0,
+            at: 10,
+            earliest_data: 40,
+            data_start: 44,
+            data_end: 52,
+            completion: 60,
+            row: 0,
+            sag: 0,
+            cd: 0,
+            cd_count: 1,
+            retries: 0,
+        });
+        attr.on_completed(1, 52);
+        let out = render_latency_decomposition(&attr, 40);
+        let bar_line = out.lines().find(|l| l.contains("read |")).unwrap();
+        let bar = bar_line.split('|').nth(1).unwrap();
+        assert_eq!(bar.len(), 40);
+        for cause in fgnvm_obs::StallCause::ALL {
+            assert!(out.contains(cause.label()), "{} missing", cause.label());
+        }
+        assert!(out.contains("write (none completed)"));
+    }
+}
+
 #[cfg(test)]
 mod heatmap_tests {
     use super::*;

@@ -66,7 +66,11 @@ fn stepping_modes_agree_and_both_audit_clean() {
             let mut rng = seed;
             for i in 0..600u64 {
                 let r = fgnvm_check::seed::splitmix64(&mut rng);
-                let op = if r.is_multiple_of(3) { Op::Write } else { Op::Read };
+                let op = if r.is_multiple_of(3) {
+                    Op::Write
+                } else {
+                    Op::Read
+                };
                 memory.enqueue(op, PhysAddr::new((r % lines) * line));
                 if i % 7 == 0 {
                     let mut out = Vec::new();
