@@ -287,6 +287,41 @@ impl Bank for BaselineBank {
             busy_until: self.quiesce,
         }
     }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("bank.baseline");
+        w.opt_u32(self.open_row);
+        w.u64(self.act_done.raw());
+        w.u64(self.next_col.raw());
+        w.u64(self.quiesce.raw());
+        w.bool(self.faults.is_some());
+        if let Some(model) = &self.faults {
+            model.save_state(w);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("bank.baseline")?;
+        self.open_row = r.opt_u32()?;
+        self.act_done = Cycle::new(r.u64()?);
+        self.next_col = Cycle::new(r.u64()?);
+        self.quiesce = Cycle::new(r.u64()?);
+        let has_faults = r.bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(
+                "fault-model presence mismatch between checkpoint and config".into(),
+            ));
+        }
+        if let Some(model) = &mut self.faults {
+            model.load_state(r)?;
+        }
+        self.stats = crate::BankStats::load_state(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

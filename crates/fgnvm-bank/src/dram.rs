@@ -289,6 +289,30 @@ impl Bank for DramBank {
     fn next_ready_hint(&self, now: Cycle) -> Cycle {
         self.column_ready().min(self.row_switch_ready()).max(now)
     }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("bank.dram");
+        w.opt_u32(self.open_row);
+        w.opt_u64(self.act_at.map(Cycle::raw));
+        w.u64(self.act_done.raw());
+        w.u64(self.next_col.raw());
+        w.u64(self.quiesce.raw());
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("bank.dram")?;
+        self.open_row = r.opt_u32()?;
+        self.act_at = r.opt_u64()?.map(Cycle::new);
+        self.act_done = Cycle::new(r.u64()?);
+        self.next_col = Cycle::new(r.u64()?);
+        self.quiesce = Cycle::new(r.u64()?);
+        self.stats = BankStats::load_state(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

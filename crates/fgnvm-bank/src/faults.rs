@@ -159,6 +159,38 @@ impl FaultModel {
         }
         (retries, failed)
     }
+
+    /// Serialize the model's only mutable state — the per-row wear
+    /// counters — in sorted key order so checkpoints are deterministic.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("faults");
+        let mut rows: Vec<(u32, u64)> = self.row_writes.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_unstable();
+        w.usize(rows.len());
+        for (row, writes) in rows {
+            w.u32(row);
+            w.u64(writes);
+        }
+    }
+
+    /// Restore wear counters written by [`FaultModel::save_state`]. The
+    /// immutable hash parameters are rebuilt from configuration, not the
+    /// checkpoint.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("faults")?;
+        let n = r.usize()?;
+        let mut rows = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let row = r.u32()?;
+            let writes = r.u64()?;
+            rows.insert(row, writes);
+        }
+        self.row_writes = rows;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -785,6 +785,89 @@ impl Bank for FgnvmBank {
             busy_until: self.max_completion,
         }
     }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("bank.fgnvm");
+        w.usize(self.sags.len());
+        for s in &self.sags {
+            w.opt_u32(s.open_row);
+            w.u128(s.sensed);
+            w.u64(s.wordline_free.raw());
+            w.u64(s.lock.raw());
+            w.u128(s.write_cds);
+            w.u32(s.write_row);
+            w.u64(s.quiesce.raw());
+        }
+        w.usize(self.cd_io_free.len());
+        for c in &self.cd_io_free {
+            w.u64(c.raw());
+        }
+        for c in &self.cd_latch_free {
+            w.u64(c.raw());
+        }
+        w.u64(self.next_col.raw());
+        w.u64(self.serial_until.raw());
+        w.u64(self.write_block_until.raw());
+        w.u64(self.max_completion.raw());
+        w.u64(self.max_write_completion.raw());
+        w.bool(self.faults.is_some());
+        if let Some(model) = &self.faults {
+            model.save_state(w);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("bank.fgnvm")?;
+        let sag_count = r.usize()?;
+        if sag_count != self.sags.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {sag_count} SAGs, bank has {}",
+                self.sags.len()
+            )));
+        }
+        for s in &mut self.sags {
+            s.open_row = r.opt_u32()?;
+            s.sensed = r.u128()?;
+            s.wordline_free = Cycle::new(r.u64()?);
+            s.lock = Cycle::new(r.u64()?);
+            s.write_cds = r.u128()?;
+            s.write_row = r.u32()?;
+            s.quiesce = Cycle::new(r.u64()?);
+        }
+        let cd_count = r.usize()?;
+        if cd_count != self.cd_io_free.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {cd_count} CDs, bank has {}",
+                self.cd_io_free.len()
+            )));
+        }
+        for c in &mut self.cd_io_free {
+            *c = Cycle::new(r.u64()?);
+        }
+        for c in &mut self.cd_latch_free {
+            *c = Cycle::new(r.u64()?);
+        }
+        self.next_col = Cycle::new(r.u64()?);
+        self.serial_until = Cycle::new(r.u64()?);
+        self.write_block_until = Cycle::new(r.u64()?);
+        self.max_completion = Cycle::new(r.u64()?);
+        self.max_write_completion = Cycle::new(r.u64()?);
+        let has_faults = r.bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(
+                "fault-model presence mismatch between checkpoint and config".into(),
+            ));
+        }
+        if let Some(model) = &mut self.faults {
+            model.load_state(r)?;
+        }
+        self.stats = BankStats::load_state(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

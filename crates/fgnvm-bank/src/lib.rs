@@ -135,6 +135,28 @@ pub trait Bank: std::fmt::Debug + Send {
     fn occupancy(&self) -> OccupancySnapshot {
         OccupancySnapshot::default()
     }
+
+    /// Serialize every piece of mutable FSM state into a checkpoint.
+    ///
+    /// Structural parameters (timing, geometry, fault hash seeds) are *not*
+    /// written — restore rebuilds the bank from configuration and overlays
+    /// this state. Together with [`Bank::load_state`] the round trip must be
+    /// exact: a restored bank behaves bit-identically to the original from
+    /// the checkpoint cycle onward.
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter);
+
+    /// Restore mutable FSM state written by [`Bank::save_state`] into a
+    /// freshly constructed bank of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint is truncated, corrupt, or was written by a different bank
+    /// model.
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError>;
 }
 
 #[cfg(test)]

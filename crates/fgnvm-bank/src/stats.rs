@@ -118,6 +118,54 @@ impl BankStats {
     }
 }
 
+impl BankStats {
+    /// Serialize every counter, in declaration order, into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("bstats");
+        for v in [
+            self.reads,
+            self.writes,
+            self.row_hits,
+            self.activations,
+            self.underfetches,
+            self.sensed_bits,
+            self.written_bits,
+            self.overlapped_accesses,
+            self.reads_under_write,
+            self.write_pauses,
+            self.write_retries,
+            self.verify_failures,
+            self.read_bit_errors,
+            self.stuck_faults,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore counters previously written by [`BankStats::save_state`].
+    pub fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<BankStats, fgnvm_types::SnapshotError> {
+        r.tag("bstats")?;
+        Ok(BankStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            row_hits: r.u64()?,
+            activations: r.u64()?,
+            underfetches: r.u64()?,
+            sensed_bits: r.u64()?,
+            written_bits: r.u64()?,
+            overlapped_accesses: r.u64()?,
+            reads_under_write: r.u64()?,
+            write_pauses: r.u64()?,
+            write_retries: r.u64()?,
+            verify_failures: r.u64()?,
+            read_bit_errors: r.u64()?,
+            stuck_faults: r.u64()?,
+        })
+    }
+}
+
 impl AddAssign for BankStats {
     fn add_assign(&mut self, rhs: BankStats) {
         self.reads += rhs.reads;

@@ -133,6 +133,7 @@ impl FuzzCase {
                 ecc_correctable_bits: 2,
                 ecc_decode_penalty_cycles: 8,
                 wear_stuck_threshold: 0,
+                ..ReliabilityConfig::default()
             })
         } else {
             base
@@ -151,6 +152,13 @@ pub struct CaseReport {
     pub commands: usize,
     /// Peak per-bank tile concurrency the oracle observed.
     pub max_tile_concurrency: u32,
+    /// The cycle the run went idle at.
+    pub final_cycle: u64,
+    /// FNV-1a 64 digest of the full end-of-run system snapshot — the
+    /// strongest equality the kill/resume differential can demand: two
+    /// runs with equal digests ended in bit-identical simulator states
+    /// (stats, queues, bank FSMs, command logs, observer and all).
+    pub state_digest: u64,
 }
 
 /// Runs one case end to end and judges it with the full correctness
@@ -158,18 +166,72 @@ pub struct CaseReport {
 /// failure: an oracle/protocol violation, a broken invariant, a watchdog
 /// stall, or a caught panic.
 pub fn execute_case(case: &FuzzCase) -> Result<CaseReport, String> {
-    let case = case.clone();
-    catch_unwind(AssertUnwindSafe(move || execute_inner(&case))).unwrap_or_else(|payload| {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        Err(format!("panicked: {msg}"))
-    })
+    execute_case_with_kill(case, None)
 }
 
-fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
+/// Like [`execute_case`], but additionally simulates a crash: when the
+/// clock first reaches `kill_cycle` (or just before the final drain, if
+/// the run never gets there), the entire system state is checkpointed,
+/// the [`MemorySystem`] is dropped, and a fresh one is restored from the
+/// blob to finish the run. The returned report — including the
+/// full-state digest — must be identical to the uninterrupted run's.
+pub fn execute_case_with_kill(
+    case: &FuzzCase,
+    kill_cycle: Option<u64>,
+) -> Result<CaseReport, String> {
+    let case = case.clone();
+    catch_unwind(AssertUnwindSafe(move || execute_inner(&case, kill_cycle))).unwrap_or_else(
+        |payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panicked: {msg}"))
+        },
+    )
+}
+
+/// Snapshot → drop → restore, in place: the crash the kill/resume
+/// differential injects.
+fn crash_and_restore(memory: &mut MemorySystem, chaos: bool) -> Result<(), String> {
+    let blob = memory.save_snapshot();
+    let config = *memory.config();
+    *memory = MemorySystem::restore(config, &blob)
+        .map_err(|e| format!("restore after simulated crash: {e}"))?;
+    if chaos {
+        // The test-only mutation knob is debug state, deliberately
+        // outside the checkpoint; re-arm it like a harness would.
+        memory.debug_force_illegal_issue(true);
+    }
+    Ok(())
+}
+
+/// Advances to `target`, injecting the pending crash exactly at
+/// `kill_cycle` if the hop would cross it.
+fn advance_with_kill(
+    memory: &mut MemorySystem,
+    target: fgnvm_types::Cycle,
+    completions: &mut Vec<Completion>,
+    kill: &mut Option<u64>,
+    chaos: bool,
+) -> Result<(), String> {
+    if let Some(k) = *kill {
+        if memory.now().raw() <= k && target.raw() >= k {
+            if memory.now().raw() < k {
+                memory.tick_to(fgnvm_types::Cycle::new(k), completions);
+            }
+            crash_and_restore(memory, chaos)?;
+            *kill = None;
+        }
+    }
+    if memory.now() < target {
+        memory.tick_to(target, completions);
+    }
+    Ok(())
+}
+
+fn execute_inner(case: &FuzzCase, mut kill: Option<u64>) -> Result<CaseReport, String> {
     let config = case.build_config()?;
     let mut memory = MemorySystem::new(config).map_err(|e| e.to_string())?;
     memory.set_fast_forward(case.fast_forward);
@@ -191,7 +253,7 @@ fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
             // -full queue after 64k cycles is a stall the watchdog below
             // would also catch; just drop the op.
             let target = fgnvm_types::Cycle::new(memory.now().raw() + 65_536);
-            memory.tick_to(target, &mut completions);
+            advance_with_kill(&mut memory, target, &mut completions, &mut kill, case.chaos)?;
             id = memory.enqueue(kind, addr);
         }
         if let Some(id) = id {
@@ -199,8 +261,14 @@ fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
         }
         if op.gap > 0 {
             let target = fgnvm_types::Cycle::new(memory.now().raw() + u64::from(op.gap));
-            memory.tick_to(target, &mut completions);
+            advance_with_kill(&mut memory, target, &mut completions, &mut kill, case.chaos)?;
         }
+    }
+    if kill.is_some() {
+        // The op sequence never reached the kill cycle: crash right
+        // before the final drain instead, so every case still exercises
+        // a restore somewhere.
+        crash_and_restore(&mut memory, case.chaos)?;
     }
     completions.extend(
         memory
@@ -229,6 +297,10 @@ fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
             ));
         }
     }
+    // Digest the full end state before the observer moves out: this is
+    // what the kill/resume differential compares.
+    let final_cycle = memory.now().raw();
+    let state_digest = fgnvm_types::fnv1a64(&memory.save_snapshot());
     let observer = memory.take_observer().expect("observer enabled above");
     let mut inv = invariants::standard_report(&config, &memory, Some(&observer));
     inv.merge(invariants::check_completions(&accepted, &completions));
@@ -239,6 +311,8 @@ fn execute_inner(case: &FuzzCase) -> Result<CaseReport, String> {
         accepted: accepted.len(),
         commands,
         max_tile_concurrency: max_conc,
+        final_cycle,
+        state_digest,
     })
 }
 
@@ -255,6 +329,12 @@ pub struct FuzzOptions {
     /// (restricting models to the tile-aware ones). Used by the
     /// mutation-detection tests; real fuzz runs leave this off.
     pub chaos: bool,
+    /// Kill/resume differential mode: run every case twice — once
+    /// straight and once crashed at a deterministically derived cycle
+    /// (checkpoint → drop → restore) — and fail on ANY divergence in the
+    /// final full-state digest, proving checkpoint/restore is exact at
+    /// arbitrary kill points.
+    pub kill_resume: bool,
 }
 
 impl Default for FuzzOptions {
@@ -264,6 +344,7 @@ impl Default for FuzzOptions {
             seed: crate::derive_seed("fgnvm-check::fuzz", 0),
             max_ops: 96,
             chaos: false,
+            kill_resume: false,
         }
     }
 }
@@ -360,10 +441,68 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzOutcome {
                 }),
             };
         }
+        if opts.kill_resume {
+            if let Some(message) = kill_resume_divergence(&case, opts.seed, index) {
+                // Shrinking minimizes against plain execute_case, which
+                // cannot reproduce a divergence; report the case as-is.
+                return FuzzOutcome {
+                    cases_run: index + 1,
+                    failure: Some(FuzzFailure {
+                        index,
+                        original: case.clone(),
+                        shrunk: case,
+                        message,
+                    }),
+                };
+            }
+        }
     }
     FuzzOutcome {
         cases_run: opts.cases,
         failure: None,
+    }
+}
+
+/// Runs `case` straight and with a crash at a deterministically derived
+/// kill cycle, returning a failure message if the two final full-state
+/// digests (or reports) diverge. The kill cycle is drawn inside the
+/// straight run's observed length, so it genuinely lands mid-flight.
+fn kill_resume_divergence(case: &FuzzCase, seed: u64, index: usize) -> Option<String> {
+    let straight = match execute_case(case) {
+        Ok(report) => report,
+        // A case that fails cleanly is handled by the main fuzz path.
+        Err(_) => return None,
+    };
+    let mut rng = crate::derive_seed("fgnvm-check::kill-cycle", seed ^ index as u64);
+    let kill_cycle = splitmix64(&mut rng) % straight.final_cycle.max(1);
+    match execute_case_with_kill(case, Some(kill_cycle)) {
+        Ok(resumed) => {
+            if resumed.state_digest != straight.state_digest
+                || resumed.accepted != straight.accepted
+                || resumed.commands != straight.commands
+                || resumed.final_cycle != straight.final_cycle
+            {
+                Some(format!(
+                    "kill/resume divergence at cycle {kill_cycle}: straight \
+                     (accepted {}, commands {}, end cy{}, digest {:016x}) vs resumed \
+                     (accepted {}, commands {}, end cy{}, digest {:016x})",
+                    straight.accepted,
+                    straight.commands,
+                    straight.final_cycle,
+                    straight.state_digest,
+                    resumed.accepted,
+                    resumed.commands,
+                    resumed.final_cycle,
+                    resumed.state_digest
+                ))
+            } else {
+                None
+            }
+        }
+        Err(message) => Some(format!(
+            "kill/resume at cycle {kill_cycle} failed where the straight run \
+             passed: {message}"
+        )),
     }
 }
 
@@ -497,5 +636,60 @@ mod tests {
         let report = execute_case(&case).expect("legal case is clean");
         assert!(report.accepted > 0);
         assert!(report.commands > 0);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_on_a_hand_written_case() {
+        let case = FuzzCase {
+            model: FuzzModel::Fgnvm,
+            sags: 8,
+            cds: 2,
+            faulty: true,
+            fast_forward: true,
+            chaos: false,
+            ops: (0..32)
+                .map(|i| FuzzOp {
+                    write: i % 3 == 0,
+                    line: i * 5,
+                    gap: (i % 7 * 9) as u32,
+                })
+                .collect(),
+        };
+        let straight = execute_case(&case).expect("straight run is clean");
+        // Kill at several points across the run, including cycle 0 and
+        // one past the end (forcing the pre-drain crash).
+        for kill in [
+            0,
+            straight.final_cycle / 3,
+            straight.final_cycle / 2,
+            u64::MAX,
+        ] {
+            let resumed = execute_case_with_kill(&case, Some(kill)).expect("resumed run is clean");
+            assert_eq!(
+                resumed.state_digest, straight.state_digest,
+                "digest diverged for kill at {kill}"
+            );
+            assert_eq!(resumed.accepted, straight.accepted);
+            assert_eq!(resumed.commands, straight.commands);
+            assert_eq!(resumed.final_cycle, straight.final_cycle);
+        }
+    }
+
+    #[test]
+    fn kill_resume_fuzz_batch_finds_no_divergence() {
+        let opts = FuzzOptions {
+            cases: 16,
+            seed: crate::derive_seed("fgnvm-check::kill-resume-test", 0),
+            max_ops: 48,
+            chaos: false,
+            kill_resume: true,
+        };
+        let outcome = fuzz(&opts);
+        assert!(
+            outcome.failure.is_none(),
+            "kill/resume divergence: {}",
+            outcome.failure.unwrap().message
+        );
+        assert_eq!(outcome.cases_run, 16);
     }
 }

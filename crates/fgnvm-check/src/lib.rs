@@ -43,7 +43,8 @@ pub mod seed;
 
 pub use case::{parse_case, render_case};
 pub use fuzz::{
-    execute_case, fuzz, FuzzCase, FuzzFailure, FuzzModel, FuzzOp, FuzzOptions, FuzzOutcome,
+    execute_case, execute_case_with_kill, fuzz, CaseReport, FuzzCase, FuzzFailure, FuzzModel,
+    FuzzOp, FuzzOptions, FuzzOutcome,
 };
 pub use invariants::InvariantReport;
 pub use oracle::{run_and_audit, CheckOutcome, Oracle, OracleReport, OracleViolation};

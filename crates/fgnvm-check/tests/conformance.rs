@@ -152,6 +152,7 @@ fn fuzzer_catches_chaos_mutation_with_replayable_counterexample() {
         seed: fgnvm_check::derive_seed("conformance::chaos-fuzz", 0),
         max_ops: 64,
         chaos: true,
+        kill_resume: false,
     };
     let outcome = fuzz(&opts);
     let failure = outcome.failure.unwrap_or_else(|| {
@@ -189,6 +190,7 @@ fn fuzzer_is_clean_on_the_unmutated_simulator() {
         seed: fgnvm_check::derive_seed("conformance::clean-fuzz", 0),
         max_ops: 48,
         chaos: false,
+        kill_resume: false,
     };
     let outcome = fuzz(&opts);
     if let Some(failure) = &outcome.failure {

@@ -73,6 +73,41 @@ impl DataBus {
     pub fn width(&self) -> u32 {
         self.slots.len() as u32
     }
+
+    /// Serialize slot occupancy and utilization into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("bus");
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            w.u64(s.raw());
+        }
+        w.u64(self.busy_cycles.raw());
+    }
+
+    /// Restore occupancy written by [`DataBus::save_state`] into this bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint's slot count disagrees with this bus's width.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("bus")?;
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint bus has {n} slots, config has {}",
+                self.slots.len()
+            )));
+        }
+        for s in &mut self.slots {
+            *s = Cycle::new(r.u64()?);
+        }
+        self.busy_cycles = CycleCount::new(r.u64()?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

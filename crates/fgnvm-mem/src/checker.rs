@@ -749,6 +749,7 @@ mod tests {
             ecc_correctable_bits: 1,
             ecc_decode_penalty_cycles: 10,
             wear_stuck_threshold: 0,
+            ..fgnvm_types::config::ReliabilityConfig::default()
         };
         let mut mem = crate::MemorySystem::new(config).unwrap();
         mem.enable_command_log(1 << 16);

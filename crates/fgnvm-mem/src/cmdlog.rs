@@ -123,6 +123,100 @@ impl CommandLog {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Serialize the log configuration and retained records.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("cmdlog");
+        w.usize(self.capacity);
+        w.u64(self.dropped);
+        w.usize(self.records.len());
+        for rec in &self.records {
+            w.u64(rec.at.raw());
+            w.u64(rec.id.raw());
+            w.u8(match rec.op {
+                Op::Read => 0,
+                Op::Write => 1,
+            });
+            w.u8(match rec.kind {
+                PlanKind::RowHit => 0,
+                PlanKind::Activate => 1,
+                PlanKind::Underfetch => 2,
+                PlanKind::Write => 3,
+            });
+            w.usize(rec.bank_index);
+            w.u32(rec.row);
+            w.u32(rec.coord.sag);
+            w.u32(rec.coord.cd_first);
+            w.u32(rec.coord.cd_count);
+            w.u64(rec.data_start.raw());
+            w.u32(rec.retries);
+        }
+    }
+
+    /// Restore a log written by [`CommandLog::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated stream or an unknown op/kind discriminant.
+    pub fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<CommandLog, fgnvm_types::SnapshotError> {
+        r.tag("cmdlog")?;
+        let capacity = r.usize()?;
+        let dropped = r.u64()?;
+        let n = r.usize()?;
+        let mut records = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let at = Cycle::new(r.u64()?);
+            let id = RequestId::new(r.u64()?);
+            let op = match r.u8()? {
+                0 => Op::Read,
+                1 => Op::Write,
+                other => {
+                    return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                        "unknown op discriminant {other}"
+                    )))
+                }
+            };
+            let kind = match r.u8()? {
+                0 => PlanKind::RowHit,
+                1 => PlanKind::Activate,
+                2 => PlanKind::Underfetch,
+                3 => PlanKind::Write,
+                other => {
+                    return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                        "unknown plan-kind discriminant {other}"
+                    )))
+                }
+            };
+            let bank_index = r.usize()?;
+            let row = r.u32()?;
+            let coord = TileCoord {
+                sag: r.u32()?,
+                cd_first: r.u32()?,
+                cd_count: r.u32()?,
+            };
+            let data_start = Cycle::new(r.u64()?);
+            let retries = r.u32()?;
+            records.push_back(CommandRecord {
+                at,
+                id,
+                op,
+                kind,
+                bank_index,
+                row,
+                coord,
+                data_start,
+                retries,
+            });
+        }
+        Ok(CommandLog {
+            capacity,
+            records,
+            dropped,
+        })
+    }
 }
 
 #[cfg(test)]

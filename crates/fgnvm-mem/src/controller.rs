@@ -745,6 +745,149 @@ impl Controller {
         }
         out
     }
+
+    /// Serialize every piece of mutable controller state (queues, in-flight
+    /// completion events, bus occupancy, drain flag, tFAW windows, pending
+    /// bad rows, scheduler state, command log, and all bank FSMs).
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("ctrl");
+        w.u32(self.channel);
+        self.reads.save_state(w);
+        self.writes.save_state(w);
+        // BinaryHeap iteration order is arbitrary; sort so identical state
+        // always produces identical bytes.
+        let mut events: Vec<Event> = self.events.iter().map(|e| e.0).collect();
+        events.sort_unstable();
+        w.usize(events.len());
+        for e in events {
+            w.u64(e.at.raw());
+            w.u64(e.id_raw);
+            w.bool(e.is_read);
+            w.u64(e.arrival.raw());
+        }
+        self.bus.save_state(w);
+        match self.last_burst {
+            None => w.bool(false),
+            Some((rank, end)) => {
+                w.bool(true);
+                w.u32(rank);
+                w.u64(end.raw());
+            }
+        }
+        w.bool(self.draining);
+        match &self.faw {
+            None => w.bool(false),
+            Some(faw) => {
+                w.bool(true);
+                w.usize(faw.windows.len());
+                for window in &faw.windows {
+                    for slot in window {
+                        w.opt_u64(slot.map(Cycle::raw));
+                    }
+                }
+            }
+        }
+        w.usize(self.bad_rows.len());
+        for (bank_index, row) in &self.bad_rows {
+            w.usize(*bank_index);
+            w.u32(*row);
+        }
+        self.scheduler.save_state(w);
+        self.log.save_state(w);
+        w.bool(self.chaos);
+        w.usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+    }
+
+    /// Restore state written by [`Controller::save_state`] into a freshly
+    /// built controller of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// stream is truncated, corrupt, or describes a different channel or
+    /// bank layout.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("ctrl")?;
+        let channel = r.u32()?;
+        if channel != self.channel {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint is for channel {channel}, controller is channel {}",
+                self.channel
+            )));
+        }
+        self.reads.load_state(r)?;
+        self.writes.load_state(r)?;
+        let n_events = r.usize()?;
+        self.events.clear();
+        for _ in 0..n_events {
+            let at = Cycle::new(r.u64()?);
+            let id_raw = r.u64()?;
+            let is_read = r.bool()?;
+            let arrival = Cycle::new(r.u64()?);
+            self.events.push(Reverse(Event {
+                at,
+                id_raw,
+                is_read,
+                arrival,
+            }));
+        }
+        self.bus.load_state(r)?;
+        self.last_burst = if r.bool()? {
+            let rank = r.u32()?;
+            let end = Cycle::new(r.u64()?);
+            Some((rank, end))
+        } else {
+            None
+        };
+        self.draining = r.bool()?;
+        let has_faw = r.bool()?;
+        if has_faw != self.faw.is_some() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(
+                "tFAW tracker presence mismatch between checkpoint and config".into(),
+            ));
+        }
+        if let Some(faw) = &mut self.faw {
+            let ranks = r.usize()?;
+            if ranks != faw.windows.len() {
+                return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                    "checkpoint has {ranks} tFAW ranks, config has {}",
+                    faw.windows.len()
+                )));
+            }
+            for window in &mut faw.windows {
+                for slot in window.iter_mut() {
+                    *slot = r.opt_u64()?.map(Cycle::new);
+                }
+            }
+        }
+        let n_bad = r.usize()?;
+        self.bad_rows.clear();
+        for _ in 0..n_bad {
+            let bank_index = r.usize()?;
+            let row = r.u32()?;
+            self.bad_rows.push((bank_index, row));
+        }
+        self.scheduler.load_state(r)?;
+        self.log = CommandLog::load_state(r)?;
+        self.chaos = r.bool()?;
+        let n_banks = r.usize()?;
+        if n_banks != self.banks.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {n_banks} banks, config has {}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,52 @@ impl DataStore {
     pub fn line(&self, addr: PhysAddr) -> Option<&[u8]> {
         self.lines.get(&self.line_index(addr)).map(|b| &b[..])
     }
+
+    /// Serialize the resident lines in sorted index order.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("data");
+        w.usize(self.line_bytes);
+        let mut indices: Vec<u64> = self.lines.keys().copied().collect();
+        indices.sort_unstable();
+        w.usize(indices.len());
+        for idx in indices {
+            w.u64(idx);
+            w.bytes(&self.lines[&idx]);
+        }
+    }
+
+    /// Restore contents written by [`DataStore::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated stream or a line whose length disagrees with the store's
+    /// line size.
+    pub fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<DataStore, fgnvm_types::SnapshotError> {
+        r.tag("data")?;
+        let line_bytes = r.usize()?;
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "line size {line_bytes} is not a positive power of two"
+            )));
+        }
+        let n = r.usize()?;
+        let mut lines = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u64()?;
+            let data = r.bytes()?;
+            if data.len() != line_bytes {
+                return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                    "line {idx} has {} bytes, expected {line_bytes}",
+                    data.len()
+                )));
+            }
+            lines.insert(idx, data.to_vec().into_boxed_slice());
+        }
+        Ok(DataStore { line_bytes, lines })
+    }
 }
 
 #[cfg(test)]

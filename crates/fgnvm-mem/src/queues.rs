@@ -97,6 +97,130 @@ impl RequestQueue {
     pub fn position_addr(&self, addr: PhysAddr) -> Option<usize> {
         self.entries.iter().position(|p| p.request.addr == addr)
     }
+
+    /// Serialize the queued entries (capacity is structural and rebuilt
+    /// from configuration).
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("rqueue");
+        w.usize(self.entries.len());
+        for p in &self.entries {
+            save_pending(p, w);
+        }
+    }
+
+    /// Restore entries written by [`RequestQueue::save_state`] into this
+    /// queue, replacing its current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint holds more entries than this queue's capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("rqueue")?;
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint queue holds {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push_back(load_pending(r)?);
+        }
+        Ok(())
+    }
+}
+
+/// Serialize one [`Pending`] entry.
+pub(crate) fn save_pending(p: &Pending, w: &mut fgnvm_types::SnapshotWriter) {
+    use fgnvm_types::request::{Op, Priority};
+    w.u64(p.request.id.raw());
+    w.u8(match p.request.op {
+        Op::Read => 0,
+        Op::Write => 1,
+    });
+    w.u64(p.request.addr.raw());
+    w.u64(p.request.arrival.raw());
+    w.u8(match p.request.priority {
+        Priority::Demand => 0,
+        Priority::Prefetch => 1,
+    });
+    w.u32(p.decoded.channel);
+    w.u32(p.decoded.rank);
+    w.u32(p.decoded.bank);
+    w.u32(p.decoded.row);
+    w.u32(p.decoded.line);
+    w.u8(match p.access.op {
+        Op::Read => 0,
+        Op::Write => 1,
+    });
+    w.u32(p.access.row);
+    w.u32(p.access.line);
+    w.u32(p.access.coord.sag);
+    w.u32(p.access.coord.cd_first);
+    w.u32(p.access.coord.cd_count);
+    w.usize(p.bank_index);
+}
+
+/// Restore one [`Pending`] entry written by [`save_pending`].
+pub(crate) fn load_pending(
+    r: &mut fgnvm_types::SnapshotReader<'_>,
+) -> Result<Pending, fgnvm_types::SnapshotError> {
+    use fgnvm_types::address::TileCoord;
+    use fgnvm_types::request::{Op, Priority, RequestId};
+    use fgnvm_types::time::Cycle;
+    fn op_from(d: u8) -> Result<Op, fgnvm_types::SnapshotError> {
+        match d {
+            0 => Ok(Op::Read),
+            1 => Ok(Op::Write),
+            other => Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "unknown op discriminant {other}"
+            ))),
+        }
+    }
+    let id = RequestId::new(r.u64()?);
+    let op = op_from(r.u8()?)?;
+    let addr = PhysAddr::new(r.u64()?);
+    let arrival = Cycle::new(r.u64()?);
+    let priority = match r.u8()? {
+        0 => Priority::Demand,
+        1 => Priority::Prefetch,
+        other => {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "unknown priority discriminant {other}"
+            )))
+        }
+    };
+    let mut request = Request::new(id, op, addr, arrival);
+    request.priority = priority;
+    let decoded = DecodedAddr {
+        channel: r.u32()?,
+        rank: r.u32()?,
+        bank: r.u32()?,
+        row: r.u32()?,
+        line: r.u32()?,
+    };
+    let access = Access {
+        op: op_from(r.u8()?)?,
+        row: r.u32()?,
+        line: r.u32()?,
+        coord: TileCoord {
+            sag: r.u32()?,
+            cd_first: r.u32()?,
+            cd_count: r.u32()?,
+        },
+    };
+    let bank_index = r.usize()?;
+    Ok(Pending {
+        request,
+        decoded,
+        access,
+        bank_index,
+    })
 }
 
 /// Write-drain hysteresis: drain begins above the high watermark and stops

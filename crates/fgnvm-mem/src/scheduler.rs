@@ -40,6 +40,27 @@ pub trait Scheduler: fmt::Debug + Send {
 
     /// Whether reads may continue to issue while a write drain is active.
     fn reads_during_drain(&self) -> bool;
+
+    /// Serialize any mutable scheduling state into a checkpoint. Stateless
+    /// policies (the default) write nothing.
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`Scheduler::save_state`]. Stateless
+    /// policies (the default) read nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated or mismatched stream.
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Creates the scheduler named by `kind`.
@@ -401,6 +422,20 @@ impl Scheduler for FrfcfsCap {
 
     fn reads_during_drain(&self) -> bool {
         false
+    }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("sched.cap");
+        w.u32(self.streak.get());
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("sched.cap")?;
+        self.streak.set(r.u32()?);
+        Ok(())
     }
 }
 

@@ -57,6 +57,15 @@ pub struct SystemStats {
     /// Writes re-issued from the controller after the device exhausted its
     /// on-die write-verify retry budget.
     pub reissued_writes: u64,
+    /// Rows retired outright because the bank's spare-row pool was already
+    /// exhausted (second rung of the wear-out escalation ladder): the row's
+    /// capacity is lost and reads return best-effort data.
+    pub retired_rows: u64,
+    /// Banks currently degraded to read-only mode because their retired-row
+    /// count crossed `ReliabilityConfig::read_only_row_threshold`.
+    pub read_only_banks: u64,
+    /// Write enqueue attempts rejected because the target bank is read-only.
+    pub read_only_write_rejections: u64,
 }
 
 impl SystemStats {
@@ -83,7 +92,82 @@ impl SystemStats {
             remapped_rows: 0,
             remap_collisions: 0,
             reissued_writes: 0,
+            retired_rows: 0,
+            read_only_banks: 0,
+            read_only_write_rejections: 0,
         }
+    }
+
+    /// Serialize every counter and histogram into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("sysstats");
+        for v in [
+            self.enqueued_reads,
+            self.enqueued_writes,
+            self.forwarded_reads,
+            self.merged_writes,
+            self.completed_reads,
+            self.read_latency_total.raw(),
+            self.read_latency_max.raw(),
+            self.completed_writes,
+            self.write_latency_total.raw(),
+            self.write_latency_max.raw(),
+            self.rejected,
+            self.read_queue_depth_sum,
+            self.queue_depth_samples,
+            self.corrected_errors,
+            self.uncorrectable_errors,
+            self.remapped_rows,
+            self.remap_collisions,
+            self.reissued_writes,
+            self.retired_rows,
+            self.read_only_banks,
+            self.read_only_write_rejections,
+        ] {
+            w.u64(v);
+        }
+        for b in &self.read_latency_hist {
+            w.u64(*b);
+        }
+        for b in &self.write_latency_hist {
+            w.u64(*b);
+        }
+    }
+
+    /// Restore counters written by [`SystemStats::save_state`].
+    pub fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<SystemStats, fgnvm_types::SnapshotError> {
+        r.tag("sysstats")?;
+        let mut s = SystemStats::new();
+        s.enqueued_reads = r.u64()?;
+        s.enqueued_writes = r.u64()?;
+        s.forwarded_reads = r.u64()?;
+        s.merged_writes = r.u64()?;
+        s.completed_reads = r.u64()?;
+        s.read_latency_total = CycleCount::new(r.u64()?);
+        s.read_latency_max = CycleCount::new(r.u64()?);
+        s.completed_writes = r.u64()?;
+        s.write_latency_total = CycleCount::new(r.u64()?);
+        s.write_latency_max = CycleCount::new(r.u64()?);
+        s.rejected = r.u64()?;
+        s.read_queue_depth_sum = r.u64()?;
+        s.queue_depth_samples = r.u64()?;
+        s.corrected_errors = r.u64()?;
+        s.uncorrectable_errors = r.u64()?;
+        s.remapped_rows = r.u64()?;
+        s.remap_collisions = r.u64()?;
+        s.reissued_writes = r.u64()?;
+        s.retired_rows = r.u64()?;
+        s.read_only_banks = r.u64()?;
+        s.read_only_write_rejections = r.u64()?;
+        for b in &mut s.read_latency_hist {
+            *b = r.u64()?;
+        }
+        for b in &mut s.write_latency_hist {
+            *b = r.u64()?;
+        }
+        Ok(s)
     }
 
     /// Records one completed read of the given latency.

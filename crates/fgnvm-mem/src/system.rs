@@ -1,7 +1,7 @@
 //! The complete simulated memory system: address mapping plus one
 //! [`Controller`] per channel, ticked on a common clock.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fgnvm_bank::{Access, BankStats, RefreshCycles};
 use fgnvm_obs::{AttributionParams, InstantKind, Observer};
@@ -80,6 +80,18 @@ pub struct MemorySystem {
     /// Spare rows consumed so far per (channel, bank_index); spares are
     /// carved from the top of the bank downward.
     spares_used: HashMap<(u32, usize), u32>,
+    /// Rows retired outright per (channel, bank_index): stage two of the
+    /// wear-out escalation ladder, entered when a failing row finds no
+    /// spare. Retired rows are permanent capacity loss.
+    retired: HashMap<(u32, usize), u32>,
+    /// Banks escalated to read-only mode (stage three): once a bank's
+    /// retired-row count crosses `ReliabilityConfig::read_only_row_threshold`
+    /// its writes are rejected at the door while reads keep working.
+    read_only: HashSet<(u32, usize)>,
+    /// Stage four, set when the read-only bank count reaches
+    /// `ReliabilityConfig::capacity_exhausted_banks`; surfaced to callers
+    /// via [`check_capacity`](Self::check_capacity).
+    capacity_exhausted: bool,
     /// Event-driven fast-forward: when enabled, the drain loops jump the
     /// clock over provably dead stretches instead of single-stepping. The
     /// two modes are bit-identical in everything observable.
@@ -128,6 +140,9 @@ impl MemorySystem {
             samples: Vec::new(),
             bad_rows: HashMap::new(),
             spares_used: HashMap::new(),
+            retired: HashMap::new(),
+            read_only: HashSet::new(),
+            capacity_exhausted: false,
             fast_forward: true,
             observer: None,
             now: Cycle::ZERO,
@@ -229,6 +244,12 @@ impl MemorySystem {
     ) -> Option<RequestId> {
         let bank_index =
             (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank) as usize;
+        if op.is_write() && self.read_only.contains(&(decoded.channel, bank_index)) {
+            // Stage three of the wear-out ladder: the bank is frozen
+            // read-only. Reads (including forwarding) keep working.
+            self.stats.read_only_write_rejections += 1;
+            return None;
+        }
         decoded.row = self.remapped_row(decoded.channel, bank_index, decoded.row);
         let coord = self.mapper.tile_coord(decoded);
         let id = RequestId::new(self.next_id);
@@ -273,6 +294,44 @@ impl MemorySystem {
     /// Rows remapped to spares so far (graceful-degradation table size).
     pub fn remapped_row_count(&self) -> usize {
         self.bad_rows.len()
+    }
+
+    /// Rows retired outright (failed with no spare available), device-wide.
+    pub fn retired_row_count(&self) -> u64 {
+        self.stats.retired_rows
+    }
+
+    /// Banks currently frozen in read-only mode by the escalation ladder.
+    pub fn read_only_bank_count(&self) -> usize {
+        self.read_only.len()
+    }
+
+    /// True once the wear-out ladder reached its final stage: the
+    /// read-only bank count crossed the configured capacity floor.
+    pub fn capacity_exhausted(&self) -> bool {
+        self.capacity_exhausted
+    }
+
+    /// Device-health check for drivers: `Ok` while capacity remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CapacityExhausted`] once enough banks have
+    /// dropped to read-only mode (see
+    /// `ReliabilityConfig::capacity_exhausted_banks`). The system keeps
+    /// serving reads past this point; the error is the signal that a
+    /// long-horizon run has reached end-of-life.
+    pub fn check_capacity(&self) -> Result<(), SimError> {
+        if self.capacity_exhausted {
+            Err(SimError::CapacityExhausted {
+                read_only_banks: self.read_only.len() as u32,
+                threshold: self.config.reliability.capacity_exhausted_banks,
+                retired_rows: self.stats.retired_rows,
+                now: self.now.raw(),
+            })
+        } else {
+            Ok(())
+        }
     }
 
     fn global_bank(&self, channel: u32, rank: u32, bank: u32) -> usize {
@@ -431,10 +490,10 @@ impl MemorySystem {
     /// any controller issued a command. The fast-forward loops use this to
     /// detect dead cycles without re-deriving the issue decision.
     fn tick_into_report(&mut self, out: &mut Vec<Completion>) -> bool {
-        /// Spare rows reserved at the top of each bank for remapping;
-        /// further uncorrectable rows degrade to best-effort (counted but
-        /// not remapped) once the spares run out.
-        const SPARE_ROWS_PER_BANK: u32 = 64;
+        // Spare rows reserved at the top of each bank for remapping;
+        // once they run out, failing rows escalate down the wear-out
+        // ladder: retirement → per-bank read-only → capacity exhaustion.
+        let spare_rows = self.config.reliability.spare_rows_per_bank;
         let mut issued_any = false;
         for (channel, controller) in self.controllers.iter_mut().enumerate() {
             issued_any |=
@@ -448,7 +507,7 @@ impl MemorySystem {
                     .spares_used
                     .entry((channel as u32, bank_index))
                     .or_insert(0);
-                while *used < SPARE_ROWS_PER_BANK {
+                while *used < spare_rows {
                     let spare = self.config.geometry.rows_per_bank() - 1 - *used;
                     *used += 1;
                     if spare == row {
@@ -477,6 +536,51 @@ impl MemorySystem {
                         );
                     }
                     break;
+                }
+                if self.bad_rows.contains_key(&key) {
+                    continue;
+                }
+                // No spare could absorb the failure: retire the row
+                // outright (permanent capacity loss) and walk the ladder.
+                let bank_key = (channel as u32, bank_index);
+                let retired = self.retired.entry(bank_key).or_insert(0);
+                *retired += 1;
+                let bank_retired = *retired;
+                self.stats.retired_rows += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_instant(
+                        InstantKind::RowRetired,
+                        channel as u32,
+                        bank_index as u32,
+                        self.now.raw(),
+                    );
+                }
+                let threshold = self.config.reliability.read_only_row_threshold;
+                if threshold > 0 && bank_retired >= threshold && self.read_only.insert(bank_key) {
+                    // The bank has lost too many rows: freeze it read-only
+                    // so the surviving data stays reachable.
+                    self.stats.read_only_banks += 1;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_instant(
+                            InstantKind::BankReadOnly,
+                            channel as u32,
+                            bank_index as u32,
+                            self.now.raw(),
+                        );
+                    }
+                    let floor = self.config.reliability.capacity_exhausted_banks;
+                    if floor > 0 && self.read_only.len() as u32 >= floor && !self.capacity_exhausted
+                    {
+                        self.capacity_exhausted = true;
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.on_instant(
+                                InstantKind::CapacityExhausted,
+                                channel as u32,
+                                bank_index as u32,
+                                self.now.raw(),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -756,6 +860,12 @@ impl MemorySystem {
         reg.set_counter("mem.uncorrectable_errors", s.uncorrectable_errors);
         reg.set_counter("mem.remapped_rows", s.remapped_rows);
         reg.set_counter("mem.remap_collisions", s.remap_collisions);
+        reg.set_counter("mem.retired_rows", s.retired_rows);
+        reg.set_counter("mem.read_only_banks", s.read_only_banks);
+        reg.set_counter(
+            "mem.read_only_write_rejections",
+            s.read_only_write_rejections,
+        );
         reg.set_counter("mem.reissued_writes", s.reissued_writes);
         reg.set_counter("mem.bus_busy_cycles", self.bus_busy_cycles().raw());
         reg.set_gauge("mem.bank_load_imbalance", self.bank_load_imbalance());
@@ -920,6 +1030,215 @@ impl MemorySystem {
     /// The functional backing store.
     pub fn data(&self) -> &DataStore {
         &self.data
+    }
+
+    /// Serializes the complete mutable simulation state — clock, stats,
+    /// queues, in-flight events, bank FSMs, fault/wear/remap tables,
+    /// sampler, escalation-ladder state, and the observer (when enabled) —
+    /// into a versioned, checksummed byte image.
+    ///
+    /// The configuration itself is *not* stored; a fingerprint of it is,
+    /// and [`restore`](Self::restore) rebuilds the structure from the
+    /// caller-supplied configuration before overlaying this state. The
+    /// invariant the differential tests pin: `restore(config, snapshot)`
+    /// continued to any horizon is bit-identical — stats, samples, command
+    /// logs, observer artifacts — to the uninterrupted run.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = fgnvm_types::SnapshotWriter::new();
+        w.tag("memsys");
+        w.u64(fgnvm_types::snapshot::fnv1a64(
+            format!("{:?}", self.config).as_bytes(),
+        ));
+        w.u64(self.now.raw());
+        w.u64(self.next_id);
+        w.bool(self.fast_forward);
+        w.u64(self.sample_epoch);
+        self.stats.save_state(&mut w);
+        self.data.save_state(&mut w);
+        w.bool(self.wear.is_some());
+        if let Some(wear) = &self.wear {
+            wear.save_state(&mut w);
+        }
+        w.bool(self.levelers.is_some());
+        if let Some(levelers) = &self.levelers {
+            w.usize(levelers.len());
+            for l in levelers {
+                l.save_state(&mut w);
+            }
+        }
+        w.usize(self.samples.len());
+        for s in &self.samples {
+            w.u64(s.at.raw());
+            w.u64(s.completed_reads);
+            w.u64(s.sensed_bits);
+            w.u64(s.written_bits);
+            w.usize(s.read_queue);
+            w.usize(s.write_queue);
+        }
+        let mut bad: Vec<((u32, usize, u32), u32)> =
+            self.bad_rows.iter().map(|(k, v)| (*k, *v)).collect();
+        bad.sort_unstable();
+        w.usize(bad.len());
+        for ((channel, bank, row), spare) in bad {
+            w.u32(channel);
+            w.usize(bank);
+            w.u32(row);
+            w.u32(spare);
+        }
+        let mut spares: Vec<((u32, usize), u32)> =
+            self.spares_used.iter().map(|(k, v)| (*k, *v)).collect();
+        spares.sort_unstable();
+        w.usize(spares.len());
+        for ((channel, bank), used) in spares {
+            w.u32(channel);
+            w.usize(bank);
+            w.u32(used);
+        }
+        let mut retired: Vec<((u32, usize), u32)> =
+            self.retired.iter().map(|(k, v)| (*k, *v)).collect();
+        retired.sort_unstable();
+        w.usize(retired.len());
+        for ((channel, bank), rows) in retired {
+            w.u32(channel);
+            w.usize(bank);
+            w.u32(rows);
+        }
+        let mut read_only: Vec<(u32, usize)> = self.read_only.iter().copied().collect();
+        read_only.sort_unstable();
+        w.usize(read_only.len());
+        for (channel, bank) in read_only {
+            w.u32(channel);
+            w.usize(bank);
+        }
+        w.bool(self.capacity_exhausted);
+        w.usize(self.controllers.len());
+        for c in &self.controllers {
+            c.save_state(&mut w);
+        }
+        w.bool(self.observer.is_some());
+        if let Some(obs) = self.observer.as_deref() {
+            obs.save_state(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a memory system from `config` and overlays the state in
+    /// `bytes` (written by [`save_snapshot`](Self::save_snapshot)).
+    ///
+    /// `config` must be the same configuration the snapshot was taken
+    /// under — a fingerprint mismatch is rejected — and the system is
+    /// rebuilt with the default address mapping, matching
+    /// [`new`](Self::new). Wear tracking, Start-Gap leveling, command
+    /// logging, and the observer are re-enabled automatically when the
+    /// snapshot carries their state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `config` fails validation, and
+    /// [`SimError::Snapshot`] for a truncated, corrupted, or
+    /// wrong-configuration checkpoint — never panics on hostile bytes.
+    pub fn restore(config: SystemConfig, bytes: &[u8]) -> Result<MemorySystem, SimError> {
+        let mut mem = MemorySystem::new(config)?;
+        let mut r = fgnvm_types::SnapshotReader::new(bytes)?;
+        r.tag("memsys")?;
+        let fingerprint = r.u64()?;
+        let expected = fgnvm_types::snapshot::fnv1a64(format!("{:?}", mem.config).as_bytes());
+        if fingerprint != expected {
+            return Err(fgnvm_types::SnapshotError::Corrupt(
+                "checkpoint was taken under a different configuration".to_string(),
+            )
+            .into());
+        }
+        mem.now = Cycle::new(r.u64()?);
+        mem.next_id = r.u64()?;
+        mem.fast_forward = r.bool()?;
+        mem.sample_epoch = r.u64()?;
+        mem.stats = SystemStats::load_state(&mut r)?;
+        mem.data = DataStore::load_state(&mut r)?;
+        if r.bool()? {
+            mem.enable_wear_tracking();
+            mem.wear
+                .as_mut()
+                .expect("wear tracking just enabled")
+                .load_state(&mut r)?;
+        }
+        if r.bool()? {
+            let n = r.usize()?;
+            // The interval is runtime state inside each leveler's image;
+            // enable with a placeholder and let load_state overwrite it.
+            mem.enable_start_gap(1).map_err(|e| {
+                fgnvm_types::SnapshotError::Corrupt(format!(
+                    "checkpoint has start-gap levelers the geometry cannot support: {e}"
+                ))
+            })?;
+            let levelers = mem.levelers.as_mut().expect("start-gap just enabled");
+            if n != levelers.len() {
+                return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                    "checkpoint has {n} start-gap levelers, geometry needs {}",
+                    levelers.len()
+                ))
+                .into());
+            }
+            for l in levelers.iter_mut() {
+                l.load_state(&mut r)?;
+            }
+        }
+        let n = r.usize()?;
+        mem.samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            mem.samples.push(Sample {
+                at: Cycle::new(r.u64()?),
+                completed_reads: r.u64()?,
+                sensed_bits: r.u64()?,
+                written_bits: r.u64()?,
+                read_queue: r.usize()?,
+                write_queue: r.usize()?,
+            });
+        }
+        let n = r.usize()?;
+        mem.bad_rows = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.usize()?, r.u32()?);
+            mem.bad_rows.insert(key, r.u32()?);
+        }
+        let n = r.usize()?;
+        mem.spares_used = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.usize()?);
+            mem.spares_used.insert(key, r.u32()?);
+        }
+        let n = r.usize()?;
+        mem.retired = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.usize()?);
+            mem.retired.insert(key, r.u32()?);
+        }
+        let n = r.usize()?;
+        mem.read_only = HashSet::with_capacity(n);
+        for _ in 0..n {
+            mem.read_only.insert((r.u32()?, r.usize()?));
+        }
+        mem.capacity_exhausted = r.bool()?;
+        let n = r.usize()?;
+        if n != mem.controllers.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {n} channels, configuration has {}",
+                mem.controllers.len()
+            ))
+            .into());
+        }
+        for c in mem.controllers.iter_mut() {
+            c.load_state(&mut r)?;
+        }
+        if r.bool()? {
+            mem.enable_observer();
+            mem.observer
+                .as_deref_mut()
+                .expect("observer just enabled")
+                .load_state(&mut r)?;
+        }
+        r.expect_end()?;
+        Ok(mem)
     }
 }
 
@@ -1266,6 +1585,7 @@ mod tests {
             ecc_correctable_bits,
             ecc_decode_penalty_cycles: 10,
             wear_stuck_threshold: 0,
+            ..fgnvm_types::config::ReliabilityConfig::default()
         }
     }
 
@@ -1532,6 +1852,157 @@ mod tests {
         read_all(&mut plain, &addrs);
         read_all(&mut multi, &addrs);
         assert!(multi.now().raw() <= plain.now().raw());
+    }
+
+    #[test]
+    fn escalation_ladder_walks_remap_retire_readonly_exhausted() {
+        // One spare per bank, read-only after one retired row, device
+        // exhausted after one read-only bank: every uncorrectable failure
+        // walks one more rung of the ladder.
+        let mut rel = reliability(0.05, 0.0, 0, 0);
+        rel.spare_rows_per_bank = 1;
+        rel.read_only_row_threshold = 1;
+        rel.capacity_exhausted_banks = 1;
+        let mut cfg = SystemConfig::baseline().with_reliability(rel);
+        cfg.geometry = fgnvm_types::geometry::Geometry::builder()
+            .channels(1)
+            .ranks_per_channel(1)
+            .banks_per_rank(1)
+            .rows_per_bank(256)
+            .sags(1)
+            .cds(1)
+            .build()
+            .unwrap();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enable_observer();
+        let line = u64::from(mem.config().geometry.line_bytes());
+        let addr_of_row = |mem: &MemorySystem, row: u32| -> PhysAddr {
+            (0..1u64 << 16)
+                .map(|k| PhysAddr::new(k * line))
+                .find(|&a| mem.mapper.decode(a).row == row)
+                .expect("row is addressable")
+        };
+        // Rung 1: the first failing row takes the only spare.
+        mem.enqueue(Op::Read, addr_of_row(&mem, 0)).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().remapped_rows, 1);
+        assert_eq!(mem.stats().retired_rows, 0);
+        assert!(mem.check_capacity().is_ok());
+        // Rung 2-4: the second failure finds no spare — retired, the bank
+        // flips read-only, and the device-wide floor is crossed.
+        mem.enqueue(Op::Read, addr_of_row(&mem, 1)).unwrap();
+        mem.run_until_idle(100_000);
+        assert_eq!(mem.stats().retired_rows, 1);
+        assert_eq!(mem.retired_row_count(), 1);
+        assert_eq!(mem.stats().read_only_banks, 1);
+        assert_eq!(mem.read_only_bank_count(), 1);
+        assert!(mem.capacity_exhausted());
+        match mem.check_capacity().unwrap_err() {
+            SimError::CapacityExhausted {
+                read_only_banks,
+                threshold,
+                retired_rows,
+                ..
+            } => {
+                assert_eq!(read_only_banks, 1);
+                assert_eq!(threshold, 1);
+                assert_eq!(retired_rows, 1);
+            }
+            other => panic!("expected capacity exhaustion, got {other:?}"),
+        }
+        // Read-only bank: writes bounce at the door, reads still serve.
+        assert!(mem.enqueue(Op::Write, addr_of_row(&mem, 2)).is_none());
+        assert_eq!(mem.stats().read_only_write_rejections, 1);
+        assert!(mem.enqueue(Op::Read, addr_of_row(&mem, 2)).is_some());
+        mem.run_until_idle(100_000);
+        // The ladder's instants reached the observer. (The final read of
+        // row 2 is itself uncorrectable at this error rate and retires a
+        // second row; the bank-level stages fire exactly once.)
+        let obs = mem.observer().unwrap();
+        assert_eq!(obs.instant_count(InstantKind::RowRetired), 2);
+        assert_eq!(obs.instant_count(InstantKind::BankReadOnly), 1);
+        assert_eq!(obs.instant_count(InstantKind::CapacityExhausted), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        // Mid-flight snapshot: requests in queues, events pending, observer
+        // attached. The restored system must finish the run bit-identically.
+        let build = || {
+            let cfg = SystemConfig::fgnvm(8, 2)
+                .unwrap()
+                .with_reliability(reliability(0.01, 0.3, 4, 64));
+            let mut m = MemorySystem::new(cfg).unwrap();
+            m.enable_observer();
+            m.enable_wear_tracking();
+            m.enable_command_log(32);
+            m.enable_sampling(64);
+            m
+        };
+        let mut reference = build();
+        let mut live = build();
+        for mem in [&mut reference, &mut live] {
+            for i in 0..24u64 {
+                let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+                mem.enqueue(op, PhysAddr::new(i * 8192 + (i % 2) * 256))
+                    .unwrap();
+            }
+            let mut out = Vec::new();
+            mem.tick_to(Cycle::new(137), &mut out); // mid-flight, work pending
+            assert!(!mem.is_idle());
+        }
+        let snapshot = live.save_snapshot();
+        let mut restored = MemorySystem::restore(*live.config(), &snapshot).unwrap();
+        let ref_done = reference.run_until_idle(1_000_000);
+        let res_done = restored.run_until_idle(1_000_000);
+        assert_eq!(ref_done, res_done);
+        assert_eq!(reference.now(), restored.now());
+        assert_eq!(reference.stats(), restored.stats());
+        assert_eq!(reference.bank_stats(), restored.bank_stats());
+        assert_eq!(reference.samples(), restored.samples());
+        for channel in 0..reference.config().geometry.channels() {
+            let log = |m: &MemorySystem| -> Vec<String> {
+                m.command_log(channel)
+                    .records()
+                    .map(|rec| format!("{rec:?}"))
+                    .collect()
+            };
+            assert_eq!(log(&reference), log(&restored));
+        }
+        let (obs_ref, obs_res) = (reference.observer().unwrap(), restored.observer().unwrap());
+        assert_eq!(obs_ref.trace_json(), obs_res.trace_json());
+        assert_eq!(obs_ref.spans.to_json(), obs_res.spans.to_json());
+        assert_eq!(obs_ref.heatmap.cells(), obs_res.heatmap.cells());
+        assert_eq!(obs_ref.attribution.to_json(), obs_res.attribution.to_json());
+        for kind in InstantKind::ALL {
+            assert_eq!(obs_ref.instant_count(kind), obs_res.instant_count(kind));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corruption_without_panicking() {
+        let cfg = SystemConfig::fgnvm(8, 2).unwrap();
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue(Op::Read, PhysAddr::new(0)).unwrap();
+        mem.tick();
+        let snapshot = mem.save_snapshot();
+        // Truncation at every prefix must yield a structured error.
+        for cut in [0, 4, 9, snapshot.len() / 2, snapshot.len() - 1] {
+            assert!(
+                MemorySystem::restore(cfg, &snapshot[..cut]).is_err(),
+                "truncated checkpoint ({cut} bytes) must be rejected"
+            );
+        }
+        // A flipped payload byte breaks the checksum.
+        let mut bent = snapshot.clone();
+        let mid = bent.len() / 2;
+        bent[mid] ^= 0x41;
+        assert!(MemorySystem::restore(cfg, &bent).is_err());
+        // A different configuration fails the fingerprint check.
+        let other = SystemConfig::fgnvm(4, 4).unwrap();
+        assert!(MemorySystem::restore(other, &snapshot).is_err());
+        // The pristine snapshot still loads.
+        assert!(MemorySystem::restore(cfg, &snapshot).is_ok());
     }
 
     #[test]

@@ -105,6 +105,50 @@ impl WearTracker {
         let hot_rate = writes_per_second * hot_fraction;
         cell_endurance as f64 / hot_rate
     }
+
+    /// Serialize every per-row counter into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("wear");
+        w.u32(self.rows_per_bank);
+        w.u64(self.total);
+        w.usize(self.writes.len());
+        for v in &self.writes {
+            w.u32(*v);
+        }
+    }
+
+    /// Restore counters written by [`WearTracker::save_state`] into this
+    /// tracker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint geometry disagrees with this tracker's.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("wear")?;
+        let rows_per_bank = r.u32()?;
+        if rows_per_bank != self.rows_per_bank {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {rows_per_bank} rows/bank, tracker has {}",
+                self.rows_per_bank
+            )));
+        }
+        self.total = r.u64()?;
+        let n = r.usize()?;
+        if n != self.writes.len() {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint has {n} wear rows, tracker has {}",
+                self.writes.len()
+            )));
+        }
+        for v in &mut self.writes {
+            *v = r.u32()?;
+        }
+        Ok(())
+    }
 }
 
 /// Start-Gap wear leveling over one bank's `rows` logical rows (plus one
@@ -237,6 +281,59 @@ impl StartGap {
     /// Current (start, gap) registers, for inspection.
     pub fn registers(&self) -> (u32, u32) {
         (self.start, self.gap)
+    }
+
+    /// Serialize the leveler's registers into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("startgap");
+        w.u32(self.rows);
+        w.u32(self.start);
+        w.u32(self.gap);
+        w.u32(self.interval);
+        w.u32(self.since_move);
+        w.u64(self.rotations);
+    }
+
+    /// Restore registers written by [`StartGap::save_state`] into this
+    /// leveler. The gap-movement `interval` is taken from the checkpoint
+    /// (it is runtime state chosen at `enable_start_gap` time, not part of
+    /// the structural configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint's row count disagrees with this leveler's.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("startgap")?;
+        let rows = r.u32()?;
+        let start = r.u32()?;
+        let gap = r.u32()?;
+        let interval = r.u32()?;
+        if rows != self.rows {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint leveler has {rows} rows, config has {}",
+                self.rows
+            )));
+        }
+        if interval == 0 {
+            return Err(fgnvm_types::SnapshotError::Corrupt(
+                "leveler interval must be positive".into(),
+            ));
+        }
+        self.interval = interval;
+        if gap > rows {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "gap register {gap} exceeds row count {rows}"
+            )));
+        }
+        self.start = start;
+        self.gap = gap;
+        self.since_move = r.u32()?;
+        self.rotations = r.u64()?;
+        Ok(())
     }
 }
 

@@ -113,6 +113,12 @@ pub fn classify_instant(kind: InstantKind) -> StallCause {
         InstantKind::WriteReissue => StallCause::VerifyRetry,
         InstantKind::Remap => StallCause::CtrlOverhead,
         InstantKind::Watchdog => StallCause::QueueWait,
+        // Wear-out escalation events are controller bookkeeping: retiring a
+        // row, flipping a bank read-only, and declaring capacity exhaustion
+        // all happen on the controller side of the command path.
+        InstantKind::RowRetired => StallCause::CtrlOverhead,
+        InstantKind::BankReadOnly => StallCause::CtrlOverhead,
+        InstantKind::CapacityExhausted => StallCause::CtrlOverhead,
     }
 }
 
@@ -442,6 +448,178 @@ impl Attribution {
     /// Requests currently in flight.
     pub fn open_count(&self) -> usize {
         self.open.len()
+    }
+
+    /// Serialize the full tracker state — open requests, command-history
+    /// windows, activation history, aggregates, and the per-request records
+    /// — into a checkpoint. `params` are *not* written: they are static
+    /// model facts rebuilt from the configuration at restore time.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("attr");
+        let mut ids: Vec<u64> = self.open.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let r = &self.open[&id];
+            w.u64(id);
+            w.u64(r.arrival);
+            w.bool(r.is_read);
+            w.u64(r.mark);
+            for c in &r.cycles {
+                w.u64(*c);
+            }
+            w.u32(r.issues);
+            w.u32(r.last_retries);
+        }
+        let mut keys: Vec<(u32, u32)> = self.windows.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            let list = &self.windows[&key];
+            w.u32(key.0);
+            w.u32(key.1);
+            w.usize(list.len());
+            for win in list {
+                w.u64(win.at);
+                w.u64(win.end);
+                w.bool(win.is_write);
+                w.u32(win.sag);
+                w.u32(win.cd_first);
+                w.u32(win.cd_count);
+            }
+        }
+        let mut keys: Vec<(u32, u32)> = self.acts.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            let list = &self.acts[&key];
+            w.u32(key.0);
+            w.u32(key.1);
+            w.usize(list.len());
+            for at in list {
+                w.u64(*at);
+            }
+        }
+        for totals in [&self.reads, &self.writes] {
+            w.u64(totals.count);
+            w.u64(totals.total);
+            for c in &totals.cycles {
+                w.u64(*c);
+            }
+            for d in &totals.dominant {
+                w.u64(*d);
+            }
+        }
+        w.usize(self.requests.len());
+        for rec in &self.requests {
+            w.u64(rec.id);
+            w.bool(rec.is_read);
+            w.u64(rec.arrival);
+            w.u64(rec.completion);
+            for c in &rec.cycles {
+                w.u64(*c);
+            }
+        }
+        w.u64(self.unclassified);
+    }
+
+    /// Restore a tracker written by [`Attribution::save_state`] into this
+    /// one, replacing all mutable state but keeping the current `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated or mistagged stream.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("attr")?;
+        let n = r.usize()?;
+        self.open = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let arrival = r.u64()?;
+            let is_read = r.bool()?;
+            let mark = r.u64()?;
+            let mut cycles = [0u64; BUCKETS];
+            for c in &mut cycles {
+                *c = r.u64()?;
+            }
+            let issues = r.u32()?;
+            let last_retries = r.u32()?;
+            self.open.insert(
+                id,
+                OpenReq {
+                    arrival,
+                    is_read,
+                    mark,
+                    cycles,
+                    issues,
+                    last_retries,
+                },
+            );
+        }
+        let n = r.usize()?;
+        self.windows = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.u32()?);
+            let len = r.usize()?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(Window {
+                    at: r.u64()?,
+                    end: r.u64()?,
+                    is_write: r.bool()?,
+                    sag: r.u32()?,
+                    cd_first: r.u32()?,
+                    cd_count: r.u32()?,
+                });
+            }
+            self.windows.insert(key, list);
+        }
+        let n = r.usize()?;
+        self.acts = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.u32()?);
+            let len = r.usize()?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(r.u64()?);
+            }
+            self.acts.insert(key, list);
+        }
+        for totals in [&mut self.reads, &mut self.writes] {
+            totals.count = r.u64()?;
+            totals.total = r.u64()?;
+            for c in &mut totals.cycles {
+                *c = r.u64()?;
+            }
+            for d in &mut totals.dominant {
+                *d = r.u64()?;
+            }
+        }
+        let n = r.usize()?;
+        self.requests = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let is_read = r.bool()?;
+            let arrival = r.u64()?;
+            let completion = r.u64()?;
+            let mut cycles = [0u64; BUCKETS];
+            for c in &mut cycles {
+                *c = r.u64()?;
+            }
+            self.requests.push(RequestAttribution {
+                id,
+                is_read,
+                arrival,
+                completion,
+                cycles,
+            });
+        }
+        self.unclassified = r.u64()?;
+        Ok(())
     }
 
     /// Partitions the pre-issue wait `[w0, w1)` among blocking causes.

@@ -314,6 +314,95 @@ impl TileHeatmap {
         Ok(map)
     }
 
+    /// Serialize the full heatmap — cells *and* the per-bank resource
+    /// clocks — into a checkpoint. Unlike the CSV/JSON exports, the clocks
+    /// must round-trip: conflict accounting after a restore depends on
+    /// them, and dropping them would break bit-identical resume.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("heatmap");
+        w.u32(self.sags);
+        w.u32(self.cds);
+        for c in &self.cells {
+            w.u64(c.activations);
+            w.u64(c.row_hits);
+            w.u64(c.underfetches);
+            w.u64(c.writes);
+            w.u64(c.conflicts);
+            w.u64(c.conflict_cycles);
+            w.u64(c.write_busy_cycles);
+        }
+        let mut keys: Vec<(u32, u32)> = self.clocks.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            let clock = &self.clocks[&key];
+            w.u32(key.0);
+            w.u32(key.1);
+            w.usize(clock.sag_busy_until.len());
+            for v in &clock.sag_busy_until {
+                w.u64(*v);
+            }
+            w.usize(clock.cd_busy_until.len());
+            for v in &clock.cd_busy_until {
+                w.u64(*v);
+            }
+        }
+    }
+
+    /// Restore a heatmap written by [`TileHeatmap::save_state`] into this
+    /// one, replacing its current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// checkpoint's grid dimensions disagree with this heatmap's.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("heatmap")?;
+        let sags = r.u32()?;
+        let cds = r.u32()?;
+        if sags != self.sags || cds != self.cds {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "checkpoint heatmap is {sags}x{cds}, observer grid is {}x{}",
+                self.sags, self.cds
+            )));
+        }
+        for c in &mut self.cells {
+            c.activations = r.u64()?;
+            c.row_hits = r.u64()?;
+            c.underfetches = r.u64()?;
+            c.writes = r.u64()?;
+            c.conflicts = r.u64()?;
+            c.conflict_cycles = r.u64()?;
+            c.write_busy_cycles = r.u64()?;
+        }
+        let n = r.usize()?;
+        self.clocks = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = (r.u32()?, r.u32()?);
+            let n_sag = r.usize()?;
+            let mut sag_busy_until = Vec::with_capacity(n_sag);
+            for _ in 0..n_sag {
+                sag_busy_until.push(r.u64()?);
+            }
+            let n_cd = r.usize()?;
+            let mut cd_busy_until = Vec::with_capacity(n_cd);
+            for _ in 0..n_cd {
+                cd_busy_until.push(r.u64()?);
+            }
+            self.clocks.insert(
+                key,
+                ResourceClock {
+                    sag_busy_until,
+                    cd_busy_until,
+                },
+            );
+        }
+        Ok(())
+    }
+
     /// Total conflicts across the grid.
     pub fn total_conflicts(&self) -> u64 {
         self.cells.iter().map(|c| c.conflicts).sum()

@@ -69,6 +69,37 @@ impl Log2Hist {
         &self.counts
     }
 
+    /// Serialize buckets and exact aggregates into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("hist");
+        for c in &self.counts {
+            w.u64(*c);
+        }
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+    }
+
+    /// Restore a histogram written by [`Log2Hist::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated or mistagged stream.
+    pub fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<Log2Hist, fgnvm_types::SnapshotError> {
+        r.tag("hist")?;
+        let mut h = Log2Hist::new();
+        for c in &mut h.counts {
+            *c = r.u64()?;
+        }
+        h.count = r.u64()?;
+        h.sum = r.u64()?;
+        h.max = r.u64()?;
+        Ok(h)
+    }
+
     /// Serializes as a JSON object with count/mean/p50/p95/p99/max and the
     /// raw buckets.
     pub fn to_json(&self) -> String {

@@ -99,16 +99,28 @@ pub enum InstantKind {
     Remap,
     /// The stall watchdog tripped.
     Watchdog,
+    /// A row was retired outright — it failed after the bank's spare pool
+    /// was exhausted, so its capacity is lost (wear-out escalation rung 2).
+    RowRetired,
+    /// A bank crossed its retired-row threshold and degraded to read-only
+    /// mode (wear-out escalation rung 3).
+    BankReadOnly,
+    /// Device-wide read-only bank count crossed the capacity floor; the
+    /// run must stop with `CapacityExhausted` (escalation rung 4).
+    CapacityExhausted,
 }
 
 impl InstantKind {
     /// Every instant kind, in counter-index order.
-    pub const ALL: [InstantKind; 5] = [
+    pub const ALL: [InstantKind; 8] = [
         InstantKind::EccCorrected,
         InstantKind::EccUncorrectable,
         InstantKind::WriteReissue,
         InstantKind::Remap,
         InstantKind::Watchdog,
+        InstantKind::RowRetired,
+        InstantKind::BankReadOnly,
+        InstantKind::CapacityExhausted,
     ];
 
     /// Stable display label (used as the trace event name).
@@ -119,6 +131,9 @@ impl InstantKind {
             InstantKind::WriteReissue => "write-reissue",
             InstantKind::Remap => "row-remap",
             InstantKind::Watchdog => "watchdog",
+            InstantKind::RowRetired => "row-retired",
+            InstantKind::BankReadOnly => "bank-read-only",
+            InstantKind::CapacityExhausted => "capacity-exhausted",
         }
     }
 }
@@ -138,7 +153,7 @@ pub struct Observer {
     pub trace: TraceSink,
     /// Exact per-request stall-cycle attribution.
     pub attribution: Attribution,
-    instants: [u64; 5],
+    instants: [u64; 8],
 }
 
 impl Observer {
@@ -157,7 +172,7 @@ impl Observer {
             heatmap: TileHeatmap::new(params.sags.max(1), params.cds.max(1)),
             trace: TraceSink::default(),
             attribution: Attribution::new(params),
-            instants: [0; 5],
+            instants: [0; 8],
         }
     }
 
@@ -245,18 +260,47 @@ impl Observer {
                     + self.attribution.writes.cycles[cause as usize],
             );
         }
-        for kind in [
-            InstantKind::EccCorrected,
-            InstantKind::EccUncorrectable,
-            InstantKind::WriteReissue,
-            InstantKind::Remap,
-            InstantKind::Watchdog,
-        ] {
+        for kind in InstantKind::ALL {
             reg.set_counter(
                 &format!("obs.instants.{}", kind.label()),
                 self.instant_count(kind),
             );
         }
+    }
+
+    /// Serialize the observer's full aggregation state (spans, heatmap,
+    /// trace buffer, attribution, instant counters) into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("observer");
+        for count in &self.instants {
+            w.u64(*count);
+        }
+        self.spans.save_state(w);
+        self.heatmap.save_state(w);
+        self.trace.save_state(w);
+        self.attribution.save_state(w);
+    }
+
+    /// Restore state written by [`Observer::save_state`] into a freshly
+    /// built observer with the same attribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) when the
+    /// stream is truncated or corrupt.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("observer")?;
+        for count in &mut self.instants {
+            *count = r.u64()?;
+        }
+        self.spans.load_state(r)?;
+        self.heatmap.load_state(r)?;
+        self.trace.load_state(r)?;
+        self.attribution.load_state(r)?;
+        Ok(())
     }
 
     /// The full metrics document: registry contents plus latency

@@ -161,6 +161,78 @@ impl SpanTracker {
         self.open.len()
     }
 
+    /// Serialize open spans (sorted by id) and both breakdowns into a
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("spans");
+        w.u64(self.completed);
+        w.u64(self.never_issued);
+        w.u64(self.reissues);
+        let mut ids: Vec<u64> = self.open.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let s = &self.open[&id];
+            w.u64(id);
+            w.u64(s.arrival);
+            w.bool(s.is_read);
+            w.u64(s.first_issue);
+            w.u64(s.last_issue);
+            w.u64(s.data_start);
+            w.u64(s.data_end);
+            w.u32(s.issues);
+        }
+        for breakdown in [&self.reads, &self.writes] {
+            breakdown.queue.save_state(w);
+            breakdown.retry.save_state(w);
+            breakdown.bank.save_state(w);
+            breakdown.bus.save_state(w);
+            breakdown.tail.save_state(w);
+            breakdown.total.save_state(w);
+        }
+    }
+
+    /// Restore a tracker written by [`SpanTracker::save_state`] into this
+    /// one, replacing its current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated or mistagged stream.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("spans")?;
+        self.completed = r.u64()?;
+        self.never_issued = r.u64()?;
+        self.reissues = r.u64()?;
+        let n = r.usize()?;
+        self.open = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let span = OpenSpan {
+                arrival: r.u64()?,
+                is_read: r.bool()?,
+                first_issue: r.u64()?,
+                last_issue: r.u64()?,
+                data_start: r.u64()?,
+                data_end: r.u64()?,
+                issues: r.u32()?,
+            };
+            self.open.insert(id, span);
+        }
+        for breakdown in [&mut self.reads, &mut self.writes] {
+            breakdown.queue = Log2Hist::load_state(r)?;
+            breakdown.retry = Log2Hist::load_state(r)?;
+            breakdown.bank = Log2Hist::load_state(r)?;
+            breakdown.bus = Log2Hist::load_state(r)?;
+            breakdown.tail = Log2Hist::load_state(r)?;
+            breakdown.total = Log2Hist::load_state(r)?;
+        }
+        Ok(())
+    }
+
     /// Serializes both breakdowns plus span counters as JSON.
     pub fn to_json(&self) -> String {
         format!(

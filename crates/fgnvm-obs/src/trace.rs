@@ -117,6 +117,63 @@ impl TraceSink {
         self.dropped
     }
 
+    /// Serialize the buffered events, cap, drop counter, and named-track
+    /// sets (sorted) into a checkpoint.
+    pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("trace");
+        w.usize(self.cap);
+        w.u64(self.dropped);
+        w.usize(self.events.len());
+        for e in &self.events {
+            w.str(e);
+        }
+        let mut procs: Vec<u32> = self.named_procs.iter().copied().collect();
+        procs.sort_unstable();
+        w.usize(procs.len());
+        for p in procs {
+            w.u32(p);
+        }
+        let mut tracks: Vec<(u32, u32)> = self.named_tracks.iter().copied().collect();
+        tracks.sort_unstable();
+        w.usize(tracks.len());
+        for (c, b) in tracks {
+            w.u32(c);
+            w.u32(b);
+        }
+    }
+
+    /// Restore a sink written by [`TraceSink::save_state`] into this one,
+    /// replacing its current contents (including the capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`](fgnvm_types::SnapshotError) on a
+    /// truncated or mistagged stream.
+    pub fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("trace")?;
+        self.cap = r.usize()?;
+        self.dropped = r.u64()?;
+        let n = r.usize()?;
+        self.events = Vec::with_capacity(n.min(self.cap));
+        for _ in 0..n {
+            self.events.push(r.str()?.to_string());
+        }
+        let n = r.usize()?;
+        self.named_procs = HashSet::with_capacity(n);
+        for _ in 0..n {
+            self.named_procs.insert(r.u32()?);
+        }
+        let n = r.usize()?;
+        self.named_tracks = HashSet::with_capacity(n);
+        for _ in 0..n {
+            self.named_tracks.insert((r.u32()?, r.u32()?));
+        }
+        Ok(())
+    }
+
     /// Renders the full trace as Chrome trace-event JSON
     /// (`{"traceEvents": [...]}`), loadable at `ui.perfetto.dev`.
     pub fn to_json(&self) -> String {

@@ -38,9 +38,22 @@
 //!             OR diff two run ledgers: compare base.jsonl cand.jsonl
 //!   check     conformance-oracle audit of real runs: check [a.cfg b.cfg ...]
 //!   fuzz      command-sequence fuzzer: fuzz [--cases N] | fuzz file.case
+//!             (--kill-resume additionally checkpoints each case at a
+//!             derived cycle, restores, and diffs against the straight run)
+//!   serve     crash-safe long-horizon run: serve [cfg] --horizon N
+//!             [--checkpoint-every N --checkpoint-dir D] [--resume CKPT]
+//!             [--policy reject|block] [--watchdog N]
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
 //! ```
+//!
+//! `serve` drives an open-loop workload for `--horizon` cycles, writing a
+//! full-state checkpoint every `--checkpoint-every` cycles; a killed run
+//! resumed with `--resume <ckpt>` finishes bit-identically to an
+//! uninterrupted one. `reliability --horizon N` switches the fault study
+//! to the device-lifetime sweep (the wear-out escalation ladder over
+//! increasing horizons). `--jobs N` caps sweep parallelism (0 = number of
+//! host cores).
 //!
 //! `observe` additionally honors `--trace-out FILE` (Chrome trace-event
 //! JSON, loadable at `ui.perfetto.dev`) and `--metrics-out FILE` (the
@@ -73,6 +86,14 @@ struct Cli {
     seeds: usize,
     ledger: std::path::PathBuf,
     report_out: Option<std::path::PathBuf>,
+    horizon: u64,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
+    policy: String,
+    watchdog: u64,
+    jobs: usize,
+    kill_resume: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -89,6 +110,14 @@ fn parse_args() -> Result<Cli, String> {
     let mut seeds = 3;
     let mut ledger = std::path::PathBuf::from("target/runs.jsonl");
     let mut report_out = None;
+    let mut horizon = 0u64;
+    let mut checkpoint_every = 0u64;
+    let mut checkpoint_dir = None;
+    let mut resume = None;
+    let mut policy = "reject".to_string();
+    let mut watchdog = 1_000_000u64;
+    let mut jobs = 0usize;
+    let mut kill_resume = false;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -134,6 +163,42 @@ fn parse_args() -> Result<Cli, String> {
                 let file = args.next().ok_or("--report needs a file")?;
                 report_out = Some(std::path::PathBuf::from(file));
             }
+            "--horizon" => {
+                let v = args.next().ok_or("--horizon needs a value")?;
+                horizon = v.parse().map_err(|_| format!("bad --horizon value: {v}"))?;
+            }
+            "--checkpoint-every" => {
+                let v = args.next().ok_or("--checkpoint-every needs a value")?;
+                checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every value: {v}"))?;
+            }
+            "--checkpoint-dir" => {
+                let dir = args.next().ok_or("--checkpoint-dir needs a directory")?;
+                checkpoint_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--resume" => {
+                let file = args.next().ok_or("--resume needs a checkpoint file")?;
+                resume = Some(std::path::PathBuf::from(file));
+            }
+            "--policy" => {
+                let v = args.next().ok_or("--policy needs reject|block")?;
+                if fgnvm_sim::AdmissionPolicy::from_name(&v).is_none() {
+                    return Err(format!("bad --policy value: {v} (want reject|block)"));
+                }
+                policy = v;
+            }
+            "--watchdog" => {
+                let v = args.next().ok_or("--watchdog needs a value")?;
+                watchdog = v
+                    .parse()
+                    .map_err(|_| format!("bad --watchdog value: {v}"))?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+            }
+            "--kill-resume" => kill_resume = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -152,12 +217,21 @@ fn parse_args() -> Result<Cli, String> {
         seeds,
         ledger,
         report_out,
+        horizon,
+        checkpoint_every,
+        checkpoint_dir,
+        resume,
+        policy,
+        watchdog,
+        jobs,
+        kill_resume,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|regress|summary|all> \
-     [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE]"
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|serve|regress|summary|all> \
+     [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE] [--jobs N] \
+     [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume]"
         .to_string()
 }
 
@@ -203,6 +277,7 @@ fn emit_to(table: &Table, format: Format, out_dir: Option<&std::path::Path>) {
 
 fn run(cli: &Cli) -> Result<(), String> {
     let p = &cli.params;
+    fgnvm_sim::runner::set_jobs(cli.jobs);
     let format = if cli.csv {
         Format::Csv
     } else if cli.markdown {
@@ -294,12 +369,24 @@ fn run(cli: &Cli) -> Result<(), String> {
             &fgnvm_sim::extensions::hybrid(p).map_err(fail)?.to_table(),
             format,
         ),
-        "reliability" => emit(
-            &fgnvm_sim::extensions::reliability(p)
-                .map_err(|e| e.to_string())?
-                .to_table(),
-            format,
-        ),
+        "reliability" => {
+            if cli.horizon > 0 {
+                emit(
+                    &fgnvm_sim::extensions::reliability_horizon(p)
+                        .map_err(|e| e.to_string())?
+                        .to_table(),
+                    format,
+                )
+            } else {
+                emit(
+                    &fgnvm_sim::extensions::reliability(p)
+                        .map_err(|e| e.to_string())?
+                        .to_table(),
+                    format,
+                )
+            }
+        }
+        "serve" => serve_command(cli)?,
         "tail" => {
             let result = fgnvm_sim::extensions::tail_latency(p).map_err(fail)?;
             emit(&result.to_table(), format);
@@ -777,14 +864,22 @@ fn fuzz_command(cli: &Cli, p: &ExperimentParams) -> Result<(), String> {
     let opts = fgnvm_check::FuzzOptions {
         cases: cli.cases,
         seed: p.seed,
+        kill_resume: cli.kill_resume,
         ..fgnvm_check::FuzzOptions::default()
     };
     let outcome = fgnvm_check::fuzz(&opts);
     match outcome.failure {
         None => {
             println!(
-                "fuzz: {} cases clean (seed {}, up to {} ops each)",
-                outcome.cases_run, opts.seed, opts.max_ops
+                "fuzz: {} cases clean (seed {}, up to {} ops each{})",
+                outcome.cases_run,
+                opts.seed,
+                opts.max_ops,
+                if opts.kill_resume {
+                    ", kill/resume differential on"
+                } else {
+                    ""
+                }
             );
             Ok(())
         }
@@ -810,6 +905,58 @@ fn fuzz_command(cli: &Cli, p: &ExperimentParams) -> Result<(), String> {
             ))
         }
     }
+}
+
+/// The `serve` command: a crash-safe long-horizon run with periodic
+/// checkpoints. `--resume FILE` continues a killed run from a checkpoint
+/// and lands bit-identically on the uninterrupted run's final state.
+fn serve_command(cli: &Cli) -> Result<(), String> {
+    let config = match cli.args.first() {
+        Some(path) => load_config(path)?,
+        None => fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(|e| e.to_string())?,
+    };
+    let mut sc = fgnvm_sim::ServeConfig::default();
+    if cli.horizon > 0 {
+        sc.horizon = cli.horizon;
+        // Default arrival pressure tracks the horizon (~1 op / 40 cycles)
+        // unless --ops was given explicitly.
+        sc.ops = cli.horizon / 40;
+    }
+    if cli.params.ops != fgnvm_sim::ExperimentParams::full().ops {
+        sc.ops = cli.params.ops as u64;
+    }
+    sc.seed = cli.params.seed;
+    sc.checkpoint_every = cli.checkpoint_every;
+    sc.checkpoint_dir = cli.checkpoint_dir.clone();
+    sc.policy = fgnvm_sim::AdmissionPolicy::from_name(&cli.policy)
+        .ok_or_else(|| format!("bad --policy value: {}", cli.policy))?;
+    sc.watchdog_cycles = cli.watchdog;
+    let report = match &cli.resume {
+        Some(ckpt) => fgnvm_sim::resume(config, ckpt, &sc).map_err(|e| e.to_string())?,
+        None => fgnvm_sim::serve(config, &sc).map_err(|e| e.to_string())?,
+    };
+    println!(
+        "serve: {} admitted, {} completed, {} rejected ({} retried, {} blocked cycles) \
+         by cycle {}; {} checkpoint(s); wear: {} remapped, {} retired, {} read-only bank(s), \
+         {} write(s) refused",
+        report.admitted,
+        report.completions,
+        report.rejected,
+        report.retried,
+        report.blocked_cycles,
+        report.final_cycle,
+        report.checkpoints_written,
+        report.remapped_rows,
+        report.retired_rows,
+        report.read_only_banks,
+        report.read_only_write_rejections,
+    );
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, &report.metrics_json)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("metrics written to {}", path.display());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -2534,6 +2534,7 @@ pub fn reliability(params: &ExperimentParams) -> Result<ReliabilityResult, SimEr
                 ecc_correctable_bits: 2,
                 ecc_decode_penalty_cycles: 10,
                 wear_stuck_threshold: 0,
+                ..ReliabilityConfig::default()
             });
             let mut ipcs = Vec::new();
             let mut row = ReliabilityRow {
@@ -2606,5 +2607,191 @@ mod reliability_tests {
             assert!(worst.write_retries > 0);
             assert!(worst.corrected > 0);
         }
+    }
+}
+
+/// One horizon point of the device-lifetime degradation sweep.
+#[derive(Debug, Clone)]
+pub struct ReliabilityHorizonRow {
+    /// Cycle horizon of this run.
+    pub horizon: u64,
+    /// Requests admitted over the run.
+    pub admitted: u64,
+    /// Requests completed over the run.
+    pub completions: u64,
+    /// Rows remapped to in-bank spares.
+    pub remapped_rows: u64,
+    /// Rows retired outright after the spare pool ran dry.
+    pub retired_rows: u64,
+    /// Banks degraded to read-only mode.
+    pub read_only_banks: u64,
+    /// Writes refused at the admission door by read-only banks.
+    pub write_rejections: u64,
+    /// Ladder stage the device ended the run in.
+    pub state: &'static str,
+}
+
+/// Results of the wear-out horizon sweep: the escalation ladder
+/// (remap → retire → read-only → capacity-exhausted) plotted against
+/// run length, i.e. degradation over device lifetime.
+#[derive(Debug, Clone)]
+pub struct ReliabilityHorizonResult {
+    /// One row per horizon, in increasing-horizon order.
+    pub rows: Vec<ReliabilityHorizonRow>,
+}
+
+impl ReliabilityHorizonResult {
+    /// Renders as a text table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Wear-out escalation over device lifetime (FgNVM 8x2, harsh faults)",
+            &[
+                "horizon",
+                "admitted",
+                "completed",
+                "remapped",
+                "retired",
+                "ro banks",
+                "w-rejects",
+                "state",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.horizon.to_string(),
+                r.admitted.to_string(),
+                r.completions.to_string(),
+                r.remapped_rows.to_string(),
+                r.retired_rows.to_string(),
+                r.read_only_banks.to_string(),
+                r.write_rejections.to_string(),
+                r.state.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the serve driver over increasing horizons on a harshly faulty
+/// FgNVM 8x2 device (tiny spare pool, read-only and capacity thresholds
+/// armed), so each row is a later point in the device's lifetime. Runs
+/// that bottom out the ladder are reported as `EXHAUSTED` rows built
+/// from the structured [`SimError::CapacityExhausted`] error rather
+/// than failing the sweep.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration fails to build or a run
+/// fails for any reason other than capacity exhaustion.
+pub fn reliability_horizon(
+    params: &ExperimentParams,
+) -> Result<ReliabilityHorizonResult, SimError> {
+    use fgnvm_types::config::ReliabilityConfig;
+    let config = SystemConfig::fgnvm(8, 2)?.with_reliability(ReliabilityConfig {
+        enabled: true,
+        fault_seed: params.seed,
+        rber: 2e-4,
+        write_fail_prob: 0.25,
+        max_write_retries: 2,
+        ecc_correctable_bits: 1,
+        ecc_decode_penalty_cycles: 8,
+        spare_rows_per_bank: 3,
+        read_only_row_threshold: 8,
+        capacity_exhausted_banks: 14,
+        ..ReliabilityConfig::default()
+    });
+    config.validate()?;
+    let horizons: [u64; 5] = [20_000, 60_000, 140_000, 300_000, 600_000];
+    let mut rows = Vec::new();
+    for (i, &horizon) in horizons.iter().enumerate() {
+        let sc = crate::serve::ServeConfig {
+            horizon,
+            // Arrival pressure scales with the horizon so later points
+            // really are "more lifetime", not the same run cut short.
+            ops: horizon / 40,
+            seed: params.seed,
+            watchdog_cycles: 10_000_000,
+            ..crate::serve::ServeConfig::default()
+        };
+        match crate::serve::serve(config, &sc) {
+            Ok(report) => {
+                let state = if report.read_only_banks > 0 {
+                    "read-only banks"
+                } else if report.retired_rows > 0 {
+                    "retiring rows"
+                } else if report.remapped_rows > 0 {
+                    "remapping"
+                } else {
+                    "healthy"
+                };
+                rows.push(ReliabilityHorizonRow {
+                    horizon,
+                    admitted: report.admitted,
+                    completions: report.completions,
+                    remapped_rows: report.remapped_rows,
+                    retired_rows: report.retired_rows,
+                    read_only_banks: report.read_only_banks,
+                    write_rejections: report.read_only_write_rejections,
+                    state,
+                });
+            }
+            Err(SimError::CapacityExhausted {
+                read_only_banks,
+                retired_rows,
+                ..
+            }) => {
+                rows.push(ReliabilityHorizonRow {
+                    horizon,
+                    admitted: 0,
+                    completions: 0,
+                    remapped_rows: 0,
+                    retired_rows,
+                    read_only_banks: u64::from(read_only_banks),
+                    write_rejections: 0,
+                    state: "EXHAUSTED",
+                });
+                // Every longer horizon exhausts too; record them without
+                // re-running the (deterministic) prefix.
+                for &h in &horizons[i + 1..] {
+                    rows.push(ReliabilityHorizonRow {
+                        horizon: h,
+                        admitted: 0,
+                        completions: 0,
+                        remapped_rows: 0,
+                        retired_rows,
+                        read_only_banks: u64::from(read_only_banks),
+                        write_rejections: 0,
+                        state: "EXHAUSTED",
+                    });
+                }
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReliabilityHorizonResult { rows })
+}
+
+#[cfg(test)]
+mod reliability_horizon_tests {
+    use super::*;
+
+    #[test]
+    fn degradation_is_monotone_over_lifetime() {
+        let params = ExperimentParams::quick();
+        let result = reliability_horizon(&params).unwrap();
+        assert_eq!(result.rows.len(), 5);
+        // Damage counters never heal as the horizon grows.
+        for pair in result.rows.windows(2) {
+            assert!(pair[1].remapped_rows >= pair[0].remapped_rows || pair[1].state == "EXHAUSTED");
+            assert!(pair[1].retired_rows >= pair[0].retired_rows);
+            assert!(pair[1].read_only_banks >= pair[0].read_only_banks);
+        }
+        // The harsh fault config must visibly walk the ladder by the end.
+        let last = result.rows.last().unwrap();
+        assert!(
+            last.remapped_rows > 0 || last.retired_rows > 0 || last.state == "EXHAUSTED",
+            "no degradation observed: {last:?}"
+        );
     }
 }

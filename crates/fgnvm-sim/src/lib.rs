@@ -36,6 +36,7 @@ pub mod observe;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod simulation;
 pub mod viz;
 
@@ -54,4 +55,8 @@ pub use profile::{
 };
 pub use report::Table;
 pub use runner::{run_configs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome};
+pub use serve::{
+    load_checkpoint, load_checkpoint_file, resume, save_checkpoint, serve, AdmissionPolicy,
+    ServeConfig, ServeReport, ServeState,
+};
 pub use simulation::{Simulation, SimulationError, SimulationReport};

@@ -1,5 +1,7 @@
 //! Generic machinery for running (workload × memory-configuration) grids.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use fgnvm_bank::BankStats;
 use fgnvm_cpu::{Core, CoreConfig, CoreResult, Trace};
 use fgnvm_mem::{EnergyBreakdown, MemorySystem};
@@ -188,8 +190,34 @@ pub fn run_one(
     })
 }
 
+/// Explicit sweep-parallelism override (0 = derive from the host); set via
+/// [`set_jobs`], read via [`effective_jobs`].
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the number of worker threads sweep runners fan out to
+/// (the `--jobs` CLI flag). Pass 0 to return to the default, which is
+/// [`std::thread::available_parallelism`].
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker-thread cap sweeps currently run under: the [`set_jobs`]
+/// override when one is set, otherwise the host's available parallelism
+/// (at least 1).
+pub fn effective_jobs() -> usize {
+    let explicit = JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs one trace against several configurations in parallel, preserving
-/// configuration order in the result.
+/// configuration order in the result. Fan-out is capped at
+/// [`effective_jobs`] concurrent worker threads so a wide sweep cannot
+/// oversubscribe the host (override with [`set_jobs`] / `--jobs`).
 ///
 /// # Errors
 ///
@@ -203,16 +231,21 @@ pub fn run_configs(
     configs: &[SystemConfig],
     params: &ExperimentParams,
 ) -> Result<Vec<RunOutcome>, ConfigError> {
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|config| scope.spawn(move || run_one(trace, config, params)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("runner thread panicked"))
-            .collect::<Vec<_>>()
-    });
+    let jobs = effective_jobs().max(1);
+    let mut results = Vec::with_capacity(configs.len());
+    for wave in configs.chunks(jobs) {
+        let wave_results = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|config| scope.spawn(move || run_one(trace, config, params)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runner thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        results.extend(wave_results);
+    }
     results.into_iter().collect()
 }
 
@@ -293,6 +326,26 @@ mod tests {
             let b = run_one(&trace, &cfg, &stepped).unwrap();
             assert_eq!(a, b, "fast-forward diverged from stepping");
         }
+    }
+
+    #[test]
+    fn jobs_cap_preserves_results_and_order() {
+        let trace = profile("milc_like")
+            .unwrap()
+            .generate(Geometry::default(), 5, 200);
+        let params = ExperimentParams::quick();
+        let configs = [
+            SystemConfig::baseline(),
+            SystemConfig::fgnvm(8, 2).unwrap(),
+            SystemConfig::fgnvm(8, 8).unwrap(),
+        ];
+        let wide = run_configs(&trace, &configs, &params).unwrap();
+        set_jobs(1); // serialize: every wave is one config
+        assert_eq!(effective_jobs(), 1);
+        let narrow = run_configs(&trace, &configs, &params).unwrap();
+        set_jobs(0);
+        assert!(effective_jobs() >= 1);
+        assert_eq!(wide, narrow, "the jobs cap must not change outcomes");
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! Crash-safe long-horizon serve driver.
+//!
+//! `fgnvm-repro -- serve <cfg>` runs an open-loop synthetic workload
+//! against one [`MemorySystem`] for a fixed cycle horizon, periodically
+//! writing versioned binary checkpoints of the *entire* simulation state
+//! (memory system, bank FSMs, fault/wear tables, observer) plus the
+//! driver's own admission state. A killed run resumes from the latest
+//! checkpoint with `--resume <ckpt>` and reaches a final state that is
+//! **bit-identical** to an uninterrupted run — stats, attribution,
+//! metrics, and command logs all match exactly.
+//!
+//! Three robustness mechanisms live here:
+//!
+//! - **Deterministic checkpoint/restore** — [`save_checkpoint`] /
+//!   [`load_checkpoint`] wrap [`MemorySystem::save_snapshot`] with the
+//!   serve driver's own state (arrival cursor, backoff queue, watchdog
+//!   progress marker) so the whole run is a pure function of
+//!   `(config, ServeConfig)` no matter how many times it is killed.
+//! - **Admission control & backpressure** — the controller's bounded
+//!   request queues are the admission door; a full queue either rejects
+//!   the request into an exponential-backoff retry queue
+//!   ([`AdmissionPolicy::Reject`]) or blocks it, retrying every cycle
+//!   ([`AdmissionPolicy::Block`]).
+//! - **Watchdog with auto-snapshot** — if no request completes or is
+//!   admitted for `watchdog_cycles` while work is pending, the driver
+//!   writes a `crash-<cycle>.ckpt` snapshot *before* returning the
+//!   structured [`SimError::Watchdog`], so the wedged state is always
+//!   recoverable for post-mortem. The progress marker is captured
+//!   verbatim in every checkpoint and restored verbatim on resume, so a
+//!   restored run can never trip a spurious watchdog.
+
+use std::path::{Path, PathBuf};
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_obs::Registry;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::{
+    Completion, Cycle, Op, PhysAddr, SimError, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+
+/// What the serve driver does when the controller's bounded request
+/// queue refuses an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject with retry-after: the request re-enters an exponential
+    /// -backoff queue (`backoff_base << attempts`, capped at
+    /// `backoff_max`) and is re-admitted when its deadline passes.
+    Reject,
+    /// Block: the request retries every cycle until the queue drains;
+    /// each waited cycle is counted in `blocked_cycles`.
+    Block,
+}
+
+impl AdmissionPolicy {
+    /// The CLI name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::Block => "block",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "reject" => Some(AdmissionPolicy::Reject),
+            "block" => Some(AdmissionPolicy::Block),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of one serve run. The pair `(SystemConfig, ServeConfig)`
+/// fully determines the run — there is no other source of nondeterminism.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hard stop, in memory cycles.
+    pub horizon: u64,
+    /// Requests to generate over the run (arrivals stop once exhausted).
+    pub ops: u64,
+    /// Seed for the deterministic arrival/address/op generator.
+    pub seed: u64,
+    /// Cycles between checkpoints (0 disables periodic checkpointing).
+    pub checkpoint_every: u64,
+    /// Directory checkpoints are written into (`ckpt-<cycle>.ckpt`);
+    /// `None` keeps the run in-memory only.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// What to do when the request queue is full.
+    pub policy: AdmissionPolicy,
+    /// First retry-after delay for a rejected request, in cycles.
+    pub backoff_base: u64,
+    /// Upper bound on any single backoff delay, in cycles.
+    pub backoff_max: u64,
+    /// No-progress threshold before the watchdog auto-snapshots and
+    /// aborts (0 disables the watchdog).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            horizon: 200_000,
+            ops: 2_000,
+            seed: 7,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            policy: AdmissionPolicy::Reject,
+            backoff_base: 16,
+            backoff_max: 4_096,
+            watchdog_cycles: 1_000_000,
+        }
+    }
+}
+
+/// One rejected request waiting out its backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BackoffEntry {
+    /// Cycle at which re-admission may be attempted.
+    retry_at: u64,
+    /// Index of the op in the deterministic arrival sequence.
+    op_index: u64,
+    /// Admission attempts so far (drives the exponential delay).
+    attempts: u32,
+}
+
+/// The serve driver's own checkpointable state — everything outside the
+/// [`MemorySystem`] that the loop needs to continue deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeState {
+    /// Index of the next op to generate.
+    next_op: u64,
+    /// Cycle the next op arrives at.
+    next_arrival_at: u64,
+    /// Rejected requests waiting out their backoff.
+    backoff: Vec<BackoffEntry>,
+    /// Requests completed so far.
+    completions: u64,
+    /// Cycle of the last completion or successful admission (the
+    /// watchdog's progress marker; checkpointed verbatim so a resumed
+    /// run cannot trip spuriously).
+    last_progress: u64,
+    /// Arrivals the admission door turned away (Reject policy).
+    rejected: u64,
+    /// Cycles spent blocked at the door (Block policy).
+    blocked_cycles: u64,
+    /// Successful re-admissions after backoff.
+    retried: u64,
+    /// Requests accepted into the controller.
+    admitted: u64,
+    /// Checkpoints written so far.
+    checkpoints_written: u64,
+}
+
+impl ServeState {
+    fn fresh() -> Self {
+        ServeState {
+            next_op: 0,
+            next_arrival_at: 0,
+            backoff: Vec::new(),
+            completions: 0,
+            last_progress: 0,
+            rejected: 0,
+            blocked_cycles: 0,
+            retried: 0,
+            admitted: 0,
+            checkpoints_written: 0,
+        }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.tag("serve");
+        w.u64(self.next_op);
+        w.u64(self.next_arrival_at);
+        w.usize(self.backoff.len());
+        for b in &self.backoff {
+            w.u64(b.retry_at);
+            w.u64(b.op_index);
+            w.u32(b.attempts);
+        }
+        w.u64(self.completions);
+        w.u64(self.last_progress);
+        w.u64(self.rejected);
+        w.u64(self.blocked_cycles);
+        w.u64(self.retried);
+        w.u64(self.admitted);
+        w.u64(self.checkpoints_written);
+    }
+
+    fn load_state(r: &mut SnapshotReader<'_>) -> Result<ServeState, SnapshotError> {
+        r.tag("serve")?;
+        let next_op = r.u64()?;
+        let next_arrival_at = r.u64()?;
+        let n = r.usize()?;
+        let mut backoff = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            backoff.push(BackoffEntry {
+                retry_at: r.u64()?,
+                op_index: r.u64()?,
+                attempts: r.u32()?,
+            });
+        }
+        Ok(ServeState {
+            next_op,
+            next_arrival_at,
+            backoff,
+            completions: r.u64()?,
+            last_progress: r.u64()?,
+            rejected: r.u64()?,
+            blocked_cycles: r.u64()?,
+            retried: r.u64()?,
+            admitted: r.u64()?,
+            checkpoints_written: r.u64()?,
+        })
+    }
+}
+
+/// Serializes the driver state and the full memory-system snapshot into
+/// one self-describing checkpoint blob.
+pub fn save_checkpoint(state: &ServeState, mem: &MemorySystem) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    state.save_state(&mut w);
+    w.bytes(&mem.save_snapshot());
+    w.finish()
+}
+
+/// Decodes a checkpoint written by [`save_checkpoint`], rebuilding the
+/// memory system under `config`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Snapshot`] for truncated, corrupted, or
+/// config-mismatched checkpoints — never panics on hostile bytes.
+pub fn load_checkpoint(
+    config: SystemConfig,
+    bytes: &[u8],
+) -> Result<(ServeState, MemorySystem), SimError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    let state = ServeState::load_state(&mut r)?;
+    let mem_bytes = r.bytes()?;
+    r.expect_end()?;
+    let mem = MemorySystem::restore(config, &mem_bytes)?;
+    Ok((state, mem))
+}
+
+/// Reads a checkpoint file and rebuilds `(ServeState, MemorySystem)`.
+///
+/// # Errors
+///
+/// [`SimError::Io`] if the file cannot be read, [`SimError::Snapshot`]
+/// if its contents do not decode.
+pub fn load_checkpoint_file(
+    config: SystemConfig,
+    path: &Path,
+) -> Result<(ServeState, MemorySystem), SimError> {
+    let bytes = std::fs::read(path).map_err(|e| SimError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_checkpoint(config, &bytes)
+}
+
+/// Final report of a serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Cycle the run ended at.
+    pub final_cycle: u64,
+    /// Requests accepted into the controller.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completions: u64,
+    /// Arrivals rejected at the admission door.
+    pub rejected: u64,
+    /// Successful re-admissions after backoff.
+    pub retried: u64,
+    /// Cycles spent blocked at the door (Block policy).
+    pub blocked_cycles: u64,
+    /// Checkpoints written over the whole run (including resumed legs).
+    pub checkpoints_written: u64,
+    /// Rows remapped to spares.
+    pub remapped_rows: u64,
+    /// Rows retired outright (spares exhausted).
+    pub retired_rows: u64,
+    /// Banks degraded to read-only mode.
+    pub read_only_banks: u64,
+    /// Writes rejected at the admission door because the target bank is
+    /// read-only.
+    pub read_only_write_rejections: u64,
+    /// Full metrics registry (memory + observer + serve counters) as JSON.
+    pub metrics_json: String,
+}
+
+/// One op of the deterministic open-loop workload: a pure function of
+/// `(seed, index)`, so interrupted and uninterrupted runs generate the
+/// exact same arrival stream.
+fn generate_op(seed: u64, index: u64, lines: u64, line_bytes: u64) -> (Op, PhysAddr, u64) {
+    let mut s = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || fgnvm_check::seed::splitmix64(&mut s);
+    let op = if next() % 100 < 35 {
+        Op::Write
+    } else {
+        Op::Read
+    };
+    // Hot-set bias: three quarters of traffic lands on 64 lines so rows
+    // and tiles actually contend; the tail probes the full space.
+    let line = match next() % 4 {
+        0..=2 => next() % 64,
+        _ => next() % lines.max(1),
+    };
+    // Mean inter-arrival of ~12 cycles keeps the queues under pressure
+    // without permanently saturating them.
+    let gap = next() % 25;
+    (op, PhysAddr::new(line * line_bytes), gap)
+}
+
+fn write_checkpoint_file(dir: &Path, name: &str, bytes: &[u8]) -> Result<PathBuf, SimError> {
+    std::fs::create_dir_all(dir).map_err(|e| SimError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let path = dir.join(name);
+    // Write-then-rename so a crash mid-write never leaves a torn file
+    // under the final name: the newest `*.ckpt` is always complete.
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .map_err(|e| SimError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+    Ok(path)
+}
+
+/// Runs a fresh serve session: builds the memory system (observer and a
+/// bounded command log enabled), then drives the loop to the horizon.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for an inadmissible configuration,
+/// [`SimError::Watchdog`] if progress stalls (after auto-snapshotting),
+/// [`SimError::CapacityExhausted`] if the wear-out ladder bottoms out,
+/// [`SimError::Io`] if a checkpoint cannot be written.
+pub fn serve(config: SystemConfig, sc: &ServeConfig) -> Result<ServeReport, SimError> {
+    let mut mem = MemorySystem::new(config)?;
+    mem.set_fast_forward(true);
+    mem.enable_observer();
+    mem.enable_command_log(1 << 16);
+    run_loop(&mut mem, ServeState::fresh(), sc)
+}
+
+/// Resumes a serve session from a checkpoint file and drives it to the
+/// same horizon. The final state is bit-identical to the uninterrupted
+/// run of [`serve`] with the same `(config, ServeConfig)`.
+///
+/// # Errors
+///
+/// Same as [`serve`], plus [`SimError::Io`] / [`SimError::Snapshot`]
+/// when the checkpoint cannot be read or decoded.
+pub fn resume(
+    config: SystemConfig,
+    checkpoint: &Path,
+    sc: &ServeConfig,
+) -> Result<ServeReport, SimError> {
+    let (state, mut mem) = load_checkpoint_file(config, checkpoint)?;
+    run_loop(&mut mem, state, sc)
+}
+
+/// The deterministic serve loop. Hops the clock event-wise between
+/// arrival, backoff, checkpoint, watchdog, and horizon boundaries; every
+/// decision is a pure function of `(mem, state, sc)`.
+fn run_loop(
+    mem: &mut MemorySystem,
+    mut state: ServeState,
+    sc: &ServeConfig,
+) -> Result<ServeReport, SimError> {
+    let line_bytes = u64::from(mem.config().geometry.line_bytes());
+    let lines = mem.config().geometry.capacity_bytes() / line_bytes.max(1);
+    let mut out: Vec<Completion> = Vec::new();
+    loop {
+        let now = mem.now().raw();
+        if now >= sc.horizon {
+            break;
+        }
+        let arrivals_left = state.next_op < sc.ops;
+        let work_pending = !mem.is_idle() || !state.backoff.is_empty();
+        if !arrivals_left && !work_pending {
+            break;
+        }
+
+        // Next cycle anything interesting happens.
+        let mut target = sc.horizon;
+        if arrivals_left {
+            target = target.min(state.next_arrival_at);
+        }
+        if let Some(min_retry) = state.backoff.iter().map(|b| b.retry_at).min() {
+            target = target.min(min_retry);
+        }
+        if let Some(intervals) = now.checked_div(sc.checkpoint_every) {
+            target = target.min((intervals + 1) * sc.checkpoint_every);
+        }
+        if sc.watchdog_cycles > 0 && work_pending {
+            target = target.min(state.last_progress.saturating_add(sc.watchdog_cycles));
+        }
+        // Land on every device event while work is in flight, so the
+        // cycle the run goes idle at (and therefore the final cycle) is
+        // identical no matter where checkpoint boundaries fall.
+        if !mem.is_idle() {
+            if let Some(ev) = mem.next_event_at() {
+                target = target.min(ev.raw().max(now + 1));
+            }
+        }
+
+        if target > now {
+            out.clear();
+            mem.tick_to(Cycle::new(target), &mut out);
+            state.completions += out.len() as u64;
+            // Progress marker from completion timestamps, not the hop
+            // boundary — hop placement must never affect the state.
+            if let Some(last) = out.iter().map(|c| c.finished.raw()).max() {
+                state.last_progress = state.last_progress.max(last);
+            }
+        }
+        let now = mem.now().raw();
+
+        // Watchdog: no completion or admission for watchdog_cycles while
+        // work sat queued. Auto-snapshot before aborting so the wedged
+        // state is preserved for post-mortem.
+        let work_pending = !mem.is_idle() || !state.backoff.is_empty();
+        if sc.watchdog_cycles > 0
+            && work_pending
+            && now.saturating_sub(state.last_progress) >= sc.watchdog_cycles
+        {
+            if let Some(dir) = &sc.checkpoint_dir {
+                let blob = save_checkpoint(&state, mem);
+                write_checkpoint_file(dir, &format!("crash-{now:012}.ckpt"), &blob)?;
+            }
+            return Err(SimError::Watchdog {
+                stall_cycles: sc.watchdog_cycles,
+                now,
+                read_queue: mem.read_queue_len(),
+                write_queue: mem.write_queue_len(),
+                state: format!(
+                    "serve: {} admitted, {} completed, {} in backoff; \
+                     crash checkpoint written if --checkpoint-dir was set",
+                    state.admitted,
+                    state.completions,
+                    state.backoff.len()
+                ),
+            });
+        }
+
+        // Wear-out ladder bottom rung: surface the structured error.
+        mem.check_capacity()?;
+
+        // Re-admit due backoff entries, oldest op first (deterministic).
+        state
+            .backoff
+            .sort_unstable_by_key(|b| (b.retry_at, b.op_index));
+        let mut still_waiting = Vec::new();
+        for entry in std::mem::take(&mut state.backoff) {
+            if entry.retry_at > now {
+                still_waiting.push(entry);
+                continue;
+            }
+            let (op, addr, _gap) = generate_op(sc.seed, entry.op_index, lines, line_bytes);
+            if mem.enqueue(op, addr).is_some() {
+                state.admitted += 1;
+                state.retried += 1;
+                state.last_progress = state.last_progress.max(now);
+            } else {
+                still_waiting.push(requeue(entry, now, sc, &mut state));
+            }
+        }
+        state.backoff = still_waiting;
+
+        // Admit new arrivals that are due.
+        while state.next_op < sc.ops && state.next_arrival_at <= now {
+            let index = state.next_op;
+            let (op, addr, gap) = generate_op(sc.seed, index, lines, line_bytes);
+            state.next_op += 1;
+            state.next_arrival_at = state.next_arrival_at.saturating_add(gap.max(1));
+            if mem.enqueue(op, addr).is_some() {
+                state.admitted += 1;
+                state.last_progress = state.last_progress.max(now);
+            } else {
+                let entry = BackoffEntry {
+                    retry_at: now,
+                    op_index: index,
+                    attempts: 0,
+                };
+                let waiting = requeue(entry, now, sc, &mut state);
+                state.backoff.push(waiting);
+            }
+        }
+
+        // Periodic checkpoint at absolute multiples of checkpoint_every,
+        // so an uninterrupted and a resumed run hit the same boundaries.
+        if sc.checkpoint_every > 0 && now > 0 && now.is_multiple_of(sc.checkpoint_every) {
+            state.checkpoints_written += 1;
+            if let Some(dir) = &sc.checkpoint_dir {
+                let blob = save_checkpoint(&state, mem);
+                write_checkpoint_file(dir, &format!("ckpt-{now:012}.ckpt"), &blob)?;
+            }
+        }
+    }
+
+    let mut reg = Registry::new();
+    mem.export_metrics(&mut reg);
+    if let Some(obs) = mem.observer() {
+        obs.export_metrics(&mut reg);
+    }
+    reg.set_counter("serve.admitted", state.admitted);
+    reg.set_counter("serve.completions", state.completions);
+    reg.set_counter("serve.rejected", state.rejected);
+    reg.set_counter("serve.retried", state.retried);
+    reg.set_counter("serve.blocked_cycles", state.blocked_cycles);
+    reg.set_counter("serve.final_cycle", mem.now().raw());
+    Ok(ServeReport {
+        final_cycle: mem.now().raw(),
+        admitted: state.admitted,
+        completions: state.completions,
+        rejected: state.rejected,
+        retried: state.retried,
+        blocked_cycles: state.blocked_cycles,
+        checkpoints_written: state.checkpoints_written,
+        remapped_rows: mem.stats().remapped_rows,
+        retired_rows: mem.stats().retired_rows,
+        read_only_banks: mem.stats().read_only_banks,
+        read_only_write_rejections: mem.stats().read_only_write_rejections,
+        metrics_json: reg.to_json(),
+    })
+}
+
+/// Applies the admission policy to a refused request, returning the
+/// entry to wait with.
+fn requeue(
+    entry: BackoffEntry,
+    now: u64,
+    sc: &ServeConfig,
+    state: &mut ServeState,
+) -> BackoffEntry {
+    match sc.policy {
+        AdmissionPolicy::Reject => {
+            state.rejected += 1;
+            let delay = sc
+                .backoff_base
+                .saturating_mul(1u64 << entry.attempts.min(32))
+                .min(sc.backoff_max.max(1));
+            BackoffEntry {
+                retry_at: now + delay.max(1),
+                op_index: entry.op_index,
+                attempts: entry.attempts.saturating_add(1),
+            }
+        }
+        AdmissionPolicy::Block => {
+            state.blocked_cycles += 1;
+            BackoffEntry {
+                retry_at: now + 1,
+                op_index: entry.op_index,
+                attempts: entry.attempts.saturating_add(1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SystemConfig {
+        SystemConfig::fgnvm(8, 2).expect("paper grid is valid")
+    }
+
+    fn quick_sc() -> ServeConfig {
+        ServeConfig {
+            horizon: 40_000,
+            ops: 600,
+            seed: 11,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            policy: AdmissionPolicy::Reject,
+            backoff_base: 8,
+            backoff_max: 512,
+            watchdog_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn serve_completes_work_within_horizon() {
+        let report = serve(small_cfg(), &quick_sc()).expect("serve runs clean");
+        assert!(report.admitted > 0);
+        assert_eq!(report.admitted, report.completions);
+        assert!(report.final_cycle <= 40_000);
+        assert!(report.metrics_json.contains("\"serve.admitted\""));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_mid_run_is_bit_identical() {
+        let sc = quick_sc();
+        // Uninterrupted reference.
+        let reference = serve(small_cfg(), &sc).expect("reference run");
+
+        // Interrupted run: checkpoint at cycle 4000, then resume from
+        // that file as if the process had been killed right after.
+        let mut sc_ck = sc.clone();
+        sc_ck.checkpoint_every = 4_000;
+        let dir = std::env::temp_dir().join("fgnvm-serve-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        sc_ck.checkpoint_dir = Some(dir.clone());
+        let full = serve(small_cfg(), &sc_ck).expect("checkpointing run");
+        assert!(full.checkpoints_written >= 1, "run must have checkpointed");
+        let first = dir.join(format!("ckpt-{:012}.ckpt", 4_000));
+        assert!(first.exists(), "expected checkpoint at cycle 4000");
+        let resumed = resume(small_cfg(), &first, &sc_ck).expect("resumed run");
+
+        // The resumed run re-checkpoints later boundaries; everything
+        // else must match the uninterrupted checkpointing run exactly.
+        assert_eq!(resumed.final_cycle, full.final_cycle);
+        assert_eq!(resumed.admitted, full.admitted);
+        assert_eq!(resumed.completions, full.completions);
+        assert_eq!(resumed.rejected, full.rejected);
+        assert_eq!(resumed.retried, full.retried);
+        assert_eq!(resumed.metrics_json, full.metrics_json);
+        // And the checkpointing run itself must agree with the plain
+        // reference (checkpoint boundaries never perturb the physics).
+        assert_eq!(full.admitted, reference.admitted);
+        assert_eq!(full.completions, reference.completions);
+        assert_eq!(full.final_cycle, reference.final_cycle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_structured_error() {
+        let mut mem = MemorySystem::new(small_cfg()).expect("config valid");
+        mem.enable_observer();
+        let blob = save_checkpoint(&ServeState::fresh(), &mem);
+        // Truncations and bit flips must decode to errors, never panic.
+        for cut in [0, 5, blob.len() / 2, blob.len() - 1] {
+            assert!(load_checkpoint(small_cfg(), &blob[..cut]).is_err());
+        }
+        let mut flipped = blob.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        assert!(load_checkpoint(small_cfg(), &flipped).is_err());
+        // And the pristine blob still loads.
+        assert!(load_checkpoint(small_cfg(), &blob).is_ok());
+    }
+
+    #[test]
+    fn block_policy_counts_blocked_cycles_under_overload() {
+        let mut sc = quick_sc();
+        sc.policy = AdmissionPolicy::Block;
+        sc.ops = 3_000;
+        sc.horizon = 120_000;
+        let report = serve(small_cfg(), &sc).expect("blocking run finishes");
+        // Open-loop arrivals at ~12-cycle spacing against one channel
+        // must overflow the queue at some point.
+        assert!(report.admitted > 0);
+        assert_eq!(report.rejected, 0, "Block policy never counts rejects");
+    }
+
+    #[test]
+    fn reject_policy_backs_off_and_retries() {
+        let mut sc = quick_sc();
+        sc.ops = 3_000;
+        sc.horizon = 400_000;
+        let report = serve(small_cfg(), &sc).expect("rejecting run finishes");
+        assert_eq!(
+            report.admitted, report.completions,
+            "everything admitted eventually completes"
+        );
+        if report.rejected > 0 {
+            assert!(report.retried > 0, "rejected ops must be re-admitted");
+        }
+    }
+}

@@ -358,6 +358,15 @@ pub struct ReliabilityConfig {
     /// Per-row write count after which reads see a stuck-at fault
     /// (0 disables wear-induced faults).
     pub wear_stuck_threshold: u64,
+    /// Spare rows reserved at the top of each bank for bad-row remapping
+    /// (stage 1 of the wear-out escalation ladder).
+    pub spare_rows_per_bank: u32,
+    /// Rows retired *without* a spare (stage 2) a bank tolerates before it
+    /// drops to read-only mode (stage 3). 0 disables read-only escalation.
+    pub read_only_row_threshold: u32,
+    /// Read-only banks, device-wide, at which the system reports
+    /// `SimError::CapacityExhausted` (stage 4). 0 disables the final stage.
+    pub capacity_exhausted_banks: u32,
 }
 
 impl Default for ReliabilityConfig {
@@ -371,6 +380,9 @@ impl Default for ReliabilityConfig {
             ecc_correctable_bits: 0,
             ecc_decode_penalty_cycles: 0,
             wear_stuck_threshold: 0,
+            spare_rows_per_bank: 64,
+            read_only_row_threshold: 0,
+            capacity_exhausted_banks: 0,
         }
     }
 }

@@ -81,6 +81,23 @@ pub enum SimError {
         /// Human-readable dump of per-channel queue and bank state.
         state: String,
     },
+    /// The wear-out escalation ladder reached its final stage: enough
+    /// banks have dropped to read-only mode that the device can no longer
+    /// satisfy its configured capacity floor (see
+    /// `ReliabilityConfig::capacity_exhausted_banks`).
+    CapacityExhausted {
+        /// Banks currently in read-only mode, device-wide.
+        read_only_banks: u32,
+        /// Configured bank threshold that was crossed.
+        threshold: u32,
+        /// Rows retired (remapped or lost) device-wide.
+        retired_rows: u64,
+        /// Cycle at which the ladder escalated.
+        now: u64,
+    },
+    /// A checkpoint could not be decoded (wraps
+    /// [`SnapshotError`](crate::snapshot::SnapshotError)).
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +118,17 @@ impl fmt::Display for SimError {
                 "watchdog: no request completed for {stall_cycles} cycles \
                  (now cy{now}, {read_queue} reads + {write_queue} writes pending)\n{state}"
             ),
+            SimError::CapacityExhausted {
+                read_only_banks,
+                threshold,
+                retired_rows,
+                now,
+            } => write!(
+                f,
+                "capacity exhausted: {read_only_banks} banks read-only \
+                 (threshold {threshold}), {retired_rows} rows retired, at cy{now}"
+            ),
+            SimError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -110,8 +138,15 @@ impl Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Params(e) => Some(e),
+            SimError::Snapshot(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for SimError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        SimError::Snapshot(e)
     }
 }
 

@@ -202,6 +202,13 @@ pub fn parse_system_config(text: &str) -> Result<SystemConfig, ParseParamsError>
             "ECCCORRECTABLEBITS" => config.reliability.ecc_correctable_bits = parse_u32(value)?,
             "ECCDECODEPENALTY" => config.reliability.ecc_decode_penalty_cycles = parse_u64(value)?,
             "WEARSTUCKTHRESHOLD" => config.reliability.wear_stuck_threshold = parse_u64(value)?,
+            "SPAREROWSPERBANK" => config.reliability.spare_rows_per_bank = parse_u32(value)?,
+            "READONLYROWTHRESHOLD" => {
+                config.reliability.read_only_row_threshold = parse_u32(value)?;
+            }
+            "CAPACITYEXHAUSTEDBANKS" => {
+                config.reliability.capacity_exhausted_banks = parse_u32(value)?;
+            }
             other => return Err(err(lineno, format!("unknown parameter `{other}`"))),
         }
     }
@@ -312,6 +319,9 @@ pub fn write_system_config(config: &SystemConfig) -> String {
     let _ = writeln!(out, "EccCorrectableBits {}", r.ecc_correctable_bits);
     let _ = writeln!(out, "EccDecodePenalty {}", r.ecc_decode_penalty_cycles);
     let _ = writeln!(out, "WearStuckThreshold {}", r.wear_stuck_threshold);
+    let _ = writeln!(out, "SpareRowsPerBank {}", r.spare_rows_per_bank);
+    let _ = writeln!(out, "ReadOnlyRowThreshold {}", r.read_only_row_threshold);
+    let _ = writeln!(out, "CapacityExhaustedBanks {}", r.capacity_exhausted_banks);
     out
 }
 

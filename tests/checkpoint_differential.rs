@@ -1,0 +1,247 @@
+//! Checkpoint/restore differential: resume(checkpoint(t)) must be
+//! bit-identical to an uninterrupted run, for every preset and every
+//! `configs/*.cfg` file, in both stepping modes, at arbitrary kill
+//! cycles.
+//!
+//! The equality demanded is the strongest available: the FNV-1a 64
+//! digest of the *entire* end-of-run snapshot (stats, queues, bank FSMs,
+//! fault/wear tables, command logs, observer spans/heatmap/attribution).
+//! Two equal digests mean no counter anywhere in the simulator diverged.
+//!
+//! Also covered here: hostile checkpoint bytes (truncated, flipped,
+//! config-mismatched) must decode to structured errors — never panic —
+//! and a resumed serve run must not trip a spurious watchdog.
+
+use std::path::PathBuf;
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_sim::{AdmissionPolicy, ServeConfig};
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::{fnv1a64, Completion, Cycle, Op, PhysAddr, SimError};
+
+/// Every built-in preset plus every parameter file shipped in `configs/`
+/// (including the faulty one, so the fault/remap/wear tables are
+/// exercised through the checkpoint).
+fn all_configs() -> Vec<(String, SystemConfig)> {
+    let mut configs = vec![
+        ("baseline".to_string(), SystemConfig::baseline()),
+        ("fgnvm-8x2".to_string(), SystemConfig::fgnvm(8, 2).unwrap()),
+        (
+            "multi-issue-8x4".to_string(),
+            SystemConfig::fgnvm_multi_issue(8, 4, 2).unwrap(),
+        ),
+        (
+            "pausing-8x8".to_string(),
+            SystemConfig::fgnvm_with_pausing(8, 8).unwrap(),
+        ),
+        ("dram".to_string(), SystemConfig::dram()),
+    ];
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../configs");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("configs/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cfg"))
+        .collect();
+    files.sort();
+    assert!(
+        files
+            .iter()
+            .any(|p| p.file_name().is_some_and(|n| n == "fgnvm_8x2_faulty.cfg")),
+        "the faulty preset must be part of the sweep"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable cfg");
+        let config = fgnvm_types::parse_system_config(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        configs.push((
+            path.file_stem().unwrap().to_string_lossy().into_owned(),
+            config,
+        ));
+    }
+    configs
+}
+
+/// Drives `ops` deterministic mixed requests, optionally crashing
+/// (snapshot → drop → restore) when the clock first crosses
+/// `kill_cycle`, and returns the digest of the final full snapshot.
+fn run_digest(config: SystemConfig, fast_forward: bool, mut kill_cycle: Option<u64>) -> u64 {
+    let mut mem = MemorySystem::new(config).expect("config admissible");
+    mem.set_fast_forward(fast_forward);
+    mem.enable_observer();
+    mem.enable_command_log(1 << 16);
+    let line_bytes = u64::from(config.geometry.line_bytes());
+    let lines = config.geometry.capacity_bytes() / line_bytes;
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut state = 0xfeed_f00d_u64;
+    let mut next = move || {
+        // splitmix64, inlined so the trace is a pure function of the seed.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..96 {
+        let op = if next() % 3 == 0 { Op::Write } else { Op::Read };
+        let line = next() % lines.clamp(1, 512);
+        let _ = mem.enqueue(op, PhysAddr::new(line * line_bytes));
+        let gap = next() % 120;
+        if gap > 0 {
+            let target = Cycle::new(mem.now().raw() + gap);
+            advance(&mut mem, target, &mut completions, &mut kill_cycle);
+        }
+    }
+    if kill_cycle.is_some() {
+        crash_restore(&mut mem);
+    }
+    while !mem.is_idle() {
+        let target = Cycle::new(mem.now().raw() + 4096);
+        mem.tick_to(target, &mut completions);
+    }
+    // The stepping-mode flag is itself part of the snapshot; pin it so
+    // digests compare the *state* across modes, not the knob setting.
+    mem.set_fast_forward(true);
+    fnv1a64(&mem.save_snapshot())
+}
+
+fn advance(
+    mem: &mut MemorySystem,
+    target: Cycle,
+    completions: &mut Vec<Completion>,
+    kill: &mut Option<u64>,
+) {
+    if let Some(k) = *kill {
+        if mem.now().raw() <= k && target.raw() >= k {
+            if mem.now().raw() < k {
+                mem.tick_to(Cycle::new(k), completions);
+            }
+            crash_restore(mem);
+            *kill = None;
+        }
+    }
+    if mem.now() < target {
+        mem.tick_to(target, completions);
+    }
+}
+
+fn crash_restore(mem: &mut MemorySystem) {
+    let blob = mem.save_snapshot();
+    let config = *mem.config();
+    *mem = MemorySystem::restore(config, &blob).expect("own snapshot restores");
+}
+
+#[test]
+fn resume_is_bit_identical_for_every_config_and_stepping_mode() {
+    for (name, config) in all_configs() {
+        for fast_forward in [false, true] {
+            let straight = run_digest(config, fast_forward, None);
+            // Kill early, mid-run, and past the end (the pre-drain crash).
+            for kill in [1, 700, 5_000, u64::MAX] {
+                let resumed = run_digest(config, fast_forward, Some(kill));
+                assert_eq!(
+                    resumed, straight,
+                    "{name} (fast_forward={fast_forward}): state diverged after \
+                     kill/resume at cycle {kill}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stepped_and_fast_forwarded_checkpoints_agree() {
+    // The two stepping modes end in the same logical state, so their
+    // digests must match each other too — checkpointing must not leak
+    // stepping-mode artifacts into the snapshot.
+    for (name, config) in all_configs() {
+        let stepped = run_digest(config, false, Some(1_000));
+        let hopped = run_digest(config, true, Some(1_000));
+        assert_eq!(
+            stepped, hopped,
+            "{name}: stepping mode leaked into the snapshot"
+        );
+    }
+}
+
+#[test]
+fn hostile_checkpoint_bytes_yield_structured_errors() {
+    let config = SystemConfig::fgnvm(8, 2).unwrap();
+    let mut mem = MemorySystem::new(config).unwrap();
+    mem.enable_observer();
+    let mut completions = Vec::new();
+    for i in 0..24u64 {
+        let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+        let _ = mem.enqueue(op, PhysAddr::new(i * 64));
+        mem.tick_to(Cycle::new(mem.now().raw() + 40), &mut completions);
+    }
+    let blob = mem.save_snapshot();
+    // Truncation at every interesting boundary.
+    for cut in [0, 4, 9, blob.len() / 3, blob.len() / 2, blob.len() - 1] {
+        let err = MemorySystem::restore(config, &blob[..cut]);
+        assert!(
+            matches!(err, Err(SimError::Snapshot(_))),
+            "truncation at {cut} did not yield a snapshot error"
+        );
+    }
+    // A flipped byte must fail the checksum or a structural check.
+    for at in [16, blob.len() / 2, blob.len() - 2] {
+        let mut bad = blob.clone();
+        bad[at] ^= 0x55;
+        assert!(
+            MemorySystem::restore(config, &bad).is_err(),
+            "bit flip at {at} went undetected"
+        );
+    }
+    // A different configuration must be refused by the fingerprint.
+    let other = SystemConfig::fgnvm(4, 4).unwrap();
+    assert!(matches!(
+        MemorySystem::restore(other, &blob),
+        Err(SimError::Snapshot(_))
+    ));
+    // And the pristine blob still restores.
+    assert!(MemorySystem::restore(config, &blob).is_ok());
+}
+
+#[test]
+fn resumed_serve_run_never_trips_a_spurious_watchdog() {
+    // A long quiet gap sits right after the checkpoint boundary: if the
+    // watchdog's progress marker were reset to the restore cycle (or to
+    // zero) instead of being carried verbatim, the resumed leg would
+    // mis-measure the stall window and could trip where the
+    // uninterrupted run does not.
+    let config = SystemConfig::fgnvm(8, 2).unwrap();
+    let dir = std::env::temp_dir().join("fgnvm-watchdog-resume-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let sc = ServeConfig {
+        horizon: 30_000,
+        ops: 200,
+        seed: 23,
+        checkpoint_every: 2_000,
+        checkpoint_dir: Some(dir.clone()),
+        policy: AdmissionPolicy::Reject,
+        backoff_base: 8,
+        backoff_max: 256,
+        // Tight watchdog: well under the horizon, above any real stall.
+        watchdog_cycles: 20_000,
+    };
+    let full = fgnvm_sim::serve(config, &sc).expect("uninterrupted run passes its watchdog");
+    let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .expect("checkpoints written")
+        .map(|e| e.unwrap().path())
+        .collect();
+    ckpts.sort();
+    assert!(!ckpts.is_empty(), "serve must have checkpointed");
+    // Resume from EVERY checkpoint; each leg must finish cleanly and
+    // land on the same final metrics.
+    for ckpt in &ckpts {
+        let resumed = fgnvm_sim::resume(config, ckpt, &sc)
+            .unwrap_or_else(|e| panic!("resume from {} tripped: {e}", ckpt.display()));
+        assert_eq!(
+            resumed.metrics_json,
+            full.metrics_json,
+            "resume from {} diverged",
+            ckpt.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

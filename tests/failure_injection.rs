@@ -81,6 +81,7 @@ fn wedged_reliability_config_terminates_via_watchdog() {
         ecc_correctable_bits: 0,
         ecc_decode_penalty_cycles: 0,
         wear_stuck_threshold: 0,
+        ..ReliabilityConfig::default()
     });
     let mut mem = MemorySystem::new(cfg).unwrap();
     mem.enqueue(Op::Write, PhysAddr::new(0)).unwrap();
@@ -187,6 +188,7 @@ proptest! {
             ecc_correctable_bits: 3,
             ecc_decode_penalty_cycles: 25,
             wear_stuck_threshold: 0,
+            ..ReliabilityConfig::default()
         });
         let mut plain = MemorySystem::new(clean).unwrap();
         let mut faulty = MemorySystem::new(armed).unwrap();
