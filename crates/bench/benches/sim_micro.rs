@@ -63,13 +63,37 @@ fn cycles_per_sec(fast_forward: bool, reps: u32) -> (u64, f64) {
     (cycles, best)
 }
 
-/// Measures the stepped-vs-fast-forward throughput ratio and records it in
-/// `BENCH_sim.json` at the workspace root. The two runs must simulate the
+/// One sweep-executor job: several fast-forwarded drains, large enough
+/// (a few ms) that worker spawn/steal overhead is measurement noise.
+/// Returns simulated cycles.
+fn sweep_job() -> u64 {
+    (0..8).map(|_| write_drain(true)).sum()
+}
+
+/// Aggregate simulated cycles per second of a 16-job sweep through the
+/// work-stealing executor at the given `--jobs` cap.
+fn sweep_rate(jobs_cap: usize) -> f64 {
+    fgnvm_sim::runner::set_jobs(jobs_cap);
+    let items = [(); 16];
+    let start = std::time::Instant::now();
+    let total: u64 = fgnvm_sim::run_jobs(&items, |_, ()| sweep_job())
+        .into_iter()
+        .sum();
+    let rate = total as f64 / start.elapsed().as_secs_f64();
+    fgnvm_sim::runner::set_jobs(0);
+    rate
+}
+
+/// Measures the stepped-vs-fast-forward throughput ratio plus the sweep
+/// executor's core scaling, and records both in `BENCH_sim.json` at the
+/// workspace root. The stepped and fast-forwarded runs must simulate the
 /// *same* number of cycles (they are bit-identical by construction), and
 /// the skip machinery has to buy at least the 5x the design is sized for.
 fn emit_bench_sim_json() {
+    // More reps on the fast side: each rep is ~100 µs, so the best-of is
+    // far noisier than the multi-ms stepped reps without them.
     let (stepped_cycles, stepped_rate) = cycles_per_sec(false, 3);
-    let (ff_cycles, ff_rate) = cycles_per_sec(true, 3);
+    let (ff_cycles, ff_rate) = cycles_per_sec(true, 9);
     assert_eq!(
         stepped_cycles, ff_cycles,
         "fast-forward diverged from stepping on the benchmark workload"
@@ -82,6 +106,16 @@ fn emit_bench_sim_json() {
         "enabling the observer perturbed the benchmark workload"
     );
     let speedup = ff_rate / stepped_rate;
+    // Sweep-executor core scaling: the same 16-job sweep at one worker,
+    // two workers, and the host's full parallelism. Efficiency is the
+    // per-worker fraction of linear scaling retained at full width.
+    let workers_max = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let sweep_rate_1 = sweep_rate(1);
+    let sweep_rate_2 = sweep_rate(2);
+    let sweep_rate_max = sweep_rate(workers_max);
+    let scaling_efficiency = sweep_rate_max / (sweep_rate_1 * workers_max as f64);
     // Provenance block shared with the run ledger (see fgnvm_sim::profile):
     // schema version, wall timestamp, commit hash, and configuration hash,
     // so archived BENCH_sim.json artifacts are attributable to a build.
@@ -103,7 +137,12 @@ fn emit_bench_sim_json() {
          \"simulated_cycles\": {stepped_cycles},\n  \
          \"stepped_cycles_per_sec\": {stepped_rate:.0},\n  \
          \"fast_forward_cycles_per_sec\": {ff_rate:.0},\n  \
-         \"speedup\": {speedup:.1}\n}}\n",
+         \"speedup\": {speedup:.1},\n  \
+         \"sweep_jobs1_cycles_per_sec\": {sweep_rate_1:.0},\n  \
+         \"sweep_jobs2_cycles_per_sec\": {sweep_rate_2:.0},\n  \
+         \"sweep_jobs_max_cycles_per_sec\": {sweep_rate_max:.0},\n  \
+         \"sweep_workers_max\": {workers_max},\n  \
+         \"sweep_scaling_efficiency\": {scaling_efficiency:.2}\n}}\n",
         fgnvm_sim::SCHEMA_VERSION
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

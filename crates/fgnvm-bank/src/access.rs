@@ -103,10 +103,12 @@ pub struct AccessPlan {
 /// Why an access cannot be planned right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Blocked {
-    /// The dominant busy resource.
+    /// The dominant busy resource (the latest-clearing violated gate).
     pub reason: BlockReason,
-    /// Earliest cycle at which re-planning could succeed (a hint; other
-    /// constraints may surface then).
+    /// Earliest cycle at which re-planning could succeed: a sound lower
+    /// bound, reported as the *latest* violated gate on the consulted path
+    /// (every violated gate must clear before issue, so skipping straight
+    /// to the max is safe — other constraints may still surface then).
     pub retry_at: Cycle,
 }
 

@@ -276,6 +276,12 @@ impl Bank for BaselineBank {
         earliest.max(now)
     }
 
+    fn plan_class(&self, access: &Access) -> u128 {
+        // `plan` reads the access only through the op and whether its row
+        // is the open row (the monolithic bank has no sub-bank resources).
+        u128::from(access.op.is_read()) | u128::from(self.open_row == Some(access.row)) << 1
+    }
+
     fn occupancy(&self) -> crate::OccupancySnapshot {
         // The monolithic bank has one "SAG" (the whole array) and one "CD"
         // (the single column path); a write's lock shows up as the column

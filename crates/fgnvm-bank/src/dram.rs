@@ -290,6 +290,12 @@ impl Bank for DramBank {
         self.column_ready().min(self.row_switch_ready()).max(now)
     }
 
+    fn plan_class(&self, access: &Access) -> u128 {
+        // `plan` reads the access only through the op and whether its row
+        // is the open row; refresh windows gate by `now` alone.
+        u128::from(access.op.is_read()) | u128::from(self.open_row == Some(access.row)) << 1
+    }
+
     fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
         w.tag("bank.dram");
         w.opt_u32(self.open_row);

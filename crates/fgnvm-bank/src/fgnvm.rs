@@ -110,42 +110,51 @@ impl TryFrom<BankModel> for Modes {
     }
 }
 
-/// Per-subarray-group state: the row-address latch plus sensing bookkeeping.
-#[derive(Debug, Clone, Copy)]
-struct Sag {
-    /// Row selected by this SAG's wordline, if any.
-    open_row: Option<u32>,
+/// Per-subarray-group FSM state (the row-address latch plus sensing
+/// bookkeeping) in struct-of-arrays layout: each field is a parallel array
+/// indexed by SAG. The fast-forward hot loops — the `next_ready_hint`
+/// min-lock sweep and the controller's gate pre-check behind it — scan one
+/// field across *all* SAGs, so packing each field contiguously keeps those
+/// sweeps on dense cache lines instead of striding through per-SAG records.
+#[derive(Debug, Clone)]
+struct SagArena {
+    /// Row selected by each SAG's wordline, if any.
+    open_row: Vec<Option<u32>>,
     /// Bitmask of column divisions whose slice of `open_row` currently sits
     /// in the global row buffer (may be evicted by other SAGs).
-    sensed: u128,
+    sensed: Vec<u128>,
     /// The local wordline / row decoder is busy until this instant.
-    wordline_free: Cycle,
+    wordline_free: Vec<Cycle>,
     /// Locked by a backgrounded write until this instant (§4: "the subarray
     /// group is also unavailable until the write completes").
-    lock: Cycle,
+    lock: Vec<Cycle>,
     /// Column divisions held by the in-flight write behind `lock`.
-    write_cds: u128,
+    write_cds: Vec<u128>,
     /// The row whose cells the in-flight write is programming (valid while
     /// `lock` is in the future). Pausing reads must never target it: its
     /// contents are mid-program. `open_row` cannot serve this purpose —
     /// a pausing read switches the wordline away from the written row.
-    write_row: u32,
+    write_row: Vec<u32>,
     /// All in-flight operations that depend on the open row finish by this
     /// instant; the row may only be switched afterwards.
-    quiesce: Cycle,
+    quiesce: Vec<Cycle>,
 }
 
-impl Sag {
-    fn idle() -> Self {
-        Sag {
-            open_row: None,
-            sensed: 0,
-            wordline_free: Cycle::ZERO,
-            lock: Cycle::ZERO,
-            write_cds: 0,
-            write_row: 0,
-            quiesce: Cycle::ZERO,
+impl SagArena {
+    fn idle(count: usize) -> Self {
+        SagArena {
+            open_row: vec![None; count],
+            sensed: vec![0; count],
+            wordline_free: vec![Cycle::ZERO; count],
+            lock: vec![Cycle::ZERO; count],
+            write_cds: vec![0; count],
+            write_row: vec![0; count],
+            quiesce: vec![Cycle::ZERO; count],
         }
+    }
+
+    fn len(&self) -> usize {
+        self.open_row.len()
     }
 }
 
@@ -197,7 +206,7 @@ pub struct FgnvmBank {
     row_bits: u64,
     /// Bits driven per cache-line write.
     line_bits: u64,
-    sags: Vec<Sag>,
+    sags: SagArena,
     /// Per-CD local sense/write-drive I/O busy-until instants.
     cd_io_free: Vec<Cycle>,
     /// Per-CD row-buffer-slice busy-until instants (pending bursts from the
@@ -251,7 +260,7 @@ impl FgnvmBank {
             slice_bits: row_bits / u64::from(geometry.cds()),
             row_bits,
             line_bits: u64::from(geometry.line_bytes()) * 8,
-            sags: vec![Sag::idle(); geometry.sags() as usize],
+            sags: SagArena::idle(geometry.sags() as usize),
             cd_io_free: vec![Cycle::ZERO; geometry.cds() as usize],
             cd_latch_free: vec![Cycle::ZERO; geometry.cds() as usize],
             next_col: Cycle::ZERO,
@@ -294,10 +303,11 @@ impl FgnvmBank {
         if !self.write_pausing || !access.op.is_read() {
             return false;
         }
-        let sag = &self.sags[access.coord.sag as usize];
-        now < sag.lock
-            && sag.lock.saturating_since(now) > PAUSE_MIN_REMAINING
-            && sag.write_row != access.row
+        let si = access.coord.sag as usize;
+        let lock = self.sags.lock[si];
+        now < lock
+            && lock.saturating_since(now) > PAUSE_MIN_REMAINING
+            && self.sags.write_row[si] != access.row
     }
 
     /// The row currently open in subarray group `sag`, if any.
@@ -306,7 +316,7 @@ impl FgnvmBank {
     ///
     /// Panics if `sag` is out of range.
     pub fn open_row(&self, sag: u32) -> Option<u32> {
-        self.sags[sag as usize].open_row
+        self.sags.open_row[sag as usize]
     }
 
     /// Instant at which column division `cd`'s local sense/drive I/O becomes
@@ -325,7 +335,7 @@ impl FgnvmBank {
     ///
     /// Panics if `sag` is out of range.
     pub fn sag_lock_until(&self, sag: u32) -> Cycle {
-        self.sags[sag as usize].lock
+        self.sags.lock[sag as usize]
     }
 
     /// True if a backgrounded write is still programming anywhere in the
@@ -355,45 +365,30 @@ impl FgnvmBank {
     /// global row buffer is about to be overwritten (or the cells behind it
     /// rewritten).
     fn evict_slices(&mut self, mask: u128) {
-        for sag in &mut self.sags {
-            sag.sensed &= !mask;
+        for sensed in &mut self.sags.sensed {
+            *sensed &= !mask;
         }
     }
 
     /// Gates common to every access. A pausing read skips the write's SAG
     /// lock (that is the point of the pause).
-    fn common_gates(&self, access: &Access, now: Cycle, pausing: bool) -> Result<(), Blocked> {
-        if now < self.serial_until {
-            return Err(Blocked {
-                reason: BlockReason::BankBusy,
-                retry_at: self.serial_until,
-            });
+    fn common_gates(&self, access: &Access, pausing: bool, gates: &mut GateSet) {
+        gates.add(self.serial_until, BlockReason::BankBusy);
+        gates.add(self.write_block_until, BlockReason::BankBusy);
+        if !pausing {
+            gates.add(
+                self.sags.lock[access.coord.sag as usize],
+                BlockReason::SagBusy,
+            );
         }
-        if now < self.write_block_until {
-            return Err(Blocked {
-                reason: BlockReason::BankBusy,
-                retry_at: self.write_block_until,
-            });
+        if self.shared_column_path {
+            gates.add(self.next_col, BlockReason::ColumnPath);
         }
-        let sag = &self.sags[access.coord.sag as usize];
-        if !pausing && now < sag.lock {
-            return Err(Blocked {
-                reason: BlockReason::SagBusy,
-                retry_at: sag.lock,
-            });
-        }
-        if self.shared_column_path && now < self.next_col {
-            return Err(Blocked {
-                reason: BlockReason::ColumnPath,
-                retry_at: self.next_col,
-            });
-        }
-        Ok(())
     }
 
     /// The target CDs' sense/drive I/O must be idle; a pausing read treats
     /// the CDs held by the write it pauses as free.
-    fn cd_io_gate(&self, access: &Access, now: Cycle, pause_mask: u128) -> Result<(), Blocked> {
+    fn cd_io_gate(&self, access: &Access, pause_mask: u128, gates: &mut GateSet) {
         let mut retry = Cycle::ZERO;
         for cd in access.coord.cds() {
             if pause_mask & (1u128 << cd) != 0 {
@@ -401,61 +396,70 @@ impl FgnvmBank {
             }
             retry = retry.max(self.cd_io_free[cd as usize]);
         }
-        if now < retry {
-            Err(Blocked {
-                reason: BlockReason::CdBusy,
-                retry_at: retry,
-            })
-        } else {
-            Ok(())
-        }
+        gates.add(retry, BlockReason::CdBusy);
     }
 
     /// The target CDs' row-buffer slices must have no pending bursts (a
     /// sensing or write would overwrite / invalidate them).
-    fn cd_latch_gate(&self, access: &Access, now: Cycle) -> Result<(), Blocked> {
+    fn cd_latch_gate(&self, access: &Access, gates: &mut GateSet) {
         let mut retry = Cycle::ZERO;
         for cd in access.coord.cds() {
             retry = retry.max(self.cd_latch_free[cd as usize]);
         }
-        if now < retry {
-            Err(Blocked {
-                reason: BlockReason::CdBusy,
-                retry_at: retry,
-            })
-        } else {
-            Ok(())
-        }
+        gates.add(retry, BlockReason::CdBusy);
     }
 
-    /// Gates specific to switching the open row of a SAG.
-    fn row_switch_gates(&self, sag: &Sag, now: Cycle) -> Result<(), Blocked> {
-        if now < sag.quiesce {
-            return Err(Blocked {
-                reason: BlockReason::RowLocked,
-                retry_at: sag.quiesce,
-            });
-        }
-        if now < sag.wordline_free {
-            return Err(Blocked {
-                reason: BlockReason::SagBusy,
-                retry_at: sag.wordline_free,
-            });
-        }
-        Ok(())
+    /// Gates specific to switching the open row of SAG `si`.
+    fn row_switch_gates(&self, si: usize, gates: &mut GateSet) {
+        gates.add(self.sags.quiesce[si], BlockReason::RowLocked);
+        gates.add(self.sags.wordline_free[si], BlockReason::SagBusy);
     }
 
     /// When partial activation is disabled an activation drives every CD and
     /// overwrites the whole row buffer, so everything must be quiet.
-    fn all_cds_free(&self, now: Cycle) -> Result<(), Blocked> {
+    fn all_cds_free(&self, gates: &mut GateSet) {
         let mut latest = Cycle::ZERO;
         for (io, latch) in self.cd_io_free.iter().zip(&self.cd_latch_free) {
             latest = latest.max(*io).max(*latch);
         }
-        if now < latest {
+        gates.add(latest, BlockReason::CdBusy);
+    }
+}
+
+/// Accumulates every timing gate a plan path consults and remembers the
+/// *latest* one. A blocked access cannot issue before all of its gates
+/// clear, and each gate instant is a state-derived constant (only a
+/// `commit` moves it), so the maximum is the tightest `retry_at` lower
+/// bound `plan` can soundly report — it collapses what would otherwise be
+/// a chain of fast-forward skip hops (one per gate) into a single hop.
+/// Ties keep the gate added first, so the reported `BlockReason` stays
+/// deterministic and follows the documented gate-check order.
+struct GateSet {
+    until: Cycle,
+    reason: BlockReason,
+}
+
+impl GateSet {
+    fn new() -> Self {
+        GateSet {
+            until: Cycle::ZERO,
+            reason: BlockReason::BankBusy,
+        }
+    }
+
+    fn add(&mut self, until: Cycle, reason: BlockReason) {
+        if until > self.until {
+            self.until = until;
+            self.reason = reason;
+        }
+    }
+
+    /// `Err` iff any gathered gate is still in the future at `now`.
+    fn check(&self, now: Cycle) -> Result<(), Blocked> {
+        if now < self.until {
             Err(Blocked {
-                reason: BlockReason::CdBusy,
-                retry_at: latest,
+                reason: self.reason,
+                retry_at: self.until,
             })
         } else {
             Ok(())
@@ -467,22 +471,31 @@ impl Bank for FgnvmBank {
     fn plan(&self, access: &Access, now: Cycle) -> Result<AccessPlan, Blocked> {
         let t = &self.timing;
         let pausing = self.pauses_write(access, now);
-        self.common_gates(access, now, pausing)?;
-        let sag = &self.sags[access.coord.sag as usize];
-        let pause_mask = if pausing { sag.write_cds } else { 0 };
+        // Every gate the chosen path consults is gathered into `gates` and
+        // checked once: a blocked plan therefore reports the *latest*
+        // violated gate as `retry_at` (still a sound lower bound — every
+        // gathered gate must clear before issue), which lets fast-forward
+        // jump all of them in one hop instead of rediscovering them one
+        // re-plan at a time.
+        let mut gates = GateSet::new();
+        self.common_gates(access, pausing, &mut gates);
+        let si = access.coord.sag as usize;
+        let sensed = self.sags.sensed[si];
+        let pause_mask = if pausing { self.sags.write_cds[si] } else { 0 };
         let pause_extra = if pausing {
             PAUSE_OVERHEAD
         } else {
             CycleCount::ZERO
         };
         let mask = self.coord_mask(access);
-        let row_open = sag.open_row == Some(access.row);
+        let row_open = self.sags.open_row[si] == Some(access.row);
         match access.op {
             Op::Read => {
-                if row_open && sag.sensed & mask == mask {
+                if row_open && sensed & mask == mask {
                     // Stream from the global row buffer: only the shared
                     // column path is used, so hits pipeline at tCCD.
-                    self.cd_io_gate(access, now, pause_mask)?;
+                    self.cd_io_gate(access, pause_mask, &mut gates);
+                    gates.check(now)?;
                     return Ok(AccessPlan {
                         kind: PlanKind::RowHit,
                         earliest_data: now + t.t_cas,
@@ -493,9 +506,10 @@ impl Bank for FgnvmBank {
                     // Wordline already selects the row; sense the missing
                     // slice(s) — the underfetch penalty is the extra tRCD.
                     if self.modes.partial_activation {
-                        self.cd_io_gate(access, now, pause_mask)?;
-                        self.cd_latch_gate(access, now)?;
-                        let unsensed = (mask & !sag.sensed).count_ones() as u64;
+                        self.cd_io_gate(access, pause_mask, &mut gates);
+                        self.cd_latch_gate(access, &mut gates);
+                        gates.check(now)?;
+                        let unsensed = (mask & !sensed).count_ones() as u64;
                         Ok(AccessPlan {
                             kind: PlanKind::Underfetch,
                             earliest_data: now + t.t_rcd + t.t_cas,
@@ -504,7 +518,8 @@ impl Bank for FgnvmBank {
                     } else {
                         // Full re-sense of the row (a write or another SAG
                         // invalidated part of it).
-                        self.all_cds_free(now)?;
+                        self.all_cds_free(&mut gates);
+                        gates.check(now)?;
                         Ok(AccessPlan {
                             kind: PlanKind::Activate,
                             earliest_data: now + t.t_rcd + t.t_cas,
@@ -515,24 +530,20 @@ impl Bank for FgnvmBank {
                     if pausing {
                         // The paused write releases the wordline; only the
                         // latch protection of other in-flight reads
-                        // remains (checked below).
-                        if now < sag.wordline_free {
-                            return Err(Blocked {
-                                reason: BlockReason::SagBusy,
-                                retry_at: sag.wordline_free,
-                            });
-                        }
+                        // remains (gathered below).
+                        gates.add(self.sags.wordline_free[si], BlockReason::SagBusy);
                     } else {
-                        self.row_switch_gates(sag, now)?;
+                        self.row_switch_gates(si, &mut gates);
                     }
                     let sense_bits = if self.modes.partial_activation {
-                        self.cd_io_gate(access, now, pause_mask)?;
-                        self.cd_latch_gate(access, now)?;
+                        self.cd_io_gate(access, pause_mask, &mut gates);
+                        self.cd_latch_gate(access, &mut gates);
                         u64::from(access.coord.cd_count) * self.slice_bits
                     } else {
-                        self.all_cds_free(now)?;
+                        self.all_cds_free(&mut gates);
                         self.row_bits
                     };
+                    gates.check(now)?;
                     Ok(AccessPlan {
                         kind: PlanKind::Activate,
                         earliest_data: now + pause_extra + t.t_rcd + t.t_cas,
@@ -541,14 +552,15 @@ impl Bank for FgnvmBank {
                 }
             }
             Op::Write => {
-                self.cd_io_gate(access, now, 0)?;
-                self.cd_latch_gate(access, now)?;
+                self.cd_io_gate(access, 0, &mut gates);
+                self.cd_latch_gate(access, &mut gates);
                 let extra = if row_open {
                     CycleCount::ZERO
                 } else {
-                    self.row_switch_gates(sag, now)?;
+                    self.row_switch_gates(si, &mut gates);
                     t.t_rcd
                 };
+                gates.check(now)?;
                 Ok(AccessPlan {
                     kind: PlanKind::Write,
                     earliest_data: now + extra + t.t_cwd,
@@ -612,8 +624,8 @@ impl Bank for FgnvmBank {
                     let latch = &mut self.cd_latch_free[cd as usize];
                     *latch = (*latch).max(data_end);
                 }
-                let sag = &mut self.sags[si];
-                sag.quiesce = sag.quiesce.max(data_end);
+                let quiesce = &mut self.sags.quiesce[si];
+                *quiesce = (*quiesce).max(data_end);
                 completion = data_end;
             }
             (Op::Read, PlanKind::Underfetch) => {
@@ -628,9 +640,9 @@ impl Bank for FgnvmBank {
                     self.cd_latch_free[cd as usize] = data_end;
                 }
                 self.evict_slices(mask);
-                let sag = &mut self.sags[si];
-                sag.sensed |= mask;
-                sag.quiesce = sag.quiesce.max(data_end);
+                self.sags.sensed[si] |= mask;
+                let quiesce = &mut self.sags.quiesce[si];
+                *quiesce = (*quiesce).max(data_end);
                 completion = data_end;
             }
             (Op::Read, PlanKind::Activate) => {
@@ -655,11 +667,10 @@ impl Bank for FgnvmBank {
                     }
                     self.evict_slices(full_mask);
                 }
-                let sag = &mut self.sags[si];
-                sag.open_row = Some(access.row);
-                sag.wordline_free = cmd + t.t_rcd;
-                sag.sensed = if partial { mask } else { full_mask };
-                sag.quiesce = sag.quiesce.max(data_end);
+                self.sags.open_row[si] = Some(access.row);
+                self.sags.wordline_free[si] = cmd + t.t_rcd;
+                self.sags.sensed[si] = if partial { mask } else { full_mask };
+                self.sags.quiesce[si] = self.sags.quiesce[si].max(data_end);
                 completion = data_end;
                 if pausing {
                     // The interrupted write resumes after the read: its
@@ -667,11 +678,10 @@ impl Bank for FgnvmBank {
                     // overhead.
                     self.stats.write_pauses += 1;
                     let extension = data_end.saturating_since(cmd) + PAUSE_OVERHEAD;
-                    let sag = &mut self.sags[si];
-                    sag.lock += extension;
-                    sag.quiesce = sag.quiesce.max(sag.lock);
-                    let write_cds = sag.write_cds;
-                    let new_lock = sag.lock;
+                    self.sags.lock[si] += extension;
+                    let new_lock = self.sags.lock[si];
+                    self.sags.quiesce[si] = self.sags.quiesce[si].max(new_lock);
+                    let write_cds = self.sags.write_cds[si];
                     for cd in 0..self.cd_count {
                         if write_cds & (1u128 << cd) != 0 {
                             let io = &mut self.cd_io_free[cd as usize];
@@ -702,19 +712,18 @@ impl Bank for FgnvmBank {
                     self.cd_io_free[cd as usize] = completion;
                 }
                 self.evict_slices(mask);
-                let sag = &mut self.sags[si];
-                if sag.open_row != Some(access.row) {
+                if self.sags.open_row[si] != Some(access.row) {
                     self.stats.activations += 1;
-                    sag.open_row = Some(access.row);
-                    sag.sensed = 0;
-                    sag.wordline_free = cmd + t.t_rcd;
+                    self.sags.open_row[si] = Some(access.row);
+                    self.sags.sensed[si] = 0;
+                    self.sags.wordline_free[si] = cmd + t.t_rcd;
                 }
                 // §4: the write's SAG and CD(s) are unavailable until the
                 // programming completes.
-                sag.lock = completion;
-                sag.write_cds = mask;
-                sag.write_row = access.row;
-                sag.quiesce = sag.quiesce.max(completion);
+                self.sags.lock[si] = completion;
+                self.sags.write_cds[si] = mask;
+                self.sags.write_row[si] = access.row;
+                self.sags.quiesce[si] = self.sags.quiesce[si].max(completion);
                 if !self.modes.background_writes {
                     self.write_block_until = completion;
                 }
@@ -761,16 +770,26 @@ impl Bank for FgnvmBank {
             // every concrete access from below. With pausing enabled a read
             // may bypass both (that is the point of the pause), so neither
             // may raise the hint.
-            let min_lock = self
-                .sags
-                .iter()
-                .map(|s| s.lock)
-                .min()
-                .unwrap_or(Cycle::ZERO);
+            let min_lock = self.sags.lock.iter().copied().min().unwrap_or(Cycle::ZERO);
             let min_io = self.cd_io_free.iter().copied().min().unwrap_or(Cycle::ZERO);
             hint = hint.max(min_lock).max(min_io);
         }
         hint.max(now)
+    }
+
+    fn plan_class(&self, access: &Access) -> u128 {
+        // `plan` reads the access only through: the op, the tile coordinate
+        // (SAG index and CD mask), whether the row is the SAG's open row,
+        // and — for the pausing predicate — whether it is the row the
+        // in-flight write is programming. Everything else comes from bank
+        // state shared by all accesses, so this key is exact.
+        let si = access.coord.sag as usize;
+        u128::from(access.op.is_read())
+            | u128::from(self.sags.open_row[si] == Some(access.row)) << 1
+            | u128::from(self.sags.write_row[si] == access.row) << 2
+            | u128::from(access.coord.sag) << 3
+            | u128::from(access.coord.cd_first) << 35
+            | u128::from(access.coord.cd_count) << 67
     }
 
     fn write_in_progress(&self, now: Cycle) -> bool {
@@ -779,8 +798,8 @@ impl Bank for FgnvmBank {
 
     fn occupancy(&self) -> crate::OccupancySnapshot {
         crate::OccupancySnapshot {
-            open_rows: self.sags.iter().map(|s| s.open_row).collect(),
-            sag_locks: self.sags.iter().map(|s| s.lock).collect(),
+            open_rows: self.sags.open_row.clone(),
+            sag_locks: self.sags.lock.clone(),
             cd_io_free: self.cd_io_free.clone(),
             busy_until: self.max_completion,
         }
@@ -788,15 +807,17 @@ impl Bank for FgnvmBank {
 
     fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
         w.tag("bank.fgnvm");
+        // Snapshot layout is per-SAG record-ordered (the pre-SoA byte
+        // stream): golden snapshots must stay byte-identical.
         w.usize(self.sags.len());
-        for s in &self.sags {
-            w.opt_u32(s.open_row);
-            w.u128(s.sensed);
-            w.u64(s.wordline_free.raw());
-            w.u64(s.lock.raw());
-            w.u128(s.write_cds);
-            w.u32(s.write_row);
-            w.u64(s.quiesce.raw());
+        for i in 0..self.sags.len() {
+            w.opt_u32(self.sags.open_row[i]);
+            w.u128(self.sags.sensed[i]);
+            w.u64(self.sags.wordline_free[i].raw());
+            w.u64(self.sags.lock[i].raw());
+            w.u128(self.sags.write_cds[i]);
+            w.u32(self.sags.write_row[i]);
+            w.u64(self.sags.quiesce[i].raw());
         }
         w.usize(self.cd_io_free.len());
         for c in &self.cd_io_free {
@@ -829,14 +850,14 @@ impl Bank for FgnvmBank {
                 self.sags.len()
             )));
         }
-        for s in &mut self.sags {
-            s.open_row = r.opt_u32()?;
-            s.sensed = r.u128()?;
-            s.wordline_free = Cycle::new(r.u64()?);
-            s.lock = Cycle::new(r.u64()?);
-            s.write_cds = r.u128()?;
-            s.write_row = r.u32()?;
-            s.quiesce = Cycle::new(r.u64()?);
+        for i in 0..self.sags.len() {
+            self.sags.open_row[i] = r.opt_u32()?;
+            self.sags.sensed[i] = r.u128()?;
+            self.sags.wordline_free[i] = Cycle::new(r.u64()?);
+            self.sags.lock[i] = Cycle::new(r.u64()?);
+            self.sags.write_cds[i] = r.u128()?;
+            self.sags.write_row[i] = r.u32()?;
+            self.sags.quiesce[i] = Cycle::new(r.u64()?);
         }
         let cd_count = r.usize()?;
         if cd_count != self.cd_io_free.len() {
@@ -942,13 +963,16 @@ mod tests {
         let pa = b.plan(&a, Cycle::ZERO).unwrap();
         let ia = b.commit(&a, &pa, Cycle::ZERO, pa.earliest_data);
         // Same CD, different SAG: the CD's sense I/O is busy until the data
-        // is latched (data_start).
+        // is latched (data_start), and the latch holds the pending burst
+        // until data_end. `retry_at` names the latest violated gate, so the
+        // conflict resolves in a single hop straight to data_end.
         let rows_per_sag = g.rows_per_sag();
         let conflicting = access(Op::Read, &g, rows_per_sag, 0);
         let blocked = b.plan(&conflicting, Cycle::new(4)).unwrap_err();
         assert_eq!(blocked.reason, BlockReason::CdBusy);
-        assert_eq!(blocked.retry_at, ia.data_start);
-        // And even at data_start the latch still holds the pending burst.
+        assert_eq!(blocked.retry_at, ia.data_end);
+        // Probing between the two gates confirms the bound was sound: the
+        // latch alone still blocks at data_start.
         let blocked = b.plan(&conflicting, ia.data_start).unwrap_err();
         assert_eq!(blocked.reason, BlockReason::CdBusy);
         assert_eq!(blocked.retry_at, ia.data_end);

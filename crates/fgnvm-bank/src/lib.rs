@@ -119,6 +119,28 @@ pub trait Bank: std::fmt::Debug + Send {
     /// re-polls); a hint later than it would skip real work and is a bug.
     fn next_ready_hint(&self, now: Cycle) -> Cycle;
 
+    /// A plan-equivalence class for `access`: two accesses with equal keys
+    /// are guaranteed to receive identical [`plan`](Bank::plan) results at
+    /// any one instant and bank state. Callers scanning a queue (the
+    /// fast-forward calendar) may therefore plan one representative per
+    /// class and reuse its verdict for the rest.
+    ///
+    /// The default packs the access's full identity — exact for any
+    /// deterministic model, deduplicating only true repeats. Models should
+    /// coarsen it to what `plan` actually reads (e.g. the FgNVM bank's plan
+    /// consults only the op, the tile coordinate, and how the row relates
+    /// to the SAG's open and in-flight-write rows); a key that merges
+    /// accesses `plan` can tell apart is a correctness bug, caught by the
+    /// calendar differential suite.
+    fn plan_class(&self, access: &Access) -> u128 {
+        u128::from(access.op.is_read())
+            | u128::from(access.row) << 1
+            | u128::from(access.line) << 33
+            | u128::from(access.coord.sag) << 65
+            | u128::from(access.coord.cd_first) << 86
+            | u128::from(access.coord.cd_count) << 107
+    }
+
     /// True while a write is still programming cells anywhere in the bank.
     /// TLP-aware schedulers use this to avoid stacking writes in one bank
     /// (each in-flight write locks a whole column division and subarray

@@ -6,6 +6,7 @@
 //! more for the paper's Multi-Issue variant) chosen by the scheduler, and
 //! retires completions whose data bursts have finished.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -50,6 +51,28 @@ struct Event {
 /// Rank-to-rank data-bus turnaround (tRTRS): bursts from different ranks
 /// need a bubble between them for bus ownership to switch.
 const T_RTRS: CycleCount = CycleCount::new(2);
+
+/// One slot of the channel's next-event calendar: the memoized result of
+/// [`Controller::next_event_at`].
+///
+/// The memo is sound *and exact* because every quantity the linear scan
+/// consults is a state-derived instant: the event heap's head, the drain
+/// flag (whose per-tick update is a fixpoint under constant occupancy — see
+/// [`DrainPolicy::update`]), bank readiness hints, and blocked-plan retry
+/// instants, none of which depend on the query time except through
+/// comparisons against it. So a value computed at `t0` stays exactly what a
+/// fresh scan would return for any query instant in `(t0, value)`, as long
+/// as no state mutation (enqueue, event retirement, command issue, or
+/// checkpoint restore) happened in between — and every mutation path clears
+/// the memo.
+#[derive(Debug, Clone, Copy)]
+enum NextAt {
+    /// The channel was idle; it stays idle until an enqueue (which clears
+    /// the memo).
+    Idle,
+    /// The earliest instant a tick could change state.
+    At(Cycle),
+}
 
 /// Per-rank tFAW tracking: at most four activations may start within any
 /// rolling `t_faw` window (a DRAM charge-pump power limit — a rank-level
@@ -133,6 +156,40 @@ pub struct Controller {
     /// Test-only fault injection: when set, force-issue a queue head with a
     /// fabricated plan whenever the scheduler finds nothing legal to issue.
     chaos: bool,
+    /// This channel's calendar slot: the memoized [`next_event_at`]
+    /// result, cleared by every state mutation (see `NextAt`).
+    ///
+    /// [`next_event_at`]: Controller::next_event_at
+    next_cache: Cell<Option<NextAt>>,
+    /// Memoized issue bound: when `Some(b)`, no command can legally issue
+    /// strictly before cycle `b`. Unlike [`next_cache`] this survives
+    /// completion retirements — retiring an event touches neither queues
+    /// nor banks, so issue legality is unchanged — and is cleared only by
+    /// enqueues, issues, chaos toggling, and checkpoint restores. A tick
+    /// at `now < b` can therefore skip the scheduler's pick scan outright:
+    /// every pick implementation is a pure function of (queue, bank, now)
+    /// state that mutates its streak bookkeeping only when it returns a
+    /// pick, so eliding a provably empty pick is bit-identical.
+    ///
+    /// [`next_cache`]: field@Controller::next_cache
+    issue_bound: Cell<Option<Cycle>>,
+    /// True while the owning system drives this channel event-to-event
+    /// (fast-forward). Ticks are then sparse, so [`issue_one`] affords an
+    /// O(banks) gate pre-check before each pick; in cycle-stepped mode the
+    /// same check would run every cycle and is left out so the stepped
+    /// path stays the plain reference implementation. The flag selects
+    /// between two bit-identical strategies — never between behaviours.
+    ///
+    /// [`issue_one`]: Controller::issue_one
+    event_driven: bool,
+    /// Read-queue entries per bank index. Queue entries cluster on few
+    /// banks, and a bank's readiness hint gates every entry on it alike —
+    /// so the calendar scan walks these counts (one hint per *occupied
+    /// bank*) instead of the queue (one hint per *entry*).
+    queued_reads_per_bank: Vec<u32>,
+    /// Write-queue entries per bank index; same role as
+    /// [`queued_reads_per_bank`](field@Controller::queued_reads_per_bank).
+    queued_writes_per_bank: Vec<u32>,
 }
 
 /// Controller-side ECC behaviour (graceful degradation).
@@ -227,7 +284,12 @@ impl Controller {
             drain: DrainPolicy::for_capacity(config.write_queue_entries),
             draining: false,
             commands_per_cycle: config.commands_per_cycle,
-            events: BinaryHeap::new(),
+            // One completion event per queued request, plus headroom for
+            // forwarding/merge acknowledgements that never occupy a queue
+            // slot: sized so the steady-state hot path never reallocates.
+            events: BinaryHeap::with_capacity(
+                config.queue_entries + config.write_queue_entries + 64,
+            ),
             log: CommandLog::new(),
             faw: matches!(config.bank_model, BankModel::Dram).then(|| {
                 FawState::new(
@@ -242,6 +304,11 @@ impl Controller {
             bad_rows: Vec::new(),
             timing,
             chaos: false,
+            next_cache: Cell::new(None),
+            issue_bound: Cell::new(None),
+            event_driven: true,
+            queued_reads_per_bank: vec![0; bank_count],
+            queued_writes_per_bank: vec![0; bank_count],
         })
     }
 
@@ -254,6 +321,8 @@ impl Controller {
     #[doc(hidden)]
     pub fn set_chaos(&mut self, enabled: bool) {
         self.chaos = enabled;
+        self.next_cache.set(None);
+        self.issue_bound.set(None);
     }
 
     /// Occupancy snapshots for every bank on this channel.
@@ -296,6 +365,16 @@ impl Controller {
 
     /// Presents a request; see [`Enqueue`] for the possible outcomes.
     pub fn enqueue(&mut self, pending: Pending, now: Cycle, stats: &mut SystemStats) -> Enqueue {
+        let outcome = self.enqueue_inner(pending, now, stats);
+        if outcome != Enqueue::Full {
+            // The queue or event heap changed; the calendar slot is stale.
+            self.next_cache.set(None);
+            self.issue_bound.set(None);
+        }
+        outcome
+    }
+
+    fn enqueue_inner(&mut self, pending: Pending, now: Cycle, stats: &mut SystemStats) -> Enqueue {
         match pending.request.op {
             Op::Read => {
                 if self.writes.contains_addr(pending.request.addr) {
@@ -314,6 +393,7 @@ impl Controller {
                     stats.rejected += 1;
                     return Enqueue::Full;
                 }
+                self.queued_reads_per_bank[pending.bank_index] += 1;
                 stats.enqueued_reads += 1;
                 Enqueue::Accepted
             }
@@ -335,6 +415,7 @@ impl Controller {
                     stats.rejected += 1;
                     return Enqueue::Full;
                 }
+                self.queued_writes_per_bank[pending.bank_index] += 1;
                 stats.enqueued_writes += 1;
                 Enqueue::Accepted
             }
@@ -355,10 +436,12 @@ impl Controller {
         mut obs: Option<&mut Observer>,
     ) -> bool {
         // Retire completions whose data has arrived.
+        let mut mutated = false;
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.at > now {
                 break;
             }
+            mutated = true;
             let Reverse(ev) = self.events.pop().expect("peeked event exists");
             if ev.is_read {
                 stats.record_read(ev.at.saturating_since(ev.arrival));
@@ -387,6 +470,14 @@ impl Controller {
             }
             issued_any = true;
         }
+        if mutated || issued_any {
+            // Retirements and issues move bank/queue/event state; the
+            // calendar slot must be recomputed. (A tick that only
+            // re-settles the drain flag keeps the memo: the flag update is
+            // a fixpoint under the unchanged queue occupancy, and the scan
+            // already evaluated it one step ahead.)
+            self.next_cache.set(None);
+        }
         issued_any
     }
 
@@ -397,6 +488,30 @@ impl Controller {
         stats: &mut SystemStats,
         obs: Option<&mut Observer>,
     ) -> bool {
+        // Fast path: the calendar proved no command can issue before the
+        // memoized bound, and nothing that affects issue legality has
+        // changed since — skip the pick scan entirely. (Chaos mode
+        // force-issues when the scheduler finds nothing, so it must take
+        // the full path.)
+        if !self.chaos && self.event_driven {
+            if let Some(bound) = self.issue_bound.get() {
+                if now < bound {
+                    return false;
+                }
+            }
+            // The bound is spent (or was never computed): refresh it from
+            // the per-bank occupancy counts before paying for a pick. Every
+            // scheduler only ever picks an entry whose bank is ready
+            // (`next_ready_hint(now) <= now`) and leaves all state — FRFCFS
+            // streak bookkeeping included — untouched when it picks
+            // nothing, so "no occupied bank is ready" proves the pick
+            // returns `None` without running it.
+            let gate = self.earliest_bank_gate(now);
+            if gate > now {
+                self.issue_bound.set(Some(gate));
+                return false;
+            }
+        }
         // Choose between the read and write queues.
         let write_pick = |me: &Self| {
             me.scheduler
@@ -445,11 +560,27 @@ impl Controller {
             }
         }
 
-        let pending = if from_writes {
+        let removed = if from_writes {
             self.writes.remove(index)
         } else {
             self.reads.remove(index)
         };
+        let pending = match removed {
+            Ok(pending) => pending,
+            Err(_) => {
+                // Unreachable through the public API: scheduler picks are
+                // derived from the very queue they are applied to. Degrade
+                // to "nothing issued" in release builds rather than abort
+                // a long run on a scheduler bug.
+                debug_assert!(false, "scheduler pick named a nonexistent queue entry");
+                return false;
+            }
+        };
+        if from_writes {
+            self.queued_writes_per_bank[pending.bank_index] -= 1;
+        } else {
+            self.queued_reads_per_bank[pending.bank_index] -= 1;
+        }
         // Rank-to-rank bus turnaround: a burst from a different rank than
         // the previous one cannot start until tRTRS after it ends.
         let rank = pending.bank_index as u32 / self.banks_per_rank;
@@ -561,6 +692,9 @@ impl Controller {
             }
             let requeued = self.writes.push(pending);
             debug_assert!(requeued, "slot was freed by the remove above");
+            if requeued {
+                self.queued_writes_per_bank[pending.bank_index] += 1;
+            }
         } else {
             // Writes are posted: report completion when the cells finish
             // programming (useful for drain accounting; the CPU does not
@@ -572,6 +706,9 @@ impl Controller {
                 arrival: pending.request.arrival,
             }));
         }
+        // The issue moved queue and bank state: the issue bound no longer
+        // holds (nor does it for a second pick in the same tick).
+        self.issue_bound.set(None);
         true
     }
 
@@ -600,7 +737,129 @@ impl Controller {
     /// still issue nothing (e.g. a tFAW-gated pick), in which case the
     /// caller simply single-steps; it never lies *late*, so skipping to it
     /// can never jump over real work.
+    ///
+    /// The result is memoized in this channel's calendar slot and reused
+    /// until it expires or a state mutation clears it; the memo is exact,
+    /// not merely sound (see `NextAt`), which the calendar differential
+    /// suite verifies against [`next_event_at_linear`].
+    ///
+    /// [`next_event_at_linear`]: Controller::next_event_at_linear
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if let Some(cached) = self.next_cache.get() {
+            match cached {
+                // Nothing was queued or in flight, and only an enqueue
+                // (which clears the memo) can change that.
+                NextAt::Idle => return None,
+                // A strictly future instant computed from unchanged state
+                // is exactly what a fresh scan would return (see `NextAt`).
+                NextAt::At(at) if at > now => return Some(at),
+                // The memoized instant has arrived (or passed without a
+                // mutation — e.g. a tFAW-gated pick issued nothing): the
+                // bound is spent, recompute.
+                NextAt::At(_) => {}
+            }
+        }
+        let result = self.next_event_at_scan(now);
+        self.next_cache.set(Some(match result {
+            None => NextAt::Idle,
+            Some(at) => NextAt::At(at),
+        }));
+        result
+    }
+
+    /// The calendar's scan: like [`next_event_at_linear`] but driven by
+    /// the per-bank occupancy counts, so a fully gated channel costs one
+    /// [`Bank::next_ready_hint`] call per *occupied bank* instead of one
+    /// per queued entry. Per-entry `plan` consultation happens only for
+    /// banks whose hint says "ready now" — exactly the entries the linear
+    /// reference would consult too, so both compute the same minimum.
+    ///
+    /// [`next_event_at_linear`]: Controller::next_event_at_linear
+    fn next_event_at_scan(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            return None;
+        }
+        let mut heap_at = Cycle::MAX;
+        if let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at <= now {
+                return Some(now);
+            }
+            heap_at = ev.at;
+        }
+        // Gate contributions (bank hints and blocked-plan retries) are
+        // tracked apart from the event-heap head: their minimum is also
+        // the issue bound published below, which must not be capped by a
+        // completion instant — completions do not gate command issue.
+        let mut gates = Cycle::MAX;
+        let drain_next = self.drain.update(self.draining, self.writes.len());
+        let consider_reads = !drain_next || self.scheduler.reads_during_drain();
+        let consider_writes = drain_next || self.reads.is_empty();
+        let queues = [
+            (consider_reads, &self.reads, &self.queued_reads_per_bank),
+            (consider_writes, &self.writes, &self.queued_writes_per_bank),
+        ];
+        for (consider, queue, counts) in queues {
+            if !consider {
+                continue;
+            }
+            for (bank_index, count) in counts.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                let bank = &self.banks[bank_index];
+                let hint = bank.next_ready_hint(now);
+                if hint > now {
+                    // The bank cannot accept *any* access before `hint`,
+                    // which gates every entry queued on it alike.
+                    gates = gates.min(hint);
+                    continue;
+                }
+                // Deduplicate plan calls by equivalence class (see
+                // [`Bank::plan_class`]): a queue drains many same-shaped
+                // accesses against one bank, so the dozens of entries here
+                // usually collapse to a couple of verdicts. Fixed-size
+                // stack buffer — classes beyond it just plan directly,
+                // keeping the path allocation-free and exact either way.
+                let mut classes = [(0u128, Cycle::MAX); 16];
+                let mut class_count = 0usize;
+                'entries: for pending in queue.iter().filter(|p| p.bank_index == bank_index) {
+                    let key = bank.plan_class(&pending.access);
+                    for &(k, retry) in &classes[..class_count] {
+                        if k == key {
+                            gates = gates.min(retry);
+                            continue 'entries;
+                        }
+                    }
+                    match bank.plan(&pending.access, now) {
+                        Ok(_) => return Some(now),
+                        Err(blocked) => {
+                            debug_assert!(
+                                blocked.retry_at > now,
+                                "blocked plan must name a strictly future retry"
+                            );
+                            gates = gates.min(blocked.retry_at);
+                            if class_count < classes.len() {
+                                classes[class_count] = (key, blocked.retry_at);
+                                class_count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every queued entry is provably gated until `gates`; retire-only
+        // ticks before then can skip the pick scan (see `issue_bound`).
+        self.issue_bound.set(Some(gates));
+        Some(heap_at.min(gates))
+    }
+
+    /// The reference implementation of [`next_event_at`]: a full linear
+    /// scan over the event heap and every queued request's bank gates,
+    /// with no cross-call memoization. The memoized path must return
+    /// exactly this value — the calendar differential suite pins that.
+    ///
+    /// [`next_event_at`]: Controller::next_event_at
+    pub fn next_event_at_linear(&self, now: Cycle) -> Option<Cycle> {
         if self.is_idle() {
             return None;
         }
@@ -646,6 +905,39 @@ impl Controller {
             }
         }
         Some(earliest)
+    }
+
+    /// The earliest instant any occupied bank could accept a command:
+    /// `now` as soon as one occupied bank's hint has arrived (a pick must
+    /// run), otherwise the minimum hint over every bank with at least one
+    /// queued read or write (`Cycle::MAX` when both queues are empty).
+    /// Banks occupied by *either* queue are consulted — a superset of
+    /// whatever the drain policy would let the pick see, so a closed
+    /// result is sound for every scheduler.
+    fn earliest_bank_gate(&self, now: Cycle) -> Cycle {
+        let mut earliest = Cycle::MAX;
+        for counts in [&self.queued_reads_per_bank, &self.queued_writes_per_bank] {
+            for (bank_index, count) in counts.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                let hint = self.banks[bank_index].next_ready_hint(now);
+                if hint <= now {
+                    return now;
+                }
+                earliest = earliest.min(hint);
+            }
+        }
+        earliest
+    }
+
+    /// Switches the issue-gating strategy for event-driven (fast-forward)
+    /// versus cycle-stepped operation; see
+    /// `Controller::event_driven`. Both settings are
+    /// bit-identical — this only moves where the work happens.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.event_driven = enabled;
+        self.issue_bound.set(None);
     }
 
     /// Accounts the per-tick queue-depth statistics for `skipped` cycles
@@ -885,6 +1177,35 @@ impl Controller {
         }
         for bank in &mut self.banks {
             bank.load_state(r)?;
+        }
+        // Everything the calendar slot was derived from may have changed.
+        self.next_cache.set(None);
+        self.issue_bound.set(None);
+        self.queued_reads_per_bank.fill(0);
+        for p in self.reads.iter() {
+            let Some(count) = self.queued_reads_per_bank.get_mut(p.bank_index) else {
+                return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                    "queued read names bank {}, channel has {n_banks} banks",
+                    p.bank_index
+                )));
+            };
+            *count += 1;
+        }
+        self.queued_writes_per_bank.fill(0);
+        for p in self.writes.iter() {
+            let Some(count) = self.queued_writes_per_bank.get_mut(p.bank_index) else {
+                return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                    "queued write names bank {}, channel has {n_banks} banks",
+                    p.bank_index
+                )));
+            };
+            *count += 1;
+        }
+        // Restored queues can legally hold a full complement of requests;
+        // keep the event heap's no-reallocation guarantee intact.
+        let reserve = self.reads.capacity() + self.writes.capacity() + 64;
+        if self.events.capacity() < reserve {
+            self.events.reserve(reserve - self.events.len());
         }
         Ok(())
     }

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use fgnvm_bank::Access;
 use fgnvm_types::address::{DecodedAddr, PhysAddr};
+use fgnvm_types::error::SimError;
 use fgnvm_types::request::Request;
 
 /// A request waiting at the controller, with its decode cached.
@@ -24,10 +25,30 @@ pub struct Pending {
     pub bank_index: usize,
 }
 
+/// One physical slot: a pending request, or the tombstone a mid-queue
+/// removal left behind.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pending: Pending,
+    dead: bool,
+}
+
 /// Bounded FIFO of pending requests preserving arrival order.
+///
+/// Mid-queue removal is tombstone-based: FCFS/FRFCFS age order must be
+/// preserved exactly (a swap-remove would reorder arrivals), so a removed
+/// entry is marked dead in place instead of shifting every younger entry
+/// forward. Dead slots at the front are popped eagerly, and the backing
+/// ring is compacted in place once tombstones reach the queue's capacity,
+/// so the storage stays bounded at `2 × capacity` and removal is amortized
+/// O(live) slot *scans* with no entry moves in the common case. Iteration,
+/// indices, and occupancy are all expressed in live entries only —
+/// tombstones are invisible through the public API.
 #[derive(Debug, Clone)]
 pub struct RequestQueue {
-    entries: VecDeque<Pending>,
+    entries: VecDeque<Slot>,
+    /// Live (non-tombstone) entries — the queue's logical occupancy.
+    live: usize,
     capacity: usize,
 }
 
@@ -40,47 +61,91 @@ impl RequestQueue {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         RequestQueue {
-            entries: VecDeque::with_capacity(capacity),
+            // Twice the logical capacity so tombstones never force a
+            // reallocation: compaction runs before the ring can outgrow it
+            // (part of the steady-state zero-allocation guarantee).
+            entries: VecDeque::with_capacity(capacity * 2),
+            live: 0,
             capacity,
         }
     }
 
     /// Attempts to append a request; returns `false` when full.
     pub fn push(&mut self, pending: Pending) -> bool {
-        if self.entries.len() >= self.capacity {
+        if self.live >= self.capacity {
             return false;
         }
-        self.entries.push_back(pending);
+        if self.entries.len() - self.live >= self.capacity {
+            // Tombstones have piled up to the reallocation boundary:
+            // compact in place (drops ≥ capacity slots, so this is
+            // amortized O(1) per removal and never allocates).
+            self.entries.retain(|slot| !slot.dead);
+        }
+        self.entries.push_back(Slot {
+            pending,
+            dead: false,
+        });
+        self.live += 1;
         true
     }
 
-    /// Removes and returns the entry at `index` (0 = oldest).
+    /// Removes and returns the live entry at `index` (0 = oldest).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of bounds.
-    pub fn remove(&mut self, index: usize) -> Pending {
-        self.entries.remove(index).expect("queue index in range")
+    /// Returns [`SimError::QueueIndex`] when `index` is not a live entry
+    /// (debug builds additionally assert: every caller derives indices
+    /// from this queue, so an out-of-range index is a scheduler bug).
+    pub fn remove(&mut self, index: usize) -> Result<Pending, SimError> {
+        debug_assert!(
+            index < self.live,
+            "queue index {index} out of range ({} live entries)",
+            self.live
+        );
+        let mut seen = 0usize;
+        for slot in self.entries.iter_mut() {
+            if slot.dead {
+                continue;
+            }
+            if seen == index {
+                slot.dead = true;
+                self.live -= 1;
+                let pending = slot.pending;
+                // Keep the front live so age-0 lookups stay O(1).
+                while self.entries.front().is_some_and(|s| s.dead) {
+                    self.entries.pop_front();
+                }
+                return Ok(pending);
+            }
+            seen += 1;
+        }
+        Err(SimError::QueueIndex {
+            index,
+            len: self.live,
+        })
     }
 
     /// Entries in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &Pending> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .filter(|slot| !slot.dead)
+            .map(|slot| &slot.pending)
     }
 
     /// Number of queued requests.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// True when no more requests fit.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.live >= self.capacity
     }
 
     /// Maximum number of entries.
@@ -90,20 +155,21 @@ impl RequestQueue {
 
     /// True if any queued entry targets `addr` (line-aligned match).
     pub fn contains_addr(&self, addr: PhysAddr) -> bool {
-        self.entries.iter().any(|p| p.request.addr == addr)
+        self.iter().any(|p| p.request.addr == addr)
     }
 
     /// Index of the first entry targeting `addr`, if any.
     pub fn position_addr(&self, addr: PhysAddr) -> Option<usize> {
-        self.entries.iter().position(|p| p.request.addr == addr)
+        self.iter().position(|p| p.request.addr == addr)
     }
 
     /// Serialize the queued entries (capacity is structural and rebuilt
-    /// from configuration).
+    /// from configuration; tombstones are a transient storage detail and
+    /// are not part of the state).
     pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
         w.tag("rqueue");
-        w.usize(self.entries.len());
-        for p in &self.entries {
+        w.usize(self.live);
+        for p in self.iter() {
             save_pending(p, w);
         }
     }
@@ -129,8 +195,12 @@ impl RequestQueue {
         }
         self.entries.clear();
         for _ in 0..n {
-            self.entries.push_back(load_pending(r)?);
+            self.entries.push_back(Slot {
+                pending: load_pending(r)?,
+                dead: false,
+            });
         }
+        self.live = n;
         Ok(())
     }
 }
@@ -304,10 +374,66 @@ mod tests {
         for i in 0..4 {
             q.push(pending(i, i * 64));
         }
-        let removed = q.remove(1);
+        let removed = q.remove(1).unwrap();
         assert_eq!(removed.request.id, RequestId::new(1));
         let ids: Vec<u64> = q.iter().map(|p| p.request.id.raw()).collect();
         assert_eq!(ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn remove_out_of_range_is_a_structured_error() {
+        let mut q = RequestQueue::new(4);
+        q.push(pending(0, 0));
+        if cfg!(debug_assertions) {
+            // Debug builds assert: an out-of-range index is a scheduler
+            // bug and should fail loudly under test.
+            let panicked =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.remove(1))).is_err();
+            assert!(panicked, "debug builds must assert on a bad index");
+        } else {
+            // Release builds degrade to a structured error so a long run
+            // stalls diagnosably instead of aborting.
+            let err = q.remove(1).unwrap_err();
+            assert!(matches!(err, SimError::QueueIndex { index: 1, len: 1 }));
+        }
+        // The queue is untouched by the failed removal.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_never_grow_the_ring_or_leak_capacity() {
+        // Churn: fill, remove from the middle, refill — many times over.
+        // Live indices must stay consistent, capacity must never be lost
+        // to tombstones, and the backing ring must never outgrow its
+        // initial 2× reservation (the zero-allocation guarantee).
+        let mut q = RequestQueue::new(8);
+        let reserved = q.entries.capacity();
+        let mut next_id = 0u64;
+        for _ in 0..8 {
+            q.push(pending(next_id, next_id * 64));
+            next_id += 1;
+        }
+        for round in 0..100u64 {
+            // Remove a middle entry, then a front entry, then refill.
+            let victim = (round % 6) as usize + 1;
+            let removed = q.remove(victim).unwrap();
+            assert!(!q.is_full());
+            let front = q.remove(0).unwrap();
+            assert!(front.request.id.raw() < removed.request.id.raw() + 8);
+            for _ in 0..2 {
+                assert!(q.push(pending(next_id, next_id * 64)));
+                next_id += 1;
+            }
+            assert!(q.is_full());
+            assert_eq!(q.iter().count(), q.len());
+            // Arrival order is preserved across tombstoning/compaction.
+            let ids: Vec<u64> = q.iter().map(|p| p.request.id.raw()).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "arrival order must survive churn");
+            assert!(q.entries.capacity() <= reserved.max(16));
+        }
+        assert_eq!(q.entries.capacity(), reserved, "ring must never grow");
     }
 
     #[test]

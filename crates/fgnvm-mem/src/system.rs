@@ -636,6 +636,17 @@ impl MemorySystem {
         earliest
     }
 
+    /// The reference implementation of [`next_event_at`](Self::next_event_at):
+    /// a full linear scan of every channel's event heap and queued-request
+    /// bank gates, bypassing the per-channel calendar memo. The memoized
+    /// path must agree exactly; the calendar differential suite pins it.
+    pub fn next_event_at_linear(&self) -> Option<Cycle> {
+        self.controllers
+            .iter()
+            .filter_map(|c| c.next_event_at_linear(self.now))
+            .min()
+    }
+
     /// True while any channel has a completion event scheduled.
     fn has_pending_events(&self) -> bool {
         self.controllers.iter().any(Controller::has_pending_events)
@@ -705,6 +716,12 @@ impl MemorySystem {
     /// for those tests and for debugging the fast path itself.
     pub fn set_fast_forward(&mut self, enabled: bool) {
         self.fast_forward = enabled;
+        for c in &mut self.controllers {
+            // Event-driven operation affords the controllers an O(banks)
+            // issue-gate pre-check per (sparse) tick; stepped mode keeps
+            // the plain per-cycle reference path. Both are bit-identical.
+            c.set_event_driven(enabled);
+        }
     }
 
     /// True while event-driven fast-forward is enabled.
@@ -1229,6 +1246,13 @@ impl MemorySystem {
         }
         for c in mem.controllers.iter_mut() {
             c.load_state(&mut r)?;
+        }
+        // The restored fast-forward flag must reach the controllers' issue
+        // gating too (it is a mode, not channel state, so the channel
+        // snapshots do not carry it).
+        let event_driven = mem.fast_forward;
+        for c in mem.controllers.iter_mut() {
+            c.set_event_driven(event_driven);
         }
         if r.bool()? {
             mem.enable_observer();

@@ -409,3 +409,110 @@ fn fgnvm_hint_is_sound_with_serializing_modes() {
     assert!(bank.next_ready_hint(Cycle::ZERO) > Cycle::ZERO);
     assert_hint_is_lower_bound(&bank, &candidates, 1_500);
 }
+
+// ---------------------------------------------------------------------------
+// Calendar differential: the memoized `next_event_at` (per-channel NextAt
+// cache + issue-bound memo) must return *exactly* what a fresh linear scan
+// of every event heap and queued-request gate returns, at every instant of
+// a real run. An early memo silently replays events; a late one drops
+// issue opportunities. Both scans run on live systems mid-drain, so every
+// memo invalidation edge (enqueue, retire, issue, skip) is crossed.
+// ---------------------------------------------------------------------------
+
+/// Drives `reqs` through a fast-forwarded run, asserting at every loop
+/// step — after enqueues, after skips, after due ticks — that the
+/// memoized scan and the reference linear scan agree exactly.
+fn drive_checking_calendar(name: &str, config: &SystemConfig, reqs: &[Gen]) {
+    let mut mem = MemorySystem::new(*config).unwrap();
+    mem.set_fast_forward(true);
+    let mut completions = Vec::new();
+    let check = |mem: &MemorySystem, whence: &str| {
+        // Linear first: it must not observe anything the memoized call
+        // publishes.
+        let linear = mem.next_event_at_linear();
+        let memoized = mem.next_event_at();
+        assert_eq!(
+            memoized,
+            linear,
+            "{name}: calendar scan diverged from linear reference {whence} at cycle {}",
+            mem.now().raw()
+        );
+    };
+    for g in reqs {
+        let op = if g.is_write { Op::Write } else { Op::Read };
+        let mut guard = 0;
+        loop {
+            if mem.enqueue(op, g.addr()).is_some() {
+                break;
+            }
+            mem.tick_into(&mut completions);
+            guard += 1;
+            assert!(guard < 100_000, "backpressure never relieved");
+        }
+        check(&mem, "after enqueue");
+    }
+    let mut guard = 0;
+    while !mem.is_idle() {
+        // One event hop at a time: `tick_to` skips the dead range (if any)
+        // and steps the event instant, crossing every memo edge.
+        let target = match mem.next_event_at() {
+            Some(at) if at > mem.now() => at + fgnvm_types::time::CycleCount::new(1),
+            _ => mem.now() + fgnvm_types::time::CycleCount::new(1),
+        };
+        mem.tick_to(target, &mut completions);
+        check(&mem, "after hop");
+        guard += 1;
+        assert!(guard < 1_000_000, "{name}: drain failed to converge");
+    }
+    assert_eq!(
+        mem.next_event_at(),
+        None,
+        "{name}: idle system still reports an event"
+    );
+}
+
+#[test]
+fn calendar_scan_matches_linear_reference_on_every_preset() {
+    let reqs = lcg_stream(0xCA1E_17DA, 120);
+    for (name, config) in all_presets() {
+        drive_checking_calendar(name, &config, &reqs);
+    }
+}
+
+#[test]
+fn calendar_scan_matches_linear_reference_on_every_checked_in_config() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("configs/ directory present")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cfg"))
+        .collect();
+    paths.sort();
+    let reqs = lcg_stream(0x5CA2_CA1E, 120);
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap();
+        let config = fgnvm_types::parse_system_config(&text)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+        drive_checking_calendar(&path.display().to_string(), &config, &reqs);
+    }
+    assert!(paths.len() >= 6, "expected the full config set");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random streams: the calendar memo must track the linear reference
+    /// through arbitrary interleavings of enqueue, skip, and tick.
+    #[test]
+    fn calendar_scan_matches_linear_reference_on_random_streams(
+        reqs in prop::collection::vec(gen_strategy(), 1..60),
+    ) {
+        for (name, config) in [
+            ("fgnvm 8x2", SystemConfig::fgnvm(8, 2).unwrap()),
+            ("baseline", SystemConfig::baseline()),
+            ("pausing 8x8", SystemConfig::fgnvm_with_pausing(8, 8).unwrap()),
+        ] {
+            drive_checking_calendar(name, &config, &reqs);
+        }
+    }
+}

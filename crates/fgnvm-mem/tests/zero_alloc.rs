@@ -1,0 +1,115 @@
+//! Steady-state fast-forward must not touch the heap.
+//!
+//! The event-driven core (`next_event_at` + `skip_to` + sparse ticks) is
+//! the per-cycle inner loop of every sweep; an allocation there is a
+//! per-event cost multiplied by billions of simulated cycles. This test
+//! pins the guarantee with a counting global allocator: after a warm-up
+//! that grows every internal buffer to its steady-state capacity
+//! (request-queue rings, the event heap, the completion vector), further
+//! enqueue/drain waves of the same shape must perform **zero** heap
+//! allocations and **zero** reallocations.
+//!
+//! The armed flag is thread-local (const-initialized, so reading it never
+//! itself allocates or registers a destructor): only allocations made by
+//! the test's own thread count, keeping libtest's harness threads from
+//! poisoning the tally.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use fgnvm_mem::MemorySystem;
+use fgnvm_types::config::SystemConfig;
+use fgnvm_types::request::Op;
+use fgnvm_types::PhysAddr;
+
+/// Forwards to the system allocator, counting alloc/realloc calls while
+/// the current thread is armed. Deallocations are not counted: freeing
+/// warm-up scratch late is harmless, acquiring new memory mid-loop is the
+/// regression.
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn armed() -> bool {
+    ARMED.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One wave of the bench's write-drain pattern: 32 writes onto one bank
+/// across 16 rows, then drain to idle. Identical shape every wave, so the
+/// first wave settles every buffer at its high-water mark.
+fn wave(mem: &mut MemorySystem, id: &mut u64, out: &mut Vec<fgnvm_types::request::Completion>) {
+    for _ in 0..32 {
+        let addr = PhysAddr::new(((*id % 8) << 13) | (((*id / 8) % 16) << 6));
+        *id += 1;
+        while mem.enqueue(Op::Write, addr).is_none() {
+            mem.tick_to(fgnvm_types::time::Cycle::new(mem.now().raw() + 1), out);
+        }
+    }
+    // Drain: hop event to event until idle (the fast-forward inner loop).
+    while !mem.is_idle() {
+        let target = fgnvm_types::time::Cycle::new(mem.now().raw() + 1_000_000);
+        mem.tick_to(target, out);
+        assert!(
+            mem.is_idle() || mem.now().raw() < target.raw(),
+            "drain failed to converge"
+        );
+    }
+}
+
+#[test]
+fn fast_forward_steady_state_allocates_nothing() {
+    let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+    mem.set_fast_forward(true);
+    let mut id = 0u64;
+    let mut out = Vec::with_capacity(4096);
+
+    // Warm-up: two full waves grow the queues, the event heap, and `out`
+    // to the repeating pattern's high-water marks.
+    for _ in 0..2 {
+        wave(&mut mem, &mut id, &mut out);
+    }
+    out.clear();
+
+    // Armed: ten more identical waves must never touch the allocator.
+    ALLOCS.store(0, Relaxed);
+    ARMED.with(|a| a.set(true));
+    for _ in 0..10 {
+        wave(&mut mem, &mut id, &mut out);
+        out.clear();
+    }
+    ARMED.with(|a| a.set(false));
+
+    let allocs = ALLOCS.load(Relaxed);
+    assert_eq!(
+        allocs, 0,
+        "steady-state fast-forward performed {allocs} heap allocations"
+    );
+    assert!(id >= 12 * 32, "waves did not run");
+}

@@ -18,7 +18,7 @@ use fgnvm_types::geometry::Geometry;
 use fgnvm_workloads::{all_profiles, Profile};
 
 use crate::report::{fmt_ratio, fmt_speedup, geometric_mean, mean, Table};
-use crate::runner::{run_configs, ExperimentParams};
+use crate::runner::{run_grid, ExperimentParams};
 
 /// The geometry traces are generated against (the baseline address space;
 /// all compared configurations cover the same capacity).
@@ -106,18 +106,26 @@ pub fn fig4_with_profiles(
         SystemConfig::fgnvm_multi_issue(8, 2, 2)?,
     ];
     let geometry = trace_geometry();
-    let mut rows = Vec::with_capacity(profiles.len());
-    for profile in profiles {
-        let trace = profile.generate(geometry, params.seed, params.ops);
-        let outcomes = run_configs(&trace, &configs, params)?;
-        let base = outcomes[0].core;
-        rows.push(Fig4Row {
-            workload: profile.name.to_string(),
-            fgnvm: outcomes[1].core.speedup_over(&base),
-            many_banks: outcomes[2].core.speedup_over(&base),
-            multi_issue: outcomes[3].core.speedup_over(&base),
-        });
-    }
+    // One work-stealing pool over the whole workload × config lattice:
+    // no per-workload barrier.
+    let traces: Vec<_> = profiles
+        .iter()
+        .map(|p| p.generate(geometry, params.seed, params.ops))
+        .collect();
+    let grid = run_grid(&traces, &configs, params)?;
+    let rows = profiles
+        .iter()
+        .zip(&grid)
+        .map(|(profile, outcomes)| {
+            let base = outcomes[0].core;
+            Fig4Row {
+                workload: profile.name.to_string(),
+                fgnvm: outcomes[1].core.speedup_over(&base),
+                many_banks: outcomes[2].core.speedup_over(&base),
+                multi_issue: outcomes[3].core.speedup_over(&base),
+            }
+        })
+        .collect();
     Ok(Fig4Result { rows })
 }
 
@@ -206,10 +214,13 @@ pub fn fig5_with_profiles(
         SystemConfig::fgnvm(8, 32)?,
     ];
     let geometry = trace_geometry();
+    let traces: Vec<_> = profiles
+        .iter()
+        .map(|p| p.generate(geometry, params.seed, params.ops))
+        .collect();
+    let grid = run_grid(&traces, &configs, params)?;
     let mut rows = Vec::with_capacity(profiles.len());
-    for profile in profiles {
-        let trace = profile.generate(geometry, params.seed, params.ops);
-        let outcomes = run_configs(&trace, &configs, params)?;
+    for (profile, outcomes) in profiles.iter().zip(&grid) {
         let base_energy = outcomes[0].energy;
         // "Perfect": exactly one cache line sensed per miss of the finest
         // design, no background power.
@@ -395,16 +406,19 @@ pub fn ablation(params: &ExperimentParams) -> Result<AblationResult, ConfigError
         .iter()
         .map(|n| fgnvm_workloads::profile(n).expect("known profile"))
         .collect();
+    let mut configs = vec![SystemConfig::baseline()];
+    for (_, model) in ablation_models() {
+        let mut cfg = SystemConfig::fgnvm(8, 8)?;
+        cfg.bank_model = model;
+        configs.push(cfg);
+    }
+    let traces: Vec<_> = profiles
+        .iter()
+        .map(|p| p.generate(geometry, params.seed, params.ops))
+        .collect();
+    let grid = run_grid(&traces, &configs, params)?;
     let mut rows = Vec::new();
-    for profile in &profiles {
-        let trace = profile.generate(geometry, params.seed, params.ops);
-        let mut configs = vec![SystemConfig::baseline()];
-        for (_, model) in ablation_models() {
-            let mut cfg = SystemConfig::fgnvm(8, 8)?;
-            cfg.bank_model = model;
-            configs.push(cfg);
-        }
-        let outcomes = run_configs(&trace, &configs, params)?;
+    for (profile, outcomes) in profiles.iter().zip(&grid) {
         let base = &outcomes[0];
         for ((label, _), outcome) in ablation_models().iter().zip(&outcomes[1..]) {
             rows.push(AblationRow {
@@ -476,20 +490,22 @@ pub fn sweep(params: &ExperimentParams) -> Result<SweepResult, ConfigError> {
         .iter()
         .map(|p| p.generate(geometry, params.seed, params.ops))
         .collect();
-    // Baselines per workload.
-    let mut base = Vec::new();
-    for trace in &traces {
-        base.push(run_configs(trace, &[SystemConfig::baseline()], params)?[0]);
-    }
-    let mut rows = Vec::new();
+    // One lattice over every workload × (baseline + designs): column 0 is
+    // the per-workload baseline the design columns normalize against.
+    let mut configs = vec![SystemConfig::baseline()];
     for (sags, cds) in designs {
-        let cfg = SystemConfig::fgnvm(sags, cds)?;
+        configs.push(SystemConfig::fgnvm(sags, cds)?);
+    }
+    let grid = run_grid(&traces, &configs, params)?;
+    let mut rows = Vec::new();
+    for (d, (sags, cds)) in designs.into_iter().enumerate() {
         let mut speedups = Vec::new();
         let mut energies = Vec::new();
-        for (trace, b) in traces.iter().zip(&base) {
-            let outcome = run_configs(trace, &[cfg], params)?[0];
-            speedups.push(outcome.core.speedup_over(&b.core));
-            energies.push(outcome.energy.relative_to(&b.energy));
+        for outcomes in &grid {
+            let base = &outcomes[0];
+            let outcome = &outcomes[d + 1];
+            speedups.push(outcome.core.speedup_over(&base.core));
+            energies.push(outcome.energy.relative_to(&base.energy));
         }
         rows.push(SweepRow {
             sags,

@@ -54,7 +54,9 @@ pub use profile::{
     SCHEMA_VERSION,
 };
 pub use report::Table;
-pub use runner::{run_configs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome};
+pub use runner::{
+    run_configs, run_grid, run_jobs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome,
+};
 pub use serve::{
     load_checkpoint, load_checkpoint_file, resume, save_checkpoint, serve, AdmissionPolicy,
     ServeConfig, ServeReport, ServeState,

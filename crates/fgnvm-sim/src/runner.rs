@@ -1,6 +1,17 @@
 //! Generic machinery for running (workload × memory-configuration) grids.
+//!
+//! Sweeps fan out through one bounded work-stealing pool ([`run_jobs`]):
+//! jobs are dealt round-robin onto per-worker deques and idle workers
+//! steal from the back of a victim's deque, so a straggler configuration
+//! never leaves the rest of the host idle the way per-wave join barriers
+//! did. Worker count is capped by [`effective_jobs`] (`--jobs`), results
+//! come back in input order, and a job that itself starts a sweep runs it
+//! inline on its worker — nested sweeps cannot multiply the pool.
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use fgnvm_bank::BankStats;
 use fgnvm_cpu::{Core, CoreConfig, CoreResult, Trace};
@@ -190,20 +201,33 @@ pub fn run_one(
     })
 }
 
-/// Explicit sweep-parallelism override (0 = derive from the host); set via
-/// [`set_jobs`], read via [`effective_jobs`].
+/// Explicit sweep-parallelism override (`0` is a sentinel meaning "derive
+/// from the host", it never means zero workers); set via [`set_jobs`],
+/// read via [`effective_jobs`].
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is a sweep worker. A job that starts
+    /// another sweep (a nested `run_configs` inside an experiment closure)
+    /// runs it inline on its own worker instead of spawning a second pool:
+    /// without the guard, N workers each spawning N more would
+    /// oversubscribe the host quadratically — and re-reading the global
+    /// [`JOBS`] override mid-sweep could race with a concurrent
+    /// [`set_jobs`] call.
+    static IN_SWEEP: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Overrides the number of worker threads sweep runners fan out to
 /// (the `--jobs` CLI flag). Pass 0 to return to the default, which is
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. `0` is a *sentinel*, not a
+/// request for zero workers: [`effective_jobs`] always resolves to ≥ 1.
 pub fn set_jobs(jobs: usize) {
     JOBS.store(jobs, Ordering::Relaxed);
 }
 
 /// The worker-thread cap sweeps currently run under: the [`set_jobs`]
-/// override when one is set, otherwise the host's available parallelism
-/// (at least 1).
+/// override when one is set, otherwise the host's available parallelism.
+/// Guaranteed ≥ 1 — callers may divide by it.
 pub fn effective_jobs() -> usize {
     let explicit = JOBS.load(Ordering::Relaxed);
     if explicit > 0 {
@@ -212,16 +236,100 @@ pub fn effective_jobs() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+        .max(1)
+}
+
+/// Runs `run(index, &items[index])` for every item through a bounded
+/// work-stealing pool and returns the results in input order.
+///
+/// Jobs are dealt round-robin onto one deque per worker; each worker
+/// drains its own deque from the front and, when empty, steals from the
+/// *back* of the first non-empty victim deque (classic work-stealing:
+/// owner and thief touch opposite ends, and stolen work is the coldest).
+/// The pool is capped at [`effective_jobs`] workers and never larger than
+/// the job count. Called from inside a sweep worker (a nested sweep), it
+/// degrades to an inline serial loop on the calling worker.
+///
+/// `run` must be a pure function of its job for results to be
+/// deterministic; the executor guarantees only that result *order* is
+/// input order regardless of which worker ran what.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_jobs<T, R, F>(items: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let nested = IN_SWEEP.with(Cell::get);
+    let workers = if nested {
+        1
+    } else {
+        effective_jobs().min(items.len())
+    };
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+        .collect();
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let queues = &queues;
+                let run = &run;
+                scope.spawn(move || {
+                    IN_SWEEP.with(|flag| flag.set(true));
+                    let mut done = Vec::new();
+                    loop {
+                        let claimed = queues[me]
+                            .lock()
+                            .expect("sweep queue poisoned")
+                            .pop_front()
+                            .or_else(|| {
+                                (1..workers).find_map(|d| {
+                                    queues[(me + d) % workers]
+                                        .lock()
+                                        .expect("sweep queue poisoned")
+                                        .pop_back()
+                                })
+                            });
+                        // Queues only drain after the deal, so empty-everywhere
+                        // is stable: nothing left to claim means done.
+                        let Some(i) = claimed else { break };
+                        done.push((i, run(i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "job {i} ran twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every dealt job produces exactly one result"))
+        .collect()
 }
 
 /// Runs one trace against several configurations in parallel, preserving
-/// configuration order in the result. Fan-out is capped at
-/// [`effective_jobs`] concurrent worker threads so a wide sweep cannot
-/// oversubscribe the host (override with [`set_jobs`] / `--jobs`).
+/// configuration order in the result. Fan-out goes through the
+/// work-stealing pool of [`run_jobs`], capped at [`effective_jobs`]
+/// concurrent worker threads so a wide sweep cannot oversubscribe the
+/// host (override with [`set_jobs`] / `--jobs`).
 ///
 /// # Errors
 ///
-/// Returns the first [`ConfigError`] encountered.
+/// Returns the first [`ConfigError`] in configuration order.
 ///
 /// # Panics
 ///
@@ -231,22 +339,50 @@ pub fn run_configs(
     configs: &[SystemConfig],
     params: &ExperimentParams,
 ) -> Result<Vec<RunOutcome>, ConfigError> {
-    let jobs = effective_jobs().max(1);
-    let mut results = Vec::with_capacity(configs.len());
-    for wave in configs.chunks(jobs) {
-        let wave_results = std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .iter()
-                .map(|config| scope.spawn(move || run_one(trace, config, params)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("runner thread panicked"))
-                .collect::<Vec<_>>()
-        });
-        results.extend(wave_results);
+    run_jobs(configs, |_, config| run_one(trace, config, params))
+        .into_iter()
+        .collect()
+}
+
+/// Runs the full (trace × configuration) lattice through one
+/// work-stealing pool and returns `grid[trace_index][config_index]`.
+///
+/// Unlike per-trace [`run_configs`] calls, the whole lattice shares one
+/// job pool: workers finishing one workload's cheap configurations steal
+/// the next workload's jobs instead of idling at a per-workload barrier.
+/// Per-job determinism is unchanged — every job is a pure
+/// (trace, config, params) function, so the grid is bit-identical to
+/// nested serial loops.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] in row-major (trace-then-config)
+/// order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_grid(
+    traces: &[Trace],
+    configs: &[SystemConfig],
+    params: &ExperimentParams,
+) -> Result<Vec<Vec<RunOutcome>>, ConfigError> {
+    let lattice: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| (0..configs.len()).map(move |c| (t, c)))
+        .collect();
+    let mut flat = run_jobs(&lattice, |_, &(t, c)| {
+        run_one(&traces[t], &configs[c], params)
+    })
+    .into_iter();
+    let mut grid = Vec::with_capacity(traces.len());
+    for _ in traces {
+        let mut row = Vec::with_capacity(configs.len());
+        for _ in configs {
+            row.push(flat.next().expect("lattice covers the full grid")?);
+        }
+        grid.push(row);
     }
-    results.into_iter().collect()
+    Ok(grid)
 }
 
 #[cfg(test)]
@@ -346,6 +482,72 @@ mod tests {
         set_jobs(0);
         assert!(effective_jobs() >= 1);
         assert_eq!(wide, narrow, "the jobs cap must not change outcomes");
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_under_stealing() {
+        // 40 jobs with wildly uneven durations on 4 workers: the cheap
+        // jobs' workers go idle and must steal to finish — results still
+        // come back slot-for-slot in input order.
+        let items: Vec<u64> = (0..40).collect();
+        set_jobs(4);
+        let results = run_jobs(&items, |i, &v| {
+            if v % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            (i as u64) * 100 + v
+        });
+        set_jobs(0);
+        let expected: Vec<u64> = (0..40).map(|v| v * 101).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn nested_sweeps_run_inline_without_spawning() {
+        // A job that itself calls run_jobs must not multiply the pool;
+        // the nested sweep runs inline on the worker and still returns
+        // correct, ordered results.
+        let outer: Vec<u32> = (0..6).collect();
+        set_jobs(2);
+        let results = run_jobs(&outer, |_, &v| {
+            let inner: Vec<u32> = (0..5).map(|k| v * 10 + k).collect();
+            let doubled = run_jobs(&inner, |_, &x| x * 2);
+            doubled.iter().sum::<u32>()
+        });
+        set_jobs(0);
+        let expected: Vec<u32> = (0..6)
+            .map(|v| (0..5).map(|k| (v * 10 + k) * 2).sum())
+            .collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn jobs_zero_sentinel_never_means_zero_workers() {
+        set_jobs(0);
+        assert!(effective_jobs() >= 1, "0 is a sentinel, not a cap");
+        // An empty job list and a single job both work at any cap.
+        let empty: [u8; 0] = [];
+        assert!(run_jobs(&empty, |_, &x| x).is_empty());
+        assert_eq!(run_jobs(&[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn run_grid_matches_per_trace_run_configs() {
+        let params = ExperimentParams::quick();
+        let geometry = Geometry::default();
+        let traces: Vec<Trace> = ["milc_like", "mcf_like"]
+            .iter()
+            .map(|n| profile(n).unwrap().generate(geometry, 5, 200))
+            .collect();
+        let configs = [SystemConfig::baseline(), SystemConfig::fgnvm(8, 2).unwrap()];
+        set_jobs(2);
+        let grid = run_grid(&traces, &configs, &params).unwrap();
+        set_jobs(0);
+        assert_eq!(grid.len(), traces.len());
+        for (trace, row) in traces.iter().zip(&grid) {
+            let reference = run_configs(trace, &configs, &params).unwrap();
+            assert_eq!(row, &reference, "lattice diverged from per-trace runs");
+        }
     }
 
     #[test]

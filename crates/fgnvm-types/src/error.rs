@@ -98,6 +98,17 @@ pub enum SimError {
     /// A checkpoint could not be decoded (wraps
     /// [`SnapshotError`](crate::snapshot::SnapshotError)).
     Snapshot(crate::snapshot::SnapshotError),
+    /// A request-queue operation named an entry index that does not exist.
+    /// Scheduler picks are derived from the queue they are applied to, so
+    /// this is unreachable through the public API; it is reported as a
+    /// structured error (rather than a panic) so a scheduler bug degrades
+    /// into a diagnosable stall instead of aborting a long run.
+    QueueIndex {
+        /// The offending entry index.
+        index: usize,
+        /// Live entries in the queue at the time of the call.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -129,6 +140,9 @@ impl fmt::Display for SimError {
                  (threshold {threshold}), {retired_rows} rows retired, at cy{now}"
             ),
             SimError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            SimError::QueueIndex { index, len } => {
+                write!(f, "queue index {index} out of range ({len} entries queued)")
+            }
         }
     }
 }
