@@ -237,6 +237,10 @@ fn execute_inner(case: &FuzzCase, mut kill: Option<u64>) -> Result<CaseReport, S
     memory.set_fast_forward(case.fast_forward);
     memory.enable_command_log(1 << 20);
     memory.enable_observer();
+    // Small windows + tiny ring: boundary rolls, retention eviction, and
+    // the window-vs-cumulative conservation rule all get exercised (and,
+    // with --kill-resume, the telemetry snapshot round-trip too).
+    memory.enable_telemetry(512, 16, 64);
     if case.chaos {
         memory.debug_force_illegal_issue(true);
     }

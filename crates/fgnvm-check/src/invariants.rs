@@ -17,6 +17,10 @@
 //!   the bank counters the simulator kept independently.
 //! - **Energy conservation**: sensing/programming energy is exactly the
 //!   configured pJ/bit times the bit counters.
+//! - **Time-series conservation**: summing every telemetry window (when
+//!   the windowed engine is attached) reproduces the cumulative latency
+//!   histograms, stall-attribution aggregates, and instant counters
+//!   exactly.
 //! - **Occupancy quiescence**: once the system reports idle, no bank
 //!   resource may still claim a busy window in the future.
 //! - **Exactly-once completion**: every accepted request id completes
@@ -293,6 +297,92 @@ pub fn check_occupancy_quiesced(memory: &MemorySystem) -> InvariantReport {
     report
 }
 
+/// Window-vs-cumulative conservation: summing *every* telemetry window
+/// (evicted, retained, and the current partial one) must reproduce the
+/// independent cumulative counters exactly — bucket by bucket for the
+/// latency histograms, per stall-taxonomy bucket against the attribution
+/// aggregates, and per instant kind. Both sides fold the same lifecycle
+/// hooks, so any drift is a window that was double-counted, dropped at a
+/// boundary roll, or corrupted across checkpoint/resume.
+///
+/// Returns an empty (nothing-checked) report when the observer has no
+/// time-series engine attached.
+pub fn check_timeseries_conservation(
+    observer: &Observer,
+    stats: &fgnvm_mem::SystemStats,
+) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let Some(ts) = observer.timeseries() else {
+        return report;
+    };
+    report.checked.push("timeseries-conservation");
+    let agg = ts.aggregate();
+    if agg.arrivals_read != stats.enqueued_reads || agg.arrivals_write != stats.enqueued_writes {
+        report.failures.push(format!(
+            "timeseries conservation: windows saw {}r/{}w arrivals but the system enqueued {}r/{}w",
+            agg.arrivals_read, agg.arrivals_write, stats.enqueued_reads, stats.enqueued_writes
+        ));
+    }
+    for (class, hist, cum_hist, cum_count, cum_sum, cum_max) in [
+        (
+            "read",
+            &agg.read_latency,
+            &stats.read_latency_hist,
+            stats.completed_reads,
+            stats.read_latency_total.raw(),
+            stats.read_latency_max.raw(),
+        ),
+        (
+            "write",
+            &agg.write_latency,
+            &stats.write_latency_hist,
+            stats.completed_writes,
+            stats.write_latency_total.raw(),
+            stats.write_latency_max.raw(),
+        ),
+    ] {
+        if hist.counts() != cum_hist {
+            report.failures.push(format!(
+                "timeseries conservation ({class}s): window latency buckets {:?} != cumulative {:?}",
+                hist.counts(),
+                cum_hist
+            ));
+        }
+        if hist.count() != cum_count || hist.sum() != cum_sum || hist.max() != cum_max {
+            report.failures.push(format!(
+                "timeseries conservation ({class}s): windows folded {} samples / {} cycles \
+                 (max {}) but cumulative stats say {} / {} (max {})",
+                hist.count(),
+                hist.sum(),
+                hist.max(),
+                cum_count,
+                cum_sum,
+                cum_max
+            ));
+        }
+    }
+    let attr = &observer.attribution;
+    for (i, cause) in StallCause::ALL.iter().enumerate() {
+        let cumulative = attr.reads.cycles[i] + attr.writes.cycles[i];
+        if agg.stall[i] != cumulative {
+            report.failures.push(format!(
+                "timeseries conservation: {} stall cycles sum to {} across windows \
+                 but attribution recorded {cumulative}",
+                cause.label(),
+                agg.stall[i]
+            ));
+        }
+    }
+    if agg.instants != *observer.instants() {
+        report.failures.push(format!(
+            "timeseries conservation: instant counters {:?} across windows != cumulative {:?}",
+            agg.instants,
+            observer.instants()
+        ));
+    }
+    report
+}
+
 /// Every accepted request id completes exactly once.
 pub fn check_completions(accepted: &[RequestId], completions: &[Completion]) -> InvariantReport {
     let mut report = InvariantReport::default();
@@ -334,9 +424,9 @@ pub fn check_completions(accepted: &[RequestId], completions: &[Completion]) -> 
     report
 }
 
-/// Runs every invariant the given artifacts allow: span sums and heatmap
-/// totals when an observer is present, energy always, occupancy when the
-/// system is idle.
+/// Runs every invariant the given artifacts allow: span sums, heatmap
+/// totals, and time-series conservation when an observer is present,
+/// energy always, occupancy when the system is idle.
 pub fn standard_report(
     config: &SystemConfig,
     memory: &MemorySystem,
@@ -348,8 +438,69 @@ pub fn standard_report(
         report.merge(check_span_sums(obs));
         report.merge(check_attribution(obs));
         report.merge(check_heatmap_totals(obs, &banks));
+        report.merge(check_timeseries_conservation(obs, memory.stats()));
     }
     report.merge(check_energy(config, &banks, &memory.energy()));
     report.merge(check_occupancy_quiesced(memory));
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnvm_types::{Cycle, Op, PhysAddr};
+
+    /// Runs a small mixed workload with the telemetry engine attached and
+    /// returns the drained system plus its observer.
+    fn run_with_telemetry() -> (MemorySystem, Observer) {
+        let config = SystemConfig::fgnvm(8, 2).expect("valid config");
+        let mut memory = MemorySystem::new(config).expect("valid system");
+        memory.enable_observer();
+        // A tiny window and ring so the run rolls boundaries and evicts.
+        memory.enable_telemetry(64, 4, 16);
+        let line = u64::from(config.geometry.line_bytes());
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            let kind = if i % 3 == 0 { Op::Write } else { Op::Read };
+            memory.enqueue(kind, PhysAddr::new(i * 7 % 256 * line));
+            memory.tick_to(Cycle::new(i * 9), &mut out);
+        }
+        while !memory.is_idle() {
+            out.extend(memory.tick());
+        }
+        let obs = memory.take_observer().expect("observer enabled above");
+        (memory, *obs)
+    }
+
+    #[test]
+    fn timeseries_conservation_holds_on_a_real_run() {
+        let (memory, obs) = run_with_telemetry();
+        assert!(obs.timeseries().expect("attached").closed_total() > 4);
+        let report = check_timeseries_conservation(&obs, memory.stats());
+        assert_eq!(report.checked, vec!["timeseries-conservation"]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn timeseries_conservation_catches_a_phantom_event() {
+        let (memory, mut obs) = run_with_telemetry();
+        // A window event with no matching cumulative counter is exactly
+        // the class of drift the rule exists to catch.
+        obs.timeseries_mut()
+            .expect("attached")
+            .record_arrival(true, memory.now().raw());
+        let report = check_timeseries_conservation(&obs, memory.stats());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn no_timeseries_means_nothing_checked() {
+        let config = SystemConfig::fgnvm(8, 2).expect("valid config");
+        let mut memory = MemorySystem::new(config).expect("valid system");
+        memory.enable_observer();
+        let obs = memory.take_observer().expect("observer enabled above");
+        let report = check_timeseries_conservation(&obs, memory.stats());
+        assert!(report.checked.is_empty());
+        assert!(report.is_clean());
+    }
 }

@@ -872,6 +872,7 @@ pub fn run_and_audit(config: &SystemConfig, ops: usize, seed: u64) -> Result<Che
     memory.set_fast_forward(true);
     memory.enable_command_log(1 << 20);
     memory.enable_observer();
+    memory.enable_telemetry(2_000, 64, 128);
     // A read-dominated and a write-heavy profile back to back, mirroring
     // the observe command, so row hits, underfetches, backgrounded writes,
     // pauses and retries all appear in one audited stream.

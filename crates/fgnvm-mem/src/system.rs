@@ -192,9 +192,44 @@ impl MemorySystem {
         self.observer.as_deref()
     }
 
+    /// Mutable access to the observer, if enabled (drivers use this to
+    /// roll telemetry windows at boundary landings).
+    pub fn observer_mut(&mut self) -> Option<&mut Observer> {
+        self.observer.as_deref_mut()
+    }
+
     /// Detaches and returns the observer (ends observation).
     pub fn take_observer(&mut self) -> Option<Box<Observer>> {
         self.observer.take()
+    }
+
+    /// Enables continuous telemetry (windowed time-series engine + flight
+    /// recorder) on the observer, attaching an observer first if none is
+    /// enabled. Replaces any existing telemetry state.
+    pub fn enable_telemetry(&mut self, window_cycles: u64, retention: usize, flight: usize) {
+        if self.observer.is_none() {
+            self.enable_observer();
+        }
+        let obs = self.observer.as_deref_mut().expect("observer just enabled");
+        obs.enable_timeseries(window_cycles, retention);
+        obs.enable_flight(flight);
+    }
+
+    /// Channels currently in write-drain mode.
+    pub fn draining_channels(&self) -> usize {
+        self.controllers.iter().filter(|c| c.is_draining()).count()
+    }
+
+    /// Samples queue occupancy and drain state into the telemetry gauges,
+    /// so the next window to close records the occupancy at its end cycle.
+    /// No-op without an observer or with telemetry disabled.
+    pub fn sample_telemetry_gauges(&mut self) {
+        let read_queue = self.read_queue_len() as u64;
+        let write_queue = self.write_queue_len() as u64;
+        let draining = self.draining_channels() as u64;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.set_telemetry_gauges(read_queue, write_queue, draining);
+        }
     }
 
     /// The active configuration.

@@ -304,6 +304,12 @@ pub struct Attribution {
     /// Commands whose plan-kind label the taxonomy did not recognize.
     /// Non-zero fails the `fgnvm-check` attribution invariant.
     pub unclassified: u64,
+    /// Transient: the pre-issue wait decomposition of the command most
+    /// recently passed to [`Attribution::on_command`], reduced to its
+    /// dominant bucket (ties break to the lowest bucket index) and total
+    /// length. Consumed by the flight recorder within the same hook;
+    /// never serialized — no checkpoint can land inside one hook.
+    last_wait: Option<(StallCause, u64)>,
 }
 
 impl Default for AttributionParams {
@@ -345,6 +351,7 @@ impl Attribution {
     /// the command's own pre-burst and burst segments, then advances the
     /// mark to the burst end (the completion hook attributes the tail).
     pub fn on_command(&mut self, cmd: &CommandIssue<'_>) {
+        self.last_wait = None;
         let rank = cmd
             .bank
             .checked_div(self.params.banks_per_rank)
@@ -360,12 +367,22 @@ impl Attribution {
         if let Some(mut r) = self.open.remove(&cmd.id) {
             let w0 = r.mark;
             let at = cmd.at.max(w0);
+            let before = r.cycles;
             if r.issues == 0 {
                 self.classify_wait(&mut r, cmd, rank, w0, at);
             } else {
                 // Re-issue after verify-budget exhaustion: the whole bounce
                 // (residual programming + requeue wait) is retry extension.
                 r.cycles[StallCause::VerifyRetry as usize] += at - w0;
+            }
+            if at > w0 {
+                let mut best = 0usize;
+                for i in 1..BUCKETS {
+                    if r.cycles[i] - before[i] > r.cycles[best] - before[best] {
+                        best = i;
+                    }
+                }
+                self.last_wait = Some((StallCause::ALL[best], at - w0));
             }
             // Monotone boundary chain at ≤ e ≤ data_start ≤ data_end keeps
             // the decomposition an exact partition even on odd inputs.
@@ -448,6 +465,13 @@ impl Attribution {
     /// Requests currently in flight.
     pub fn open_count(&self) -> usize {
         self.open.len()
+    }
+
+    /// Takes the most recent command's dominant pre-issue wait, if the
+    /// command waited at all. Valid only within the same `on_command`
+    /// dispatch (the next command overwrites it).
+    pub fn take_last_wait(&mut self) -> Option<(StallCause, u64)> {
+        self.last_wait.take()
     }
 
     /// Serialize the full tracker state — open requests, command-history
@@ -1005,6 +1029,18 @@ mod tests {
         let r = &a.requests[0];
         assert_eq!(r.cycles[StallCause::VerifyRetry as usize], 80);
         assert_eq!(r.attributed(), c.completion);
+    }
+
+    #[test]
+    fn last_wait_reports_the_dominant_block() {
+        let mut a = Attribution::new(AttributionParams::bare(4, 4));
+        a.on_enqueued(1, true, 0);
+        a.on_command(&cmd(1, 0)); // issued instantly — no wait
+        assert_eq!(a.take_last_wait(), None);
+        a.on_enqueued(2, true, 10);
+        a.on_command(&cmd(2, 60)); // 40 SAG-conflict + 10 queue cycles
+        assert_eq!(a.take_last_wait(), Some((StallCause::SagConflict, 50)));
+        assert_eq!(a.take_last_wait(), None); // consumed
     }
 
     #[test]

@@ -69,6 +69,19 @@ impl Log2Hist {
         &self.counts
     }
 
+    /// Folds `other` into `self`: bucket counts, count, and sum add; max
+    /// takes the larger. Summing per-window histograms with `merge`
+    /// reproduces the cumulative histogram exactly (the time-series
+    /// conservation invariant relies on this).
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Serialize buckets and exact aggregates into a checkpoint.
     pub fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
         w.tag("hist");

@@ -25,23 +25,28 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attribution;
+pub mod flight;
 pub mod heatmap;
 pub mod hist;
 pub mod json;
+pub mod prom;
 pub mod registry;
 pub mod span;
 pub mod table;
+pub mod timeseries;
 pub mod trace;
 
 pub use attribution::{
     classify_command, classify_instant, what_if, what_if_json, Attribution, AttributionParams,
     ClassTotals, RequestAttribution, StallCause, WhatIfBound,
 };
+pub use flight::{FlightEvent, FlightRecorder};
 pub use heatmap::{TileCell, TileHeatmap};
 pub use hist::Log2Hist;
 pub use registry::{CounterHandle, GaugeHandle, MetricValue, Registry};
 pub use span::{LatencyBreakdown, SpanTracker};
 pub use table::TableData;
+pub use timeseries::{TimeSeries, WindowAgg};
 pub use trace::TraceSink;
 
 /// Everything the observer needs to know about one issued memory command.
@@ -154,6 +159,11 @@ pub struct Observer {
     /// Exact per-request stall-cycle attribution.
     pub attribution: Attribution,
     instants: [u64; 8],
+    /// Windowed time-series engine; `None` until
+    /// [`Observer::enable_timeseries`] — the hooks stay allocation-free.
+    timeseries: Option<TimeSeries>,
+    /// Flight recorder; `None` until [`Observer::enable_flight`].
+    flight: Option<FlightRecorder>,
 }
 
 impl Observer {
@@ -173,6 +183,50 @@ impl Observer {
             trace: TraceSink::default(),
             attribution: Attribution::new(params),
             instants: [0; 8],
+            timeseries: None,
+            flight: None,
+        }
+    }
+
+    /// Attaches a windowed time-series engine (replacing any existing one)
+    /// folding every subsequent hook into `window_cycles`-cycle windows
+    /// with the given retention bound.
+    pub fn enable_timeseries(&mut self, window_cycles: u64, retention: usize) {
+        self.timeseries = Some(TimeSeries::new(window_cycles, retention));
+    }
+
+    /// Attaches a flight recorder (replacing any existing one) keeping the
+    /// most recent `capacity` events.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// The time-series engine, when enabled.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.timeseries.as_ref()
+    }
+
+    /// Mutable access to the time-series engine, when enabled (drivers use
+    /// this to roll windows at boundary landings).
+    pub fn timeseries_mut(&mut self) -> Option<&mut TimeSeries> {
+        self.timeseries.as_mut()
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the flight recorder, when enabled.
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Updates the time-series gauges (read queue, write queue, draining
+    /// channels). No-op when the engine is disabled.
+    pub fn set_telemetry_gauges(&mut self, read_queue: u64, write_queue: u64, draining: u64) {
+        if let Some(ts) = &mut self.timeseries {
+            ts.set_gauges(read_queue, write_queue, draining);
         }
     }
 
@@ -180,12 +234,25 @@ impl Observer {
     pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
         self.spans.on_enqueued(id, is_read, now);
         self.attribution.on_enqueued(id, is_read, now);
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_arrival(is_read, now);
+        }
     }
 
     /// Hook: a request completed (or was satisfied without issuing).
     pub fn on_completed(&mut self, id: u64, now: u64) {
         self.spans.on_completed(id, now);
+        let before = self.attribution.requests.len();
         self.attribution.on_completed(id, now);
+        if let Some(ts) = &mut self.timeseries {
+            // The attribution tracker just pushed this request's finished
+            // record (unless the id was unknown); its latency is exactly
+            // the cumulative-stats latency, which the window-vs-cumulative
+            // conservation invariant relies on.
+            if let Some(rec) = self.attribution.requests.get(before) {
+                ts.record_completion(rec.is_read, rec.completion - rec.arrival, &rec.cycles, now);
+            }
+        }
     }
 
     /// Hook: a command issued to a bank.
@@ -193,6 +260,13 @@ impl Observer {
         self.spans
             .on_issued(cmd.id, cmd.at, cmd.data_start, cmd.data_end);
         self.attribution.on_command(cmd);
+        let wait = self.attribution.take_last_wait();
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_issue(cmd.at);
+        }
+        if let Some(flight) = &mut self.flight {
+            flight.on_command(cmd, wait);
+        }
         self.heatmap.on_command(
             cmd.channel,
             cmd.bank,
@@ -231,11 +305,24 @@ impl Observer {
     pub fn on_instant(&mut self, kind: InstantKind, channel: u32, bank: u32, now: u64) {
         self.instants[kind as usize] += 1;
         self.trace.instant(channel, bank, kind.label(), now);
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_instant(kind, now);
+        }
+        if let Some(flight) = &mut self.flight {
+            flight.on_instant(kind, channel, bank, now);
+        }
     }
 
     /// Occurrence count for one instant kind.
     pub fn instant_count(&self, kind: InstantKind) -> u64 {
         self.instants[kind as usize]
+    }
+
+    /// The cumulative instant counters, indexed by [`InstantKind`] (the
+    /// window-vs-cumulative conservation check compares these against the
+    /// summed per-window instants).
+    pub fn instants(&self) -> &[u64; 8] {
+        &self.instants
     }
 
     /// Exports the observer's own aggregates into a metric registry.
@@ -266,6 +353,18 @@ impl Observer {
                 self.instant_count(kind),
             );
         }
+        if let Some(ts) = &self.timeseries {
+            reg.set_counter("obs.telemetry.window_cycles", ts.window_cycles());
+            reg.set_counter("obs.telemetry.windows_closed", ts.closed_total());
+            reg.set_counter(
+                "obs.telemetry.windows_retained",
+                ts.windows().count() as u64,
+            );
+        }
+        if let Some(flight) = &self.flight {
+            reg.set_counter("obs.flight.events_total", flight.total());
+            reg.set_counter("obs.flight.events_retained", flight.len() as u64);
+        }
     }
 
     /// Serialize the observer's full aggregation state (spans, heatmap,
@@ -279,6 +378,14 @@ impl Observer {
         self.heatmap.save_state(w);
         self.trace.save_state(w);
         self.attribution.save_state(w);
+        w.bool(self.timeseries.is_some());
+        if let Some(ts) = &self.timeseries {
+            ts.save_state(w);
+        }
+        w.bool(self.flight.is_some());
+        if let Some(flight) = &self.flight {
+            flight.save_state(w);
+        }
     }
 
     /// Restore state written by [`Observer::save_state`] into a freshly
@@ -300,6 +407,18 @@ impl Observer {
         self.heatmap.load_state(r)?;
         self.trace.load_state(r)?;
         self.attribution.load_state(r)?;
+        // Telemetry sections carry their own configuration, so a restored
+        // observer needs no caller input to rebuild them.
+        self.timeseries = if r.bool()? {
+            Some(TimeSeries::load_state(r)?)
+        } else {
+            None
+        };
+        self.flight = if r.bool()? {
+            Some(FlightRecorder::load_state(r)?)
+        } else {
+            None
+        };
         Ok(())
     }
 
@@ -371,5 +490,52 @@ mod tests {
     fn degenerate_grid_is_clamped() {
         let obs = Observer::new(0, 0);
         assert_eq!(obs.heatmap.dims(), (1, 1));
+    }
+
+    #[test]
+    fn telemetry_fans_out_and_rides_the_snapshot() {
+        let mut obs = Observer::new(4, 4);
+        obs.enable_timeseries(100, 8);
+        obs.enable_flight(16);
+        obs.on_enqueued(1, true, 5);
+        obs.on_command(&issue(1, 10));
+        obs.on_completed(1, 48);
+        obs.on_instant(InstantKind::WriteReissue, 0, 1, 50);
+        obs.on_enqueued(2, true, 150);
+        let ts = obs.timeseries().expect("enabled");
+        assert_eq!(ts.closed_total(), 1);
+        let w0 = ts.windows().next().expect("w0");
+        assert_eq!(w0.arrivals_read, 1);
+        assert_eq!(w0.read_latency.count(), 1);
+        assert_eq!(w0.read_latency.sum(), 43); // completion 48 − arrival 5
+        assert_eq!(w0.issues, 1);
+        assert_eq!(w0.instants[InstantKind::WriteReissue as usize], 1);
+        let flight = obs.flight().expect("enabled");
+        // Block (5-cycle queue wait) + issue + retry instant.
+        assert_eq!(flight.total(), 3);
+
+        let mut w = fgnvm_types::SnapshotWriter::new();
+        obs.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = Observer::new(4, 4);
+        let mut r = fgnvm_types::SnapshotReader::new(&bytes).expect("readable");
+        restored.load_state(&mut r).expect("decodes");
+        assert_eq!(restored.timeseries(), obs.timeseries());
+        assert_eq!(restored.flight(), obs.flight());
+    }
+
+    #[test]
+    fn telemetry_disabled_observer_skips_the_sections() {
+        let mut obs = Observer::new(2, 2);
+        obs.on_enqueued(1, true, 0);
+        obs.on_completed(1, 10);
+        let mut w = fgnvm_types::SnapshotWriter::new();
+        obs.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = Observer::new(2, 2);
+        let mut r = fgnvm_types::SnapshotReader::new(&bytes).expect("readable");
+        restored.load_state(&mut r).expect("decodes");
+        assert!(restored.timeseries().is_none());
+        assert!(restored.flight().is_none());
     }
 }

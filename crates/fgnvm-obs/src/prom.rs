@@ -1,0 +1,84 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`].
+//!
+//! Metric names in the registry are dotted (`serve.read_p99`); the
+//! exposition format allows only `[a-zA-Z_:][a-zA-Z0-9_:]*`, so dots and
+//! any other illegal characters become underscores. Counters and gauges
+//! get a `# TYPE` line; text metrics are not representable as samples and
+//! are emitted as `# fgnvm` comments so the annotation survives scraping
+//! tools that keep comments.
+
+use crate::json;
+use crate::registry::{MetricValue, Registry};
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders the registry in Prometheus text exposition format, in
+/// registration order. Deterministic: same registry, same bytes.
+pub fn render(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.iter() {
+        let prom_name = sanitize(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {prom_name} counter\n{prom_name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                // json::number renders non-finite values as `null`, which
+                // Prometheus rejects; NaN is its own idiom there.
+                let rendered = if v.is_finite() {
+                    json::number(*v)
+                } else {
+                    "NaN".to_string()
+                };
+                out.push_str(&format!(
+                    "# TYPE {prom_name} gauge\n{prom_name} {rendered}\n"
+                ));
+            }
+            MetricValue::Text(s) => {
+                out.push_str(&format!("# fgnvm {prom_name} {}\n", s.replace('\n', " ")));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_text() {
+        let mut reg = Registry::new();
+        reg.set_counter("serve.completions", 42);
+        reg.set_gauge("obs.read_p99", 160.0);
+        reg.set_text("cfg", "fgnvm 8x2");
+        let text = render(&reg);
+        assert_eq!(
+            text,
+            "# TYPE serve_completions counter\nserve_completions 42\n\
+             # TYPE obs_read_p99 gauge\nobs_read_p99 160.0\n\
+             # fgnvm cfg fgnvm 8x2\n"
+        );
+    }
+
+    #[test]
+    fn sanitizes_illegal_characters() {
+        assert_eq!(sanitize("serve.read-p99"), "serve_read_p99");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("a9"), "a9");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_nan() {
+        let mut reg = Registry::new();
+        reg.set_gauge("bad", f64::NAN);
+        assert!(render(&reg).contains("bad NaN\n"));
+    }
+}

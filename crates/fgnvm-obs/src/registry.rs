@@ -116,6 +116,11 @@ impl Registry {
         self.index.get(name).map(|&i| &self.metrics[i].value)
     }
 
+    /// Iterates `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|m| (m.name.as_str(), &m.value))
+    }
+
     /// Serializes as a flat JSON object in registration order.
     pub fn to_json(&self) -> String {
         let fields: Vec<String> = self

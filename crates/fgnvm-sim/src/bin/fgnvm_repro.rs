@@ -43,6 +43,8 @@
 //!   serve     crash-safe long-horizon run: serve [cfg] --horizon N
 //!             [--checkpoint-every N --checkpoint-dir D] [--resume CKPT]
 //!             [--policy reject|block] [--watchdog N]
+//!             [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE]
+//!             [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE]
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
 //! ```
@@ -50,7 +52,13 @@
 //! `serve` drives an open-loop workload for `--horizon` cycles, writing a
 //! full-state checkpoint every `--checkpoint-every` cycles; a killed run
 //! resumed with `--resume <ckpt>` finishes bit-identically to an
-//! uninterrupted one. `reliability --horizon N` switches the fault study
+//! uninterrupted one. `--telemetry-out` streams one schema-versioned JSON
+//! window record per telemetry window (`--telemetry-every N` cycles, 0
+//! disables); `--prom-out` keeps a Prometheus text exposition current;
+//! `--live` draws a sparkline status line; `--progress` prints a one-line
+//! heartbeat per window; `--slo-read-p99 N` tracks per-window SLO burn;
+//! `--dump-flight FILE` writes the flight-recorder post-mortem (JSON +
+//! ASCII timeline) at exit. `reliability --horizon N` switches the fault study
 //! to the device-lifetime sweep (the wear-out escalation ladder over
 //! increasing horizons). `--jobs N` caps sweep parallelism (0 = number of
 //! host cores).
@@ -94,6 +102,13 @@ struct Cli {
     watchdog: u64,
     jobs: usize,
     kill_resume: bool,
+    telemetry_out: Option<std::path::PathBuf>,
+    telemetry_every: Option<u64>,
+    prom_out: Option<std::path::PathBuf>,
+    live: bool,
+    progress: bool,
+    slo_read_p99: u64,
+    dump_flight: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -118,6 +133,13 @@ fn parse_args() -> Result<Cli, String> {
     let mut watchdog = 1_000_000u64;
     let mut jobs = 0usize;
     let mut kill_resume = false;
+    let mut telemetry_out = None;
+    let mut telemetry_every = None;
+    let mut prom_out = None;
+    let mut live = false;
+    let mut progress = false;
+    let mut slo_read_p99 = 0u64;
+    let mut dump_flight = None;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -199,6 +221,33 @@ fn parse_args() -> Result<Cli, String> {
                 jobs = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
             }
             "--kill-resume" => kill_resume = true,
+            "--telemetry-out" => {
+                let file = args.next().ok_or("--telemetry-out needs a file")?;
+                telemetry_out = Some(std::path::PathBuf::from(file));
+            }
+            "--telemetry-every" => {
+                let v = args.next().ok_or("--telemetry-every needs a value")?;
+                telemetry_every = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --telemetry-every value: {v}"))?,
+                );
+            }
+            "--prom-out" => {
+                let file = args.next().ok_or("--prom-out needs a file")?;
+                prom_out = Some(std::path::PathBuf::from(file));
+            }
+            "--live" => live = true,
+            "--progress" => progress = true,
+            "--slo-read-p99" => {
+                let v = args.next().ok_or("--slo-read-p99 needs a value")?;
+                slo_read_p99 = v
+                    .parse()
+                    .map_err(|_| format!("bad --slo-read-p99 value: {v}"))?;
+            }
+            "--dump-flight" => {
+                let file = args.next().ok_or("--dump-flight needs a file")?;
+                dump_flight = Some(std::path::PathBuf::from(file));
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -225,13 +274,21 @@ fn parse_args() -> Result<Cli, String> {
         watchdog,
         jobs,
         kill_resume,
+        telemetry_out,
+        telemetry_every,
+        prom_out,
+        live,
+        progress,
+        slo_read_p99,
+        dump_flight,
     })
 }
 
 fn usage() -> String {
     "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|serve|regress|summary|all> \
      [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE] [--jobs N] \
-     [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume]"
+     [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume] \
+     [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE] [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE]"
         .to_string()
 }
 
@@ -425,6 +482,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             if matches!(format, Format::Text) {
                 print!("{}", out.heatmap_ascii);
                 print!("{}", out.decomposition_ascii);
+                print!("{}", out.timeseries_ascii);
             }
             if let Some(path) = &cli.trace_out {
                 std::fs::write(path, &out.trace_json)
@@ -931,6 +989,15 @@ fn serve_command(cli: &Cli) -> Result<(), String> {
     sc.policy = fgnvm_sim::AdmissionPolicy::from_name(&cli.policy)
         .ok_or_else(|| format!("bad --policy value: {}", cli.policy))?;
     sc.watchdog_cycles = cli.watchdog;
+    if let Some(win) = cli.telemetry_every {
+        sc.telemetry_window = win;
+    }
+    sc.telemetry_out = cli.telemetry_out.clone();
+    sc.prom_out = cli.prom_out.clone();
+    sc.live = cli.live;
+    sc.progress = cli.progress;
+    sc.slo_read_p99 = cli.slo_read_p99;
+    sc.dump_flight = cli.dump_flight.clone();
     let report = match &cli.resume {
         Some(ckpt) => fgnvm_sim::resume(config, ckpt, &sc).map_err(|e| e.to_string())?,
         None => fgnvm_sim::serve(config, &sc).map_err(|e| e.to_string())?,
@@ -951,6 +1018,22 @@ fn serve_command(cli: &Cli) -> Result<(), String> {
         report.read_only_banks,
         report.read_only_write_rejections,
     );
+    if report.windows_emitted > 0 {
+        println!(
+            "telemetry: {} window(s) emitted{}",
+            report.windows_emitted,
+            cli.telemetry_out
+                .as_ref()
+                .map(|p| format!(" to {}", p.display()))
+                .unwrap_or_default(),
+        );
+    }
+    if cli.slo_read_p99 > 0 {
+        println!(
+            "slo: read p99 <= {} cy violated in {} of {} window(s)",
+            cli.slo_read_p99, report.slo_violations, report.slo_windows,
+        );
+    }
     if let Some(path) = &cli.metrics_out {
         std::fs::write(path, &report.metrics_json)
             .map_err(|e| format!("writing {}: {e}", path.display()))?;

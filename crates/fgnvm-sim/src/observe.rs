@@ -40,7 +40,17 @@ pub struct ObserveOutcome {
     pub trace_json: String,
     /// The S×C heatmap as CSV (one row per cell).
     pub heatmap_csv: String,
+    /// ASCII time-series dashboard (sparklines over telemetry windows).
+    pub timeseries_ascii: String,
 }
+
+/// Telemetry window size for instrumented runs (cycles). Small enough
+/// that the quick profiles close several windows.
+const OBSERVE_WINDOW_CYCLES: u64 = 2_000;
+/// Windows retained in the time-series ring.
+const OBSERVE_RETENTION: usize = 64;
+/// Flight-recorder capacity (events).
+const OBSERVE_FLIGHT_CAPACITY: usize = 128;
 
 /// Runs a mixed read/write workload on `config` with the observer enabled
 /// and returns every observability artifact.
@@ -57,6 +67,11 @@ pub fn observe(
     let mut memory = MemorySystem::new(*config)?;
     memory.set_fast_forward(params.fast_forward);
     memory.enable_observer();
+    memory.enable_telemetry(
+        OBSERVE_WINDOW_CYCLES,
+        OBSERVE_RETENTION,
+        OBSERVE_FLIGHT_CAPACITY,
+    );
     // A read-dominated and a write-heavy profile back to back, so spans,
     // write occupancy, retries, and tile conflicts all appear in one trace.
     let mut records = Vec::new();
@@ -72,7 +87,13 @@ pub fn observe(
     let mut reg = Registry::new();
     memory.export_metrics(&mut reg);
     result.export_metrics(&mut reg, "cpu");
-    let obs = memory.take_observer().expect("observer enabled above");
+    memory.sample_telemetry_gauges();
+    let final_cycle = memory.now().raw();
+    let mut obs = memory.take_observer().expect("observer enabled above");
+    // Close every complete window so the dashboard covers the whole run.
+    if let Some(ts) = obs.timeseries_mut() {
+        ts.roll_to(final_cycle);
+    }
     obs.export_metrics(&mut reg);
 
     Ok(ObserveOutcome {
@@ -83,6 +104,10 @@ pub fn observe(
         metrics_json: obs.metrics_json(&reg),
         trace_json: obs.trace_json(),
         heatmap_csv: obs.heatmap.to_csv(),
+        timeseries_ascii: obs
+            .timeseries()
+            .map(viz::render_timeseries)
+            .unwrap_or_default(),
     })
 }
 
@@ -178,6 +203,9 @@ mod tests {
         assert!(out.decomposition_ascii.contains("stall attribution"));
         assert!(out.decomposition_ascii.contains("service"));
         assert!(out.metrics_json.contains("\"attribution\":{\"requests\":"));
+        // The telemetry dashboard rides along with closed windows.
+        assert!(out.timeseries_ascii.starts_with("continuous telemetry ("));
+        assert!(out.timeseries_ascii.contains("arrivals"));
     }
 
     #[test]

@@ -29,14 +29,24 @@
 //!   verbatim in every checkpoint and restored verbatim on resume, so a
 //!   restored run can never trip a spurious watchdog.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use fgnvm_mem::MemorySystem;
-use fgnvm_obs::Registry;
+use fgnvm_obs::{json, prom, Registry};
 use fgnvm_types::config::SystemConfig;
 use fgnvm_types::{
     Completion, Cycle, Op, PhysAddr, SimError, SnapshotError, SnapshotReader, SnapshotWriter,
 };
+
+use crate::profile;
+use crate::viz;
+
+/// Closed windows the serve telemetry engine retains in memory.
+const TELEMETRY_RETENTION: usize = 128;
+
+/// Flight-recorder ring capacity for serve runs.
+const FLIGHT_CAPACITY: usize = 256;
 
 /// What the serve driver does when the controller's bounded request
 /// queue refuses an arrival.
@@ -94,6 +104,28 @@ pub struct ServeConfig {
     /// No-progress threshold before the watchdog auto-snapshots and
     /// aborts (0 disables the watchdog).
     pub watchdog_cycles: u64,
+    /// Telemetry window size in cycles (0 disables continuous telemetry).
+    pub telemetry_window: u64,
+    /// Stream schema-versioned JSONL window records into this file
+    /// (truncated at the start of each leg: a resumed leg writes exactly
+    /// the byte-suffix of the uninterrupted stream past its checkpoint).
+    pub telemetry_out: Option<PathBuf>,
+    /// Rewrite a Prometheus text-exposition snapshot into this file at
+    /// every window close and at run end.
+    pub prom_out: Option<PathBuf>,
+    /// Render an in-terminal sparkline/status line on stderr at every
+    /// window close.
+    pub live: bool,
+    /// Print a one-line progress heartbeat on stderr at every window
+    /// close (simulated cycle, wall rate, completions, queue depth).
+    pub progress: bool,
+    /// Read-latency p99 SLO target in cycles (0 disables SLO tracking);
+    /// per-window burn accounting lands in the final report.
+    pub slo_read_p99: u64,
+    /// Dump the flight recorder (JSON at this path, ASCII timeline at
+    /// `.txt`) at run end — and on crash, in addition to the
+    /// checkpoint-dir post-mortem.
+    pub dump_flight: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +140,13 @@ impl Default for ServeConfig {
             backoff_base: 16,
             backoff_max: 4_096,
             watchdog_cycles: 1_000_000,
+            telemetry_window: 10_000,
+            telemetry_out: None,
+            prom_out: None,
+            live: false,
+            progress: false,
+            slo_read_p99: 0,
+            dump_flight: None,
         }
     }
 }
@@ -149,6 +188,14 @@ pub struct ServeState {
     admitted: u64,
     /// Checkpoints written so far.
     checkpoints_written: u64,
+    /// Telemetry windows already emitted to the JSONL stream (the resume
+    /// cursor: a resumed leg emits only windows past this index, so its
+    /// stream is a byte-suffix of the uninterrupted one).
+    windows_seen: u64,
+    /// Windows evaluated against the read-p99 SLO.
+    slo_windows: u64,
+    /// Windows whose read p99 exceeded the SLO target.
+    slo_violations: u64,
 }
 
 impl ServeState {
@@ -164,6 +211,9 @@ impl ServeState {
             retried: 0,
             admitted: 0,
             checkpoints_written: 0,
+            windows_seen: 0,
+            slo_windows: 0,
+            slo_violations: 0,
         }
     }
 
@@ -184,6 +234,9 @@ impl ServeState {
         w.u64(self.retried);
         w.u64(self.admitted);
         w.u64(self.checkpoints_written);
+        w.u64(self.windows_seen);
+        w.u64(self.slo_windows);
+        w.u64(self.slo_violations);
     }
 
     fn load_state(r: &mut SnapshotReader<'_>) -> Result<ServeState, SnapshotError> {
@@ -210,6 +263,9 @@ impl ServeState {
             retried: r.u64()?,
             admitted: r.u64()?,
             checkpoints_written: r.u64()?,
+            windows_seen: r.u64()?,
+            slo_windows: r.u64()?,
+            slo_violations: r.u64()?,
         })
     }
 }
@@ -285,6 +341,14 @@ pub struct ServeReport {
     /// Writes rejected at the admission door because the target bank is
     /// read-only.
     pub read_only_write_rejections: u64,
+    /// Telemetry windows emitted to the JSONL stream (closed windows;
+    /// the final partial window is not counted).
+    pub windows_emitted: u64,
+    /// Windows evaluated against the read-p99 SLO (0 when SLO tracking
+    /// is off).
+    pub slo_windows: u64,
+    /// Windows whose read p99 exceeded the SLO target.
+    pub slo_violations: u64,
     /// Full metrics registry (memory + observer + serve counters) as JSON.
     pub metrics_json: String,
 }
@@ -344,6 +408,9 @@ pub fn serve(config: SystemConfig, sc: &ServeConfig) -> Result<ServeReport, SimE
     mem.set_fast_forward(true);
     mem.enable_observer();
     mem.enable_command_log(1 << 16);
+    if sc.telemetry_window > 0 {
+        mem.enable_telemetry(sc.telemetry_window, TELEMETRY_RETENTION, FLIGHT_CAPACITY);
+    }
     run_loop(&mut mem, ServeState::fresh(), sc)
 }
 
@@ -364,6 +431,198 @@ pub fn resume(
     run_loop(&mut mem, state, sc)
 }
 
+fn write_text_file(path: &Path, text: &str) -> Result<(), SimError> {
+    std::fs::write(path, text).map_err(|e| SimError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Dumps the flight recorder as a readable post-mortem: JSON + ASCII
+/// timeline. On a crash (watchdog trip, capacity exhaustion) the dump
+/// lands next to the crash checkpoint as `flight-<cycle>.{json,txt}`;
+/// a `--dump-flight` path gets the pair in either case.
+fn dump_flight_postmortem(
+    mem: &MemorySystem,
+    sc: &ServeConfig,
+    now: u64,
+    crash: bool,
+) -> Result<(), SimError> {
+    let Some(flight) = mem.observer().and_then(|o| o.flight()) else {
+        return Ok(());
+    };
+    let doc = flight.to_json();
+    let ascii = viz::render_flight(flight);
+    if crash {
+        if let Some(dir) = &sc.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| SimError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            write_text_file(&dir.join(format!("flight-{now:012}.json")), &doc)?;
+            write_text_file(&dir.join(format!("flight-{now:012}.txt")), &ascii)?;
+        }
+    }
+    if let Some(path) = &sc.dump_flight {
+        write_text_file(path, &doc)?;
+        write_text_file(&path.with_extension("txt"), &ascii)?;
+    }
+    Ok(())
+}
+
+/// Side-channel state of the telemetry exposition: the JSONL stream, the
+/// shared provenance prefix, and the wall-clock markers the heartbeat
+/// rate is computed from. None of this feeds back into simulated state.
+struct TelemetryIo {
+    jsonl: Option<(std::fs::File, PathBuf)>,
+    provenance: String,
+    wall_last: std::time::Instant,
+    cycle_last: u64,
+}
+
+impl TelemetryIo {
+    fn open(mem: &MemorySystem, sc: &ServeConfig) -> Result<TelemetryIo, SimError> {
+        // Truncate, never append: a resumed leg owns its own file and
+        // writes exactly the windows past its checkpoint, so its stream
+        // is a byte-suffix of the uninterrupted run's.
+        let jsonl = match &sc.telemetry_out {
+            Some(path) => Some((
+                std::fs::File::create(path).map_err(|e| SimError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?,
+                path.clone(),
+            )),
+            None => None,
+        };
+        // The PR 5 provenance block, minus the timestamp: window records
+        // must be byte-identical across reruns and resumes.
+        let provenance = format!(
+            "\"schema_version\":{},\"git_sha\":{},\"config_hash\":{}",
+            profile::SCHEMA_VERSION,
+            json::quote(&profile::git_sha()),
+            json::quote(&profile::fnv1a_hex(
+                format!("{:?}", mem.config()).as_bytes()
+            ))
+        );
+        Ok(TelemetryIo {
+            jsonl,
+            provenance,
+            wall_last: std::time::Instant::now(),
+            cycle_last: mem.now().raw(),
+        })
+    }
+
+    fn write_record(&mut self, body: &str) -> Result<(), SimError> {
+        if let Some((file, path)) = &mut self.jsonl {
+            let line = format!("{{{},{}}}\n", self.provenance, body);
+            file.write_all(line.as_bytes()).map_err(|e| SimError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the full metrics registry for a run: memory, observer, and
+/// serve-driver counters. Used for the final report and for every
+/// Prometheus snapshot, so both expose the same names.
+fn export_registry(mem: &MemorySystem, state: &ServeState) -> Registry {
+    let mut reg = Registry::new();
+    mem.export_metrics(&mut reg);
+    if let Some(obs) = mem.observer() {
+        obs.export_metrics(&mut reg);
+    }
+    reg.set_counter("serve.admitted", state.admitted);
+    reg.set_counter("serve.completions", state.completions);
+    reg.set_counter("serve.rejected", state.rejected);
+    reg.set_counter("serve.retried", state.retried);
+    reg.set_counter("serve.blocked_cycles", state.blocked_cycles);
+    reg.set_counter("serve.windows_emitted", state.windows_seen);
+    reg.set_counter("serve.slo_windows", state.slo_windows);
+    reg.set_counter("serve.slo_violations", state.slo_violations);
+    reg.set_counter("serve.final_cycle", mem.now().raw());
+    reg
+}
+
+/// Closes every telemetry window ending at or before `now` and emits the
+/// newly closed ones: JSONL records, SLO burn accounting, the Prometheus
+/// snapshot rewrite, and the live/progress stderr lines. Idempotent via
+/// the `windows_seen` cursor, so boundary landings and the end-of-run
+/// flush can both call it.
+fn process_telemetry_windows(
+    mem: &mut MemorySystem,
+    state: &mut ServeState,
+    sc: &ServeConfig,
+    io: &mut TelemetryIo,
+    now: u64,
+) -> Result<(), SimError> {
+    mem.sample_telemetry_gauges();
+    let Some(ts) = mem.observer_mut().and_then(|o| o.timeseries_mut()) else {
+        return Ok(());
+    };
+    ts.roll_to(now);
+    let win = ts.window_cycles();
+    let Some(obs) = mem.observer() else {
+        return Ok(());
+    };
+    let ts = obs.timeseries().expect("telemetry enabled above");
+    let mut emitted_any = false;
+    let mut status: Option<String> = None;
+    for w in ts.windows() {
+        if w.index < state.windows_seen {
+            continue;
+        }
+        io.write_record(&w.to_json(win, (w.index + 1) * win, false))?;
+        state.windows_seen = w.index + 1;
+        emitted_any = true;
+        if sc.slo_read_p99 > 0 {
+            state.slo_windows += 1;
+            if w.read_latency.percentile(0.99) > sc.slo_read_p99 {
+                state.slo_violations += 1;
+            }
+        }
+        if sc.live || sc.progress {
+            let elapsed = io.wall_last.elapsed().as_secs_f64().max(1e-9);
+            let rate = (now.saturating_sub(io.cycle_last)) as f64 / elapsed;
+            io.wall_last = std::time::Instant::now();
+            io.cycle_last = now;
+            if sc.progress {
+                eprintln!(
+                    "progress: cycle={now} window={} rate={rate:.0} cyc/s \
+                     completed={} read_queue={} write_queue={}",
+                    w.index, state.completions, w.read_queue, w.write_queue
+                );
+            }
+            if sc.live {
+                let p99s: Vec<f64> = ts
+                    .windows()
+                    .map(|w| w.read_latency.percentile(0.99) as f64)
+                    .collect();
+                let tail = p99s.len().saturating_sub(32);
+                status = Some(format!(
+                    "\r[serve] cyc {now} win {} p99r {} rq {} wq {} |{}|  ",
+                    w.index,
+                    w.read_latency.percentile(0.99),
+                    w.read_queue,
+                    w.write_queue,
+                    viz::sparkline(&p99s[tail..])
+                ));
+            }
+        }
+    }
+    if let Some(line) = status {
+        eprint!("{line}");
+    }
+    if emitted_any {
+        if let Some(path) = &sc.prom_out {
+            write_text_file(path, &prom::render(&export_registry(mem, state)))?;
+        }
+    }
+    Ok(())
+}
+
 /// The deterministic serve loop. Hops the clock event-wise between
 /// arrival, backoff, checkpoint, watchdog, and horizon boundaries; every
 /// decision is a pure function of `(mem, state, sc)`.
@@ -374,6 +633,13 @@ fn run_loop(
 ) -> Result<ServeReport, SimError> {
     let line_bytes = u64::from(mem.config().geometry.line_bytes());
     let lines = mem.config().geometry.capacity_bytes() / line_bytes.max(1);
+    // Window size comes from the (possibly restored) engine, not from
+    // `sc`: a resumed run must keep the checkpoint's window geometry.
+    let telemetry_window = mem
+        .observer()
+        .and_then(|o| o.timeseries())
+        .map(|ts| ts.window_cycles());
+    let mut tio = TelemetryIo::open(mem, sc)?;
     let mut out: Vec<Completion> = Vec::new();
     loop {
         let now = mem.now().raw();
@@ -399,6 +665,11 @@ fn run_loop(
         }
         if sc.watchdog_cycles > 0 && work_pending {
             target = target.min(state.last_progress.saturating_add(sc.watchdog_cycles));
+        }
+        // Land on every telemetry window boundary, so each window closes
+        // with its end-of-window gauges sampled before any later hook.
+        if let Some(win) = telemetry_window {
+            target = target.min((now / win + 1).saturating_mul(win));
         }
         // Land on every device event while work is in flight, so the
         // cycle the run goes idle at (and therefore the final cycle) is
@@ -433,6 +704,9 @@ fn run_loop(
                 let blob = save_checkpoint(&state, mem);
                 write_checkpoint_file(dir, &format!("crash-{now:012}.ckpt"), &blob)?;
             }
+            // The flight post-mortem is best-effort on this path: the
+            // watchdog diagnosis must surface even if a dump file fails.
+            let _ = dump_flight_postmortem(mem, sc, now, true);
             return Err(SimError::Watchdog {
                 stall_cycles: sc.watchdog_cycles,
                 now,
@@ -448,8 +722,20 @@ fn run_loop(
             });
         }
 
-        // Wear-out ladder bottom rung: surface the structured error.
-        mem.check_capacity()?;
+        // Wear-out ladder bottom rung: surface the structured error, with
+        // the flight post-mortem alongside (best-effort, like the watchdog).
+        if let Err(e) = mem.check_capacity() {
+            let _ = dump_flight_postmortem(mem, sc, now, true);
+            return Err(e);
+        }
+
+        // Close and emit telemetry windows at boundary landings — after
+        // the health checks, before any hook at this cycle can fire.
+        if let Some(win) = telemetry_window {
+            if now > 0 && now.is_multiple_of(win) {
+                process_telemetry_windows(mem, &mut state, sc, &mut tio, now)?;
+            }
+        }
 
         // Re-admit due backoff entries, oldest op first (deterministic).
         state
@@ -503,17 +789,33 @@ fn run_loop(
         }
     }
 
-    let mut reg = Registry::new();
-    mem.export_metrics(&mut reg);
-    if let Some(obs) = mem.observer() {
-        obs.export_metrics(&mut reg);
+    // End-of-run telemetry flush: close anything the last landing left
+    // behind (idempotent via the cursor), then emit the final partial
+    // window — stamped with live queue occupancy, since it never gets a
+    // boundary close — and the final Prometheus snapshot.
+    if let Some(win) = telemetry_window {
+        let now = mem.now().raw();
+        process_telemetry_windows(mem, &mut state, sc, &mut tio, now)?;
+        if let Some(ts) = mem.observer().and_then(|o| o.timeseries()) {
+            let cur = ts.current();
+            if now > cur.index * win {
+                let mut partial = cur.clone();
+                partial.read_queue = mem.read_queue_len() as u64;
+                partial.write_queue = mem.write_queue_len() as u64;
+                partial.draining = mem.draining_channels() as u64;
+                tio.write_record(&partial.to_json(win, now, true))?;
+            }
+        }
+        if sc.live {
+            eprintln!();
+        }
     }
-    reg.set_counter("serve.admitted", state.admitted);
-    reg.set_counter("serve.completions", state.completions);
-    reg.set_counter("serve.rejected", state.rejected);
-    reg.set_counter("serve.retried", state.retried);
-    reg.set_counter("serve.blocked_cycles", state.blocked_cycles);
-    reg.set_counter("serve.final_cycle", mem.now().raw());
+    dump_flight_postmortem(mem, sc, mem.now().raw(), false)?;
+
+    let reg = export_registry(mem, &state);
+    if let Some(path) = &sc.prom_out {
+        write_text_file(path, &prom::render(&reg))?;
+    }
     Ok(ServeReport {
         final_cycle: mem.now().raw(),
         admitted: state.admitted,
@@ -526,6 +828,9 @@ fn run_loop(
         retired_rows: mem.stats().retired_rows,
         read_only_banks: mem.stats().read_only_banks,
         read_only_write_rejections: mem.stats().read_only_write_rejections,
+        windows_emitted: state.windows_seen,
+        slo_windows: state.slo_windows,
+        slo_violations: state.slo_violations,
         metrics_json: reg.to_json(),
     })
 }
@@ -575,12 +880,10 @@ mod tests {
             horizon: 40_000,
             ops: 600,
             seed: 11,
-            checkpoint_every: 0,
-            checkpoint_dir: None,
-            policy: AdmissionPolicy::Reject,
             backoff_base: 8,
             backoff_max: 512,
-            watchdog_cycles: 1_000_000,
+            telemetry_window: 5_000,
+            ..ServeConfig::default()
         }
     }
 
@@ -626,6 +929,131 @@ mod tests {
         assert_eq!(full.completions, reference.completions);
         assert_eq!(full.final_cycle, reference.final_cycle);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_stream_is_schema_versioned_and_resume_is_a_byte_suffix() {
+        let dir = std::env::temp_dir().join("fgnvm-serve-telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut sc = quick_sc();
+        sc.checkpoint_every = 4_000;
+        sc.checkpoint_dir = Some(dir.clone());
+        sc.telemetry_window = 1_000;
+        sc.telemetry_out = Some(dir.join("ref.jsonl"));
+        sc.dump_flight = Some(dir.join("ref-flight.json"));
+        sc.slo_read_p99 = 1; // everything violates: burn accounting must tick
+        let full = serve(small_cfg(), &sc).expect("reference run");
+        assert!(full.windows_emitted >= 2, "{}", full.windows_emitted);
+        assert_eq!(full.slo_windows, full.windows_emitted);
+        assert!(full.slo_violations >= 1);
+        assert!(full.slo_violations <= full.slo_windows);
+
+        let ref_stream = std::fs::read_to_string(dir.join("ref.jsonl")).expect("stream");
+        // Every line is a JSON object carrying the provenance block and
+        // the window payload.
+        for line in ref_stream.lines() {
+            let doc = profile::json::parse(line).expect("valid JSON");
+            let obj = doc.as_object().expect("window record is an object");
+            for field in [
+                "schema_version",
+                "git_sha",
+                "config_hash",
+                "window",
+                "start",
+                "end",
+                "partial",
+                "arrivals",
+                "read",
+                "write",
+                "stall",
+                "instants",
+            ] {
+                assert!(
+                    obj.contains_key(field),
+                    "window record missing `{field}`: {line}"
+                );
+            }
+        }
+        // The run ends mid-window, so the stream closes with a partial
+        // record (exactly one).
+        let partials = ref_stream
+            .lines()
+            .filter(|l| l.contains("\"partial\":true"))
+            .count();
+        assert_eq!(partials, 1, "{ref_stream}");
+        assert!(ref_stream
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"partial\":true"));
+
+        // Resume from the first checkpoint into its own files: the
+        // resumed stream must be a byte-suffix of the reference stream,
+        // and the flight dump byte-identical.
+        let mut sc_res = sc.clone();
+        sc_res.telemetry_out = Some(dir.join("res.jsonl"));
+        sc_res.dump_flight = Some(dir.join("res-flight.json"));
+        let first = dir.join(format!("ckpt-{:012}.ckpt", 4_000));
+        let resumed = resume(small_cfg(), &first, &sc_res).expect("resumed run");
+        assert_eq!(resumed.windows_emitted, full.windows_emitted);
+        assert_eq!(resumed.slo_violations, full.slo_violations);
+        let res_stream = std::fs::read_to_string(dir.join("res.jsonl")).expect("stream");
+        assert!(!res_stream.is_empty());
+        assert!(
+            ref_stream.ends_with(&res_stream),
+            "resumed stream must be a byte-suffix of the reference"
+        );
+        // The suffix split lands on a line boundary.
+        let prefix_len = ref_stream.len() - res_stream.len();
+        assert!(prefix_len == 0 || ref_stream.as_bytes()[prefix_len - 1] == b'\n');
+        assert_eq!(
+            std::fs::read(dir.join("ref-flight.json")).expect("ref dump"),
+            std::fs::read(dir.join("res-flight.json")).expect("res dump"),
+            "flight ring must restore bit-for-bit"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_trip_dumps_a_flight_postmortem() {
+        let dir = std::env::temp_dir().join("fgnvm-serve-watchdog-flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sc = quick_sc();
+        // Reads take tens of cycles: a 10-cycle no-progress threshold
+        // trips while the first batch is still in the array.
+        sc.watchdog_cycles = 10;
+        sc.checkpoint_dir = Some(dir.clone());
+        sc.dump_flight = Some(dir.join("post.json"));
+        let err = serve(small_cfg(), &sc).expect_err("watchdog must trip");
+        assert!(matches!(err, SimError::Watchdog { .. }), "{err:?}");
+        let mut crash_flight = None;
+        for entry in std::fs::read_dir(&dir).expect("dir exists") {
+            let name = entry.expect("entry").file_name();
+            let name = name.to_string_lossy().to_string();
+            if name.starts_with("flight-") && name.ends_with(".json") {
+                crash_flight = Some(dir.join(&name));
+            }
+        }
+        let crash_flight = crash_flight.expect("flight post-mortem next to crash checkpoint");
+        let doc = std::fs::read_to_string(&crash_flight).expect("readable");
+        profile::json::parse(&doc).expect("flight dump is valid JSON");
+        assert!(doc.contains("\"events\":["));
+        assert!(crash_flight.with_extension("txt").exists());
+        assert!(dir.join("post.json").exists());
+        assert!(dir.join("post.txt").exists());
+        let ascii = std::fs::read_to_string(crash_flight.with_extension("txt")).expect("timeline");
+        assert!(ascii.starts_with("flight recorder:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_disabled_run_emits_nothing() {
+        let mut sc = quick_sc();
+        sc.telemetry_window = 0;
+        let report = serve(small_cfg(), &sc).expect("runs clean");
+        assert_eq!(report.windows_emitted, 0);
+        assert!(!report.metrics_json.contains("obs.telemetry."));
     }
 
     #[test]

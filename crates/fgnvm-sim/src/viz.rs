@@ -492,3 +492,263 @@ mod histogram_tests {
         assert!((sum - 100.0).abs() < 0.5, "{out}");
     }
 }
+
+/// Renders `values` as a one-line unicode sparkline (8 levels, scaled to
+/// the maximum). Empty input renders as an empty string.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let peak = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if peak <= 0.0 || *v <= 0.0 {
+                LEVELS[0]
+            } else {
+                let idx = ((v / peak) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a [`fgnvm_obs::TimeSeries`] as a compact ASCII dashboard: one
+/// sparkline per signal over the retained windows, with peaks annotated.
+pub fn render_timeseries(ts: &fgnvm_obs::TimeSeries) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let windows: Vec<&fgnvm_obs::WindowAgg> = ts.windows().collect();
+    let _ = writeln!(
+        out,
+        "continuous telemetry ({} cy windows, {} closed, {} retained):",
+        ts.window_cycles(),
+        ts.closed_total(),
+        windows.len()
+    );
+    if windows.is_empty() {
+        out.push_str("  (no closed windows yet)\n");
+        return out;
+    }
+    let signals: [(&str, &str, Vec<f64>); 5] = [
+        (
+            "arrivals",
+            "req/win",
+            windows
+                .iter()
+                .map(|w| (w.arrivals_read + w.arrivals_write) as f64)
+                .collect(),
+        ),
+        (
+            "read p99",
+            "cy",
+            windows
+                .iter()
+                .map(|w| w.read_latency.percentile(0.99) as f64)
+                .collect(),
+        ),
+        (
+            "write p99",
+            "cy",
+            windows
+                .iter()
+                .map(|w| w.write_latency.percentile(0.99) as f64)
+                .collect(),
+        ),
+        (
+            "issues",
+            "cmd/win",
+            windows.iter().map(|w| w.issues as f64).collect(),
+        ),
+        (
+            "queue",
+            "req",
+            windows
+                .iter()
+                .map(|w| (w.read_queue + w.write_queue) as f64)
+                .collect(),
+        ),
+    ];
+    for (name, unit, values) in &signals {
+        let peak = values.iter().cloned().fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "  {name:>9} |{}| peak {peak:.0} {unit}",
+            sparkline(values)
+        );
+    }
+    // Dominant stall bucket over the retained span, as a quick diagnosis.
+    let mut stall = [0u64; 10];
+    for w in &windows {
+        for (acc, c) in stall.iter_mut().zip(w.stall.iter()) {
+            *acc += c;
+        }
+    }
+    let total: u64 = stall.iter().sum();
+    if total > 0 {
+        let mut ranked: Vec<(fgnvm_obs::StallCause, u64)> = fgnvm_obs::StallCause::ALL
+            .iter()
+            .map(|c| (*c, stall[*c as usize]))
+            .collect();
+        ranked.sort_by_key(|(c, cycles)| (std::cmp::Reverse(*cycles), *c as usize));
+        out.push_str("  stall mix:");
+        for (cause, cycles) in ranked.iter().take(3).filter(|(_, cy)| *cy > 0) {
+            let _ = write!(
+                out,
+                " {} {:.0}%",
+                cause.label(),
+                *cycles as f64 * 100.0 / total as f64
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a [`fgnvm_obs::FlightRecorder`] as a readable post-mortem
+/// timeline, oldest event first.
+pub fn render_flight(flight: &fgnvm_obs::FlightRecorder) -> String {
+    use fgnvm_obs::FlightEvent;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: last {} of {} events (capacity {}):",
+        flight.len(),
+        flight.total(),
+        flight.capacity()
+    );
+    if flight.is_empty() {
+        out.push_str("  (no events recorded)\n");
+        return out;
+    }
+    for event in flight.events() {
+        let _ = match *event {
+            FlightEvent::Issue {
+                at,
+                id,
+                channel,
+                bank,
+                kind,
+                is_read,
+                sag,
+                cd,
+                retries,
+            } => writeln!(
+                out,
+                "  {at:>12} issue  id {id:<6} ch{channel} bank{bank} {} {} sag{sag} cd{cd}{}",
+                fgnvm_obs::flight::KIND_LABELS[usize::from(kind).min(4)],
+                if is_read { "read" } else { "write" },
+                if retries > 0 {
+                    format!(" retries {retries}")
+                } else {
+                    String::new()
+                }
+            ),
+            FlightEvent::Block {
+                at,
+                id,
+                cause,
+                cycles,
+            } => writeln!(
+                out,
+                "  {at:>12} block  id {id:<6} {} for {cycles} cy",
+                cause.label()
+            ),
+            FlightEvent::Retry { at, channel, bank } => writeln!(
+                out,
+                "  {at:>12} retry  ch{channel} bank{bank} write re-issued"
+            ),
+            FlightEvent::Fault {
+                at,
+                kind,
+                channel,
+                bank,
+            } => writeln!(
+                out,
+                "  {at:>12} fault  ch{channel} bank{bank} {}",
+                kind.label()
+            ),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod telemetry_viz_tests {
+    use super::*;
+    use fgnvm_obs::{FlightEvent, FlightRecorder, StallCause, TimeSeries};
+
+    #[test]
+    fn sparkline_scales_to_the_peak() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '\u{2581}');
+        assert_eq!(chars[3], '\u{2588}');
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn timeseries_dashboard_lists_every_signal() {
+        let mut ts = TimeSeries::new(100, 8);
+        let mut stall = [0u64; 10];
+        stall[StallCause::WriteBlock as usize] = 40;
+        ts.record_arrival(true, 10);
+        ts.record_completion(true, 44, &stall, 50);
+        ts.record_issue(12);
+        ts.roll_to(300);
+        let out = render_timeseries(&ts);
+        for signal in ["arrivals", "read p99", "write p99", "issues", "queue"] {
+            assert!(out.contains(signal), "{signal} missing:\n{out}");
+        }
+        assert!(out.contains("stall mix: write-block 100%"), "{out}");
+    }
+
+    #[test]
+    fn empty_timeseries_says_so() {
+        let ts = TimeSeries::new(100, 8);
+        assert!(render_timeseries(&ts).contains("no closed windows"));
+    }
+
+    #[test]
+    fn flight_timeline_covers_every_event_type() {
+        let mut f = FlightRecorder::new(8);
+        f.push(FlightEvent::Issue {
+            at: 10,
+            id: 1,
+            channel: 0,
+            bank: 2,
+            kind: 1,
+            is_read: true,
+            sag: 3,
+            cd: 0,
+            retries: 2,
+        });
+        f.push(FlightEvent::Block {
+            at: 14,
+            id: 2,
+            cause: StallCause::SagConflict,
+            cycles: 9,
+        });
+        f.push(FlightEvent::Retry {
+            at: 20,
+            channel: 1,
+            bank: 0,
+        });
+        f.push(FlightEvent::Fault {
+            at: 30,
+            kind: fgnvm_obs::InstantKind::Watchdog,
+            channel: 0,
+            bank: 0,
+        });
+        let out = render_flight(&f);
+        assert!(out.contains("issue  id 1"), "{out}");
+        assert!(out.contains("activate read sag3 cd0 retries 2"), "{out}");
+        assert!(out.contains("sag-conflict for 9 cy"), "{out}");
+        assert!(out.contains("write re-issued"), "{out}");
+        assert!(out.contains("watchdog"), "{out}");
+        assert!(render_flight(&FlightRecorder::new(4)).contains("no events"));
+    }
+}

@@ -29,7 +29,11 @@ use std::fmt;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FGNVMCK1";
 
 /// Current snapshot format version. Bump on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: the observer section gained optional telemetry state (time-series
+/// engine + flight recorder) and the serve section gained the telemetry
+/// cursor and SLO burn counters.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be decoded.
 ///

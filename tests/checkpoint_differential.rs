@@ -68,6 +68,10 @@ fn run_digest(config: SystemConfig, fast_forward: bool, mut kill_cycle: Option<u
     let mut mem = MemorySystem::new(config).expect("config admissible");
     mem.set_fast_forward(fast_forward);
     mem.enable_observer();
+    // Small telemetry windows and a tiny flight ring, so the digest also
+    // covers the time-series engine (boundary rolls, retention eviction)
+    // and flight-recorder state across the crash.
+    mem.enable_telemetry(256, 8, 32);
     mem.enable_command_log(1 << 16);
     let line_bytes = u64::from(config.geometry.line_bytes());
     let lines = config.geometry.capacity_bytes() / line_bytes;
@@ -223,6 +227,7 @@ fn resumed_serve_run_never_trips_a_spurious_watchdog() {
         backoff_max: 256,
         // Tight watchdog: well under the horizon, above any real stall.
         watchdog_cycles: 20_000,
+        ..ServeConfig::default()
     };
     let full = fgnvm_sim::serve(config, &sc).expect("uninterrupted run passes its watchdog");
     let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
@@ -240,6 +245,76 @@ fn resumed_serve_run_never_trips_a_spurious_watchdog() {
             resumed.metrics_json,
             full.metrics_json,
             "resume from {} diverged",
+            ckpt.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_stream_and_flight_dump_survive_resume_from_every_checkpoint() {
+    // The continuous-telemetry analogue of the digest tests: the JSONL
+    // window stream a resumed leg emits must be an exact byte-suffix of
+    // the uninterrupted run's stream (the windows before the checkpoint
+    // were already on disk when the "crash" happened), and the final
+    // flight-recorder dump must be byte-identical — for EVERY checkpoint
+    // the run wrote.
+    let config = SystemConfig::fgnvm(8, 2).unwrap();
+    let dir = std::env::temp_dir().join("fgnvm-telemetry-resume-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sc = ServeConfig {
+        horizon: 30_000,
+        ops: 400,
+        seed: 29,
+        checkpoint_every: 1_000,
+        checkpoint_dir: Some(dir.clone()),
+        policy: AdmissionPolicy::Reject,
+        backoff_base: 8,
+        backoff_max: 256,
+        telemetry_window: 800,
+        telemetry_out: Some(dir.join("ref.jsonl")),
+        dump_flight: Some(dir.join("ref-flight.json")),
+        ..ServeConfig::default()
+    };
+    let full = fgnvm_sim::serve(config, &sc).expect("reference run");
+    assert!(full.windows_emitted >= 4, "{}", full.windows_emitted);
+    let ref_stream = std::fs::read_to_string(dir.join("ref.jsonl")).expect("stream");
+    let ref_flight = std::fs::read(dir.join("ref-flight.json")).expect("flight dump");
+    let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .expect("checkpoints written")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 3, "expected several checkpoints");
+    for ckpt in &ckpts {
+        let stem = ckpt.file_stem().unwrap().to_string_lossy().into_owned();
+        let mut sc_res = sc.clone();
+        sc_res.telemetry_out = Some(dir.join(format!("{stem}.jsonl")));
+        sc_res.dump_flight = Some(dir.join(format!("{stem}-flight.json")));
+        let resumed = fgnvm_sim::resume(config, ckpt, &sc_res)
+            .unwrap_or_else(|e| panic!("resume from {} failed: {e}", ckpt.display()));
+        assert_eq!(resumed.windows_emitted, full.windows_emitted);
+        let res_stream =
+            std::fs::read_to_string(dir.join(format!("{stem}.jsonl"))).expect("stream");
+        assert!(
+            ref_stream.ends_with(&res_stream),
+            "resume from {} did not reproduce the window stream as a byte-suffix",
+            ckpt.display()
+        );
+        let prefix = ref_stream.len() - res_stream.len();
+        assert!(
+            prefix == 0 || ref_stream.as_bytes()[prefix - 1] == b'\n',
+            "resume from {}: suffix split mid-line",
+            ckpt.display()
+        );
+        let res_flight =
+            std::fs::read(dir.join(format!("{stem}-flight.json"))).expect("flight dump");
+        assert_eq!(
+            res_flight,
+            ref_flight,
+            "resume from {}: flight ring diverged",
             ckpt.display()
         );
     }
