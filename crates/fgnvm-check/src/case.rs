@@ -17,9 +17,13 @@
 //! op = R 17 3
 //! ```
 //!
-//! Each `op` line is `R|W <line> <gap>`: read or write cache line `line`
-//! (modulo the configuration's capacity), then step the clock `gap`
-//! cycles before the next enqueue.
+//! Each `op` line is `R|W <line> <gap> [tenant]`: read or write cache
+//! line `line` (modulo the configuration's capacity), then step the clock
+//! `gap` cycles before the next enqueue, billing the request to `tenant`
+//! (0 when omitted). Multi-tenant cases additionally carry a
+//! `tenants = N` line naming the number of tenant slots the case
+//! exercises; both are omitted for single-stream cases so legacy files
+//! keep parsing and rendering byte-identically.
 
 use crate::fuzz::{FuzzCase, FuzzModel, FuzzOp};
 
@@ -32,13 +36,26 @@ pub fn render_case(case: &FuzzCase) -> String {
     out.push_str(&format!("faulty = {}\n", case.faulty));
     out.push_str(&format!("fast_forward = {}\n", case.fast_forward));
     out.push_str(&format!("chaos = {}\n", case.chaos));
+    if case.tenants > 0 {
+        out.push_str(&format!("tenants = {}\n", case.tenants));
+    }
     for op in &case.ops {
-        out.push_str(&format!(
-            "op = {} {} {}\n",
-            if op.write { 'W' } else { 'R' },
-            op.line,
-            op.gap
-        ));
+        if case.tenants > 0 || op.tenant != 0 {
+            out.push_str(&format!(
+                "op = {} {} {} {}\n",
+                if op.write { 'W' } else { 'R' },
+                op.line,
+                op.gap,
+                op.tenant
+            ));
+        } else {
+            out.push_str(&format!(
+                "op = {} {} {}\n",
+                if op.write { 'W' } else { 'R' },
+                op.line,
+                op.gap
+            ));
+        }
     }
     out
 }
@@ -56,6 +73,7 @@ pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
         faulty: false,
         fast_forward: false,
         chaos: false,
+        tenants: 0,
         ops: Vec::new(),
     };
     let mut saw_model = false;
@@ -89,6 +107,11 @@ pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
             "faulty" => case.faulty = parse_bool(value)?,
             "fast_forward" => case.fast_forward = parse_bool(value)?,
             "chaos" => case.chaos = parse_bool(value)?,
+            "tenants" => {
+                case.tenants = value
+                    .parse::<u16>()
+                    .map_err(|_| format!("line {lineno}: tenants wants a u16, got {value:?}"))?;
+            }
             "op" => {
                 let mut parts = value.split_whitespace();
                 let dir = parts.next().unwrap_or("");
@@ -105,6 +128,12 @@ pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
                     .next()
                     .and_then(|v| v.parse::<u32>().ok())
                     .ok_or_else(|| format!("line {lineno}: op wants `R|W <line> <gap>`"))?;
+                let tenant = match parts.next() {
+                    None => 0,
+                    Some(v) => v
+                        .parse::<u16>()
+                        .map_err(|_| format!("line {lineno}: op tenant wants a u16, got {v:?}"))?,
+                };
                 if parts.next().is_some() {
                     return Err(format!("line {lineno}: trailing tokens after op"));
                 }
@@ -112,6 +141,7 @@ pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
                     write,
                     line: line_no,
                     gap,
+                    tenant,
                 });
             }
             _ => return Err(format!("line {lineno}: unknown key {key:?}")),
@@ -135,21 +165,25 @@ mod tests {
             faulty: true,
             fast_forward: false,
             chaos: false,
+            tenants: 0,
             ops: vec![
                 FuzzOp {
                     write: true,
                     line: 17,
                     gap: 0,
+                    tenant: 0,
                 },
                 FuzzOp {
                     write: false,
                     line: 17,
                     gap: 3,
+                    tenant: 0,
                 },
                 FuzzOp {
                     write: false,
                     line: 9000,
                     gap: 250,
+                    tenant: 0,
                 },
             ],
         }
@@ -163,6 +197,25 @@ mod tests {
         assert_eq!(back, case);
         // And the round trip is textually stable.
         assert_eq!(render_case(&back), text);
+    }
+
+    #[test]
+    fn multi_tenant_cases_round_trip_and_legacy_files_still_parse() {
+        let mut case = sample();
+        case.tenants = 3;
+        case.ops[0].tenant = 2;
+        case.ops[2].tenant = 1;
+        let text = render_case(&case);
+        assert!(text.contains("tenants = 3"), "{text}");
+        assert!(text.contains("op = W 17 0 2"), "{text}");
+        let back = parse_case(&text).expect("tenant case parses");
+        assert_eq!(back, case);
+        assert_eq!(render_case(&back), text);
+        // A pre-tenant file (three-token ops, no tenants line) parses to
+        // tenant 0 everywhere.
+        let legacy = parse_case("model = fgnvm\nop = R 5 10\n").expect("legacy parses");
+        assert_eq!(legacy.tenants, 0);
+        assert_eq!(legacy.ops[0].tenant, 0);
     }
 
     #[test]
@@ -181,9 +234,15 @@ mod tests {
         assert!(parse_case("model = fgnvm\nsags = many\n")
             .unwrap_err()
             .contains("integer"));
-        assert!(parse_case("model = fgnvm\nop = R 1 2 3\n")
+        assert!(parse_case("model = fgnvm\nop = R 1 2 3 4 5\n")
             .unwrap_err()
             .contains("trailing"));
+        assert!(parse_case("model = fgnvm\nop = R 1 2 tenantx\n")
+            .unwrap_err()
+            .contains("u16"));
+        assert!(parse_case("model = fgnvm\ntenants = -1\n")
+            .unwrap_err()
+            .contains("u16"));
     }
 
     #[test]

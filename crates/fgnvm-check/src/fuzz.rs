@@ -83,6 +83,8 @@ pub struct FuzzOp {
     pub line: u64,
     /// Cycles to step the clock before the next enqueue.
     pub gap: u32,
+    /// Tenant the request is billed to (0 in single-stream cases).
+    pub tenant: u16,
 }
 
 /// A complete, replayable fuzz input.
@@ -101,6 +103,11 @@ pub struct FuzzCase {
     /// Enable the test-only illegal-issue knob (the deliberate scheduler
     /// mutation the oracle must catch).
     pub chaos: bool,
+    /// Tenant slots the case exercises (0 = legacy single-stream case).
+    /// When nonzero, ops carry tenant tags below this count; the highest
+    /// slot is deliberately zero-rate, so silent-tenant accounting is
+    /// fuzzed too.
+    pub tenants: u16,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -251,14 +258,14 @@ fn execute_inner(case: &FuzzCase, mut kill: Option<u64>) -> Result<CaseReport, S
     for op in &case.ops {
         let addr = PhysAddr::new((op.line % lines.max(1)) * line_bytes);
         let kind = if op.write { Op::Write } else { Op::Read };
-        let mut id = memory.enqueue(kind, addr);
+        let mut id = memory.enqueue_for(kind, addr, op.tenant);
         if id.is_none() {
             // Queue full: drain a bounded window, then retry once. A still
             // -full queue after 64k cycles is a stall the watchdog below
             // would also catch; just drop the op.
             let target = fgnvm_types::Cycle::new(memory.now().raw() + 65_536);
             advance_with_kill(&mut memory, target, &mut completions, &mut kill, case.chaos)?;
-            id = memory.enqueue(kind, addr);
+            id = memory.enqueue_for(kind, addr, op.tenant);
         }
         if let Some(id) = id {
             accepted.push(id);
@@ -339,6 +346,12 @@ pub struct FuzzOptions {
     /// final full-state digest, proving checkpoint/restore is exact at
     /// arbitrary kill points.
     pub kill_resume: bool,
+    /// Multi-tenant mode: every generated case tags its ops with 2–4
+    /// tenant slots — one deliberately zero-rate, one bursty — so the
+    /// tenant-conservation invariant and the per-tenant checkpoint state
+    /// get fuzzed. Off by default so legacy case streams stay
+    /// byte-reproducible from their seeds.
+    pub tenants: bool,
 }
 
 impl Default for FuzzOptions {
@@ -349,6 +362,7 @@ impl Default for FuzzOptions {
             max_ops: 96,
             chaos: false,
             kill_resume: false,
+            tenants: false,
         }
     }
 }
@@ -383,7 +397,13 @@ pub struct FuzzOutcome {
 }
 
 /// Generates the `index`-th case of a run seeded with `seed`.
-pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> FuzzCase {
+pub fn generate_case(
+    seed: u64,
+    index: usize,
+    max_ops: usize,
+    chaos: bool,
+    tenant_mode: bool,
+) -> FuzzCase {
     let mut rng = crate::derive_seed("fgnvm-check::fuzz-case", seed ^ (index as u64) << 1);
     let mut next = move || splitmix64(&mut rng);
     let model = if chaos {
@@ -394,6 +414,20 @@ pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> Fu
     const DIMS: [u32; 6] = [1, 2, 4, 8, 16, 32];
     let sags = DIMS[(next() % 6) as usize];
     let cds = DIMS[(next() % 6) as usize];
+    // 2–4 tenant slots; the highest slot never sends (zero-rate), and one
+    // of the active slots fires its ops in gapless bursts.
+    let tenants: u16 = if tenant_mode {
+        2 + (next() % 3) as u16
+    } else {
+        0
+    };
+    let active = u64::from(tenants.saturating_sub(1)).max(1);
+    let bursty: u16 = if tenant_mode {
+        (next() % active) as u16
+    } else {
+        0
+    };
+    let mut burst_left = 0u32;
     let n_ops = 1 + (next() as usize) % max_ops.max(1);
     let mut ops = Vec::with_capacity(n_ops);
     for _ in 0..n_ops {
@@ -409,7 +443,23 @@ pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> Fu
             5 | 6 => (next() % 64) as u32,
             _ => (next() % 2048) as u32,
         };
-        ops.push(FuzzOp { write, line, gap });
+        let (tenant, gap) = if !tenant_mode {
+            (0, gap)
+        } else if burst_left > 0 {
+            burst_left -= 1;
+            (bursty, 0)
+        } else if next() % 6 == 0 {
+            burst_left = 1 + (next() % 5) as u32;
+            (bursty, 0)
+        } else {
+            ((next() % active) as u16, gap)
+        };
+        ops.push(FuzzOp {
+            write,
+            line,
+            gap,
+            tenant,
+        });
     }
     FuzzCase {
         model,
@@ -418,6 +468,7 @@ pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> Fu
         faulty: next() % 4 == 0,
         fast_forward: next() % 2 == 0,
         chaos,
+        tenants,
         ops,
     }
 }
@@ -426,7 +477,7 @@ pub fn generate_case(seed: u64, index: usize, max_ops: usize, chaos: bool) -> Fu
 /// a minimal reproducer.
 pub fn fuzz(opts: &FuzzOptions) -> FuzzOutcome {
     for index in 0..opts.cases {
-        let mut case = generate_case(opts.seed, index, opts.max_ops, opts.chaos);
+        let mut case = generate_case(opts.seed, index, opts.max_ops, opts.chaos, opts.tenants);
         if case.build_config().is_err() {
             // Inadmissible geometry for this model; fall back to the
             // canonical paper grid rather than wasting the slot.
@@ -580,6 +631,14 @@ fn shrink(case: &FuzzCase, mut message: String) -> (FuzzCase, String) {
         c.fast_forward = false
     });
     try_edit(&mut best, &mut message, &mut budget, &|c| c.chaos = false);
+    try_edit(&mut best, &mut message, &mut budget, &|c| {
+        // Collapse tenancy entirely: if the failure survives, it has
+        // nothing to do with multi-tenant accounting.
+        c.tenants = 0;
+        for op in &mut c.ops {
+            op.tenant = 0;
+        }
+    });
     for dims in [(1, 1), (2, 2), (4, 2), (8, 2)] {
         try_edit(&mut best, &mut message, &mut budget, &|c| {
             c.sags = dims.0;
@@ -591,6 +650,9 @@ fn shrink(case: &FuzzCase, mut message: String) -> (FuzzCase, String) {
         try_edit(&mut best, &mut message, &mut budget, &|c| {
             c.ops[i].line %= 64
         });
+        try_edit(&mut best, &mut message, &mut budget, &|c| {
+            c.ops[i].tenant = 0
+        });
     }
     (best, message)
 }
@@ -601,16 +663,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate_case(7, 3, 64, false);
-        let b = generate_case(7, 3, 64, false);
+        let a = generate_case(7, 3, 64, false, false);
+        let b = generate_case(7, 3, 64, false, false);
         assert_eq!(a, b);
-        assert_ne!(a, generate_case(7, 4, 64, false));
+        assert_ne!(a, generate_case(7, 4, 64, false, false));
     }
 
     #[test]
     fn chaos_generation_stays_on_tile_aware_models() {
         for index in 0..32 {
-            let case = generate_case(11, index, 16, true);
+            let case = generate_case(11, index, 16, true, false);
             assert!(
                 FuzzModel::CHAOS_ELIGIBLE.contains(&case.model),
                 "chaos case {index} drew {:?}",
@@ -618,6 +680,54 @@ mod tests {
             );
             assert!(case.chaos);
         }
+    }
+
+    #[test]
+    fn tenant_generation_draws_a_silent_and_a_bursty_tenant() {
+        let mut saw_burst = false;
+        for index in 0..32 {
+            let case = generate_case(23, index, 64, false, true);
+            assert!(
+                (2..=4).contains(&case.tenants),
+                "case {index} drew {} tenant slots",
+                case.tenants
+            );
+            // The highest slot is zero-rate: no op may ever use it.
+            assert!(
+                case.ops.iter().all(|op| op.tenant < case.tenants - 1),
+                "case {index} billed an op to the zero-rate tenant"
+            );
+            saw_burst |= case
+                .ops
+                .windows(2)
+                .any(|w| w[0].tenant == w[1].tenant && w[0].gap == 0 && w[1].gap == 0);
+        }
+        assert!(saw_burst, "no gapless same-tenant burst in 32 cases");
+        // Tenant mode never leaks into legacy generation.
+        for index in 0..8 {
+            let case = generate_case(23, index, 64, false, false);
+            assert_eq!(case.tenants, 0);
+            assert!(case.ops.iter().all(|op| op.tenant == 0));
+        }
+    }
+
+    #[test]
+    fn multi_tenant_fuzz_batch_with_kill_resume_is_clean() {
+        let opts = FuzzOptions {
+            cases: 12,
+            seed: crate::derive_seed("fgnvm-check::tenant-fuzz-test", 0),
+            max_ops: 48,
+            chaos: false,
+            kill_resume: true,
+            tenants: true,
+        };
+        let outcome = fuzz(&opts);
+        assert!(
+            outcome.failure.is_none(),
+            "multi-tenant fuzz failure: {}",
+            outcome.failure.unwrap().message
+        );
+        assert_eq!(outcome.cases_run, 12);
     }
 
     #[test]
@@ -629,11 +739,13 @@ mod tests {
             faulty: false,
             fast_forward: true,
             chaos: false,
+            tenants: 0,
             ops: (0..24)
                 .map(|i| FuzzOp {
                     write: i % 3 == 0,
                     line: i * 7,
                     gap: (i % 5 * 10) as u32,
+                    tenant: 0,
                 })
                 .collect(),
         };
@@ -651,11 +763,13 @@ mod tests {
             faulty: true,
             fast_forward: true,
             chaos: false,
+            tenants: 0,
             ops: (0..32)
                 .map(|i| FuzzOp {
                     write: i % 3 == 0,
                     line: i * 5,
                     gap: (i % 7 * 9) as u32,
+                    tenant: 0,
                 })
                 .collect(),
         };
@@ -687,6 +801,7 @@ mod tests {
             max_ops: 48,
             chaos: false,
             kill_resume: true,
+            tenants: false,
         };
         let outcome = fuzz(&opts);
         assert!(

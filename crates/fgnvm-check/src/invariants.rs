@@ -21,6 +21,11 @@
 //!   the windowed engine is attached) reproduces the cumulative latency
 //!   histograms, stall-attribution aggregates, and instant counters
 //!   exactly.
+//! - **Tenant conservation**: the controller's per-tenant counters and
+//!   the telemetry engine's per-tenant window slices each fold exactly to
+//!   their globals, and the two independently-tagged paths agree tenant
+//!   by tenant — so billing a request to the wrong tenant is caught even
+//!   when every global counter still balances.
 //! - **Occupancy quiescence**: once the system reports idle, no bank
 //!   resource may still claim a busy window in the future.
 //! - **Exactly-once completion**: every accepted request id completes
@@ -383,6 +388,172 @@ pub fn check_timeseries_conservation(
     report
 }
 
+/// Tenant conservation: the controller's per-tenant counters and the
+/// time-series engine's per-tenant window slices must each fold exactly
+/// to their own global counters, and the two independently-tagged paths
+/// must agree tenant by tenant.
+///
+/// The two sides tag tenants at different places — the controller from
+/// the completion [`Event`](fgnvm_types::Event), the observer from the
+/// attribution record captured at enqueue — so a request billed to the
+/// wrong tenant on either path shows up as a cross-path mismatch even
+/// when every global counter still balances. Untagged traffic (wear
+/// rotation, prefetch) rides tenant 0 on both sides, which is what makes
+/// the folds exact rather than `<=`.
+///
+/// The window-slice checks are skipped when no time-series engine is
+/// attached; the controller fold always runs.
+pub fn check_tenant_conservation(
+    observer: Option<&Observer>,
+    stats: &fgnvm_mem::SystemStats,
+) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    report.checked.push("tenant-conservation");
+
+    // Controller-side fold: per-tenant counters sum to the globals.
+    let mut fold = fgnvm_mem::TenantStats::default();
+    for t in &stats.tenants {
+        fold.enqueued_reads += t.enqueued_reads;
+        fold.enqueued_writes += t.enqueued_writes;
+        fold.completed_reads += t.completed_reads;
+        fold.completed_writes += t.completed_writes;
+        fold.read_latency_total += t.read_latency_total;
+        fold.write_latency_total += t.write_latency_total;
+        for (acc, b) in fold.read_latency_hist.iter_mut().zip(&t.read_latency_hist) {
+            *acc += b;
+        }
+        for (acc, b) in fold
+            .write_latency_hist
+            .iter_mut()
+            .zip(&t.write_latency_hist)
+        {
+            *acc += b;
+        }
+    }
+    for (name, got, want) in [
+        ("enqueued reads", fold.enqueued_reads, stats.enqueued_reads),
+        (
+            "enqueued writes",
+            fold.enqueued_writes,
+            stats.enqueued_writes,
+        ),
+        (
+            "completed reads",
+            fold.completed_reads,
+            stats.completed_reads,
+        ),
+        (
+            "completed writes",
+            fold.completed_writes,
+            stats.completed_writes,
+        ),
+        (
+            "read latency cycles",
+            fold.read_latency_total,
+            stats.read_latency_total.raw(),
+        ),
+        (
+            "write latency cycles",
+            fold.write_latency_total,
+            stats.write_latency_total.raw(),
+        ),
+    ] {
+        if got != want {
+            report.failures.push(format!(
+                "tenant conservation: per-tenant {name} sum to {got} but the system counted {want}"
+            ));
+        }
+    }
+    if fold.read_latency_hist != stats.read_latency_hist
+        || fold.write_latency_hist != stats.write_latency_hist
+    {
+        report.failures.push(
+            "tenant conservation: per-tenant latency buckets do not fold to the global histograms"
+                .to_string(),
+        );
+    }
+
+    let Some(ts) = observer.and_then(|obs| obs.timeseries()) else {
+        return report;
+    };
+    let agg = ts.aggregate();
+
+    // Observer-side fold: per-tenant window slices sum to the window
+    // aggregate's own global histograms and stall buckets.
+    let mut wfold = fgnvm_obs::TenantWindow::default();
+    for t in &agg.tenants {
+        wfold.fold(t);
+    }
+    if wfold.arrivals_read != agg.arrivals_read || wfold.arrivals_write != agg.arrivals_write {
+        report.failures.push(format!(
+            "tenant conservation: tenant window slices saw {}r/{}w arrivals but the windows \
+             themselves saw {}r/{}w",
+            wfold.arrivals_read, wfold.arrivals_write, agg.arrivals_read, agg.arrivals_write
+        ));
+    }
+    for (class, folded, global) in [
+        ("read", &wfold.read_latency, &agg.read_latency),
+        ("write", &wfold.write_latency, &agg.write_latency),
+    ] {
+        if folded.counts() != global.counts() || folded.sum() != global.sum() {
+            report.failures.push(format!(
+                "tenant conservation ({class}s): tenant slices fold to {} samples / {} cycles \
+                 but the window aggregate holds {} / {}",
+                folded.count(),
+                folded.sum(),
+                global.count(),
+                global.sum()
+            ));
+        }
+    }
+    if wfold.stall != agg.stall {
+        report.failures.push(format!(
+            "tenant conservation: tenant stall buckets fold to {:?} but the window aggregate \
+             holds {:?}",
+            wfold.stall, agg.stall
+        ));
+    }
+
+    // Cross-path: the controller's tenant table (tagged from completion
+    // events) against the observer's tenant slices (tagged from
+    // attribution records), tenant by tenant.
+    let n = stats.tenants.len().max(agg.tenants.len());
+    let ctrl_default = fgnvm_mem::TenantStats::default();
+    let obs_default = fgnvm_obs::TenantWindow::default();
+    for i in 0..n {
+        let c = stats.tenants.get(i).unwrap_or(&ctrl_default);
+        let w = agg.tenants.get(i).unwrap_or(&obs_default);
+        for (name, ctrl, wind) in [
+            ("enqueued reads", c.enqueued_reads, w.arrivals_read),
+            ("enqueued writes", c.enqueued_writes, w.arrivals_write),
+            ("completed reads", c.completed_reads, w.read_latency.count()),
+            (
+                "completed writes",
+                c.completed_writes,
+                w.write_latency.count(),
+            ),
+            (
+                "read latency cycles",
+                c.read_latency_total,
+                w.read_latency.sum(),
+            ),
+            (
+                "write latency cycles",
+                c.write_latency_total,
+                w.write_latency.sum(),
+            ),
+        ] {
+            if ctrl != wind {
+                report.failures.push(format!(
+                    "tenant misattribution: tenant {i} {name} — controller counted {ctrl}, \
+                     telemetry windows counted {wind}"
+                ));
+            }
+        }
+    }
+    report
+}
+
 /// Every accepted request id completes exactly once.
 pub fn check_completions(accepted: &[RequestId], completions: &[Completion]) -> InvariantReport {
     let mut report = InvariantReport::default();
@@ -440,6 +611,7 @@ pub fn standard_report(
         report.merge(check_heatmap_totals(obs, &banks));
         report.merge(check_timeseries_conservation(obs, memory.stats()));
     }
+    report.merge(check_tenant_conservation(observer, memory.stats()));
     report.merge(check_energy(config, &banks, &memory.energy()));
     report.merge(check_occupancy_quiesced(memory));
     report
@@ -488,9 +660,75 @@ mod tests {
         // the class of drift the rule exists to catch.
         obs.timeseries_mut()
             .expect("attached")
-            .record_arrival(true, memory.now().raw());
+            .record_arrival(true, 0, memory.now().raw());
         let report = check_timeseries_conservation(&obs, memory.stats());
         assert!(!report.is_clean());
+    }
+
+    /// Like [`run_with_telemetry`] but spreads the traffic across three
+    /// tenants via the tagged enqueue path.
+    fn run_multi_tenant() -> (MemorySystem, Observer) {
+        let config = SystemConfig::fgnvm(8, 2).expect("valid config");
+        let mut memory = MemorySystem::new(config).expect("valid system");
+        memory.enable_observer();
+        memory.enable_telemetry(64, 4, 16);
+        let line = u64::from(config.geometry.line_bytes());
+        let mut out = Vec::new();
+        for i in 0..60u64 {
+            let kind = if i % 3 == 0 { Op::Write } else { Op::Read };
+            let tenant = (i % 5 % 3) as u16;
+            memory.enqueue_for(kind, PhysAddr::new(i * 7 % 256 * line), tenant);
+            memory.tick_to(Cycle::new(i * 9), &mut out);
+        }
+        while !memory.is_idle() {
+            out.extend(memory.tick());
+        }
+        let obs = memory.take_observer().expect("observer enabled above");
+        (memory, *obs)
+    }
+
+    #[test]
+    fn tenant_conservation_holds_on_a_multi_tenant_run() {
+        let (memory, obs) = run_multi_tenant();
+        let stats = memory.stats();
+        assert!(
+            stats.tenants.len() >= 3 && stats.tenants.iter().all(|t| t.completed_reads > 0),
+            "run should exercise three tenants"
+        );
+        let report = check_tenant_conservation(Some(&obs), stats);
+        assert_eq!(report.checked, vec!["tenant-conservation"]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn tenant_conservation_catches_cross_tenant_misattribution() {
+        let (memory, obs) = run_multi_tenant();
+        // Bill one of tenant 0's completed reads to tenant 1 on the
+        // controller side only. Every global counter still balances, and
+        // the controller fold still balances — only the cross-path check
+        // against the independently-tagged telemetry slices can see it.
+        let mut stats = memory.stats().clone();
+        let bucket = stats.tenants[0]
+            .read_latency_hist
+            .iter()
+            .position(|&b| b > 0)
+            .expect("tenant 0 completed at least one read");
+        let lat = 1u64 << bucket;
+        stats.tenants[0].completed_reads -= 1;
+        stats.tenants[0].read_latency_total -= lat;
+        stats.tenants[0].read_latency_hist[bucket] -= 1;
+        let shifted = stats.tenant_mut(1);
+        shifted.completed_reads += 1;
+        shifted.read_latency_total += lat;
+        shifted.read_latency_hist[bucket] += 1;
+        let report = check_tenant_conservation(Some(&obs), &stats);
+        assert!(!report.is_clean(), "misattribution must be detected");
+        assert!(
+            report.failures.iter().any(|f| f.contains("misattribution")),
+            "{report}"
+        );
+        // Sanity: the untampered stats stay clean.
+        assert!(check_tenant_conservation(Some(&obs), memory.stats()).is_clean());
     }
 
     #[test]

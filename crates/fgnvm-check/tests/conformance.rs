@@ -153,6 +153,7 @@ fn fuzzer_catches_chaos_mutation_with_replayable_counterexample() {
         max_ops: 64,
         chaos: true,
         kill_resume: false,
+        tenants: false,
     };
     let outcome = fuzz(&opts);
     let failure = outcome.failure.unwrap_or_else(|| {
@@ -191,6 +192,7 @@ fn fuzzer_is_clean_on_the_unmutated_simulator() {
         max_ops: 48,
         chaos: false,
         kill_resume: false,
+        tenants: false,
     };
     let outcome = fuzz(&opts);
     if let Some(failure) = &outcome.failure {

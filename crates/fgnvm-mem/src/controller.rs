@@ -46,6 +46,7 @@ struct Event {
     id_raw: u64,
     is_read: bool,
     arrival: Cycle,
+    tenant: u16,
 }
 
 /// Rank-to-rank data-bus turnaround (tRTRS): bursts from different ranks
@@ -381,11 +382,13 @@ impl Controller {
                     // Store-to-load forwarding from the write queue.
                     stats.forwarded_reads += 1;
                     stats.enqueued_reads += 1;
+                    stats.note_enqueued(pending.request.tenant, true);
                     self.events.push(Reverse(Event {
                         at: now + CycleCount::ONE,
                         id_raw: pending.request.id.raw(),
                         is_read: true,
                         arrival: pending.request.arrival,
+                        tenant: pending.request.tenant,
                     }));
                     return Enqueue::Satisfied;
                 }
@@ -395,6 +398,7 @@ impl Controller {
                 }
                 self.queued_reads_per_bank[pending.bank_index] += 1;
                 stats.enqueued_reads += 1;
+                stats.note_enqueued(pending.request.tenant, true);
                 Enqueue::Accepted
             }
             Op::Write => {
@@ -403,11 +407,13 @@ impl Controller {
                     // merged request is acknowledged immediately.
                     stats.merged_writes += 1;
                     stats.enqueued_writes += 1;
+                    stats.note_enqueued(pending.request.tenant, false);
                     self.events.push(Reverse(Event {
                         at: now + CycleCount::ONE,
                         id_raw: pending.request.id.raw(),
                         is_read: false,
                         arrival: pending.request.arrival,
+                        tenant: pending.request.tenant,
                     }));
                     return Enqueue::Satisfied;
                 }
@@ -417,6 +423,7 @@ impl Controller {
                 }
                 self.queued_writes_per_bank[pending.bank_index] += 1;
                 stats.enqueued_writes += 1;
+                stats.note_enqueued(pending.request.tenant, false);
                 Enqueue::Accepted
             }
         }
@@ -444,9 +451,9 @@ impl Controller {
             mutated = true;
             let Reverse(ev) = self.events.pop().expect("peeked event exists");
             if ev.is_read {
-                stats.record_read(ev.at.saturating_since(ev.arrival));
+                stats.record_read(ev.tenant, ev.at.saturating_since(ev.arrival));
             } else {
-                stats.record_write(ev.at.saturating_since(ev.arrival));
+                stats.record_write(ev.tenant, ev.at.saturating_since(ev.arrival));
             }
             if let Some(obs) = obs.as_deref_mut() {
                 obs.on_completed(ev.id_raw, ev.at.raw());
@@ -456,6 +463,7 @@ impl Controller {
                 op: if ev.is_read { Op::Read } else { Op::Write },
                 arrival: ev.arrival,
                 finished: ev.at,
+                tenant: ev.tenant,
             });
         }
 
@@ -674,6 +682,7 @@ impl Controller {
                 id_raw: pending.request.id.raw(),
                 is_read: true,
                 arrival: pending.request.arrival,
+                tenant: pending.request.tenant,
             }));
         } else if issued.faults.verify_failed {
             // The write exhausted its on-die retry budget without a clean
@@ -704,6 +713,7 @@ impl Controller {
                 id_raw: pending.request.id.raw(),
                 is_read: false,
                 arrival: pending.request.arrival,
+                tenant: pending.request.tenant,
             }));
         }
         // The issue moved queue and bank state: the issue bound no longer
@@ -870,9 +880,11 @@ impl Controller {
             }
             earliest = ev.at;
         }
-        // Which queues would the next tick consider? `draining` is updated
-        // at tick start from queue occupancy, which cannot change between
-        // ticks, so recompute the value the next tick will see.
+        // Which queues would the next tick consider? `draining` is
+        // settled from queue occupancy at every tick and across every
+        // fast-forward skip (see `settle_drain`), so one update here is
+        // exactly the value the next tick will see — any enqueue in
+        // between clears the calendar memo and forces a rescan.
         let drain_next = self.drain.update(self.draining, self.writes.len());
         let consider_reads = !drain_next || self.scheduler.reads_during_drain();
         let consider_writes = drain_next || self.reads.is_empty();
@@ -946,6 +958,19 @@ impl Controller {
     pub fn account_skipped_cycles(&self, skipped: u64, stats: &mut SystemStats) {
         stats.read_queue_depth_sum += self.reads.len() as u64 * skipped;
         stats.queue_depth_samples += skipped;
+    }
+
+    /// Applies the drain-hysteresis updates the elided ticks would have
+    /// applied. Queue occupancy is frozen across a skip and
+    /// [`DrainPolicy::update`] is a fixpoint under constant occupancy, so
+    /// one update folds the whole stretch. Fast-forward must call this
+    /// when it skips: the flag otherwise stays stale until the next
+    /// sparse tick, by which time *enqueues* may have moved the occupancy
+    /// — the hysteresis would then read a future queue depth and diverge
+    /// from a cycle-stepped run at the watermarks (a stepped run settles
+    /// the flag every cycle, including the cycles a skip elides).
+    pub fn settle_drain(&mut self) {
+        self.draining = self.drain.update(self.draining, self.writes.len());
     }
 
     /// Occupancy of the read queue.
@@ -1056,6 +1081,7 @@ impl Controller {
             w.u64(e.id_raw);
             w.bool(e.is_read);
             w.u64(e.arrival.raw());
+            w.u32(u32::from(e.tenant));
         }
         self.bus.save_state(w);
         match self.last_burst {
@@ -1122,11 +1148,13 @@ impl Controller {
             let id_raw = r.u64()?;
             let is_read = r.bool()?;
             let arrival = Cycle::new(r.u64()?);
+            let tenant = r.u32()? as u16;
             self.events.push(Reverse(Event {
                 at,
                 id_raw,
                 is_read,
                 arrival,
+                tenant,
             }));
         }
         self.bus.load_state(r)?;

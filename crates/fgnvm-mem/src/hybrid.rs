@@ -269,6 +269,7 @@ impl MemoryBackend for HybridMemory {
                 op: Op::Read,
                 arrival: at,
                 finished: at,
+                tenant: 0,
             });
         }
         self.pcm.tick_into(out);

@@ -56,6 +56,6 @@ pub use controller::{Controller, Enqueue};
 pub use data::DataStore;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use hybrid::HybridMemory;
-pub use stats::SystemStats;
+pub use stats::{SystemStats, TenantStats};
 pub use system::{MemorySystem, Sample};
 pub use wear::{StartGap, WearTracker};

@@ -219,6 +219,7 @@ pub(crate) fn save_pending(p: &Pending, w: &mut fgnvm_types::SnapshotWriter) {
         Priority::Demand => 0,
         Priority::Prefetch => 1,
     });
+    w.u32(u32::from(p.request.tenant));
     w.u32(p.decoded.channel);
     w.u32(p.decoded.rank);
     w.u32(p.decoded.bank);
@@ -267,6 +268,7 @@ pub(crate) fn load_pending(
     };
     let mut request = Request::new(id, op, addr, arrival);
     request.priority = priority;
+    request.tenant = r.u32()? as u16;
     let decoded = DecodedAddr {
         channel: r.u32()?,
         rank: r.u32()?,
@@ -317,9 +319,12 @@ impl DrainPolicy {
     /// This is a pure function, and it is a *fixpoint* under constant
     /// occupancy: `update(update(d, n), n) == update(d, n)`. The
     /// event-driven fast-forward path depends on that — while nothing
-    /// issues or retires, queue occupancy is frozen, so the drain flag
-    /// settles after one update and every skipped controller tick would
-    /// have recomputed the same value.
+    /// issues, retires, *or enqueues*, queue occupancy is frozen, so the
+    /// drain flag settles after one update and every skipped controller
+    /// tick would have recomputed the same value. Enqueues *do* land
+    /// between ticks, which is why every fast-forward skip settles the
+    /// flag over the elided stretch before the occupancy can move again
+    /// (`Controller::settle_drain`).
     pub fn update(&self, draining: bool, occupancy: usize) -> bool {
         if draining {
             occupancy > self.low

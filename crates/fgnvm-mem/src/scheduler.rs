@@ -80,6 +80,7 @@ pub fn make_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
         SchedulerKind::Frfcfs => Box::new(Frfcfs),
         SchedulerKind::FrfcfsTlp => Box::new(FrfcfsTlp),
         SchedulerKind::FrfcfsCap => Box::new(FrfcfsCap::new(4)),
+        SchedulerKind::FrfcfsQos => Box::new(FrfcfsQos::new()),
     }
 }
 
@@ -436,6 +437,274 @@ impl Scheduler for FrfcfsCap {
         r.tag("sched.cap")?;
         self.streak.set(r.u32()?);
         Ok(())
+    }
+}
+
+/// FRFCFS with tenant fairness: among issuable requests, the tenant with
+/// the least service so far goes first (ties break toward the lower
+/// tenant id), and *within* the chosen tenant the usual FRFCFS order
+/// applies — row hits first, then oldest demand, then oldest prefetch.
+/// Both the read pick and the write drain use the same least-service
+/// rule, so neither a read storm nor a write burst from one tenant can
+/// monopolize the channel.
+///
+/// Service is counted in granted commands per tenant — interior-mutable
+/// like [`FrfcfsCap`]'s streak, and mutated only when a pick is returned,
+/// so eliding a provably empty pick stays bit-identical (the controller's
+/// calendar relies on that).
+#[derive(Debug, Default)]
+pub struct FrfcfsQos {
+    served: std::cell::RefCell<Vec<u64>>,
+}
+
+impl FrfcfsQos {
+    /// Creates the policy with zeroed service counters.
+    pub fn new() -> Self {
+        FrfcfsQos::default()
+    }
+
+    fn served(&self, tenant: u16) -> u64 {
+        self.served
+            .borrow()
+            .get(usize::from(tenant))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn grant(&self, tenant: u16) {
+        let mut served = self.served.borrow_mut();
+        let index = usize::from(tenant);
+        if served.len() <= index {
+            served.resize(index + 1, 0);
+        }
+        served[index] += 1;
+    }
+
+    /// One arrival-order pass: tracks the least-served tenant that has at
+    /// least one issuable entry, and within that tenant the best pick by
+    /// FRFCFS layering (row hit > oldest demand > oldest prefetch).
+    fn qos_pick(&self, queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Option<Pick> {
+        let mut best_key: Option<(u64, u16)> = None;
+        let mut hit: Option<Pick> = None;
+        let mut demand: Option<Pick> = None;
+        let mut prefetch: Option<Pick> = None;
+        for (index, pending) in queue.iter().enumerate() {
+            if bank_not_ready(banks[pending.bank_index].as_ref(), now) {
+                continue;
+            }
+            let Ok(plan) = banks[pending.bank_index].plan(&pending.access, now) else {
+                continue;
+            };
+            let tenant = pending.request.tenant;
+            let key = (self.served(tenant), tenant);
+            match best_key {
+                Some(best) if key > best => continue,
+                Some(best) if key == best => {}
+                _ => {
+                    // Strictly better tenant: restart the within-tenant
+                    // layering from this entry.
+                    best_key = Some(key);
+                    hit = None;
+                    demand = None;
+                    prefetch = None;
+                }
+            }
+            if plan.kind == PlanKind::RowHit {
+                if hit.is_none() {
+                    hit = Some((index, plan));
+                }
+            } else {
+                let slot = match pending.request.priority {
+                    fgnvm_types::Priority::Demand => &mut demand,
+                    fgnvm_types::Priority::Prefetch => &mut prefetch,
+                };
+                if slot.is_none() {
+                    *slot = Some((index, plan));
+                }
+            }
+        }
+        let pick = hit.or(demand).or(prefetch);
+        if pick.is_some() {
+            let (_, tenant) = best_key.expect("a pick implies a best tenant");
+            self.grant(tenant);
+        }
+        pick
+    }
+}
+
+impl Scheduler for FrfcfsQos {
+    fn pick_read(&self, queue: &RequestQueue, banks: &[Box<dyn Bank>], now: Cycle) -> Option<Pick> {
+        self.qos_pick(queue, banks, now)
+    }
+
+    fn pick_write(
+        &self,
+        queue: &RequestQueue,
+        _reads: &RequestQueue,
+        banks: &[Box<dyn Bank>],
+        now: Cycle,
+    ) -> Option<Pick> {
+        self.qos_pick(queue, banks, now)
+    }
+
+    fn reads_during_drain(&self) -> bool {
+        // Latency-critical reads keep flowing while writes drain, so one
+        // tenant's write burst cannot inflate every tenant's read tail.
+        true
+    }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("sched.qos");
+        let served = self.served.borrow();
+        w.usize(served.len());
+        for s in served.iter() {
+            w.u64(*s);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<(), fgnvm_types::SnapshotError> {
+        r.tag("sched.qos")?;
+        let n = r.usize()?;
+        if n > usize::from(u16::MAX) + 1 {
+            return Err(fgnvm_types::SnapshotError::Corrupt(format!(
+                "QoS scheduler claims {n} tenants"
+            )));
+        }
+        let mut served = Vec::with_capacity(n);
+        for _ in 0..n {
+            served.push(r.u64()?);
+        }
+        *self.served.borrow_mut() = served;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod qos_tests {
+    use super::*;
+    use crate::queues::Pending;
+    use fgnvm_bank::{Access, FgnvmBank, Modes};
+    use fgnvm_types::address::{DecodedAddr, PhysAddr, TileCoord};
+    use fgnvm_types::geometry::Geometry;
+    use fgnvm_types::request::{Op, Request, RequestId};
+    use fgnvm_types::TimingConfig;
+
+    fn banks() -> (Geometry, Vec<Box<dyn Bank>>) {
+        let geom = Geometry::builder().sags(4).cds(4).build().unwrap();
+        let timing = TimingConfig::paper_pcm().to_cycles().unwrap();
+        let bank: Box<dyn Bank> =
+            Box::new(FgnvmBank::new(&geom, timing, Modes::all(), true).unwrap());
+        (geom, vec![bank])
+    }
+
+    fn read_for(geom: &Geometry, id: u64, tenant: u16, row: u32, line: u32) -> Pending {
+        let (cd_first, cd_count) = geom.cds_of_line(line);
+        Pending {
+            request: Request::new(
+                RequestId::new(id),
+                Op::Read,
+                PhysAddr::new(id * 64),
+                Cycle::ZERO,
+            )
+            .with_tenant(tenant),
+            decoded: DecodedAddr {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                line,
+            },
+            access: Access {
+                op: Op::Read,
+                row,
+                line,
+                coord: TileCoord {
+                    sag: geom.sag_of_row(row),
+                    cd_first,
+                    cd_count,
+                },
+            },
+            bank_index: 0,
+        }
+    }
+
+    #[test]
+    fn qos_alternates_between_equally_served_tenants() {
+        let (geom, banks) = banks();
+        let sched = FrfcfsQos::new();
+        let now = Cycle::ZERO;
+        // Tenant 0 floods the queue ahead of tenant 1; every entry targets
+        // a distinct SAG so all are issuable misses.
+        let mut q = RequestQueue::new(8);
+        q.push(read_for(&geom, 0, 0, 0, 0));
+        q.push(read_for(&geom, 1, 0, geom.rows_per_sag(), 4));
+        q.push(read_for(&geom, 2, 1, geom.rows_per_sag() * 2, 8));
+        // Equal service (0 each): the tie breaks to tenant 0's oldest.
+        let (idx, _) = sched.pick_read(&q, &banks, now).unwrap();
+        assert_eq!(idx, 0);
+        q.remove(idx).unwrap();
+        // Tenant 0 has now been served once; tenant 1 must go next even
+        // though tenant 0's second request is older.
+        let (idx, _) = sched.pick_read(&q, &banks, now).unwrap();
+        assert_eq!(idx, 1, "least-served tenant outranks arrival order");
+        q.remove(idx).unwrap();
+        // Back to tenant 0.
+        let (idx, _) = sched.pick_read(&q, &banks, now).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn qos_prefers_row_hits_within_the_chosen_tenant() {
+        let (geom, mut banks_v) = banks();
+        // Open row 0 by committing a read.
+        let opener = read_for(&geom, 9, 0, 0, 0);
+        let plan = banks_v[0].plan(&opener.access, Cycle::ZERO).unwrap();
+        let issued = banks_v[0].commit(&opener.access, &plan, Cycle::ZERO, plan.earliest_data);
+        let now = issued.data_end;
+        let sched = FrfcfsQos::new();
+        let mut q = RequestQueue::new(8);
+        // Same tenant: an older miss and a younger hit — the hit goes
+        // first, exactly like plain FRFCFS.
+        q.push(read_for(&geom, 0, 3, geom.rows_per_sag(), 4));
+        q.push(read_for(&geom, 1, 3, 0, 1));
+        let (idx, plan) = sched.pick_read(&q, &banks_v, now).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(plan.kind, PlanKind::RowHit);
+    }
+
+    #[test]
+    fn qos_pick_none_leaves_service_state_untouched() {
+        let (geom, banks) = banks();
+        let sched = FrfcfsQos::new();
+        let q = RequestQueue::new(8);
+        assert!(sched.pick_read(&q, &banks, Cycle::ZERO).is_none());
+        assert!(sched.served.borrow().is_empty());
+        let _ = geom;
+    }
+
+    #[test]
+    fn qos_state_round_trips() {
+        let sched = FrfcfsQos::new();
+        sched.grant(0);
+        sched.grant(2);
+        sched.grant(2);
+        let mut w = fgnvm_types::SnapshotWriter::new();
+        sched.save_state(&mut w);
+        let blob = w.finish();
+        let mut r = fgnvm_types::SnapshotReader::new(&blob).unwrap();
+        let mut restored = FrfcfsQos::new();
+        restored.load_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(*restored.served.borrow(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn factory_builds_qos() {
+        let s = make_scheduler(SchedulerKind::FrfcfsQos);
+        assert!(s.reads_during_drain());
     }
 }
 

@@ -66,6 +66,97 @@ pub struct SystemStats {
     pub read_only_banks: u64,
     /// Write enqueue attempts rejected because the target bank is read-only.
     pub read_only_write_rejections: u64,
+    /// Per-tenant counters, indexed by tenant id and grown on demand.
+    /// *Every* request is accounted here (untagged traffic is tenant 0),
+    /// so the per-tenant sums fold exactly to the global counters above —
+    /// the tenant-conservation invariant in `fgnvm-check` pins that.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Cumulative counters of one tenant's traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Reads accepted into a controller queue (forwarded reads included).
+    pub enqueued_reads: u64,
+    /// Writes accepted into a write queue (merged writes included).
+    pub enqueued_writes: u64,
+    /// Reads whose data burst has completed.
+    pub completed_reads: u64,
+    /// Writes whose device operation completed.
+    pub completed_writes: u64,
+    /// Sum of this tenant's read latencies.
+    pub read_latency_total: u64,
+    /// Sum of this tenant's write latencies.
+    pub write_latency_total: u64,
+    /// Power-of-two read-latency histogram.
+    pub read_latency_hist: [u64; HIST_BUCKETS],
+    /// Power-of-two write-latency histogram.
+    pub write_latency_hist: [u64; HIST_BUCKETS],
+}
+
+impl TenantStats {
+    /// Approximate read-latency percentile (same bucket semantics as
+    /// [`SystemStats::read_latency_percentile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn read_latency_percentile(&self, p: f64) -> u64 {
+        percentile_from_hist(&self.read_latency_hist, p)
+    }
+
+    /// Approximate write-latency percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn write_latency_percentile(&self, p: f64) -> u64 {
+        percentile_from_hist(&self.write_latency_hist, p)
+    }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.tag("tstats");
+        for v in [
+            self.enqueued_reads,
+            self.enqueued_writes,
+            self.completed_reads,
+            self.completed_writes,
+            self.read_latency_total,
+            self.write_latency_total,
+        ] {
+            w.u64(v);
+        }
+        for b in self
+            .read_latency_hist
+            .iter()
+            .chain(&self.write_latency_hist)
+        {
+            w.u64(*b);
+        }
+    }
+
+    fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<TenantStats, fgnvm_types::SnapshotError> {
+        r.tag("tstats")?;
+        let mut t = TenantStats {
+            enqueued_reads: r.u64()?,
+            enqueued_writes: r.u64()?,
+            completed_reads: r.u64()?,
+            completed_writes: r.u64()?,
+            read_latency_total: r.u64()?,
+            write_latency_total: r.u64()?,
+            ..TenantStats::default()
+        };
+        for b in t
+            .read_latency_hist
+            .iter_mut()
+            .chain(t.write_latency_hist.iter_mut())
+        {
+            *b = r.u64()?;
+        }
+        Ok(t)
+    }
 }
 
 impl SystemStats {
@@ -95,6 +186,27 @@ impl SystemStats {
             retired_rows: 0,
             read_only_banks: 0,
             read_only_write_rejections: 0,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The mutable per-tenant slot for `tenant`, growing the table on
+    /// first touch so idle tenants cost nothing until they send traffic.
+    pub fn tenant_mut(&mut self, tenant: u16) -> &mut TenantStats {
+        let index = usize::from(tenant);
+        if self.tenants.len() <= index {
+            self.tenants.resize_with(index + 1, TenantStats::default);
+        }
+        &mut self.tenants[index]
+    }
+
+    /// Accounts one accepted (or forwarded/merged) request for `tenant`.
+    pub fn note_enqueued(&mut self, tenant: u16, is_read: bool) {
+        let t = self.tenant_mut(tenant);
+        if is_read {
+            t.enqueued_reads += 1;
+        } else {
+            t.enqueued_writes += 1;
         }
     }
 
@@ -132,6 +244,10 @@ impl SystemStats {
         for b in &self.write_latency_hist {
             w.u64(*b);
         }
+        w.usize(self.tenants.len());
+        for t in &self.tenants {
+            t.save_state(w);
+        }
     }
 
     /// Restore counters written by [`SystemStats::save_state`].
@@ -167,23 +283,35 @@ impl SystemStats {
         for b in &mut s.write_latency_hist {
             *b = r.u64()?;
         }
+        let n_tenants = r.usize()?;
+        for _ in 0..n_tenants.min(u16::MAX as usize + 1) {
+            s.tenants.push(TenantStats::load_state(r)?);
+        }
         Ok(s)
     }
 
-    /// Records one completed read of the given latency.
-    pub fn record_read(&mut self, latency: CycleCount) {
+    /// Records one completed read of the given latency for `tenant`.
+    pub fn record_read(&mut self, tenant: u16, latency: CycleCount) {
         self.completed_reads += 1;
         self.read_latency_total += latency;
         self.read_latency_max = self.read_latency_max.max(latency);
         self.read_latency_hist[latency_bucket(latency.raw())] += 1;
+        let t = self.tenant_mut(tenant);
+        t.completed_reads += 1;
+        t.read_latency_total += latency.raw();
+        t.read_latency_hist[latency_bucket(latency.raw())] += 1;
     }
 
-    /// Records one completed write of the given latency.
-    pub fn record_write(&mut self, latency: CycleCount) {
+    /// Records one completed write of the given latency for `tenant`.
+    pub fn record_write(&mut self, tenant: u16, latency: CycleCount) {
         self.completed_writes += 1;
         self.write_latency_total += latency;
         self.write_latency_max = self.write_latency_max.max(latency);
         self.write_latency_hist[latency_bucket(latency.raw())] += 1;
+        let t = self.tenant_mut(tenant);
+        t.completed_writes += 1;
+        t.write_latency_total += latency.raw();
+        t.write_latency_hist[latency_bucket(latency.raw())] += 1;
     }
 
     /// Mean read-queue occupancy per tick (the congestion the scheduler
@@ -251,8 +379,8 @@ mod tests {
     #[test]
     fn read_recording() {
         let mut s = SystemStats::new();
-        s.record_read(CycleCount::new(40));
-        s.record_read(CycleCount::new(60));
+        s.record_read(0, CycleCount::new(40));
+        s.record_read(0, CycleCount::new(60));
         assert_eq!(s.completed_reads, 2);
         assert!((s.avg_read_latency() - 50.0).abs() < 1e-12);
         assert_eq!(s.read_latency_max, CycleCount::new(60));
@@ -261,8 +389,8 @@ mod tests {
     #[test]
     fn write_recording_mirrors_reads() {
         let mut s = SystemStats::new();
-        s.record_write(CycleCount::new(400));
-        s.record_write(CycleCount::new(600));
+        s.record_write(0, CycleCount::new(400));
+        s.record_write(0, CycleCount::new(600));
         assert_eq!(s.completed_writes, 2);
         assert!((s.avg_write_latency() - 500.0).abs() < 1e-12);
         assert_eq!(s.write_latency_max, CycleCount::new(600));
@@ -277,10 +405,10 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         let mut s = SystemStats::new();
-        s.record_read(CycleCount::new(0));
-        s.record_read(CycleCount::new(1));
-        s.record_read(CycleCount::new(2));
-        s.record_read(CycleCount::new(40));
+        s.record_read(0, CycleCount::new(0));
+        s.record_read(0, CycleCount::new(1));
+        s.record_read(0, CycleCount::new(2));
+        s.record_read(0, CycleCount::new(40));
         assert_eq!(s.read_latency_hist[0], 1); // latency 0
         assert_eq!(s.read_latency_hist[1], 1); // latency 1
         assert_eq!(s.read_latency_hist[2], 1); // latency 2..3
@@ -310,7 +438,7 @@ mod tests {
         // `.max(1)` on the bucket bound.
         let mut s = SystemStats::new();
         for _ in 0..5 {
-            s.record_read(CycleCount::ZERO);
+            s.record_read(0, CycleCount::ZERO);
         }
         assert_eq!(s.read_latency_percentile(0.99), 0);
     }
@@ -319,10 +447,10 @@ mod tests {
     fn percentiles_track_the_histogram() {
         let mut s = SystemStats::new();
         for _ in 0..90 {
-            s.record_read(CycleCount::new(50)); // bucket 6 (< 64)
+            s.record_read(0, CycleCount::new(50)); // bucket 6 (< 64)
         }
         for _ in 0..10 {
-            s.record_read(CycleCount::new(900)); // bucket 10 (< 1024)
+            s.record_read(0, CycleCount::new(900)); // bucket 10 (< 1024)
         }
         assert_eq!(s.read_latency_percentile(0.5), 63);
         assert_eq!(s.read_latency_percentile(0.9), 63);

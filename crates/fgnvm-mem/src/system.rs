@@ -246,6 +246,14 @@ impl MemorySystem {
     /// immediately by forwarding/merging), or `None` when the target queue
     /// is full — the caller should stall and retry.
     pub fn enqueue(&mut self, op: Op, addr: PhysAddr) -> Option<RequestId> {
+        self.enqueue_for(op, addr, 0)
+    }
+
+    /// Like [`enqueue`](Self::enqueue), but tags the request as belonging
+    /// to `tenant`. The tag rides the request through the controller into
+    /// its completion, the per-tenant [`SystemStats`] counters, and every
+    /// observer hook.
+    pub fn enqueue_for(&mut self, op: Op, addr: PhysAddr, tenant: u16) -> Option<RequestId> {
         let addr = addr.line_aligned(self.config.geometry.line_bytes());
         let mut decoded = self.mapper.decode(addr);
         let global_bank = self.global_bank(decoded.channel, decoded.rank, decoded.bank);
@@ -259,7 +267,7 @@ impl MemorySystem {
             let logical = decoded.row.min(leveled_rows - 1);
             decoded.row = leveler.map(logical);
         }
-        let outcome = self.enqueue_physical(op, addr, decoded);
+        let outcome = self.enqueue_physical(op, addr, decoded, tenant);
         if outcome.is_some() && op.is_write() {
             if let Some(wear) = &mut self.wear {
                 wear.record(global_bank as u32, decoded.row);
@@ -276,6 +284,7 @@ impl MemorySystem {
         op: Op,
         addr: PhysAddr,
         mut decoded: fgnvm_types::address::DecodedAddr,
+        tenant: u16,
     ) -> Option<RequestId> {
         let bank_index =
             (decoded.rank * self.config.geometry.banks_per_rank() + decoded.bank) as usize;
@@ -289,7 +298,7 @@ impl MemorySystem {
         let coord = self.mapper.tile_coord(decoded);
         let id = RequestId::new(self.next_id);
         let pending = Pending {
-            request: Request::new(id, op, addr, self.now),
+            request: Request::new(id, op, addr, self.now).with_tenant(tenant),
             decoded,
             access: Access {
                 op,
@@ -303,7 +312,7 @@ impl MemorySystem {
         match controller.enqueue(pending, self.now, &mut self.stats) {
             Enqueue::Accepted | Enqueue::Satisfied => {
                 if let Some(obs) = self.observer.as_deref_mut() {
-                    obs.on_enqueued(id.raw(), op.is_read(), self.now.raw());
+                    obs.on_enqueued(id.raw(), op.is_read(), tenant, self.now.raw());
                 }
                 self.next_id += 1;
                 Some(id)
@@ -408,8 +417,8 @@ impl MemorySystem {
         // Best effort: if the queues are full the copy traffic is simply
         // deferred to the bank's next rotation (the mapping has already
         // moved; only the modeled copy cost is skipped).
-        let _ = self.enqueue_physical(Op::Read, src_addr, src);
-        if self.enqueue_physical(Op::Write, dst_addr, dst).is_some() {
+        let _ = self.enqueue_physical(Op::Read, src_addr, src, 0);
+        if self.enqueue_physical(Op::Write, dst_addr, dst, 0).is_some() {
             if let Some(wear) = &mut self.wear {
                 wear.record(global_bank as u32, rotation.dst_row);
             }
@@ -698,8 +707,15 @@ impl MemorySystem {
     fn skip_to(&mut self, target: Cycle) {
         debug_assert!(target > self.now, "skip must move the clock forward");
         let skipped = target.saturating_since(self.now).raw();
-        for c in &self.controllers {
+        for c in &mut self.controllers {
             c.account_skipped_cycles(skipped, &mut self.stats);
+            // The elided ticks would each have settled the write-drain
+            // hysteresis; occupancy is frozen across the skip, so one
+            // update folds them all (see `Controller::settle_drain`).
+            // Settling here keeps the flag's trajectory — and with it the
+            // snapshot bytes — identical to a cycle-stepped run even when
+            // enqueues land between sparse ticks.
+            c.settle_drain();
         }
         if self.sample_epoch > 0 {
             // Backfill the sample every skipped tick in [now, target) would
@@ -933,6 +949,22 @@ impl MemorySystem {
         if let Some(rotations) = self.start_gap_rotations() {
             reg.set_counter("mem.start_gap_rotations", rotations);
         }
+        // Per-tenant counters appear only once a tagged request has been
+        // seen (single-tenant runs keep their metric set unchanged aside
+        // from the implicit tenant-0 block).
+        for (i, t) in s.tenants.iter().enumerate() {
+            let p = format!("mem.tenant.{i}");
+            reg.set_counter(&format!("{p}.enqueued_reads"), t.enqueued_reads);
+            reg.set_counter(&format!("{p}.enqueued_writes"), t.enqueued_writes);
+            reg.set_counter(&format!("{p}.completed_reads"), t.completed_reads);
+            reg.set_counter(&format!("{p}.completed_writes"), t.completed_writes);
+            reg.set_counter(&format!("{p}.read_latency_total"), t.read_latency_total);
+            reg.set_counter(&format!("{p}.write_latency_total"), t.write_latency_total);
+            reg.set_counter(&format!("{p}.read_p50"), t.read_latency_percentile(0.50));
+            reg.set_counter(&format!("{p}.read_p95"), t.read_latency_percentile(0.95));
+            reg.set_counter(&format!("{p}.read_p99"), t.read_latency_percentile(0.99));
+            reg.set_counter(&format!("{p}.write_p99"), t.write_latency_percentile(0.99));
+        }
         self.bank_stats().export_metrics(reg, "bank");
     }
 
@@ -1046,7 +1078,7 @@ impl MemorySystem {
         match controller.enqueue(pending, self.now, &mut self.stats) {
             Enqueue::Accepted | Enqueue::Satisfied => {
                 if let Some(obs) = self.observer.as_deref_mut() {
-                    obs.on_enqueued(id.raw(), true, self.now.raw());
+                    obs.on_enqueued(id.raw(), true, 0, self.now.raw());
                 }
                 self.next_id += 1;
                 Some(id)
@@ -1727,6 +1759,69 @@ mod tests {
             }
             other => panic!("expected watchdog error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drain_hysteresis_survives_enqueues_in_elided_stretches() {
+        // Regression: the write-drain flag is settled from queue occupancy
+        // at every tick, but fast-forward elides dead ticks. If the queue
+        // crosses a watermark during an elided stretch and new requests
+        // arrive before the next sparse tick, the hysteresis must not be
+        // fed the *future* occupancy — `skip_to` settles the flag over
+        // every elided stretch so both stepping modes fold the identical
+        // per-cycle update sequence. Open-loop write-heavy traffic with a
+        // read trickle and mixed inter-arrival gaps keeps the queue
+        // oscillating around the watermarks with arrivals landing inside
+        // dead stretches.
+        let run = |fast_forward: bool| {
+            let mut mem = MemorySystem::new(SystemConfig::fgnvm(8, 2).unwrap()).unwrap();
+            mem.set_fast_forward(fast_forward);
+            let mut out = Vec::new();
+            let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // Two-phase arrivals: calm stretches drain the queue toward
+            // the low watermark with arrivals landing inside the issue
+            // gaps; bursts push it back over the high watermark.
+            let mut at = 0u64;
+            let mut phase_until = 1_500u64;
+            let mut burst = false;
+            for _ in 0..2_000 {
+                mem.tick_to(Cycle::new(at), &mut out);
+                let op = if next() % 8 < 7 { Op::Write } else { Op::Read };
+                let line = next() % 512;
+                // Open-loop with loss: a full queue drops the arrival; the
+                // drop decision is part of the equality under test.
+                let _ = mem.enqueue(op, PhysAddr::new(line * 64));
+                at += if burst {
+                    1 + next() % 4
+                } else {
+                    20 + next() % 60
+                };
+                if at >= phase_until {
+                    burst = !burst;
+                    phase_until = at + if burst { 600 } else { 1_500 };
+                }
+            }
+            while !mem.is_idle() {
+                let target = Cycle::new(mem.now().raw() + 4096);
+                mem.tick_to(target, &mut out);
+            }
+            (out, mem.now(), mem.stats().clone())
+        };
+        let fast = run(true);
+        let stepped = run(false);
+        assert!(
+            stepped.2.enqueued_writes > stepped.2.rejected,
+            "scenario must genuinely stress the write queue"
+        );
+        assert_eq!(fast.1, stepped.1, "final cycle differs between modes");
+        assert_eq!(fast.2, stepped.2, "stats differ between modes");
+        assert_eq!(fast.0, stepped.0, "completions differ between modes");
     }
 
     #[test]

@@ -190,6 +190,8 @@ pub struct RequestAttribution {
     pub id: u64,
     /// True for reads.
     pub is_read: bool,
+    /// Tenant the request belonged to (0 for untagged traffic).
+    pub tenant: u16,
     /// Arrival cycle.
     pub arrival: u64,
     /// Completion cycle.
@@ -279,6 +281,7 @@ struct Window {
 struct OpenReq {
     arrival: u64,
     is_read: bool,
+    tenant: u16,
     /// Start of the not-yet-attributed suffix of the lifetime.
     mark: u64,
     cycles: [u64; BUCKETS],
@@ -333,12 +336,13 @@ impl Attribution {
     }
 
     /// Hook: a request entered the system.
-    pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
+    pub fn on_enqueued(&mut self, id: u64, is_read: bool, tenant: u16, now: u64) {
         self.open.insert(
             id,
             OpenReq {
                 arrival: now,
                 is_read,
+                tenant,
                 mark: now,
                 cycles: [0; BUCKETS],
                 issues: 0,
@@ -450,6 +454,7 @@ impl Attribution {
         let record = RequestAttribution {
             id,
             is_read: r.is_read,
+            tenant: r.tenant,
             arrival: r.arrival,
             completion: now.max(r.arrival),
             cycles: r.cycles,
@@ -488,6 +493,7 @@ impl Attribution {
             w.u64(id);
             w.u64(r.arrival);
             w.bool(r.is_read);
+            w.u32(u32::from(r.tenant));
             w.u64(r.mark);
             for c in &r.cycles {
                 w.u64(*c);
@@ -538,6 +544,7 @@ impl Attribution {
         for rec in &self.requests {
             w.u64(rec.id);
             w.bool(rec.is_read);
+            w.u32(u32::from(rec.tenant));
             w.u64(rec.arrival);
             w.u64(rec.completion);
             for c in &rec.cycles {
@@ -565,6 +572,7 @@ impl Attribution {
             let id = r.u64()?;
             let arrival = r.u64()?;
             let is_read = r.bool()?;
+            let tenant = r.u32()? as u16;
             let mark = r.u64()?;
             let mut cycles = [0u64; BUCKETS];
             for c in &mut cycles {
@@ -577,6 +585,7 @@ impl Attribution {
                 OpenReq {
                     arrival,
                     is_read,
+                    tenant,
                     mark,
                     cycles,
                     issues,
@@ -628,6 +637,7 @@ impl Attribution {
         for _ in 0..n {
             let id = r.u64()?;
             let is_read = r.bool()?;
+            let tenant = r.u32()? as u16;
             let arrival = r.u64()?;
             let completion = r.u64()?;
             let mut cycles = [0u64; BUCKETS];
@@ -637,6 +647,7 @@ impl Attribution {
             self.requests.push(RequestAttribution {
                 id,
                 is_read,
+                tenant,
                 arrival,
                 completion,
                 cycles,
@@ -940,7 +951,7 @@ mod tests {
     #[test]
     fn uncontended_read_is_service_plus_queue() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(1, true, 100);
+        a.on_enqueued(1, true, 0, 100);
         a.on_command(&cmd(1, 110));
         a.on_completed(1, 148);
         let r = &a.requests[0];
@@ -952,9 +963,9 @@ mod tests {
     #[test]
     fn sag_conflict_wait_is_attributed() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(1, true, 0);
+        a.on_enqueued(1, true, 0, 0);
         a.on_command(&cmd(1, 0)); // occupies sag 0 over [0, 50)
-        a.on_enqueued(2, true, 10);
+        a.on_enqueued(2, true, 0, 10);
         a.on_command(&cmd(2, 60)); // same sag, waited 10..60
         a.on_completed(1, 38);
         a.on_completed(2, 98);
@@ -969,13 +980,13 @@ mod tests {
     #[test]
     fn write_block_outranks_tile_conflicts() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(1, false, 0);
+        a.on_enqueued(1, false, 0, 0);
         let mut w = cmd(1, 0);
         w.is_read = false;
         w.kind = "write";
         w.completion = 200;
         a.on_command(&w);
-        a.on_enqueued(2, true, 0);
+        a.on_enqueued(2, true, 0, 0);
         a.on_command(&cmd(2, 200));
         a.on_completed(2, 238);
         let r2 = a.requests.iter().find(|r| r.id == 2).unwrap();
@@ -986,7 +997,7 @@ mod tests {
     #[test]
     fn global_io_is_the_bus_push() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(3, true, 0);
+        a.on_enqueued(3, true, 0, 0);
         let mut c = cmd(3, 0);
         c.data_start = c.earliest_data + 6; // bus pushed the burst 6 late
         c.data_end = c.data_start + 8;
@@ -1002,7 +1013,7 @@ mod tests {
         let mut p = AttributionParams::bare(4, 4);
         p.t_rcd = 22;
         let mut a = Attribution::new(p);
-        a.on_enqueued(4, true, 0);
+        a.on_enqueued(4, true, 0, 0);
         let mut c = cmd(4, 0);
         c.kind = "underfetch";
         a.on_command(&c);
@@ -1018,7 +1029,7 @@ mod tests {
         let mut p = AttributionParams::bare(4, 4);
         p.t_wp = 40;
         let mut a = Attribution::new(p);
-        a.on_enqueued(5, false, 0);
+        a.on_enqueued(5, false, 0, 0);
         let mut c = cmd(5, 0);
         c.is_read = false;
         c.kind = "write";
@@ -1034,10 +1045,10 @@ mod tests {
     #[test]
     fn last_wait_reports_the_dominant_block() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(1, true, 0);
+        a.on_enqueued(1, true, 0, 0);
         a.on_command(&cmd(1, 0)); // issued instantly — no wait
         assert_eq!(a.take_last_wait(), None);
-        a.on_enqueued(2, true, 10);
+        a.on_enqueued(2, true, 0, 10);
         a.on_command(&cmd(2, 60)); // 40 SAG-conflict + 10 queue cycles
         assert_eq!(a.take_last_wait(), Some((StallCause::SagConflict, 50)));
         assert_eq!(a.take_last_wait(), None); // consumed
@@ -1054,7 +1065,7 @@ mod tests {
     #[test]
     fn what_if_bounds_are_amdahl() {
         let mut a = Attribution::new(AttributionParams::bare(4, 4));
-        a.on_enqueued(1, true, 0);
+        a.on_enqueued(1, true, 0, 0);
         a.on_command(&cmd(1, 0));
         a.on_completed(1, 38);
         let bounds = what_if(&a);

@@ -46,7 +46,7 @@ pub use hist::Log2Hist;
 pub use registry::{CounterHandle, GaugeHandle, MetricValue, Registry};
 pub use span::{LatencyBreakdown, SpanTracker};
 pub use table::TableData;
-pub use timeseries::{TimeSeries, WindowAgg};
+pub use timeseries::{TenantWindow, TimeSeries, WindowAgg};
 pub use trace::TraceSink;
 
 /// Everything the observer needs to know about one issued memory command.
@@ -230,12 +230,13 @@ impl Observer {
         }
     }
 
-    /// Hook: a request entered the system.
-    pub fn on_enqueued(&mut self, id: u64, is_read: bool, now: u64) {
+    /// Hook: a request entered the system, tagged as `tenant`'s traffic
+    /// (0 for untagged).
+    pub fn on_enqueued(&mut self, id: u64, is_read: bool, tenant: u16, now: u64) {
         self.spans.on_enqueued(id, is_read, now);
-        self.attribution.on_enqueued(id, is_read, now);
+        self.attribution.on_enqueued(id, is_read, tenant, now);
         if let Some(ts) = &mut self.timeseries {
-            ts.record_arrival(is_read, now);
+            ts.record_arrival(is_read, tenant, now);
         }
     }
 
@@ -250,7 +251,13 @@ impl Observer {
             // the cumulative-stats latency, which the window-vs-cumulative
             // conservation invariant relies on.
             if let Some(rec) = self.attribution.requests.get(before) {
-                ts.record_completion(rec.is_read, rec.completion - rec.arrival, &rec.cycles, now);
+                ts.record_completion(
+                    rec.is_read,
+                    rec.tenant,
+                    rec.completion - rec.arrival,
+                    &rec.cycles,
+                    now,
+                );
             }
         }
     }
@@ -468,7 +475,7 @@ mod tests {
     #[test]
     fn facade_routes_to_all_sinks() {
         let mut obs = Observer::new(4, 4);
-        obs.on_enqueued(1, true, 5);
+        obs.on_enqueued(1, true, 0, 5);
         obs.on_command(&issue(1, 10));
         obs.on_completed(1, 48);
         obs.on_instant(InstantKind::Remap, 0, 0, 50);
@@ -497,11 +504,11 @@ mod tests {
         let mut obs = Observer::new(4, 4);
         obs.enable_timeseries(100, 8);
         obs.enable_flight(16);
-        obs.on_enqueued(1, true, 5);
+        obs.on_enqueued(1, true, 0, 5);
         obs.on_command(&issue(1, 10));
         obs.on_completed(1, 48);
         obs.on_instant(InstantKind::WriteReissue, 0, 1, 50);
-        obs.on_enqueued(2, true, 150);
+        obs.on_enqueued(2, true, 0, 150);
         let ts = obs.timeseries().expect("enabled");
         assert_eq!(ts.closed_total(), 1);
         let w0 = ts.windows().next().expect("w0");
@@ -527,7 +534,7 @@ mod tests {
     #[test]
     fn telemetry_disabled_observer_skips_the_sections() {
         let mut obs = Observer::new(2, 2);
-        obs.on_enqueued(1, true, 0);
+        obs.on_enqueued(1, true, 0, 0);
         obs.on_completed(1, 10);
         let mut w = fgnvm_types::SnapshotWriter::new();
         obs.save_state(&mut w);

@@ -31,6 +31,88 @@ use crate::{json, InstantKind, StallCause};
 /// [`InstantKind::ALL`]).
 pub const INSTANT_KINDS: usize = 8;
 
+/// One tenant's slice of a window: the arrivals, completion latencies,
+/// and stall cycles attributed to that tenant's requests.
+///
+/// Every request is accounted under some tenant (untagged traffic is
+/// tenant 0), so summing the tenant slices of a window reproduces the
+/// window's global arrival counts, latency histograms, and stall buckets
+/// exactly — the tenant-conservation invariant in `fgnvm-check` pins
+/// that, cross-checked against the independent per-tenant cumulative
+/// counters in the memory system's stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantWindow {
+    /// Read requests from this tenant that arrived in the window.
+    pub arrivals_read: u64,
+    /// Write requests from this tenant that arrived in the window.
+    pub arrivals_write: u64,
+    /// Latencies of this tenant's reads that completed in the window.
+    pub read_latency: Log2Hist,
+    /// Latencies of this tenant's writes that completed in the window.
+    pub write_latency: Log2Hist,
+    /// Stall-attribution cycles of this tenant's completed requests,
+    /// indexed by [`StallCause`].
+    pub stall: [u64; BUCKETS],
+}
+
+impl TenantWindow {
+    /// Folds `other` into `self` (sums everywhere, exact).
+    pub fn fold(&mut self, other: &TenantWindow) {
+        self.arrivals_read += other.arrivals_read;
+        self.arrivals_write += other.arrivals_write;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        for (a, b) in self.stall.iter_mut().zip(other.stall.iter()) {
+            *a += b;
+        }
+    }
+
+    fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
+        w.u64(self.arrivals_read);
+        w.u64(self.arrivals_write);
+        self.read_latency.save_state(w);
+        self.write_latency.save_state(w);
+        for c in &self.stall {
+            w.u64(*c);
+        }
+    }
+
+    fn load_state(
+        r: &mut fgnvm_types::SnapshotReader<'_>,
+    ) -> Result<TenantWindow, fgnvm_types::SnapshotError> {
+        let mut t = TenantWindow {
+            arrivals_read: r.u64()?,
+            arrivals_write: r.u64()?,
+            read_latency: Log2Hist::load_state(r)?,
+            write_latency: Log2Hist::load_state(r)?,
+            ..TenantWindow::default()
+        };
+        for c in &mut t.stall {
+            *c = r.u64()?;
+        }
+        Ok(t)
+    }
+
+    /// Serializes this tenant slice as a JSON object (the tenant id comes
+    /// from the caller — it is the slice's index in the window).
+    pub fn to_json(&self, tenant: usize) -> String {
+        let stall: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|b| format!("{}:{}", json::quote(b.label()), self.stall[*b as usize]))
+            .collect();
+        format!(
+            "{{\"tenant\":{},\"arrivals_read\":{},\"arrivals_write\":{},\
+             \"read\":{},\"write\":{},\"stall\":{{{}}}}}",
+            tenant,
+            self.arrivals_read,
+            self.arrivals_write,
+            self.read_latency.to_json(),
+            self.write_latency.to_json(),
+            stall.join(",")
+        )
+    }
+}
+
 /// One window's aggregates: everything observed in `[start, start+N)`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowAgg {
@@ -59,6 +141,11 @@ pub struct WindowAgg {
     pub write_queue: u64,
     /// Channels in write-drain mode sampled at window close.
     pub draining: u64,
+    /// Per-tenant slices of this window, indexed by tenant id. Grown on
+    /// demand; every arrival/completion lands in exactly one slice
+    /// (tenant 0 for untagged traffic), so the slices sum to the global
+    /// fields above.
+    pub tenants: Vec<TenantWindow>,
 }
 
 impl WindowAgg {
@@ -87,6 +174,22 @@ impl WindowAgg {
         self.read_queue = self.read_queue.max(other.read_queue);
         self.write_queue = self.write_queue.max(other.write_queue);
         self.draining = self.draining.max(other.draining);
+        if self.tenants.len() < other.tenants.len() {
+            self.tenants
+                .resize_with(other.tenants.len(), TenantWindow::default);
+        }
+        for (a, b) in self.tenants.iter_mut().zip(other.tenants.iter()) {
+            a.fold(b);
+        }
+    }
+
+    /// The per-tenant slice for `tenant`, growing the vector on demand.
+    pub fn tenant_mut(&mut self, tenant: u16) -> &mut TenantWindow {
+        let idx = usize::from(tenant);
+        if self.tenants.len() <= idx {
+            self.tenants.resize_with(idx + 1, TenantWindow::default);
+        }
+        &mut self.tenants[idx]
     }
 
     fn save_state(&self, w: &mut fgnvm_types::SnapshotWriter) {
@@ -105,6 +208,10 @@ impl WindowAgg {
         w.u64(self.read_queue);
         w.u64(self.write_queue);
         w.u64(self.draining);
+        w.usize(self.tenants.len());
+        for t in &self.tenants {
+            t.save_state(w);
+        }
     }
 
     fn load_state(
@@ -125,6 +232,11 @@ impl WindowAgg {
         agg.read_queue = r.u64()?;
         agg.write_queue = r.u64()?;
         agg.draining = r.u64()?;
+        let n = r.usize()?.min(usize::from(u16::MAX) + 1);
+        agg.tenants = Vec::with_capacity(n);
+        for _ in 0..n {
+            agg.tenants.push(TenantWindow::load_state(r)?);
+        }
         Ok(agg)
     }
 
@@ -144,12 +256,19 @@ impl WindowAgg {
             .iter()
             .map(|k| format!("{}:{}", json::quote(k.label()), self.instants[*k as usize]))
             .collect();
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.to_json(i))
+            .collect();
         format!(
             "\"window\":{},\"start\":{},\"end\":{},\"partial\":{},\
              \"arrivals\":{},\"arrival_rate\":{},\
              \"read\":{},\"write\":{},\"issues\":{},\
              \"stall\":{{{}}},\"instants\":{{{}}},\
-             \"read_queue\":{},\"write_queue\":{},\"draining\":{}",
+             \"read_queue\":{},\"write_queue\":{},\"draining\":{},\
+             \"tenants\":[{}]",
             self.index,
             start,
             end,
@@ -163,7 +282,8 @@ impl WindowAgg {
             instants.join(","),
             self.read_queue,
             self.write_queue,
-            self.draining
+            self.draining,
+            tenants.join(",")
         )
     }
 }
@@ -256,21 +376,30 @@ impl TimeSeries {
         }
     }
 
-    /// Hook fold: a request entered the system at `now`.
-    pub fn record_arrival(&mut self, is_read: bool, now: u64) {
+    /// Hook fold: a request entered the system at `now`. The arrival is
+    /// accounted both globally and under `tenant`'s window slice.
+    pub fn record_arrival(&mut self, is_read: bool, tenant: u16, now: u64) {
         self.roll_to(now);
         if is_read {
             self.current.arrivals_read += 1;
         } else {
             self.current.arrivals_write += 1;
         }
+        let slice = self.current.tenant_mut(tenant);
+        if is_read {
+            slice.arrivals_read += 1;
+        } else {
+            slice.arrivals_write += 1;
+        }
     }
 
     /// Hook fold: a request completed at `now` with the given end-to-end
-    /// latency and per-bucket stall decomposition.
+    /// latency and per-bucket stall decomposition, accounted both
+    /// globally and under `tenant`'s window slice.
     pub fn record_completion(
         &mut self,
         is_read: bool,
+        tenant: u16,
         latency: u64,
         stall: &[u64; BUCKETS],
         now: u64,
@@ -282,6 +411,15 @@ impl TimeSeries {
             self.current.write_latency.record(latency);
         }
         for (acc, c) in self.current.stall.iter_mut().zip(stall.iter()) {
+            *acc += c;
+        }
+        let slice = self.current.tenant_mut(tenant);
+        if is_read {
+            slice.read_latency.record(latency);
+        } else {
+            slice.write_latency.record(latency);
+        }
+        for (acc, c) in slice.stall.iter_mut().zip(stall.iter()) {
             *acc += c;
         }
     }
@@ -375,9 +513,9 @@ mod tests {
     #[test]
     fn hooks_fold_into_the_window_containing_the_cycle() {
         let mut ts = series();
-        ts.record_arrival(true, 10);
-        ts.record_completion(true, 42, &[0; BUCKETS], 52);
-        ts.record_arrival(false, 130);
+        ts.record_arrival(true, 0, 10);
+        ts.record_completion(true, 0, 42, &[0; BUCKETS], 52);
+        ts.record_arrival(false, 0, 130);
         assert_eq!(ts.closed_total(), 1);
         let w0 = ts.windows().next().expect("window 0 closed");
         assert_eq!(w0.index, 0);
@@ -390,7 +528,7 @@ mod tests {
     #[test]
     fn boundary_cycle_belongs_to_the_next_window() {
         let mut ts = series();
-        ts.record_completion(true, 7, &[0; BUCKETS], 100);
+        ts.record_completion(true, 0, 7, &[0; BUCKETS], 100);
         assert_eq!(ts.closed_total(), 1);
         assert!(ts.windows().next().expect("w0").read_latency.is_empty());
         assert_eq!(ts.current().read_latency.count(), 1);
@@ -400,7 +538,7 @@ mod tests {
     fn eviction_preserves_the_aggregate() {
         let mut ts = series();
         for i in 0..10u64 {
-            ts.record_completion(true, i * 3, &[1; BUCKETS], i * 100 + 5);
+            ts.record_completion(true, 0, i * 3, &[1; BUCKETS], i * 100 + 5);
         }
         ts.roll_to(2_000);
         assert_eq!(ts.closed_total(), 20);
@@ -414,7 +552,7 @@ mod tests {
     #[test]
     fn gauges_stamp_the_closing_window() {
         let mut ts = series();
-        ts.record_arrival(true, 5);
+        ts.record_arrival(true, 0, 5);
         ts.set_gauges(3, 7, 1);
         ts.roll_to(100);
         let w0 = ts.windows().next().expect("w0");
@@ -425,8 +563,8 @@ mod tests {
     fn snapshot_roundtrip_is_bit_identical() {
         let mut ts = series();
         for i in 0..7u64 {
-            ts.record_arrival(i % 2 == 0, i * 60);
-            ts.record_completion(i % 2 == 0, i * 11, &[i; BUCKETS], i * 60 + 40);
+            ts.record_arrival(i % 2 == 0, 0, i * 60);
+            ts.record_completion(i % 2 == 0, 0, i * 11, &[i; BUCKETS], i * 60 + 40);
             ts.record_issue(i * 60 + 2);
             ts.record_instant(InstantKind::Remap, i * 60 + 3);
         }
@@ -440,15 +578,15 @@ mod tests {
         // And the restored engine continues identically.
         let mut a = ts.clone();
         let mut b = restored;
-        a.record_completion(true, 99, &[2; BUCKETS], 1_000);
-        b.record_completion(true, 99, &[2; BUCKETS], 1_000);
+        a.record_completion(true, 0, 99, &[2; BUCKETS], 1_000);
+        b.record_completion(true, 0, 99, &[2; BUCKETS], 1_000);
         assert_eq!(a, b);
     }
 
     #[test]
     fn window_json_shape() {
         let mut ts = series();
-        ts.record_arrival(true, 5);
+        ts.record_arrival(true, 0, 5);
         ts.roll_to(100);
         let w0 = ts.windows().next().expect("w0");
         let json = format!("{{{}}}", w0.to_json(ts.window_cycles(), 100, false));

@@ -109,6 +109,7 @@ struct Cli {
     progress: bool,
     slo_read_p99: u64,
     dump_flight: Option<std::path::PathBuf>,
+    tenants: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -140,6 +141,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut progress = false;
     let mut slo_read_p99 = 0u64;
     let mut dump_flight = None;
+    let mut tenants = None;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -248,6 +250,12 @@ fn parse_args() -> Result<Cli, String> {
                 let file = args.next().ok_or("--dump-flight needs a file")?;
                 dump_flight = Some(std::path::PathBuf::from(file));
             }
+            "--tenants" => {
+                let spec = args.next().ok_or("--tenants needs a spec string")?;
+                // Validate up front so a typo fails before any simulation.
+                fgnvm_workloads::parse_tenants(&spec).map_err(|e| e.to_string())?;
+                tenants = Some(spec);
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
@@ -281,14 +289,15 @@ fn parse_args() -> Result<Cli, String> {
         progress,
         slo_read_p99,
         dump_flight,
+        tenants,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|serve|regress|summary|all> \
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|serve|fairness|regress|summary|all> \
      [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE] [--jobs N] \
      [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume] \
-     [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE] [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE]"
+     [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE] [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE] [--tenants SPEC]"
         .to_string()
 }
 
@@ -444,6 +453,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             }
         }
         "serve" => serve_command(cli)?,
+        "fairness" => fairness_command(cli)?,
         "tail" => {
             let result = fgnvm_sim::extensions::tail_latency(p).map_err(fail)?;
             emit(&result.to_table(), format);
@@ -919,10 +929,14 @@ fn fuzz_command(cli: &Cli, p: &ExperimentParams) -> Result<(), String> {
             Err(message) => Err(format!("{path}: case fails: {message}")),
         };
     }
+    // `--tenants` (any valid spec) switches the fuzzer into multi-tenant
+    // generation; the fuzzer draws its own tenant palettes, and every
+    // tenant case also runs the kill/resume differential.
     let opts = fgnvm_check::FuzzOptions {
         cases: cli.cases,
         seed: p.seed,
-        kill_resume: cli.kill_resume,
+        kill_resume: cli.kill_resume || cli.tenants.is_some(),
+        tenants: cli.tenants.is_some(),
         ..fgnvm_check::FuzzOptions::default()
     };
     let outcome = fgnvm_check::fuzz(&opts);
@@ -998,6 +1012,9 @@ fn serve_command(cli: &Cli) -> Result<(), String> {
     sc.progress = cli.progress;
     sc.slo_read_p99 = cli.slo_read_p99;
     sc.dump_flight = cli.dump_flight.clone();
+    if let Some(spec) = &cli.tenants {
+        sc.tenants = fgnvm_workloads::parse_tenants(spec).map_err(|e| e.to_string())?;
+    }
     let report = match &cli.resume {
         Some(ckpt) => fgnvm_sim::resume(config, ckpt, &sc).map_err(|e| e.to_string())?,
         None => fgnvm_sim::serve(config, &sc).map_err(|e| e.to_string())?,
@@ -1034,11 +1051,73 @@ fn serve_command(cli: &Cli) -> Result<(), String> {
             cli.slo_read_p99, report.slo_violations, report.slo_windows,
         );
     }
+    for t in &report.tenants {
+        println!(
+            "tenant {}: {} admitted, {} completed, {} rejected ({} retried); \
+             read p50/p95/p99 = {}/{}/{} cy{}",
+            t.name,
+            t.admitted,
+            t.completions,
+            t.rejected,
+            t.retried,
+            t.read_p50,
+            t.read_p95,
+            t.read_p99,
+            if t.slo_read_p99 > 0 {
+                format!(
+                    "; slo read p99 <= {} cy violated in {} of {} window(s)",
+                    t.slo_read_p99, t.slo_violations, t.slo_windows,
+                )
+            } else {
+                String::new()
+            },
+        );
+    }
     if let Some(path) = &cli.metrics_out {
         std::fs::write(path, &report.metrics_json)
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!("metrics written to {}", path.display());
     }
+    Ok(())
+}
+
+fn fairness_command(cli: &Cli) -> Result<(), String> {
+    let config = match cli.args.first() {
+        Some(path) => load_config(path)?,
+        None => fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(|e| e.to_string())?,
+    };
+    let spec = cli
+        .tenants
+        .as_ref()
+        .ok_or("fairness needs --tenants with at least two tenants")?;
+    let mut sc = fgnvm_sim::ServeConfig::default();
+    if cli.horizon > 0 {
+        sc.horizon = cli.horizon;
+        sc.ops = cli.horizon / 40;
+    }
+    if cli.params.ops != fgnvm_sim::ExperimentParams::full().ops {
+        sc.ops = cli.params.ops as u64;
+    }
+    sc.seed = cli.params.seed;
+    sc.policy = fgnvm_sim::AdmissionPolicy::from_name(&cli.policy)
+        .ok_or_else(|| format!("bad --policy value: {}", cli.policy))?;
+    if let Some(win) = cli.telemetry_every {
+        sc.telemetry_window = win;
+    }
+    sc.tenants = fgnvm_workloads::parse_tenants(spec).map_err(|e| e.to_string())?;
+    let report = fgnvm_sim::fairness(config, &sc).map_err(|e| e.to_string())?;
+    println!("fairness: isolated vs shared read p99 per tenant (cycles)");
+    println!("tenant       isolated    frfcfs       qos");
+    for row in &report.tenants {
+        println!(
+            "{:<12} {:>8} {:>9} {:>9}",
+            row.name, row.isolated_p99, row.shared_frfcfs_p99, row.shared_qos_p99,
+        );
+    }
+    println!(
+        "p99 gap (max-min across tenants): frfcfs = {} cy, qos = {} cy",
+        report.frfcfs_p99_gap, report.qos_p99_gap,
+    );
     Ok(())
 }
 

@@ -58,7 +58,8 @@ pub use runner::{
     run_configs, run_grid, run_jobs, run_one, run_one_with_warmup, ExperimentParams, RunOutcome,
 };
 pub use serve::{
-    load_checkpoint, load_checkpoint_file, resume, save_checkpoint, serve, AdmissionPolicy,
-    ServeConfig, ServeReport, ServeState,
+    fairness, load_checkpoint, load_checkpoint_file, resume, save_checkpoint, serve,
+    AdmissionPolicy, FairnessReport, FairnessRow, ServeConfig, ServeReport, ServeState,
+    TenantReport,
 };
 pub use simulation::{Simulation, SimulationError, SimulationReport};

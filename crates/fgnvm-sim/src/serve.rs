@@ -38,6 +38,7 @@ use fgnvm_types::config::SystemConfig;
 use fgnvm_types::{
     Completion, Cycle, Op, PhysAddr, SimError, SnapshotError, SnapshotReader, SnapshotWriter,
 };
+use fgnvm_workloads::{TenantSpec, TenantStream};
 
 use crate::profile;
 use crate::viz;
@@ -126,6 +127,12 @@ pub struct ServeConfig {
     /// `.txt`) at run end — and on crash, in addition to the
     /// checkpoint-dir post-mortem.
     pub dump_flight: Option<PathBuf>,
+    /// Multi-tenant mode: each tenant drives its own open-loop arrival
+    /// stream (Poisson or bursty MMPP), its requests are tagged end to
+    /// end, and its SLO is burned per window. Empty keeps the legacy
+    /// single-stream generator byte-for-byte unchanged. A resumed run
+    /// must pass the same tenant list the checkpointed run used.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ServeConfig {
@@ -147,19 +154,100 @@ impl Default for ServeConfig {
             progress: false,
             slo_read_p99: 0,
             dump_flight: None,
+            tenants: Vec::new(),
         }
     }
 }
 
 /// One rejected request waiting out its backoff.
+///
+/// The entry carries the op payload itself rather than regenerating it
+/// from `op_index` at retry time: tenant arrival streams are stateful
+/// (their RNG advances with every draw), so a retried op can only be the
+/// one originally drawn. The legacy single-stream generator is a pure
+/// function of the index, for which carrying the payload is equivalent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BackoffEntry {
     /// Cycle at which re-admission may be attempted.
     retry_at: u64,
-    /// Index of the op in the deterministic arrival sequence.
+    /// Index of the op in the deterministic arrival sequence (global
+    /// across tenants; the deterministic retry tie-breaker).
     op_index: u64,
     /// Admission attempts so far (drives the exponential delay).
     attempts: u32,
+    /// The operation to admit.
+    op: Op,
+    /// The physical address to admit it at.
+    addr: PhysAddr,
+    /// Tenant the op belongs to (0 in legacy single-stream mode).
+    tenant: u16,
+}
+
+/// One tenant's slice of the serve driver state: its arrival stream, its
+/// open-loop cursor, and its admission/SLO counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TenantServeState {
+    /// The deterministic arrival/op stream (rides the checkpoint).
+    stream: TenantStream,
+    /// Cycle the tenant's next op arrives at (`u64::MAX` once the
+    /// arrival process has shut off).
+    next_arrival_at: u64,
+    /// Requests this tenant got accepted into the controller.
+    admitted: u64,
+    /// This tenant's arrivals turned away at the admission door.
+    rejected: u64,
+    /// This tenant's successful re-admissions after backoff.
+    retried: u64,
+    /// This tenant's completed requests.
+    completions: u64,
+    /// Windows evaluated against this tenant's read-p99 SLO.
+    slo_windows: u64,
+    /// Windows whose per-tenant read p99 exceeded the tenant's SLO.
+    slo_violations: u64,
+}
+
+impl TenantServeState {
+    /// Fresh state for tenant `index` under `spec`, seeded from the run
+    /// seed. The first arrival gap is drawn immediately so the stream
+    /// cursor is always "next arrival", never "not started".
+    fn fresh(seed: u64, index: usize, spec: &TenantSpec) -> Self {
+        let mut stream = TenantStream::new(seed, index as u16);
+        let next_arrival_at = stream.next_gap(&spec.arrival, 0).unwrap_or(u64::MAX);
+        TenantServeState {
+            stream,
+            next_arrival_at,
+            admitted: 0,
+            rejected: 0,
+            retried: 0,
+            completions: 0,
+            slo_windows: 0,
+            slo_violations: 0,
+        }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.stream.save_state(w);
+        w.u64(self.next_arrival_at);
+        w.u64(self.admitted);
+        w.u64(self.rejected);
+        w.u64(self.retried);
+        w.u64(self.completions);
+        w.u64(self.slo_windows);
+        w.u64(self.slo_violations);
+    }
+
+    fn load_state(r: &mut SnapshotReader<'_>) -> Result<TenantServeState, SnapshotError> {
+        Ok(TenantServeState {
+            stream: TenantStream::load_state(r)?,
+            next_arrival_at: r.u64()?,
+            admitted: r.u64()?,
+            rejected: r.u64()?,
+            retried: r.u64()?,
+            completions: r.u64()?,
+            slo_windows: r.u64()?,
+            slo_violations: r.u64()?,
+        })
+    }
 }
 
 /// The serve driver's own checkpointable state — everything outside the
@@ -196,6 +284,8 @@ pub struct ServeState {
     slo_windows: u64,
     /// Windows whose read p99 exceeded the SLO target.
     slo_violations: u64,
+    /// Per-tenant driver state (empty in legacy single-stream mode).
+    tenants: Vec<TenantServeState>,
 }
 
 impl ServeState {
@@ -214,7 +304,21 @@ impl ServeState {
             windows_seen: 0,
             slo_windows: 0,
             slo_violations: 0,
+            tenants: Vec::new(),
         }
+    }
+
+    /// Fresh state for a serve run under `sc`, with one tenant slice per
+    /// configured tenant (none in legacy mode).
+    fn fresh_for(sc: &ServeConfig) -> Self {
+        let mut state = ServeState::fresh();
+        state.tenants = sc
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TenantServeState::fresh(sc.seed, i, spec))
+            .collect();
+        state
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
@@ -226,6 +330,9 @@ impl ServeState {
             w.u64(b.retry_at);
             w.u64(b.op_index);
             w.u32(b.attempts);
+            w.bool(b.op.is_write());
+            w.u64(b.addr.raw());
+            w.u32(u32::from(b.tenant));
         }
         w.u64(self.completions);
         w.u64(self.last_progress);
@@ -237,6 +344,10 @@ impl ServeState {
         w.u64(self.windows_seen);
         w.u64(self.slo_windows);
         w.u64(self.slo_violations);
+        w.usize(self.tenants.len());
+        for t in &self.tenants {
+            t.save_state(w);
+        }
     }
 
     fn load_state(r: &mut SnapshotReader<'_>) -> Result<ServeState, SnapshotError> {
@@ -250,22 +361,41 @@ impl ServeState {
                 retry_at: r.u64()?,
                 op_index: r.u64()?,
                 attempts: r.u32()?,
+                op: if r.bool()? { Op::Write } else { Op::Read },
+                addr: PhysAddr::new(r.u64()?),
+                tenant: r.u32()? as u16,
             });
+        }
+        let completions = r.u64()?;
+        let last_progress = r.u64()?;
+        let rejected = r.u64()?;
+        let blocked_cycles = r.u64()?;
+        let retried = r.u64()?;
+        let admitted = r.u64()?;
+        let checkpoints_written = r.u64()?;
+        let windows_seen = r.u64()?;
+        let slo_windows = r.u64()?;
+        let slo_violations = r.u64()?;
+        let n_tenants = r.usize()?.min(usize::from(u16::MAX) + 1);
+        let mut tenants = Vec::with_capacity(n_tenants);
+        for _ in 0..n_tenants {
+            tenants.push(TenantServeState::load_state(r)?);
         }
         Ok(ServeState {
             next_op,
             next_arrival_at,
             backoff,
-            completions: r.u64()?,
-            last_progress: r.u64()?,
-            rejected: r.u64()?,
-            blocked_cycles: r.u64()?,
-            retried: r.u64()?,
-            admitted: r.u64()?,
-            checkpoints_written: r.u64()?,
-            windows_seen: r.u64()?,
-            slo_windows: r.u64()?,
-            slo_violations: r.u64()?,
+            completions,
+            last_progress,
+            rejected,
+            blocked_cycles,
+            retried,
+            admitted,
+            checkpoints_written,
+            windows_seen,
+            slo_windows,
+            slo_violations,
+            tenants,
         })
     }
 }
@@ -349,8 +479,38 @@ pub struct ServeReport {
     pub slo_windows: u64,
     /// Windows whose read p99 exceeded the SLO target.
     pub slo_violations: u64,
+    /// Per-tenant outcomes, in tenant-id order (empty in legacy mode).
+    pub tenants: Vec<TenantReport>,
     /// Full metrics registry (memory + observer + serve counters) as JSON.
     pub metrics_json: String,
+}
+
+/// One tenant's slice of the final serve report.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name from the spec.
+    pub name: String,
+    /// Requests accepted into the controller.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completions: u64,
+    /// Arrivals rejected at the admission door.
+    pub rejected: u64,
+    /// Successful re-admissions after backoff.
+    pub retried: u64,
+    /// Cumulative read-latency percentiles, in cycles (bucket upper
+    /// bounds of the per-tenant histogram).
+    pub read_p50: u64,
+    /// Cumulative read-latency p95.
+    pub read_p95: u64,
+    /// Cumulative read-latency p99.
+    pub read_p99: u64,
+    /// The tenant's read-p99 SLO target (0 = none).
+    pub slo_read_p99: u64,
+    /// Windows evaluated against the tenant SLO.
+    pub slo_windows: u64,
+    /// Windows whose per-tenant read p99 exceeded the target.
+    pub slo_violations: u64,
 }
 
 /// One op of the deterministic open-loop workload: a pure function of
@@ -411,7 +571,7 @@ pub fn serve(config: SystemConfig, sc: &ServeConfig) -> Result<ServeReport, SimE
     if sc.telemetry_window > 0 {
         mem.enable_telemetry(sc.telemetry_window, TELEMETRY_RETENTION, FLIGHT_CAPACITY);
     }
-    run_loop(&mut mem, ServeState::fresh(), sc)
+    run_loop(&mut mem, ServeState::fresh_for(sc), sc)
 }
 
 /// Resumes a serve session from a checkpoint file and drives it to the
@@ -543,6 +703,15 @@ fn export_registry(mem: &MemorySystem, state: &ServeState) -> Registry {
     reg.set_counter("serve.slo_windows", state.slo_windows);
     reg.set_counter("serve.slo_violations", state.slo_violations);
     reg.set_counter("serve.final_cycle", mem.now().raw());
+    for (i, t) in state.tenants.iter().enumerate() {
+        let p = format!("serve.tenant.{i}");
+        reg.set_counter(&format!("{p}.admitted"), t.admitted);
+        reg.set_counter(&format!("{p}.completions"), t.completions);
+        reg.set_counter(&format!("{p}.rejected"), t.rejected);
+        reg.set_counter(&format!("{p}.retried"), t.retried);
+        reg.set_counter(&format!("{p}.slo_windows"), t.slo_windows);
+        reg.set_counter(&format!("{p}.slo_violations"), t.slo_violations);
+    }
     reg
 }
 
@@ -581,6 +750,20 @@ fn process_telemetry_windows(
             state.slo_windows += 1;
             if w.read_latency.percentile(0.99) > sc.slo_read_p99 {
                 state.slo_violations += 1;
+            }
+        }
+        // Per-tenant SLO burn: each tenant's window slice is judged
+        // against its own target. Quiet windows (no slice yet, or no
+        // completed reads) burn nothing.
+        for (i, (spec, tstate)) in sc.tenants.iter().zip(state.tenants.iter_mut()).enumerate() {
+            if spec.slo_read_p99 == 0 {
+                continue;
+            }
+            tstate.slo_windows += 1;
+            if let Some(slice) = w.tenants.get(i) {
+                if slice.read_latency.percentile(0.99) > spec.slo_read_p99 {
+                    tstate.slo_violations += 1;
+                }
             }
         }
         if sc.live || sc.progress {
@@ -633,6 +816,15 @@ fn run_loop(
 ) -> Result<ServeReport, SimError> {
     let line_bytes = u64::from(mem.config().geometry.line_bytes());
     let lines = mem.config().geometry.capacity_bytes() / line_bytes.max(1);
+    // A resumed run must be driven by the same tenant list it was
+    // checkpointed with: the snapshot carries one stream per tenant.
+    if state.tenants.len() != sc.tenants.len() {
+        return Err(SimError::Config(fgnvm_types::ConfigError::Invalid {
+            field: "tenants",
+            reason: "checkpoint tenant count differs from the configured tenant list",
+        }));
+    }
+    let tenant_mode = !sc.tenants.is_empty();
     // Window size comes from the (possibly restored) engine, not from
     // `sc`: a resumed run must keep the checkpoint's window geometry.
     let telemetry_window = mem
@@ -646,7 +838,17 @@ fn run_loop(
         if now >= sc.horizon {
             break;
         }
-        let arrivals_left = state.next_op < sc.ops;
+        let next_arrival = if tenant_mode {
+            state
+                .tenants
+                .iter()
+                .map(|t| t.next_arrival_at)
+                .min()
+                .unwrap_or(u64::MAX)
+        } else {
+            state.next_arrival_at
+        };
+        let arrivals_left = state.next_op < sc.ops && next_arrival < u64::MAX;
         let work_pending = !mem.is_idle() || !state.backoff.is_empty();
         if !arrivals_left && !work_pending {
             break;
@@ -655,7 +857,7 @@ fn run_loop(
         // Next cycle anything interesting happens.
         let mut target = sc.horizon;
         if arrivals_left {
-            target = target.min(state.next_arrival_at);
+            target = target.min(next_arrival);
         }
         if let Some(min_retry) = state.backoff.iter().map(|b| b.retry_at).min() {
             target = target.min(min_retry);
@@ -684,6 +886,13 @@ fn run_loop(
             out.clear();
             mem.tick_to(Cycle::new(target), &mut out);
             state.completions += out.len() as u64;
+            if tenant_mode {
+                for c in &out {
+                    if let Some(t) = state.tenants.get_mut(usize::from(c.tenant)) {
+                        t.completions += 1;
+                    }
+                }
+            }
             // Progress marker from completion timestamps, not the hop
             // boundary — hop placement must never affect the state.
             if let Some(last) = out.iter().map(|c| c.finished.raw()).max() {
@@ -747,10 +956,16 @@ fn run_loop(
                 still_waiting.push(entry);
                 continue;
             }
-            let (op, addr, _gap) = generate_op(sc.seed, entry.op_index, lines, line_bytes);
-            if mem.enqueue(op, addr).is_some() {
+            if mem
+                .enqueue_for(entry.op, entry.addr, entry.tenant)
+                .is_some()
+            {
                 state.admitted += 1;
                 state.retried += 1;
+                if let Some(t) = state.tenants.get_mut(usize::from(entry.tenant)) {
+                    t.admitted += 1;
+                    t.retried += 1;
+                }
                 state.last_progress = state.last_progress.max(now);
             } else {
                 still_waiting.push(requeue(entry, now, sc, &mut state));
@@ -759,22 +974,76 @@ fn run_loop(
         state.backoff = still_waiting;
 
         // Admit new arrivals that are due.
-        while state.next_op < sc.ops && state.next_arrival_at <= now {
-            let index = state.next_op;
-            let (op, addr, gap) = generate_op(sc.seed, index, lines, line_bytes);
-            state.next_op += 1;
-            state.next_arrival_at = state.next_arrival_at.saturating_add(gap.max(1));
-            if mem.enqueue(op, addr).is_some() {
-                state.admitted += 1;
-                state.last_progress = state.last_progress.max(now);
-            } else {
-                let entry = BackoffEntry {
-                    retry_at: now,
-                    op_index: index,
-                    attempts: 0,
+        if tenant_mode {
+            // Earliest-arrival tenant first; ties break to the lower
+            // tenant id, so the interleave is a pure function of state.
+            loop {
+                if state.next_op >= sc.ops {
+                    break;
+                }
+                let Some(ti) = state
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.next_arrival_at <= now)
+                    .min_by_key(|(i, t)| (t.next_arrival_at, *i))
+                    .map(|(i, _)| i)
+                else {
+                    break;
                 };
-                let waiting = requeue(entry, now, sc, &mut state);
-                state.backoff.push(waiting);
+                let spec = &sc.tenants[ti];
+                let index = state.next_op;
+                state.next_op += 1;
+                let arrived_at = state.tenants[ti].next_arrival_at;
+                let t = &mut state.tenants[ti];
+                let (op, line) = t.stream.next_op(spec, lines);
+                let addr = PhysAddr::new(line * line_bytes);
+                // The next gap is drawn against the arrival-time clock,
+                // not the loop landing, so MMPP phase flips are a pure
+                // function of the stream state.
+                t.next_arrival_at = match t.stream.next_gap(&spec.arrival, arrived_at) {
+                    Some(gap) => arrived_at.saturating_add(gap.max(1)),
+                    None => u64::MAX,
+                };
+                let tenant = ti as u16;
+                if mem.enqueue_for(op, addr, tenant).is_some() {
+                    state.admitted += 1;
+                    state.tenants[ti].admitted += 1;
+                    state.last_progress = state.last_progress.max(now);
+                } else {
+                    let entry = BackoffEntry {
+                        retry_at: now,
+                        op_index: index,
+                        attempts: 0,
+                        op,
+                        addr,
+                        tenant,
+                    };
+                    let waiting = requeue(entry, now, sc, &mut state);
+                    state.backoff.push(waiting);
+                }
+            }
+        } else {
+            while state.next_op < sc.ops && state.next_arrival_at <= now {
+                let index = state.next_op;
+                let (op, addr, gap) = generate_op(sc.seed, index, lines, line_bytes);
+                state.next_op += 1;
+                state.next_arrival_at = state.next_arrival_at.saturating_add(gap.max(1));
+                if mem.enqueue(op, addr).is_some() {
+                    state.admitted += 1;
+                    state.last_progress = state.last_progress.max(now);
+                } else {
+                    let entry = BackoffEntry {
+                        retry_at: now,
+                        op_index: index,
+                        attempts: 0,
+                        op,
+                        addr,
+                        tenant: 0,
+                    };
+                    let waiting = requeue(entry, now, sc, &mut state);
+                    state.backoff.push(waiting);
+                }
             }
         }
 
@@ -816,6 +1085,28 @@ fn run_loop(
     if let Some(path) = &sc.prom_out {
         write_text_file(path, &prom::render(&reg))?;
     }
+    let tenants = sc
+        .tenants
+        .iter()
+        .zip(state.tenants.iter())
+        .enumerate()
+        .map(|(i, (spec, t))| {
+            let stats = mem.stats().tenants.get(i);
+            TenantReport {
+                name: spec.name.clone(),
+                admitted: t.admitted,
+                completions: t.completions,
+                rejected: t.rejected,
+                retried: t.retried,
+                read_p50: stats.map_or(0, |s| s.read_latency_percentile(0.50)),
+                read_p95: stats.map_or(0, |s| s.read_latency_percentile(0.95)),
+                read_p99: stats.map_or(0, |s| s.read_latency_percentile(0.99)),
+                slo_read_p99: spec.slo_read_p99,
+                slo_windows: t.slo_windows,
+                slo_violations: t.slo_violations,
+            }
+        })
+        .collect();
     Ok(ServeReport {
         final_cycle: mem.now().raw(),
         admitted: state.admitted,
@@ -831,7 +1122,90 @@ fn run_loop(
         windows_emitted: state.windows_seen,
         slo_windows: state.slo_windows,
         slo_violations: state.slo_violations,
+        tenants,
         metrics_json: reg.to_json(),
+    })
+}
+
+/// One tenant's row of the [`FairnessReport`].
+#[derive(Debug, Clone)]
+pub struct FairnessRow {
+    /// Tenant name from the spec.
+    pub name: String,
+    /// Read p99 with the tenant running the device alone.
+    pub isolated_p99: u64,
+    /// Read p99 sharing the device under plain FRFCFS.
+    pub shared_frfcfs_p99: u64,
+    /// Read p99 sharing the device under the least-service QoS scheduler.
+    pub shared_qos_p99: u64,
+}
+
+/// Outcome of the serve-driven QoS fairness experiment.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// Per-tenant p99s across the three scenarios, in tenant order.
+    pub tenants: Vec<FairnessRow>,
+    /// Spread (max − min) of per-tenant read p99 under shared FRFCFS.
+    pub frfcfs_p99_gap: u64,
+    /// Spread of per-tenant read p99 under the shared QoS scheduler.
+    pub qos_p99_gap: u64,
+}
+
+/// Runs the QoS fairness experiment: every tenant once in isolation,
+/// then all tenants sharing the device under plain FRFCFS, then sharing
+/// under the least-service `FRFCFS_QOS` scheduler. All three use the
+/// same `(config, sc)` apart from the scheduler knob and, for the
+/// isolated legs, the tenant list.
+///
+/// # Errors
+///
+/// [`SimError::Config`] when fewer than two tenants are configured, plus
+/// anything [`serve`] can return.
+pub fn fairness(config: SystemConfig, sc: &ServeConfig) -> Result<FairnessReport, SimError> {
+    if sc.tenants.len() < 2 {
+        return Err(SimError::Config(fgnvm_types::ConfigError::Invalid {
+            field: "tenants",
+            reason: "the fairness experiment needs at least two tenants",
+        }));
+    }
+    let mut isolated = Vec::new();
+    for spec in &sc.tenants {
+        let mut solo = sc.clone();
+        solo.tenants = vec![spec.clone()];
+        let report = serve(config, &solo)?;
+        isolated.push(report.tenants[0].read_p99);
+    }
+    let mut shared = config;
+    shared.scheduler = fgnvm_types::config::SchedulerKind::Frfcfs;
+    let frfcfs = serve(shared, sc)?;
+    let mut qos_cfg = config;
+    qos_cfg.scheduler = fgnvm_types::config::SchedulerKind::FrfcfsQos;
+    let qos = serve(qos_cfg, sc)?;
+
+    let tenants: Vec<FairnessRow> = sc
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| FairnessRow {
+            name: spec.name.clone(),
+            isolated_p99: isolated[i],
+            shared_frfcfs_p99: frfcfs.tenants[i].read_p99,
+            shared_qos_p99: qos.tenants[i].read_p99,
+        })
+        .collect();
+    let gap = |rows: &[FairnessRow], pick: fn(&FairnessRow) -> u64| {
+        let active: Vec<u64> = rows.iter().map(pick).filter(|p| *p > 0).collect();
+        match (active.iter().max(), active.iter().min()) {
+            (Some(hi), Some(lo)) => hi - lo,
+            _ => 0,
+        }
+    };
+    let frfcfs_p99_gap = gap(&tenants, |r| r.shared_frfcfs_p99);
+    let qos_p99_gap = gap(&tenants, |r| r.shared_qos_p99);
+    Ok(FairnessReport {
+        tenants,
+        frfcfs_p99_gap,
+        qos_p99_gap,
     })
 }
 
@@ -846,22 +1220,25 @@ fn requeue(
     match sc.policy {
         AdmissionPolicy::Reject => {
             state.rejected += 1;
+            if let Some(t) = state.tenants.get_mut(usize::from(entry.tenant)) {
+                t.rejected += 1;
+            }
             let delay = sc
                 .backoff_base
                 .saturating_mul(1u64 << entry.attempts.min(32))
                 .min(sc.backoff_max.max(1));
             BackoffEntry {
                 retry_at: now + delay.max(1),
-                op_index: entry.op_index,
                 attempts: entry.attempts.saturating_add(1),
+                ..entry
             }
         }
         AdmissionPolicy::Block => {
             state.blocked_cycles += 1;
             BackoffEntry {
                 retry_at: now + 1,
-                op_index: entry.op_index,
                 attempts: entry.attempts.saturating_add(1),
+                ..entry
             }
         }
     }

@@ -388,7 +388,7 @@ mod decomposition_tests {
     #[test]
     fn bar_is_exactly_width_and_legend_is_exhaustive() {
         let mut attr = Attribution::new(AttributionParams::bare(4, 4));
-        attr.on_enqueued(1, true, 0);
+        attr.on_enqueued(1, true, 0, 0);
         attr.on_command(&CommandIssue {
             channel: 0,
             bank: 0,
@@ -695,8 +695,8 @@ mod telemetry_viz_tests {
         let mut ts = TimeSeries::new(100, 8);
         let mut stall = [0u64; 10];
         stall[StallCause::WriteBlock as usize] = 40;
-        ts.record_arrival(true, 10);
-        ts.record_completion(true, 44, &stall, 50);
+        ts.record_arrival(true, 0, 10);
+        ts.record_completion(true, 0, 44, &stall, 50);
         ts.record_issue(12);
         ts.roll_to(300);
         let out = render_timeseries(&ts);

@@ -303,6 +303,12 @@ pub enum SchedulerKind {
     /// consecutive row-hit grants the oldest issuable request goes first,
     /// bounding how long hit streams can starve row-miss requests.
     FrfcfsCap,
+    /// FRFCFS with tenant fairness: among issuable requests, the tenant
+    /// with the least service so far (granted commands) goes first; ties
+    /// fall back to row-hit-first then oldest within the chosen tenant.
+    /// Write drain applies the same least-service pick so one tenant's
+    /// write burst cannot monopolize the drain window.
+    FrfcfsQos,
 }
 
 /// Row-buffer management policy for DRAM banks.

@@ -157,6 +157,7 @@ pub fn parse_system_config(text: &str) -> Result<SystemConfig, ParseParamsError>
                     "FRFCFS" => SchedulerKind::Frfcfs,
                     "FRFCFS_TLP" | "FRFCFSTLP" => SchedulerKind::FrfcfsTlp,
                     "FRFCFS_CAP" | "FRFCFSCAP" => SchedulerKind::FrfcfsCap,
+                    "FRFCFS_QOS" | "FRFCFSQOS" => SchedulerKind::FrfcfsQos,
                     other => return Err(err(lineno, format!("unknown scheduler `{other}`"))),
                 }
             }
@@ -298,6 +299,7 @@ pub fn write_system_config(config: &SystemConfig) -> String {
         SchedulerKind::Frfcfs => "FRFCFS",
         SchedulerKind::FrfcfsTlp => "FRFCFS_TLP",
         SchedulerKind::FrfcfsCap => "FRFCFS_CAP",
+        SchedulerKind::FrfcfsQos => "FRFCFS_QOS",
     };
     let _ = writeln!(out, "Scheduler {scheduler}");
     let _ = writeln!(out, "QueueEntries {}", config.queue_entries);

@@ -90,10 +90,14 @@ pub struct Request {
     pub arrival: Cycle,
     /// Demand or prefetch.
     pub priority: Priority,
+    /// Tenant the request belongs to (0 is the default/anonymous tenant,
+    /// so single-stream callers never have to think about it).
+    pub tenant: u16,
 }
 
 impl Request {
-    /// Creates a demand request arriving `arrival` with identity `id`.
+    /// Creates a demand request arriving `arrival` with identity `id`,
+    /// owned by the default tenant 0.
     pub fn new(id: RequestId, op: Op, addr: PhysAddr, arrival: Cycle) -> Self {
         Request {
             id,
@@ -101,12 +105,19 @@ impl Request {
             addr,
             arrival,
             priority: Priority::Demand,
+            tenant: 0,
         }
     }
 
     /// Returns this request marked as a prefetch.
     pub fn as_prefetch(mut self) -> Self {
         self.priority = Priority::Prefetch;
+        self
+    }
+
+    /// Returns this request tagged as belonging to `tenant`.
+    pub fn with_tenant(mut self, tenant: u16) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -133,6 +144,8 @@ pub struct Completion {
     /// Cycle the data burst finished (read) or the write was accepted into
     /// the array (write).
     pub finished: Cycle,
+    /// Tenant the request belonged to (0 for untagged traffic).
+    pub tenant: u16,
 }
 
 impl Completion {
@@ -160,6 +173,7 @@ mod tests {
             op: Op::Read,
             arrival: Cycle::new(10),
             finished: Cycle::new(52),
+            tenant: 0,
         };
         assert_eq!(c.latency(), CycleCount::new(42));
     }

@@ -33,7 +33,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FGNVMCK1";
 /// v2: the observer section gained optional telemetry state (time-series
 /// engine + flight recorder) and the serve section gained the telemetry
 /// cursor and SLO burn counters.
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: multi-tenant serving — pending requests, controller events,
+/// attribution records, system stats, telemetry windows, the QoS
+/// scheduler, and the serve driver all gained per-tenant state.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be decoded.
 ///

@@ -26,6 +26,8 @@
 pub mod mix;
 pub mod primitives;
 pub mod spec_like;
+pub mod tenant;
 
 pub use primitives::PatternBuilder;
 pub use spec_like::{all_profiles, profile, PagePolicy, Profile};
+pub use tenant::{parse_tenants, render_tenants, ArrivalKind, TenantSpec, TenantStream};

@@ -252,6 +252,120 @@ fn resumed_serve_run_never_trips_a_spurious_watchdog() {
 }
 
 #[test]
+fn multi_tenant_serve_resumes_bit_identically_from_every_checkpoint() {
+    // The multi-tenant analogue of the serve differentials: with three
+    // tenant streams (Poisson, bursty MMPP, zero-rate) feeding the run,
+    // a resume from EVERY checkpoint must reproduce the per-tenant
+    // telemetry JSONL as an exact byte-suffix, land on byte-identical
+    // final metrics (which carry the serve.tenant.* and mem.tenant.*
+    // counters), and report identical per-tenant SLO burn — proving the
+    // tenant streams, per-tenant stats tables, and window slices all
+    // ride the snapshot exactly.
+    let config = SystemConfig::fgnvm(8, 2).unwrap();
+    let dir = std::env::temp_dir().join("fgnvm-tenant-resume-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let tenants = fgnvm_workloads::parse_tenants(
+        "alpha:poisson:gap=60:slo=700,beta:mmpp:calm=200:burst=15:dwell-calm=3000:dwell-burst=900,idle:off",
+    )
+    .expect("valid tenant spec");
+    let sc = ServeConfig {
+        horizon: 30_000,
+        ops: 400,
+        seed: 31,
+        checkpoint_every: 1_000,
+        checkpoint_dir: Some(dir.clone()),
+        policy: AdmissionPolicy::Reject,
+        backoff_base: 8,
+        backoff_max: 256,
+        telemetry_window: 800,
+        telemetry_out: Some(dir.join("ref.jsonl")),
+        tenants,
+        ..ServeConfig::default()
+    };
+    let full = fgnvm_sim::serve(config, &sc).expect("reference run");
+    assert!(full.windows_emitted >= 4, "{}", full.windows_emitted);
+    assert_eq!(full.tenants.len(), 3);
+    assert!(full.tenants[0].completions > 0 && full.tenants[1].completions > 0);
+    assert_eq!(
+        full.tenants[2].admitted, 0,
+        "the zero-rate tenant must stay silent"
+    );
+    assert!(
+        full.tenants[0].slo_windows > 0,
+        "windows closed, so the SLO-carrying tenant must have been judged"
+    );
+    let ref_stream = std::fs::read_to_string(dir.join("ref.jsonl")).expect("stream");
+    assert!(
+        ref_stream.contains("\"tenants\":[{\"tenant\":0,"),
+        "window records must carry per-tenant slices"
+    );
+    let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .expect("checkpoints written")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 3, "expected several checkpoints");
+    for ckpt in &ckpts {
+        let stem = ckpt.file_stem().unwrap().to_string_lossy().into_owned();
+        let mut sc_res = sc.clone();
+        sc_res.telemetry_out = Some(dir.join(format!("{stem}.jsonl")));
+        let resumed = fgnvm_sim::resume(config, ckpt, &sc_res)
+            .unwrap_or_else(|e| panic!("resume from {} failed: {e}", ckpt.display()));
+        assert_eq!(
+            resumed.metrics_json,
+            full.metrics_json,
+            "resume from {}: final metrics diverged",
+            ckpt.display()
+        );
+        for (r, f) in resumed.tenants.iter().zip(&full.tenants) {
+            assert_eq!(r.admitted, f.admitted, "{}: {}", ckpt.display(), r.name);
+            assert_eq!(
+                r.completions,
+                f.completions,
+                "{}: {}",
+                ckpt.display(),
+                r.name
+            );
+            assert_eq!(r.rejected, f.rejected, "{}: {}", ckpt.display(), r.name);
+            assert_eq!(r.retried, f.retried, "{}: {}", ckpt.display(), r.name);
+            assert_eq!(r.read_p99, f.read_p99, "{}: {}", ckpt.display(), r.name);
+            assert_eq!(
+                r.slo_windows,
+                f.slo_windows,
+                "{}: {}",
+                ckpt.display(),
+                r.name
+            );
+            assert_eq!(
+                r.slo_violations,
+                f.slo_violations,
+                "{}: {}",
+                ckpt.display(),
+                r.name
+            );
+        }
+        let res_stream =
+            std::fs::read_to_string(dir.join(format!("{stem}.jsonl"))).expect("stream");
+        assert!(
+            ref_stream.ends_with(&res_stream),
+            "resume from {} did not reproduce the per-tenant window stream as a byte-suffix",
+            ckpt.display()
+        );
+    }
+    // A tenant-count mismatch between checkpoint and config must be a
+    // structured error, not silent misaccounting.
+    let mut sc_bad = sc.clone();
+    sc_bad.tenants.pop();
+    assert!(
+        fgnvm_sim::resume(config, &ckpts[0], &sc_bad).is_err(),
+        "resuming with a different tenant list must be refused"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn telemetry_stream_and_flight_dump_survive_resume_from_every_checkpoint() {
     // The continuous-telemetry analogue of the digest tests: the JSONL
     // window stream a resumed leg emits must be an exact byte-suffix of
