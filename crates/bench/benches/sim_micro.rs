@@ -128,7 +128,13 @@ fn emit_bench_sim_json() {
     };
     let observed_rate = best_rate(false);
     let telemetry_rate = best_rate(true);
-    let telemetry_overhead = 1.0 - telemetry_rate / observed_rate;
+    // Best-of-N rates still jitter a percent or so, so the raw fraction
+    // can land slightly negative. That means "unmeasurably small", not
+    // that telemetry sped the simulator up: the headline clamps at zero
+    // and the raw value is recorded alongside it so the CI guard can
+    // distinguish noise-floor readings from real regressions.
+    let telemetry_overhead_raw = 1.0 - telemetry_rate / observed_rate;
+    let telemetry_overhead = telemetry_overhead_raw.max(0.0);
     // Sweep-executor core scaling: the same 16-job sweep at one worker,
     // two workers, and the host's full parallelism. Efficiency is the
     // per-worker fraction of linear scaling retained at full width.
@@ -176,6 +182,7 @@ fn emit_bench_sim_json() {
          \"observed_cycles_per_sec\": {observed_rate:.0},\n  \
          \"telemetry_cycles_per_sec\": {telemetry_rate:.0},\n  \
          \"telemetry_overhead_frac\": {telemetry_overhead:.3},\n  \
+         \"telemetry_overhead_frac_raw\": {telemetry_overhead_raw:.3},\n  \
          \"sweep_jobs1_cycles_per_sec\": {sweep_rate_1:.0},\n  \
          \"sweep_jobs2_cycles_per_sec\": {sweep_rate_2:.0},\n  \
          \"sweep_jobs_max_cycles_per_sec\": {sweep_rate_max:.0},\n  \

@@ -248,6 +248,10 @@ fn execute_inner(case: &FuzzCase, mut kill: Option<u64>) -> Result<CaseReport, S
     // the window-vs-cumulative conservation rule all get exercised (and,
     // with --kill-resume, the telemetry snapshot round-trip too).
     memory.enable_telemetry(512, 16, 64);
+    // Audit every fuzz case too: the decision-audit conservation rule
+    // then runs as part of every standard report (and the audit log's
+    // snapshot round-trip is exercised by --kill-resume).
+    memory.enable_audit();
     if case.chaos {
         memory.debug_force_illegal_issue(true);
     }

@@ -554,6 +554,95 @@ pub fn check_tenant_conservation(
     report
 }
 
+/// Audit conservation: the scheduler decision-audit log must fold
+/// exactly to the independently-kept command counters, and every
+/// per-record identity must hold in aggregate.
+///
+/// - **Issue fold**: audited decisions equal the bank models' committed
+///   reads plus writes (both sides count commits, including re-issued
+///   verify-failed writes), and the read/write split folds to the total.
+/// - **Candidate fold**: per record, `blocked + ready == considered − 1`
+///   (everything but the chosen command is either gated or ready), so in
+///   aggregate `blocked + ready + issues == considered`.
+/// - **Opportunity bounds**: co-issuable peers are a subset of ready
+///   peers; the missed-pair grid counts exactly one cell per counted
+///   peer; and no decision may claim co-issue opportunity with an
+///   otherwise-empty queue (`empty_queue_opportunity == 0`).
+/// - **Window fold** (when the time-series engine is attached): summing
+///   every telemetry window's opportunity counter reproduces the audit
+///   log's total exactly.
+///
+/// Returns an empty (nothing-checked) report when the observer has no
+/// audit log attached. Assumes auditing was on for the whole run (the
+/// standard drivers enable it before the first tick).
+pub fn check_audit_conservation(observer: &Observer, banks: &BankStats) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let Some(audit) = observer.audit() else {
+        return report;
+    };
+    report.checked.push("audit-conservation");
+    if audit.issues_read + audit.issues_write != audit.issues {
+        report.failures.push(format!(
+            "audit conservation: {} reads + {} writes != {} audited issues",
+            audit.issues_read, audit.issues_write, audit.issues
+        ));
+    }
+    let committed = banks.reads + banks.writes;
+    if audit.issues != committed {
+        report.failures.push(format!(
+            "audit conservation: {} audited issues but the banks committed {committed} \
+             commands ({} reads + {} writes)",
+            audit.issues, banks.reads, banks.writes
+        ));
+    }
+    let hist_sum: u64 = audit.parallelism_hist.iter().sum();
+    if hist_sum != audit.issues {
+        report.failures.push(format!(
+            "audit conservation: parallelism histogram holds {hist_sum} decisions but {} issued",
+            audit.issues
+        ));
+    }
+    let blocked_sum: u64 = audit.blocked.iter().sum();
+    if blocked_sum + audit.ready_total + audit.issues != audit.considered_total {
+        report.failures.push(format!(
+            "audit conservation: {blocked_sum} blocked + {} ready + {} issued != {} considered",
+            audit.ready_total, audit.issues, audit.considered_total
+        ));
+    }
+    if audit.opportunity_total > audit.ready_total {
+        report.failures.push(format!(
+            "audit conservation: {} co-issuable peers exceed the {} ready peers",
+            audit.opportunity_total, audit.ready_total
+        ));
+    }
+    let missed_sum: u64 = audit.missed_cells().iter().sum();
+    if missed_sum != audit.opportunity_total {
+        report.failures.push(format!(
+            "audit conservation: missed-pair grid holds {missed_sum} cells but \
+             opportunity totals {}",
+            audit.opportunity_total
+        ));
+    }
+    if audit.empty_queue_opportunity != 0 {
+        report.failures.push(format!(
+            "audit legality: {} decision(s) claimed co-issue opportunity with an \
+             otherwise-empty queue",
+            audit.empty_queue_opportunity
+        ));
+    }
+    if let Some(ts) = observer.timeseries() {
+        let window_sum = ts.aggregate().opportunity;
+        if window_sum != audit.opportunity_total {
+            report.failures.push(format!(
+                "audit conservation: telemetry windows fold to {window_sum} opportunity \
+                 but the audit log totals {}",
+                audit.opportunity_total
+            ));
+        }
+    }
+    report
+}
+
 /// Every accepted request id completes exactly once.
 pub fn check_completions(accepted: &[RequestId], completions: &[Completion]) -> InvariantReport {
     let mut report = InvariantReport::default();
@@ -610,6 +699,7 @@ pub fn standard_report(
         report.merge(check_attribution(obs));
         report.merge(check_heatmap_totals(obs, &banks));
         report.merge(check_timeseries_conservation(obs, memory.stats()));
+        report.merge(check_audit_conservation(obs, &banks));
     }
     report.merge(check_tenant_conservation(observer, memory.stats()));
     report.merge(check_energy(config, &banks, &memory.energy()));
@@ -729,6 +819,64 @@ mod tests {
         );
         // Sanity: the untampered stats stay clean.
         assert!(check_tenant_conservation(Some(&obs), memory.stats()).is_clean());
+    }
+
+    /// Like [`run_with_telemetry`] but with the issue-audit layer on and
+    /// a heavier same-bank mix so some decisions see blocked candidates
+    /// and others see genuine co-issue opportunity.
+    fn run_with_audit() -> (MemorySystem, Observer) {
+        let config = SystemConfig::fgnvm(8, 2).expect("valid config");
+        let mut memory = MemorySystem::new(config).expect("valid system");
+        memory.enable_observer();
+        memory.enable_telemetry(64, 4, 16);
+        memory.enable_audit();
+        let line = u64::from(config.geometry.line_bytes());
+        let mut out = Vec::new();
+        for i in 0..60u64 {
+            let kind = if i % 4 == 0 { Op::Write } else { Op::Read };
+            memory.enqueue(kind, PhysAddr::new(i * 5 % 128 * line));
+            memory.tick_to(Cycle::new(i * 6), &mut out);
+        }
+        while !memory.is_idle() {
+            out.extend(memory.tick());
+        }
+        let obs = memory.take_observer().expect("observer enabled above");
+        (memory, *obs)
+    }
+
+    #[test]
+    fn audit_conservation_holds_on_a_real_run() {
+        let (memory, obs) = run_with_audit();
+        let audit = obs.audit().expect("audit enabled above");
+        assert!(audit.issues > 0, "the run issued commands");
+        assert!(
+            audit.considered_total > audit.issues,
+            "the backlog put more than the chosen command on the table"
+        );
+        let report = check_audit_conservation(&obs, &memory.bank_stats());
+        assert_eq!(report.checked, vec!["audit-conservation"]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn audit_conservation_catches_a_dropped_record() {
+        let (memory, mut obs) = run_with_audit();
+        // A decision record that never folded (or folded twice) is
+        // exactly the drift the issue fold exists to catch.
+        obs.audit_mut().expect("attached").issues += 1;
+        let report = check_audit_conservation(&obs, &memory.bank_stats());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn no_audit_means_nothing_checked() {
+        let config = SystemConfig::fgnvm(8, 2).expect("valid config");
+        let mut memory = MemorySystem::new(config).expect("valid system");
+        memory.enable_observer();
+        let obs = memory.take_observer().expect("observer enabled above");
+        let report = check_audit_conservation(&obs, &memory.bank_stats());
+        assert!(report.checked.is_empty());
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use fuzz::{
     execute_case, execute_case_with_kill, fuzz, CaseReport, FuzzCase, FuzzFailure, FuzzModel,
     FuzzOp, FuzzOptions, FuzzOutcome,
 };
-pub use invariants::{check_tenant_conservation, InvariantReport};
+pub use invariants::{check_audit_conservation, check_tenant_conservation, InvariantReport};
 pub use oracle::{run_and_audit, CheckOutcome, Oracle, OracleReport, OracleViolation};
 pub use seed::derive_seed;

@@ -11,10 +11,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use fgnvm_bank::{
-    AccessPlan, Bank, BankStats, BaselineBank, DramBank, FaultModel, FgnvmBank, Modes,
-    OccupancySnapshot, PlanKind, RefreshCycles,
+    AccessPlan, Bank, BankStats, BaselineBank, BlockReason, DramBank, FaultModel, FgnvmBank,
+    Modes, OccupancySnapshot, PlanKind, RefreshCycles,
 };
-use fgnvm_obs::{CommandIssue, InstantKind, Observer};
+use fgnvm_obs::audit::GATES;
+use fgnvm_obs::{BlockGate, CommandIssue, InstantKind, IssueAudit, Observer};
 use fgnvm_types::config::{BankModel, ReliabilityConfig, SystemConfig};
 use fgnvm_types::error::ConfigError;
 use fgnvm_types::request::{Completion, Op};
@@ -191,6 +192,16 @@ pub struct Controller {
     /// Write-queue entries per bank index; same role as
     /// [`queued_reads_per_bank`](field@Controller::queued_reads_per_bank).
     queued_writes_per_bank: Vec<u32>,
+}
+
+/// What [`Controller::audit_probe`] measured for one issue decision.
+#[derive(Debug)]
+struct AuditProbe {
+    considered: u32,
+    blocked: [u32; GATES],
+    ready_peers: u32,
+    co_issuable: u32,
+    missed: Vec<(u32, u32)>,
 }
 
 /// Controller-side ECC behaviour (graceful degradation).
@@ -568,6 +579,18 @@ impl Controller {
             }
         }
 
+        // Issue-audit probe (opt-in): with the chosen command fixed and the
+        // queues still untouched, re-plan every *other* queued entry
+        // read-only to attribute its gate, and greedily count how many
+        // ready peers are rook-compatible — (SAG, CD)-disjoint per bank —
+        // with the chosen command and each other. Runs only at issue time,
+        // so stepped and fast-forward runs (which issue at identical
+        // cycles with identical state) produce bit-identical streams.
+        let audit_probe = match &obs {
+            Some(o) if o.audit_enabled() => Some(self.audit_probe(from_writes, index, now)),
+            _ => None,
+        };
+
         let removed = if from_writes {
             self.writes.remove(index)
         } else {
@@ -642,6 +665,22 @@ impl Controller {
                 cd_count: pending.access.coord.cd_count,
                 retries: issued.faults.retries,
             });
+            if let Some(probe) = &audit_probe {
+                obs.on_audit(&IssueAudit {
+                    channel: self.channel,
+                    bank: pending.bank_index as u32,
+                    at: now.raw(),
+                    is_read: pending.request.op.is_read(),
+                    draining: self.draining,
+                    sag: pending.access.coord.sag,
+                    cd: pending.access.coord.cd_first,
+                    considered: probe.considered,
+                    blocked: probe.blocked,
+                    ready_peers: probe.ready_peers,
+                    co_issuable: probe.co_issuable,
+                    missed: &probe.missed,
+                });
+            }
         }
         if pending.request.op.is_read() {
             // ECC sits between the bank and the channel: a corrected read
@@ -720,6 +759,79 @@ impl Controller {
         // holds (nor does it for a second pick in the same tick).
         self.issue_bound.set(None);
         true
+    }
+
+    /// The audit probe behind [`issue_one`]'s opt-in decision record: with
+    /// the chosen entry (position `index` of the `from_writes` queue) still
+    /// in place, plans every other queued entry read-only and classifies it
+    /// as gated (per [`BlockGate`]) or ready, then greedily builds the
+    /// legal co-issue set — a ready peer joins when it is rook-compatible
+    /// (distinct SAG *and* disjoint CD span) with the chosen command and
+    /// every previously accepted peer on the same bank; peers on distinct
+    /// banks are trivially parallel. Queue order (reads first, then
+    /// writes) makes the greedy set deterministic.
+    ///
+    /// [`issue_one`]: Controller::issue_one
+    fn audit_probe(&self, from_writes: bool, index: usize, now: Cycle) -> AuditProbe {
+        let chosen_queue = if from_writes {
+            &self.writes
+        } else {
+            &self.reads
+        };
+        let chosen = chosen_queue
+            .iter()
+            .nth(index)
+            .expect("picked index exists");
+        let mut probe = AuditProbe {
+            considered: 0,
+            blocked: [0; GATES],
+            ready_peers: 0,
+            co_issuable: 0,
+            missed: Vec::new(),
+        };
+        // The accepted co-issue set, seeded with the chosen command:
+        // (bank, sag, cd_first, cd_count) of everything already "issuing".
+        let mut accepted: Vec<(usize, u32, u32, u32)> = vec![(
+            chosen.bank_index,
+            chosen.access.coord.sag,
+            chosen.access.coord.cd_first,
+            chosen.access.coord.cd_count,
+        )];
+        for (is_writes, queue) in [(false, &self.reads), (true, &self.writes)] {
+            for (pos, p) in queue.iter().enumerate() {
+                probe.considered += 1;
+                if is_writes == from_writes && pos == index {
+                    continue;
+                }
+                match self.banks[p.bank_index].plan(&p.access, now) {
+                    Err(blocked) => {
+                        let gate = match blocked.reason {
+                            BlockReason::BankBusy => BlockGate::BankBusy,
+                            BlockReason::SagBusy => BlockGate::SagBusy,
+                            BlockReason::CdBusy => BlockGate::CdBusy,
+                            BlockReason::ColumnPath => BlockGate::ColumnPath,
+                            BlockReason::RowLocked => BlockGate::RowLocked,
+                        };
+                        probe.blocked[gate as usize] += 1;
+                    }
+                    Ok(_) => {
+                        probe.ready_peers += 1;
+                        let c = &p.access.coord;
+                        let compatible = accepted.iter().all(|&(bank, sag, cd, cd_n)| {
+                            bank != p.bank_index
+                                || (sag != c.sag
+                                    && !(c.cd_first < cd + cd_n && cd < c.cd_first + c.cd_count))
+                        });
+                        if compatible {
+                            probe.co_issuable += 1;
+                            probe.missed.push((c.sag, c.cd_first));
+                            accepted.push((p.bank_index, c.sag, c.cd_first, c.cd_count));
+                        }
+                    }
+                }
+            }
+        }
+        probe
     }
 
     /// True when no requests are queued and no completions are pending.

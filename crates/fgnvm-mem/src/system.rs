@@ -215,6 +215,18 @@ impl MemorySystem {
         obs.enable_flight(flight);
     }
 
+    /// Enables the issue-audit layer (per-decision records, measured
+    /// co-issue opportunity) on the observer, attaching an observer first
+    /// if none is enabled. Idempotent: an already-running audit keeps its
+    /// accumulated log.
+    pub fn enable_audit(&mut self) {
+        if self.observer.is_none() {
+            self.enable_observer();
+        }
+        let obs = self.observer.as_deref_mut().expect("observer just enabled");
+        obs.enable_audit();
+    }
+
     /// Channels currently in write-drain mode.
     pub fn draining_channels(&self) -> usize {
         self.controllers.iter().filter(|c| c.is_draining()).count()

@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attribution;
+pub mod audit;
 pub mod flight;
 pub mod heatmap;
 pub mod hist;
@@ -40,6 +41,7 @@ pub use attribution::{
     classify_command, classify_instant, what_if, what_if_json, Attribution, AttributionParams,
     ClassTotals, RequestAttribution, StallCause, WhatIfBound,
 };
+pub use audit::{AuditLog, BlockGate, IssueAudit};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use heatmap::{TileCell, TileHeatmap};
 pub use hist::Log2Hist;
@@ -164,6 +166,10 @@ pub struct Observer {
     timeseries: Option<TimeSeries>,
     /// Flight recorder; `None` until [`Observer::enable_flight`].
     flight: Option<FlightRecorder>,
+    /// Scheduler decision-audit log; `None` until
+    /// [`Observer::enable_audit`] — the controller probes its queues only
+    /// when this is attached, so auditing is zero-cost when off.
+    audit: Option<AuditLog>,
 }
 
 impl Observer {
@@ -185,6 +191,7 @@ impl Observer {
             instants: [0; 8],
             timeseries: None,
             flight: None,
+            audit: None,
         }
     }
 
@@ -199,6 +206,34 @@ impl Observer {
     /// most recent `capacity` events.
     pub fn enable_flight(&mut self, capacity: usize) {
         self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Attaches the scheduler decision-audit log, sized to the
+    /// attribution grid's SAG × CD dimensions. Idempotent: an already
+    /// attached log (including one restored from a checkpoint) keeps its
+    /// accumulated state.
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            let p = self.attribution.params();
+            self.audit = Some(AuditLog::new(p.sags, p.cds));
+        }
+    }
+
+    /// True when the decision-audit log is attached; the controller
+    /// checks this before paying for the candidate probe.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// The decision-audit log, when enabled.
+    pub fn audit(&self) -> Option<&AuditLog> {
+        self.audit.as_ref()
+    }
+
+    /// Mutable access to the decision-audit log, when enabled (tests
+    /// tamper with it to prove the conservation rules detect drift).
+    pub fn audit_mut(&mut self) -> Option<&mut AuditLog> {
+        self.audit.as_mut()
     }
 
     /// The time-series engine, when enabled.
@@ -308,6 +343,30 @@ impl Observer {
         );
     }
 
+    /// Hook: one scheduler decision record, fired by the controller at
+    /// the command-commit point when auditing is enabled. Folds into the
+    /// audit log, the current telemetry window's opportunity stats, and
+    /// the Perfetto decision track (an instant naming the dominant
+    /// blocking gate, or `decision:clear` when nothing was rejected).
+    pub fn on_audit(&mut self, rec: &IssueAudit<'_>) {
+        let Some(audit) = &mut self.audit else {
+            return;
+        };
+        audit.record(rec);
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_opportunity(u64::from(rec.co_issuable), rec.at);
+        }
+        let name = match AuditLog::dominant_gate(rec) {
+            Some(BlockGate::BankBusy) => "decision:bank-busy",
+            Some(BlockGate::SagBusy) => "decision:sag-busy",
+            Some(BlockGate::CdBusy) => "decision:cd-busy",
+            Some(BlockGate::ColumnPath) => "decision:column-path",
+            Some(BlockGate::RowLocked) => "decision:row-locked",
+            None => "decision:clear",
+        };
+        self.trace.instant(rec.channel, rec.bank, name, rec.at);
+    }
+
     /// Hook: a discrete event (fault, remap, watchdog) at `now`.
     pub fn on_instant(&mut self, kind: InstantKind, channel: u32, bank: u32, now: u64) {
         self.instants[kind as usize] += 1;
@@ -372,6 +431,22 @@ impl Observer {
             reg.set_counter("obs.flight.events_total", flight.total());
             reg.set_counter("obs.flight.events_retained", flight.len() as u64);
         }
+        if let Some(audit) = &self.audit {
+            reg.set_counter("mem.audit.issues", audit.issues);
+            reg.set_counter("mem.audit.issues_read", audit.issues_read);
+            reg.set_counter("mem.audit.issues_write", audit.issues_write);
+            reg.set_counter("mem.audit.considered", audit.considered_total);
+            reg.set_counter("mem.audit.ready", audit.ready_total);
+            reg.set_counter("mem.audit.opportunity", audit.opportunity_total);
+            reg.set_counter("mem.audit.solo_decisions", audit.solo_decisions);
+            reg.set_gauge("mem.audit.opportunity_ceiling", audit.opportunity_ceiling());
+            for gate in BlockGate::ALL {
+                reg.set_counter(
+                    &format!("mem.audit.blocked.{}", gate.label()),
+                    audit.blocked[gate as usize],
+                );
+            }
+        }
     }
 
     /// Serialize the observer's full aggregation state (spans, heatmap,
@@ -392,6 +467,10 @@ impl Observer {
         w.bool(self.flight.is_some());
         if let Some(flight) = &self.flight {
             flight.save_state(w);
+        }
+        w.bool(self.audit.is_some());
+        if let Some(audit) = &self.audit {
+            audit.save_state(w);
         }
     }
 
@@ -423,6 +502,11 @@ impl Observer {
         };
         self.flight = if r.bool()? {
             Some(FlightRecorder::load_state(r)?)
+        } else {
+            None
+        };
+        self.audit = if r.bool()? {
+            Some(AuditLog::load_state(r)?)
         } else {
             None
         };

@@ -134,6 +134,10 @@ pub struct WindowAgg {
     pub instants: [u64; INSTANT_KINDS],
     /// Commands issued in this window.
     pub issues: u64,
+    /// Measured co-issue opportunity in this window: the sum of
+    /// additional legal rook-compatible commands each audited decision
+    /// left on the table (0 unless the decision-audit layer is enabled).
+    pub opportunity: u64,
     /// Read-queue occupancy sampled at window close (serve samples at the
     /// boundary cycle; 0 when the driver never samples gauges).
     pub read_queue: u64,
@@ -171,6 +175,7 @@ impl WindowAgg {
             *a += b;
         }
         self.issues += other.issues;
+        self.opportunity += other.opportunity;
         self.read_queue = self.read_queue.max(other.read_queue);
         self.write_queue = self.write_queue.max(other.write_queue);
         self.draining = self.draining.max(other.draining);
@@ -205,6 +210,7 @@ impl WindowAgg {
             w.u64(*c);
         }
         w.u64(self.issues);
+        w.u64(self.opportunity);
         w.u64(self.read_queue);
         w.u64(self.write_queue);
         w.u64(self.draining);
@@ -229,6 +235,7 @@ impl WindowAgg {
             *c = r.u64()?;
         }
         agg.issues = r.u64()?;
+        agg.opportunity = r.u64()?;
         agg.read_queue = r.u64()?;
         agg.write_queue = r.u64()?;
         agg.draining = r.u64()?;
@@ -265,7 +272,7 @@ impl WindowAgg {
         format!(
             "\"window\":{},\"start\":{},\"end\":{},\"partial\":{},\
              \"arrivals\":{},\"arrival_rate\":{},\
-             \"read\":{},\"write\":{},\"issues\":{},\
+             \"read\":{},\"write\":{},\"issues\":{},\"opportunity\":{},\
              \"stall\":{{{}}},\"instants\":{{{}}},\
              \"read_queue\":{},\"write_queue\":{},\"draining\":{},\
              \"tenants\":[{}]",
@@ -278,6 +285,7 @@ impl WindowAgg {
             self.read_latency.to_json(),
             self.write_latency.to_json(),
             self.issues,
+            self.opportunity,
             stall.join(","),
             instants.join(","),
             self.read_queue,
@@ -428,6 +436,13 @@ impl TimeSeries {
     pub fn record_issue(&mut self, at: u64) {
         self.roll_to(at);
         self.current.issues += 1;
+    }
+
+    /// Hook fold: an audited decision at `at` left `count` co-issuable
+    /// commands on the table.
+    pub fn record_opportunity(&mut self, count: u64, at: u64) {
+        self.roll_to(at);
+        self.current.opportunity += count;
     }
 
     /// Hook fold: a discrete instant of `kind` at `now`.

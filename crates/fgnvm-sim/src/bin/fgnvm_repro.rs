@@ -32,6 +32,10 @@
 //!   hybrid    DRAM-buffered PCM (ref [8]) vs and with FgNVM
 //!   reliability  fault injection: RBER x write-verify sweep through ECC/retry/remap
 //!   observe   instrumented run: spans, SAGxCD heatmap, Perfetto trace [cfg]
+//!   audit     issue-audited run: realized rate vs measured opportunity
+//!             ceiling vs Amdahl bound, block attribution, missed-pair
+//!             grid; the conservation invariant gates the exit status
+//!             [a.cfg b.cfg ...]
 //!   profile   bottleneck attribution + what-if bounds; appends runs.jsonl
 //!             ledger lines: profile [a.cfg ...] [--seeds N] [--ledger FILE]
 //!   compare   run the workloads on N parameter files: compare a.cfg b.cfg ...
@@ -45,6 +49,7 @@
 //!             [--policy reject|block] [--watchdog N]
 //!             [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE]
 //!             [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE]
+//!             [--audit]
 //!   regress   self-check headline results against recorded bands (CI)
 //!   all       everything above
 //! ```
@@ -110,6 +115,7 @@ struct Cli {
     slo_read_p99: u64,
     dump_flight: Option<std::path::PathBuf>,
     tenants: Option<String>,
+    audit: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -142,6 +148,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut slo_read_p99 = 0u64;
     let mut dump_flight = None;
     let mut tenants = None;
+    let mut audit = false;
     let mut positional = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -250,6 +257,7 @@ fn parse_args() -> Result<Cli, String> {
                 let file = args.next().ok_or("--dump-flight needs a file")?;
                 dump_flight = Some(std::path::PathBuf::from(file));
             }
+            "--audit" => audit = true,
             "--tenants" => {
                 let spec = args.next().ok_or("--tenants needs a spec string")?;
                 // Validate up front so a typo fails before any simulation.
@@ -290,13 +298,14 @@ fn parse_args() -> Result<Cli, String> {
         slo_read_p99,
         dump_flight,
         tenants,
+        audit,
     })
 }
 
 fn usage() -> String {
-    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|profile|compare|check|fuzz|serve|fairness|regress|summary|all> \
+    "usage: fgnvm-repro <table1|table2|fig4|fig5|ablation|sweep|dims|sched|maps|tech|pause|scaling|mlc|mix|coloring|timeline|writes|depth|detail|cores|hybrid|reliability|tail|wear|policy|mlp|observe|audit|profile|compare|check|fuzz|serve|fairness|regress|summary|all> \
      [--ops N] [--seed S] [--seeds N] [--cases N] [--csv|--md|--json] [--out DIR] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--report FILE] [--jobs N] \
-     [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume] \
+     [--horizon N] [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--policy reject|block] [--watchdog N] [--kill-resume] [--audit] \
      [--telemetry-out FILE] [--telemetry-every N] [--prom-out FILE] [--live] [--progress] [--slo-read-p99 N] [--dump-flight FILE] [--tenants SPEC]"
         .to_string()
 }
@@ -493,6 +502,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 print!("{}", out.heatmap_ascii);
                 print!("{}", out.decomposition_ascii);
                 print!("{}", out.timeseries_ascii);
+                print!("{}", out.audit_ascii);
             }
             if let Some(path) = &cli.trace_out {
                 std::fs::write(path, &out.trace_json)
@@ -514,6 +524,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 }
             }
         }
+        "audit" => audit_command(cli, p, format)?,
         "profile" => profile_command(cli, p, format)?,
         "compare" => {
             if cli.args.is_empty() {
@@ -672,6 +683,51 @@ fn preset_configs() -> Result<Vec<(String, fgnvm_types::SystemConfig)>, String> 
         ),
         ("dram".into(), fgnvm_types::SystemConfig::dram()),
     ])
+}
+
+/// The `audit` command: an issue-audited run per configuration. Prints the
+/// realized issue rate, the measured opportunity ceiling, and the Amdahl
+/// bound side by side plus the decision-stream ASCII digest; any audit
+/// conservation failure makes the command exit non-zero.
+fn audit_command(cli: &Cli, p: &ExperimentParams, format: Format) -> Result<(), String> {
+    let configs: Vec<(String, fgnvm_types::SystemConfig)> = if cli.args.is_empty() {
+        vec![(
+            "fgnvm-8x2".into(),
+            fgnvm_types::SystemConfig::fgnvm(8, 2).map_err(|e| e.to_string())?,
+        )]
+    } else {
+        cli.args
+            .iter()
+            .map(|path| Ok((config_stem(path), load_config(path)?)))
+            .collect::<Result<_, String>>()?
+    };
+    let mut violations = 0usize;
+    for (name, config) in &configs {
+        let out = fgnvm_sim::audit(config, name, p).map_err(|e| e.to_string())?;
+        match format {
+            Format::Json => println!("{}", out.audit_json),
+            _ => {
+                emit_to(&out.summary, format, cli.out_dir.as_deref());
+                if matches!(format, Format::Text) {
+                    print!("{}", out.audit_ascii);
+                }
+            }
+        }
+        if let Some(path) = &cli.metrics_out {
+            std::fs::write(path, &out.audit_json)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        for failure in &out.invariant_failures {
+            eprintln!("{name}: {failure}");
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "issue audit found {violations} conservation failure(s)"
+        ));
+    }
+    Ok(())
 }
 
 /// The `profile` command: stall attribution, critical-path ranking, and
@@ -1012,6 +1068,7 @@ fn serve_command(cli: &Cli) -> Result<(), String> {
     sc.progress = cli.progress;
     sc.slo_read_p99 = cli.slo_read_p99;
     sc.dump_flight = cli.dump_flight.clone();
+    sc.audit = cli.audit;
     if let Some(spec) = &cli.tenants {
         sc.tenants = fgnvm_workloads::parse_tenants(spec).map_err(|e| e.to_string())?;
     }

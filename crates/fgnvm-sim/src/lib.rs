@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod experiment;
 pub mod extensions;
 pub mod golden;
@@ -40,6 +41,7 @@ pub mod serve;
 pub mod simulation;
 pub mod viz;
 
+pub use audit::{audit, AuditOutcome};
 pub use experiment::{
     ablation, fig4, fig5, summary, sweep, table1, table2, AblationResult, Fig4Result, Fig5Result,
     Summary, SweepResult,

@@ -42,6 +42,9 @@ pub struct ObserveOutcome {
     pub heatmap_csv: String,
     /// ASCII time-series dashboard (sparklines over telemetry windows).
     pub timeseries_ascii: String,
+    /// ASCII issue-audit digest: issuable-parallelism histogram, per-gate
+    /// block attribution, and the missed co-issue (SAG x CD) grid.
+    pub audit_ascii: String,
 }
 
 /// Telemetry window size for instrumented runs (cycles). Small enough
@@ -72,6 +75,7 @@ pub fn observe(
         OBSERVE_RETENTION,
         OBSERVE_FLIGHT_CAPACITY,
     );
+    memory.enable_audit();
     // A read-dominated and a write-heavy profile back to back, so spans,
     // write occupancy, retries, and tile conflicts all appear in one trace.
     let mut records = Vec::new();
@@ -107,6 +111,17 @@ pub fn observe(
         timeseries_ascii: obs
             .timeseries()
             .map(viz::render_timeseries)
+            .unwrap_or_default(),
+        audit_ascii: obs
+            .audit()
+            .map(|audit| {
+                format!(
+                    "{}{}{}",
+                    viz::render_opportunity_histogram(audit, 48),
+                    viz::render_block_attribution(audit, 48),
+                    viz::render_missed_pairs(audit),
+                )
+            })
             .unwrap_or_default(),
     })
 }
@@ -146,6 +161,13 @@ fn summary_table(memory: &MemorySystem, result: &fgnvm_cpu::CoreResult, obs: &Ob
     row("conflict rate", fmt_ratio(obs.heatmap.conflict_rate()));
     row("trace events", obs.trace.len().to_string());
     row("trace events dropped", obs.trace.dropped().to_string());
+    if let Some(audit) = obs.audit() {
+        row("issue decisions audited", audit.issues.to_string());
+        row(
+            "measured opportunity ceiling",
+            format!("{:.2}x", audit.opportunity_ceiling()),
+        );
+    }
     t
 }
 
@@ -206,6 +228,12 @@ mod tests {
         // The telemetry dashboard rides along with closed windows.
         assert!(out.timeseries_ascii.starts_with("continuous telemetry ("));
         assert!(out.timeseries_ascii.contains("arrivals"));
+        // The issue-audit digest rides along: histogram, gate attribution,
+        // and the missed-pair grid, plus its counters in the metrics doc.
+        assert!(out.audit_ascii.contains("issuable parallelism ("));
+        assert!(out.audit_ascii.contains("block attribution ("));
+        assert!(out.audit_ascii.contains("missed co-issue pairs"));
+        assert!(out.metrics_json.contains("\"mem.audit.issues\""));
     }
 
     #[test]

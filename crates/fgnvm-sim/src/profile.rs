@@ -459,12 +459,14 @@ pub fn profile(
         ],
     );
     let mut last_obs = None;
+    let mut last_mem_cycles = 0u64;
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 5];
     for &seed in seeds {
         let core = Core::new(params.core)?;
         let mut memory = MemorySystem::new(*config)?;
         memory.set_fast_forward(params.fast_forward);
         memory.enable_observer();
+        memory.enable_audit();
         let mut recs = Vec::new();
         for profile in ["milc_like", "lbm_like"] {
             let trace = fgnvm_workloads::profile(profile)
@@ -494,6 +496,13 @@ pub fn profile(
         metrics.insert("read_p95".to_string(), read_p95);
         metrics.insert("mem_cycles".to_string(), result.mem_cycles as f64);
         metrics.insert("sim_cycles_per_sec".to_string(), rate);
+        if let Some(audit) = obs.audit() {
+            metrics.insert("audit_issues".to_string(), audit.issues as f64);
+            metrics.insert(
+                "audit_opportunity_ceiling".to_string(),
+                audit.opportunity_ceiling(),
+            );
+        }
         for (class, totals) in [
             ("read", &obs.attribution.reads),
             ("write", &obs.attribution.writes),
@@ -535,6 +544,7 @@ pub fn profile(
             metrics,
         });
         last_obs = Some(obs);
+        last_mem_cycles = result.mem_cycles;
     }
     let (means, stds): (Vec<f64>, Vec<f64>) = columns.iter().map(|c| mean_std(c)).unzip();
     summary.push_row(vec![
@@ -588,10 +598,32 @@ pub fn profile(
             b.scenario.description.to_string(),
         ]);
     }
+    // The issue audit's measured opportunity ceiling rides beside the
+    // analytical Amdahl rows: same table, so realized rate, measured
+    // headroom, and the hypothetical bounds read side by side.
+    if let Some(audit) = obs.audit() {
+        whatif_table.push_row(vec![
+            "measured-opportunity".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{:.3}x", audit.opportunity_ceiling()),
+            format!(
+                "audited legal co-issues left behind (realized {:.4} issues/cy \
+                 over {} decisions)",
+                audit.realized_issue_rate(last_mem_cycles),
+                audit.issues
+            ),
+        ]);
+    }
+    let audit_json = obs
+        .audit()
+        .map(fgnvm_obs::AuditLog::to_json)
+        .unwrap_or_else(|| "null".to_string());
     let attribution_json = format!(
-        "{{\"attribution\":{},\"what_if\":{}}}",
+        "{{\"attribution\":{},\"what_if\":{},\"audit\":{}}}",
         attr.to_json(),
-        what_if_json(&bounds)
+        what_if_json(&bounds),
+        audit_json
     );
     Ok(ProfileOutcome {
         summary,
@@ -988,8 +1020,17 @@ mod tests {
         assert!(out
             .attribution_json
             .starts_with("{\"attribution\":{\"requests\":"));
+        assert!(out.attribution_json.contains("\"audit\":{\"sags\":"));
         assert!(out.decomposition_ascii.contains("stall attribution"));
-        assert_eq!(out.whatif_table.row_count(), 6);
+        // Six Amdahl scenarios plus the measured-opportunity row.
+        assert_eq!(out.whatif_table.row_count(), 7);
+        assert!(out
+            .whatif_table
+            .render()
+            .contains("measured-opportunity"));
+        for r in &out.records {
+            assert!(r.metrics.contains_key("audit_opportunity_ceiling"));
+        }
         // Same binary, same seeds: a self-compare of the emitted ledger
         // reports zero regressions (the acceptance criterion).
         let ledger: String = out

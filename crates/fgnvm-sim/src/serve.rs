@@ -133,6 +133,12 @@ pub struct ServeConfig {
     /// single-stream generator byte-for-byte unchanged. A resumed run
     /// must pass the same tenant list the checkpointed run used.
     pub tenants: Vec<TenantSpec>,
+    /// Record the scheduler issue audit (decision stream + co-issue
+    /// opportunity counters). Off by default: the probe walks both queues
+    /// at every issue, so it costs simulation time. The audit log rides
+    /// the observer's checkpoint section, and a resumed leg continues the
+    /// stream bit-identically.
+    pub audit: bool,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +161,7 @@ impl Default for ServeConfig {
             slo_read_p99: 0,
             dump_flight: None,
             tenants: Vec::new(),
+            audit: false,
         }
     }
 }
@@ -571,6 +578,9 @@ pub fn serve(config: SystemConfig, sc: &ServeConfig) -> Result<ServeReport, SimE
     if sc.telemetry_window > 0 {
         mem.enable_telemetry(sc.telemetry_window, TELEMETRY_RETENTION, FLIGHT_CAPACITY);
     }
+    if sc.audit {
+        mem.enable_audit();
+    }
     run_loop(&mut mem, ServeState::fresh_for(sc), sc)
 }
 
@@ -588,6 +598,11 @@ pub fn resume(
     sc: &ServeConfig,
 ) -> Result<ServeReport, SimError> {
     let (state, mut mem) = load_checkpoint_file(config, checkpoint)?;
+    if sc.audit {
+        // Idempotent: a checkpoint written with the audit on restores the
+        // log, and enabling again must not reset the stream mid-run.
+        mem.enable_audit();
+    }
     run_loop(&mut mem, state, sc)
 }
 

@@ -493,6 +493,207 @@ mod histogram_tests {
     }
 }
 
+/// Renders an [`fgnvm_obs::AuditLog`]'s per-decision issuable-parallelism
+/// histogram as ASCII bars: bin `+k` counts the decisions at which `k`
+/// additional legal rook-compatible commands could have been co-issued
+/// (the last bin absorbs everything at or above it). Bars scale to the
+/// mode; trailing empty bins are trimmed.
+pub fn render_opportunity_histogram(audit: &fgnvm_obs::AuditLog, width: usize) -> String {
+    use fgnvm_obs::audit::HIST_BINS;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total: u64 = audit.parallelism_hist.iter().sum();
+    let _ = writeln!(
+        out,
+        "issuable parallelism ({total} decisions, measured ceiling {:.2}x):",
+        audit.opportunity_ceiling()
+    );
+    if total == 0 {
+        out.push_str("  (no decisions audited)\n");
+        return out;
+    }
+    let peak = *audit
+        .parallelism_hist
+        .iter()
+        .max()
+        .expect("histogram is non-empty");
+    let last = audit
+        .parallelism_hist
+        .iter()
+        .rposition(|&c| c > 0)
+        .expect("total > 0");
+    for (bin, &count) in audit.parallelism_hist.iter().enumerate().take(last + 1) {
+        let label = if bin == HIST_BINS - 1 {
+            format!(">={bin}")
+        } else {
+            format!("+{bin}")
+        };
+        let bar = (count as usize * width).div_ceil(peak as usize).min(width);
+        let pct = count as f64 * 100.0 / total as f64;
+        let _ = writeln!(
+            out,
+            "  {label:>4} |{:<width$}| {pct:>5.1}%",
+            "#".repeat(if count > 0 { bar.max(1) } else { 0 }),
+        );
+    }
+    out
+}
+
+/// Renders an [`fgnvm_obs::AuditLog`]'s per-gate block attribution as
+/// ASCII bars: how many rejected issue candidates each bank gate
+/// accounts for, over every audited decision. All gates are listed (zero
+/// rows included) so runs are comparable line by line.
+pub fn render_block_attribution(audit: &fgnvm_obs::AuditLog, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total: u64 = audit.blocked.iter().sum();
+    let _ = writeln!(
+        out,
+        "block attribution ({total} rejected candidates over {} decisions):",
+        audit.issues
+    );
+    if total == 0 {
+        out.push_str("  (nothing was blocked)\n");
+        return out;
+    }
+    let peak = *audit.blocked.iter().max().expect("GATES > 0");
+    for gate in fgnvm_obs::BlockGate::ALL {
+        let count = audit.blocked[gate as usize];
+        let bar = (count as usize * width).div_ceil(peak as usize).min(width);
+        let pct = count as f64 * 100.0 / total as f64;
+        let _ = writeln!(
+            out,
+            "  {:<12} |{:<width$}| {count:>10} {pct:>5.1}%",
+            gate.label(),
+            "#".repeat(if count > 0 { bar.max(1) } else { 0 }),
+        );
+    }
+    out
+}
+
+/// Renders an [`fgnvm_obs::AuditLog`]'s missed-pair grid in the same
+/// digit-scaled S×C style as [`render_heatmap`]: each cell counts how
+/// often a legal co-issuable command targeting that (SAG, CD) tile was
+/// left on the table, with per-SAG and per-CD margins.
+pub fn render_missed_pairs(audit: &fgnvm_obs::AuditLog) -> String {
+    use std::fmt::Write as _;
+    let (sags, cds) = audit.dims();
+    let peak = audit.missed_cells().iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "missed co-issue pairs (SAG x CD), peak {peak} missed/cell:"
+    );
+    out.push_str("        ");
+    for cd in 0..cds {
+        let _ = write!(out, "{cd:>2}");
+    }
+    out.push('\n');
+    let mut cd_totals = vec![0u64; cds as usize];
+    for sag in 0..sags {
+        let mut sag_total = 0u64;
+        let _ = write!(out, "SAG {sag:>2} |");
+        for cd in 0..cds {
+            let c = audit.missed_cell(sag, cd);
+            sag_total += c;
+            cd_totals[cd as usize] += c;
+            if c == 0 {
+                out.push_str(" .");
+            } else {
+                let digit = (c * 9).div_ceil(peak.max(1)).min(9);
+                let _ = write!(out, " {digit}");
+            }
+        }
+        let _ = writeln!(out, " | {sag_total}");
+    }
+    out.push_str("CD totals:");
+    for &total in &cd_totals {
+        let _ = write!(out, " {total}");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod audit_viz_tests {
+    use super::*;
+    use fgnvm_obs::{AuditLog, IssueAudit};
+
+    fn rec<'a>(co: u32, blocked: [u32; 5], missed: &'a [(u32, u32)]) -> IssueAudit<'a> {
+        IssueAudit {
+            channel: 0,
+            bank: 0,
+            at: 10,
+            is_read: true,
+            draining: false,
+            sag: 0,
+            cd: 0,
+            considered: 1 + co + blocked.iter().sum::<u32>(),
+            blocked,
+            ready_peers: co,
+            co_issuable: co,
+            missed,
+        }
+    }
+
+    #[test]
+    fn opportunity_histogram_is_byte_exact() {
+        let mut log = AuditLog::new(2, 2);
+        log.record(&rec(0, [0; 5], &[]));
+        log.record(&rec(0, [0; 5], &[]));
+        log.record(&rec(1, [0; 5], &[(0, 1)]));
+        log.record(&rec(2, [0; 5], &[(0, 1), (1, 0)]));
+        let out = render_opportunity_histogram(&log, 10);
+        let expected = "issuable parallelism (4 decisions, measured ceiling 1.75x):\n\
+                        \x20   +0 |##########|  50.0%\n\
+                        \x20   +1 |#####     |  25.0%\n\
+                        \x20   +2 |#####     |  25.0%\n";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_opportunity_histogram_says_so() {
+        let log = AuditLog::new(2, 2);
+        let out = render_opportunity_histogram(&log, 10);
+        assert!(out.contains("(no decisions audited)"), "{out}");
+        assert!(out.contains("ceiling 1.00x"), "{out}");
+    }
+
+    #[test]
+    fn block_attribution_is_byte_exact() {
+        let mut log = AuditLog::new(2, 2);
+        log.record(&rec(0, [3, 1, 0, 0, 0], &[]));
+        let out = render_block_attribution(&log, 12);
+        let expected = "block attribution (4 rejected candidates over 1 decisions):\n\
+                        \x20 bank-busy    |############|          3  75.0%\n\
+                        \x20 sag-busy     |####        |          1  25.0%\n\
+                        \x20 cd-busy      |            |          0   0.0%\n\
+                        \x20 column-path  |            |          0   0.0%\n\
+                        \x20 row-locked   |            |          0   0.0%\n";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn nothing_blocked_says_so() {
+        let log = AuditLog::new(2, 2);
+        assert!(render_block_attribution(&log, 12).contains("(nothing was blocked)"));
+    }
+
+    #[test]
+    fn missed_pairs_grid_is_byte_exact() {
+        let mut log = AuditLog::new(2, 2);
+        log.record(&rec(2, [0; 5], &[(0, 1), (0, 1)]));
+        log.record(&rec(1, [0; 5], &[(1, 0)]));
+        let out = render_missed_pairs(&log);
+        let expected = "missed co-issue pairs (SAG x CD), peak 2 missed/cell:\n\
+                        \x20        0 1\n\
+                        SAG  0 | . 9 | 2\n\
+                        SAG  1 | 5 . | 1\n\
+                        CD totals: 1 2\n";
+        assert_eq!(out, expected);
+    }
+}
+
 /// Renders `values` as a one-line unicode sparkline (8 levels, scaled to
 /// the maximum). Empty input renders as an empty string.
 pub fn sparkline(values: &[f64]) -> String {

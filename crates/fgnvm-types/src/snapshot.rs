@@ -37,7 +37,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FGNVMCK1";
 /// v3: multi-tenant serving — pending requests, controller events,
 /// attribution records, system stats, telemetry windows, the QoS
 /// scheduler, and the serve driver all gained per-tenant state.
-pub const SNAPSHOT_VERSION: u32 = 3;
+///
+/// v4: issue audit — the observer section gained an optional scheduler
+/// decision-audit log and telemetry windows gained the per-window
+/// co-issue opportunity counter.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Why a snapshot could not be decoded.
 ///

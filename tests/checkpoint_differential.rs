@@ -73,6 +73,9 @@ fn run_digest(config: SystemConfig, fast_forward: bool, mut kill_cycle: Option<u
     // and flight-recorder state across the crash.
     mem.enable_telemetry(256, 8, 32);
     mem.enable_command_log(1 << 16);
+    // The issue-audit log rides the observer's snapshot section, so the
+    // digest also proves the decision stream survives kill/resume.
+    mem.enable_audit();
     let line_bytes = u64::from(config.geometry.line_bytes());
     let lines = config.geometry.capacity_bytes() / line_bytes;
     let mut completions: Vec<Completion> = Vec::new();
@@ -163,6 +166,62 @@ fn stepped_and_fast_forwarded_checkpoints_agree() {
         assert_eq!(
             stepped, hopped,
             "{name}: stepping mode leaked into the snapshot"
+        );
+    }
+}
+
+/// Drives the same deterministic request mix as [`run_digest`] (no crash)
+/// and returns the audit aggregate as JSON.
+fn run_audit_json(config: SystemConfig, fast_forward: bool) -> String {
+    let mut mem = MemorySystem::new(config).expect("config admissible");
+    mem.set_fast_forward(fast_forward);
+    mem.enable_audit();
+    let line_bytes = u64::from(config.geometry.line_bytes());
+    let lines = config.geometry.capacity_bytes() / line_bytes;
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut state = 0xfeed_f00d_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..96 {
+        let op = if next() % 3 == 0 { Op::Write } else { Op::Read };
+        let line = next() % lines.clamp(1, 512);
+        let _ = mem.enqueue(op, PhysAddr::new(line * line_bytes));
+        let gap = next() % 120;
+        if gap > 0 {
+            mem.tick_to(Cycle::new(mem.now().raw() + gap), &mut completions);
+        }
+    }
+    while !mem.is_idle() {
+        let target = Cycle::new(mem.now().raw() + 4096);
+        mem.tick_to(target, &mut completions);
+    }
+    mem.observer()
+        .and_then(|o| o.audit())
+        .expect("audit enabled above")
+        .to_json()
+}
+
+#[test]
+fn audit_stream_is_identical_stepped_vs_fast_forwarded() {
+    // Decision records are generated only at command-issue time, and the
+    // two stepping modes issue the same commands at the same cycles — so
+    // the audited candidate sets, block gates, and co-issue opportunities
+    // must agree exactly, not just statistically.
+    for (name, config) in all_configs() {
+        let stepped = run_audit_json(config, false);
+        let hopped = run_audit_json(config, true);
+        assert_eq!(
+            stepped, hopped,
+            "{name}: audit stream diverged across stepping modes"
+        );
+        assert!(
+            stepped.contains("\"issues\":"),
+            "{name}: audit produced no aggregate"
         );
     }
 }
@@ -389,11 +448,16 @@ fn telemetry_stream_and_flight_dump_survive_resume_from_every_checkpoint() {
         telemetry_window: 800,
         telemetry_out: Some(dir.join("ref.jsonl")),
         dump_flight: Some(dir.join("ref-flight.json")),
+        audit: true,
         ..ServeConfig::default()
     };
     let full = fgnvm_sim::serve(config, &sc).expect("reference run");
     assert!(full.windows_emitted >= 4, "{}", full.windows_emitted);
     let ref_stream = std::fs::read_to_string(dir.join("ref.jsonl")).expect("stream");
+    assert!(
+        ref_stream.contains("\"opportunity\":"),
+        "audited serve must put the per-window co-issue opportunity in the stream"
+    );
     let ref_flight = std::fs::read(dir.join("ref-flight.json")).expect("flight dump");
     let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
         .expect("checkpoints written")

@@ -141,6 +141,111 @@ fn fairness_scenario_is_stepping_mode_invariant() {
     }
 }
 
+#[test]
+fn qos_served_counters_survive_a_mid_drain_snapshot() {
+    // The QoS scheduler's per-tenant served-service counters are pure
+    // scheduler state: nothing else in the system re-derives them. If
+    // restore dropped or zeroed them, the restored run would re-grant
+    // from a clean slate — picking tenants in a different order for the
+    // backlog still queued at the kill point — and the final per-tenant
+    // stats (and the end-of-run snapshot bytes) would diverge from the
+    // uninterrupted run. Snapshotting MID-DRAIN is the point: the queue
+    // must still hold a multi-tenant backlog when the counters cross the
+    // checkpoint.
+    let mut config = SystemConfig::fgnvm(8, 2).expect("valid config");
+    config.scheduler = SchedulerKind::FrfcfsQos;
+    let line_bytes = u64::from(config.geometry.line_bytes());
+    // `drain_probe` measures how long the backlog takes to drain (fine
+    // ladder, measurement only); `drive` runs the comparison legs on a
+    // coarse shared ladder so killed and straight runs visit identical
+    // clock targets (the clock is part of the snapshot being compared).
+    let drive = |kill_after: Option<u64>| -> (Vec<TenantStats>, Vec<u8>) {
+        let mut mem = MemorySystem::new(config).expect("valid system");
+        mem.set_fast_forward(true);
+        let mut out: Vec<Completion> = Vec::new();
+        // Three tenants interleave arrivals with uneven pressure so the
+        // service counters are unequal at every point in the drain.
+        for i in 0..90u64 {
+            let tenant = (i % 3) as u16;
+            let op = if i % 4 == 0 {
+                fgnvm_types::Op::Write
+            } else {
+                fgnvm_types::Op::Read
+            };
+            let line = (i * 7 + u64::from(tenant) * 13) % 512;
+            let _ = mem.enqueue_for(op, PhysAddr::new(line * line_bytes), tenant);
+            // Stop ticking for the last third of the arrivals so a deep
+            // multi-tenant backlog is still queued when the drain starts.
+            if i % 6 == 5 && i < 60 {
+                mem.tick_to(Cycle::new(mem.now().raw() + 60), &mut out);
+            }
+        }
+        // Drain on an absolute tick ladder so the killed and straight
+        // runs visit identical clock targets (the clock itself is part
+        // of the snapshot being compared).
+        let drain_start = mem.now().raw();
+        if let Some(gap) = kill_after {
+            mem.tick_to(Cycle::new(drain_start + gap), &mut out);
+            assert!(!mem.is_idle(), "kill point must land mid-drain");
+            let blob = mem.save_snapshot();
+            mem = MemorySystem::restore(config, &blob).expect("own snapshot restores");
+        }
+        let mut target = drain_start;
+        while !mem.is_idle() {
+            target += 4096;
+            if mem.now().raw() < target {
+                mem.tick_to(Cycle::new(target), &mut out);
+            }
+        }
+        (mem.stats().tenants.clone(), mem.save_snapshot())
+    };
+    let drain_len = {
+        let mut mem = MemorySystem::new(config).expect("valid system");
+        mem.set_fast_forward(true);
+        let mut out: Vec<Completion> = Vec::new();
+        for i in 0..90u64 {
+            let tenant = (i % 3) as u16;
+            let op = if i % 4 == 0 {
+                fgnvm_types::Op::Write
+            } else {
+                fgnvm_types::Op::Read
+            };
+            let line = (i * 7 + u64::from(tenant) * 13) % 512;
+            let _ = mem.enqueue_for(op, PhysAddr::new(line * line_bytes), tenant);
+            if i % 6 == 5 && i < 60 {
+                mem.tick_to(Cycle::new(mem.now().raw() + 60), &mut out);
+            }
+        }
+        let drain_start = mem.now().raw();
+        let mut t = drain_start;
+        while !mem.is_idle() {
+            t += 16;
+            mem.tick_to(Cycle::new(t), &mut out);
+        }
+        t - drain_start
+    };
+    assert!(
+        drain_len >= 40,
+        "backlog drained in {drain_len} cycles; too shallow to kill mid-drain"
+    );
+    let (straight_tenants, straight_blob) = drive(None);
+    assert!(
+        straight_tenants.iter().take(3).all(|t| t.completed_reads > 0),
+        "every tenant must see service in the reference run"
+    );
+    for kill_after in [drain_len / 8, drain_len / 2, drain_len * 7 / 8] {
+        let (tenants, blob) = drive(Some(kill_after));
+        assert_eq!(
+            tenants, straight_tenants,
+            "kill {kill_after} cycles into the drain changed per-tenant service"
+        );
+        assert_eq!(
+            blob, straight_blob,
+            "kill {kill_after} cycles into the drain changed the final snapshot"
+        );
+    }
+}
+
 /// Scan helper, kept ignored: prints per-seed gaps for retuning the
 /// adversary if the timing model ever shifts.
 #[test]
